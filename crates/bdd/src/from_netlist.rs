@@ -1,0 +1,205 @@
+//! Building BDDs from circuits.
+
+use protest_netlist::{Circuit, GateKind, Levels};
+
+use crate::manager::{BddError, BddRef, Manager};
+
+/// Builds a BDD for every node of the circuit, in topological order.
+///
+/// The variable order is the primary-input declaration order. Returns one
+/// [`BddRef`] per node, indexable by [`protest_netlist::NodeId::index`].
+///
+/// # Errors
+///
+/// Returns [`BddError::NodeLimit`] if any intermediate BDD exceeds the
+/// manager's node budget.
+pub fn build_node_bdds(manager: &mut Manager, circuit: &Circuit) -> Result<Vec<BddRef>, BddError> {
+    assert!(
+        manager.num_vars() >= circuit.num_inputs(),
+        "manager must have at least one variable per primary input"
+    );
+    let levels = Levels::new(circuit);
+    let mut refs = vec![BddRef::FALSE; circuit.num_nodes()];
+    for &id in levels.order() {
+        let node = circuit.node(id);
+        let r = match node.kind() {
+            GateKind::Input => {
+                let pos = circuit
+                    .input_position(id)
+                    .expect("input node missing from input list");
+                manager.var(pos)
+            }
+            GateKind::Const(v) => manager.constant(v),
+            GateKind::Buf => refs[node.fanins()[0].index()],
+            GateKind::Not => manager.not(refs[node.fanins()[0].index()])?,
+            GateKind::And | GateKind::Nand => {
+                let mut acc = manager.constant(true);
+                for &f in node.fanins() {
+                    acc = manager.and(acc, refs[f.index()])?;
+                }
+                if node.kind() == GateKind::Nand {
+                    manager.not(acc)?
+                } else {
+                    acc
+                }
+            }
+            GateKind::Or | GateKind::Nor => {
+                let mut acc = manager.constant(false);
+                for &f in node.fanins() {
+                    acc = manager.or(acc, refs[f.index()])?;
+                }
+                if node.kind() == GateKind::Nor {
+                    manager.not(acc)?
+                } else {
+                    acc
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                let mut acc = manager.constant(false);
+                for &f in node.fanins() {
+                    acc = manager.xor(acc, refs[f.index()])?;
+                }
+                if node.kind() == GateKind::Xnor {
+                    manager.not(acc)?
+                } else {
+                    acc
+                }
+            }
+            GateKind::Lut(lid) => {
+                let table = circuit.lut(lid);
+                let fanin_refs: Vec<BddRef> =
+                    node.fanins().iter().map(|&f| refs[f.index()]).collect();
+                lut_bdd(manager, table, &fanin_refs)?
+            }
+        };
+        refs[id.index()] = r;
+    }
+    Ok(refs)
+}
+
+/// Builds BDDs for the primary outputs only (convenience over
+/// [`build_node_bdds`]).
+///
+/// # Errors
+///
+/// Returns [`BddError::NodeLimit`] if any intermediate BDD exceeds the
+/// manager's node budget.
+pub fn build_output_bdds(
+    manager: &mut Manager,
+    circuit: &Circuit,
+) -> Result<Vec<BddRef>, BddError> {
+    let refs = build_node_bdds(manager, circuit)?;
+    Ok(circuit.outputs().iter().map(|&o| refs[o.index()]).collect())
+}
+
+/// Shannon-expands a truth table over already-built fanin BDDs.
+fn lut_bdd(
+    manager: &mut Manager,
+    table: &protest_netlist::TruthTable,
+    fanins: &[BddRef],
+) -> Result<BddRef, BddError> {
+    // Sum of minterms: OR over set minterms of AND over literals. Adequate
+    // for the ≤ 16-input components the netlist crate admits; the node
+    // budget protects against pathological tables.
+    let n = table.num_inputs();
+    let mut acc = manager.constant(false);
+    for m in 0..(1usize << n) {
+        if !table.bit(m) {
+            continue;
+        }
+        let mut term = manager.constant(true);
+        for (i, &f) in fanins.iter().enumerate() {
+            let lit = if (m >> i) & 1 == 1 { f } else { manager.not(f)? };
+            term = manager.and(term, lit)?;
+        }
+        acc = manager.or(acc, term)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_netlist::{CircuitBuilder, TruthTable};
+
+    use super::*;
+
+    #[test]
+    fn full_adder_bdds_match_arithmetic() {
+        let mut b = CircuitBuilder::new("fa");
+        let a = b.input("a");
+        let x = b.input("x");
+        let cin = b.input("cin");
+        let s1 = b.xor2(a, x);
+        let sum = b.xor2(s1, cin);
+        let c1 = b.and2(a, x);
+        let c2 = b.and2(s1, cin);
+        let cout = b.or2(c1, c2);
+        b.output(sum, "sum");
+        b.output(cout, "cout");
+        let ckt = b.finish().unwrap();
+        let mut m = Manager::new(3);
+        let outs = build_output_bdds(&mut m, &ckt).unwrap();
+        for mask in 0..8usize {
+            let asg = [(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0];
+            let total = asg.iter().filter(|&&v| v).count();
+            assert_eq!(m.eval(outs[0], &asg), total % 2 == 1);
+            assert_eq!(m.eval(outs[1], &asg), total >= 2);
+        }
+    }
+
+    #[test]
+    fn reconvergent_probability_is_exact() {
+        // z = (a ∧ b) ∨ (a ∧ c): P = pa·(pb + pc − pb·pc)
+        let mut b = CircuitBuilder::new("rc");
+        let a = b.input("a");
+        let x = b.input("b");
+        let c = b.input("c");
+        let t1 = b.and2(a, x);
+        let t2 = b.and2(a, c);
+        let z = b.or2(t1, t2);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let mut m = Manager::new(3);
+        let outs = build_output_bdds(&mut m, &ckt).unwrap();
+        let (pa, pb, pc) = (0.7, 0.4, 0.9);
+        let want = pa * (pb + pc - pb * pc);
+        assert!((m.probability(outs[0], &[pa, pb, pc]) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lut_component() {
+        // 3-input majority as a LUT.
+        let mut b = CircuitBuilder::new("maj");
+        let xs = b.input_bus("x", 3);
+        let t = b.add_table(TruthTable::from_fn(3, |m| m.count_ones() >= 2).unwrap());
+        let z = b.lut(t, &xs);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let mut m = Manager::new(3);
+        let outs = build_output_bdds(&mut m, &ckt).unwrap();
+        for mask in 0..8usize {
+            let asg = [(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0];
+            assert_eq!(m.eval(outs[0], &asg), mask.count_ones() >= 2);
+        }
+        // Majority with p=0.5 each: 4/8 = 0.5.
+        assert!((m.probability(outs[0], &[0.5; 3]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nary_and_xnor_gates() {
+        let mut b = CircuitBuilder::new("g");
+        let xs = b.input_bus("x", 4);
+        let a = b.and(&xs);
+        let n = b.gate(GateKind::Xnor, &xs);
+        b.output(a, "a");
+        b.output(n, "n");
+        let ckt = b.finish().unwrap();
+        let mut m = Manager::new(4);
+        let outs = build_output_bdds(&mut m, &ckt).unwrap();
+        for mask in 0..16usize {
+            let asg: Vec<bool> = (0..4).map(|i| (mask >> i) & 1 == 1).collect();
+            assert_eq!(m.eval(outs[0], &asg), mask == 15);
+            assert_eq!(m.eval(outs[1], &asg), mask.count_ones() % 2 == 0);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Reduced ordered binary decision diagrams (ROBDDs) with weighted
+//! probability evaluation.
+//!
+//! This crate is the *exact oracle* of the PROTEST workspace. Computing
+//! signal probabilities exactly is NP-hard (Wunderlich 1984, cited in the
+//! paper), so the tool itself estimates — but validating an estimator
+//! requires exact references on small and medium circuits. BDDs give exact
+//! signal probabilities in time linear in the BDD size:
+//!
+//! ```text
+//! P(1) = 1,  P(0) = 0,  P(node) = p_var · P(hi) + (1 − p_var) · P(lo)
+//! ```
+//!
+//! The manager is deliberately small: hash-consed unique table, an
+//! apply-cache, `not`/`and`/`or`/`xor`/`ite`, and a configurable node budget
+//! so cone blow-ups surface as [`BddError::NodeLimit`] instead of an OOM.
+//!
+//! # Example
+//!
+//! ```
+//! use protest_bdd::Manager;
+//!
+//! # fn main() -> Result<(), protest_bdd::BddError> {
+//! let mut m = Manager::new(2);
+//! let a = m.var(0);
+//! let b = m.var(1);
+//! let f = m.and(a, b)?;
+//! // P(a ∧ b) with P(a)=0.5, P(b)=0.25:
+//! assert!((m.probability(f, &[0.5, 0.25]) - 0.125).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod from_netlist;
+mod manager;
+
+pub use from_netlist::{build_node_bdds, build_output_bdds};
+pub use manager::{BddError, BddRef, Manager};

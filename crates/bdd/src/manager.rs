@@ -1,0 +1,477 @@
+use std::collections::HashMap;
+use std::fmt;
+
+/// Reference to a BDD node inside a [`Manager`].
+///
+/// `BddRef` values are only meaningful for the manager that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BddRef(u32);
+
+impl BddRef {
+    /// The constant-false terminal.
+    pub const FALSE: BddRef = BddRef(0);
+    /// The constant-true terminal.
+    pub const TRUE: BddRef = BddRef(1);
+
+    /// Whether this reference is a terminal (constant).
+    pub fn is_terminal(self) -> bool {
+        self.0 < 2
+    }
+}
+
+/// Errors from BDD construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BddError {
+    /// The node budget was exhausted; the function's BDD is too large under
+    /// the current variable order.
+    NodeLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::NodeLimit { limit } => {
+                write!(f, "BDD node limit of {limit} nodes exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BddError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct NodeData {
+    var: u32,
+    lo: BddRef,
+    hi: BddRef,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+    Xor,
+}
+
+/// A hash-consed ROBDD manager over a fixed variable count.
+///
+/// Variables are indexed `0..num_vars` and ordered by index (variable 0 at
+/// the top). The default node limit is one million nodes; use
+/// [`Manager::with_node_limit`] to change it.
+#[derive(Debug)]
+pub struct Manager {
+    nodes: Vec<NodeData>,
+    unique: HashMap<NodeData, BddRef>,
+    cache: HashMap<(Op, BddRef, BddRef), BddRef>,
+    not_cache: HashMap<BddRef, BddRef>,
+    num_vars: usize,
+    node_limit: usize,
+}
+
+impl Manager {
+    /// Creates a manager for `num_vars` variables with the default node
+    /// limit (1,000,000).
+    pub fn new(num_vars: usize) -> Self {
+        Self::with_node_limit(num_vars, 1_000_000)
+    }
+
+    /// Creates a manager with an explicit node budget.
+    pub fn with_node_limit(num_vars: usize, node_limit: usize) -> Self {
+        let sentinel = NodeData {
+            var: u32::MAX,
+            lo: BddRef::FALSE,
+            hi: BddRef::FALSE,
+        };
+        Manager {
+            // Slots 0 and 1 are the terminals; their NodeData is unused.
+            nodes: vec![sentinel, sentinel],
+            unique: HashMap::new(),
+            cache: HashMap::new(),
+            not_cache: HashMap::new(),
+            num_vars,
+            node_limit,
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of allocated nodes, including the two terminals.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The single-variable function `x_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_vars`.
+    pub fn var(&mut self, i: usize) -> BddRef {
+        assert!(i < self.num_vars, "variable index out of range");
+        self.mk(i as u32, BddRef::FALSE, BddRef::TRUE)
+            .expect("a single variable never exceeds the node limit")
+    }
+
+    /// The constant function.
+    pub fn constant(&self, value: bool) -> BddRef {
+        if value {
+            BddRef::TRUE
+        } else {
+            BddRef::FALSE
+        }
+    }
+
+    fn mk(&mut self, var: u32, lo: BddRef, hi: BddRef) -> Result<BddRef, BddError> {
+        if lo == hi {
+            return Ok(lo);
+        }
+        let data = NodeData { var, lo, hi };
+        if let Some(&r) = self.unique.get(&data) {
+            return Ok(r);
+        }
+        if self.nodes.len() >= self.node_limit {
+            return Err(BddError::NodeLimit {
+                limit: self.node_limit,
+            });
+        }
+        let r = BddRef(self.nodes.len() as u32);
+        self.nodes.push(data);
+        self.unique.insert(data, r);
+        Ok(r)
+    }
+
+    fn var_of(&self, r: BddRef) -> u32 {
+        if r.is_terminal() {
+            u32::MAX
+        } else {
+            self.nodes[r.0 as usize].var
+        }
+    }
+
+    /// Negation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the budget is exhausted.
+    pub fn not(&mut self, f: BddRef) -> Result<BddRef, BddError> {
+        if f == BddRef::FALSE {
+            return Ok(BddRef::TRUE);
+        }
+        if f == BddRef::TRUE {
+            return Ok(BddRef::FALSE);
+        }
+        if let Some(&r) = self.not_cache.get(&f) {
+            return Ok(r);
+        }
+        let data = self.nodes[f.0 as usize];
+        let lo = self.not(data.lo)?;
+        let hi = self.not(data.hi)?;
+        let r = self.mk(data.var, lo, hi)?;
+        self.not_cache.insert(f, r);
+        self.not_cache.insert(r, f);
+        Ok(r)
+    }
+
+    /// Conjunction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the budget is exhausted.
+    pub fn and(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, BddError> {
+        self.apply(Op::And, f, g)
+    }
+
+    /// Disjunction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the budget is exhausted.
+    pub fn or(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, BddError> {
+        self.apply(Op::Or, f, g)
+    }
+
+    /// Exclusive or.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the budget is exhausted.
+    pub fn xor(&mut self, f: BddRef, g: BddRef) -> Result<BddRef, BddError> {
+        self.apply(Op::Xor, f, g)
+    }
+
+    /// If-then-else: `i ? t : e`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the budget is exhausted.
+    pub fn ite(&mut self, i: BddRef, t: BddRef, e: BddRef) -> Result<BddRef, BddError> {
+        // ite(i,t,e) = (i ∧ t) ∨ (¬i ∧ e)
+        let it = self.and(i, t)?;
+        let ni = self.not(i)?;
+        let nie = self.and(ni, e)?;
+        self.or(it, nie)
+    }
+
+    fn apply(&mut self, op: Op, f: BddRef, g: BddRef) -> Result<BddRef, BddError> {
+        // Terminal cases.
+        match op {
+            Op::And => {
+                if f == BddRef::FALSE || g == BddRef::FALSE {
+                    return Ok(BddRef::FALSE);
+                }
+                if f == BddRef::TRUE {
+                    return Ok(g);
+                }
+                if g == BddRef::TRUE || f == g {
+                    return Ok(f);
+                }
+            }
+            Op::Or => {
+                if f == BddRef::TRUE || g == BddRef::TRUE {
+                    return Ok(BddRef::TRUE);
+                }
+                if f == BddRef::FALSE {
+                    return Ok(g);
+                }
+                if g == BddRef::FALSE || f == g {
+                    return Ok(f);
+                }
+            }
+            Op::Xor => {
+                if f == g {
+                    return Ok(BddRef::FALSE);
+                }
+                if f == BddRef::FALSE {
+                    return Ok(g);
+                }
+                if g == BddRef::FALSE {
+                    return Ok(f);
+                }
+                if f == BddRef::TRUE {
+                    return self.not(g);
+                }
+                if g == BddRef::TRUE {
+                    return self.not(f);
+                }
+            }
+        }
+        // Commutative: canonicalize operand order for the cache.
+        let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+        if let Some(&r) = self.cache.get(&(op, f, g)) {
+            return Ok(r);
+        }
+        let vf = self.var_of(f);
+        let vg = self.var_of(g);
+        let v = vf.min(vg);
+        let (f_lo, f_hi) = if vf == v {
+            let d = self.nodes[f.0 as usize];
+            (d.lo, d.hi)
+        } else {
+            (f, f)
+        };
+        let (g_lo, g_hi) = if vg == v {
+            let d = self.nodes[g.0 as usize];
+            (d.lo, d.hi)
+        } else {
+            (g, g)
+        };
+        let lo = self.apply(op, f_lo, g_lo)?;
+        let hi = self.apply(op, f_hi, g_hi)?;
+        let r = self.mk(v, lo, hi)?;
+        self.cache.insert((op, f, g), r);
+        Ok(r)
+    }
+
+    /// Evaluates the function at a point (`assignment[i]` is variable `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() < num_vars`.
+    pub fn eval(&self, f: BddRef, assignment: &[bool]) -> bool {
+        assert!(assignment.len() >= self.num_vars, "assignment too short");
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let d = self.nodes[cur.0 as usize];
+            cur = if assignment[d.var as usize] { d.hi } else { d.lo };
+        }
+        cur == BddRef::TRUE
+    }
+
+    /// Exact probability that the function is 1 when variable `i` is an
+    /// independent Bernoulli with `P(x_i = 1) = probs[i]`.
+    ///
+    /// Linear in the number of BDD nodes reachable from `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() < num_vars`.
+    pub fn probability(&self, f: BddRef, probs: &[f64]) -> f64 {
+        assert!(probs.len() >= self.num_vars, "probability vector too short");
+        let mut memo: HashMap<BddRef, f64> = HashMap::new();
+        self.prob_rec(f, probs, &mut memo)
+    }
+
+    fn prob_rec(&self, f: BddRef, probs: &[f64], memo: &mut HashMap<BddRef, f64>) -> f64 {
+        if f == BddRef::FALSE {
+            return 0.0;
+        }
+        if f == BddRef::TRUE {
+            return 1.0;
+        }
+        if let Some(&p) = memo.get(&f) {
+            return p;
+        }
+        let d = self.nodes[f.0 as usize];
+        let pv = probs[d.var as usize];
+        let p = pv * self.prob_rec(d.hi, probs, memo)
+            + (1.0 - pv) * self.prob_rec(d.lo, probs, memo);
+        memo.insert(f, p);
+        p
+    }
+
+    /// Number of satisfying assignments over all `num_vars` variables.
+    pub fn sat_count(&self, f: BddRef) -> f64 {
+        let uniform = vec![0.5; self.num_vars];
+        self.probability(f, &uniform) * (2f64).powi(self.num_vars as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_vars() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        assert!(!a.is_terminal());
+        assert!(m.eval(a, &[true, false]));
+        assert!(!m.eval(a, &[false, false]));
+    }
+
+    #[test]
+    fn basic_ops_truth() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let and = m.and(a, b).unwrap();
+        let or = m.or(a, b).unwrap();
+        let xor = m.xor(a, b).unwrap();
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let asg = [va, vb];
+            assert_eq!(m.eval(and, &asg), va && vb);
+            assert_eq!(m.eval(or, &asg), va || vb);
+            assert_eq!(m.eval(xor, &asg), va ^ vb);
+        }
+    }
+
+    #[test]
+    fn hash_consing_is_canonical() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b).unwrap();
+        let ba = m.and(b, a).unwrap();
+        assert_eq!(ab, ba);
+        let not_ab = m.not(ab).unwrap();
+        let na = m.not(a).unwrap();
+        let nb = m.not(b).unwrap();
+        let de_morgan = m.or(na, nb).unwrap();
+        assert_eq!(not_ab, de_morgan);
+    }
+
+    #[test]
+    fn ite_matches_definition() {
+        let mut m = Manager::new(3);
+        let i = m.var(0);
+        let t = m.var(1);
+        let e = m.var(2);
+        let f = m.ite(i, t, e).unwrap();
+        for mask in 0..8u32 {
+            let asg = [(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0];
+            let want = if asg[0] { asg[1] } else { asg[2] };
+            assert_eq!(m.eval(f, &asg), want);
+        }
+    }
+
+    #[test]
+    fn probability_of_products_and_xor() {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b).unwrap();
+        let abc = m.and(ab, c).unwrap();
+        let ps = [0.5, 0.25, 0.8];
+        assert!((m.probability(abc, &ps) - 0.5 * 0.25 * 0.8).abs() < 1e-12);
+        let x = m.xor(a, b).unwrap();
+        // P(a xor b) = pa(1-pb) + (1-pa)pb
+        assert!((m.probability(x, &ps) - (0.5 * 0.75 + 0.5 * 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_handles_reconvergence_exactly() {
+        // f = a ∧ (a ∨ b): equals a, so P(f) = P(a) regardless of b.
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let aob = m.or(a, b).unwrap();
+        let f = m.and(a, aob).unwrap();
+        assert_eq!(f, a); // canonical reduction
+        assert!((m.probability(f, &[0.3, 0.9]) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sat_count() {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.or(a, b).unwrap();
+        // 6 of 8 assignments satisfy a∨b.
+        assert!((m.sat_count(f) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_limit_enforced() {
+        let mut m = Manager::with_node_limit(16, 8);
+        // Parity of 16 variables needs ~2·16 nodes; must hit the limit.
+        let mut acc = m.var(0);
+        let mut failed = false;
+        for i in 1..16 {
+            let v = match m.mk(i as u32, BddRef::FALSE, BddRef::TRUE) {
+                Ok(v) => v,
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            };
+            match m.xor(acc, v) {
+                Ok(r) => acc = r,
+                Err(BddError::NodeLimit { limit }) => {
+                    assert_eq!(limit, 8);
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        assert!(failed, "node limit should have been hit");
+    }
+
+    #[test]
+    fn xor_with_constants() {
+        let mut m = Manager::new(1);
+        let a = m.var(0);
+        let t = m.constant(true);
+        let f0 = m.constant(false);
+        assert_eq!(m.xor(a, f0).unwrap(), a);
+        let na = m.not(a).unwrap();
+        assert_eq!(m.xor(a, t).unwrap(), na);
+        assert_eq!(m.xor(a, a).unwrap(), BddRef::FALSE);
+    }
+}

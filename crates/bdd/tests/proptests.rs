@@ -1,0 +1,129 @@
+//! Property-based tests of the BDD manager: canonicity, boolean-algebra
+//! laws and exact probability evaluation against truth-table enumeration.
+
+use proptest::prelude::*;
+use protest_bdd::{BddRef, Manager};
+
+/// A random boolean expression over `n` variables, as a small AST.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr(vars: usize, depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = (0..vars).prop_map(Expr::Var);
+    leaf.prop_recursive(depth, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(m: &mut Manager, e: &Expr) -> BddRef {
+    match e {
+        Expr::Var(i) => m.var(*i),
+        Expr::Not(a) => {
+            let a = build(m, a);
+            m.not(a).unwrap()
+        }
+        Expr::And(a, b) => {
+            let (a, b) = (build(m, a), build(m, b));
+            m.and(a, b).unwrap()
+        }
+        Expr::Or(a, b) => {
+            let (a, b) = (build(m, a), build(m, b));
+            m.or(a, b).unwrap()
+        }
+        Expr::Xor(a, b) => {
+            let (a, b) = (build(m, a), build(m, b));
+            m.xor(a, b).unwrap()
+        }
+    }
+}
+
+fn eval(e: &Expr, asg: &[bool]) -> bool {
+    match e {
+        Expr::Var(i) => asg[*i],
+        Expr::Not(a) => !eval(a, asg),
+        Expr::And(a, b) => eval(a, asg) && eval(b, asg),
+        Expr::Or(a, b) => eval(a, asg) || eval(b, asg),
+        Expr::Xor(a, b) => eval(a, asg) ^ eval(b, asg),
+    }
+}
+
+const VARS: usize = 5;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn bdd_eval_matches_ast(e in arb_expr(VARS, 5)) {
+        let mut m = Manager::new(VARS);
+        let f = build(&mut m, &e);
+        for mask in 0..(1u32 << VARS) {
+            let asg: Vec<bool> = (0..VARS).map(|i| (mask >> i) & 1 == 1).collect();
+            prop_assert_eq!(m.eval(f, &asg), eval(&e, &asg), "mask {}", mask);
+        }
+    }
+
+    #[test]
+    fn probability_matches_weighted_enumeration(
+        e in arb_expr(VARS, 4),
+        ps in proptest::collection::vec(0.0f64..=1.0, VARS),
+    ) {
+        let mut m = Manager::new(VARS);
+        let f = build(&mut m, &e);
+        let mut want = 0.0f64;
+        for mask in 0..(1u32 << VARS) {
+            let asg: Vec<bool> = (0..VARS).map(|i| (mask >> i) & 1 == 1).collect();
+            if eval(&e, &asg) {
+                let mut w = 1.0;
+                for (i, &p) in ps.iter().enumerate() {
+                    w *= if asg[i] { p } else { 1.0 - p };
+                }
+                want += w;
+            }
+        }
+        let got = m.probability(f, &ps);
+        prop_assert!((got - want).abs() < 1e-9, "got {}, want {}", got, want);
+    }
+
+    #[test]
+    fn canonicity_of_equivalent_forms(e in arb_expr(VARS, 4)) {
+        // f and ¬¬f are the same node; f ⊕ f is FALSE; f ∧ f = f.
+        let mut m = Manager::new(VARS);
+        let f = build(&mut m, &e);
+        let nf = m.not(f).unwrap();
+        let nnf = m.not(nf).unwrap();
+        prop_assert_eq!(nnf, f);
+        prop_assert_eq!(m.xor(f, f).unwrap(), BddRef::FALSE);
+        prop_assert_eq!(m.and(f, f).unwrap(), f);
+        // De Morgan.
+        let g = build(&mut m, &e); // same node (hash consing)
+        prop_assert_eq!(g, f);
+    }
+
+    #[test]
+    fn ite_decomposition(e in arb_expr(3, 3)) {
+        // ite(x0, f|x0=1-ish, f|x0=0-ish) rebuilt from ops must agree with
+        // direct construction on all points.
+        let mut m = Manager::new(VARS);
+        let f = build(&mut m, &e);
+        let x0 = m.var(0);
+        let fx = m.and(x0, f).unwrap();
+        let nx0 = m.not(x0).unwrap();
+        let fnx = m.and(nx0, f).unwrap();
+        let back = m.or(fx, fnx).unwrap();
+        prop_assert_eq!(back, f, "f = x·f ∨ ¬x·f must hold");
+    }
+}

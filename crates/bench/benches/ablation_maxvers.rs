@@ -1,0 +1,47 @@
+//! Ablation: estimator cost vs the `MAXVERS`/`MAXLIST` parameters the paper
+//! introduces (Sec. 2). The accuracy side of the ablation lives in the
+//! `model_calibration` binary; this measures cost: conditioning is
+//! exponential in `MAXVERS`, and the cone searches grow with `MAXLIST`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use protest_circuits::mult_abcd;
+use protest_core::{Analyzer, AnalyzerParams, InputProbs};
+
+fn ablate_maxvers(c: &mut Criterion) {
+    let circuit = mult_abcd();
+    let probs = InputProbs::uniform(circuit.num_inputs());
+    let mut group = c.benchmark_group("maxvers_mult");
+    group.sample_size(10);
+    for maxvers in [0usize, 2, 5, 8] {
+        let params = AnalyzerParams {
+            maxvers,
+            ..AnalyzerParams::default()
+        };
+        let analyzer = Analyzer::with_params(&circuit, params);
+        group.bench_with_input(BenchmarkId::from_parameter(maxvers), &maxvers, |b, _| {
+            b.iter(|| analyzer.run(&probs).expect("analysis succeeds"))
+        });
+    }
+    group.finish();
+}
+
+fn ablate_maxlist(c: &mut Criterion) {
+    let circuit = mult_abcd();
+    let probs = InputProbs::uniform(circuit.num_inputs());
+    let mut group = c.benchmark_group("maxlist_mult");
+    group.sample_size(10);
+    for maxlist in [4usize, 10, 16] {
+        let params = AnalyzerParams {
+            maxlist,
+            ..AnalyzerParams::default()
+        };
+        let analyzer = Analyzer::with_params(&circuit, params);
+        group.bench_with_input(BenchmarkId::from_parameter(maxlist), &maxlist, |b, _| {
+            b.iter(|| analyzer.run(&probs).expect("analysis succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablate_maxvers, ablate_maxlist);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion companion to Table 7: analysis wall-clock across the size
+//! ladder. The paper's claim is near-linear scaling of the estimation pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use protest_circuits::size_ladder;
+use protest_core::{Analyzer, InputProbs};
+use protest_netlist::transistor_count;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+    for circuit in size_ladder() {
+        let transistors = transistor_count(&circuit);
+        let analyzer = Analyzer::new(&circuit);
+        let probs = InputProbs::uniform(circuit.num_inputs());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{transistors}t")),
+            &circuit,
+            |b, _| b.iter(|| analyzer.run(&probs).expect("analysis succeeds")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_analyzer_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyzer_build");
+    group.sample_size(10);
+    for circuit in size_ladder() {
+        let transistors = transistor_count(&circuit);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{transistors}t")),
+            &circuit,
+            |b, ckt| b.iter(|| Analyzer::new(ckt)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis, bench_analyzer_build);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Fault-simulator benchmarks: event-driven PPSFP vs the naive serial
+//! reference, and the cost of `P_SIM` detection counting (the substrate
+//! behind Tables 1/2/6 and Figs. 5/6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protest_circuits::{alu_74181, mult_abcd};
+use protest_sim::serial::detect_block_serial;
+use protest_sim::{FaultSim, FaultUniverse, LogicSim, PatternSource, UniformRandomPatterns};
+
+fn bench_ppsfp_vs_serial(c: &mut Criterion) {
+    let circuit = alu_74181();
+    let universe = FaultUniverse::all(&circuit);
+    let faults = universe.faults();
+    let mut src = UniformRandomPatterns::new(circuit.num_inputs(), 1);
+    let mut inputs = vec![0u64; circuit.num_inputs()];
+    src.next_block(&mut inputs);
+    let mut logic = LogicSim::new(&circuit);
+    logic.run_block_internal(&inputs);
+    let good = logic.values().to_vec();
+
+    let mut group = c.benchmark_group("faultsim_alu_block");
+    group.bench_function("ppsfp", |b| {
+        let mut fsim = FaultSim::new(&circuit);
+        b.iter(|| {
+            let mut detected = 0u64;
+            for &f in faults {
+                detected += fsim.detect_block(f, &good).count_ones() as u64;
+            }
+            detected
+        })
+    });
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            let mut detected = 0u64;
+            for &f in faults {
+                detected += detect_block_serial(&circuit, f, &inputs).count_ones() as u64;
+            }
+            detected
+        })
+    });
+    group.finish();
+}
+
+fn bench_counting_mult(c: &mut Criterion) {
+    let circuit = mult_abcd();
+    let universe = FaultUniverse::all(&circuit);
+    let mut group = c.benchmark_group("faultsim_mult");
+    group.sample_size(10);
+    group.bench_function("count_1024_patterns", |b| {
+        b.iter(|| {
+            let mut fsim = FaultSim::new(&circuit);
+            let mut src = UniformRandomPatterns::new(circuit.num_inputs(), 7);
+            fsim.count_detections(universe.faults(), &mut src, 1024)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ppsfp_vs_serial, bench_counting_mult);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion companion to Table 8: optimization cost scaling. Uses reduced
+//! round budgets so the bench suite stays minutes, not hours; Table 8's
+//! binary measures full runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use protest_circuits::{alu_74181, mult_array};
+use protest_core::optimize::{HillClimber, OptimizeParams};
+use protest_core::Analyzer;
+use protest_netlist::transistor_count;
+
+fn bench_optimize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize_2rounds");
+    group.sample_size(10);
+    for circuit in [mult_array(3), alu_74181(), mult_array(6)] {
+        let transistors = transistor_count(&circuit);
+        let analyzer = Analyzer::new(&circuit);
+        let params = OptimizeParams {
+            n_target: 2000,
+            max_rounds: 2,
+            ..OptimizeParams::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{transistors}t_{}in", circuit.num_inputs())),
+            &circuit,
+            |b, _| {
+                b.iter(|| {
+                    HillClimber::new(&analyzer, params)
+                        .optimize()
+                        .expect("optimization succeeds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimize);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Signal-probability methods head-to-head on the ALU: the PROTEST
+//! estimator vs exact (exhaustive, BDD), Monte-Carlo sampling (the STAFAN
+//! approach of [AgJa84]) and the cutting-bound interval method [BDS84] —
+//! the alternatives the paper positions itself against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protest_circuits::alu_74181;
+use protest_core::sigprob::{
+    bdd_signal_probs, exhaustive_signal_probs, monte_carlo_signal_probs, signal_prob_bounds,
+};
+use protest_core::{Analyzer, InputProbs};
+
+fn bench_methods(c: &mut Criterion) {
+    let circuit = alu_74181();
+    let probs = InputProbs::uniform(circuit.num_inputs());
+    let mut group = c.benchmark_group("sigprob_alu");
+    group.sample_size(10);
+    group.bench_function("protest_estimator", |b| {
+        let analyzer = Analyzer::new(&circuit);
+        b.iter(|| analyzer.run(&probs).expect("analysis succeeds"))
+    });
+    group.bench_function("exact_exhaustive_2^14", |b| {
+        b.iter(|| exhaustive_signal_probs(&circuit, &probs).expect("fits the limit"))
+    });
+    group.bench_function("exact_bdd", |b| {
+        b.iter(|| bdd_signal_probs(&circuit, &probs, 1_000_000).expect("fits the budget"))
+    });
+    group.bench_function("monte_carlo_4096", |b| {
+        b.iter(|| monte_carlo_signal_probs(&circuit, &probs, 4096, 3).expect("valid probs"))
+    });
+    group.bench_function("cutting_bounds", |b| {
+        b.iter(|| signal_prob_bounds(&circuit, &probs).expect("valid probs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

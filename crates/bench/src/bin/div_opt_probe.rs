@@ -1,0 +1,42 @@
+//! Diagnostic: DIV optimizer configurations vs simulated coverage.
+//! Not a paper table; informs the optimizer defaults for Tables 5/6.
+
+use protest_bench::banner;
+use protest_circuits::div16;
+use protest_core::optimize::{HillClimber, OptimizeParams};
+use protest_core::Analyzer;
+use protest_sim::{coverage_run, WeightedRandomPatterns};
+
+fn main() {
+    banner("diagnostic — DIV optimizer configurations", "Sec. 6");
+    let circuit = div16();
+    let analyzer = Analyzer::new(&circuit);
+    let faults = analyzer.faults().to_vec();
+    for (label, n_target, seed, start) in [
+        ("N=10000 from uniform", 10_000u64, 0u64, None),
+        ("N=2000  from uniform", 2_000, 0, None),
+    ] {
+        let params = OptimizeParams {
+            n_target,
+            seed,
+            ..OptimizeParams::default()
+        };
+        let hc = HillClimber::new(&analyzer, params);
+        let result = match start {
+            None => hc.optimize(),
+            Some(k) => hc.optimize_from_grid(vec![k; circuit.num_inputs()]),
+        }
+        .expect("optimization succeeds");
+        let mut src = WeightedRandomPatterns::new(result.probs.as_slice(), 0x77);
+        let curve = coverage_run(&circuit, &faults, &mut src, &[1000, 4000, 12000]);
+        let ks: Vec<u32> = result.grid_ks.clone();
+        println!(
+            "{label}: coverage@1k/4k/12k = {:.1}/{:.1}/{:.1}%  ks(n)={:?} ks(d)={:?}",
+            curve.checkpoints[0].percent,
+            curve.checkpoints[1].percent,
+            curve.checkpoints[2].percent,
+            &ks[..16],
+            &ks[16..],
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Diagnostic: DIV structural variants vs the paper's Table 3/6 shape.
+//! Compares the non-restoring array with all outputs against a
+//! quotient-only version (remainder unobservable).
+
+use protest_bench::banner;
+use protest_circuits::div_nonrestoring;
+use protest_core::optimize::{HillClimber, OptimizeParams};
+use protest_core::testlen::required_test_length_fraction;
+use protest_core::{Analyzer, InputProbs};
+use protest_netlist::{Circuit, CircuitBuilder, Levels};
+use protest_sim::{coverage_run, UniformRandomPatterns, WeightedRandomPatterns};
+
+/// Rebuilds a circuit keeping only outputs whose name starts with `q`.
+fn quotient_only(circuit: &Circuit) -> Circuit {
+    let mut b = CircuitBuilder::new(format!("{}_qonly", circuit.name()));
+    let levels = Levels::new(circuit);
+    let mut map = vec![protest_netlist::NodeId::from_index(0); circuit.num_nodes()];
+    for &i in circuit.inputs() {
+        map[i.index()] = b.input(circuit.node(i).name().unwrap_or("in").to_string());
+    }
+    for &id in levels.order() {
+        let node = circuit.node(id);
+        if matches!(node.kind(), protest_netlist::GateKind::Input) {
+            continue;
+        }
+        let fanins: Vec<_> = node.fanins().iter().map(|&f| map[f.index()]).collect();
+        map[id.index()] = b.gate(node.kind(), &fanins);
+    }
+    for (i, &o) in circuit.outputs().iter().enumerate() {
+        if let Some(name) = circuit.output_name(i) {
+            if name.starts_with('q') {
+                b.output(map[o.index()], name.to_string());
+            }
+        }
+    }
+    b.finish().expect("rebuild preserves validity")
+}
+
+fn probe(label: &str, circuit: &Circuit) {
+    let analyzer = Analyzer::new(circuit);
+    let analysis = analyzer
+        .run(&InputProbs::uniform(circuit.num_inputs()))
+        .expect("analysis succeeds");
+    let ps: Vec<f64> = analysis
+        .detection_probabilities()
+        .into_iter()
+        .filter(|&p| p > 0.0)
+        .collect();
+    let undet = analysis.fault_estimates().len() - ps.len();
+    let n100 = required_test_length_fraction(&ps, 1.0, 0.95);
+    let n98 = required_test_length_fraction(&ps, 0.98, 0.95);
+    let mut uni = UniformRandomPatterns::new(circuit.num_inputs(), 0x61);
+    let faults = analyzer.faults().to_vec();
+    let cov_uni = coverage_run(circuit, &faults, &mut uni, &[12_000]).final_percent();
+    let params = OptimizeParams {
+        n_target: 10_000,
+        ..OptimizeParams::default()
+    };
+    let result = HillClimber::new(&analyzer, params)
+        .optimize()
+        .expect("optimization succeeds");
+    let mut wtd = WeightedRandomPatterns::new(result.probs.as_slice(), 0x62);
+    let cov_wtd = coverage_run(circuit, &faults, &mut wtd, &[12_000]).final_percent();
+    let optimized = analyzer.run(&result.probs).expect("analysis succeeds");
+    let po: Vec<f64> = optimized
+        .detection_probabilities()
+        .into_iter()
+        .filter(|&p| p > 0.0)
+        .collect();
+    let n_opt = required_test_length_fraction(&po, 1.0, 0.95);
+    let show = |n: Option<protest_core::TestLength>| {
+        n.map_or("unreach".to_string(), |t| t.patterns.to_string())
+    };
+    println!(
+        "{label}: faults={} undet={undet} N(d=1)={} N(d=.98)={} N_opt(d=1)={} \
+         cov@12k uni={cov_uni:.1}% opt={cov_wtd:.1}%",
+        faults.len(),
+        show(n100),
+        show(n98),
+        show(n_opt),
+    );
+}
+
+fn main() {
+    banner("diagnostic — DIV variants", "Tables 3/5/6");
+    let full = div_nonrestoring(16, 16);
+    probe("nr16x16 full    ", &full);
+    let qonly = quotient_only(&full);
+    probe("nr16x16 q-only  ", &qonly);
+}

@@ -1,0 +1,60 @@
+//! Calibration: correlation of each observability-model combination against
+//! fault simulation on ALU and MULT. Informs the default `AnalyzerParams`
+//! and the ablation bench; not itself a paper table.
+
+use std::time::Instant;
+
+use protest_bench::{banner, TextTable};
+use protest_circuits::{alu_74181, mult_abcd};
+use protest_core::stats::{max_abs_error, mean_abs_error, pearson_correlation};
+use protest_core::{
+    Analyzer, AnalyzerParams, InputProbs, ObservabilityModel, PinSensitivityModel,
+};
+use protest_sim::{FaultSim, WeightedRandomPatterns};
+
+fn main() {
+    banner("model calibration — observability variants vs P_SIM", "Sec. 3/4");
+    let mut table = TextTable::new(&[
+        "circuit", "stem", "pin", "maxvers", "max_err", "avg_err", "corr", "secs",
+    ]);
+    for (name, circuit) in [("ALU", alu_74181()), ("MULT", mult_abcd())] {
+        let probs = InputProbs::uniform(circuit.num_inputs());
+        // Ground truth once per circuit.
+        let base = Analyzer::new(&circuit);
+        let mut fsim = FaultSim::new(&circuit);
+        let mut src = WeightedRandomPatterns::new(probs.as_slice(), 0xA1);
+        let counts = fsim.count_detections(base.faults(), &mut src, 20_000);
+        let p_sim = counts.probabilities();
+        for stem in [ObservabilityModel::Parity, ObservabilityModel::AnyPath] {
+            for pin in [
+                PinSensitivityModel::ArithmeticXor,
+                PinSensitivityModel::BooleanDifference,
+            ] {
+                for maxvers in [2usize, 5, 8] {
+                    let params = AnalyzerParams {
+                        maxvers,
+                        maxlist: 10,
+                        observability: stem,
+                        pin_sensitivity: pin,
+                    };
+                    let analyzer = Analyzer::with_params(&circuit, params);
+                    let t0 = Instant::now();
+                    let analysis = analyzer.run(&probs).expect("analysis succeeds");
+                    let secs = t0.elapsed().as_secs_f64();
+                    let p_prot = analysis.detection_probabilities();
+                    table.row(&[
+                        name.to_string(),
+                        format!("{stem:?}"),
+                        format!("{pin:?}"),
+                        maxvers.to_string(),
+                        format!("{:.3}", max_abs_error(&p_prot, &p_sim)),
+                        format!("{:.3}", mean_abs_error(&p_prot, &p_sim)),
+                        format!("{:.3}", pearson_correlation(&p_prot, &p_sim)),
+                        format!("{secs:.2}"),
+                    ]);
+                }
+            }
+        }
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,80 @@
+//! Table 1: agreement between `P_PROT` and `P_SIM` on ALU and MULT.
+//!
+//! Paper values (p = 0.5 at every input):
+//!
+//! ```text
+//!        Δ_max   Δ      C₀
+//! ALU    0.15    0.04   0.97
+//! MULT   0.48    0.11   0.90
+//! ```
+//!
+//! `P_SIM` is the per-fault detection frequency over random patterns from a
+//! detection-counting (non-dropping) fault simulation; `P_PROT` is the
+//! estimate. Both stem-recombination models the paper implements are shown:
+//! the parity model reproduces the paper's MULT row, the any-path
+//! ("many outputs") model its ALU row. Correlations ≥ 0.9 and a systematic
+//! `P_SIM ≥ P_PROT` bias are the qualitative claims under reproduction.
+
+use std::time::Instant;
+
+use protest_bench::{banner, TextTable};
+use protest_circuits::{alu_74181, mult_abcd};
+use protest_core::stats::{max_abs_error, mean_abs_error, pearson_correlation};
+use protest_core::{Analyzer, AnalyzerParams, InputProbs, ObservabilityModel};
+use protest_sim::{FaultSim, WeightedRandomPatterns};
+
+fn main() {
+    banner(
+        "Table 1 — P_PROT vs P_SIM errors and correlation",
+        "Sec. 4, Table 1",
+    );
+    let patterns = 20_000u64;
+    let mut table = TextTable::new(&[
+        "circuit", "model", "faults", "max_err", "avg_err", "corr", "paper(max,avg,corr)",
+    ]);
+    for (name, circuit, paper) in [
+        ("ALU", alu_74181(), "(0.15, 0.04, 0.97)"),
+        ("MULT", mult_abcd(), "(0.48, 0.11, 0.90)"),
+    ] {
+        let probs = InputProbs::uniform(circuit.num_inputs());
+        // Ground truth once per circuit (model-independent).
+        let base = Analyzer::new(&circuit);
+        let mut fsim = FaultSim::new(&circuit);
+        let mut src = WeightedRandomPatterns::new(probs.as_slice(), 0xA1);
+        let counts = fsim.count_detections(base.faults(), &mut src, patterns);
+        let p_sim = counts.probabilities();
+
+        for stem in [ObservabilityModel::Parity, ObservabilityModel::AnyPath] {
+            let params = AnalyzerParams {
+                observability: stem,
+                ..AnalyzerParams::default()
+            };
+            let analyzer = Analyzer::with_params(&circuit, params);
+            let t0 = Instant::now();
+            let analysis = analyzer.run(&probs).expect("analysis succeeds");
+            let secs = t0.elapsed().as_secs_f64();
+            let p_prot = analysis.detection_probabilities();
+            let under = p_prot
+                .iter()
+                .zip(&p_sim)
+                .filter(|&(&p, &s)| p <= s + 0.02)
+                .count();
+            println!(
+                "{name}/{stem:?}: analysis {secs:.3}s; {under}/{} faults with \
+                 P_PROT ≤ P_SIM (+2% slack) — the paper's under-estimation bias",
+                p_prot.len()
+            );
+            table.row(&[
+                name.to_string(),
+                format!("{stem:?}"),
+                p_prot.len().to_string(),
+                format!("{:.3}", max_abs_error(&p_prot, &p_sim)),
+                format!("{:.3}", mean_abs_error(&p_prot, &p_sim)),
+                format!("{:.3}", pearson_correlation(&p_prot, &p_sim)),
+                paper.to_string(),
+            ]);
+        }
+    }
+    println!("\n{}", table.render());
+    println!("(P_SIM from {patterns} uniform random patterns, counting mode, no dropping)");
+}

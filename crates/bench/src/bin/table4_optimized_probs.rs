@@ -1,0 +1,66 @@
+//! Table 4: optimized input signal probabilities for COMP.
+//!
+//! The paper's hill climber proposes per-input probabilities on the k/16
+//! grid — e.g. `A0 0.63, B0 0.56, …, A23 0.94, B23 0.88, TI1..3 0.63` —
+//! "remarkable how much the optimal input probabilities differ from the
+//! conventionally used value of 0.5". The qualitative shape under
+//! reproduction: values live on the k/16 grid, the bulk of the data inputs
+//! move far from 0.5 (equality-friendly extremes), and the objective
+//! improves monotonically.
+
+use std::time::Instant;
+
+use protest_bench::{banner, TextTable};
+use protest_circuits::comp24;
+use protest_core::optimize::{HillClimber, OptimizeParams};
+use protest_core::Analyzer;
+
+fn main() {
+    banner("Table 4 — optimized input probabilities for COMP", "Sec. 6, Table 4");
+    let circuit = comp24();
+    let analyzer = Analyzer::new(&circuit);
+    let params = OptimizeParams {
+        n_target: 10_000,
+        ..OptimizeParams::default()
+    };
+    let t0 = Instant::now();
+    let result = HillClimber::new(&analyzer, params)
+        .optimize()
+        .expect("optimization succeeds");
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "hill climbing: {} rounds, {} objective evaluations, {:.1}s",
+        result.rounds, result.evaluations, secs
+    );
+    println!(
+        "objective (−ln E[#undetected] at N = {}): {:.3} → {:.3}\n",
+        params.n_target, result.initial_objective_ln, result.objective_ln
+    );
+    let mut table = TextTable::new(&["input", "p_opt", "input", "p_opt", "input", "p_opt"]);
+    let names: Vec<String> = (0..circuit.num_inputs())
+        .map(|i| circuit.node_label(circuit.inputs()[i]))
+        .collect();
+    let ps = result.probs.as_slice();
+    for row in 0..(names.len() + 2) / 3 {
+        let mut cells = Vec::with_capacity(6);
+        for col in 0..3 {
+            let i = row + col * ((names.len() + 2) / 3);
+            if i < names.len() {
+                cells.push(names[i].clone());
+                cells.push(format!("{:.2}", ps[i]));
+            } else {
+                cells.push(String::new());
+                cells.push(String::new());
+            }
+        }
+        table.row(&cells);
+    }
+    println!("{}", table.render());
+    let moved = ps.iter().filter(|&&p| (p - 0.5).abs() > 0.2).count();
+    println!(
+        "{} of {} inputs moved > 0.2 from the conventional 0.5 (paper: most of \
+         A/B sit at 0.88/0.94 or mirrored lows; TI at 0.63)",
+        moved,
+        ps.len()
+    );
+}

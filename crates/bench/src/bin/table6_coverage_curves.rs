@@ -1,0 +1,75 @@
+//! Table 6: fault coverage vs pattern count, conventional (p = 0.5) versus
+//! PROTEST-optimized weighted random patterns, for DIV and COMP.
+//!
+//! Paper values (coverage %, 12 000 patterns max):
+//!
+//! ```text
+//! patterns   DIV not-opt  DIV opt   COMP not-opt  COMP opt
+//! 10         11.8         26.1      32.1          44.5
+//! 100        56.5         66.3      70.4          72.7
+//! 1000       69.1         94.6      75.8          95.4
+//! 4000       74.7         99.1      79.6          99.4
+//! 12000      77.2         99.7      80.7          99.7
+//! ```
+//!
+//! "Conventional random pattern test yields very insufficient results
+//! whereas the pattern sets proposed by PROTEST detect nearly all faults."
+//! The claim under reproduction: the not-optimized curves plateau far below
+//! full coverage while the optimized curves approach ~100 %.
+
+use protest_bench::{banner, TextTable};
+use protest_circuits::{comp24, div16};
+use protest_core::optimize::{HillClimber, OptimizeParams};
+use protest_core::Analyzer;
+use protest_sim::{coverage_run, UniformRandomPatterns, WeightedRandomPatterns};
+
+const CHECKPOINTS: [u64; 14] = [
+    10, 100, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000, 11000, 12000,
+];
+
+fn main() {
+    banner(
+        "Table 6 — fault coverage by simulation of random patterns",
+        "Sec. 6, Table 6",
+    );
+    let mut table = TextTable::new(&[
+        "patterns", "DIV not-opt", "DIV optim.", "COMP not-opt", "COMP optim.",
+    ]);
+    let mut curves = Vec::new();
+    for circuit in [div16(), comp24()] {
+        let analyzer = Analyzer::new(&circuit);
+        let faults = analyzer.faults().to_vec();
+        // Conventional uniform patterns.
+        let mut uni = UniformRandomPatterns::new(circuit.num_inputs(), 0x61);
+        let not_opt = coverage_run(&circuit, &faults, &mut uni, &CHECKPOINTS);
+        // PROTEST-optimized weighted patterns.
+        let params = OptimizeParams {
+            n_target: 10_000,
+            ..OptimizeParams::default()
+        };
+        let result = HillClimber::new(&analyzer, params)
+            .optimize()
+            .expect("optimization succeeds");
+        let mut wsrc = WeightedRandomPatterns::new(result.probs.as_slice(), 0x62);
+        let opt = coverage_run(&circuit, &faults, &mut wsrc, &CHECKPOINTS);
+        curves.push((not_opt, opt));
+    }
+    for (i, &cp) in CHECKPOINTS.iter().enumerate() {
+        table.row(&[
+            cp.to_string(),
+            format!("{:.1}", curves[0].0.checkpoints[i].percent),
+            format!("{:.1}", curves[0].1.checkpoints[i].percent),
+            format!("{:.1}", curves[1].0.checkpoints[i].percent),
+            format!("{:.1}", curves[1].1.checkpoints[i].percent),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "final coverages — DIV: {:.1}% → {:.1}%, COMP: {:.1}% → {:.1}% \
+         (paper: 77.2 → 99.7 and 80.7 → 99.7)",
+        curves[0].0.final_percent(),
+        curves[0].1.final_percent(),
+        curves[1].0.final_percent(),
+        curves[1].1.final_percent(),
+    );
+}

@@ -1,0 +1,72 @@
+//! Table 7: analysis CPU time over a circuit-size ladder.
+//!
+//! Paper values (SIEMENS 7561, ~2.4 MIPS):
+//!
+//! ```text
+//! transistors  est. test set   CPU s
+//!        368             594     0.4
+//!      1 274          78 000     0.7
+//!      2 496     120 000 000     1.0
+//!     26 450          32 950    23.0
+//!     47 936       8 284 000    41.0
+//! ```
+//!
+//! Absolute seconds are hardware-bound; the *shape* under reproduction is
+//! near-linear growth of analysis time with circuit size (the paper's
+//! central efficiency claim: estimation works "with nearly linear effort"
+//! where exact computation is NP-hard). Our ladder: array multipliers of
+//! growing width (see `protest_circuits::size_ladder`) plus the paper's
+//! four circuits.
+
+use protest_bench::{banner, timed_analysis, TextTable};
+use protest_circuits::{alu_74181, comp24, div16, mult_abcd, size_ladder};
+use protest_core::testlen::required_test_length_fraction;
+use protest_core::InputProbs;
+use protest_netlist::{transistor_count, Circuit};
+
+fn main() {
+    banner("Table 7 — CPU time for the analysis", "Sec. 7, Table 7");
+    let mut circuits: Vec<Circuit> = size_ladder();
+    circuits.push(alu_74181());
+    circuits.push(mult_abcd());
+    circuits.push(div16());
+    circuits.push(comp24());
+    circuits.sort_by_key(transistor_count);
+    let mut table = TextTable::new(&[
+        "circuit", "transistors", "est. test set (d=0.98,e=0.95)", "CPU s",
+    ]);
+    let mut sizes = Vec::new();
+    let mut times = Vec::new();
+    for circuit in &circuits {
+        let probs = InputProbs::uniform(circuit.num_inputs());
+        let (analysis, secs) = timed_analysis(circuit, &probs);
+        let ps: Vec<f64> = analysis
+            .detection_probabilities()
+            .into_iter()
+            .filter(|&p| p > 0.0)
+            .collect();
+        let n = required_test_length_fraction(&ps, 0.98, 0.95)
+            .map_or("unreachable".to_string(), |t| t.patterns.to_string());
+        let transistors = transistor_count(circuit);
+        table.row(&[
+            circuit.name().to_string(),
+            transistors.to_string(),
+            n,
+            format!("{secs:.3}"),
+        ]);
+        sizes.push(transistors as f64);
+        times.push(secs);
+    }
+    println!("{}", table.render());
+    // Scaling shape: time between the two largest rungs should grow no
+    // faster than ~quadratically in transistor count (near-linear claim,
+    // generous slack for cache effects).
+    let k = sizes.len();
+    let growth = (times[k - 1] / times[k - 2]) / (sizes[k - 1] / sizes[k - 2]);
+    println!(
+        "largest-rung growth: time ×{:.1} for size ×{:.1} (ratio {:.2}; ~1 ⇒ linear)",
+        times[k - 1] / times[k - 2],
+        sizes[k - 1] / sizes[k - 2],
+        growth
+    );
+}

@@ -1,0 +1,202 @@
+//! Shared harness utilities for the table/figure reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's experiment index). This library holds the common
+//! plumbing: the `P_PROT` vs `P_SIM` pipeline, text tables, ASCII scatter
+//! plots and CSV emission.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use protest_core::{Analyzer, CircuitAnalysis, InputProbs};
+use protest_netlist::Circuit;
+use protest_sim::{FaultSim, WeightedRandomPatterns};
+
+/// Per-fault comparison data: PROTEST estimate vs fault-simulation ground
+/// truth (`P_PROT`, `P_SIM`).
+#[derive(Debug, Clone)]
+pub struct CorrelationData {
+    /// Estimated detection probabilities, aligned with the analyzer's
+    /// collapsed fault list.
+    pub p_prot: Vec<f64>,
+    /// Simulated detection frequencies (detection-counting fault sim).
+    pub p_sim: Vec<f64>,
+    /// Number of simulated patterns behind `p_sim`.
+    pub patterns: u64,
+    /// Wall-clock seconds spent in the analysis (estimation only).
+    pub analysis_seconds: f64,
+}
+
+/// Runs the full Table-1 pipeline on one circuit: analyze with `probs`,
+/// then fault-simulate `patterns` weighted random patterns *without fault
+/// dropping* to measure `P_SIM`.
+pub fn correlation_data(
+    circuit: &Circuit,
+    probs: &InputProbs,
+    patterns: u64,
+    seed: u64,
+) -> CorrelationData {
+    let analyzer = Analyzer::new(circuit);
+    let t0 = Instant::now();
+    let analysis = analyzer.run(probs).expect("analysis succeeds");
+    let analysis_seconds = t0.elapsed().as_secs_f64();
+    let p_prot = analysis.detection_probabilities();
+    let mut fsim = FaultSim::new(circuit);
+    let mut src = WeightedRandomPatterns::new(probs.as_slice(), seed);
+    let counts = fsim.count_detections(analyzer.faults(), &mut src, patterns);
+    CorrelationData {
+        p_prot,
+        p_sim: counts.probabilities(),
+        patterns: counts.patterns,
+        analysis_seconds,
+    }
+}
+
+/// Convenience: run an analysis and return it with its wall-clock time.
+pub fn timed_analysis(circuit: &Circuit, probs: &InputProbs) -> (CircuitAnalysis, f64) {
+    let analyzer = Analyzer::new(circuit);
+    let t0 = Instant::now();
+    let analysis = analyzer.run(probs).expect("analysis succeeds");
+    (analysis, t0.elapsed().as_secs_f64())
+}
+
+/// Renders an ASCII scatter plot of `(x, y)` points in the unit square,
+/// mirroring the paper's Figs. 5/6 (x = `P_PROT`, y = `P_SIM`).
+pub fn ascii_scatter(points: &[(f64, f64)], width: usize, height: usize) -> String {
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y) in points {
+        let cx = ((x.clamp(0.0, 1.0)) * (width - 1) as f64).round() as usize;
+        let cy = ((y.clamp(0.0, 1.0)) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - cy;
+        grid[row][cx] = match grid[row][cx] {
+            ' ' => '.',
+            '.' => '+',
+            '+' => '*',
+            _ => '#',
+        };
+    }
+    let mut out = String::new();
+    out.push_str("P_SIM\n");
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            "1.0|"
+        } else if i == height - 1 {
+            "0.0|"
+        } else {
+            "   |"
+        };
+        out.push_str(label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("   +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str("    0.0");
+    out.push_str(&" ".repeat(width.saturating_sub(14)));
+    out.push_str("1.0  P_PROT\n");
+    out
+}
+
+/// Emits `(P_PROT, P_SIM)` pairs as CSV text.
+pub fn scatter_csv(points: &[(f64, f64)]) -> String {
+    let mut out = String::from("p_prot,p_sim\n");
+    for &(x, y) in points {
+        out.push_str(&format!("{x:.6},{y:.6}\n"));
+    }
+    out
+}
+
+/// A minimal fixed-width text table writer.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, cell) in cells.iter().enumerate() {
+                line.push_str(&format!(" {:>w$} |", cell, w = widths[c]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('|');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('|');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Prints a standard experiment banner.
+pub fn banner(experiment: &str, paper_ref: &str) {
+    println!("{}", "=".repeat(72));
+    println!("PROTEST reproduction — {experiment}");
+    println!("paper reference: {paper_ref}");
+    println!("{}", "=".repeat(72));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_renders_aligned() {
+        let mut t = TextTable::new(&["circuit", "N"]);
+        t.row(&["ALU".into(), "212".into()]);
+        t.row(&["MULT".into(), "914".into()]);
+        let s = t.render();
+        assert!(s.contains("| circuit |"), "{s}");
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn scatter_is_bounded() {
+        let pts = [(0.0, 0.0), (1.0, 1.0), (0.5, 0.5), (0.5, 0.51)];
+        let s = ascii_scatter(&pts, 40, 20);
+        assert!(s.contains("P_PROT"));
+        assert!(s.matches('.').count() + s.matches('+').count() >= 3);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let pts = [(0.25, 0.75)];
+        let s = scatter_csv(&pts);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("0.250000,0.750000"));
+    }
+}

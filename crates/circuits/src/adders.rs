@@ -1,0 +1,171 @@
+//! Gate-level adders: building blocks (used by the multiplier and divider)
+//! and standalone circuits.
+
+use protest_netlist::{Circuit, CircuitBuilder, NodeId};
+
+/// Adds a full adder to `b`; returns `(sum, carry_out)`.
+pub(crate) fn full_adder(
+    b: &mut CircuitBuilder,
+    x: NodeId,
+    y: NodeId,
+    cin: NodeId,
+) -> (NodeId, NodeId) {
+    let s1 = b.xor2_fold(x, y);
+    let sum = b.xor2_fold(s1, cin);
+    let c1 = b.and2_fold(x, y);
+    let c2 = b.and2_fold(s1, cin);
+    let cout = b.or2_fold(c1, c2);
+    (sum, cout)
+}
+
+/// Adds a half adder to `b`; returns `(sum, carry_out)`.
+pub(crate) fn half_adder(b: &mut CircuitBuilder, x: NodeId, y: NodeId) -> (NodeId, NodeId) {
+    (b.xor2_fold(x, y), b.and2_fold(x, y))
+}
+
+/// Adds an `n`-bit ripple-carry adder network to `b`; returns
+/// `(sum_bits, carry_out)`. `a` and `c` are little-endian.
+pub(crate) fn ripple_add(
+    b: &mut CircuitBuilder,
+    a: &[NodeId],
+    c: &[NodeId],
+    cin: Option<NodeId>,
+) -> (Vec<NodeId>, NodeId) {
+    assert_eq!(a.len(), c.len(), "operand widths must match");
+    assert!(!a.is_empty());
+    let mut sums = Vec::with_capacity(a.len());
+    let mut carry = cin;
+    for i in 0..a.len() {
+        let (s, co) = match carry {
+            Some(cy) => full_adder(b, a[i], c[i], cy),
+            None => half_adder(b, a[i], c[i]),
+        };
+        sums.push(s);
+        carry = Some(co);
+    }
+    (sums, carry.expect("non-empty operands yield a carry"))
+}
+
+/// A standalone `n`-bit ripple-carry adder circuit: inputs `a0.. b0.. cin`,
+/// outputs `s0..s{n-1}, cout`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ripple_adder(n: usize) -> Circuit {
+    assert!(n > 0, "adder width must be positive");
+    let mut b = CircuitBuilder::new(format!("rca{n}"));
+    let a = b.input_bus("a", n);
+    let c = b.input_bus("b", n);
+    let cin = b.input("cin");
+    let (sums, cout) = ripple_add(&mut b, &a, &c, Some(cin));
+    for (i, s) in sums.iter().enumerate() {
+        b.output(*s, format!("s{i}"));
+    }
+    b.output(cout, "cout");
+    b.finish().expect("ripple adder construction is valid")
+}
+
+/// A standalone `n`-bit carry-lookahead adder (4-bit groups, ripple between
+/// groups): same interface as [`ripple_adder`].
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn carry_lookahead_adder(n: usize) -> Circuit {
+    assert!(n > 0, "adder width must be positive");
+    let mut b = CircuitBuilder::new(format!("cla{n}"));
+    let a = b.input_bus("a", n);
+    let c = b.input_bus("b", n);
+    let cin = b.input("cin");
+    let mut sums = Vec::with_capacity(n);
+    let mut group_cin = cin;
+    for group in a.chunks(4).zip(c.chunks(4)) {
+        let (ga, gc) = group;
+        // p_i = a ⊕ b, g_i = a·b
+        let ps: Vec<NodeId> = ga.iter().zip(gc).map(|(&x, &y)| b.xor2(x, y)).collect();
+        let gs: Vec<NodeId> = ga.iter().zip(gc).map(|(&x, &y)| b.and2(x, y)).collect();
+        // c_{i+1} = g_i ∨ p_i·g_{i-1} ∨ … ∨ p_i…p_0·cin  (flat lookahead)
+        let mut carries = vec![group_cin];
+        for i in 0..ga.len() {
+            let mut terms: Vec<NodeId> = vec![gs[i]];
+            for j in (0..=i).rev() {
+                // p_i · p_{i-1} · … · p_j · (g_{j-1} or cin)
+                let mut prod: Vec<NodeId> = ps[j..=i].to_vec();
+                let last = if j == 0 { group_cin } else { gs[j - 1] };
+                prod.push(last);
+                terms.push(b.and(&prod));
+            }
+            carries.push(b.or(&terms));
+        }
+        for i in 0..ga.len() {
+            sums.push(b.xor2(ps[i], carries[i]));
+        }
+        group_cin = *carries.last().expect("non-empty group");
+    }
+    for (i, s) in sums.iter().enumerate() {
+        b.output(*s, format!("s{i}"));
+    }
+    b.output(group_cin, "cout");
+    b.finish().expect("CLA construction is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_sim::LogicSim;
+
+    use super::*;
+
+    fn check_adder(ckt: &Circuit, n: usize) {
+        let mut sim = LogicSim::new(ckt);
+        let limit = 1u64 << n;
+        // Sweep a grid of operand pairs (exhaustive for small n).
+        let step = if n <= 4 { 1 } else { (limit / 16).max(1) };
+        let mut av = 0;
+        while av < limit {
+            let mut bv = 0;
+            while bv < limit {
+                for cin in 0..2u64 {
+                    let mut inputs = Vec::with_capacity(2 * n + 1);
+                    for i in 0..n {
+                        inputs.push(((av >> i) & 1) * !0u64);
+                    }
+                    for i in 0..n {
+                        inputs.push(((bv >> i) & 1) * !0u64);
+                    }
+                    inputs.push(cin * !0u64);
+                    let out = sim.run_block(&inputs);
+                    let mut got = 0u64;
+                    for (i, w) in out.iter().take(n).enumerate() {
+                        got |= (w & 1) << i;
+                    }
+                    let cout = out[n] & 1;
+                    let want = av + bv + cin;
+                    assert_eq!(got | (cout << n), want, "a={av} b={bv} cin={cin}");
+                }
+                bv += step;
+            }
+            av += step;
+        }
+    }
+
+    #[test]
+    fn ripple_adder_4_exhaustive() {
+        check_adder(&ripple_adder(4), 4);
+    }
+
+    #[test]
+    fn ripple_adder_8_grid() {
+        check_adder(&ripple_adder(8), 8);
+    }
+
+    #[test]
+    fn cla_4_exhaustive() {
+        check_adder(&carry_lookahead_adder(4), 4);
+    }
+
+    #[test]
+    fn cla_10_grid_with_partial_group() {
+        check_adder(&carry_lookahead_adder(10), 10);
+    }
+}

@@ -1,0 +1,253 @@
+//! The TTL SN74181 4-bit ALU — "ALU" in the paper's evaluation.
+//!
+//! Rebuilt gate-by-gate from the datasheet logic diagram: per-bit AND/NOR
+//! first level producing the internal active-low signals `E_i` (propagate
+//! complement) and `D_i` (generate complement), a ripple/lookahead internal
+//! carry chain gated by the mode input `M`, XOR sum outputs, and the
+//! `A=B`, `C_{n+4}`, `P̄`, `Ḡ` auxiliary outputs.
+//!
+//! Input order (14): `a0..a3, b0..b3, s0..s3, m, cn`. The carry pin `cn` is
+//! active-low for active-high data (as on the real part): the effective
+//! arithmetic carry-in is `¬cn`.
+
+use protest_netlist::{Circuit, CircuitBuilder};
+
+/// Builds the SN74181 gate-level circuit.
+///
+/// Outputs (8): `f0..f3, aeb, cn4, pbar, gbar`.
+pub fn alu_74181() -> Circuit {
+    let mut b = CircuitBuilder::new("alu74181");
+    let a = b.input_bus("a", 4);
+    let bb = b.input_bus("b", 4);
+    let s = b.input_bus("s", 4);
+    let m = b.input("m");
+    let cn = b.input("cn");
+
+    // First level, per bit: E_i = NOR(a, b·s0, ¬b·s1),
+    //                       D_i = NOR(a·¬b·s2, a·b·s3).
+    let mut e = Vec::with_capacity(4);
+    let mut d = Vec::with_capacity(4);
+    let mut p = Vec::with_capacity(4); // propagate  = ¬E
+    let mut g = Vec::with_capacity(4); // generate   = ¬D
+    for i in 0..4 {
+        let nb = b.not(bb[i]);
+        let t1 = b.and2(bb[i], s[0]);
+        let t2 = b.and2(nb, s[1]);
+        let ei = b.nor(&[a[i], t1, t2]);
+        let t3 = b.and(&[a[i], nb, s[2]]);
+        let t4 = b.and(&[a[i], bb[i], s[3]]);
+        let di = b.nor2(t3, t4);
+        p.push(b.not(ei));
+        g.push(b.not(di));
+        e.push(ei);
+        d.push(di);
+    }
+
+    // Internal carries (active high): c0 = ¬cn; c_{i+1} = g_i ∨ p_i·c_i.
+    let c0 = b.not(cn);
+    let mut carries = vec![c0];
+    for i in 0..4 {
+        let t = b.and2(p[i], carries[i]);
+        carries.push(b.or2(g[i], t));
+    }
+
+    // Sum outputs: F_i = (E_i ⊕ D_i) ⊕ (M ∨ c_i). In logic mode the OR
+    // forces the carry term to 1, yielding F = ¬(E ⊕ D).
+    let mut f = Vec::with_capacity(4);
+    for i in 0..4 {
+        let ed = b.xor2(e[i], d[i]);
+        let ce = b.or2(m, carries[i]);
+        f.push(b.xor2(ed, ce));
+    }
+
+    // Auxiliary outputs.
+    let aeb = b.and(&f); // open-collector A=B: F == 1111
+    let cn4 = b.not(carries[4]); // active-low carry out
+    let pbar = b.nand(&p); // P̄ = ¬(p3·p2·p1·p0)
+    // Ḡ = ¬(g3 ∨ p3·g2 ∨ p3·p2·g1 ∨ p3·p2·p1·g0)
+    let y1 = b.and2(p[3], g[2]);
+    let y2 = b.and(&[p[3], p[2], g[1]]);
+    let y3 = b.and(&[p[3], p[2], p[1], g[0]]);
+    let gbar = b.nor(&[g[3], y1, y2, y3]);
+
+    for (i, fi) in f.iter().enumerate() {
+        b.output(*fi, format!("f{i}"));
+    }
+    b.output(aeb, "aeb");
+    b.output(cn4, "cn4");
+    b.output(pbar, "pbar");
+    b.output(gbar, "gbar");
+    b.finish().expect("74181 construction is valid")
+}
+
+/// The ALU's output bundle, as plain values (behavioral model output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AluOutputs {
+    /// 4-bit function output.
+    pub f: u8,
+    /// `A = B` comparator output (`F == 0b1111`).
+    pub aeb: bool,
+    /// Active-low ripple carry out.
+    pub cn4: bool,
+    /// Active-low carry propagate.
+    pub pbar: bool,
+    /// Active-low carry generate.
+    pub gbar: bool,
+}
+
+/// Behavioral SN74181 model derived from the datasheet function table:
+/// per-bit `p = a ∨ b·s0 ∨ ¬b·s1`, `g = a·(¬b·s2 ∨ b·s3)`; logic mode
+/// computes `F_i = ¬(p_i ⊕ g_i)`, arithmetic mode adds the two virtual
+/// operands (`x_i + y_i = p_i + g_i`) plus `¬cn`.
+///
+/// All data pins are active-high; `cn`/`cn4` are active-low carries.
+pub fn alu_behavior(a: u8, bv: u8, s: u8, m: bool, cn: bool) -> AluOutputs {
+    let mut p = [false; 4];
+    let mut g = [false; 4];
+    for i in 0..4 {
+        let ai = (a >> i) & 1 == 1;
+        let bi = (bv >> i) & 1 == 1;
+        let s0 = s & 1 == 1;
+        let s1 = (s >> 1) & 1 == 1;
+        let s2 = (s >> 2) & 1 == 1;
+        let s3 = (s >> 3) & 1 == 1;
+        p[i] = ai || (bi && s0) || (!bi && s1);
+        g[i] = ai && ((!bi && s2) || (bi && s3));
+    }
+    // The carry chain runs from p/g/cn regardless of mode (only the sum
+    // XORs see M-gated carries on the real part), so Cn+4 is live in logic
+    // mode too.
+    let cin = u32::from(!cn);
+    let total: u32 = (0..4)
+        .map(|i| ((p[i] as u32) + (g[i] as u32)) << i)
+        .sum::<u32>()
+        + cin;
+    let c4 = total >= 16;
+    let f = if m {
+        let mut f = 0u8;
+        for i in 0..4 {
+            if !(p[i] ^ g[i]) {
+                f |= 1 << i;
+            }
+        }
+        f
+    } else {
+        (total & 0xF) as u8
+    };
+    let pbar = !(p[0] && p[1] && p[2] && p[3]);
+    let gbar = !(g[3] || (p[3] && g[2]) || (p[3] && p[2] && g[1]) || (p[3] && p[2] && p[1] && g[0]));
+    AluOutputs {
+        f,
+        aeb: f == 0xF,
+        cn4: !c4,
+        pbar,
+        gbar,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_sim::LogicSim;
+
+    use super::*;
+
+    fn run_gate_level(sim: &mut LogicSim<'_>, a: u8, bv: u8, s: u8, m: bool, cn: bool) -> AluOutputs {
+        let mut inputs = Vec::with_capacity(14);
+        for i in 0..4 {
+            inputs.push((((a >> i) & 1) as u64) * !0);
+        }
+        for i in 0..4 {
+            inputs.push((((bv >> i) & 1) as u64) * !0);
+        }
+        for i in 0..4 {
+            inputs.push((((s >> i) & 1) as u64) * !0);
+        }
+        inputs.push(u64::from(m) * !0);
+        inputs.push(u64::from(cn) * !0);
+        let out = sim.run_block(&inputs);
+        let mut f = 0u8;
+        for i in 0..4 {
+            f |= ((out[i] & 1) as u8) << i;
+        }
+        AluOutputs {
+            f,
+            aeb: out[4] & 1 == 1,
+            cn4: out[5] & 1 == 1,
+            pbar: out[6] & 1 == 1,
+            gbar: out[7] & 1 == 1,
+        }
+    }
+
+    #[test]
+    fn gate_level_matches_behavior_exhaustively() {
+        let ckt = alu_74181();
+        assert_eq!(ckt.num_inputs(), 14);
+        assert_eq!(ckt.num_outputs(), 8);
+        let mut sim = LogicSim::new(&ckt);
+        for code in 0..(1u32 << 14) {
+            let a = (code & 0xF) as u8;
+            let bv = ((code >> 4) & 0xF) as u8;
+            let s = ((code >> 8) & 0xF) as u8;
+            let m = (code >> 12) & 1 == 1;
+            let cn = (code >> 13) & 1 == 1;
+            let want = alu_behavior(a, bv, s, m, cn);
+            let got = run_gate_level(&mut sim, a, bv, s, m, cn);
+            assert_eq!(got, want, "a={a} b={bv} s={s:04b} m={m} cn={cn}");
+        }
+    }
+
+    #[test]
+    fn datasheet_rows_add_subtract() {
+        // S=1001, M=0 (L): F = A plus B (plus 1 if cn low).
+        for a in 0..16u8 {
+            for bv in 0..16u8 {
+                let r = alu_behavior(a, bv, 0b1001, false, true);
+                assert_eq!(r.f, (a + bv) & 0xF, "add {a}+{bv}");
+                assert_eq!(r.cn4, (a as u32 + bv as u32) < 16, "carry {a}+{bv}");
+                let r1 = alu_behavior(a, bv, 0b1001, false, false);
+                assert_eq!(r1.f, (a + bv + 1) & 0xF, "add+1 {a}+{bv}");
+                // S=0110, M=0: A minus B minus 1 plus ¬cn.
+                let rs = alu_behavior(a, bv, 0b0110, false, false);
+                assert_eq!(rs.f, a.wrapping_sub(bv) & 0xF, "sub {a}-{bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn datasheet_rows_logic() {
+        for a in 0..16u8 {
+            for bv in 0..16u8 {
+                // M=1 rows: S=0110 → A⊕B, S=1011 → AB, S=1110 → A∨B,
+                // S=0000 → ¬A, S=1010 → B, S=1111 → A.
+                assert_eq!(alu_behavior(a, bv, 0b0110, true, true).f, a ^ bv);
+                assert_eq!(alu_behavior(a, bv, 0b1011, true, true).f, a & bv);
+                assert_eq!(alu_behavior(a, bv, 0b1110, true, true).f, a | bv);
+                assert_eq!(alu_behavior(a, bv, 0b0000, true, true).f, !a & 0xF);
+                assert_eq!(alu_behavior(a, bv, 0b1010, true, true).f, bv);
+                assert_eq!(alu_behavior(a, bv, 0b1111, true, true).f, a);
+            }
+        }
+    }
+
+    #[test]
+    fn aeb_flags_equality_in_subtract_mode() {
+        // Classic usage: S=0110 M=0 cn=H computes A−B−1; A=B ⇔ F=1111.
+        for a in 0..16u8 {
+            for bv in 0..16u8 {
+                let r = alu_behavior(a, bv, 0b0110, false, true);
+                assert_eq!(r.aeb, a == bv, "a={a} b={bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn size_is_plausible_for_the_part() {
+        let ckt = alu_74181();
+        // The real part is ~60–75 gate equivalents.
+        let gates = ckt.num_gates();
+        assert!(
+            (50..=90).contains(&gates),
+            "unexpected gate count {gates}"
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Magnitude comparators: the SN7485 4-bit slice and "COMP", the paper's
+//! 24-bit word comparator cascaded from 16 slightly modified SN7485s
+//! (paper Fig. 7).
+//!
+//! ## Reconstruction notes
+//!
+//! The paper's Fig. 7 is not legible enough to recover the exact wiring, but
+//! its interface is: data inputs `A0..A23`, `B0..B23` and three cascade
+//! inputs `TI1..TI3` (they appear in Table 4), one `>`/`=`/`<` result. We
+//! realise it as a ripple cascade of 16 comparator slices from least to most
+//! significant, eight 1-bit slices followed by eight 2-bit slices
+//! (8·1 + 8·2 = 24 bit-pairs), each slice retaining the SN7485's internal
+//! AOI structure. "Slightly modified" is interpreted as (a) truncating the
+//! data width of a slice and (b) driving the `>`-term cascade with the
+//! incoming `>` signal directly instead of `¬(I_< ∨ I_=)`, which is the
+//! standard simplification for one-hot cascade signals. The testability
+//! character — a 24-stage equality chain that a fault near the cascade
+//! inputs must fully sensitize — is exactly the paper's.
+
+use protest_netlist::{Circuit, CircuitBuilder, NodeId};
+
+/// Comparison outcome of the behavioral models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareResult {
+    /// `A > B`.
+    Greater,
+    /// `A = B` (the cascade inputs decide the final outputs).
+    Equal,
+    /// `A < B`.
+    Less,
+}
+
+/// Cascade signal bundle: `(gt, eq, lt)`.
+type Cascade = (NodeId, NodeId, NodeId);
+
+/// Adds one comparator slice over `a`/`b` (little-endian, equal width ≥ 1);
+/// returns the slice outputs.
+///
+/// This is the SN7485 gate structure generalized to any width: per-bit
+/// equality via AND/NOR pairs, magnitude via AND-OR chains anchored at the
+/// most significant differing bit, equality propagated to the cascade pins.
+/// `cascade = None` builds the paper's "slightly modified" slice: the
+/// cascade-input gates are omitted entirely (equivalent to tying
+/// `(I>, I=, I<) = (0, 1, 0)` and simplifying), and the `=` output reduces
+/// to the bare equality chain.
+fn comparator_slice(
+    b: &mut CircuitBuilder,
+    a: &[NodeId],
+    bv: &[NodeId],
+    cascade: Option<Cascade>,
+) -> Cascade {
+    assert_eq!(a.len(), bv.len());
+    assert!(!a.is_empty());
+    let n = a.len();
+    // Per-bit: gt_i = a·¬b, lt_i = ¬a·b, e_i = NOR(gt_i, lt_i).
+    let mut gt_bit = Vec::with_capacity(n);
+    let mut lt_bit = Vec::with_capacity(n);
+    let mut eq_bit = Vec::with_capacity(n);
+    for i in 0..n {
+        let na = b.not(a[i]);
+        let nb = b.not(bv[i]);
+        let g = b.and2(a[i], nb);
+        let l = b.and2(na, bv[i]);
+        gt_bit.push(g);
+        lt_bit.push(l);
+        eq_bit.push(b.nor2(g, l));
+    }
+    // O_gt = OR over i of (e_{n-1}·…·e_{i+1}·gt_i)  ∨  (all-equal ∧ I_gt).
+    let mut gt_terms = Vec::with_capacity(n + 1);
+    let mut lt_terms = Vec::with_capacity(n + 1);
+    for i in (0..n).rev() {
+        let mut g_term = vec![gt_bit[i]];
+        let mut l_term = vec![lt_bit[i]];
+        g_term.extend_from_slice(&eq_bit[i + 1..]);
+        l_term.extend_from_slice(&eq_bit[i + 1..]);
+        gt_terms.push(if g_term.len() == 1 {
+            g_term[0]
+        } else {
+            b.and(&g_term)
+        });
+        lt_terms.push(if l_term.len() == 1 {
+            l_term[0]
+        } else {
+            b.and(&l_term)
+        });
+    }
+    if let Some((i_gt, _, i_lt)) = cascade {
+        let mut all_eq_gt = eq_bit.clone();
+        all_eq_gt.push(i_gt);
+        gt_terms.push(b.and(&all_eq_gt));
+        let mut all_eq_lt = eq_bit.clone();
+        all_eq_lt.push(i_lt);
+        lt_terms.push(b.and(&all_eq_lt));
+    }
+    let o_gt = if gt_terms.len() == 1 { gt_terms[0] } else { b.or(&gt_terms) };
+    let o_lt = if lt_terms.len() == 1 { lt_terms[0] } else { b.or(&lt_terms) };
+    let mut all_eq = eq_bit;
+    if let Some((_, i_eq, _)) = cascade {
+        all_eq.push(i_eq);
+    }
+    let o_eq = if all_eq.len() == 1 { all_eq[0] } else { b.and(&all_eq) };
+    (o_gt, o_eq, o_lt)
+}
+
+/// A standalone SN7485 4-bit magnitude comparator.
+///
+/// Inputs (11): `a0..a3, b0..b3, igt, ieq, ilt`; outputs: `ogt, oeq, olt`.
+pub fn sn7485() -> Circuit {
+    let mut b = CircuitBuilder::new("sn7485");
+    let a = b.input_bus("a", 4);
+    let bv = b.input_bus("b", 4);
+    let igt = b.input("igt");
+    let ieq = b.input("ieq");
+    let ilt = b.input("ilt");
+    let (ogt, oeq, olt) = comparator_slice(&mut b, &a, &bv, Some((igt, ieq, ilt)));
+    b.output(ogt, "ogt");
+    b.output(oeq, "oeq");
+    b.output(olt, "olt");
+    b.finish().expect("SN7485 construction is valid")
+}
+
+/// "COMP": the 24-bit cascaded word comparator of paper Fig. 7.
+///
+/// Inputs (51): `A0..A23, B0..B23, TI1, TI2, TI3` (cascade `>`, `=`, `<`
+/// fed to the least-significant slice). Outputs: `OGT, OEQ, OLT`.
+///
+/// Built from **16** comparator slices in a ripple chain, least significant
+/// first: slices 0–7 compare one bit-pair each (bits 0–7), slices 8–15 two
+/// bit-pairs each (bits 8–23); "slightly modified" = truncated data width.
+/// The chain makes faults near the cascade end spectacularly random-pattern
+/// resistant (all 24 more-significant bit-pairs must compare equal), which
+/// is the behaviour the paper's Table 3 documents.
+pub fn comp24() -> Circuit {
+    let mut b = CircuitBuilder::new("comp24");
+    let a = b.input_bus("A", 24);
+    let bv = b.input_bus("B", 24);
+    let ti1 = b.input("TI1");
+    let ti2 = b.input("TI2");
+    let ti3 = b.input("TI3");
+    let mut cascade: Cascade = (ti1, ti2, ti3);
+    let mut bit = 0usize;
+    for slice in 0..16 {
+        let width = if slice < 8 { 1 } else { 2 };
+        let sa = &a[bit..bit + width];
+        let sb = &bv[bit..bit + width];
+        cascade = comparator_slice(&mut b, sa, sb, Some(cascade));
+        bit += width;
+    }
+    assert_eq!(bit, 24);
+    let (ogt, oeq, olt) = cascade;
+    b.output(ogt, "OGT");
+    b.output(oeq, "OEQ");
+    b.output(olt, "OLT");
+    b.finish().expect("COMP construction is valid")
+}
+
+/// Behavioral reference for [`comp24`]: compares 24-bit words, falling back
+/// to the cascade inputs on equality. Returns `(ogt, oeq, olt)`.
+pub fn comp24_behavior(a: u32, b: u32, ti: (bool, bool, bool)) -> (bool, bool, bool) {
+    let a = a & 0xFF_FFFF;
+    let b = b & 0xFF_FFFF;
+    match a.cmp(&b) {
+        std::cmp::Ordering::Greater => (true, false, false),
+        std::cmp::Ordering::Less => (false, false, true),
+        std::cmp::Ordering::Equal => ti,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_sim::LogicSim;
+
+    use super::*;
+
+    #[test]
+    fn sn7485_matches_comparison_semantics() {
+        let ckt = sn7485();
+        assert_eq!(ckt.num_inputs(), 11);
+        let mut sim = LogicSim::new(&ckt);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                for (ti, want_eq) in [
+                    ((1u64, 0u64, 0u64), (true, false, false)),
+                    ((0, 1, 0), (false, true, false)),
+                    ((0, 0, 1), (false, false, true)),
+                ] {
+                    let mut inputs = Vec::new();
+                    for i in 0..4 {
+                        inputs.push(((a >> i) & 1) * !0u64);
+                    }
+                    for i in 0..4 {
+                        inputs.push(((b >> i) & 1) * !0u64);
+                    }
+                    inputs.push(ti.0 * !0);
+                    inputs.push(ti.1 * !0);
+                    inputs.push(ti.2 * !0);
+                    let out = sim.run_block(&inputs);
+                    let got = (out[0] & 1 == 1, out[1] & 1 == 1, out[2] & 1 == 1);
+                    let want = match a.cmp(&b) {
+                        std::cmp::Ordering::Greater => (true, false, false),
+                        std::cmp::Ordering::Less => (false, false, true),
+                        std::cmp::Ordering::Equal => want_eq,
+                    };
+                    assert_eq!(got, want, "a={a} b={b} ti={ti:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comp24_matches_behavior_on_probe_values() {
+        let ckt = comp24();
+        assert_eq!(ckt.num_inputs(), 51);
+        assert_eq!(ckt.num_outputs(), 3);
+        let mut sim = LogicSim::new(&ckt);
+        let probes: &[(u32, u32)] = &[
+            (0, 0),
+            (1, 0),
+            (0, 1),
+            (0xFF_FFFF, 0xFF_FFFF),
+            (0xFF_FFFF, 0xFF_FFFE),
+            (0x800000, 0x7FFFFF),
+            (0x123456, 0x123457),
+            (0xABCDEF, 0xABCDEF),
+            (0x000100, 0x0000FF),
+        ];
+        for &(a, b) in probes {
+            for ti in [(true, false, false), (false, true, false), (false, false, true)] {
+                let mut inputs = Vec::new();
+                for i in 0..24 {
+                    inputs.push((((a >> i) & 1) as u64) * !0);
+                }
+                for i in 0..24 {
+                    inputs.push((((b >> i) & 1) as u64) * !0);
+                }
+                inputs.push(u64::from(ti.0) * !0);
+                inputs.push(u64::from(ti.1) * !0);
+                inputs.push(u64::from(ti.2) * !0);
+                let out = sim.run_block(&inputs);
+                let got = (out[0] & 1 == 1, out[1] & 1 == 1, out[2] & 1 == 1);
+                assert_eq!(got, comp24_behavior(a, b, ti), "a={a:#x} b={b:#x} ti={ti:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn comp24_random_cross_check() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let ckt = comp24();
+        let mut sim = LogicSim::new(&ckt);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let a: u32 = rng.gen::<u32>() & 0xFF_FFFF;
+            // Bias toward near-equal words to exercise the equality chain.
+            let b = if rng.gen_bool(0.5) {
+                a ^ (1 << rng.gen_range(0..24))
+            } else {
+                rng.gen::<u32>() & 0xFF_FFFF
+            };
+            let ti = (false, true, false);
+            let mut inputs = Vec::new();
+            for i in 0..24 {
+                inputs.push((((a >> i) & 1) as u64) * !0);
+            }
+            for i in 0..24 {
+                inputs.push((((b >> i) & 1) as u64) * !0);
+            }
+            inputs.push(0);
+            inputs.push(!0u64);
+            inputs.push(0);
+            let out = sim.run_block(&inputs);
+            let got = (out[0] & 1 == 1, out[1] & 1 == 1, out[2] & 1 == 1);
+            assert_eq!(got, comp24_behavior(a, b, ti), "a={a:#x} b={b:#x}");
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! "DIV": the combinational part of a 16-bit divider.
+//!
+//! A textbook restoring array divider: the dividend is fed in from the most
+//! significant bit; each quotient row conditionally subtracts the divisor
+//! from the running remainder (subtract via two's-complement addition, the
+//! restore via a row of 2:1 muxes steered by the subtraction's carry-out).
+//! The resulting carry/borrow chains stacked over all rows make some faults
+//! extremely hard to excite with uniform random patterns — exactly the
+//! random-pattern-resistant behaviour the paper reports for DIV (Table 3).
+
+use protest_netlist::{Circuit, CircuitBuilder, NodeId};
+
+use crate::adders::full_adder;
+
+/// Builds a restoring array divider: `nd`-bit dividend, `nv`-bit divisor,
+/// `nd` quotient bits and `nv` remainder bits (integer division; divisor
+/// value 0 yields all-ones quotient, as the raw array does).
+///
+/// Inputs: `n0..n{nd-1}` (dividend, little-endian), `d0..d{nv-1}` (divisor).
+/// Outputs: `q0..q{nd-1}`, `r0..r{nv-1}`.
+///
+/// # Panics
+///
+/// Panics if `nd == 0` or `nv == 0`.
+pub fn div_array(nd: usize, nv: usize) -> Circuit {
+    assert!(nd > 0 && nv > 0, "divider widths must be positive");
+    let mut b = CircuitBuilder::new(format!("div{nd}by{nv}"));
+    let n = b.input_bus("n", nd);
+    let d = b.input_bus("d", nv);
+    let nd_bits: Vec<NodeId> = d.iter().map(|&x| b.not(x)).collect();
+    let zero = b.constant(false);
+    let one = b.constant(true);
+
+    // Remainder register (combinational), nv+1 bits to hold the shifted-in
+    // dividend bit plus headroom; starts at 0.
+    let mut rem: Vec<NodeId> = vec![zero; nv + 1];
+    let mut quotient = vec![zero; nd];
+    for row in (0..nd).rev() {
+        // Shift left, bring in dividend bit `row`.
+        let mut t: Vec<NodeId> = Vec::with_capacity(nv + 1);
+        t.push(n[row]);
+        t.extend_from_slice(&rem[..nv]);
+        // t (nv+1 bits) minus divisor (zero-extended): t + ¬d + 1.
+        let mut carry = one;
+        let mut diff = Vec::with_capacity(nv + 1);
+        for i in 0..=nv {
+            let nd_i = if i < nv { nd_bits[i] } else { one };
+            let (s, co) = full_adder(&mut b, t[i], nd_i, carry);
+            diff.push(s);
+            carry = co;
+        }
+        // carry == 1 ⇔ t ≥ d: quotient bit set, keep the difference;
+        // else restore t.
+        quotient[row] = carry;
+        let nc = b.not_fold(carry);
+        let mut next = Vec::with_capacity(nv + 1);
+        for i in 0..=nv {
+            // mux: carry ? diff : t (folded so zero-remainder boundary
+            // cells vanish as in a hand-simplified array)
+            let a1 = b.and2_fold(carry, diff[i]);
+            let a0 = b.and2_fold(nc, t[i]);
+            next.push(b.or2_fold(a1, a0));
+        }
+        rem = next;
+    }
+    for (i, q) in quotient.iter().enumerate() {
+        b.output(*q, format!("q{i}"));
+    }
+    for i in 0..nv {
+        b.output(rem[i], format!("r{i}"));
+    }
+    b.finish().expect("divider construction is valid")
+}
+
+/// Builds a **non-restoring** array divider (Guild-style): `nd`-bit
+/// dividend, `nv`-bit divisor, `nd` quotient bits plus the raw
+/// (uncorrected, possibly negative) final accumulator as remainder bits.
+///
+/// Each row holds a controlled add/subtract: the divisor is XOR-masked by
+/// the row's operation select (subtract when the running remainder is
+/// non-negative) and fed through a ripple adder with matching carry-in.
+/// Unlike the restoring array, every cell switches on every operand, so a
+/// single weighted input distribution can excite the whole array — the
+/// behaviour the paper's Table 6 relies on.
+///
+/// Inputs: `n0..`, `d0..`; outputs: `q0..q{nd-1}`, `r0..r{nv+1}`.
+///
+/// # Panics
+///
+/// Panics if `nd == 0` or `nv == 0`.
+pub fn div_nonrestoring(nd: usize, nv: usize) -> Circuit {
+    assert!(nd > 0 && nv > 0, "divider widths must be positive");
+    let mut b = CircuitBuilder::new(format!("nrdiv{nd}by{nv}"));
+    let n = b.input_bus("n", nd);
+    let d = b.input_bus("d", nv);
+    let zero = b.constant(false);
+    let w = nv + 2; // two's-complement accumulator width
+
+    let mut acc: Vec<NodeId> = vec![zero; w];
+    let mut quotient = Vec::with_capacity(nd);
+    for row in (0..nd).rev() {
+        // Operation select: subtract when the accumulator (before shift)
+        // is non-negative.
+        let s_neg = acc[w - 1];
+        let sub = b.not_fold(s_neg);
+        // Shift left, insert dividend bit; old sign bit drops out.
+        let mut t = Vec::with_capacity(w);
+        t.push(n[row]);
+        t.extend_from_slice(&acc[..w - 1]);
+        // b_i = d_i ⊕ sub (divisor zero-extended, so high bits are `sub`).
+        let mut carry = sub;
+        let mut next = Vec::with_capacity(w);
+        for i in 0..w {
+            let bi = if i < nv { b.xor2_fold(d[i], sub) } else { sub };
+            let (s, co) = full_adder(&mut b, t[i], bi, carry);
+            next.push(s);
+            carry = co;
+        }
+        // Quotient bit: result non-negative.
+        quotient.push(b.not_fold(next[w - 1]));
+        acc = next;
+    }
+    quotient.reverse(); // built MSB-first; store LSB-first
+    for (i, q) in quotient.iter().enumerate() {
+        b.output(*q, format!("q{i}"));
+    }
+    for (i, r) in acc.iter().enumerate() {
+        b.output(*r, format!("r{i}"));
+    }
+    b.finish().expect("non-restoring divider construction is valid")
+}
+
+/// Behavioral reference for [`div_nonrestoring`]: returns the quotient and
+/// the raw final accumulator (low `nv + 2` bits, two's complement,
+/// uncorrected). For `d ≥ 1` the quotient equals `n / d`.
+pub fn div_nonrestoring_behavior(nd: usize, nv: usize, n: u64, d: u64) -> (u64, u64) {
+    let w = nv + 2;
+    let mask = (1u64 << w) - 1;
+    let mut acc = 0u64;
+    let mut q = 0u64;
+    for k in (0..nd).rev() {
+        let s_neg = (acc >> (w - 1)) & 1 == 1;
+        acc = ((acc << 1) | ((n >> k) & 1)) & mask;
+        let (bv, cin) = if s_neg { (d & mask, 0) } else { ((!d) & mask, 1) };
+        acc = (acc + bv + cin) & mask;
+        if (acc >> (w - 1)) & 1 == 0 {
+            q |= 1 << k;
+        }
+    }
+    (q, acc)
+}
+
+/// "DIV" as evaluated in the paper: the combinational part of a 16-bit
+/// divider — a 16÷16 non-restoring array. The full-width divisor and the
+/// 16 stacked carry chains give DIV its random-pattern-resistant fault
+/// tail (paper Tables 3 and 6) while remaining testable under a single
+/// optimized weight distribution.
+pub fn div16() -> Circuit {
+    div_nonrestoring(16, 16)
+}
+
+/// Behavioral reference for [`div_array`]: returns `(quotient, remainder)`.
+/// Division by zero yields `(all-ones, dividend mod 2^nv truncated through
+/// the array)`, matching the raw array's behaviour — callers in tests avoid
+/// `d = 0` except for the dedicated zero test.
+pub fn div_behavior(nd: usize, nv: usize, n: u64, d: u64) -> (u64, u64) {
+    let n = n & ((1u64 << nd) - 1);
+    let d = d & ((1u64 << nv) - 1);
+    if d == 0 {
+        // Every conditional subtract of 0 succeeds: q = all ones; the
+        // remainder rows shift the dividend through unchanged, so the array
+        // leaves the low divisor-width bits of the dividend.
+        return ((1u64 << nd) - 1, n & ((1u64 << nv) - 1));
+    }
+    (n / d, n % d)
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_sim::LogicSim;
+
+    use super::*;
+
+    fn run_div(sim: &mut LogicSim<'_>, nd: usize, nv: usize, n: u64, d: u64) -> (u64, u64) {
+        let mut inputs = Vec::new();
+        for i in 0..nd {
+            inputs.push(((n >> i) & 1) * !0u64);
+        }
+        for i in 0..nv {
+            inputs.push(((d >> i) & 1) * !0u64);
+        }
+        let out = sim.run_block(&inputs);
+        let mut q = 0u64;
+        for i in 0..nd {
+            q |= (out[i] & 1) << i;
+        }
+        let mut r = 0u64;
+        for i in 0..nv {
+            r |= (out[nd + i] & 1) << i;
+        }
+        (q, r)
+    }
+
+    #[test]
+    fn small_divider_exhaustive() {
+        let ckt = div_array(4, 3);
+        let mut sim = LogicSim::new(&ckt);
+        for n in 0..16u64 {
+            for d in 1..8u64 {
+                let got = run_div(&mut sim, 4, 3, n, d);
+                assert_eq!(got, (n / d, n % d), "{n}/{d}");
+            }
+        }
+    }
+
+    fn run_nr(sim: &mut LogicSim<'_>, nd: usize, nv: usize, n: u64, d: u64) -> (u64, u64) {
+        let mut inputs = Vec::new();
+        for i in 0..nd {
+            inputs.push(((n >> i) & 1) * !0u64);
+        }
+        for i in 0..nv {
+            inputs.push(((d >> i) & 1) * !0u64);
+        }
+        let out = sim.run_block(&inputs);
+        let mut q = 0u64;
+        for i in 0..nd {
+            q |= (out[i] & 1) << i;
+        }
+        let mut r = 0u64;
+        for i in 0..nv + 2 {
+            r |= (out[nd + i] & 1) << i;
+        }
+        (q, r)
+    }
+
+    #[test]
+    fn nonrestoring_small_exhaustive() {
+        let ckt = div_nonrestoring(4, 3);
+        let mut sim = LogicSim::new(&ckt);
+        for n in 0..16u64 {
+            for d in 0..8u64 {
+                let got = run_nr(&mut sim, 4, 3, n, d);
+                let want = div_nonrestoring_behavior(4, 3, n, d);
+                assert_eq!(got, want, "{n}/{d}");
+                if d > 0 {
+                    assert_eq!(got.0, n / d, "quotient {n}/{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn div16_probe_values() {
+        let ckt = div16();
+        assert_eq!(ckt.num_inputs(), 32);
+        assert_eq!(ckt.num_outputs(), 16 + 18);
+        let mut sim = LogicSim::new(&ckt);
+        let cases = [
+            (65535u64, 255u64),
+            (65535, 1),
+            (0, 7),
+            (40000, 123),
+            (12345, 65535),
+            (1, 255),
+            (65280, 32768),
+            (54321, 77),
+        ];
+        for (n, d) in cases {
+            let got = run_nr(&mut sim, 16, 16, n, d);
+            let want = div_nonrestoring_behavior(16, 16, n, d);
+            assert_eq!(got, want, "{n}/{d}");
+            assert_eq!(got.0, n / d, "quotient {n}/{d}");
+        }
+    }
+
+    #[test]
+    fn div_16_by_8_variant() {
+        let ckt = div_array(16, 8);
+        let mut sim = LogicSim::new(&ckt);
+        for (n, d) in [(65535u64, 255u64), (40000, 123), (12345, 250)] {
+            let got = run_div(&mut sim, 16, 8, n, d);
+            assert_eq!(got, (n / d, n % d), "{n}/{d}");
+        }
+    }
+
+    #[test]
+    fn divide_by_zero_saturates_quotient() {
+        let ckt = div_array(4, 3);
+        let mut sim = LogicSim::new(&ckt);
+        let (q, r) = run_div(&mut sim, 4, 3, 9, 0);
+        assert_eq!(q, 15);
+        assert_eq!(r, div_behavior(4, 3, 9, 0).1);
+    }
+
+    #[test]
+    fn divider_is_deep() {
+        // The stacked borrow chains should produce a logic depth far larger
+        // than the multiplier's — that is what makes DIV random-resistant.
+        let ckt = div16();
+        let levels = protest_netlist::Levels::new(&ckt);
+        assert!(levels.depth() > 60, "depth {} too shallow", levels.depth());
+    }
+}

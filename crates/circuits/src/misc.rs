@@ -1,0 +1,147 @@
+//! Small classic circuits used in tests, docs and examples.
+
+use protest_netlist::{Circuit, CircuitBuilder};
+
+/// The ISCAS-85 `c17` benchmark: 5 inputs, 2 outputs, 6 NAND gates.
+pub fn c17() -> Circuit {
+    let mut b = CircuitBuilder::new("c17");
+    let g1 = b.input("G1");
+    let g2 = b.input("G2");
+    let g3 = b.input("G3");
+    let g6 = b.input("G6");
+    let g7 = b.input("G7");
+    let g10 = b.nand2(g1, g3);
+    let g11 = b.nand2(g3, g6);
+    let g16 = b.nand2(g2, g11);
+    let g19 = b.nand2(g11, g7);
+    let g22 = b.nand2(g10, g16);
+    let g23 = b.nand2(g16, g19);
+    b.name(g10, "G10");
+    b.name(g11, "G11");
+    b.name(g16, "G16");
+    b.name(g19, "G19");
+    b.name(g22, "G22");
+    b.name(g23, "G23");
+    b.output(g22, "G22");
+    b.output(g23, "G23");
+    b.finish().expect("c17 construction is valid")
+}
+
+/// An `n`-input parity tree of XOR2 gates (output `z`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn parity_tree(n: usize) -> Circuit {
+    assert!(n > 0, "parity tree needs at least one input");
+    let mut b = CircuitBuilder::new(format!("parity{n}"));
+    let xs = b.input_bus("x", n);
+    let t = b.xor_tree(&xs);
+    b.output(t, "z");
+    b.finish().expect("parity tree construction is valid")
+}
+
+/// A `2^k : 1` multiplexer tree: `k` select inputs `s0..`, `2^k` data inputs
+/// `d0..`, output `y`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > 16`.
+pub fn mux_tree(k: usize) -> Circuit {
+    assert!(k > 0 && k <= 16, "select width out of range");
+    let mut b = CircuitBuilder::new(format!("mux{}", 1usize << k));
+    let sel = b.input_bus("s", k);
+    let data = b.input_bus("d", 1usize << k);
+    let mut layer = data;
+    for &s in &sel {
+        let ns = b.not(s);
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            let a0 = b.and2(ns, pair[0]);
+            let a1 = b.and2(s, pair[1]);
+            next.push(b.or2(a0, a1));
+        }
+        layer = next;
+    }
+    b.output(layer[0], "y");
+    b.finish().expect("mux tree construction is valid")
+}
+
+/// An `n`-to-`2^n` decoder: inputs `x0..`, outputs `y0..y{2^n-1}`,
+/// `y_i = 1` iff the input equals `i`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 16`.
+pub fn decoder(n: usize) -> Circuit {
+    assert!(n > 0 && n <= 16, "decoder width out of range");
+    let mut b = CircuitBuilder::new(format!("dec{n}"));
+    let xs = b.input_bus("x", n);
+    let nxs: Vec<_> = xs.iter().map(|&x| b.not(x)).collect();
+    for code in 0..(1usize << n) {
+        let lits: Vec<_> = (0..n)
+            .map(|i| if (code >> i) & 1 == 1 { xs[i] } else { nxs[i] })
+            .collect();
+        let y = b.and(&lits);
+        b.output(y, format!("y{code}"));
+    }
+    b.finish().expect("decoder construction is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_sim::LogicSim;
+
+    use super::*;
+
+    #[test]
+    fn c17_shape() {
+        let ckt = c17();
+        assert_eq!(ckt.num_inputs(), 5);
+        assert_eq!(ckt.num_outputs(), 2);
+        assert_eq!(ckt.num_gates(), 6);
+    }
+
+    #[test]
+    fn parity_is_parity() {
+        let ckt = parity_tree(5);
+        let mut sim = LogicSim::new(&ckt);
+        for mask in 0..32u64 {
+            let inputs: Vec<u64> = (0..5).map(|i| ((mask >> i) & 1) * !0u64).collect();
+            let out = sim.run_block(&inputs);
+            assert_eq!(out[0] & 1, (mask.count_ones() % 2) as u64);
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let ckt = mux_tree(2);
+        let mut sim = LogicSim::new(&ckt);
+        for sel in 0..4u64 {
+            for data in 0..16u64 {
+                let mut inputs = Vec::new();
+                for i in 0..2 {
+                    inputs.push(((sel >> i) & 1) * !0u64);
+                }
+                for i in 0..4 {
+                    inputs.push(((data >> i) & 1) * !0u64);
+                }
+                let out = sim.run_block(&inputs);
+                assert_eq!(out[0] & 1, (data >> sel) & 1, "sel={sel} data={data:04b}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_one_hot() {
+        let ckt = decoder(3);
+        let mut sim = LogicSim::new(&ckt);
+        for code in 0..8u64 {
+            let inputs: Vec<u64> = (0..3).map(|i| ((code >> i) & 1) * !0u64).collect();
+            let out = sim.run_block(&inputs);
+            for (i, w) in out.iter().enumerate() {
+                assert_eq!(w & 1 == 1, i as u64 == code);
+            }
+        }
+    }
+}

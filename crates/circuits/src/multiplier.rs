@@ -1,0 +1,202 @@
+//! "MULT": `A + B + C·D` on 8-bit operands, and the generic array
+//! multiplier used for the size ladder.
+//!
+//! The paper builds MULT "according to the proposal of [Hart80]" with 1 568
+//! gate equivalents; the proposal itself (a German journal article on
+//! low-volume VLSI building blocks) is not available, so we use the textbook
+//! structure: an 8×8 AND-matrix array multiplier with ripple accumulation,
+//! an 8-bit adder for `A + B`, and a final 16-bit adder. The testability
+//! character (deep carry chains, reconvergence through the adder array) is
+//! the same; the exact gate-equivalent count differs and is recorded in
+//! EXPERIMENTS.md.
+
+use protest_netlist::{Circuit, CircuitBuilder, NodeId};
+
+use crate::adders::{full_adder, half_adder, ripple_add};
+
+/// Builds the partial-product array network for `c × d` inside `b`,
+/// little-endian; returns the `2n`-bit product.
+fn array_multiply(b: &mut CircuitBuilder, c: &[NodeId], d: &[NodeId]) -> Vec<NodeId> {
+    let n = c.len();
+    assert_eq!(n, d.len(), "operand widths must match");
+    // Partial products pp[i][j] = c_j · d_i contribute to bit i+j.
+    // Accumulate row by row in carry-save fashion: `acc` holds the current
+    // sum bits for each weight; rows are added with FA/HA chains.
+    let mut acc: Vec<NodeId> = (0..n).map(|j| b.and2(c[j], d[0])).collect();
+    let mut product = Vec::with_capacity(2 * n);
+    for i in 1..n {
+        // acc currently holds bits of weight i-1 .. i-1+n-1; its lowest bit
+        // is final.
+        product.push(acc[0]);
+        let row: Vec<NodeId> = (0..n).map(|j| b.and2(c[j], d[i])).collect();
+        let mut next = Vec::with_capacity(n);
+        let mut carry: Option<NodeId> = None;
+        for j in 0..n {
+            // Add acc[j+1] (weight i+j) + row[j] (+ carry).
+            let base = acc.get(j + 1).copied();
+            let (s, co) = match (base, carry) {
+                (Some(x), Some(cy)) => full_adder(b, x, row[j], cy),
+                (Some(x), None) => half_adder(b, x, row[j]),
+                (None, Some(cy)) => half_adder(b, row[j], cy),
+                (None, None) => unreachable!("first column always has an accumulator bit"),
+            };
+            next.push(s);
+            carry = Some(co);
+        }
+        next.push(carry.expect("row addition yields a carry"));
+        // next has n+1 bits of weights i .. i+n.
+        acc = next;
+    }
+    product.extend(acc);
+    // product: bits 0..n-2 pushed + acc of n+1 bits = 2n bits total.
+    assert_eq!(product.len(), 2 * n);
+    product
+}
+
+/// A standalone `n×n` array multiplier circuit: inputs `a0.., b0..`,
+/// outputs `p0..p{2n-1}`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn mult_array(n: usize) -> Circuit {
+    assert!(n >= 2, "multiplier width must be at least 2");
+    let mut b = CircuitBuilder::new(format!("mult{n}x{n}"));
+    let c = b.input_bus("a", n);
+    let d = b.input_bus("b", n);
+    let p = array_multiply(&mut b, &c, &d);
+    for (i, bit) in p.iter().enumerate() {
+        b.output(*bit, format!("p{i}"));
+    }
+    b.finish().expect("array multiplier construction is valid")
+}
+
+/// "MULT": computes `A + B + C·D` for 8-bit operands (paper Sec. 4).
+///
+/// Inputs (32): `a0..a7, b0..b7, c0..c7, d0..d7`. Outputs (17):
+/// `r0..r16` (little-endian; `C·D` is 16 bits, adding `A + B` reaches 17).
+pub fn mult_abcd() -> Circuit {
+    let mut b = CircuitBuilder::new("mult");
+    let a = b.input_bus("a", 8);
+    let bv = b.input_bus("b", 8);
+    let c = b.input_bus("c", 8);
+    let d = b.input_bus("d", 8);
+
+    // A + B → 9 bits.
+    let (ab, ab_carry) = ripple_add(&mut b, &a, &bv, None);
+    // C·D → 16 bits.
+    let cd = array_multiply(&mut b, &c, &d);
+    // (A+B) + C·D: widen A+B to 16 bits with constant zeros.
+    let zero = b.constant(false);
+    let mut ab_wide: Vec<NodeId> = ab.clone();
+    ab_wide.push(ab_carry);
+    while ab_wide.len() < 16 {
+        ab_wide.push(zero);
+    }
+    let (sum, carry) = ripple_add(&mut b, &ab_wide, &cd, None);
+    for (i, s) in sum.iter().enumerate() {
+        b.output(*s, format!("r{i}"));
+    }
+    b.output(carry, "r16");
+    b.finish().expect("MULT construction is valid")
+}
+
+/// Behavioral reference: `A + B + C·D`.
+pub fn mult_abcd_behavior(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    a + b + c * d
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_sim::LogicSim;
+
+    use super::*;
+
+    fn drive(bits: &mut Vec<u64>, value: u64, width: usize) {
+        for i in 0..width {
+            bits.push(((value >> i) & 1) * !0u64);
+        }
+    }
+
+    #[test]
+    fn small_multiplier_exhaustive() {
+        let ckt = mult_array(3);
+        let mut sim = LogicSim::new(&ckt);
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                let mut inputs = Vec::new();
+                drive(&mut inputs, a, 3);
+                drive(&mut inputs, b, 3);
+                let out = sim.run_block(&inputs);
+                let mut got = 0u64;
+                for (i, w) in out.iter().enumerate() {
+                    got |= (w & 1) << i;
+                }
+                assert_eq!(got, a * b, "{a}×{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mult8_grid() {
+        let ckt = mult_array(8);
+        let mut sim = LogicSim::new(&ckt);
+        for &a in &[0u64, 1, 7, 85, 170, 200, 255] {
+            for &b in &[0u64, 1, 3, 99, 128, 255] {
+                let mut inputs = Vec::new();
+                drive(&mut inputs, a, 8);
+                drive(&mut inputs, b, 8);
+                let out = sim.run_block(&inputs);
+                let mut got = 0u64;
+                for (i, w) in out.iter().enumerate() {
+                    got |= (w & 1) << i;
+                }
+                assert_eq!(got, a * b, "{a}×{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mult_abcd_matches_behavior() {
+        let ckt = mult_abcd();
+        assert_eq!(ckt.num_inputs(), 32);
+        assert_eq!(ckt.num_outputs(), 17);
+        let mut sim = LogicSim::new(&ckt);
+        let cases = [
+            (0u64, 0u64, 0u64, 0u64),
+            (255, 255, 255, 255),
+            (1, 2, 3, 4),
+            (200, 100, 50, 25),
+            (17, 211, 170, 85),
+        ];
+        for (a, b, c, d) in cases {
+            let mut inputs = Vec::new();
+            drive(&mut inputs, a, 8);
+            drive(&mut inputs, b, 8);
+            drive(&mut inputs, c, 8);
+            drive(&mut inputs, d, 8);
+            let out = sim.run_block(&inputs);
+            let mut got = 0u64;
+            for (i, w) in out.iter().enumerate() {
+                got |= (w & 1) << i;
+            }
+            assert_eq!(
+                got,
+                mult_abcd_behavior(a as u32, b as u32, c as u32, d as u32) as u64,
+                "A={a} B={b} C={c} D={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn mult_is_paper_scale() {
+        // The paper quotes 1 568 gate equivalents; our textbook structure
+        // lands in the same order of magnitude.
+        let ckt = mult_abcd();
+        let ge = protest_netlist::gate_equivalents(&ckt);
+        assert!(
+            (500..=3000).contains(&ge),
+            "gate equivalents {ge} out of expected band"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Seeded random circuit generation for property-based cross-validation.
+
+use protest_netlist::{Circuit, CircuitBuilder, GateKind, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`random_circuit`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomCircuitParams {
+    /// Number of primary inputs (≥ 1).
+    pub inputs: usize,
+    /// Number of gates to generate (≥ 1).
+    pub gates: usize,
+    /// Number of primary outputs (≥ 1, ≤ inputs + gates).
+    pub outputs: usize,
+    /// RNG seed; equal seeds give identical circuits.
+    pub seed: u64,
+}
+
+impl Default for RandomCircuitParams {
+    fn default() -> Self {
+        RandomCircuitParams {
+            inputs: 8,
+            gates: 40,
+            outputs: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a random combinational DAG.
+///
+/// Gates draw their kind from {AND, OR, NAND, NOR, XOR, NOT} and their
+/// fanins from earlier nodes with a recency bias (trades depth against
+/// reconvergence, both of which the estimators must handle). Outputs are
+/// drawn preferentially from sink nodes so most logic stays observable.
+///
+/// # Panics
+///
+/// Panics if any parameter is zero or `outputs > inputs + gates`.
+pub fn random_circuit(params: RandomCircuitParams) -> Circuit {
+    assert!(params.inputs > 0, "need at least one input");
+    assert!(params.gates > 0, "need at least one gate");
+    assert!(params.outputs > 0, "need at least one output");
+    assert!(
+        params.outputs <= params.inputs + params.gates,
+        "more outputs than nodes"
+    );
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut b = CircuitBuilder::new(format!("rand_{}", params.seed));
+    let mut pool: Vec<NodeId> = b.input_bus("x", params.inputs);
+
+    for _ in 0..params.gates {
+        let kind = match rng.gen_range(0..12u32) {
+            0..=2 => GateKind::And,
+            3..=5 => GateKind::Or,
+            6..=7 => GateKind::Nand,
+            8..=9 => GateKind::Nor,
+            10 => GateKind::Xor,
+            _ => GateKind::Not,
+        };
+        let arity = if kind == GateKind::Not {
+            1
+        } else {
+            rng.gen_range(2..=3usize)
+        };
+        let mut fanins = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            // Recency bias: half the picks come from the newest quarter.
+            let idx = if rng.gen_bool(0.5) && pool.len() > 4 {
+                rng.gen_range(pool.len() * 3 / 4..pool.len())
+            } else {
+                rng.gen_range(0..pool.len())
+            };
+            fanins.push(pool[idx]);
+        }
+        pool.push(b.gate(kind, &fanins));
+    }
+
+    // Newest nodes are the likeliest sinks: walk the pool from the back.
+    let mut chosen = std::collections::HashSet::new();
+    let candidates: Vec<NodeId> = pool.iter().rev().copied().collect();
+    let mut outputs = Vec::new();
+    for c in candidates {
+        if outputs.len() >= params.outputs {
+            break;
+        }
+        if chosen.insert(c) {
+            outputs.push(c);
+        }
+    }
+    for (i, o) in outputs.iter().enumerate() {
+        b.output(*o, format!("z{i}"));
+    }
+    b.finish().expect("random circuit construction is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let p = RandomCircuitParams {
+            inputs: 6,
+            gates: 30,
+            outputs: 3,
+            seed: 7,
+        };
+        let a = random_circuit(p);
+        let b = random_circuit(p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut p = RandomCircuitParams::default();
+        let a = random_circuit(p);
+        p.seed = 1;
+        let b = random_circuit(p);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn respects_sizes() {
+        let p = RandomCircuitParams {
+            inputs: 5,
+            gates: 20,
+            outputs: 4,
+            seed: 3,
+        };
+        let c = random_circuit(p);
+        assert_eq!(c.num_inputs(), 5);
+        assert_eq!(c.num_gates(), 20);
+        assert_eq!(c.num_outputs(), 4);
+        assert!(c.validate().is_ok());
+    }
+}

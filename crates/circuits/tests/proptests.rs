@@ -1,0 +1,115 @@
+//! Property-based functional verification of the generated circuits
+//! against their behavioral models.
+
+use proptest::prelude::*;
+use protest_circuits::{
+    alu_behavior, alu_74181, carry_lookahead_adder, comp24, comp24_behavior,
+    div_nonrestoring, div_nonrestoring_behavior, mult_abcd, mult_abcd_behavior, ripple_adder,
+};
+use protest_sim::LogicSim;
+
+fn drive(bits: &mut Vec<u64>, value: u64, width: usize) {
+    for i in 0..width {
+        bits.push(((value >> i) & 1) * !0u64);
+    }
+}
+
+fn read(words: &[u64], lo: usize, width: usize) -> u64 {
+    let mut v = 0u64;
+    for i in 0..width {
+        v |= (words[lo + i] & 1) << i;
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn adders_add(a in 0u64..256, b in 0u64..256, cin in 0u64..2) {
+        for ckt in [ripple_adder(8), carry_lookahead_adder(8)] {
+            let mut sim = LogicSim::new(&ckt);
+            let mut inputs = Vec::new();
+            drive(&mut inputs, a, 8);
+            drive(&mut inputs, b, 8);
+            inputs.push(cin * !0u64);
+            let out = sim.run_block(&inputs);
+            let got = read(&out, 0, 8) | ((out[8] & 1) << 8);
+            prop_assert_eq!(got, a + b + cin, "{}", ckt.name());
+        }
+    }
+
+    #[test]
+    fn mult_abcd_computes(a in 0u64..256, b in 0u64..256, c in 0u64..256, d in 0u64..256) {
+        let ckt = mult_abcd();
+        let mut sim = LogicSim::new(&ckt);
+        let mut inputs = Vec::new();
+        drive(&mut inputs, a, 8);
+        drive(&mut inputs, b, 8);
+        drive(&mut inputs, c, 8);
+        drive(&mut inputs, d, 8);
+        let out = sim.run_block(&inputs);
+        let got = read(&out, 0, 17);
+        prop_assert_eq!(
+            got,
+            mult_abcd_behavior(a as u32, b as u32, c as u32, d as u32) as u64
+        );
+    }
+
+    #[test]
+    fn divider_divides(n in 0u64..65536, d in 0u64..65536) {
+        let ckt = div_nonrestoring(16, 16);
+        let mut sim = LogicSim::new(&ckt);
+        let mut inputs = Vec::new();
+        drive(&mut inputs, n, 16);
+        drive(&mut inputs, d, 16);
+        let out = sim.run_block(&inputs);
+        let q = read(&out, 0, 16);
+        let r = read(&out, 16, 18);
+        let (wq, wr) = div_nonrestoring_behavior(16, 16, n, d);
+        prop_assert_eq!((q, r), (wq, wr));
+        if d > 0 {
+            prop_assert_eq!(q, n / d, "quotient must be exact for d > 0");
+        }
+    }
+
+    #[test]
+    fn comparator_compares(a in 0u32..0x100_0000, b in 0u32..0x100_0000, ti in 0usize..3) {
+        let ckt = comp24();
+        let mut sim = LogicSim::new(&ckt);
+        let ti_bits = [(true, false, false), (false, true, false), (false, false, true)][ti];
+        let mut inputs = Vec::new();
+        drive(&mut inputs, a as u64, 24);
+        drive(&mut inputs, b as u64, 24);
+        inputs.push(u64::from(ti_bits.0) * !0);
+        inputs.push(u64::from(ti_bits.1) * !0);
+        inputs.push(u64::from(ti_bits.2) * !0);
+        let out = sim.run_block(&inputs);
+        let got = (out[0] & 1 == 1, out[1] & 1 == 1, out[2] & 1 == 1);
+        prop_assert_eq!(got, comp24_behavior(a, b, ti_bits));
+    }
+
+    #[test]
+    fn alu_matches_behavior(code in 0u32..(1 << 14)) {
+        let ckt = alu_74181();
+        let mut sim = LogicSim::new(&ckt);
+        let a = (code & 0xF) as u8;
+        let bv = ((code >> 4) & 0xF) as u8;
+        let s = ((code >> 8) & 0xF) as u8;
+        let m = (code >> 12) & 1 == 1;
+        let cn = (code >> 13) & 1 == 1;
+        let mut inputs = Vec::new();
+        drive(&mut inputs, a as u64, 4);
+        drive(&mut inputs, bv as u64, 4);
+        drive(&mut inputs, s as u64, 4);
+        inputs.push(u64::from(m) * !0);
+        inputs.push(u64::from(cn) * !0);
+        let out = sim.run_block(&inputs);
+        let want = alu_behavior(a, bv, s, m, cn);
+        prop_assert_eq!(read(&out, 0, 4) as u8, want.f);
+        prop_assert_eq!(out[4] & 1 == 1, want.aeb);
+        prop_assert_eq!(out[5] & 1 == 1, want.cn4);
+        prop_assert_eq!(out[6] & 1 == 1, want.pbar);
+        prop_assert_eq!(out[7] & 1 == 1, want.gbar);
+    }
+}

@@ -1,0 +1,281 @@
+//! The analysis facade: one-stop PROTEST runs.
+
+use protest_netlist::{Circuit, NodeId};
+use protest_sim::{collapse_universe, Fault, FaultUniverse};
+
+use crate::aig::Aig;
+use crate::detect::detection_probability;
+use crate::error::CoreError;
+use crate::observe::{compute_observability, Observability};
+use crate::params::{AnalyzerParams, InputProbs};
+use crate::sigprob::{lit_prob_of, SignalProbEstimator};
+use crate::testlen::{self, TestLength};
+
+/// Detection estimate for one fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEstimate {
+    /// The fault.
+    pub fault: Fault,
+    /// Probability the fault site carries the error-exciting value.
+    pub activation: f64,
+    /// Probability the site is observed at an output (signal-flow model).
+    pub observability: f64,
+    /// Estimated detection probability (`P_PROT` in the paper).
+    pub detection: f64,
+}
+
+/// The PROTEST analyzer: builds all probability-independent structure once
+/// (AIG, joining points, fault universe), then evaluates any input
+/// probability vector cheaply — which is exactly what the optimizer needs.
+#[derive(Debug)]
+pub struct Analyzer<'c> {
+    circuit: &'c Circuit,
+    params: AnalyzerParams,
+    estimator: SignalProbEstimator,
+    faults: Vec<Fault>,
+    uncollapsed: usize,
+}
+
+impl<'c> Analyzer<'c> {
+    /// Creates an analyzer with default parameters over the collapsed fault
+    /// universe.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        Self::with_params(circuit, AnalyzerParams::default())
+    }
+
+    /// Creates an analyzer with explicit parameters.
+    pub fn with_params(circuit: &'c Circuit, params: AnalyzerParams) -> Self {
+        let universe = FaultUniverse::all(circuit);
+        let uncollapsed = universe.len();
+        let collapsed = collapse_universe(circuit, &universe);
+        let estimator = SignalProbEstimator::new(Aig::from_circuit(circuit), &params);
+        Analyzer {
+            circuit,
+            params,
+            estimator,
+            faults: collapsed.representatives().to_vec(),
+            uncollapsed,
+        }
+    }
+
+    /// The circuit under analysis.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// The analysis parameters.
+    pub fn params(&self) -> &AnalyzerParams {
+        &self.params
+    }
+
+    /// The collapsed fault list the analyzer estimates (representatives).
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Size of the uncollapsed fault universe.
+    pub fn uncollapsed_fault_count(&self) -> usize {
+        self.uncollapsed
+    }
+
+    /// Runs the full analysis for one input probability vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ProbsLength`] if `probs` does not match the
+    /// circuit's input count.
+    pub fn run(&self, probs: &InputProbs) -> Result<CircuitAnalysis, CoreError> {
+        probs.check_len(self.circuit.num_inputs())?;
+        let aig_probs = self.estimator.estimate(probs.as_slice());
+        let aig = self.estimator.aig();
+        let node_probs: Vec<f64> = (0..self.circuit.num_nodes())
+            .map(|i| lit_prob_of(&aig_probs, aig.lit_of(NodeId::from_index(i))))
+            .collect();
+        let obs = compute_observability(self.circuit, &node_probs, &self.params);
+        let estimates = self
+            .faults
+            .iter()
+            .map(|&fault| {
+                let detection = detection_probability(self.circuit, fault, &node_probs, &obs);
+                let driver = fault.site.driver(self.circuit);
+                let p = node_probs[driver.index()];
+                let activation = match fault.polarity {
+                    protest_sim::StuckAt::Zero => p,
+                    protest_sim::StuckAt::One => 1.0 - p,
+                };
+                let observability = if activation > 0.0 {
+                    detection / activation
+                } else {
+                    0.0
+                };
+                FaultEstimate {
+                    fault,
+                    activation,
+                    observability,
+                    detection,
+                }
+            })
+            .collect();
+        Ok(CircuitAnalysis {
+            node_probs,
+            obs,
+            estimates,
+        })
+    }
+}
+
+/// The result of one [`Analyzer::run`]: per-node signal probabilities,
+/// observabilities and per-fault detection estimates.
+#[derive(Debug)]
+pub struct CircuitAnalysis {
+    node_probs: Vec<f64>,
+    obs: Observability,
+    estimates: Vec<FaultEstimate>,
+}
+
+impl CircuitAnalysis {
+    /// Estimated `P(node = 1)`.
+    pub fn signal_probability(&self, id: NodeId) -> f64 {
+        self.node_probs[id.index()]
+    }
+
+    /// All node signal probabilities, indexable by node index.
+    pub fn signal_probabilities(&self) -> &[f64] {
+        &self.node_probs
+    }
+
+    /// Estimated observability `s(x)` of a node output.
+    pub fn node_observability(&self, id: NodeId) -> f64 {
+        self.obs.node(id)
+    }
+
+    /// Per-fault detection estimates, aligned with
+    /// [`Analyzer::faults`].
+    pub fn fault_estimates(&self) -> &[FaultEstimate] {
+        &self.estimates
+    }
+
+    /// Just the detection probabilities (`P_PROT`), aligned with
+    /// [`Analyzer::faults`].
+    pub fn detection_probabilities(&self) -> Vec<f64> {
+        self.estimates.iter().map(|e| e.detection).collect()
+    }
+
+    /// The `k` least testable faults, hardest first.
+    pub fn hardest_faults(&self, k: usize) -> Vec<FaultEstimate> {
+        let mut sorted = self.estimates.clone();
+        sorted.sort_by(|a, b| {
+            a.detection
+                .partial_cmp(&b.detection)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        sorted.truncate(k);
+        sorted
+    }
+
+    /// Test length to detect the top `d`-fraction of faults with
+    /// probability `e` (paper Tables 2/3/5).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range `d`/`e` (see
+    /// [`testlen::required_test_length_fraction`]).
+    pub fn required_test_length(&self, d: f64, e: f64) -> Option<TestLength> {
+        testlen::required_test_length_fraction(&self.detection_probabilities(), d, e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_circuits::c17;
+    use protest_netlist::CircuitBuilder;
+
+    use super::*;
+
+    #[test]
+    fn analyzer_runs_on_c17() {
+        let ckt = c17();
+        let analyzer = Analyzer::new(&ckt);
+        let analysis = analyzer.run(&InputProbs::uniform(5)).unwrap();
+        assert_eq!(
+            analysis.fault_estimates().len(),
+            analyzer.faults().len()
+        );
+        assert!(analyzer.uncollapsed_fault_count() >= analyzer.faults().len());
+        for est in analysis.fault_estimates() {
+            assert!((0.0..=1.0).contains(&est.detection));
+            assert!(est.detection <= est.activation + 1e-12);
+        }
+        // c17 is highly random-testable: a short test suffices.
+        let tl = analysis.required_test_length(1.0, 0.98).unwrap();
+        assert!(tl.patterns < 200, "N = {}", tl.patterns);
+    }
+
+    #[test]
+    fn rejects_wrong_prob_length() {
+        let ckt = c17();
+        let analyzer = Analyzer::new(&ckt);
+        assert!(matches!(
+            analyzer.run(&InputProbs::uniform(4)),
+            Err(CoreError::ProbsLength { .. })
+        ));
+    }
+
+    #[test]
+    fn lut_components_flow_through_the_whole_pipeline() {
+        // A majority LUT with reconvergent, shared inputs: the AIG
+        // decomposition, estimator, observability and detection paths must
+        // all handle truth-table components, and on this small circuit the
+        // estimates must match the exact values closely.
+        use protest_netlist::TruthTable;
+        let mut b = CircuitBuilder::new("lutmaj");
+        let xs = b.input_bus("x", 3);
+        let t = b.add_table(TruthTable::from_fn(3, |m| m.count_ones() >= 2).unwrap());
+        let maj = b.lut(t, &xs);
+        let z = b.and2(maj, xs[0]);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let analyzer = Analyzer::new(&ckt);
+        let probs = InputProbs::from_slice(&[0.5, 0.3, 0.8]).unwrap();
+        let analysis = analyzer.run(&probs).unwrap();
+        let exact =
+            crate::sigprob::exhaustive_signal_probs(&ckt, &probs).unwrap();
+        // z = maj(x) ∧ x0. The LUT's Shannon decomposition creates nested
+        // reconvergence that bounded conditioning captures only partially
+        // (conditional re-propagation uses the plain product rule, as the
+        // paper's formula does), so per-node drift of ~0.1 is expected.
+        assert!(
+            (analysis.signal_probability(z) - exact[z.index()]).abs() < 0.15,
+            "estimate {} vs exact {}",
+            analysis.signal_probability(z),
+            exact[z.index()]
+        );
+        for est in analysis.fault_estimates() {
+            let miter =
+                crate::detect::exact_detection_probability(&ckt, est.fault, &probs).unwrap();
+            assert!(
+                (est.detection - miter).abs() < 0.3,
+                "{:?}: est {} vs exact {miter}",
+                est.fault,
+                est.detection
+            );
+        }
+    }
+
+    #[test]
+    fn hardest_faults_sorted() {
+        let mut b = CircuitBuilder::new("h");
+        let xs = b.input_bus("x", 6);
+        let t = b.and_tree(&xs); // deep AND: sa0 at the root is hard
+        b.output(t, "z");
+        let ckt = b.finish().unwrap();
+        let analyzer = Analyzer::new(&ckt);
+        let analysis = analyzer.run(&InputProbs::uniform(6)).unwrap();
+        let hardest = analysis.hardest_faults(3);
+        assert_eq!(hardest.len(), 3);
+        assert!(hardest[0].detection <= hardest[1].detection);
+        assert!(hardest[1].detection <= hardest[2].detection);
+        // The hardest faults of an AND tree need all inputs 1: p = 2^-6.
+        assert!((hardest[0].detection - 1.0 / 64.0).abs() < 1e-9);
+    }
+}

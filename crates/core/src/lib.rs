@@ -1,0 +1,67 @@
+//! The PROTEST algorithms: probabilistic testability analysis for
+//! combinational circuits.
+//!
+//! This crate implements the primary contribution of Wunderlich's DAC'85
+//! paper:
+//!
+//! 1. **Signal probability estimation** (paper Sec. 2) — the joining-point
+//!    conditioning estimator with the `MAXVERS`/`MAXLIST` parameters and the
+//!    covariance-driven selection of conditioning nodes, implemented over an
+//!    AND/inverter view of the circuit ([`sigprob`]).
+//! 2. **Fault detection probability** (Sec. 3) — the signal-flow
+//!    observability model with the `⊕(t,y) = t + y − 2ty` branch combiner,
+//!    the multi-output OR alternative, single-path sensitization estimates,
+//!    and the exact good/faulty-miter reference ([`observe`], [`detect`]).
+//! 3. **Test length computation** (Sec. 5, formula (3)) — minimal `N` with
+//!    `P_F(N) = Π_f (1 − (1 − p_f)^N) ≥ e`, in log space ([`testlen`]).
+//! 4. **Input probability optimization** (Sec. 6) — hill climbing over the
+//!    k/16 grid maximizing `J_N(X)` ([`optimize`]).
+//!
+//! The [`Analyzer`] facade wires these together; [`report`] renders
+//! human-readable testability reports.
+//!
+//! # Example
+//!
+//! ```
+//! use protest_core::{Analyzer, InputProbs};
+//! use protest_netlist::CircuitBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = CircuitBuilder::new("demo");
+//! let a = b.input("a");
+//! let c = b.input("c");
+//! let z = b.and2(a, c);
+//! b.output(z, "z");
+//! let ckt = b.finish()?;
+//!
+//! let analyzer = Analyzer::new(&ckt);
+//! let analysis = analyzer.run(&InputProbs::uniform(2))?;
+//! assert!((analysis.signal_probability(z) - 0.25).abs() < 1e-9);
+//! // Detection probabilities for all collapsed faults are available:
+//! assert!(!analysis.fault_estimates().is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod aig;
+mod analyzer;
+mod error;
+mod params;
+
+pub mod detect;
+pub mod observe;
+pub mod optimize;
+pub mod report;
+pub mod scoap;
+pub mod sigprob;
+pub mod stafan;
+pub mod stats;
+pub mod testlen;
+
+pub use aig::{Aig, AigLit, AigNodeId};
+pub use analyzer::{Analyzer, CircuitAnalysis, FaultEstimate};
+pub use error::CoreError;
+pub use params::{AnalyzerParams, InputProbs, ObservabilityModel, PinSensitivityModel};
+pub use testlen::TestLength;

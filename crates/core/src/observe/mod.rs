@@ -1,0 +1,391 @@
+//! Observability: the paper's signal-flow model (Sec. 3).
+//!
+//! For each pin `x` of a component, `s(x)` is the probability that a
+//! sensitized path exists from `x` to a primary output. With `x` the output
+//! pin of a gate `f` and `x₁ … xₘ` the input pins of other components
+//! connected to it:
+//!
+//! ```text
+//! s(x)   = s(x₁) ⊕ s(x₂) ⊕ … ⊕ s(xₘ)          (⊕(t,y) = t + y − 2ty)
+//! s(eᵢ)  = s(x) · ( f̂(p…, 0, …p) ⊕ f̂(p…, 1, …p) )
+//! ```
+//!
+//! where `f̂` is the arithmetic multilinear extension of the gate function
+//! (the paper's unique mapping `¬x ↦ 1−x`, `x·y ↦ x·y`). The alternative
+//! model for many-output circuits replaces the stem combiner by
+//! `s(x) = 1 − (1−s₁)…(1−sₘ)`. Both are selectable via
+//! [`ObservabilityModel`]; primary outputs contribute an observation branch
+//! with `s = 1`.
+
+use protest_netlist::analyze::Fanouts;
+use protest_netlist::{Circuit, GateKind, Levels, NodeId};
+
+use crate::params::{AnalyzerParams, ObservabilityModel, PinSensitivityModel};
+
+mod single_path;
+
+pub use single_path::{SinglePathEstimator, SinglePathParams};
+
+/// The paper's associative combiner `t ⊕ y = t + y − 2ty`
+/// (probability of an XOR of independent events).
+pub fn xor_combine(t: f64, y: f64) -> f64 {
+    t + y - 2.0 * t * y
+}
+
+/// Observability values for every node output and every gate input pin.
+#[derive(Debug, Clone)]
+pub struct Observability {
+    node_s: Vec<f64>,
+    pin_s: Vec<Vec<f64>>,
+}
+
+impl Observability {
+    /// `s(x)` for a node's output net.
+    pub fn node(&self, id: NodeId) -> f64 {
+        self.node_s[id.index()]
+    }
+
+    /// `s(eᵢ)` for input pin `pin` of `gate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pin does not exist.
+    pub fn pin(&self, gate: NodeId, pin: usize) -> f64 {
+        self.pin_s[gate.index()][pin]
+    }
+
+    /// All node observabilities, indexable by node index.
+    pub fn node_values(&self) -> &[f64] {
+        &self.node_s
+    }
+}
+
+/// Computes observabilities in one reverse-topological pass.
+///
+/// `node_probs[i]` is the signal probability of circuit node `i` (from the
+/// estimator or an exact method).
+pub fn compute_observability(
+    circuit: &Circuit,
+    node_probs: &[f64],
+    params: &AnalyzerParams,
+) -> Observability {
+    assert_eq!(
+        node_probs.len(),
+        circuit.num_nodes(),
+        "one probability per node"
+    );
+    let levels = Levels::new(circuit);
+    let fanouts = Fanouts::new(circuit);
+    let mut node_s = vec![0.0f64; circuit.num_nodes()];
+    let mut pin_s: Vec<Vec<f64>> = circuit
+        .nodes()
+        .iter()
+        .map(|n| vec![0.0; n.fanins().len()])
+        .collect();
+
+    for &id in levels.order().iter().rev() {
+        // 1. Stem recombination over consuming pins (+ PO branch).
+        let mut branches: Vec<f64> = fanouts
+            .of(id)
+            .iter()
+            .map(|&(g, pin)| pin_s[g.index()][pin as usize])
+            .collect();
+        if circuit.is_output(id) {
+            branches.push(1.0);
+        }
+        let s = match params.observability {
+            ObservabilityModel::Parity => branches.into_iter().fold(0.0, xor_combine),
+            ObservabilityModel::AnyPath => {
+                1.0 - branches.into_iter().fold(1.0, |acc, b| acc * (1.0 - b))
+            }
+        };
+        let s = s.clamp(0.0, 1.0);
+        node_s[id.index()] = s;
+
+        // 2. Pin sensitivities of this gate.
+        let node = circuit.node(id);
+        if node.fanins().is_empty() {
+            continue;
+        }
+        let fanin_probs: Vec<f64> = node
+            .fanins()
+            .iter()
+            .map(|&f| node_probs[f.index()])
+            .collect();
+        for pin in 0..node.fanins().len() {
+            let sens = pin_sensitivity(circuit, node.kind(), &fanin_probs, pin, params);
+            pin_s[id.index()][pin] = (s * sens).clamp(0.0, 1.0);
+        }
+    }
+    Observability { node_s, pin_s }
+}
+
+/// Probability that the gate output follows input pin `pin`.
+fn pin_sensitivity(
+    circuit: &Circuit,
+    kind: GateKind,
+    probs: &[f64],
+    pin: usize,
+    params: &AnalyzerParams,
+) -> f64 {
+    match params.pin_sensitivity {
+        PinSensitivityModel::ArithmeticXor => {
+            let mut q0 = probs.to_vec();
+            q0[pin] = 0.0;
+            let mut q1 = probs.to_vec();
+            q1[pin] = 1.0;
+            xor_combine(
+                multilinear(circuit, kind, &q0),
+                multilinear(circuit, kind, &q1),
+            )
+        }
+        PinSensitivityModel::BooleanDifference => boolean_difference(circuit, kind, probs, pin),
+    }
+}
+
+/// The arithmetic multilinear extension `f̂` of a gate function, evaluated at
+/// a probability vector.
+pub fn multilinear(circuit: &Circuit, kind: GateKind, probs: &[f64]) -> f64 {
+    match kind {
+        GateKind::Input => unreachable!("inputs have no gate function"),
+        GateKind::Const(v) => {
+            if v {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        GateKind::Buf => probs[0],
+        GateKind::Not => 1.0 - probs[0],
+        GateKind::And => probs.iter().product(),
+        GateKind::Nand => 1.0 - probs.iter().product::<f64>(),
+        GateKind::Or => 1.0 - probs.iter().map(|p| 1.0 - p).product::<f64>(),
+        GateKind::Nor => probs.iter().map(|p| 1.0 - p).product(),
+        GateKind::Xor => probs.iter().copied().fold(0.0, xor_combine),
+        GateKind::Xnor => 1.0 - probs.iter().copied().fold(0.0, xor_combine),
+        GateKind::Lut(lid) => {
+            let table = circuit.lut(lid);
+            let n = table.num_inputs();
+            let mut total = 0.0;
+            for m in 0..(1usize << n) {
+                if !table.bit(m) {
+                    continue;
+                }
+                let mut w = 1.0;
+                for (i, &p) in probs.iter().enumerate() {
+                    w *= if (m >> i) & 1 == 1 { p } else { 1.0 - p };
+                }
+                total += w;
+            }
+            total
+        }
+    }
+}
+
+/// Exact `P(f|ₚᵢₙ₌₀ ≠ f|ₚᵢₙ₌₁)` under independent inputs.
+fn boolean_difference(circuit: &Circuit, kind: GateKind, probs: &[f64], pin: usize) -> f64 {
+    match kind {
+        GateKind::Buf | GateKind::Not => 1.0,
+        GateKind::Xor | GateKind::Xnor => 1.0,
+        GateKind::And | GateKind::Nand => probs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != pin)
+            .map(|(_, &p)| p)
+            .product(),
+        GateKind::Or | GateKind::Nor => probs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != pin)
+            .map(|(_, &p)| 1.0 - p)
+            .product(),
+        GateKind::Const(_) => 0.0,
+        GateKind::Input => unreachable!("inputs have no gate function"),
+        GateKind::Lut(lid) => {
+            let table = circuit.lut(lid);
+            let n = table.num_inputs();
+            let mut total = 0.0;
+            // Enumerate assignments of the other pins.
+            for m in 0..(1usize << n) {
+                if (m >> pin) & 1 == 1 {
+                    continue; // canonical: pin bit 0; pair with pin bit 1
+                }
+                let f0 = table.bit(m);
+                let f1 = table.bit(m | (1 << pin));
+                if f0 == f1 {
+                    continue;
+                }
+                let mut w = 1.0;
+                for (i, &p) in probs.iter().enumerate() {
+                    if i == pin {
+                        continue;
+                    }
+                    w *= if (m >> i) & 1 == 1 { p } else { 1.0 - p };
+                }
+                total += w;
+            }
+            total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_netlist::{CircuitBuilder, TruthTable};
+
+    use crate::params::InputProbs;
+    use crate::sigprob::exhaustive_signal_probs;
+
+    use super::*;
+
+    fn analyze(
+        circuit: &Circuit,
+        probs: &[f64],
+        params: &AnalyzerParams,
+    ) -> (Vec<f64>, Observability) {
+        let ip = InputProbs::from_slice(probs).unwrap();
+        let node_probs = exhaustive_signal_probs(circuit, &ip).unwrap();
+        let obs = compute_observability(circuit, &node_probs, params);
+        (node_probs, obs)
+    }
+
+    #[test]
+    fn chain_observability() {
+        // a → NOT → NOT → z: every net fully observable.
+        let mut b = CircuitBuilder::new("chain");
+        let a = b.input("a");
+        let n1 = b.not(a);
+        let n2 = b.not(n1);
+        b.output(n2, "z");
+        let ckt = b.finish().unwrap();
+        let (_, obs) = analyze(&ckt, &[0.5], &AnalyzerParams::default());
+        for id in [a, n1, n2] {
+            assert!((obs.node(id) - 1.0).abs() < 1e-12, "{id}");
+        }
+    }
+
+    #[test]
+    fn and_gate_pin_observability() {
+        // z = AND(a, c): pin a observable iff c = 1.
+        let mut b = CircuitBuilder::new("and");
+        let a = b.input("a");
+        let c = b.input("c");
+        let z = b.and2(a, c);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let (_, obs) = analyze(&ckt, &[0.5, 0.25], &AnalyzerParams::default());
+        assert!((obs.node(z) - 1.0).abs() < 1e-12);
+        assert!((obs.node(a) - 0.25).abs() < 1e-12);
+        assert!((obs.node(c) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xor_gate_pins_fully_sensitive_in_bd_mode() {
+        let mut b = CircuitBuilder::new("x");
+        let a = b.input("a");
+        let c = b.input("c");
+        let z = b.xor2(a, c);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let params = AnalyzerParams {
+            pin_sensitivity: PinSensitivityModel::BooleanDifference,
+            ..AnalyzerParams::default()
+        };
+        let (_, obs) = analyze(&ckt, &[0.3, 0.9], &params);
+        assert!((obs.node(a) - 1.0).abs() < 1e-12);
+        assert!((obs.node(c) - 1.0).abs() < 1e-12);
+        // The literal arithmetic-XOR transcription is pessimistic here.
+        let paper = AnalyzerParams {
+            pin_sensitivity: PinSensitivityModel::ArithmeticXor,
+            ..AnalyzerParams::default()
+        };
+        let (_, obs) = analyze(&ckt, &[0.3, 0.9], &paper);
+        assert!(obs.node(a) < 1.0);
+    }
+
+    #[test]
+    fn paper_mode_underestimates_xor_pins() {
+        // The ArithmeticXor model treats the cofactors as independent and
+        // computes p ⊕ (1−p) < 1 — the "very simple modeling of the signal
+        // flow" the paper blames for its P_SIM ≥ P_PROT bias (Fig. 6).
+        let mut b = CircuitBuilder::new("x");
+        let a = b.input("a");
+        let c = b.input("c");
+        let z = b.xor2(a, c);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let params = AnalyzerParams {
+            pin_sensitivity: PinSensitivityModel::ArithmeticXor,
+            ..AnalyzerParams::default()
+        };
+        let (_, obs) = analyze(&ckt, &[0.5, 0.5], &params);
+        // f̂(0, p)=p, f̂(1, p)=1−p; p ⊕ (1−p) at p=0.5 is 0.5.
+        assert!((obs.node(a) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parity_model_cancels_even_reconvergence() {
+        // z = XOR(a, a) built through two branches of a stem — in the parity
+        // model the stem is unobservable (both paths always cancel), which
+        // is physically correct here: z is constant.
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let b1 = b.buf(a);
+        let b2 = b.buf(a);
+        let z = b.xor2(b1, b2);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let params = AnalyzerParams {
+            observability: ObservabilityModel::Parity,
+            pin_sensitivity: PinSensitivityModel::BooleanDifference,
+            ..AnalyzerParams::default()
+        };
+        let (_, obs) = analyze(&ckt, &[0.5], &params);
+        assert!(obs.node(a).abs() < 1e-12, "stem must cancel: {}", obs.node(a));
+    }
+
+    #[test]
+    fn anypath_model_does_not_cancel() {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let b1 = b.buf(a);
+        let b2 = b.buf(a);
+        let z = b.xor2(b1, b2);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let params = AnalyzerParams {
+            observability: ObservabilityModel::AnyPath,
+            pin_sensitivity: PinSensitivityModel::BooleanDifference,
+            ..AnalyzerParams::default()
+        };
+        let (_, obs) = analyze(&ckt, &[0.5], &params);
+        assert!(obs.node(a) > 0.9, "any-path keeps stems observable");
+    }
+
+    #[test]
+    fn multilinear_of_lut_matches_gate() {
+        // LUT implementing AND3 must match the AND multilinear.
+        let mut b = CircuitBuilder::new("l");
+        let xs = b.input_bus("x", 3);
+        let t = b.add_table(TruthTable::from_fn(3, |m| m == 7).unwrap());
+        let z = b.lut(t, &xs);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let kind = ckt.node(z).kind();
+        let probs = [0.3, 0.6, 0.9];
+        let got = multilinear(&ckt, kind, &probs);
+        assert!((got - 0.3 * 0.6 * 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_node_is_unobservable() {
+        let mut b = CircuitBuilder::new("d");
+        let a = b.input("a");
+        let dead = b.not(a);
+        let z = b.buf(a);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let (_, obs) = analyze(&ckt, &[0.5], &AnalyzerParams::default());
+        assert_eq!(obs.node(dead), 0.0);
+    }
+}

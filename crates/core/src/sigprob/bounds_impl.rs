@@ -1,0 +1,275 @@
+//! Savir–Ditlow–Bardell cutting-algorithm interval bounds \[BDS84\].
+//!
+//! The paper positions PROTEST against this method: where the cutting
+//! algorithm returns *upper and lower bounds* of each node's signal
+//! probability, "PROTEST however computes a real number as estimation".
+//! We implement the bounds as a comparator and as a soundness oracle
+//! (the true probability always lies inside the interval).
+//!
+//! Method: at every fanout stem, all branches but the first are *cut* —
+//! replaced by the free interval `[0, 1]`. The resulting circuit is a tree,
+//! over which interval arithmetic is sound for monotone (unate) gates —
+//! the setting of the original paper. XOR is *not* unate: corner
+//! evaluation is only sound when neither operand's support contains a
+//! fanout stem (stem correlation can push the true probability outside
+//! the independent-corner hull, e.g. `a ⊕ a = 0` vs corners `{0.5}`).
+//! We therefore track stem taint and return the conservative `[0, 1]` for
+//! XOR/XNOR over tainted operands; XOR trees over pure primary inputs
+//! keep exact corners.
+
+use protest_netlist::analyze::Fanouts;
+use protest_netlist::{Circuit, GateKind, Levels, NodeId};
+
+use crate::error::CoreError;
+use crate::params::InputProbs;
+
+/// A `[lo, hi]` interval bound on a signal probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbBounds {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl ProbBounds {
+    fn point(p: f64) -> Self {
+        ProbBounds { lo: p, hi: p }
+    }
+    fn free() -> Self {
+        ProbBounds { lo: 0.0, hi: 1.0 }
+    }
+    fn not(self) -> Self {
+        ProbBounds {
+            lo: 1.0 - self.hi,
+            hi: 1.0 - self.lo,
+        }
+    }
+    fn and(self, other: Self) -> Self {
+        ProbBounds {
+            lo: self.lo * other.lo,
+            hi: self.hi * other.hi,
+        }
+    }
+    fn or(self, other: Self) -> Self {
+        self.not().and(other.not()).not()
+    }
+    fn xor(self, other: Self) -> Self {
+        // p ⊕ q = p + q − 2pq is multilinear: extrema at interval corners.
+        let corners = [
+            xor_point(self.lo, other.lo),
+            xor_point(self.lo, other.hi),
+            xor_point(self.hi, other.lo),
+            xor_point(self.hi, other.hi),
+        ];
+        ProbBounds {
+            lo: corners.iter().copied().fold(f64::INFINITY, f64::min),
+            hi: corners.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+    /// Whether `p` lies inside (with ε slack for roundoff).
+    pub fn contains(&self, p: f64) -> bool {
+        p >= self.lo - 1e-9 && p <= self.hi + 1e-9
+    }
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+fn xor_point(p: f64, q: f64) -> f64 {
+    p + q - 2.0 * p * q
+}
+
+/// Computes cutting-algorithm bounds for every node.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ProbsLength`] on a mismatched probability vector.
+pub fn signal_prob_bounds(
+    circuit: &Circuit,
+    probs: &InputProbs,
+) -> Result<Vec<ProbBounds>, CoreError> {
+    probs.check_len(circuit.num_inputs())?;
+    let fanouts = Fanouts::new(circuit);
+    let levels = Levels::new(circuit);
+    let p = probs.as_slice();
+    let mut bounds = vec![ProbBounds::free(); circuit.num_nodes()];
+    // A node is tainted when its (cut-) support contains any fanout stem;
+    // XOR over tainted operands falls back to [0, 1].
+    let mut tainted = vec![false; circuit.num_nodes()];
+    // Track, per stem, which consumer pin keeps the real interval: the
+    // first (gate, pin) in fanout order; all other pins read [0,1].
+    let kept: Vec<Option<(NodeId, u8)>> = (0..circuit.num_nodes())
+        .map(|i| {
+            let id = NodeId::from_index(i);
+            fanouts.of(id).first().copied()
+        })
+        .collect();
+    let read = |bounds: &[ProbBounds], driver: NodeId, gate: NodeId, pin: u8| -> ProbBounds {
+        if fanouts.degree(driver) >= 2 && kept[driver.index()] != Some((gate, pin)) {
+            ProbBounds::free()
+        } else {
+            bounds[driver.index()]
+        }
+    };
+    for &id in levels.order() {
+        let node = circuit.node(id);
+        let b = match node.kind() {
+            GateKind::Input => {
+                let pos = circuit
+                    .input_position(id)
+                    .expect("input in input list");
+                ProbBounds::point(p[pos])
+            }
+            GateKind::Const(v) => ProbBounds::point(if v { 1.0 } else { 0.0 }),
+            GateKind::Buf => read(&bounds, node.fanins()[0], id, 0),
+            GateKind::Not => read(&bounds, node.fanins()[0], id, 0).not(),
+            GateKind::And | GateKind::Nand => {
+                let acc = fold_pins(&bounds, circuit, id, read, ProbBounds::and);
+                if node.kind() == GateKind::Nand {
+                    acc.not()
+                } else {
+                    acc
+                }
+            }
+            GateKind::Or | GateKind::Nor => {
+                let acc = fold_pins(&bounds, circuit, id, read, ProbBounds::or);
+                if node.kind() == GateKind::Nor {
+                    acc.not()
+                } else {
+                    acc
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                let any_tainted = node
+                    .fanins()
+                    .iter()
+                    .any(|&f| tainted[f.index()] || fanouts.degree(f) >= 2);
+                let acc = if any_tainted {
+                    ProbBounds::free()
+                } else {
+                    fold_pins(&bounds, circuit, id, read, ProbBounds::xor)
+                };
+                if node.kind() == GateKind::Xnor {
+                    acc.not()
+                } else {
+                    acc
+                }
+            }
+            // Arbitrary components: conservative free interval unless the
+            // table is constant. (The cutting literature predates LUTs.)
+            GateKind::Lut(lid) => {
+                let t = circuit.lut(lid);
+                if t.ones() == 0 {
+                    ProbBounds::point(0.0)
+                } else if t.ones() == 1u64 << t.num_inputs() {
+                    ProbBounds::point(1.0)
+                } else {
+                    ProbBounds::free()
+                }
+            }
+        };
+        bounds[id.index()] = b;
+        tainted[id.index()] = node
+            .fanins()
+            .iter()
+            .any(|&f| tainted[f.index()] || fanouts.degree(f) >= 2);
+    }
+    Ok(bounds)
+}
+
+fn fold_pins(
+    bounds: &[ProbBounds],
+    circuit: &Circuit,
+    id: NodeId,
+    read: impl Fn(&[ProbBounds], NodeId, NodeId, u8) -> ProbBounds,
+    op: impl Fn(ProbBounds, ProbBounds) -> ProbBounds,
+) -> ProbBounds {
+    let node = circuit.node(id);
+    let mut acc: Option<ProbBounds> = None;
+    for (pin, &f) in node.fanins().iter().enumerate() {
+        let b = read(bounds, f, id, pin as u8);
+        acc = Some(match acc {
+            None => b,
+            Some(a) => op(a, b),
+        });
+    }
+    acc.expect("gates have at least one fanin")
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_circuits::{c17, random_circuit, RandomCircuitParams};
+    use protest_netlist::CircuitBuilder;
+
+    use crate::sigprob::exhaustive_signal_probs;
+
+    use super::*;
+
+    #[test]
+    fn tree_bounds_are_tight() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let z = b.and2(a, c);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let probs = InputProbs::from_slice(&[0.5, 0.25]).unwrap();
+        let bounds = signal_prob_bounds(&ckt, &probs).unwrap();
+        let bz = bounds[z.index()];
+        assert!((bz.lo - 0.125).abs() < 1e-12);
+        assert!((bz.hi - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_contain_exact_on_c17() {
+        let ckt = c17();
+        let probs = InputProbs::uniform(5);
+        let exact = exhaustive_signal_probs(&ckt, &probs).unwrap();
+        let bounds = signal_prob_bounds(&ckt, &probs).unwrap();
+        for (i, (e, b)) in exact.iter().zip(&bounds).enumerate() {
+            assert!(b.contains(*e), "node {i}: {e} outside [{}, {}]", b.lo, b.hi);
+        }
+    }
+
+    #[test]
+    fn bounds_contain_exact_on_random_circuits() {
+        for seed in 0..10u64 {
+            let ckt = random_circuit(RandomCircuitParams {
+                inputs: 6,
+                gates: 25,
+                outputs: 3,
+                seed,
+            });
+            let probs = InputProbs::from_slice(&[0.2, 0.5, 0.7, 0.4, 0.9, 0.5]).unwrap();
+            let exact = exhaustive_signal_probs(&ckt, &probs).unwrap();
+            let bounds = signal_prob_bounds(&ckt, &probs).unwrap();
+            for (i, (e, b)) in exact.iter().zip(&bounds).enumerate() {
+                assert!(
+                    b.contains(*e),
+                    "seed {seed} node {i}: {e} outside [{}, {}]",
+                    b.lo,
+                    b.hi
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reconvergence_widens_intervals() {
+        // z = a ∧ ¬a is constantly 0, but the cut can't see it: interval
+        // must still contain 0 and be wide.
+        let mut b = CircuitBuilder::new("w");
+        let a = b.input("a");
+        let na = b.not(a);
+        let z = b.and2(a, na);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let probs = InputProbs::uniform(1);
+        let bounds = signal_prob_bounds(&ckt, &probs).unwrap();
+        let bz = bounds[z.index()];
+        assert!(bz.contains(0.0));
+        assert!(bz.width() > 0.2, "width {}", bz.width());
+    }
+}

@@ -1,0 +1,500 @@
+//! The PROTEST signal-probability estimator (paper Sec. 2).
+//!
+//! Over the AIG view, the paper's four cases are:
+//!
+//! 1. primary input — probability given;
+//! 2. inverter — complement edges make this `1 − p` for free;
+//! 3. AND without reconvergent fanout at its inputs (`V(a,b) = ∅`) —
+//!    `p = p_a · p_b`;
+//! 4. AND with joining points — condition on the logic values of a bounded
+//!    subset `W ⊆ V(a,b)`, `|W| ≤ MAXVERS` (formula (2)):
+//!
+//!    ```text
+//!    p_k = Σ_{v ⊆ W} P(A_v) · P(R_a = 1 | A_v) · P(R_b = 1 | A_v)
+//!    ```
+//!
+//!    where `A_v` assigns 1 to the joining points in `v` and 0 to the rest.
+//!    `W` is chosen to maximize `|Cov(R_a, R_x) · Cov(R_b, R_x)| / S(R_x)²`
+//!    (the error term the paper derives via Bayes' formula), and the
+//!    conditional probabilities are obtained by re-propagating the bounded
+//!    fanin cone with the joining points pinned.
+
+use crate::aig::{Aig, AigLit, AigNodeId};
+use crate::params::AnalyzerParams;
+
+/// Per-AND structural cache: joining points and the bounded cone used for
+/// conditional re-propagation. Probability-independent, so the optimizer can
+/// re-estimate thousands of times without re-running graph searches.
+#[derive(Debug, Clone, Default)]
+struct AndCache {
+    /// Bounded `V(a, b)`, empty for case-3 ANDs.
+    joining: Vec<AigNodeId>,
+    /// Union of the bounded fanin cones of `a` and `b`, ascending (= topo)
+    /// order, excluding nodes at the depth boundary (their base estimate is
+    /// used as-is).
+    cone: Vec<AigNodeId>,
+}
+
+/// The PROTEST estimator. Construction performs all graph searches; each
+/// [`estimate`](SignalProbEstimator::estimate) call is then a pure numeric
+/// pass.
+#[derive(Debug)]
+pub struct SignalProbEstimator {
+    aig: Aig,
+    maxvers: usize,
+    cache: Vec<AndCache>,
+}
+
+impl SignalProbEstimator {
+    /// Builds the estimator, computing joining points (`MAXLIST`-bounded)
+    /// for every AND node.
+    pub fn new(aig: Aig, params: &AnalyzerParams) -> Self {
+        let fanouts = aig.fanout_map();
+        let n = aig.len();
+        let mut cache = vec![AndCache::default(); n];
+        // Scratch bitsets for cone membership.
+        let mut in_a = vec![u32::MAX; n];
+        let mut in_b = vec![u32::MAX; n];
+        let mut epoch = 0u32;
+        for k in 0..n {
+            let id = AigNodeId::from_index(k);
+            let Some((la, lb)) = aig.and_fanins(id) else {
+                continue;
+            };
+            let (a, b) = (la.node(), lb.node());
+            epoch += 1;
+            let cone_a = bounded_cone(&aig, a, params.maxlist, &mut in_a, epoch);
+            let cone_b = bounded_cone(&aig, b, params.maxlist, &mut in_b, epoch);
+            // Joining points: in both cones, fanout ≥ 2, with distinct
+            // immediate successors toward a and b.
+            let mut joining = Vec::new();
+            for &x in cone_a.iter() {
+                if in_b[x.index()] != epoch {
+                    continue;
+                }
+                let succs = &fanouts[x.index()];
+                if succs.len() < 2 && !(succs.len() >= 1 && (x == a || x == b)) {
+                    // A fanout of 1 can still join if x *is* a or b itself
+                    // (x feeds the other side through its single successor
+                    // while feeding the AND directly).
+                    if !(x == a || x == b) {
+                        continue;
+                    }
+                }
+                let mut to_a = x == a;
+                let mut to_b = x == b;
+                let mut branches_a = usize::from(x == a);
+                let mut branches_b = usize::from(x == b);
+                for &s in succs {
+                    let sa = s == a || (s.index() < in_a.len() && in_a[s.index()] == epoch);
+                    let sb = s == b || (s.index() < in_b.len() && in_b[s.index()] == epoch);
+                    if sa {
+                        to_a = true;
+                        branches_a += 1;
+                    }
+                    if sb {
+                        to_b = true;
+                        branches_b += 1;
+                    }
+                }
+                // Need two *different* routes: total distinct branch uses ≥ 2.
+                if to_a && to_b && branches_a + branches_b >= 2 {
+                    joining.push(x);
+                }
+            }
+            if joining.is_empty() {
+                continue;
+            }
+            // Union cone in ascending (= topological) order.
+            let mut cone: Vec<AigNodeId> = cone_a
+                .iter()
+                .copied()
+                .chain(cone_b.iter().copied().filter(|x| in_a[x.index()] != epoch))
+                .collect();
+            cone.sort_unstable();
+            joining.sort_unstable();
+            cache[k] = AndCache { joining, cone };
+        }
+        SignalProbEstimator {
+            aig,
+            maxvers: params.maxvers,
+            cache,
+        }
+    }
+
+    /// The AIG this estimator analyzes.
+    pub fn aig(&self) -> &Aig {
+        &self.aig
+    }
+
+    /// Estimates `P(node = 1)` for every AIG node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_probs.len() != aig.num_inputs()`.
+    pub fn estimate(&self, input_probs: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            input_probs.len(),
+            self.aig.num_inputs(),
+            "one probability per primary input"
+        );
+        let n = self.aig.len();
+        let mut probs = vec![0.0f64; n];
+        // Node 0 is constant TRUE.
+        probs[0] = 1.0;
+        let mut scratch = Scratch::new(n);
+        for k in 1..n {
+            let id = AigNodeId::from_index(k);
+            if let Some(pos) = self.aig.input_position(id) {
+                probs[k] = input_probs[pos];
+                continue;
+            }
+            let (la, lb) = self
+                .aig
+                .and_fanins(id)
+                .expect("non-input, non-constant AIG node is an AND");
+            let cache = &self.cache[k];
+            if cache.joining.is_empty() {
+                probs[k] = lit_prob(&probs, la) * lit_prob(&probs, lb);
+                continue;
+            }
+            probs[k] = self.conditioned(&probs, la, lb, cache, &mut scratch);
+        }
+        probs
+    }
+
+    /// Case-4 computation: select `W`, enumerate its assignments.
+    fn conditioned(
+        &self,
+        base: &[f64],
+        la: AigLit,
+        lb: AigLit,
+        cache: &AndCache,
+        scratch: &mut Scratch,
+    ) -> f64 {
+        let pa = lit_prob(base, la);
+        let pb = lit_prob(base, lb);
+        // Score each joining point by |Cov(a,x)·Cov(b,x)| / S(x)².
+        let mut scored: Vec<(f64, AigNodeId)> = Vec::with_capacity(cache.joining.len());
+        for &x in &cache.joining {
+            let px = base[x.index()];
+            if px <= f64::EPSILON || px >= 1.0 - f64::EPSILON {
+                continue; // deterministic node carries no correlation
+            }
+            let (pa1, pb1) = repropagate(&self.aig, base, &cache.cone, &[(x, 1.0)], la, lb, scratch);
+            let cov_a = (pa1 - pa) * px;
+            let cov_b = (pb1 - pb) * px;
+            let score = (cov_a * cov_b).abs() / (px * (1.0 - px));
+            if score > 1e-15 {
+                scored.push((score, x));
+            }
+        }
+        if scored.is_empty() {
+            return (pa * pb).clamp(0.0, 1.0);
+        }
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(self.maxvers);
+        let w: Vec<AigNodeId> = scored.iter().map(|&(_, x)| x).collect();
+
+        // Enumerate the 2^|W| assignments (formula (2)).
+        let mut total = 0.0f64;
+        let mut pinned: Vec<(AigNodeId, f64)> = w.iter().map(|&x| (x, 0.0)).collect();
+        for v in 0..(1usize << w.len()) {
+            let mut weight = 1.0f64;
+            for (i, &x) in w.iter().enumerate() {
+                let px = base[x.index()];
+                let bit = (v >> i) & 1 == 1;
+                weight *= if bit { px } else { 1.0 - px };
+                pinned[i].1 = if bit { 1.0 } else { 0.0 };
+            }
+            if weight <= 0.0 {
+                continue;
+            }
+            let (pa_v, pb_v) = repropagate(&self.aig, base, &cache.cone, &pinned, la, lb, scratch);
+            total += weight * pa_v * pb_v;
+        }
+        total.clamp(0.0, 1.0)
+    }
+}
+
+/// Probability of a literal given per-node probabilities.
+pub(crate) fn lit_prob(probs: &[f64], lit: AigLit) -> f64 {
+    let p = probs[lit.node().index()];
+    if lit.is_complement() {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Re-propagates probabilities through `cone` (ascending node order) with
+/// `pinned` node values fixed; fanins outside the cone take their base
+/// estimate. Returns the conditional probabilities of `la` and `lb`.
+fn repropagate(
+    aig: &Aig,
+    base: &[f64],
+    cone: &[AigNodeId],
+    pinned: &[(AigNodeId, f64)],
+    la: AigLit,
+    lb: AigLit,
+    scratch: &mut Scratch,
+) -> (f64, f64) {
+    scratch.begin();
+    for &n in cone {
+        let v = if let Some(&(_, pv)) = pinned.iter().find(|&&(x, _)| x == n) {
+            pv
+        } else if let Some((fa, fb)) = aig.and_fanins(n) {
+            let va = scratch.lit_value(base, fa);
+            let vb = scratch.lit_value(base, fb);
+            va * vb
+        } else {
+            base[n.index()]
+        };
+        scratch.set(n, v);
+    }
+    (
+        scratch.lit_value(base, la),
+        scratch.lit_value(base, lb),
+    )
+}
+
+/// Epoch-stamped scratch values for conditional propagation (O(1) reset).
+#[derive(Debug)]
+struct Scratch {
+    value: Vec<f64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Self {
+        Scratch {
+            value: vec![0.0; n],
+            stamp: vec![0; n],
+            epoch: 0,
+        }
+    }
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+    }
+    fn set(&mut self, n: AigNodeId, v: f64) {
+        self.value[n.index()] = v;
+        self.stamp[n.index()] = self.epoch;
+    }
+    fn get(&self, base: &[f64], n: AigNodeId) -> f64 {
+        if self.stamp[n.index()] == self.epoch {
+            self.value[n.index()]
+        } else {
+            base[n.index()]
+        }
+    }
+    fn lit_value(&self, base: &[f64], lit: AigLit) -> f64 {
+        let p = self.get(base, lit.node());
+        if lit.is_complement() {
+            1.0 - p
+        } else {
+            p
+        }
+    }
+}
+
+/// Collects the bounded backward cone of `root` (inclusive); membership is
+/// marked in `mark` with `epoch`.
+fn bounded_cone(
+    aig: &Aig,
+    root: AigNodeId,
+    max_depth: usize,
+    mark: &mut [u32],
+    epoch: u32,
+) -> Vec<AigNodeId> {
+    let mut cone = vec![root];
+    mark[root.index()] = epoch;
+    let mut frontier = vec![root];
+    for _ in 0..max_depth {
+        let mut next = Vec::new();
+        for id in frontier.drain(..) {
+            if let Some((a, b)) = aig.and_fanins(id) {
+                for f in [a.node(), b.node()] {
+                    if mark[f.index()] != epoch {
+                        mark[f.index()] = epoch;
+                        cone.push(f);
+                        next.push(f);
+                    }
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    cone
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_netlist::CircuitBuilder;
+
+    use crate::aig::Aig;
+    use crate::params::AnalyzerParams;
+
+    use super::*;
+
+    fn estimate_outputs(
+        circuit: &protest_netlist::Circuit,
+        probs: &[f64],
+        params: &AnalyzerParams,
+    ) -> Vec<f64> {
+        let aig = Aig::from_circuit(circuit);
+        let est = SignalProbEstimator::new(aig, params);
+        let node_probs = est.estimate(probs);
+        circuit
+            .outputs()
+            .iter()
+            .map(|&o| lit_prob(&node_probs, est.aig().lit_of(o)))
+            .collect()
+    }
+
+    #[test]
+    fn tree_circuits_are_exact() {
+        // No reconvergence: product rule is exact.
+        let mut b = CircuitBuilder::new("tree");
+        let xs = b.input_bus("x", 4);
+        let l = b.and2(xs[0], xs[1]);
+        let r = b.or2(xs[2], xs[3]);
+        let z = b.nand2(l, r);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let ps = [0.5, 0.25, 0.8, 0.1];
+        let got = estimate_outputs(&ckt, &ps, &AnalyzerParams::default());
+        let want = 1.0 - (0.5 * 0.25) * (1.0 - 0.2 * 0.9);
+        assert!((got[0] - want).abs() < 1e-12, "got {} want {want}", got[0]);
+    }
+
+    #[test]
+    fn reconvergence_through_shared_input_is_exact() {
+        // z = a ∧ (a ∨ b): exact P = pa. Pure product rule would give
+        // pa(pa + pb − pa·pb) ≠ pa.
+        let mut b = CircuitBuilder::new("rc");
+        let a = b.input("a");
+        let c = b.input("b");
+        let o = b.or2(a, c);
+        let z = b.and2(a, o);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        for (pa, pb) in [(0.5, 0.5), (0.3, 0.9), (0.7, 0.2)] {
+            let got = estimate_outputs(&ckt, &[pa, pb], &AnalyzerParams::default());
+            assert!((got[0] - pa).abs() < 1e-9, "pa={pa} pb={pb} got {}", got[0]);
+        }
+    }
+
+    #[test]
+    fn xor_of_same_input_is_zero() {
+        // z = a ⊕ a = 0; the AIG folds this, but build it via two gates so
+        // reconvergence analysis must do the work.
+        let mut b = CircuitBuilder::new("xx");
+        let a = b.input("a");
+        let buf1 = b.and2(a, a); // = a after strashing? and(a,a) folds to a.
+        let n = b.not(a);
+        let t1 = b.and2(a, n); // folds to 0
+        b.output(t1, "z");
+        b.output(buf1, "w");
+        let ckt = b.finish().unwrap();
+        let got = estimate_outputs(&ckt, &[0.37], &AnalyzerParams::default());
+        assert!(got[0].abs() < 1e-12);
+        assert!((got[1] - 0.37).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classic_reconvergent_majority_is_exact_with_enough_maxvers() {
+        // maj(a,b,c) = ab ∨ bc ∨ ac: inputs are shared across branches.
+        let mut b = CircuitBuilder::new("maj");
+        let a = b.input("a");
+        let c = b.input("c");
+        let d = b.input("d");
+        let t1 = b.and2(a, c);
+        let t2 = b.and2(c, d);
+        let t3 = b.and2(a, d);
+        let o1 = b.or2(t1, t2);
+        let z = b.or2(o1, t3);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let ps = [0.5, 0.5, 0.5];
+        let got = estimate_outputs(&ckt, &ps, &AnalyzerParams::default());
+        // Exact: P(maj) = 0.5 for uniform inputs.
+        assert!(
+            (got[0] - 0.5).abs() < 0.02,
+            "majority estimate {} too far from 0.5",
+            got[0]
+        );
+    }
+
+    #[test]
+    fn maxvers_zero_degenerates_to_product_rule() {
+        let mut b = CircuitBuilder::new("rc");
+        let a = b.input("a");
+        let c = b.input("b");
+        let o = b.or2(a, c);
+        let z = b.and2(a, o);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let params = AnalyzerParams {
+            maxvers: 0,
+            ..AnalyzerParams::default()
+        };
+        let got = estimate_outputs(&ckt, &[0.5, 0.5], &params);
+        // Product rule: P(a)·P(a∨b) = 0.5 · 0.75.
+        assert!((got[0] - 0.375).abs() < 1e-12, "got {}", got[0]);
+    }
+
+    #[test]
+    fn estimates_stay_in_unit_interval() {
+        use protest_netlist::GateKind;
+        // A dense reconvergent mess.
+        let mut b = CircuitBuilder::new("mess");
+        let xs = b.input_bus("x", 4);
+        let mut layer = xs.clone();
+        for round in 0..4 {
+            let mut next = Vec::new();
+            for i in 0..layer.len() {
+                let j = (i + 1) % layer.len();
+                let kind = match (round + i) % 3 {
+                    0 => GateKind::Nand,
+                    1 => GateKind::Nor,
+                    _ => GateKind::Xor,
+                };
+                next.push(b.gate(kind, &[layer[i], layer[j]]));
+            }
+            layer = next;
+        }
+        for (i, &n) in layer.iter().enumerate() {
+            b.output(n, format!("z{i}"));
+        }
+        let ckt = b.finish().unwrap();
+        for p in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            let got = estimate_outputs(&ckt, &[p; 4], &AnalyzerParams::default());
+            for (i, &g) in got.iter().enumerate() {
+                assert!((0.0..=1.0).contains(&g), "output {i} = {g} at p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_inputs_give_deterministic_outputs() {
+        let mut b = CircuitBuilder::new("det");
+        let a = b.input("a");
+        let c = b.input("b");
+        let z = b.xor2(a, c);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        for (pa, pb, want) in [(1.0, 1.0, 0.0), (1.0, 0.0, 1.0), (0.0, 0.0, 0.0)] {
+            let got = estimate_outputs(&ckt, &[pa, pb], &AnalyzerParams::default());
+            assert!((got[0] - want).abs() < 1e-12);
+        }
+    }
+}
+

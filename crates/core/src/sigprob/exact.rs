@@ -1,0 +1,158 @@
+//! Exact signal probabilities — the estimator's test oracles.
+
+use protest_bdd::{build_node_bdds, Manager};
+use protest_netlist::{Circuit, NodeId};
+use protest_sim::LogicSim;
+
+use crate::error::CoreError;
+use crate::params::InputProbs;
+
+/// Maximum primary-input count accepted by [`exhaustive_signal_probs`].
+pub const EXHAUSTIVE_INPUT_LIMIT: usize = 24;
+
+/// Exact signal probability of every node by weighted enumeration of all
+/// `2^n` input minterms (bit-parallel, 64 minterms at a time).
+///
+/// # Errors
+///
+/// Returns [`CoreError::ExactTooLarge`] beyond
+/// [`EXHAUSTIVE_INPUT_LIMIT`] inputs and [`CoreError::ProbsLength`] on a
+/// mismatched probability vector.
+pub fn exhaustive_signal_probs(
+    circuit: &Circuit,
+    probs: &InputProbs,
+) -> Result<Vec<f64>, CoreError> {
+    let n = circuit.num_inputs();
+    probs.check_len(n)?;
+    if n > EXHAUSTIVE_INPUT_LIMIT {
+        return Err(CoreError::ExactTooLarge {
+            inputs: n,
+            limit: EXHAUSTIVE_INPUT_LIMIT,
+        });
+    }
+    let p = probs.as_slice();
+    let total: u64 = 1u64 << n;
+    let mut sim = LogicSim::new(circuit);
+    let mut acc = vec![0.0f64; circuit.num_nodes()];
+    let mut words = vec![0u64; n];
+    let mut weights = [0.0f64; 64];
+    let mut m = 0u64;
+    while m < total {
+        let block = (total - m).min(64);
+        words.iter_mut().for_each(|w| *w = 0);
+        for bit in 0..block {
+            let minterm = m + bit;
+            let mut weight = 1.0f64;
+            for i in 0..n {
+                if (minterm >> i) & 1 == 1 {
+                    words[i] |= 1 << bit;
+                    weight *= p[i];
+                } else {
+                    weight *= 1.0 - p[i];
+                }
+            }
+            weights[bit as usize] = weight;
+        }
+        sim.run_block_internal(&words);
+        for (node, a) in acc.iter_mut().enumerate() {
+            let v = sim.value(NodeId::from_index(node));
+            if v == 0 {
+                continue;
+            }
+            for bit in 0..block {
+                if (v >> bit) & 1 == 1 {
+                    *a += weights[bit as usize];
+                }
+            }
+        }
+        m += block;
+    }
+    Ok(acc)
+}
+
+/// Exact signal probability of every node via BDDs (probability evaluation
+/// is linear in BDD size). `node_limit` bounds the BDD manager.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BddOverflow`] if the circuit's BDDs exceed the
+/// budget and [`CoreError::ProbsLength`] on a mismatched probability vector.
+pub fn bdd_signal_probs(
+    circuit: &Circuit,
+    probs: &InputProbs,
+    node_limit: usize,
+) -> Result<Vec<f64>, CoreError> {
+    probs.check_len(circuit.num_inputs())?;
+    let mut manager = Manager::with_node_limit(circuit.num_inputs(), node_limit);
+    let refs = build_node_bdds(&mut manager, circuit)?;
+    Ok(refs
+        .iter()
+        .map(|&r| manager.probability(r, probs.as_slice()))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_netlist::CircuitBuilder;
+
+    use super::*;
+
+    #[test]
+    fn exhaustive_matches_hand_computation() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let o = b.or2(a, c);
+        let z = b.and2(a, o);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let probs = InputProbs::from_slice(&[0.3, 0.8]).unwrap();
+        let got = exhaustive_signal_probs(&ckt, &probs).unwrap();
+        assert!((got[z.index()] - 0.3).abs() < 1e-12); // a ∧ (a∨c) = a
+        assert!((got[o.index()] - (0.3 + 0.8 - 0.24)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bdd_and_exhaustive_agree() {
+        let mut b = CircuitBuilder::new("x");
+        let xs = b.input_bus("x", 5);
+        let t1 = b.xor_tree(&xs);
+        let t2 = b.and_tree(&xs[1..4].to_vec());
+        let z = b.nor2(t1, t2);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let probs = InputProbs::from_slice(&[0.1, 0.5, 0.9, 0.4, 0.6]).unwrap();
+        let ex = exhaustive_signal_probs(&ckt, &probs).unwrap();
+        let bd = bdd_signal_probs(&ckt, &probs, 100_000).unwrap();
+        for (i, (a, b)) in ex.iter().zip(&bd).enumerate() {
+            assert!((a - b).abs() < 1e-12, "node {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_circuits() {
+        let mut b = CircuitBuilder::new("big");
+        let xs = b.input_bus("x", 25);
+        let t = b.or_tree(&xs);
+        b.output(t, "z");
+        let ckt = b.finish().unwrap();
+        let probs = InputProbs::uniform(25);
+        assert!(matches!(
+            exhaustive_signal_probs(&ckt, &probs),
+            Err(CoreError::ExactTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn partial_last_block_handled() {
+        // 3 inputs → 8 minterms, well below a full 64-bit block.
+        let mut b = CircuitBuilder::new("p");
+        let xs = b.input_bus("x", 3);
+        let z = b.and_tree(&xs);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let probs = InputProbs::uniform(3);
+        let got = exhaustive_signal_probs(&ckt, &probs).unwrap();
+        assert!((got[z.index()] - 0.125).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,75 @@
+//! Sampled signal probabilities (STAFAN-style extrapolation from logic
+//! simulation, the approach of Jain & Agrawal cited by the paper).
+
+use protest_netlist::{Circuit, NodeId};
+use protest_sim::{LogicSim, PatternSource, WeightedRandomPatterns};
+
+use crate::error::CoreError;
+use crate::params::InputProbs;
+
+/// Estimates each node's signal probability by counting 1s over
+/// `num_patterns` weighted random patterns (rounded up to a multiple of 64).
+///
+/// # Errors
+///
+/// Returns [`CoreError::ProbsLength`] on a mismatched probability vector.
+pub fn monte_carlo_signal_probs(
+    circuit: &Circuit,
+    probs: &InputProbs,
+    num_patterns: u64,
+    seed: u64,
+) -> Result<Vec<f64>, CoreError> {
+    probs.check_len(circuit.num_inputs())?;
+    let mut src = WeightedRandomPatterns::new(probs.as_slice(), seed);
+    let blocks = num_patterns.div_ceil(64).max(1);
+    let mut sim = LogicSim::new(circuit);
+    let mut ones = vec![0u64; circuit.num_nodes()];
+    let mut words = vec![0u64; circuit.num_inputs()];
+    for _ in 0..blocks {
+        src.next_block(&mut words);
+        sim.run_block_internal(&words);
+        for (i, o) in ones.iter_mut().enumerate() {
+            *o += sim.value(NodeId::from_index(i)).count_ones() as u64;
+        }
+    }
+    let n = (blocks * 64) as f64;
+    Ok(ones.into_iter().map(|o| o as f64 / n).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_netlist::CircuitBuilder;
+
+    use crate::sigprob::exhaustive_signal_probs;
+
+    use super::*;
+
+    #[test]
+    fn converges_to_exact_values() {
+        let mut b = CircuitBuilder::new("mc");
+        let xs = b.input_bus("x", 4);
+        let t = b.and2(xs[0], xs[1]);
+        let u = b.or2(t, xs[2]);
+        let z = b.xor2(u, xs[3]);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let probs = InputProbs::from_slice(&[0.3, 0.7, 0.2, 0.5]).unwrap();
+        let exact = exhaustive_signal_probs(&ckt, &probs).unwrap();
+        let mc = monte_carlo_signal_probs(&ckt, &probs, 200_000, 11).unwrap();
+        for (i, (e, m)) in exact.iter().zip(&mc).enumerate() {
+            assert!((e - m).abs() < 0.01, "node {i}: exact {e} vs mc {m}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut b = CircuitBuilder::new("s");
+        let a = b.input("a");
+        b.output(a, "z");
+        let ckt = b.finish().unwrap();
+        let probs = InputProbs::uniform(1);
+        let x = monte_carlo_signal_probs(&ckt, &probs, 640, 3).unwrap();
+        let y = monte_carlo_signal_probs(&ckt, &probs, 640, 3).unwrap();
+        assert_eq!(x, y);
+    }
+}

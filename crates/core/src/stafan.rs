@@ -1,0 +1,239 @@
+//! STAFAN-style detection-probability estimation (\[AgJa84\], the
+//! contemporary alternative the paper cites: "STAFAN: An Alternative to
+//! Fault Simulation", Jain & Agrawal, DAC 1984).
+//!
+//! Where PROTEST computes probabilities *analytically* from the circuit
+//! structure, STAFAN *extrapolates them from logic simulation*: run `N`
+//! fault-free random patterns, count per line the 1-controllability
+//! (fraction of patterns at 1) and per gate pin the one-level
+//! sensitization frequency (fraction of patterns where flipping the pin
+//! would flip the gate output), then chain sensitization frequencies into
+//! observabilities and multiply with controllabilities:
+//!
+//! ```text
+//! O(pin)  = O(gate output) · sens(pin)
+//! O(stem) = max over branches  (original STAFAN rule)
+//! p(sa0 @ x) = C1(x) · O(x),   p(sa1 @ x) = C0(x) · O(x)
+//! ```
+//!
+//! No fault is ever injected — that is the selling point and the weakness
+//! (correlation effects are invisible). The bench suite compares this
+//! engine against PROTEST's estimator and real fault simulation.
+
+use protest_netlist::analyze::Fanouts;
+use protest_netlist::{Circuit, GateKind, Levels, NodeId};
+use protest_sim::{Fault, FaultSite, LogicSim, PatternSource, StuckAt, WeightedRandomPatterns};
+
+use crate::error::CoreError;
+use crate::params::InputProbs;
+
+/// Per-line statistics measured by a STAFAN run.
+#[derive(Debug, Clone)]
+pub struct StafanStats {
+    patterns: u64,
+    one_count: Vec<u64>,
+    /// Per gate, per pin: patterns where flipping the pin flips the output.
+    sens_count: Vec<Vec<u64>>,
+}
+
+impl StafanStats {
+    /// Measures controllabilities and sensitization frequencies over
+    /// `num_patterns` weighted random patterns (rounded up to blocks of 64).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ProbsLength`] on a mismatched probability
+    /// vector.
+    pub fn measure(
+        circuit: &Circuit,
+        probs: &InputProbs,
+        num_patterns: u64,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        probs.check_len(circuit.num_inputs())?;
+        let blocks = num_patterns.div_ceil(64).max(1);
+        let mut src = WeightedRandomPatterns::new(probs.as_slice(), seed);
+        let mut sim = LogicSim::new(circuit);
+        let mut one_count = vec![0u64; circuit.num_nodes()];
+        let mut sens_count: Vec<Vec<u64>> = circuit
+            .nodes()
+            .iter()
+            .map(|n| vec![0u64; n.fanins().len()])
+            .collect();
+        let mut words = vec![0u64; circuit.num_inputs()];
+        let mut fanin_buf: Vec<u64> = Vec::new();
+        for _ in 0..blocks {
+            src.next_block(&mut words);
+            sim.run_block_internal(&words);
+            for (id, node) in circuit.iter() {
+                let out = sim.value(id);
+                one_count[id.index()] += u64::from(out.count_ones());
+                if node.fanins().is_empty() {
+                    continue;
+                }
+                for pin in 0..node.fanins().len() {
+                    fanin_buf.clear();
+                    for (j, &f) in node.fanins().iter().enumerate() {
+                        let w = sim.value(f);
+                        fanin_buf.push(if j == pin { !w } else { w });
+                    }
+                    let flipped = match node.kind() {
+                        GateKind::Lut(lid) => circuit.lut(lid).eval_words(&fanin_buf),
+                        k => k.eval_words(&fanin_buf),
+                    };
+                    sens_count[id.index()][pin] +=
+                        u64::from((flipped ^ out).count_ones());
+                }
+            }
+        }
+        Ok(StafanStats {
+            patterns: blocks * 64,
+            one_count,
+            sens_count,
+        })
+    }
+
+    /// Number of simulated patterns.
+    pub fn patterns(&self) -> u64 {
+        self.patterns
+    }
+
+    /// Measured 1-controllability of a node.
+    pub fn controllability(&self, id: NodeId) -> f64 {
+        self.one_count[id.index()] as f64 / self.patterns as f64
+    }
+
+    /// Measured one-level sensitization frequency of a gate pin.
+    pub fn sensitization(&self, gate: NodeId, pin: usize) -> f64 {
+        self.sens_count[gate.index()][pin] as f64 / self.patterns as f64
+    }
+}
+
+/// STAFAN detection-probability estimates for the given faults.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ProbsLength`] on a mismatched probability vector.
+pub fn stafan_estimates(
+    circuit: &Circuit,
+    probs: &InputProbs,
+    faults: &[Fault],
+    num_patterns: u64,
+    seed: u64,
+) -> Result<Vec<f64>, CoreError> {
+    let stats = StafanStats::measure(circuit, probs, num_patterns, seed)?;
+    let levels = Levels::new(circuit);
+    let fanouts = Fanouts::new(circuit);
+    // Observabilities: reverse topological chaining.
+    let mut node_obs = vec![0.0f64; circuit.num_nodes()];
+    let mut pin_obs: Vec<Vec<f64>> = circuit
+        .nodes()
+        .iter()
+        .map(|n| vec![0.0; n.fanins().len()])
+        .collect();
+    for &id in levels.order().iter().rev() {
+        let mut o: f64 = if circuit.is_output(id) { 1.0 } else { 0.0 };
+        for &(g, pin) in fanouts.of(id) {
+            // Original STAFAN stem rule: max over branches.
+            o = o.max(pin_obs[g.index()][pin as usize]);
+        }
+        node_obs[id.index()] = o;
+        let node = circuit.node(id);
+        for pin in 0..node.fanins().len() {
+            pin_obs[id.index()][pin] = o * stats.sensitization(id, pin);
+        }
+    }
+    Ok(faults
+        .iter()
+        .map(|f| {
+            let driver = f.site.driver(circuit);
+            let c1 = stats.controllability(driver);
+            let activation = match f.polarity {
+                StuckAt::Zero => c1,
+                StuckAt::One => 1.0 - c1,
+            };
+            let obs = match f.site {
+                FaultSite::Output(n) => node_obs[n.index()],
+                FaultSite::InputPin { gate, pin } => pin_obs[gate.index()][pin as usize],
+            };
+            (activation * obs).clamp(0.0, 1.0)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_netlist::CircuitBuilder;
+    use protest_sim::FaultUniverse;
+
+    use crate::detect::exact_detection_probability;
+
+    use super::*;
+
+    #[test]
+    fn controllabilities_converge_to_signal_probabilities() {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let c = b.input("c");
+        let z = b.and2(a, c);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let probs = InputProbs::from_slice(&[0.3, 0.8]).unwrap();
+        let stats = StafanStats::measure(&ckt, &probs, 200_000, 5).unwrap();
+        assert!((stats.controllability(a) - 0.3).abs() < 0.01);
+        assert!((stats.controllability(z) - 0.24).abs() < 0.01);
+        // AND pin sensitization = P(other input = 1).
+        assert!((stats.sensitization(z, 0) - 0.8).abs() < 0.01);
+        assert!((stats.sensitization(z, 1) - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn estimates_match_exact_on_fanout_free_circuit() {
+        let mut b = CircuitBuilder::new("t");
+        let xs = b.input_bus("x", 4);
+        let l = b.and2(xs[0], xs[1]);
+        let r = b.or2(xs[2], xs[3]);
+        let z = b.nand2(l, r);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let probs = InputProbs::uniform(4);
+        let universe = FaultUniverse::all(&ckt);
+        let faults: Vec<Fault> = universe.iter().collect();
+        let est = stafan_estimates(&ckt, &probs, &faults, 100_000, 7).unwrap();
+        for (f, e) in faults.iter().zip(&est) {
+            let exact = exact_detection_probability(&ckt, *f, &probs).unwrap();
+            assert!(
+                (e - exact).abs() < 0.02,
+                "{f:?}: stafan {e} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn xor_pins_are_fully_sensitized() {
+        let mut b = CircuitBuilder::new("x");
+        let a = b.input("a");
+        let c = b.input("c");
+        let z = b.xor2(a, c);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let probs = InputProbs::uniform(2);
+        let stats = StafanStats::measure(&ckt, &probs, 6400, 1).unwrap();
+        assert_eq!(stats.sensitization(z, 0), 1.0);
+        assert_eq!(stats.sensitization(z, 1), 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut b = CircuitBuilder::new("d");
+        let a = b.input("a");
+        let n = b.not(a);
+        b.output(n, "z");
+        let ckt = b.finish().unwrap();
+        let probs = InputProbs::uniform(1);
+        let faults: Vec<Fault> = FaultUniverse::all(&ckt).iter().collect();
+        let x = stafan_estimates(&ckt, &probs, &faults, 640, 3).unwrap();
+        let y = stafan_estimates(&ckt, &probs, &faults, 640, 3).unwrap();
+        assert_eq!(x, y);
+    }
+}

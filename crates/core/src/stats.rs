@@ -1,0 +1,91 @@
+//! Agreement statistics between estimated and simulated detection
+//! probabilities (paper Sec. 4 / Table 1).
+
+/// Pearson correlation coefficient (`C₀` in the paper's Table 1).
+///
+/// Returns 0.0 when either series is constant (correlation undefined).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must have equal length");
+    assert!(!xs.is_empty(), "series must be non-empty");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx.sqrt() * syy.sqrt())
+}
+
+/// Maximum absolute difference (`Δ_max`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_abs_error(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must have equal length");
+    xs.iter()
+        .zip(ys)
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Mean absolute difference (the paper's `Δ = Σ|P_PROT − P_SIM| / #faults`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mean_abs_error(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must have equal length");
+    assert!(!xs.is_empty(), "series must be non-empty");
+    xs.iter()
+        .zip(ys)
+        .map(|(&x, &y)| (x - y).abs())
+        .sum::<f64>()
+        / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlation() {
+        let xs = [0.1, 0.2, 0.3, 0.9];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 0.05).collect();
+        assert!((pearson_correlation(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| 1.0 - x).collect();
+        assert!((pearson_correlation(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_gives_zero() {
+        assert_eq!(pearson_correlation(&[0.5, 0.5], &[0.1, 0.9]), 0.0);
+    }
+
+    #[test]
+    fn errors() {
+        let xs = [0.0, 0.5, 1.0];
+        let ys = [0.1, 0.5, 0.7];
+        assert!((max_abs_error(&xs, &ys) - 0.3).abs() < 1e-12);
+        assert!((mean_abs_error(&xs, &ys) - (0.1 + 0.0 + 0.3) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_is_near_zero() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, -1.0, 1.0, -1.0];
+        assert!(pearson_correlation(&xs, &ys).abs() < 0.5);
+    }
+}

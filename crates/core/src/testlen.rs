@@ -1,0 +1,237 @@
+//! Necessary test lengths (paper Sec. 5, formula (3)).
+//!
+//! Under the independence assumption, the probability that `N` random
+//! patterns detect every fault in `F` is
+//!
+//! ```text
+//! P_F(N) = Π_{f ∈ F} (1 − (1 − p_f)^N)
+//! ```
+//!
+//! All computation happens in log space so the paper's extreme regimes
+//! (`N ≈ 3·10⁸` at `p_f ≈ 10⁻⁸`, Table 3) remain numerically stable.
+
+/// A computed test length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestLength {
+    /// The minimal pattern count `N`.
+    pub patterns: u64,
+    /// `P_F(N)` actually achieved at that length.
+    pub confidence: f64,
+}
+
+/// Search cap: beyond this the test is deemed uneconomical / unreachable.
+pub const MAX_PATTERNS: u64 = 1 << 50;
+
+/// `ln P_F(N)` for detection probabilities `ps`.
+///
+/// Returns `-inf` if any probability is 0 (an undetectable fault can never
+/// be covered) and 0.0 for an empty set.
+pub fn ln_set_detection_probability(ps: &[f64], n: u64) -> f64 {
+    if n == 0 {
+        return if ps.is_empty() { 0.0 } else { f64::NEG_INFINITY };
+    }
+    let mut total = 0.0f64;
+    for &p in ps {
+        if p <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        if p >= 1.0 {
+            continue;
+        }
+        // t = ln (1-p)^N;  term = ln(1 − e^t) = ln(−expm1(t)).
+        let t = n as f64 * (-p).ln_1p();
+        total += (-t.exp_m1()).ln();
+    }
+    total
+}
+
+/// `P_F(N)` (see [`ln_set_detection_probability`]).
+pub fn set_detection_probability(ps: &[f64], n: u64) -> f64 {
+    ln_set_detection_probability(ps, n).exp()
+}
+
+/// `ln Σ_f (1 − p_f)^N` — the log of the *expected number of undetected
+/// faults* after `N` patterns.
+///
+/// This is the numerically robust companion of `J_N`: once every fault is
+/// nearly certain to be caught, `ln J_N` saturates to 0 in `f64` while this
+/// quantity keeps discriminating (`J_N ≈ exp(−Σ q_f)` for small
+/// `q_f = (1−p_f)^N`). The optimizer climbs on it for exactly that reason.
+///
+/// Returns `-inf` for an empty set or when every `p_f ≥ 1`.
+pub fn ln_expected_undetected(ps: &[f64], n: u64) -> f64 {
+    // Log-sum-exp over t_f = N·ln(1 − p_f).
+    let ts: Vec<f64> = ps
+        .iter()
+        .filter(|&&p| p < 1.0)
+        .map(|&p| {
+            if p <= 0.0 {
+                0.0 // (1-0)^N = 1
+            } else {
+                n as f64 * (-p).ln_1p()
+            }
+        })
+        .collect();
+    let m = ts.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + ts.iter().map(|t| (t - m).exp()).sum::<f64>().ln()
+}
+
+/// The minimal `N` with `P_F(N) ≥ confidence`, or `None` if unreachable
+/// within [`MAX_PATTERNS`] (e.g. an estimated-undetectable fault in `F`).
+///
+/// # Example
+///
+/// ```
+/// use protest_core::testlen::required_test_length;
+///
+/// // Three faults, the hardest detected by 1% of patterns:
+/// let n = required_test_length(&[0.5, 0.1, 0.01], 0.98).unwrap();
+/// assert!(n.patterns > 100 && n.patterns < 1000);
+/// assert!(n.confidence >= 0.98);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `confidence` is not within `(0, 1)`.
+pub fn required_test_length(ps: &[f64], confidence: f64) -> Option<TestLength> {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    if ps.is_empty() {
+        return Some(TestLength {
+            patterns: 0,
+            confidence: 1.0,
+        });
+    }
+    let target = confidence.ln();
+    let reaches = |n: u64| ln_set_detection_probability(ps, n) >= target;
+    // Exponential search for an upper bound.
+    let mut hi = 1u64;
+    while !reaches(hi) {
+        if hi >= MAX_PATTERNS {
+            return None;
+        }
+        hi = (hi * 2).min(MAX_PATTERNS);
+    }
+    // Binary search for the minimal N in (hi/2, hi].
+    let mut lo = hi / 2; // reaches(lo) is false (or lo == 0)
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if reaches(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    // Handle N = 1 lower edge: hi==1 may itself be minimal.
+    Some(TestLength {
+        patterns: hi,
+        confidence: set_detection_probability(ps, hi),
+    })
+}
+
+/// The paper's `d`-fraction variant: `F_d` keeps the `d·100 %` faults with
+/// the *highest* detection probabilities (dropping the hardest tail), and
+/// `N` is the minimal length detecting all of `F_d` with probability ≥ `e`.
+///
+/// # Panics
+///
+/// Panics if `d` is not within `(0, 1]` or `e` not within `(0, 1)`.
+pub fn required_test_length_fraction(ps: &[f64], d: f64, e: f64) -> Option<TestLength> {
+    assert!(d > 0.0 && d <= 1.0, "fraction d must be in (0, 1]");
+    let mut sorted: Vec<f64> = ps.to_vec();
+    // Highest first; the kept set is the easiest d·100 %.
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let keep = ((d * ps.len() as f64).round() as usize).min(ps.len());
+    required_test_length(&sorted[..keep], e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_fault_closed_form() {
+        // One fault at p: N = ceil(ln(1−e)/ln(1−p)).
+        let p = 0.01;
+        let e = 0.98;
+        let want = ((1.0f64 - e).ln() / (1.0f64 - p).ln()).ceil() as u64;
+        let got = required_test_length(&[p], e).unwrap();
+        assert_eq!(got.patterns, want);
+        assert!(got.confidence >= e);
+        // Minimality.
+        assert!(set_detection_probability(&[p], got.patterns - 1) < e);
+    }
+
+    #[test]
+    fn paper_scale_magnitudes() {
+        // p ≈ 6·10⁻⁹ (COMP's hardest faults at p=0.5) needs N ≈ 5·10⁸ at
+        // e=0.95 — the Table 3 regime must not overflow or round to junk.
+        let got = required_test_length(&[6e-9], 0.95).unwrap();
+        assert!(got.patterns > 100_000_000, "N = {}", got.patterns);
+        assert!(got.patterns < 1_000_000_000, "N = {}", got.patterns);
+    }
+
+    #[test]
+    fn monotone_in_confidence_and_probability() {
+        let ps = [0.001, 0.01, 0.3];
+        let n95 = required_test_length(&ps, 0.95).unwrap().patterns;
+        let n98 = required_test_length(&ps, 0.98).unwrap().patterns;
+        let n999 = required_test_length(&ps, 0.999).unwrap().patterns;
+        assert!(n95 <= n98 && n98 <= n999);
+        let easier = [0.01, 0.1, 0.3];
+        let ne = required_test_length(&easier, 0.95).unwrap().patterns;
+        assert!(ne <= n95);
+    }
+
+    #[test]
+    fn undetectable_fault_is_unreachable() {
+        assert!(required_test_length(&[0.0, 0.5], 0.9).is_none());
+    }
+
+    #[test]
+    fn fraction_drops_hardest_faults() {
+        // One pathological fault at 1e-12 dominates d=1.0; d=0.5 drops it.
+        let ps = [0.5, 1e-12];
+        let full = required_test_length_fraction(&ps, 1.0, 0.95).unwrap();
+        let half = required_test_length_fraction(&ps, 0.5, 0.95).unwrap();
+        assert!(full.patterns > 1_000_000_000);
+        assert!(half.patterns < 100);
+    }
+
+    #[test]
+    fn certain_detection_needs_one_pattern() {
+        let got = required_test_length(&[1.0, 1.0], 0.99).unwrap();
+        assert_eq!(got.patterns, 1);
+        assert_eq!(got.confidence, 1.0);
+    }
+
+    #[test]
+    fn empty_fault_set() {
+        let got = required_test_length(&[], 0.9).unwrap();
+        assert_eq!(got.patterns, 0);
+    }
+
+    #[test]
+    fn formula_matches_direct_product_in_easy_regime() {
+        let ps = [0.3, 0.2, 0.6];
+        for n in [1u64, 5, 20] {
+            let direct: f64 = ps
+                .iter()
+                .map(|&p: &f64| 1.0 - (1.0 - p).powi(n as i32))
+                .product();
+            let log_space = set_detection_probability(&ps, n);
+            assert!((direct - log_space).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn rejects_confidence_one() {
+        let _ = required_test_length(&[0.5], 1.0);
+    }
+}

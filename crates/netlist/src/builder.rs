@@ -1,0 +1,397 @@
+use crate::error::NetlistError;
+use crate::gate::{GateKind, LutId, TruthTable};
+use crate::netlist::{Circuit, Node, NodeId};
+
+/// Incremental, validated construction of a [`Circuit`].
+///
+/// Nodes must be created before they are referenced, so a builder-produced
+/// circuit is stored in topological order (parsers may produce other orders;
+/// [`crate::Levels`] never assumes storage order).
+///
+/// # Example
+///
+/// ```
+/// use protest_netlist::CircuitBuilder;
+///
+/// # fn main() -> Result<(), protest_netlist::NetlistError> {
+/// let mut b = CircuitBuilder::new("mux");
+/// let s = b.input("s");
+/// let a = b.input("a");
+/// let c = b.input("c");
+/// let ns = b.not(s);
+/// let t0 = b.and2(ns, a);
+/// let t1 = b.and2(s, c);
+/// let y = b.or2(t0, t1);
+/// b.output(y, "y");
+/// let ckt = b.finish()?;
+/// assert_eq!(ckt.num_gates(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CircuitBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+    output_names: Vec<Option<String>>,
+    luts: Vec<TruthTable>,
+}
+
+impl CircuitBuilder {
+    /// Starts a new empty circuit with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            output_names: Vec::new(),
+            luts: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, kind: GateKind, fanins: Vec<NodeId>, name: Option<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { kind, fanins, name });
+        id
+    }
+
+    /// Adds a named primary input.
+    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
+        let id = self.push(GateKind::Input, Vec::new(), Some(name.into()));
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds `n` primary inputs named `prefix0 .. prefix{n-1}`.
+    pub fn input_bus(&mut self, prefix: &str, n: usize) -> Vec<NodeId> {
+        (0..n).map(|i| self.input(format!("{prefix}{i}"))).collect()
+    }
+
+    /// Adds a constant node.
+    pub fn constant(&mut self, value: bool) -> NodeId {
+        self.push(GateKind::Const(value), Vec::new(), None)
+    }
+
+    /// Adds an arbitrary gate. Prefer the typed helpers where possible.
+    pub fn gate(&mut self, kind: GateKind, fanins: &[NodeId]) -> NodeId {
+        self.push(kind, fanins.to_vec(), None)
+    }
+
+    /// Adds a gate and names its output signal.
+    pub fn named_gate(
+        &mut self,
+        kind: GateKind,
+        fanins: &[NodeId],
+        name: impl Into<String>,
+    ) -> NodeId {
+        self.push(kind, fanins.to_vec(), Some(name.into()))
+    }
+
+    /// Interns a truth table, returning its id for use with [`Self::lut`].
+    pub fn add_table(&mut self, table: TruthTable) -> LutId {
+        // Reuse identical tables.
+        if let Some(i) = self.luts.iter().position(|t| *t == table) {
+            return LutId(i as u32);
+        }
+        let id = LutId(self.luts.len() as u32);
+        self.luts.push(table);
+        id
+    }
+
+    /// Adds an arbitrary-function component from an interned truth table.
+    pub fn lut(&mut self, table: LutId, fanins: &[NodeId]) -> NodeId {
+        self.push(GateKind::Lut(table), fanins.to_vec(), None)
+    }
+
+    /// Adds a NOT gate.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        self.push(GateKind::Not, vec![a], None)
+    }
+
+    /// Adds a BUF gate.
+    pub fn buf(&mut self, a: NodeId) -> NodeId {
+        self.push(GateKind::Buf, vec![a], None)
+    }
+
+    /// Adds a 2-input AND.
+    pub fn and2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(GateKind::And, vec![a, b], None)
+    }
+
+    /// Adds a 2-input OR.
+    pub fn or2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(GateKind::Or, vec![a, b], None)
+    }
+
+    /// Adds a 2-input XOR.
+    pub fn xor2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(GateKind::Xor, vec![a, b], None)
+    }
+
+    /// Adds a 2-input NAND.
+    pub fn nand2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(GateKind::Nand, vec![a, b], None)
+    }
+
+    /// Adds a 2-input NOR.
+    pub fn nor2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(GateKind::Nor, vec![a, b], None)
+    }
+
+    /// Adds a 2-input XNOR.
+    pub fn xnor2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(GateKind::Xnor, vec![a, b], None)
+    }
+
+    /// The constant driven by `node`, if it is a constant node.
+    pub fn constant_value(&self, node: NodeId) -> Option<bool> {
+        match self.nodes[node.index()].kind {
+            GateKind::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// AND2 with constant folding: `x·0 = 0`, `x·1 = x`. Generators of
+    /// regular arrays (adders, dividers) use the folding constructors so
+    /// boundary cells with tied inputs shrink to what a hand-drawn netlist
+    /// would contain, instead of emitting structurally constant gates whose
+    /// faults are undetectable.
+    pub fn and2_fold(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        match (self.constant_value(a), self.constant_value(b)) {
+            (Some(false), _) => a,
+            (_, Some(false)) => b,
+            (Some(true), _) => b,
+            (_, Some(true)) => a,
+            _ => self.and2(a, b),
+        }
+    }
+
+    /// OR2 with constant folding: `x + 1 = 1`, `x + 0 = x`.
+    pub fn or2_fold(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        match (self.constant_value(a), self.constant_value(b)) {
+            (Some(true), _) => a,
+            (_, Some(true)) => b,
+            (Some(false), _) => b,
+            (_, Some(false)) => a,
+            _ => self.or2(a, b),
+        }
+    }
+
+    /// XOR2 with constant folding: `x ⊕ 0 = x`, `x ⊕ 1 = ¬x`.
+    pub fn xor2_fold(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        match (self.constant_value(a), self.constant_value(b)) {
+            (Some(false), _) => b,
+            (_, Some(false)) => a,
+            (Some(true), _) => self.not(b),
+            (_, Some(true)) => self.not(a),
+            _ => self.xor2(a, b),
+        }
+    }
+
+    /// NOT with constant folding.
+    pub fn not_fold(&mut self, a: NodeId) -> NodeId {
+        match self.constant_value(a) {
+            Some(v) => self.constant(!v),
+            None => self.not(a),
+        }
+    }
+
+    /// Adds an n-ary AND gate (single gate, not a tree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanins` is empty.
+    pub fn and(&mut self, fanins: &[NodeId]) -> NodeId {
+        assert!(!fanins.is_empty(), "and() requires at least one fanin");
+        self.push(GateKind::And, fanins.to_vec(), None)
+    }
+
+    /// Adds an n-ary OR gate (single gate, not a tree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanins` is empty.
+    pub fn or(&mut self, fanins: &[NodeId]) -> NodeId {
+        assert!(!fanins.is_empty(), "or() requires at least one fanin");
+        self.push(GateKind::Or, fanins.to_vec(), None)
+    }
+
+    /// Adds an n-ary NAND gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanins` is empty.
+    pub fn nand(&mut self, fanins: &[NodeId]) -> NodeId {
+        assert!(!fanins.is_empty(), "nand() requires at least one fanin");
+        self.push(GateKind::Nand, fanins.to_vec(), None)
+    }
+
+    /// Adds an n-ary NOR gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanins` is empty.
+    pub fn nor(&mut self, fanins: &[NodeId]) -> NodeId {
+        assert!(!fanins.is_empty(), "nor() requires at least one fanin");
+        self.push(GateKind::Nor, fanins.to_vec(), None)
+    }
+
+    /// Builds a balanced tree of 2-input ANDs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanins` is empty.
+    pub fn and_tree(&mut self, fanins: &[NodeId]) -> NodeId {
+        self.tree(GateKind::And, fanins)
+    }
+
+    /// Builds a balanced tree of 2-input ORs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanins` is empty.
+    pub fn or_tree(&mut self, fanins: &[NodeId]) -> NodeId {
+        self.tree(GateKind::Or, fanins)
+    }
+
+    /// Builds a balanced tree of 2-input XORs (parity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanins` is empty.
+    pub fn xor_tree(&mut self, fanins: &[NodeId]) -> NodeId {
+        self.tree(GateKind::Xor, fanins)
+    }
+
+    fn tree(&mut self, kind: GateKind, fanins: &[NodeId]) -> NodeId {
+        assert!(!fanins.is_empty(), "tree() requires at least one fanin");
+        let mut layer: Vec<NodeId> = fanins.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity((layer.len() + 1) / 2);
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(self.push(kind, vec![pair[0], pair[1]], None));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// Names an existing node's signal (overwrites any previous name).
+    pub fn name(&mut self, node: NodeId, name: impl Into<String>) {
+        self.nodes[node.index()].name = Some(name.into());
+    }
+
+    /// Renames the circuit under construction.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Marks a node as a primary output, with an output name.
+    pub fn output(&mut self, node: NodeId, name: impl Into<String>) {
+        self.outputs.push(node);
+        self.output_names.push(Some(name.into()));
+    }
+
+    /// Marks a node as a primary output without a dedicated output name.
+    pub fn output_unnamed(&mut self, node: NodeId) {
+        self.outputs.push(node);
+        self.output_names.push(None);
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Finishes the circuit, validating all structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`Circuit::validate`]: bad arity, dangling references,
+    /// cycles, duplicate names, or an empty input/output interface.
+    pub fn finish(self) -> Result<Circuit, NetlistError> {
+        let circuit = Circuit {
+            name: self.name,
+            nodes: self.nodes,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            output_names: self.output_names,
+            luts: self.luts,
+        };
+        circuit.validate()?;
+        Ok(circuit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_validates() {
+        let mut b = CircuitBuilder::new("c");
+        let xs = b.input_bus("x", 4);
+        let t = b.and_tree(&xs);
+        b.output(t, "all");
+        let ckt = b.finish().unwrap();
+        assert_eq!(ckt.num_inputs(), 4);
+        assert_eq!(ckt.num_gates(), 3); // balanced AND tree of 4 leaves
+    }
+
+    #[test]
+    fn rejects_empty_outputs() {
+        let mut b = CircuitBuilder::new("c");
+        b.input("a");
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::EmptyInterface { what: "outputs" })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let x = b.not(a);
+        b.name(x, "a");
+        b.output(x, "z");
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn interned_tables_dedup() {
+        let mut b = CircuitBuilder::new("c");
+        let t1 = b.add_table(TruthTable::from_fn(2, |m| m == 3).unwrap());
+        let t2 = b.add_table(TruthTable::from_fn(2, |m| m == 3).unwrap());
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn tree_of_one_is_identity() {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let t = b.xor_tree(&[a]);
+        assert_eq!(t, a);
+        b.output(t, "z");
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn lut_arity_validated() {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let t = b.add_table(TruthTable::from_fn(2, |m| m != 0).unwrap());
+        let g = b.lut(t, &[a]); // wrong arity: table has 2 inputs
+        b.output(g, "z");
+        assert!(matches!(b.finish(), Err(NetlistError::Arity { .. })));
+    }
+}

@@ -1,0 +1,98 @@
+use std::fmt;
+
+use crate::netlist::NodeId;
+
+/// Errors produced while constructing, validating or parsing circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate was given a number of fanins its kind does not allow.
+    Arity {
+        /// The offending gate kind (display name).
+        kind: &'static str,
+        /// Number of fanins supplied.
+        got: usize,
+        /// Human-readable description of what is allowed.
+        expected: &'static str,
+    },
+    /// A fanin referenced a node id that does not exist (yet).
+    DanglingFanin {
+        /// The node with the bad fanin list.
+        node: NodeId,
+        /// The missing fanin id.
+        fanin: NodeId,
+    },
+    /// The netlist contains a combinational cycle through the given node.
+    Cycle {
+        /// A node on the cycle.
+        node: NodeId,
+    },
+    /// Two nodes were given the same name.
+    DuplicateName {
+        /// The clashing name.
+        name: String,
+    },
+    /// A circuit has no primary inputs or no primary outputs.
+    EmptyInterface {
+        /// `"inputs"` or `"outputs"`.
+        what: &'static str,
+    },
+    /// A truth-table component was declared with an unsupported input count.
+    LutWidth {
+        /// Number of LUT inputs requested.
+        inputs: usize,
+    },
+    /// A referenced LUT id does not exist in the circuit's table store.
+    UnknownLut {
+        /// The missing id.
+        id: usize,
+    },
+    /// Text could not be parsed.
+    Parse {
+        /// 1-based line number in the source text.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A signal name was referenced but never defined.
+    Undefined {
+        /// The undefined signal name.
+        name: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Arity {
+                kind,
+                got,
+                expected,
+            } => write!(f, "gate `{kind}` given {got} fanins, expected {expected}"),
+            NetlistError::DanglingFanin { node, fanin } => {
+                write!(f, "node {node} references nonexistent fanin {fanin}")
+            }
+            NetlistError::Cycle { node } => {
+                write!(f, "combinational cycle detected through node {node}")
+            }
+            NetlistError::DuplicateName { name } => {
+                write!(f, "duplicate signal name `{name}`")
+            }
+            NetlistError::EmptyInterface { what } => {
+                write!(f, "circuit has no primary {what}")
+            }
+            NetlistError::LutWidth { inputs } => {
+                write!(f, "truth-table component with {inputs} inputs (supported: 1..=16)")
+            }
+            NetlistError::UnknownLut { id } => write!(f, "unknown truth table id {id}"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::Undefined { name } => {
+                write!(f, "signal `{name}` referenced but never defined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

@@ -1,0 +1,349 @@
+use std::fmt;
+
+use crate::error::NetlistError;
+
+/// Identifier of an interned [`TruthTable`] inside a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LutId(pub(crate) u32);
+
+impl LutId {
+    /// The raw index into the circuit's truth-table store.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LutId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lut{}", self.0)
+    }
+}
+
+/// The logic function computed by a node.
+///
+/// The standard gates are n-ary where that makes sense (`And`, `Or`, …, with
+/// at least one fanin; a single-fanin `And` behaves as a buffer). Arbitrary
+/// boolean functions — the paper admits "combinational circuits with arbitrary
+/// boolean functions as basic components" — are expressed as interned truth
+/// tables via [`GateKind::Lut`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Primary input (no fanins).
+    Input,
+    /// Constant 0 or 1 (no fanins).
+    Const(bool),
+    /// Identity (1 fanin).
+    Buf,
+    /// Negation (1 fanin).
+    Not,
+    /// n-ary conjunction (≥ 1 fanin).
+    And,
+    /// n-ary NAND (≥ 1 fanin).
+    Nand,
+    /// n-ary disjunction (≥ 1 fanin).
+    Or,
+    /// n-ary NOR (≥ 1 fanin).
+    Nor,
+    /// n-ary parity (≥ 1 fanin).
+    Xor,
+    /// n-ary complemented parity (≥ 1 fanin).
+    Xnor,
+    /// Arbitrary function given by an interned truth table.
+    Lut(LutId),
+}
+
+impl GateKind {
+    /// Short lowercase mnemonic (used by writers and `Display`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            GateKind::Input => "input",
+            GateKind::Const(false) => "const0",
+            GateKind::Const(true) => "const1",
+            GateKind::Buf => "buf",
+            GateKind::Not => "not",
+            GateKind::And => "and",
+            GateKind::Nand => "nand",
+            GateKind::Or => "or",
+            GateKind::Nor => "nor",
+            GateKind::Xor => "xor",
+            GateKind::Xnor => "xnor",
+            GateKind::Lut(_) => "lut",
+        }
+    }
+
+    /// Whether `n` fanins is a legal arity for this gate kind.
+    pub fn arity_ok(self, n: usize) -> bool {
+        match self {
+            GateKind::Input | GateKind::Const(_) => n == 0,
+            GateKind::Buf | GateKind::Not => n == 1,
+            GateKind::And
+            | GateKind::Nand
+            | GateKind::Or
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor => n >= 1,
+            // Checked against the table's declared width during validation.
+            GateKind::Lut(_) => n >= 1,
+        }
+    }
+
+    /// Human-readable arity description for error messages.
+    pub(crate) fn arity_expected(self) -> &'static str {
+        match self {
+            GateKind::Input | GateKind::Const(_) => "0",
+            GateKind::Buf | GateKind::Not => "1",
+            _ => "at least 1",
+        }
+    }
+
+    /// Bit-parallel evaluation of the gate over 64-pattern words.
+    ///
+    /// `fanin_words[i]` holds the value of fanin `i` for each of 64 patterns.
+    /// Truth-table gates must be evaluated through
+    /// [`TruthTable::eval_words`]; calling this with `Lut` panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is [`GateKind::Lut`] or if the arity is invalid for
+    /// the kind (e.g. an empty fanin list for `And`).
+    pub fn eval_words(self, fanin_words: &[u64]) -> u64 {
+        match self {
+            GateKind::Input => panic!("primary inputs are not evaluated"),
+            GateKind::Const(false) => 0,
+            GateKind::Const(true) => !0,
+            GateKind::Buf => fanin_words[0],
+            GateKind::Not => !fanin_words[0],
+            GateKind::And => fanin_words.iter().fold(!0u64, |acc, w| acc & w),
+            GateKind::Nand => !fanin_words.iter().fold(!0u64, |acc, w| acc & w),
+            GateKind::Or => fanin_words.iter().fold(0u64, |acc, w| acc | w),
+            GateKind::Nor => !fanin_words.iter().fold(0u64, |acc, w| acc | w),
+            GateKind::Xor => fanin_words.iter().fold(0u64, |acc, w| acc ^ w),
+            GateKind::Xnor => !fanin_words.iter().fold(0u64, |acc, w| acc ^ w),
+            GateKind::Lut(_) => panic!("truth-table gates are evaluated via TruthTable::eval_words"),
+        }
+    }
+
+    /// Scalar evaluation over `bool` fanins (convenience for tests and small
+    /// evaluators).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`GateKind::eval_words`].
+    pub fn eval_bools(self, fanins: &[bool]) -> bool {
+        let words: Vec<u64> = fanins.iter().map(|&b| if b { !0 } else { 0 }).collect();
+        self.eval_words(&words) & 1 == 1
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A truth table over up to 16 inputs, bit-packed 64 minterms per word.
+///
+/// Minterm index `m` is formed with fanin 0 as the least significant bit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    inputs: u8,
+    words: Vec<u64>,
+}
+
+impl TruthTable {
+    /// Maximum supported number of inputs.
+    pub const MAX_INPUTS: usize = 16;
+
+    /// Creates a table for `inputs` variables from packed minterm words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::LutWidth`] if `inputs` is 0 or greater than
+    /// [`TruthTable::MAX_INPUTS`], or if `words` has the wrong length
+    /// (`max(1, 2^inputs / 64)` words; unused high bits of the last word are
+    /// ignored and canonicalized to zero).
+    pub fn from_words(inputs: usize, mut words: Vec<u64>) -> Result<Self, NetlistError> {
+        if inputs == 0 || inputs > Self::MAX_INPUTS {
+            return Err(NetlistError::LutWidth { inputs });
+        }
+        let expect = Self::word_count(inputs);
+        if words.len() != expect {
+            return Err(NetlistError::LutWidth { inputs });
+        }
+        let minterms = 1usize << inputs;
+        if minterms < 64 {
+            let mask = (1u64 << minterms) - 1;
+            words[0] &= mask;
+        }
+        Ok(TruthTable {
+            inputs: inputs as u8,
+            words,
+        })
+    }
+
+    /// Builds a table by evaluating `f` on every minterm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::LutWidth`] for unsupported widths.
+    pub fn from_fn<F: FnMut(usize) -> bool>(
+        inputs: usize,
+        mut f: F,
+    ) -> Result<Self, NetlistError> {
+        if inputs == 0 || inputs > Self::MAX_INPUTS {
+            return Err(NetlistError::LutWidth { inputs });
+        }
+        let minterms = 1usize << inputs;
+        let mut words = vec![0u64; Self::word_count(inputs)];
+        for m in 0..minterms {
+            if f(m) {
+                words[m / 64] |= 1u64 << (m % 64);
+            }
+        }
+        Ok(TruthTable {
+            inputs: inputs as u8,
+            words,
+        })
+    }
+
+    fn word_count(inputs: usize) -> usize {
+        ((1usize << inputs) + 63) / 64
+    }
+
+    /// Number of inputs of the function.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs as usize
+    }
+
+    /// Value of the function at minterm `m` (fanin 0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= 2^inputs`.
+    pub fn bit(&self, m: usize) -> bool {
+        assert!(m < (1usize << self.inputs), "minterm out of range");
+        (self.words[m / 64] >> (m % 64)) & 1 == 1
+    }
+
+    /// Bit-parallel evaluation over 64-pattern fanin words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanin_words.len() != self.num_inputs()`.
+    pub fn eval_words(&self, fanin_words: &[u64]) -> u64 {
+        assert_eq!(
+            fanin_words.len(),
+            self.inputs as usize,
+            "truth table arity mismatch"
+        );
+        let mut out = 0u64;
+        for pat in 0..64 {
+            let mut m = 0usize;
+            for (i, w) in fanin_words.iter().enumerate() {
+                m |= (((w >> pat) & 1) as usize) << i;
+            }
+            if self.bit(m) {
+                out |= 1u64 << pat;
+            }
+        }
+        out
+    }
+
+    /// Number of minterms on which the function is 1.
+    pub fn ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// The packed minterm words (fanin 0 = LSB of the minterm index).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_gate_eval() {
+        let a = 0b1100u64;
+        let b = 0b1010u64;
+        assert_eq!(GateKind::And.eval_words(&[a, b]) & 0xF, 0b1000);
+        assert_eq!(GateKind::Or.eval_words(&[a, b]) & 0xF, 0b1110);
+        assert_eq!(GateKind::Xor.eval_words(&[a, b]) & 0xF, 0b0110);
+        assert_eq!(GateKind::Nand.eval_words(&[a, b]) & 0xF, 0b0111);
+        assert_eq!(GateKind::Nor.eval_words(&[a, b]) & 0xF, 0b0001);
+        assert_eq!(GateKind::Xnor.eval_words(&[a, b]) & 0xF, 0b1001);
+        assert_eq!(GateKind::Not.eval_words(&[a]) & 0xF, 0b0011);
+        assert_eq!(GateKind::Buf.eval_words(&[a]) & 0xF, 0b1100);
+        assert_eq!(GateKind::Const(true).eval_words(&[]), !0);
+        assert_eq!(GateKind::Const(false).eval_words(&[]), 0);
+    }
+
+    #[test]
+    fn nary_gates() {
+        let ws = [0b1111u64, 0b1100, 0b1010];
+        assert_eq!(GateKind::And.eval_words(&ws) & 0xF, 0b1000);
+        assert_eq!(GateKind::Or.eval_words(&ws) & 0xF, 0b1111);
+        assert_eq!(GateKind::Xor.eval_words(&ws) & 0xF, 0b1001);
+    }
+
+    #[test]
+    fn single_fanin_degenerates() {
+        let a = 0b0110u64;
+        assert_eq!(GateKind::And.eval_words(&[a]), a);
+        assert_eq!(GateKind::Or.eval_words(&[a]), a);
+        assert_eq!(GateKind::Xor.eval_words(&[a]), a);
+        assert_eq!(GateKind::Nand.eval_words(&[a]), !a);
+    }
+
+    #[test]
+    fn truth_table_majority() {
+        let maj = TruthTable::from_fn(3, |m| (m.count_ones()) >= 2).unwrap();
+        assert_eq!(maj.num_inputs(), 3);
+        assert_eq!(maj.ones(), 4);
+        assert!(!maj.bit(0b001));
+        assert!(maj.bit(0b011));
+        let a = 0b1100u64;
+        let b = 0b1010u64;
+        let c = 0b0110u64;
+        // patterns (bit position p): p0: a=0,b=0,c=0 -> 0; p1: a=0,b=1,c=1 -> 1;
+        // p2: a=1,b=0,c=1 -> 1; p3: a=1,b=1,c=0 -> 1.
+        assert_eq!(maj.eval_words(&[a, b, c]) & 0xF, 0b1110);
+    }
+
+    #[test]
+    fn truth_table_word_roundtrip() {
+        let t = TruthTable::from_words(2, vec![0b0110]).unwrap();
+        assert!(!t.bit(0));
+        assert!(t.bit(1));
+        assert!(t.bit(2));
+        assert!(!t.bit(3));
+        // XOR2 behaviour.
+        assert_eq!(t.eval_words(&[0b1100, 0b1010]) & 0xF, 0b0110);
+    }
+
+    #[test]
+    fn truth_table_rejects_bad_width() {
+        assert!(TruthTable::from_fn(0, |_| false).is_err());
+        assert!(TruthTable::from_fn(17, |_| false).is_err());
+        assert!(TruthTable::from_words(2, vec![0, 0]).is_err());
+    }
+
+    #[test]
+    fn truth_table_canonicalizes_unused_bits() {
+        let t = TruthTable::from_words(2, vec![!0u64]).unwrap();
+        assert_eq!(t.words()[0], 0xF);
+        assert_eq!(t.ones(), 4);
+    }
+
+    #[test]
+    fn arity_checks() {
+        assert!(GateKind::Input.arity_ok(0));
+        assert!(!GateKind::Input.arity_ok(1));
+        assert!(GateKind::Not.arity_ok(1));
+        assert!(!GateKind::Not.arity_ok(2));
+        assert!(GateKind::And.arity_ok(5));
+        assert!(!GateKind::And.arity_ok(0));
+    }
+}

@@ -1,0 +1,150 @@
+use crate::netlist::{Circuit, NodeId};
+
+/// Topological order and logic levels of a circuit.
+///
+/// Level 0 holds primary inputs and constants; every gate sits one level above
+/// its deepest fanin. The topological `order` is stable with respect to node
+/// ids within a level, so repeated levelizations of the same circuit are
+/// identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Levels {
+    order: Vec<NodeId>,
+    level: Vec<u32>,
+    depth: u32,
+}
+
+impl Levels {
+    /// Levelizes a circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains a cycle. Circuits produced by
+    /// [`crate::CircuitBuilder`] or the parsers are always acyclic; only
+    /// hand-assembled `Circuit` values that skipped
+    /// [`Circuit::validate`](crate::Circuit::validate) can trip this.
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.num_nodes();
+        let mut level = vec![0u32; n];
+        let mut indeg = vec![0u32; n];
+        let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (id, node) in circuit.iter() {
+            indeg[id.index()] = node.fanins().len() as u32;
+            for &f in node.fanins() {
+                fanout[f.index()].push(id.0);
+            }
+        }
+        // Process level by level to get a deterministic order sorted by
+        // (level, id).
+        let mut current: Vec<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
+        current.sort_unstable();
+        let mut order = Vec::with_capacity(n);
+        let mut depth = 0u32;
+        while !current.is_empty() {
+            let mut next: Vec<u32> = Vec::new();
+            for &v in &current {
+                order.push(NodeId(v));
+                depth = depth.max(level[v as usize]);
+                let lv = level[v as usize];
+                for &u in &fanout[v as usize] {
+                    level[u as usize] = level[u as usize].max(lv + 1);
+                    indeg[u as usize] -= 1;
+                    if indeg[u as usize] == 0 {
+                        next.push(u);
+                    }
+                }
+            }
+            next.sort_unstable();
+            current = next;
+        }
+        assert_eq!(order.len(), n, "circuit contains a cycle");
+        // `order` is grouped by wavefront, which respects dependencies but is
+        // not strictly grouped by level (a node's level can exceed its
+        // wavefront). Re-sort by (level, id) — still topological because a
+        // fanin's level is strictly smaller.
+        order.sort_unstable_by_key(|id| (level[id.index()], id.0));
+        Levels {
+            order,
+            level,
+            depth,
+        }
+    }
+
+    /// Nodes in a valid evaluation order (fanins always precede fanouts).
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// The logic level of a node (0 for inputs/constants).
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// The maximum level in the circuit (its logic depth).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    #[test]
+    fn levels_of_chain() {
+        let mut b = CircuitBuilder::new("chain");
+        let a = b.input("a");
+        let n1 = b.not(a);
+        let n2 = b.not(n1);
+        let n3 = b.not(n2);
+        b.output(n3, "z");
+        let ckt = b.finish().unwrap();
+        let lv = Levels::new(&ckt);
+        assert_eq!(lv.level(a), 0);
+        assert_eq!(lv.level(n1), 1);
+        assert_eq!(lv.level(n3), 3);
+        assert_eq!(lv.depth(), 3);
+    }
+
+    #[test]
+    fn order_respects_dependencies() {
+        let mut b = CircuitBuilder::new("c");
+        let xs = b.input_bus("x", 5);
+        let t = b.xor_tree(&xs);
+        let u = b.and2(t, xs[0]);
+        b.output(u, "z");
+        let ckt = b.finish().unwrap();
+        let lv = Levels::new(&ckt);
+        let mut pos = vec![0usize; ckt.num_nodes()];
+        for (i, id) in lv.order().iter().enumerate() {
+            pos[id.index()] = i;
+        }
+        for (id, node) in ckt.iter() {
+            for &f in node.fanins() {
+                assert!(pos[f.index()] < pos[id.index()], "fanin after fanout");
+            }
+        }
+    }
+
+    #[test]
+    fn unbalanced_levels() {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let c = b.input("c");
+        let deep = {
+            let mut x = a;
+            for _ in 0..4 {
+                x = b.not(x);
+            }
+            x
+        };
+        let g = b.and2(deep, c);
+        b.output(g, "z");
+        let ckt = b.finish().unwrap();
+        let lv = Levels::new(&ckt);
+        assert_eq!(lv.level(g), 5);
+        assert_eq!(lv.depth(), 5);
+        // order sorted by level: the AND gate must come last.
+        assert_eq!(*lv.order().last().unwrap(), g);
+    }
+}

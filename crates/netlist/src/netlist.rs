@@ -1,0 +1,300 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::NetlistError;
+use crate::gate::{GateKind, LutId, TruthTable};
+
+/// Index of a node inside a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates an id from a raw index.
+    ///
+    /// Mostly useful for iterating `0..circuit.num_nodes()`.
+    pub fn from_index(i: usize) -> Self {
+        NodeId(i as u32)
+    }
+
+    /// The raw index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A single gate (or input/constant) in a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    pub(crate) kind: GateKind,
+    pub(crate) fanins: Vec<NodeId>,
+    pub(crate) name: Option<String>,
+}
+
+impl Node {
+    /// The logic function of the node.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// The fanin nodes, in pin order.
+    pub fn fanins(&self) -> &[NodeId] {
+        &self.fanins
+    }
+
+    /// The declared signal name, if any.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+}
+
+/// An immutable combinational circuit: a DAG of [`Node`]s with designated
+/// primary inputs and primary outputs.
+///
+/// Circuits are created through [`CircuitBuilder`](crate::CircuitBuilder) or
+/// the parsers, both of which validate arity, acyclicity and name uniqueness.
+/// Any node may be marked as a primary output; output order is the
+/// declaration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) inputs: Vec<NodeId>,
+    pub(crate) outputs: Vec<NodeId>,
+    pub(crate) output_names: Vec<Option<String>>,
+    pub(crate) luts: Vec<TruthTable>,
+}
+
+impl Circuit {
+    /// The circuit's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of nodes (inputs + gates + constants).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of logic gates (nodes that are neither inputs nor constants).
+    pub fn num_gates(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| !matches!(n.kind, GateKind::Input | GateKind::Const(_)))
+            .count()
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes, indexable by [`NodeId::index`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Iterates over `(id, node)` pairs in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// The position of `id` in the primary input list, if it is an input.
+    pub fn input_position(&self, id: NodeId) -> Option<usize> {
+        self.inputs.iter().position(|&i| i == id)
+    }
+
+    /// Whether `id` is marked as a primary output.
+    pub fn is_output(&self, id: NodeId) -> bool {
+        self.outputs.contains(&id)
+    }
+
+    /// The name of the `i`-th primary output (explicit output name, falling
+    /// back to the driving node's name).
+    pub fn output_name(&self, i: usize) -> Option<&str> {
+        self.output_names[i]
+            .as_deref()
+            .or_else(|| self.nodes[self.outputs[i].index()].name.as_deref())
+    }
+
+    /// The interned truth table behind a [`GateKind::Lut`] node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn lut(&self, id: LutId) -> &TruthTable {
+        &self.luts[id.index()]
+    }
+
+    /// All interned truth tables.
+    pub fn luts(&self) -> &[TruthTable] {
+        &self.luts
+    }
+
+    /// Finds a node by name (inputs, gates and named outputs).
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name.as_deref() == Some(name))
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// A display name for the node: its declared name or `n<i>`.
+    pub fn node_label(&self, id: NodeId) -> String {
+        match &self.nodes[id.index()].name {
+            Some(n) => n.clone(),
+            None => format!("{id}"),
+        }
+    }
+
+    /// Validates structural invariants. Called by the builder and parsers;
+    /// exposed for circuits assembled by other means.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant: bad arity, dangling fanin,
+    /// unknown LUT, combinational cycle, duplicate name, or an empty
+    /// input/output interface.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        if self.inputs.is_empty() {
+            return Err(NetlistError::EmptyInterface { what: "inputs" });
+        }
+        if self.outputs.is_empty() {
+            return Err(NetlistError::EmptyInterface { what: "outputs" });
+        }
+        let n = self.nodes.len();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            if !node.kind.arity_ok(node.fanins.len()) {
+                return Err(NetlistError::Arity {
+                    kind: node.kind.mnemonic(),
+                    got: node.fanins.len(),
+                    expected: node.kind.arity_expected(),
+                });
+            }
+            if let GateKind::Lut(lid) = node.kind {
+                let table = self
+                    .luts
+                    .get(lid.index())
+                    .ok_or(NetlistError::UnknownLut { id: lid.index() })?;
+                if table.num_inputs() != node.fanins.len() {
+                    return Err(NetlistError::Arity {
+                        kind: "lut",
+                        got: node.fanins.len(),
+                        expected: "the table's declared width",
+                    });
+                }
+            }
+            for &f in &node.fanins {
+                if f.index() >= n {
+                    return Err(NetlistError::DanglingFanin { node: id, fanin: f });
+                }
+            }
+        }
+        // Cycle check via Kahn's algorithm.
+        let mut indeg: Vec<u32> = vec![0; n];
+        for node in &self.nodes {
+            for &f in &node.fanins {
+                // indegree counts uses; we topo-sort on "fanins before node".
+                let _ = f;
+            }
+        }
+        // indeg[i] = number of fanins of node i not yet emitted.
+        for (i, node) in self.nodes.iter().enumerate() {
+            indeg[i] = node.fanins.len() as u32;
+        }
+        let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &f in &node.fanins {
+                fanout[f.index()].push(i as u32);
+            }
+        }
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
+        let mut emitted = 0usize;
+        while let Some(v) = queue.pop() {
+            emitted += 1;
+            for &u in &fanout[v as usize] {
+                indeg[u as usize] -= 1;
+                if indeg[u as usize] == 0 {
+                    queue.push(u);
+                }
+            }
+        }
+        if emitted != n {
+            let node = (0..n)
+                .find(|&i| indeg[i] > 0)
+                .map(|i| NodeId(i as u32))
+                .expect("some node must remain on a cycle");
+            return Err(NetlistError::Cycle { node });
+        }
+        // Duplicate names.
+        let mut seen: HashMap<&str, NodeId> = HashMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Some(name) = node.name.as_deref() {
+                if seen.insert(name, NodeId(i as u32)).is_some() {
+                    return Err(NetlistError::DuplicateName {
+                        name: name.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::CircuitBuilder;
+
+    #[test]
+    fn basic_accessors() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let g = b.and2(a, c);
+        b.output(g, "z");
+        let ckt = b.finish().unwrap();
+        assert_eq!(ckt.name(), "t");
+        assert_eq!(ckt.num_nodes(), 3);
+        assert_eq!(ckt.num_gates(), 1);
+        assert_eq!(ckt.inputs().len(), 2);
+        assert_eq!(ckt.outputs(), &[g]);
+        assert_eq!(ckt.find("a"), Some(a));
+        assert_eq!(ckt.input_position(c), Some(1));
+        assert!(ckt.is_output(g));
+        assert_eq!(ckt.output_name(0), Some("z"));
+        assert_eq!(ckt.node_label(a), "a");
+    }
+}

@@ -1,0 +1,156 @@
+use crate::netlist::NodeId;
+
+/// A dense bitset over the node ids of one circuit.
+///
+/// Used pervasively by cone extraction, reconvergence analysis and the fault
+/// simulator, where `HashSet<NodeId>` churn would dominate runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl NodeSet {
+    /// Creates an empty set able to hold ids `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        NodeSet {
+            words: vec![0; (capacity + 63) / 64],
+            len: 0,
+        }
+    }
+
+    /// Number of ids the set can hold.
+    pub fn capacity(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `id`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` exceeds the capacity.
+    pub fn insert(&mut self, id: NodeId) -> bool {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let mask = 1u64 << b;
+        if self.words[w] & mask == 0 {
+            self.words[w] |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `id`; returns `true` if it was present.
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let mask = 1u64 << b;
+        if self.words[w] & mask != 0 {
+            self.words[w] &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: NodeId) -> bool {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        self.words.get(w).map_or(false, |word| word & (1 << b) != 0)
+    }
+
+    /// Removes all members (O(capacity/64)).
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.len = 0;
+    }
+
+    /// Iterates members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(NodeId::from_index(wi * 64 + b))
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let items: Vec<NodeId> = iter.into_iter().collect();
+        let cap = items.iter().map(|i| i.index() + 1).max().unwrap_or(0);
+        let mut set = NodeSet::new(cap);
+        for i in items {
+            set.insert(i);
+        }
+        set
+    }
+}
+
+impl Extend<NodeId> for NodeSet {
+    fn extend<T: IntoIterator<Item = NodeId>>(&mut self, iter: T) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = NodeSet::new(200);
+        assert!(s.insert(NodeId::from_index(3)));
+        assert!(!s.insert(NodeId::from_index(3)));
+        assert!(s.insert(NodeId::from_index(130)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(NodeId::from_index(3)));
+        assert!(!s.contains(NodeId::from_index(4)));
+        assert!(s.remove(NodeId::from_index(3)));
+        assert!(!s.remove(NodeId::from_index(3)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iterates_in_order() {
+        let ids = [5usize, 64, 65, 190];
+        let s: NodeSet = ids.iter().map(|&i| NodeId::from_index(i)).collect();
+        let got: Vec<usize> = s.iter().map(|i| i.index()).collect();
+        assert_eq!(got, ids);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = NodeSet::new(10);
+        s.insert(NodeId::from_index(1));
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(NodeId::from_index(1)));
+    }
+
+    #[test]
+    fn contains_out_of_capacity_is_false() {
+        let s = NodeSet::new(10);
+        assert!(!s.contains(NodeId::from_index(1000)));
+    }
+}

@@ -1,0 +1,253 @@
+//! ISCAS-85 `.bench` format parser.
+//!
+//! The `.bench` dialect accepted here:
+//!
+//! ```text
+//! # comment
+//! INPUT(G1)
+//! OUTPUT(G17)
+//! G17 = NAND(G1, G5)
+//! G5  = NOT(G2)
+//! ```
+//!
+//! Gate names: `AND, NAND, OR, NOR, XOR, XNOR, NOT, BUF/BUFF, CONST0, CONST1`
+//! (case-insensitive). Definitions may appear in any order; forward
+//! references are resolved in a second pass. Sequential elements (`DFF`) are
+//! rejected — PROTEST analyzes combinational circuits.
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::netlist::{Circuit, Node, NodeId};
+
+/// Parses ISCAS-85 `.bench` text into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines, unknown gate types or
+/// sequential elements, [`NetlistError::Undefined`] for signals that are read
+/// but never defined, and any [`Circuit::validate`] error (cycles, arity…).
+pub fn parse_bench(name: &str, text: &str) -> Result<Circuit, NetlistError> {
+    enum Def {
+        Input,
+        Gate(GateKind, Vec<String>),
+    }
+    let mut defs: Vec<(String, Def)> = Vec::new();
+    let mut output_names: Vec<String> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let perr = |message: String| NetlistError::Parse {
+            line: lineno,
+            message,
+        };
+        if let Some(rest) = strip_call(line, "INPUT") {
+            defs.push((rest.to_string(), Def::Input));
+        } else if let Some(rest) = strip_call(line, "OUTPUT") {
+            output_names.push(rest.to_string());
+        } else if let Some(eq) = line.find('=') {
+            let target = line[..eq].trim().to_string();
+            let rhs = line[eq + 1..].trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| perr(format!("expected `gate(...)` after `=`: `{rhs}`")))?;
+            if !rhs.ends_with(')') {
+                return Err(perr(format!("missing `)` in `{rhs}`")));
+            }
+            let gate_name = rhs[..open].trim().to_ascii_uppercase();
+            let args: Vec<String> = rhs[open + 1..rhs.len() - 1]
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            let kind = match gate_name.as_str() {
+                "AND" => GateKind::And,
+                "NAND" => GateKind::Nand,
+                "OR" => GateKind::Or,
+                "NOR" => GateKind::Nor,
+                "XOR" => GateKind::Xor,
+                "XNOR" => GateKind::Xnor,
+                "NOT" | "INV" => GateKind::Not,
+                "BUF" | "BUFF" => GateKind::Buf,
+                "CONST0" => GateKind::Const(false),
+                "CONST1" => GateKind::Const(true),
+                "DFF" | "DFFSR" | "LATCH" => {
+                    return Err(perr(format!(
+                        "sequential element `{gate_name}` not supported (combinational circuits only)"
+                    )));
+                }
+                other => return Err(perr(format!("unknown gate type `{other}`"))),
+            };
+            defs.push((target, Def::Gate(kind, args)));
+        } else {
+            return Err(perr(format!("unrecognized statement `{line}`")));
+        }
+    }
+
+    // Pass 2: allocate ids in definition order, then resolve references.
+    let mut ids: HashMap<&str, NodeId> = HashMap::new();
+    for (i, (name, _)) in defs.iter().enumerate() {
+        if ids.insert(name.as_str(), NodeId(i as u32)).is_some() {
+            return Err(NetlistError::DuplicateName { name: name.clone() });
+        }
+    }
+    let mut nodes: Vec<Node> = Vec::with_capacity(defs.len());
+    let mut inputs = Vec::new();
+    for (i, (sig, def)) in defs.iter().enumerate() {
+        match def {
+            Def::Input => {
+                inputs.push(NodeId(i as u32));
+                nodes.push(Node {
+                    kind: GateKind::Input,
+                    fanins: Vec::new(),
+                    name: Some(sig.clone()),
+                });
+            }
+            Def::Gate(kind, args) => {
+                let fanins = args
+                    .iter()
+                    .map(|a| {
+                        ids.get(a.as_str())
+                            .copied()
+                            .ok_or_else(|| NetlistError::Undefined { name: a.clone() })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                nodes.push(Node {
+                    kind: *kind,
+                    fanins,
+                    name: Some(sig.clone()),
+                });
+            }
+        }
+    }
+    let mut outputs = Vec::new();
+    let mut out_names = Vec::new();
+    for out in &output_names {
+        let id = ids
+            .get(out.as_str())
+            .copied()
+            .ok_or_else(|| NetlistError::Undefined { name: out.clone() })?;
+        outputs.push(id);
+        out_names.push(None); // the node itself carries the name
+    }
+    let circuit = Circuit {
+        name: name.to_string(),
+        nodes,
+        inputs,
+        outputs,
+        output_names: out_names,
+        luts: Vec::new(),
+    };
+    circuit.validate()?;
+    Ok(circuit)
+}
+
+fn strip_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let upper = line.to_ascii_uppercase();
+    if !upper.starts_with(keyword) {
+        return None;
+    }
+    let rest = line[keyword.len()..].trim();
+    let rest = rest.strip_prefix('(')?;
+    let rest = rest.strip_suffix(')')?;
+    Some(rest.trim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17: &str = "\
+# c17 — smallest ISCAS-85 benchmark
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    #[test]
+    fn parses_c17() {
+        let ckt = parse_bench("c17", C17).unwrap();
+        assert_eq!(ckt.num_inputs(), 5);
+        assert_eq!(ckt.num_outputs(), 2);
+        assert_eq!(ckt.num_gates(), 6);
+        assert_eq!(ckt.output_name(0), Some("22"));
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let text = "\
+INPUT(a)
+OUTPUT(z)
+z = NOT(y)
+y = BUF(a)
+";
+        let ckt = parse_bench("fwd", text).unwrap();
+        assert_eq!(ckt.num_gates(), 2);
+    }
+
+    #[test]
+    fn rejects_undefined_signal() {
+        let text = "INPUT(a)\nOUTPUT(z)\nz = NOT(missing)\n";
+        assert!(matches!(
+            parse_bench("bad", text),
+            Err(NetlistError::Undefined { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_sequential() {
+        let text = "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n";
+        assert!(matches!(
+            parse_bench("seq", text),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let text = "INPUT(a)\nOUTPUT(z)\nz = FROB(a)\n";
+        assert!(matches!(
+            parse_bench("bad", text),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_definition() {
+        let text = "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\nz = BUF(a)\n";
+        assert!(matches!(
+            parse_bench("dup", text),
+            Err(NetlistError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# header\nINPUT(a)  # trailing\n\nOUTPUT(z)\nz = BUF(a)\n";
+        assert!(parse_bench("ok", text).is_ok());
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let text = "INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = BUF(x)\n";
+        assert!(matches!(
+            parse_bench("cyc", text),
+            Err(NetlistError::Cycle { .. })
+        ));
+    }
+}

@@ -1,0 +1,358 @@
+//! PDL — a small structural circuit description language.
+//!
+//! The original PROTEST "compiles a structure description language for
+//! circuits" (Sec. 7). PDL is our stand-in: a line-oriented language with
+//! nested gate expressions.
+//!
+//! ```text
+//! circuit majority_vote;
+//! input a b c;
+//! output z;
+//! ab = and(a, b);
+//! z  = or(ab, and(b, c), and(a, c));   # nested expressions allowed
+//! ```
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! file      := { statement }
+//! statement := "circuit" IDENT ";"
+//!            | "input" IDENT+ ";"
+//!            | "output" IDENT+ ";"
+//!            | IDENT "=" expr ";"
+//! expr      := IDENT | "0" | "1" | GATE "(" expr { "," expr } ")"
+//! GATE      := and|or|xor|nand|nor|xnor|not|buf
+//! ```
+//!
+//! Assignments must precede use (no forward references), mirroring the
+//! builder discipline; `#` starts a comment.
+
+use std::collections::HashMap;
+
+use crate::builder::CircuitBuilder;
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::netlist::{Circuit, NodeId};
+
+/// Parses PDL text into a [`Circuit`].
+///
+/// The `default_name` is used when the text has no `circuit <name>;`
+/// statement.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for syntax errors,
+/// [`NetlistError::Undefined`] for unknown signals, and any
+/// [`Circuit::validate`] error.
+pub fn parse_pdl(default_name: &str, text: &str) -> Result<Circuit, NetlistError> {
+    let mut name = default_name.to_string();
+    let mut builder = CircuitBuilder::new(default_name);
+    let mut env: HashMap<String, NodeId> = HashMap::new();
+    let mut pending_outputs: Vec<(usize, String)> = Vec::new();
+
+    for (lineno0, raw) in text.lines().enumerate() {
+        let lineno = lineno0 + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        for stmt in line.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            parse_statement(
+                stmt,
+                lineno,
+                &mut name,
+                &mut builder,
+                &mut env,
+                &mut pending_outputs,
+            )?;
+        }
+    }
+
+    builder.set_name(name);
+    for (lineno, out) in pending_outputs {
+        let id = *env.get(&out).ok_or(NetlistError::Parse {
+            line: lineno,
+            message: format!("output `{out}` is never defined"),
+        })?;
+        builder.output(id, out);
+    }
+    builder.finish()
+}
+
+fn parse_statement(
+    stmt: &str,
+    lineno: usize,
+    name: &mut String,
+    builder: &mut CircuitBuilder,
+    env: &mut HashMap<String, NodeId>,
+    pending_outputs: &mut Vec<(usize, String)>,
+) -> Result<(), NetlistError> {
+    let perr = |message: String| NetlistError::Parse {
+        line: lineno,
+        message,
+    };
+    let mut words = stmt.split_whitespace();
+    let first = words.next().ok_or_else(|| perr("empty statement".into()))?;
+    match first {
+        "circuit" => {
+            let n = words
+                .next()
+                .ok_or_else(|| perr("`circuit` needs a name".into()))?;
+            *name = n.to_string();
+            Ok(())
+        }
+        "input" => {
+            let mut any = false;
+            for w in words {
+                any = true;
+                if env.contains_key(w) {
+                    return Err(NetlistError::DuplicateName {
+                        name: w.to_string(),
+                    });
+                }
+                let id = builder.input(w);
+                env.insert(w.to_string(), id);
+            }
+            if !any {
+                return Err(perr("`input` lists at least one signal".into()));
+            }
+            Ok(())
+        }
+        "output" => {
+            let mut any = false;
+            for w in words {
+                any = true;
+                pending_outputs.push((lineno, w.to_string()));
+            }
+            if !any {
+                return Err(perr("`output` lists at least one signal".into()));
+            }
+            Ok(())
+        }
+        _ => {
+            // assignment: IDENT = expr
+            let eq = stmt
+                .find('=')
+                .ok_or_else(|| perr(format!("expected assignment, got `{stmt}`")))?;
+            let target = stmt[..eq].trim();
+            if !is_ident(target) {
+                return Err(perr(format!("bad signal name `{target}`")));
+            }
+            if env.contains_key(target) {
+                return Err(NetlistError::DuplicateName {
+                    name: target.to_string(),
+                });
+            }
+            let mut p = Cursor {
+                text: &stmt[eq + 1..],
+                pos: 0,
+                lineno,
+            };
+            let id = parse_expr(&mut p, builder, env)?;
+            p.skip_ws();
+            if !p.at_end() {
+                return Err(perr(format!(
+                    "trailing input after expression: `{}`",
+                    p.rest()
+                )));
+            }
+            builder.name(id, target);
+            env.insert(target.to_string(), id);
+            Ok(())
+        }
+    }
+}
+
+struct Cursor<'a> {
+    text: &'a str,
+    pos: usize,
+    lineno: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.text.len()
+            && self.text.as_bytes()[self.pos].is_ascii_whitespace()
+        {
+            self.pos += 1;
+        }
+    }
+    fn peek(&self) -> Option<u8> {
+        self.text.as_bytes().get(self.pos).copied()
+    }
+    fn at_end(&self) -> bool {
+        self.pos >= self.text.len()
+    }
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+    fn err(&self, message: String) -> NetlistError {
+        NetlistError::Parse {
+            line: self.lineno,
+            message,
+        }
+    }
+    fn ident(&mut self) -> Result<&'a str, NetlistError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .peek()
+            .map_or(false, |c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            Err(self.err(format!("expected identifier at `{}`", self.rest())))
+        } else {
+            Ok(&self.text[start..self.pos])
+        }
+    }
+    fn expect(&mut self, c: u8) -> Result<(), NetlistError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{}` at `{}`",
+                c as char,
+                self.rest()
+            )))
+        }
+    }
+}
+
+fn parse_expr(
+    p: &mut Cursor<'_>,
+    builder: &mut CircuitBuilder,
+    env: &HashMap<String, NodeId>,
+) -> Result<NodeId, NetlistError> {
+    let word = p.ident()?;
+    let kind = match word {
+        "and" => Some(GateKind::And),
+        "or" => Some(GateKind::Or),
+        "xor" => Some(GateKind::Xor),
+        "nand" => Some(GateKind::Nand),
+        "nor" => Some(GateKind::Nor),
+        "xnor" => Some(GateKind::Xnor),
+        "not" => Some(GateKind::Not),
+        "buf" => Some(GateKind::Buf),
+        _ => None,
+    };
+    p.skip_ws();
+    match kind {
+        Some(kind) if p.peek() == Some(b'(') => {
+            p.expect(b'(')?;
+            let mut args = vec![parse_expr(p, builder, env)?];
+            loop {
+                p.skip_ws();
+                match p.peek() {
+                    Some(b',') => {
+                        p.pos += 1;
+                        args.push(parse_expr(p, builder, env)?);
+                    }
+                    Some(b')') => {
+                        p.pos += 1;
+                        break;
+                    }
+                    _ => return Err(p.err(format!("expected `,` or `)` at `{}`", p.rest()))),
+                }
+            }
+            if !kind.arity_ok(args.len()) {
+                return Err(p.err(format!(
+                    "gate `{}` cannot take {} arguments",
+                    kind.mnemonic(),
+                    args.len()
+                )));
+            }
+            Ok(builder.gate(kind, &args))
+        }
+        _ => match word {
+            "0" => Ok(builder.constant(false)),
+            "1" => Ok(builder.constant(true)),
+            w => env
+                .get(w)
+                .copied()
+                .ok_or_else(|| NetlistError::Undefined { name: w.to_string() }),
+        },
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes().all(|c| c.is_ascii_alphanumeric() || c == b'_')
+        && !s.as_bytes()[0].is_ascii_digit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_expressions() {
+        let src = "\
+circuit maj;
+input a b c;
+output z;
+z = or(and(a, b), and(b, c), and(a, c));
+";
+        let ckt = parse_pdl("x", src).unwrap();
+        assert_eq!(ckt.name(), "maj");
+        assert_eq!(ckt.num_inputs(), 3);
+        assert_eq!(ckt.num_gates(), 4);
+    }
+
+    #[test]
+    fn constants_and_unary() {
+        let src = "input a; output z; z = and(a, not(0));";
+        let ckt = parse_pdl("k", src).unwrap();
+        assert_eq!(ckt.num_outputs(), 1);
+    }
+
+    #[test]
+    fn rejects_forward_reference() {
+        let src = "input a; output z; z = not(w); w = buf(a);";
+        assert!(matches!(
+            parse_pdl("f", src),
+            Err(NetlistError::Undefined { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_redefinition() {
+        let src = "input a; output z; z = not(a); z = buf(a);";
+        assert!(matches!(
+            parse_pdl("d", src),
+            Err(NetlistError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let src = "input a b; output z; z = not(a, b);";
+        assert!(matches!(parse_pdl("a", src), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let src = "input a; output z; z = not(a) extra;";
+        assert!(matches!(parse_pdl("t", src), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_undefined_output() {
+        let src = "input a; output zz; z = not(a);";
+        assert!(matches!(parse_pdl("o", src), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn multiple_statements_per_line() {
+        let src = "input a; output z; t = not(a); z = buf(t);";
+        let ckt = parse_pdl("m", src).unwrap();
+        assert_eq!(ckt.num_gates(), 2);
+    }
+}

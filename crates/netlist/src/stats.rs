@@ -1,0 +1,126 @@
+use std::fmt;
+
+use crate::gate::GateKind;
+use crate::levelize::Levels;
+use crate::netlist::Circuit;
+use crate::transistor::{gate_equivalents, transistor_count};
+
+/// Per-kind gate counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateCounts {
+    /// `Buf` gates.
+    pub buf: usize,
+    /// `Not` gates.
+    pub not: usize,
+    /// `And` gates.
+    pub and: usize,
+    /// `Nand` gates.
+    pub nand: usize,
+    /// `Or` gates.
+    pub or: usize,
+    /// `Nor` gates.
+    pub nor: usize,
+    /// `Xor` gates.
+    pub xor: usize,
+    /// `Xnor` gates.
+    pub xnor: usize,
+    /// Truth-table components.
+    pub lut: usize,
+    /// Constant nodes.
+    pub constant: usize,
+}
+
+/// Summary statistics of a circuit: size, depth and cost-model numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Circuit name.
+    pub name: String,
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Logic gate count (excludes inputs and constants).
+    pub gates: usize,
+    /// Per-kind breakdown.
+    pub counts: GateCounts,
+    /// Logic depth (levels).
+    pub depth: u32,
+    /// CMOS transistor estimate.
+    pub transistors: u64,
+    /// Gate equivalents (transistors / 4, rounded up).
+    pub gate_equivalents: u64,
+}
+
+impl CircuitStats {
+    /// Computes statistics for a circuit.
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut counts = GateCounts::default();
+        for (_, node) in circuit.iter() {
+            match node.kind() {
+                GateKind::Input => {}
+                GateKind::Const(_) => counts.constant += 1,
+                GateKind::Buf => counts.buf += 1,
+                GateKind::Not => counts.not += 1,
+                GateKind::And => counts.and += 1,
+                GateKind::Nand => counts.nand += 1,
+                GateKind::Or => counts.or += 1,
+                GateKind::Nor => counts.nor += 1,
+                GateKind::Xor => counts.xor += 1,
+                GateKind::Xnor => counts.xnor += 1,
+                GateKind::Lut(_) => counts.lut += 1,
+            }
+        }
+        let levels = Levels::new(circuit);
+        CircuitStats {
+            name: circuit.name().to_string(),
+            inputs: circuit.num_inputs(),
+            outputs: circuit.num_outputs(),
+            gates: circuit.num_gates(),
+            counts,
+            depth: levels.depth(),
+            transistors: transistor_count(circuit),
+            gate_equivalents: gate_equivalents(circuit),
+        }
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} inputs, {} outputs, {} gates, depth {}",
+            self.name, self.inputs, self.outputs, self.gates, self.depth
+        )?;
+        write!(
+            f,
+            "  {} transistors (~{} gate equivalents)",
+            self.transistors, self.gate_equivalents
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    #[test]
+    fn stats_of_small_circuit() {
+        let mut b = CircuitBuilder::new("s");
+        let a = b.input("a");
+        let c = b.input("c");
+        let x = b.and2(a, c);
+        let y = b.not(x);
+        b.output(y, "z");
+        let ckt = b.finish().unwrap();
+        let st = CircuitStats::of(&ckt);
+        assert_eq!(st.inputs, 2);
+        assert_eq!(st.gates, 2);
+        assert_eq!(st.counts.and, 1);
+        assert_eq!(st.counts.not, 1);
+        assert_eq!(st.depth, 2);
+        assert!(st.transistors > 0);
+        let shown = st.to_string();
+        assert!(shown.contains("2 gates"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Netlist writers: `.bench` and PDL emission.
+
+use std::fmt::Write as _;
+
+use crate::gate::GateKind;
+use crate::netlist::{Circuit, NodeId};
+
+/// Serializes a circuit in ISCAS-85 `.bench` syntax.
+///
+/// Truth-table components have no `.bench` equivalent and are rendered as a
+/// comment plus an `AND` placeholder would be misleading, so this function
+/// panics on them; decompose LUTs before export.
+///
+/// # Panics
+///
+/// Panics if the circuit contains [`GateKind::Lut`] nodes.
+pub fn to_bench(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", circuit.name());
+    let sig = |id: NodeId| signal_name(circuit, id);
+    for &i in circuit.inputs() {
+        let _ = writeln!(out, "INPUT({})", sig(i));
+    }
+    for &o in circuit.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", sig(o));
+    }
+    for (id, node) in circuit.iter() {
+        let gate = match node.kind() {
+            GateKind::Input => continue,
+            GateKind::Const(false) => "CONST0",
+            GateKind::Const(true) => "CONST1",
+            GateKind::Buf => "BUFF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Lut(_) => panic!("cannot export truth-table components to .bench"),
+        };
+        let args: Vec<String> = node.fanins().iter().map(|&f| sig(f)).collect();
+        let _ = writeln!(out, "{} = {}({})", sig(id), gate, args.join(", "));
+    }
+    out
+}
+
+/// Serializes a circuit in PDL syntax (see [`crate::parse_pdl`]).
+///
+/// # Panics
+///
+/// Panics if the circuit contains [`GateKind::Lut`] nodes.
+pub fn to_pdl(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "circuit {};", circuit.name());
+    let sig = |id: NodeId| signal_name(circuit, id);
+    let inputs: Vec<String> = circuit.inputs().iter().map(|&i| sig(i)).collect();
+    let _ = writeln!(out, "input {};", inputs.join(" "));
+    let outputs: Vec<String> = circuit.outputs().iter().map(|&o| sig(o)).collect();
+    let _ = writeln!(out, "output {};", outputs.join(" "));
+    for (id, node) in circuit.iter() {
+        match node.kind() {
+            GateKind::Input => continue,
+            GateKind::Const(v) => {
+                let _ = writeln!(out, "{} = buf({});", sig(id), if v { 1 } else { 0 });
+            }
+            GateKind::Lut(_) => panic!("cannot export truth-table components to PDL"),
+            kind => {
+                let args: Vec<String> = node.fanins().iter().map(|&f| sig(f)).collect();
+                let _ = writeln!(out, "{} = {}({});", sig(id), kind.mnemonic(), args.join(", "));
+            }
+        }
+    }
+    out
+}
+
+/// A writer-safe signal name: declared name if it is a clean identifier,
+/// otherwise a synthetic `n<i>` label.
+fn signal_name(circuit: &Circuit, id: NodeId) -> String {
+    match circuit.node(id).name() {
+        Some(n) if n.bytes().all(|c| c.is_ascii_alphanumeric() || c == b'_') => n.to_string(),
+        _ => format!("n{}", id.index()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::CircuitBuilder;
+    use crate::parse_bench::parse_bench;
+    use crate::parse_pdl::parse_pdl;
+
+    use super::*;
+
+    fn sample() -> crate::Circuit {
+        let mut b = CircuitBuilder::new("samp");
+        let a = b.input("a");
+        let c = b.input("c");
+        let x = b.nand2(a, c);
+        let y = b.xor2(x, a);
+        b.name(x, "x");
+        b.name(y, "y");
+        b.output(y, "y");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn bench_roundtrip() {
+        let ckt = sample();
+        let text = to_bench(&ckt);
+        let back = parse_bench("samp", &text).unwrap();
+        assert_eq!(back.num_inputs(), ckt.num_inputs());
+        assert_eq!(back.num_gates(), ckt.num_gates());
+        assert_eq!(back.num_outputs(), 1);
+    }
+
+    #[test]
+    fn pdl_roundtrip() {
+        let ckt = sample();
+        let text = to_pdl(&ckt);
+        let back = parse_pdl("samp", &text).unwrap();
+        assert_eq!(back.name(), "samp");
+        assert_eq!(back.num_inputs(), 2);
+        assert_eq!(back.num_gates(), ckt.num_gates());
+    }
+
+    #[test]
+    fn unnamed_nodes_get_synthetic_names() {
+        let mut b = CircuitBuilder::new("anon");
+        let a = b.input("a");
+        let x = b.not(a); // unnamed gate
+        b.output(x, "z");
+        let ckt = b.finish().unwrap();
+        let text = to_bench(&ckt);
+        assert!(text.contains("n1 = NOT(a)"), "got:\n{text}");
+        let back = parse_bench("anon", &text).unwrap();
+        assert_eq!(back.num_gates(), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the netlist kernel: parser round-trips,
+//! levelization invariants, joining-point symmetry.
+
+use proptest::prelude::*;
+use protest_netlist::analyze::{Fanouts, JoiningPoints};
+use protest_netlist::{
+    parse_bench, parse_pdl, to_bench, to_pdl, Circuit, CircuitBuilder, GateKind, Levels, NodeId,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded random circuit built directly here (keeps this crate independent
+/// of `protest-circuits`, which depends on us).
+fn random_circuit(seed: u64, inputs: usize, gates: usize) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::new(format!("r{seed}"));
+    let mut pool = b.input_bus("x", inputs);
+    for _ in 0..gates {
+        let kind = match rng.gen_range(0..6u32) {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            2 => GateKind::Nand,
+            3 => GateKind::Nor,
+            4 => GateKind::Xor,
+            _ => GateKind::Not,
+        };
+        let arity = if kind == GateKind::Not { 1 } else { 2 };
+        let fanins: Vec<NodeId> = (0..arity)
+            .map(|_| pool[rng.gen_range(0..pool.len())])
+            .collect();
+        pool.push(b.gate(kind, &fanins));
+    }
+    let out = *pool.last().expect("nonempty pool");
+    b.output(out, "z");
+    b.finish().expect("valid construction")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bench_roundtrip_preserves_structure(seed in 0u64..10_000) {
+        let ckt = random_circuit(seed, 5, 25);
+        let text = to_bench(&ckt);
+        let back = parse_bench(ckt.name(), &text).unwrap();
+        prop_assert_eq!(back.num_inputs(), ckt.num_inputs());
+        prop_assert_eq!(back.num_outputs(), ckt.num_outputs());
+        prop_assert_eq!(back.num_gates(), ckt.num_gates());
+        // Round-trip again: the second serialization must be stable.
+        let text2 = to_bench(&back);
+        let back2 = parse_bench(ckt.name(), &text2).unwrap();
+        prop_assert_eq!(back2.num_gates(), back.num_gates());
+    }
+
+    #[test]
+    fn pdl_roundtrip_preserves_structure(seed in 0u64..10_000) {
+        let ckt = random_circuit(seed, 4, 20);
+        let text = to_pdl(&ckt);
+        let back = parse_pdl(ckt.name(), &text).unwrap();
+        prop_assert_eq!(back.num_inputs(), ckt.num_inputs());
+        prop_assert_eq!(back.num_gates(), ckt.num_gates());
+    }
+
+    #[test]
+    fn levelization_respects_dependencies(seed in 0u64..10_000) {
+        let ckt = random_circuit(seed, 6, 40);
+        let levels = Levels::new(&ckt);
+        prop_assert_eq!(levels.order().len(), ckt.num_nodes());
+        let mut seen = vec![false; ckt.num_nodes()];
+        for &id in levels.order() {
+            for &f in ckt.node(id).fanins() {
+                prop_assert!(seen[f.index()], "fanin after consumer");
+                prop_assert!(levels.level(f) < levels.level(id));
+            }
+            seen[id.index()] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fanout_map_is_inverse_of_fanins(seed in 0u64..10_000) {
+        let ckt = random_circuit(seed, 5, 30);
+        let fanouts = Fanouts::new(&ckt);
+        // Every fanin edge appears exactly once in the fanout map.
+        let mut count_from_fanins = 0usize;
+        for (id, node) in ckt.iter() {
+            for (pin, &f) in node.fanins().iter().enumerate() {
+                prop_assert!(
+                    fanouts.of(f).contains(&(id, pin as u8)),
+                    "missing fanout edge"
+                );
+                count_from_fanins += 1;
+            }
+        }
+        let count_from_fanouts: usize = (0..ckt.num_nodes())
+            .map(|i| fanouts.degree(NodeId::from_index(i)))
+            .sum();
+        prop_assert_eq!(count_from_fanins, count_from_fanouts);
+    }
+
+    #[test]
+    fn joining_points_are_symmetric(seed in 0u64..2_000) {
+        let ckt = random_circuit(seed, 5, 25);
+        let fanouts = Fanouts::new(&ckt);
+        let mut jp = JoiningPoints::new(&ckt);
+        // Pick the fanins of the deepest 2-input gate.
+        let levels = Levels::new(&ckt);
+        let gate = levels
+            .order()
+            .iter()
+            .rev()
+            .find(|&&id| ckt.node(id).fanins().len() == 2);
+        if let Some(&gate) = gate {
+            let a = ckt.node(gate).fanins()[0];
+            let b = ckt.node(gate).fanins()[1];
+            let v_ab = jp.find(&ckt, &fanouts, a, b, 12);
+            let v_ba = jp.find(&ckt, &fanouts, b, a, 12);
+            prop_assert_eq!(v_ab, v_ba, "V(a,b) must equal V(b,a)");
+        }
+    }
+}

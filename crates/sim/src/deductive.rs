@@ -1,0 +1,297 @@
+//! Deductive fault simulation (Armstrong 1972) — the third simulation
+//! engine, complementing bit-parallel PPSFP and the serial reference.
+//!
+//! Where PPSFP simulates 64 patterns against one fault at a time, deductive
+//! simulation processes **one pattern against every fault at once**: each
+//! node carries the *fault list* `L(x)` of exactly those faults whose
+//! presence would flip `x`'s value under the current pattern. Lists are
+//! deduced in one topological pass with set operations; detected faults are
+//! the union of the primary outputs' lists.
+//!
+//! For a gate with good output `v` and fanin lists `L(a), L(b), …`, a fault
+//! `f` flips the output iff evaluating the gate with exactly the fanins
+//! `{i : f ∈ L(i)}` flipped (plus `f`'s own local effect on this gate's
+//! pins) changes the output — the textbook controlling/non-controlling set
+//! algebra, generalized here to arbitrary gate functions by candidate-wise
+//! evaluation, which keeps XOR and truth-table components exact.
+
+use std::collections::HashMap;
+
+use protest_netlist::{Circuit, GateKind, Levels};
+
+use crate::fault::{Fault, FaultSite, StuckAt};
+
+/// Deductive fault simulator over a fixed fault list.
+#[derive(Debug)]
+pub struct DeductiveSim<'c> {
+    circuit: &'c Circuit,
+    levels: Levels,
+    faults: Vec<Fault>,
+    /// For each node: local faults seeded at that node (output faults) —
+    /// fault index + stuck polarity.
+    local_output: Vec<Vec<(u32, StuckAt)>>,
+    /// For each gate: pin faults as (fault index, pin, polarity).
+    local_pins: Vec<Vec<(u32, u8, StuckAt)>>,
+}
+
+impl<'c> DeductiveSim<'c> {
+    /// Creates a simulator for the given faults.
+    pub fn new(circuit: &'c Circuit, faults: &[Fault]) -> Self {
+        let mut local_output = vec![Vec::new(); circuit.num_nodes()];
+        let mut local_pins = vec![Vec::new(); circuit.num_nodes()];
+        for (fi, fault) in faults.iter().enumerate() {
+            match fault.site {
+                FaultSite::Output(n) => {
+                    local_output[n.index()].push((fi as u32, fault.polarity));
+                }
+                FaultSite::InputPin { gate, pin } => {
+                    local_pins[gate.index()].push((fi as u32, pin, fault.polarity));
+                }
+            }
+        }
+        DeductiveSim {
+            circuit,
+            levels: Levels::new(circuit),
+            faults: faults.to_vec(),
+            local_output,
+            local_pins,
+        }
+    }
+
+    /// The fault list under simulation.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Simulates one input pattern; returns, per fault, whether it is
+    /// detected by this pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != circuit.num_inputs()`.
+    pub fn detect_pattern(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            inputs.len(),
+            self.circuit.num_inputs(),
+            "one bit per primary input"
+        );
+        let n = self.circuit.num_nodes();
+        let mut good = vec![false; n];
+        // Fault lists as sorted Vec<u32> of fault indices.
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut scratch: HashMap<u32, Vec<bool>> = HashMap::new();
+
+        for &id in self.levels.order() {
+            let node = self.circuit.node(id);
+            let fan = node.fanins();
+            // Good value.
+            let v = match node.kind() {
+                GateKind::Input => {
+                    let pos = self
+                        .circuit
+                        .input_position(id)
+                        .expect("input in input list");
+                    inputs[pos]
+                }
+                GateKind::Const(c) => c,
+                kind => {
+                    let vals: Vec<bool> = fan.iter().map(|&f| good[f.index()]).collect();
+                    eval_kind(self.circuit, kind, &vals)
+                }
+            };
+            good[id.index()] = v;
+
+            // Candidate faults: anything in a fanin list, plus this node's
+            // local pin faults. (Output faults are handled after.)
+            scratch.clear();
+            for (pin, &f) in fan.iter().enumerate() {
+                for &fi in &lists[f.index()] {
+                    scratch
+                        .entry(fi)
+                        .or_insert_with(|| vec![false; fan.len()])[pin] = true;
+                }
+            }
+            for &(fi, pin, pol) in &self.local_pins[id.index()] {
+                // The pin is forced to `pol` for this gate only; it flips
+                // the pin iff the (possibly already fault-affected) driver
+                // value differs. For the pin's own fault the driver is the
+                // good value.
+                let driver_val = good[fan[pin as usize].index()];
+                if driver_val != pol.bit() {
+                    scratch
+                        .entry(fi)
+                        .or_insert_with(|| vec![false; fan.len()])[pin as usize] = true;
+                } else {
+                    scratch.entry(fi).or_insert_with(|| vec![false; fan.len()]);
+                }
+            }
+            let mut out: Vec<u32> = Vec::new();
+            if !matches!(node.kind(), GateKind::Input | GateKind::Const(_)) {
+                for (&fi, flips) in scratch.iter() {
+                    let vals: Vec<bool> = fan
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &f)| good[f.index()] ^ flips[i])
+                        .collect();
+                    if eval_kind(self.circuit, node.kind(), &vals) != v {
+                        out.push(fi);
+                    }
+                }
+            }
+            // An output fault forces this node, dominating any upstream
+            // effect: the node's list membership is exactly "forced value
+            // differs from the good value".
+            for &(fi, pol) in &self.local_output[id.index()] {
+                let should = pol.bit() != v;
+                let has = out.contains(&fi);
+                if should && !has {
+                    out.push(fi);
+                } else if !should && has {
+                    out.retain(|&x| x != fi);
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            lists[id.index()] = out;
+        }
+
+        let mut detected = vec![false; self.faults.len()];
+        for &o in self.circuit.outputs() {
+            for &fi in &lists[o.index()] {
+                detected[fi as usize] = true;
+            }
+        }
+        detected
+    }
+}
+
+fn eval_kind(circuit: &Circuit, kind: GateKind, vals: &[bool]) -> bool {
+    match kind {
+        GateKind::Lut(lid) => {
+            let mut m = 0usize;
+            for (i, &b) in vals.iter().enumerate() {
+                m |= usize::from(b) << i;
+            }
+            circuit.lut(lid).bit(m)
+        }
+        k => k.eval_bools(vals),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_netlist::CircuitBuilder;
+
+    use crate::fault::FaultUniverse;
+    use crate::serial::detect_block_serial;
+
+    use super::*;
+
+    fn cross_check(circuit: &Circuit, patterns: &[u64]) {
+        let universe = FaultUniverse::all(circuit);
+        let faults: Vec<Fault> = universe.iter().collect();
+        let ded = DeductiveSim::new(circuit, &faults);
+        // One scalar pattern per bit 0 of the supplied words.
+        let scalar: Vec<bool> = patterns.iter().map(|&w| w & 1 == 1).collect();
+        let detected = ded.detect_pattern(&scalar);
+        for (fi, &fault) in faults.iter().enumerate() {
+            let mask = detect_block_serial(circuit, fault, patterns);
+            assert_eq!(
+                mask & 1 == 1,
+                detected[fi],
+                "{fault:?} disagrees with serial simulation"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_reconvergent_circuit() {
+        let mut b = CircuitBuilder::new("rc");
+        let a = b.input("a");
+        let c = b.input("c");
+        let d = b.input("d");
+        let na = b.not(a);
+        let g1 = b.and2(a, c);
+        let g2 = b.or2(na, d);
+        let g3 = b.xor2(g1, g2);
+        let g4 = b.nand2(g3, a);
+        b.output(g3, "z1");
+        b.output(g4, "z2");
+        let ckt = b.finish().unwrap();
+        for mask in 0..8u64 {
+            let patterns: Vec<u64> = (0..3).map(|i| (mask >> i) & 1).collect();
+            cross_check(&ckt, &patterns);
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_lut_circuit() {
+        use protest_netlist::TruthTable;
+        let mut b = CircuitBuilder::new("lut");
+        let xs = b.input_bus("x", 3);
+        let t = b.add_table(TruthTable::from_fn(3, |m| m.count_ones() >= 2).unwrap());
+        let maj = b.lut(t, &xs);
+        let z = b.xor2(maj, xs[0]);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        for mask in 0..8u64 {
+            let patterns: Vec<u64> = (0..3).map(|i| (mask >> i) & 1).collect();
+            cross_check(&ckt, &patterns);
+        }
+    }
+
+    #[test]
+    fn detects_exactly_the_textbook_and_faults() {
+        let mut b = CircuitBuilder::new("and");
+        let a = b.input("a");
+        let c = b.input("c");
+        let z = b.and2(a, c);
+        b.name(z, "z");
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let universe = FaultUniverse::all(&ckt);
+        let faults: Vec<Fault> = universe.iter().collect();
+        let ded = DeductiveSim::new(&ckt, &faults);
+        // Pattern (1,1): detects a sa0, c sa0, z sa0.
+        let det = ded.detect_pattern(&[true, true]);
+        let detected: Vec<String> = faults
+            .iter()
+            .zip(&det)
+            .filter(|&(_, &d)| d)
+            .map(|(f, _)| f.label(&ckt))
+            .collect();
+        assert_eq!(detected, vec!["a sa0", "c sa0", "z sa0"]);
+        // Pattern (0,1): detects a sa1 and z sa1.
+        let det = ded.detect_pattern(&[false, true]);
+        let detected: Vec<String> = faults
+            .iter()
+            .zip(&det)
+            .filter(|&(_, &d)| d)
+            .map(|(f, _)| f.label(&ckt))
+            .collect();
+        assert_eq!(detected, vec!["a sa1", "z sa1"]);
+    }
+
+    #[test]
+    fn fault_masking_through_reconvergence() {
+        // z = XOR(buf1(a), buf2(a)): the stem fault flips both branches and
+        // is masked; each branch fault alone is detected.
+        let mut b = CircuitBuilder::new("mask");
+        let a = b.input("a");
+        let b1 = b.buf(a);
+        let b2 = b.buf(a);
+        let z = b.xor2(b1, b2);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let faults = vec![
+            Fault::output(a, StuckAt::One),
+            Fault::output(b1, StuckAt::One),
+            Fault::output(b2, StuckAt::One),
+        ];
+        let ded = DeductiveSim::new(&ckt, &faults);
+        let det = ded.detect_pattern(&[false]);
+        assert!(!det[0], "stem fault must cancel through even reconvergence");
+        assert!(det[1], "branch fault must be visible");
+        assert!(det[2], "branch fault must be visible");
+    }
+}

@@ -1,0 +1,502 @@
+use std::fmt;
+
+use protest_netlist::analyze::Fanouts;
+use protest_netlist::{Circuit, GateKind, NodeId};
+
+/// Stuck-at polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StuckAt {
+    /// Signal stuck at logic 0.
+    Zero,
+    /// Signal stuck at logic 1.
+    One,
+}
+
+impl StuckAt {
+    /// The stuck value as a full 64-pattern word.
+    pub fn word(self) -> u64 {
+        match self {
+            StuckAt::Zero => 0,
+            StuckAt::One => !0,
+        }
+    }
+
+    /// The stuck value as a bool.
+    pub fn bit(self) -> bool {
+        self == StuckAt::One
+    }
+
+    /// The opposite polarity.
+    pub fn flipped(self) -> StuckAt {
+        match self {
+            StuckAt::Zero => StuckAt::One,
+            StuckAt::One => StuckAt::Zero,
+        }
+    }
+}
+
+impl fmt::Display for StuckAt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StuckAt::Zero => f.write_str("sa0"),
+            StuckAt::One => f.write_str("sa1"),
+        }
+    }
+}
+
+/// Where a stuck-at fault sits: a node's output net, or one input pin of one
+/// gate (the paper's "pin x of some logical component").
+///
+/// Distinguishing stems from branches matters: on a fanout stem, a fault on
+/// one branch affects only that consumer, while the stem fault affects all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// The output net of a node (affects every consumer).
+    Output(NodeId),
+    /// A single input pin of a gate.
+    InputPin {
+        /// The consuming gate.
+        gate: NodeId,
+        /// The pin position within the gate's fanin list.
+        pin: u8,
+    },
+}
+
+impl FaultSite {
+    /// The node whose *driving value* the fault perturbs: the node itself for
+    /// output faults, the pin's driver for input-pin faults.
+    pub fn driver(self, circuit: &Circuit) -> NodeId {
+        match self {
+            FaultSite::Output(n) => n,
+            FaultSite::InputPin { gate, pin } => circuit.node(gate).fanins()[pin as usize],
+        }
+    }
+
+    /// The first node whose computed value changes: the node itself for
+    /// output faults, the consuming gate for input-pin faults.
+    pub fn affected(self) -> NodeId {
+        match self {
+            FaultSite::Output(n) => n,
+            FaultSite::InputPin { gate, .. } => gate,
+        }
+    }
+}
+
+/// A single stuck-at fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fault {
+    /// Where the fault sits.
+    pub site: FaultSite,
+    /// The stuck polarity.
+    pub polarity: StuckAt,
+}
+
+impl Fault {
+    /// Output stuck-at fault on a node.
+    pub fn output(node: NodeId, polarity: StuckAt) -> Self {
+        Fault {
+            site: FaultSite::Output(node),
+            polarity,
+        }
+    }
+
+    /// Input-pin stuck-at fault on a gate pin.
+    pub fn input_pin(gate: NodeId, pin: u8, polarity: StuckAt) -> Self {
+        Fault {
+            site: FaultSite::InputPin { gate, pin },
+            polarity,
+        }
+    }
+
+    /// Human-readable label, e.g. `G17.in2 sa1` or `G5 sa0`.
+    pub fn label(&self, circuit: &Circuit) -> String {
+        match self.site {
+            FaultSite::Output(n) => format!("{} {}", circuit.node_label(n), self.polarity),
+            FaultSite::InputPin { gate, pin } => format!(
+                "{}.in{} {}",
+                circuit.node_label(gate),
+                pin,
+                self.polarity
+            ),
+        }
+    }
+}
+
+/// The complete single stuck-at fault universe of a circuit.
+///
+/// Contains, for every live node, output sa0/sa1 faults, and for every gate
+/// input pin whose driver is a fanout stem, pin sa0/sa1 faults (pins on
+/// fanout-free nets are structurally equivalent to the driver's output fault
+/// and are left to [`collapse_universe`] would-be duplicates — they are not
+/// enumerated at all, which is the standard "checkpoint-free" enumeration).
+#[derive(Debug, Clone)]
+pub struct FaultUniverse {
+    faults: Vec<Fault>,
+}
+
+impl FaultUniverse {
+    /// Enumerates the fault universe of a circuit.
+    ///
+    /// Dead nodes — those from which no primary output is reachable, even
+    /// transitively — are skipped: their faults are structurally
+    /// undetectable and would poison test-length computations.
+    pub fn all(circuit: &Circuit) -> Self {
+        let fanouts = Fanouts::new(circuit);
+        // Backward reachability from the primary outputs.
+        let mut live_set = vec![false; circuit.num_nodes()];
+        let mut stack: Vec<NodeId> = circuit.outputs().to_vec();
+        for &o in circuit.outputs() {
+            live_set[o.index()] = true;
+        }
+        while let Some(n) = stack.pop() {
+            for &f in circuit.node(n).fanins() {
+                if !live_set[f.index()] {
+                    live_set[f.index()] = true;
+                    stack.push(f);
+                }
+            }
+        }
+        let mut faults = Vec::new();
+        for (id, node) in circuit.iter() {
+            if !live_set[id.index()] {
+                continue;
+            }
+            if !matches!(node.kind(), GateKind::Const(_)) {
+                faults.push(Fault::output(id, StuckAt::Zero));
+                faults.push(Fault::output(id, StuckAt::One));
+            }
+            // Input-pin faults only where they are distinguishable from the
+            // driver's output fault: on branches of fanout stems.
+            for (pin, &f) in node.fanins().iter().enumerate() {
+                if fanouts.degree(f) >= 2 {
+                    faults.push(Fault::input_pin(id, pin as u8, StuckAt::Zero));
+                    faults.push(Fault::input_pin(id, pin as u8, StuckAt::One));
+                }
+            }
+        }
+        FaultUniverse { faults }
+    }
+
+    /// The faults, in deterministic enumeration order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Iterates over the faults.
+    pub fn iter(&self) -> impl Iterator<Item = Fault> + '_ {
+        self.faults.iter().copied()
+    }
+}
+
+/// A collapsed fault universe: equivalence classes under classic structural
+/// rules, with one representative per class.
+#[derive(Debug, Clone)]
+pub struct CollapsedUniverse {
+    representatives: Vec<Fault>,
+    classes: Vec<Vec<Fault>>,
+}
+
+impl CollapsedUniverse {
+    /// One representative fault per equivalence class.
+    pub fn representatives(&self) -> &[Fault] {
+        &self.representatives
+    }
+
+    /// The full class for each representative (same index order).
+    pub fn classes(&self) -> &[Vec<Fault>] {
+        &self.classes
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// Whether there are no classes.
+    pub fn is_empty(&self) -> bool {
+        self.representatives.is_empty()
+    }
+}
+
+/// Collapses a fault universe using structural equivalence:
+///
+/// * AND: any input sa0 ≡ output sa0; NAND: input sa0 ≡ output sa1;
+///   OR: input sa1 ≡ output sa1; NOR: input sa1 ≡ output sa0;
+///   NOT/BUF: input faults ≡ (inverted/same) output faults.
+/// * XOR/XNOR/LUT gates provide no structural equivalence.
+///
+/// Only equivalences *within the enumerated universe* are applied; since
+/// [`FaultUniverse::all`] never enumerates pin faults on fanout-free nets,
+/// the classic stem/branch equivalence is already implicit.
+pub fn collapse_universe(circuit: &Circuit, universe: &FaultUniverse) -> CollapsedUniverse {
+    use std::collections::HashMap;
+
+    let index: HashMap<Fault, usize> = universe
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f, i))
+        .collect();
+    let mut dsu = Dsu::new(universe.len());
+
+    for (id, node) in circuit.iter() {
+        let (controlled, out_pol) = match node.kind() {
+            GateKind::And => (StuckAt::Zero, StuckAt::Zero),
+            GateKind::Nand => (StuckAt::Zero, StuckAt::One),
+            GateKind::Or => (StuckAt::One, StuckAt::One),
+            GateKind::Nor => (StuckAt::One, StuckAt::Zero),
+            GateKind::Buf | GateKind::Not => {
+                // Both polarities map through.
+                for pol in [StuckAt::Zero, StuckAt::One] {
+                    let out_pol = if node.kind() == GateKind::Not {
+                        pol.flipped()
+                    } else {
+                        pol
+                    };
+                    let pin_fault = Fault::input_pin(id, 0, pol);
+                    let driver = node.fanins()[0];
+                    let in_fault = Fault::output(driver, pol);
+                    let out_fault = Fault::output(id, out_pol);
+                    // The pin fault exists only for stems; otherwise the
+                    // driver's output fault plays its role — but only when
+                    // the driver net is not itself directly observed as a
+                    // primary output (a PO net's fault is detectable at the
+                    // PO even when the gate's output fault is not).
+                    let a = index.get(&pin_fault).or_else(|| {
+                        if circuit.is_output(driver) {
+                            None
+                        } else {
+                            index.get(&in_fault)
+                        }
+                    });
+                    if let (Some(&a), Some(&b)) = (a, index.get(&out_fault)) {
+                        dsu.union(a, b);
+                    }
+                }
+                continue;
+            }
+            _ => continue,
+        };
+        let out_fault = Fault::output(id, out_pol);
+        let Some(&out_idx) = index.get(&out_fault) else {
+            continue;
+        };
+        for (pin, &f) in node.fanins().iter().enumerate() {
+            let pin_fault = Fault::input_pin(id, pin as u8, controlled);
+            let in_fault = Fault::output(f, controlled);
+            // Equivalence applies to the branch fault when enumerated (stem
+            // drivers), else to the driver's output fault — valid only for
+            // fanout-free nets (`all()` enumerates pin faults exactly when
+            // the driver is a stem, so absence implies fanout-free) that
+            // are not observed directly as primary outputs.
+            let a = index.get(&pin_fault).or_else(|| {
+                if circuit.is_output(f) {
+                    None
+                } else {
+                    index.get(&in_fault)
+                }
+            });
+            if let Some(&a) = a {
+                dsu.union(a, out_idx);
+            }
+        }
+    }
+
+    let mut groups: HashMap<usize, Vec<Fault>> = HashMap::new();
+    for (i, f) in universe.iter().enumerate() {
+        groups.entry(dsu.find(i)).or_default().push(f);
+    }
+    let mut classes: Vec<Vec<Fault>> = groups.into_values().collect();
+    for class in &mut classes {
+        class.sort();
+    }
+    classes.sort_by_key(|c| c[0]);
+    let representatives = classes.iter().map(|c| c[0]).collect();
+    CollapsedUniverse {
+        representatives,
+        classes,
+    }
+}
+
+#[derive(Debug)]
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+        }
+    }
+    fn find(&mut self, i: usize) -> usize {
+        let mut root = i;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        let mut cur = i;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_netlist::CircuitBuilder;
+
+    use super::*;
+
+    #[test]
+    fn universe_of_single_and() {
+        let mut b = CircuitBuilder::new("and");
+        let a = b.input("a");
+        let c = b.input("c");
+        let z = b.and2(a, c);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let u = FaultUniverse::all(&ckt);
+        // 3 nets × 2 polarities; no stems, so no pin faults.
+        assert_eq!(u.len(), 6);
+    }
+
+    #[test]
+    fn stems_get_branch_faults() {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let x = b.not(a);
+        let y = b.and2(a, x); // `a` is a stem (drives NOT and AND)
+        b.output(y, "z");
+        let ckt = b.finish().unwrap();
+        let u = FaultUniverse::all(&ckt);
+        // nets a, x, y: 6 output faults; branches: a→not pin, a→and pin: 4.
+        assert_eq!(u.len(), 10);
+        let pin_faults = u
+            .iter()
+            .filter(|f| matches!(f.site, FaultSite::InputPin { .. }))
+            .count();
+        assert_eq!(pin_faults, 4);
+    }
+
+    #[test]
+    fn collapse_and_gate() {
+        // z = AND(a, c): a sa0 ≡ c sa0 ≡ z sa0 → classes:
+        // {a0,c0,z0}, {a1}, {c1}, {z1} = 4 classes of 6 faults.
+        let mut b = CircuitBuilder::new("and");
+        let a = b.input("a");
+        let c = b.input("c");
+        let z = b.and2(a, c);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let u = FaultUniverse::all(&ckt);
+        let col = collapse_universe(&ckt, &u);
+        assert_eq!(col.len(), 4);
+        let biggest = col.classes().iter().map(|c| c.len()).max().unwrap();
+        assert_eq!(biggest, 3);
+    }
+
+    #[test]
+    fn collapse_inverter_chain() {
+        // a -> not -> not -> z : all faults collapse to 2 classes.
+        let mut b = CircuitBuilder::new("chain");
+        let a = b.input("a");
+        let n1 = b.not(a);
+        let n2 = b.not(n1);
+        b.output(n2, "z");
+        let ckt = b.finish().unwrap();
+        let u = FaultUniverse::all(&ckt);
+        assert_eq!(u.len(), 6);
+        let col = collapse_universe(&ckt, &u);
+        assert_eq!(col.len(), 2);
+    }
+
+    #[test]
+    fn xor_does_not_collapse() {
+        let mut b = CircuitBuilder::new("x");
+        let a = b.input("a");
+        let c = b.input("c");
+        let z = b.xor2(a, c);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let u = FaultUniverse::all(&ckt);
+        let col = collapse_universe(&ckt, &u);
+        assert_eq!(col.len(), u.len());
+    }
+
+    #[test]
+    fn branch_faults_do_not_collapse_across_stem()
+    {
+        // a (stem) feeds AND(a, b) and OR(a, c). Branch a→AND sa0 collapses
+        // with AND output sa0 but NOT with the stem fault a sa0.
+        let mut b = CircuitBuilder::new("s");
+        let a = b.input("a");
+        let b_in = b.input("b");
+        let c = b.input("c");
+        let g1 = b.and2(a, b_in);
+        let g2 = b.or2(a, c);
+        b.output(g1, "z1");
+        b.output(g2, "z2");
+        let ckt = b.finish().unwrap();
+        let u = FaultUniverse::all(&ckt);
+        let col = collapse_universe(&ckt, &u);
+        // Find class containing AND-output sa0.
+        let and_sa0 = Fault::output(g1, StuckAt::Zero);
+        let class = col
+            .classes()
+            .iter()
+            .find(|c| c.contains(&and_sa0))
+            .unwrap();
+        assert!(class.contains(&Fault::input_pin(g1, 0, StuckAt::Zero)));
+        assert!(!class.contains(&Fault::output(a, StuckAt::Zero)));
+    }
+
+    #[test]
+    fn fault_labels() {
+        let mut b = CircuitBuilder::new("l");
+        let a = b.input("a");
+        let x = b.not(a);
+        let y = b.and2(a, x);
+        b.output(y, "y");
+        b.name(y, "y");
+        let ckt = b.finish().unwrap();
+        assert_eq!(Fault::output(a, StuckAt::One).label(&ckt), "a sa1");
+        assert_eq!(
+            Fault::input_pin(y, 1, StuckAt::Zero).label(&ckt),
+            "y.in1 sa0"
+        );
+    }
+
+    #[test]
+    fn site_driver_and_affected() {
+        let mut b = CircuitBuilder::new("d");
+        let a = b.input("a");
+        let x = b.not(a);
+        let y = b.and2(a, x);
+        b.output(y, "y");
+        let ckt = b.finish().unwrap();
+        let f = Fault::input_pin(y, 1, StuckAt::Zero);
+        assert_eq!(f.site.driver(&ckt), x);
+        assert_eq!(f.site.affected(), y);
+        let g = Fault::output(x, StuckAt::One);
+        assert_eq!(g.site.driver(&ckt), x);
+        assert_eq!(g.site.affected(), x);
+    }
+}

@@ -1,0 +1,437 @@
+use protest_netlist::analyze::Fanouts;
+use protest_netlist::{Circuit, Levels, NodeId};
+
+use crate::fault::{Fault, FaultSite};
+use crate::logic::{LogicSim, eval_node};
+use crate::patterns::PatternSource;
+
+/// Per-fault detection statistics from a counting (non-dropping) run.
+#[derive(Debug, Clone)]
+pub struct DetectionCounts {
+    /// Number of applied patterns.
+    pub patterns: u64,
+    /// For each fault (same order as supplied), the number of patterns that
+    /// detected it.
+    pub detections: Vec<u64>,
+}
+
+impl DetectionCounts {
+    /// Per-fault empirical detection probabilities (`P_SIM` in the paper).
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.detections
+            .iter()
+            .map(|&d| d as f64 / self.patterns as f64)
+            .collect()
+    }
+
+    /// Fraction of faults detected at least once (fault coverage).
+    pub fn coverage(&self) -> f64 {
+        let detected = self.detections.iter().filter(|&&d| d > 0).count();
+        detected as f64 / self.detections.len().max(1) as f64
+    }
+}
+
+/// PPSFP fault simulator: parallel patterns (64 per block), single fault at a
+/// time, event-driven propagation restricted to the fault's output cone.
+///
+/// Faulty values are kept in an epoch-stamped shadow array, so per-fault
+/// cleanup is O(1); the good simulation is shared across all faults of a
+/// block.
+///
+/// # Example
+///
+/// ```
+/// use protest_netlist::CircuitBuilder;
+/// use protest_sim::{FaultSim, FaultUniverse, UniformRandomPatterns};
+///
+/// # fn main() -> Result<(), protest_netlist::NetlistError> {
+/// let mut b = CircuitBuilder::new("and");
+/// let a = b.input("a");
+/// let c = b.input("c");
+/// let z = b.and2(a, c);
+/// b.output(z, "z");
+/// let circuit = b.finish()?;
+///
+/// let universe = FaultUniverse::all(&circuit);
+/// let mut sim = FaultSim::new(&circuit);
+/// let mut source = UniformRandomPatterns::new(2, 42);
+/// let counts = sim.count_detections(universe.faults(), &mut source, 1024);
+/// // An AND gate is fully random-testable.
+/// assert_eq!(counts.coverage(), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FaultSim<'c> {
+    circuit: &'c Circuit,
+    levels: Levels,
+    fanouts: Fanouts,
+    faulty: Vec<u64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    queued: Vec<u32>,
+    buckets: Vec<Vec<NodeId>>,
+    fanin_buf: Vec<u64>,
+    po_mask: Vec<bool>,
+}
+
+impl<'c> FaultSim<'c> {
+    /// Creates a fault simulator for the circuit.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        let levels = Levels::new(circuit);
+        let depth = levels.depth() as usize;
+        let mut po_mask = vec![false; circuit.num_nodes()];
+        for &o in circuit.outputs() {
+            po_mask[o.index()] = true;
+        }
+        FaultSim {
+            circuit,
+            fanouts: Fanouts::new(circuit),
+            levels,
+            faulty: vec![0; circuit.num_nodes()],
+            stamp: vec![0; circuit.num_nodes()],
+            epoch: 0,
+            queued: vec![0; circuit.num_nodes()],
+            buckets: vec![Vec::new(); depth + 1],
+            fanin_buf: Vec::with_capacity(8),
+            po_mask,
+        }
+    }
+
+    /// The circuit under test.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// Given good-simulation node values for a 64-pattern block, returns the
+    /// mask of patterns on which `fault` is detected (some primary output
+    /// differs from the good circuit).
+    ///
+    /// `good` must come from [`LogicSim::values`] on the same circuit for the
+    /// same block.
+    pub fn detect_block(&mut self, fault: Fault, good: &[u64]) -> u64 {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp wrap: invalidate everything once per 2^32 calls.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.queued.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
+
+        // Seed the event queue with the first affected node.
+        let seed = fault.site.affected();
+        let seed_word = match fault.site {
+            FaultSite::Output(n) => {
+                let _ = n;
+                fault.polarity.word()
+            }
+            FaultSite::InputPin { gate, pin } => {
+                // Re-evaluate the gate with the pin forced.
+                self.fanin_buf.clear();
+                for (i, &f) in self.circuit.node(gate).fanins().iter().enumerate() {
+                    let w = if i == pin as usize {
+                        fault.polarity.word()
+                    } else {
+                        good[f.index()]
+                    };
+                    self.fanin_buf.push(w);
+                }
+                let words = std::mem::take(&mut self.fanin_buf);
+                let v = eval_node(self.circuit, gate, &words);
+                self.fanin_buf = words;
+                self.fanin_buf.clear();
+                v
+            }
+        };
+        let mut detect = 0u64;
+        if seed_word == good[seed.index()] {
+            return 0;
+        }
+        self.faulty[seed.index()] = seed_word;
+        self.stamp[seed.index()] = epoch;
+        if self.po_mask[seed.index()] {
+            detect |= seed_word ^ good[seed.index()];
+        }
+        // Schedule fanouts of the seed.
+        let seed_level = self.levels.level(seed) as usize;
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        {
+            let FaultSim {
+                fanouts,
+                queued,
+                buckets,
+                levels,
+                ..
+            } = self;
+            for &(succ, _) in fanouts.of(seed) {
+                if queued[succ.index()] != epoch {
+                    queued[succ.index()] = epoch;
+                    buckets[levels.level(succ) as usize].push(succ);
+                }
+            }
+        }
+
+        // Event-driven propagation in level order.
+        let mut lvl = seed_level;
+        while lvl < self.buckets.len() {
+            // Buckets can gain entries at higher levels while processing.
+            while let Some(node) = self.buckets[lvl].pop() {
+                self.queued[node.index()] = 0;
+                // Re-evaluate with effective (faulty-if-stamped) fanins.
+                self.fanin_buf.clear();
+                for (i, &f) in self.circuit.node(node).fanins().iter().enumerate() {
+                    let mut w = if self.stamp[f.index()] == epoch {
+                        self.faulty[f.index()]
+                    } else {
+                        good[f.index()]
+                    };
+                    // An input-pin fault stays forced for its gate.
+                    if let FaultSite::InputPin { gate, pin } = fault.site {
+                        if gate == node && pin as usize == i {
+                            w = fault.polarity.word();
+                        }
+                    }
+                    self.fanin_buf.push(w);
+                }
+                let words = std::mem::take(&mut self.fanin_buf);
+                let new = eval_node(self.circuit, node, &words);
+                self.fanin_buf = words;
+                let old = if self.stamp[node.index()] == epoch {
+                    self.faulty[node.index()]
+                } else {
+                    good[node.index()]
+                };
+                // An output fault dominates downstream recomputation of the
+                // site itself (the site's value is pinned).
+                let new = if fault.site == FaultSite::Output(node) {
+                    fault.polarity.word()
+                } else {
+                    new
+                };
+                if new != old {
+                    self.faulty[node.index()] = new;
+                    self.stamp[node.index()] = epoch;
+                    if self.po_mask[node.index()] {
+                        detect |= new ^ good[node.index()];
+                    }
+                    let FaultSim {
+                        fanouts,
+                        queued,
+                        buckets,
+                        levels,
+                        ..
+                    } = &mut *self;
+                    for &(succ, _) in fanouts.of(node) {
+                        if queued[succ.index()] != epoch {
+                            queued[succ.index()] = epoch;
+                            buckets[levels.level(succ) as usize].push(succ);
+                        }
+                    }
+                }
+            }
+            lvl += 1;
+        }
+        detect
+    }
+
+    /// Counting run: applies `num_patterns` patterns from `source` and counts
+    /// detections per fault, without dropping (every fault sees every
+    /// pattern). This is how the paper's `P_SIM` is obtained.
+    ///
+    /// `num_patterns` is rounded up to a multiple of 64.
+    pub fn count_detections<S: PatternSource>(
+        &mut self,
+        faults: &[Fault],
+        source: &mut S,
+        num_patterns: u64,
+    ) -> DetectionCounts {
+        let blocks = num_patterns.div_ceil(64).max(1);
+        let mut detections = vec![0u64; faults.len()];
+        let mut logic = LogicSim::new(self.circuit);
+        let mut inputs = vec![0u64; self.circuit.num_inputs()];
+        for _ in 0..blocks {
+            source.next_block(&mut inputs);
+            logic.run_block_internal(&inputs);
+            let good = logic.values().to_vec();
+            for (fi, &fault) in faults.iter().enumerate() {
+                let mask = self.detect_block(fault, &good);
+                detections[fi] += mask.count_ones() as u64;
+            }
+        }
+        DetectionCounts {
+            patterns: blocks * 64,
+            detections,
+        }
+    }
+
+    /// Fault-dropping run: applies patterns until all faults are detected or
+    /// `num_patterns` have been applied. Returns, for each fault, the 1-based
+    /// index of the first detecting pattern (`None` if never detected).
+    ///
+    /// `num_patterns` is rounded up to a multiple of 64.
+    pub fn first_detections<S: PatternSource>(
+        &mut self,
+        faults: &[Fault],
+        source: &mut S,
+        num_patterns: u64,
+    ) -> Vec<Option<u64>> {
+        let blocks = num_patterns.div_ceil(64).max(1);
+        let mut first = vec![None; faults.len()];
+        let mut live: Vec<usize> = (0..faults.len()).collect();
+        let mut logic = LogicSim::new(self.circuit);
+        let mut inputs = vec![0u64; self.circuit.num_inputs()];
+        for blk in 0..blocks {
+            if live.is_empty() {
+                break;
+            }
+            source.next_block(&mut inputs);
+            logic.run_block_internal(&inputs);
+            let good = logic.values().to_vec();
+            live.retain(|&fi| {
+                let mask = self.detect_block(faults[fi], &good);
+                if mask != 0 {
+                    let offset = mask.trailing_zeros() as u64;
+                    first[fi] = Some(blk * 64 + offset + 1);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        first
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_netlist::CircuitBuilder;
+
+    use crate::fault::{FaultUniverse, StuckAt};
+    use crate::patterns::ExhaustivePatterns;
+
+    use super::*;
+
+    #[test]
+    fn and_gate_detection_masks() {
+        let mut b = CircuitBuilder::new("and");
+        let a = b.input("a");
+        let c = b.input("c");
+        let z = b.and2(a, c);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let mut logic = LogicSim::new(&ckt);
+        // Patterns 0..3 exhaustively: a = 0b1010..., c = 0b1100...
+        let a_w = 0b1010u64;
+        let c_w = 0b1100u64;
+        logic.run_block_internal(&[a_w, c_w]);
+        let good = logic.values().to_vec();
+        let mut fsim = FaultSim::new(&ckt);
+        // z sa0 detected whenever good z = 1: pattern 3 only.
+        let m = fsim.detect_block(Fault::output(z, StuckAt::Zero), &good);
+        assert_eq!(m & 0xF, 0b1000);
+        // z sa1 detected whenever good z = 0: patterns 0,1,2.
+        let m = fsim.detect_block(Fault::output(z, StuckAt::One), &good);
+        assert_eq!(m & 0xF, 0b0111);
+        // a sa0: faulty z = 0; differs when z good = 1: pattern 3.
+        let m = fsim.detect_block(Fault::output(a, StuckAt::Zero), &good);
+        assert_eq!(m & 0xF, 0b1000);
+        // a sa1: faulty z = c; differs when a=0 ∧ c=1: pattern 2.
+        let m = fsim.detect_block(Fault::output(a, StuckAt::One), &good);
+        assert_eq!(m & 0xF, 0b0100);
+    }
+
+    #[test]
+    fn branch_fault_only_affects_its_consumer() {
+        // a feeds AND(a,b) and directly a PO buffer. Branch fault on the AND
+        // pin must not disturb the direct PO.
+        let mut b = CircuitBuilder::new("br");
+        let a = b.input("a");
+        let c = b.input("c");
+        let g = b.and2(a, c);
+        let buf = b.buf(a);
+        b.output(g, "g");
+        b.output(buf, "b");
+        let ckt = b.finish().unwrap();
+        let mut logic = LogicSim::new(&ckt);
+        let a_w = 0b1010u64;
+        let c_w = 0b1100u64;
+        logic.run_block_internal(&[a_w, c_w]);
+        let good = logic.values().to_vec();
+        let mut fsim = FaultSim::new(&ckt);
+        // Branch a→AND sa1: g becomes c; detected when a=0,c=1 (pattern 2),
+        // buf output unchanged.
+        let m = fsim.detect_block(Fault::input_pin(g, 0, StuckAt::One), &good);
+        assert_eq!(m & 0xF, 0b0100);
+        // Stem fault a sa1: detected on pattern 2 via both g and buf, and on
+        // pattern 0 (a=0,c=0) via buf.
+        let m = fsim.detect_block(Fault::output(a, StuckAt::One), &good);
+        assert_eq!(m & 0xF, 0b0101);
+    }
+
+    #[test]
+    fn undetectable_redundant_fault() {
+        // z = OR(a, NOT a) is constant 1: z sa1 is undetectable.
+        let mut b = CircuitBuilder::new("red");
+        let a = b.input("a");
+        let na = b.not(a);
+        let z = b.or2(a, na);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let mut fsim = FaultSim::new(&ckt);
+        let faults = vec![Fault::output(z, StuckAt::One)];
+        let mut src = ExhaustivePatterns::new(1);
+        let counts = fsim.count_detections(&faults, &mut src, 64);
+        assert_eq!(counts.detections[0], 0);
+    }
+
+    #[test]
+    fn exhaustive_counting_matches_truth() {
+        // y = XOR(a, AND(a, c)): enumerate by hand.
+        let mut b = CircuitBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let g = b.and2(a, c);
+        let y = b.xor2(a, g);
+        b.output(y, "y");
+        let ckt = b.finish().unwrap();
+        let universe = FaultUniverse::all(&ckt);
+        let mut fsim = FaultSim::new(&ckt);
+        let mut src = ExhaustivePatterns::new(2);
+        let counts = fsim.count_detections(universe.faults(), &mut src, 64);
+        // Good function: y = a ∧ ¬c... check: a=1,c=1 → g=1 → y=0; a=1,c=0 →
+        // y=1; a=0 → y=0. Each exhaustive 4-pattern set repeats 16× in 64.
+        // g sa1 makes y = a ⊕ 1·a ... recompute: y_f = a ⊕ 1 = ¬a: differs
+        // from y on a=0 (y=0,yf=1): c∈{0,1} → 2/4 patterns... and on a=1,c=0
+        // (y=1, yf=0) and a=1,c=1 (y=0,yf=0) equal. Total diff patterns:
+        // {00,10}? a=0,c=0: y=0 yf=1 diff; a=0,c=1: diff; a=1,c=0: y=1 yf=0
+        // diff; a=1,c=1: y=0 yf=0 same. 3 of 4 differ.
+        let g_sa1 = universe
+            .iter()
+            .position(|f| f == Fault::output(g, StuckAt::One))
+            .unwrap();
+        assert_eq!(counts.detections[g_sa1], 48); // 3/4 of 64
+    }
+
+    #[test]
+    fn first_detections_and_dropping() {
+        let mut b = CircuitBuilder::new("fd");
+        let a = b.input("a");
+        let c = b.input("c");
+        let z = b.and2(a, c);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let universe = FaultUniverse::all(&ckt);
+        let mut fsim = FaultSim::new(&ckt);
+        let mut src = ExhaustivePatterns::new(2);
+        let first = fsim.first_detections(universe.faults(), &mut src, 64);
+        // Every fault of a 2-input AND is detectable within 4 patterns.
+        for (i, f) in first.iter().enumerate() {
+            let fault = universe.faults()[i];
+            assert!(f.is_some(), "{fault:?} undetected");
+            assert!(f.unwrap() <= 4);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+use protest_netlist::{Circuit, GateKind, Levels, NodeId};
+
+/// Levelized 64-way bit-parallel logic simulator.
+///
+/// Each `u64` word carries one signal's value for 64 independent patterns
+/// (bit `i` = pattern `i`). A full-circuit evaluation visits every node once
+/// in topological order.
+///
+/// # Example
+///
+/// ```
+/// use protest_netlist::CircuitBuilder;
+/// use protest_sim::LogicSim;
+///
+/// # fn main() -> Result<(), protest_netlist::NetlistError> {
+/// let mut b = CircuitBuilder::new("and");
+/// let a = b.input("a");
+/// let c = b.input("b");
+/// let z = b.and2(a, c);
+/// b.output(z, "z");
+/// let ckt = b.finish()?;
+/// let mut sim = LogicSim::new(&ckt);
+/// let out = sim.run_block(&[0b1100, 0b1010]);
+/// assert_eq!(out[0] & 0xF, 0b1000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct LogicSim<'c> {
+    circuit: &'c Circuit,
+    levels: Levels,
+    values: Vec<u64>,
+    fanin_buf: Vec<u64>,
+}
+
+impl<'c> LogicSim<'c> {
+    /// Creates a simulator for the circuit (levelizes it once).
+    pub fn new(circuit: &'c Circuit) -> Self {
+        LogicSim {
+            circuit,
+            levels: Levels::new(circuit),
+            values: vec![0; circuit.num_nodes()],
+            fanin_buf: Vec::with_capacity(8),
+        }
+    }
+
+    /// The circuit being simulated.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// The levelization used for evaluation order.
+    pub fn levels(&self) -> &Levels {
+        &self.levels
+    }
+
+    /// Simulates one block of 64 patterns.
+    ///
+    /// `input_words[i]` is the value word of the `i`-th primary input.
+    /// Returns the output words in primary-output order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len() != circuit.num_inputs()`.
+    pub fn run_block(&mut self, input_words: &[u64]) -> Vec<u64> {
+        self.run_block_internal(input_words);
+        self.circuit
+            .outputs()
+            .iter()
+            .map(|&o| self.values[o.index()])
+            .collect()
+    }
+
+    /// Simulates one block and leaves all node values readable via
+    /// [`LogicSim::value`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len() != circuit.num_inputs()`.
+    pub fn run_block_internal(&mut self, input_words: &[u64]) {
+        assert_eq!(
+            input_words.len(),
+            self.circuit.num_inputs(),
+            "one input word per primary input"
+        );
+        for (i, &id) in self.circuit.inputs().iter().enumerate() {
+            self.values[id.index()] = input_words[i];
+        }
+        for &id in self.levels.order() {
+            let node = self.circuit.node(id);
+            match node.kind() {
+                GateKind::Input => {}
+                kind => {
+                    self.fanin_buf.clear();
+                    for &f in node.fanins() {
+                        self.fanin_buf.push(self.values[f.index()]);
+                    }
+                    let v = match kind {
+                        GateKind::Lut(lid) => {
+                            self.circuit.lut(lid).eval_words(&self.fanin_buf)
+                        }
+                        k => k.eval_words(&self.fanin_buf),
+                    };
+                    self.values[id.index()] = v;
+                }
+            }
+        }
+    }
+
+    /// The value word of a node after the last
+    /// [`run_block_internal`](Self::run_block_internal) /
+    /// [`run_block`](Self::run_block).
+    pub fn value(&self, id: NodeId) -> u64 {
+        self.values[id.index()]
+    }
+
+    /// All node value words after the last block.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Convenience: simulate a single scalar pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != circuit.num_inputs()`.
+    pub fn run_single(&mut self, inputs: &[bool]) -> Vec<bool> {
+        let words: Vec<u64> = inputs.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        self.run_block(&words)
+            .into_iter()
+            .map(|w| w & 1 == 1)
+            .collect()
+    }
+}
+
+/// Evaluates one gate's output word given its fanin words — shared with the
+/// fault simulator so faulty re-evaluation matches good simulation exactly.
+pub(crate) fn eval_node(circuit: &Circuit, id: NodeId, fanin_words: &[u64]) -> u64 {
+    let node = circuit.node(id);
+    match node.kind() {
+        GateKind::Input => panic!("inputs are not evaluated"),
+        GateKind::Lut(lid) => circuit.lut(lid).eval_words(fanin_words),
+        k => k.eval_words(fanin_words),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_netlist::CircuitBuilder;
+
+    use super::*;
+
+    #[test]
+    fn simulates_mux() {
+        let mut b = CircuitBuilder::new("mux");
+        let s = b.input("s");
+        let a = b.input("a");
+        let c = b.input("c");
+        let ns = b.not(s);
+        let t0 = b.and2(ns, a);
+        let t1 = b.and2(s, c);
+        let y = b.or2(t0, t1);
+        b.output(y, "y");
+        let ckt = b.finish().unwrap();
+        let mut sim = LogicSim::new(&ckt);
+        for mask in 0..8u64 {
+            let s_v = mask & 1;
+            let a_v = (mask >> 1) & 1;
+            let c_v = (mask >> 2) & 1;
+            let out = sim.run_block(&[s_v, a_v, c_v]);
+            let want = if s_v == 1 { c_v } else { a_v };
+            assert_eq!(out[0] & 1, want);
+        }
+    }
+
+    #[test]
+    fn bit_parallelism_matches_scalar() {
+        let mut b = CircuitBuilder::new("c");
+        let xs = b.input_bus("x", 3);
+        let t = b.xor_tree(&xs);
+        let u = b.nand2(t, xs[1]);
+        b.output(u, "z");
+        let ckt = b.finish().unwrap();
+        let mut sim = LogicSim::new(&ckt);
+        // Exhaustive 8 patterns in one block.
+        let mut words = vec![0u64; 3];
+        for pat in 0..8usize {
+            for (i, w) in words.iter_mut().enumerate() {
+                if (pat >> i) & 1 == 1 {
+                    *w |= 1 << pat;
+                }
+            }
+        }
+        let block = sim.run_block(&words);
+        for pat in 0..8usize {
+            let scalar =
+                sim.run_single(&[(pat & 1) != 0, (pat & 2) != 0, (pat & 4) != 0]);
+            assert_eq!((block[0] >> pat) & 1 == 1, scalar[0], "pattern {pat}");
+        }
+    }
+
+    #[test]
+    fn internal_values_readable() {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let n = b.not(a);
+        b.output(n, "z");
+        let ckt = b.finish().unwrap();
+        let mut sim = LogicSim::new(&ckt);
+        sim.run_block_internal(&[0b01]);
+        assert_eq!(sim.value(a) & 0b11, 0b01);
+        assert_eq!(sim.value(n) & 0b11, 0b10);
+    }
+}

@@ -1,0 +1,360 @@
+//! Pattern-set storage — PROTEST "generates test pattern sets" as output
+//! (paper Secs. 1 and 7); this module gives them a durable text form.
+//!
+//! Format: a header line `patterns <count> inputs <n>`, optionally a
+//! `names …` line, then one line of `0`/`1` per pattern (input 0 first):
+//!
+//! ```text
+//! patterns 3 inputs 4
+//! names a b c d
+//! 0101
+//! 1100
+//! 0011
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::patterns::{PatternBlock, PatternSource};
+
+/// An in-memory test pattern set.
+///
+/// # Example
+///
+/// ```
+/// use protest_sim::{PatternSet, UniformRandomPatterns};
+///
+/// let mut source = UniformRandomPatterns::new(3, 7);
+/// let set = PatternSet::capture(&mut source, 10);
+/// let text = set.to_text();
+/// let back = PatternSet::from_text(&text).unwrap();
+/// assert_eq!(back, set);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternSet {
+    inputs: usize,
+    names: Option<Vec<String>>,
+    /// Bit-packed: pattern `i`, input `j` at `bits[i][j]`.
+    patterns: Vec<Vec<bool>>,
+}
+
+/// Errors from [`PatternSet::from_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PatternIoError {
+    /// The header line is missing or malformed.
+    Header {
+        /// What was found.
+        found: String,
+    },
+    /// A pattern line has the wrong length or bad characters.
+    Pattern {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// Fewer pattern lines than the header declared.
+    Truncated {
+        /// Declared count.
+        expected: usize,
+        /// Lines actually present.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for PatternIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatternIoError::Header { found } => {
+                write!(f, "bad pattern-set header: `{found}`")
+            }
+            PatternIoError::Pattern { line, message } => {
+                write!(f, "bad pattern at line {line}: {message}")
+            }
+            PatternIoError::Truncated { expected, got } => {
+                write!(f, "pattern set truncated: header declared {expected}, found {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternIoError {}
+
+impl PatternSet {
+    /// Creates an empty set for `inputs` primary inputs.
+    pub fn new(inputs: usize) -> Self {
+        PatternSet {
+            inputs,
+            names: None,
+            patterns: Vec::new(),
+        }
+    }
+
+    /// Attaches input names (written to / read from the `names` line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names.len() != inputs`.
+    pub fn with_names(mut self, names: Vec<String>) -> Self {
+        assert_eq!(names.len(), self.inputs, "one name per input");
+        self.names = Some(names);
+        self
+    }
+
+    /// Number of primary inputs per pattern.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of stored patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The `i`-th pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn pattern(&self, i: usize) -> &[bool] {
+        &self.patterns[i]
+    }
+
+    /// Appends one pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != num_inputs`.
+    pub fn push(&mut self, bits: &[bool]) {
+        assert_eq!(bits.len(), self.inputs, "pattern width mismatch");
+        self.patterns.push(bits.to_vec());
+    }
+
+    /// Captures `count` patterns from any generator (rounding happens here,
+    /// not in the generator: exactly `count` patterns are stored).
+    pub fn capture<S: PatternSource>(source: &mut S, count: usize) -> Self {
+        let inputs = source.num_inputs();
+        let mut set = PatternSet::new(inputs);
+        let mut words = vec![0u64; inputs];
+        let mut taken = 0usize;
+        while taken < count {
+            source.next_block(&mut words);
+            let in_block = (count - taken).min(64);
+            for bit in 0..in_block {
+                let pattern: Vec<bool> =
+                    words.iter().map(|w| (w >> bit) & 1 == 1).collect();
+                set.patterns.push(pattern);
+            }
+            taken += in_block;
+        }
+        set
+    }
+
+    /// Serializes to the text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "patterns {} inputs {}", self.patterns.len(), self.inputs);
+        if let Some(names) = &self.names {
+            let _ = writeln!(out, "names {}", names.join(" "));
+        }
+        for p in &self.patterns {
+            for &b in p {
+                out.push(if b { '1' } else { '0' });
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PatternIoError`] describing the first problem found.
+    pub fn from_text(text: &str) -> Result<Self, PatternIoError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or_else(|| PatternIoError::Header {
+            found: String::new(),
+        })?;
+        let fields: Vec<&str> = header.split_whitespace().collect();
+        let (count, inputs) = match fields.as_slice() {
+            ["patterns", c, "inputs", n] => {
+                let c = c.parse::<usize>().map_err(|_| PatternIoError::Header {
+                    found: header.to_string(),
+                })?;
+                let n = n.parse::<usize>().map_err(|_| PatternIoError::Header {
+                    found: header.to_string(),
+                })?;
+                (c, n)
+            }
+            _ => {
+                return Err(PatternIoError::Header {
+                    found: header.to_string(),
+                })
+            }
+        };
+        let mut set = PatternSet::new(inputs);
+        for (lineno0, line) in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("names ") {
+                let names: Vec<String> = rest.split_whitespace().map(String::from).collect();
+                if names.len() != inputs {
+                    return Err(PatternIoError::Pattern {
+                        line: lineno0 + 1,
+                        message: format!("{} names for {} inputs", names.len(), inputs),
+                    });
+                }
+                set.names = Some(names);
+                continue;
+            }
+            let (lineno, bits) = (lineno0 + 1, line);
+            if bits.len() != inputs {
+                return Err(PatternIoError::Pattern {
+                    line: lineno,
+                    message: format!("{} bits for {} inputs", bits.len(), inputs),
+                });
+            }
+            let mut pattern = Vec::with_capacity(inputs);
+            for ch in bits.chars() {
+                match ch {
+                    '0' => pattern.push(false),
+                    '1' => pattern.push(true),
+                    other => {
+                        return Err(PatternIoError::Pattern {
+                            line: lineno,
+                            message: format!("unexpected character `{other}`"),
+                        })
+                    }
+                }
+            }
+            set.patterns.push(pattern);
+        }
+        if set.patterns.len() < count {
+            return Err(PatternIoError::Truncated {
+                expected: count,
+                got: set.patterns.len(),
+            });
+        }
+        set.patterns.truncate(count);
+        Ok(set)
+    }
+
+    /// The declared input names, if any.
+    pub fn names(&self) -> Option<&[String]> {
+        self.names.as_deref()
+    }
+}
+
+/// Replays a stored pattern set as a [`PatternSource`] (wrapping around at
+/// the end, like the simulators expect).
+#[derive(Debug)]
+pub struct ReplaySource<'a> {
+    set: &'a PatternSet,
+    cursor: usize,
+}
+
+impl<'a> ReplaySource<'a> {
+    /// Creates a replay source over a non-empty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty.
+    pub fn new(set: &'a PatternSet) -> Self {
+        assert!(!set.is_empty(), "cannot replay an empty pattern set");
+        ReplaySource { set, cursor: 0 }
+    }
+}
+
+impl PatternSource for ReplaySource<'_> {
+    fn num_inputs(&self) -> usize {
+        self.set.num_inputs()
+    }
+
+    fn next_block(&mut self, words: &mut PatternBlock) {
+        assert_eq!(words.len(), self.set.num_inputs());
+        words.iter_mut().for_each(|w| *w = 0);
+        for bit in 0..64 {
+            let pattern = self.set.pattern(self.cursor);
+            for (j, w) in words.iter_mut().enumerate() {
+                if pattern[j] {
+                    *w |= 1 << bit;
+                }
+            }
+            self.cursor = (self.cursor + 1) % self.set.len();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::patterns::UniformRandomPatterns;
+
+    use super::*;
+
+    #[test]
+    fn roundtrip_text() {
+        let mut set = PatternSet::new(3).with_names(vec!["a".into(), "b".into(), "c".into()]);
+        set.push(&[true, false, true]);
+        set.push(&[false, false, false]);
+        let text = set.to_text();
+        let back = PatternSet::from_text(&text).unwrap();
+        assert_eq!(back, set);
+        assert_eq!(back.names().unwrap()[2], "c");
+    }
+
+    #[test]
+    fn capture_exact_count() {
+        let mut src = UniformRandomPatterns::new(4, 9);
+        let set = PatternSet::capture(&mut src, 100);
+        assert_eq!(set.len(), 100);
+        assert_eq!(set.num_inputs(), 4);
+    }
+
+    #[test]
+    fn replay_reproduces_capture() {
+        let mut src = UniformRandomPatterns::new(5, 21);
+        let set = PatternSet::capture(&mut src, 64);
+        let mut replay = ReplaySource::new(&set);
+        let mut words = vec![0u64; 5];
+        replay.next_block(&mut words);
+        for bit in 0..64 {
+            for (j, w) in words.iter().enumerate() {
+                assert_eq!((w >> bit) & 1 == 1, set.pattern(bit)[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        assert!(matches!(
+            PatternSet::from_text("garbage"),
+            Err(PatternIoError::Header { .. })
+        ));
+        assert!(matches!(
+            PatternSet::from_text("patterns 1 inputs 3\n01\n"),
+            Err(PatternIoError::Pattern { .. })
+        ));
+        assert!(matches!(
+            PatternSet::from_text("patterns 2 inputs 2\n01\n"),
+            Err(PatternIoError::Truncated { .. })
+        ));
+        assert!(matches!(
+            PatternSet::from_text("patterns 1 inputs 2\n0x\n"),
+            Err(PatternIoError::Pattern { .. })
+        ));
+    }
+
+    #[test]
+    fn extra_lines_beyond_count_are_dropped() {
+        let set = PatternSet::from_text("patterns 1 inputs 2\n01\n10\n").unwrap();
+        assert_eq!(set.len(), 1);
+    }
+}

@@ -1,0 +1,242 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One block of 64 patterns: `words[i]` carries bit `j` = value of primary
+/// input `i` in pattern `j`.
+pub type PatternBlock = [u64];
+
+/// A source of 64-pattern blocks for the simulators.
+///
+/// Hardware pattern generators (LFSR, NLFSR) in `protest-tpg` implement this
+/// same trait, so fault simulation is generator-agnostic.
+pub trait PatternSource {
+    /// Number of primary inputs the source feeds.
+    fn num_inputs(&self) -> usize;
+
+    /// Fills `words` (one word per input) with the next 64 patterns.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `words.len() != self.num_inputs()`.
+    fn next_block(&mut self, words: &mut PatternBlock);
+}
+
+/// Uniform random patterns: every input is 1 with probability 1/2,
+/// independently (the "conventional" random test of the paper, p = 0.5).
+#[derive(Debug)]
+pub struct UniformRandomPatterns {
+    rng: StdRng,
+    inputs: usize,
+}
+
+impl UniformRandomPatterns {
+    /// Creates a seeded uniform source for `inputs` primary inputs.
+    pub fn new(inputs: usize, seed: u64) -> Self {
+        UniformRandomPatterns {
+            rng: StdRng::seed_from_u64(seed),
+            inputs,
+        }
+    }
+}
+
+impl PatternSource for UniformRandomPatterns {
+    fn num_inputs(&self) -> usize {
+        self.inputs
+    }
+
+    fn next_block(&mut self, words: &mut PatternBlock) {
+        assert_eq!(words.len(), self.inputs);
+        for w in words.iter_mut() {
+            *w = self.rng.gen();
+        }
+    }
+}
+
+/// Weighted random patterns: input `i` is 1 with probability `probs[i]`,
+/// independently per pattern — the pattern sets PROTEST proposes once the
+/// input signal probabilities have been optimized (paper Sec. 6).
+#[derive(Debug)]
+pub struct WeightedRandomPatterns {
+    rng: StdRng,
+    probs: Vec<f64>,
+}
+
+impl WeightedRandomPatterns {
+    /// Creates a seeded weighted source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn new(probs: &[f64], seed: u64) -> Self {
+        assert!(
+            probs.iter().all(|p| (0.0..=1.0).contains(p)),
+            "probabilities must lie in [0,1]"
+        );
+        WeightedRandomPatterns {
+            rng: StdRng::seed_from_u64(seed),
+            probs: probs.to_vec(),
+        }
+    }
+
+    /// The per-input probabilities.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+}
+
+impl PatternSource for WeightedRandomPatterns {
+    fn num_inputs(&self) -> usize {
+        self.probs.len()
+    }
+
+    fn next_block(&mut self, words: &mut PatternBlock) {
+        assert_eq!(words.len(), self.probs.len());
+        for (w, &p) in words.iter_mut().zip(&self.probs) {
+            let mut word = 0u64;
+            // Cheap exact thresholding: compare 24-bit uniform integers
+            // against a fixed-point threshold; 2^-24 resolution is far finer
+            // than the k/16 grid the optimizer uses.
+            let threshold = (p * (1u64 << 24) as f64) as u64;
+            for bit in 0..64 {
+                let r = (self.rng.gen::<u32>() >> 8) as u64;
+                if r < threshold {
+                    word |= 1 << bit;
+                }
+            }
+            *w = word;
+        }
+    }
+}
+
+/// Exhaustive enumeration of all `2^n` input patterns, 64 per block, in
+/// minterm order (input 0 is the fastest-toggling bit). After `2^n` patterns
+/// the sequence wraps around.
+#[derive(Debug)]
+pub struct ExhaustivePatterns {
+    inputs: usize,
+    next: u64,
+}
+
+impl ExhaustivePatterns {
+    /// Creates an exhaustive source for `inputs ≤ 63` primary inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs > 63`.
+    pub fn new(inputs: usize) -> Self {
+        assert!(inputs <= 63, "exhaustive enumeration limited to 63 inputs");
+        ExhaustivePatterns { inputs, next: 0 }
+    }
+
+    /// Total number of distinct patterns (`2^n`).
+    pub fn total(&self) -> u64 {
+        1u64 << self.inputs
+    }
+}
+
+impl PatternSource for ExhaustivePatterns {
+    fn num_inputs(&self) -> usize {
+        self.inputs
+    }
+
+    fn next_block(&mut self, words: &mut PatternBlock) {
+        assert_eq!(words.len(), self.inputs);
+        words.iter_mut().for_each(|w| *w = 0);
+        let total = self.total();
+        for bit in 0..64u64 {
+            let m = (self.next + bit) % total;
+            for (i, w) in words.iter_mut().enumerate() {
+                if (m >> i) & 1 == 1 {
+                    *w |= 1 << bit;
+                }
+            }
+        }
+        self.next = (self.next + 64) % total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_reproducible() {
+        let mut a = UniformRandomPatterns::new(3, 42);
+        let mut b = UniformRandomPatterns::new(3, 42);
+        let mut wa = vec![0u64; 3];
+        let mut wb = vec![0u64; 3];
+        a.next_block(&mut wa);
+        b.next_block(&mut wb);
+        assert_eq!(wa, wb);
+        let mut c = UniformRandomPatterns::new(3, 43);
+        let mut wc = vec![0u64; 3];
+        c.next_block(&mut wc);
+        assert_ne!(wa, wc);
+    }
+
+    #[test]
+    fn weighted_frequencies_converge() {
+        let probs = [0.1, 0.5, 0.9];
+        let mut src = WeightedRandomPatterns::new(&probs, 7);
+        let mut ones = [0u64; 3];
+        let blocks = 2000;
+        let mut words = vec![0u64; 3];
+        for _ in 0..blocks {
+            src.next_block(&mut words);
+            for (o, w) in ones.iter_mut().zip(&words) {
+                *o += w.count_ones() as u64;
+            }
+        }
+        let n = (blocks * 64) as f64;
+        for (o, &p) in ones.iter().zip(&probs) {
+            let freq = *o as f64 / n;
+            assert!(
+                (freq - p).abs() < 0.01,
+                "frequency {freq} too far from {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_extremes_are_constant() {
+        let mut src = WeightedRandomPatterns::new(&[0.0, 1.0], 1);
+        let mut words = vec![0u64; 2];
+        src.next_block(&mut words);
+        assert_eq!(words[0], 0);
+        assert_eq!(words[1], !0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities must lie in [0,1]")]
+    fn weighted_rejects_bad_probs() {
+        let _ = WeightedRandomPatterns::new(&[1.5], 0);
+    }
+
+    #[test]
+    fn exhaustive_covers_all_minterms() {
+        let mut src = ExhaustivePatterns::new(3);
+        let mut words = vec![0u64; 3];
+        src.next_block(&mut words);
+        let mut seen = [false; 8];
+        for bit in 0..8 {
+            let mut m = 0usize;
+            for (i, w) in words.iter().enumerate() {
+                m |= (((w >> bit) & 1) as usize) << i;
+            }
+            seen[m] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "first 8 patterns must enumerate all minterms");
+    }
+
+    #[test]
+    fn exhaustive_wraps() {
+        let mut src = ExhaustivePatterns::new(2);
+        let mut words = vec![0u64; 2];
+        src.next_block(&mut words);
+        // Pattern 0 and pattern 4 are the same minterm (wrap at 4).
+        let m0: usize = ((words[0] & 1) + ((words[1] & 1) << 1)) as usize;
+        let m4: usize =
+            (((words[0] >> 4) & 1) + (((words[1] >> 4) & 1) << 1)) as usize;
+        assert_eq!(m0, m4);
+    }
+}

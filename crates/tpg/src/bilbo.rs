@@ -1,0 +1,161 @@
+//! The BILBO register model (built-in logic block observer, [Much81]).
+//!
+//! The paper's baseline self-test hardware: a register that operates as a
+//! normal latch bank, a scan shift register, a pseudo-random pattern
+//! generator (LFSR) or a signature analyzer (MISR) depending on its mode
+//! pins. PROTEST's NLFSR strategy replaces the PRPG mode's uniform patterns
+//! with weighted ones; the BILBO model here provides the uniform baseline
+//! of the paper's Table 6 comparison.
+
+use crate::polys::primitive_taps;
+
+/// BILBO operating modes (selected by the B1/B2 control pins of the
+/// original design).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BilboMode {
+    /// Parallel load — normal system latch operation.
+    Normal,
+    /// Serial shift — scan-path operation.
+    Scan,
+    /// Autonomous LFSR — pseudo-random pattern generation.
+    Prpg,
+    /// Parallel compaction — multiple-input signature register.
+    Misr,
+}
+
+/// A BILBO register of up to 32 bits.
+#[derive(Debug, Clone)]
+pub struct Bilbo {
+    state: u32,
+    width: usize,
+    mask: u32,
+    taps: &'static [u32],
+    mode: BilboMode,
+}
+
+impl Bilbo {
+    /// Creates a register in [`BilboMode::Normal`] with state 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unsupported widths.
+    pub fn new(width: usize) -> Self {
+        let taps = primitive_taps(width);
+        let mask = if width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << width) - 1
+        };
+        Bilbo {
+            state: 0,
+            width,
+            mask,
+            taps,
+            mode: BilboMode::Normal,
+        }
+    }
+
+    /// Switches the operating mode.
+    pub fn set_mode(&mut self, mode: BilboMode) {
+        self.mode = mode;
+    }
+
+    /// The current mode.
+    pub fn mode(&self) -> BilboMode {
+        self.mode
+    }
+
+    /// The register contents.
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Seeds the register (e.g. before PRPG operation).
+    pub fn load(&mut self, value: u32) {
+        self.state = value & self.mask;
+    }
+
+    /// Clocks the register once.
+    ///
+    /// * `Normal`: `parallel_in` is latched.
+    /// * `Scan`: shifts right, `serial_in` enters at the top; returns the
+    ///   bit shifted out.
+    /// * `Prpg`: autonomous LFSR step (inputs ignored).
+    /// * `Misr`: LFSR step XOR `parallel_in`.
+    ///
+    /// Returns the serial output (bit 0 before the clock).
+    pub fn clock(&mut self, parallel_in: u32, serial_in: bool) -> bool {
+        let out = self.state & 1 == 1;
+        let mut fb = 0u32;
+        for &t in self.taps {
+            // Right-shift form: polynomial term x^t taps bit (width - t),
+            // so the x^width term taps bit 0 (the bit being shifted out).
+            fb ^= (self.state >> (self.width as u32 - t)) & 1;
+        }
+        self.state = match self.mode {
+            BilboMode::Normal => parallel_in & self.mask,
+            BilboMode::Scan => {
+                ((self.state >> 1) | (u32::from(serial_in) << (self.width - 1))) & self.mask
+            }
+            BilboMode::Prpg => ((self.state >> 1) | (fb << (self.width - 1))) & self.mask,
+            BilboMode::Misr => {
+                (((self.state >> 1) | (fb << (self.width - 1))) ^ parallel_in) & self.mask
+            }
+        };
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_mode_latches() {
+        let mut b = Bilbo::new(8);
+        b.clock(0xA5, false);
+        assert_eq!(b.state(), 0xA5);
+    }
+
+    #[test]
+    fn scan_mode_shifts_through() {
+        let mut b = Bilbo::new(4);
+        b.set_mode(BilboMode::Scan);
+        b.load(0b1010);
+        let mut out = Vec::new();
+        for bit in [true, false, false, true] {
+            out.push(b.clock(0, bit));
+        }
+        // Shifted out LSB-first: 0,1,0,1; shifted in: 1,0,0,1 → state 1001.
+        assert_eq!(out, vec![false, true, false, true]);
+        assert_eq!(b.state(), 0b1001);
+    }
+
+    #[test]
+    fn prpg_mode_matches_lfsr() {
+        use crate::lfsr::Lfsr;
+        let mut b = Bilbo::new(8);
+        b.set_mode(BilboMode::Prpg);
+        b.load(0x5A);
+        let mut l = Lfsr::new(8, 0x5A);
+        for _ in 0..100 {
+            let lb = l.step();
+            let bb = b.clock(0, false);
+            assert_eq!(lb, bb);
+            assert_eq!(l.state(), b.state());
+        }
+    }
+
+    #[test]
+    fn misr_mode_matches_misr() {
+        use crate::misr::Misr;
+        let mut b = Bilbo::new(8);
+        b.set_mode(BilboMode::Misr);
+        let mut m = Misr::new(8);
+        for i in 0..50u32 {
+            b.clock(i ^ 0x3C, false);
+            m.absorb(i ^ 0x3C);
+            assert_eq!(b.state(), m.signature());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+use crate::polys::primitive_taps;
+
+/// A Fibonacci linear feedback shift register with maximal period.
+///
+/// Bit 0 is the register output; on each step the register shifts right and
+/// the XOR of the tap bits enters at the top. With the primitive
+/// polynomials from [`primitive_taps`](crate::primitive_taps) the sequence
+/// has period `2^width − 1` (the all-zero state is excluded).
+///
+/// # Example
+///
+/// ```
+/// use protest_tpg::Lfsr;
+///
+/// let mut lfsr = Lfsr::new(4, 0b1001);
+/// let first: Vec<bool> = (0..15).map(|_| lfsr.step()).collect();
+/// let second: Vec<bool> = (0..15).map(|_| lfsr.step()).collect();
+/// assert_eq!(first, second); // period 15
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lfsr {
+    state: u32,
+    width: usize,
+    mask: u32,
+    taps: &'static [u32],
+}
+
+impl Lfsr {
+    /// Creates an LFSR of the given width with a nonzero seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is unsupported or the seed is zero after masking
+    /// to `width` bits (the all-zero state is a fixed point).
+    pub fn new(width: usize, seed: u32) -> Self {
+        let taps = primitive_taps(width);
+        let mask = if width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << width) - 1
+        };
+        let state = seed & mask;
+        assert!(state != 0, "LFSR seed must be nonzero");
+        Lfsr {
+            state,
+            width,
+            mask,
+            taps,
+        }
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The current state.
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Bit `i` of the current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.width, "bit index out of range");
+        (self.state >> i) & 1 == 1
+    }
+
+    /// Advances one step, returning the output bit (bit 0 before the shift).
+    pub fn step(&mut self) -> bool {
+        let out = self.state & 1 == 1;
+        let mut fb = 0u32;
+        for &t in self.taps {
+            // Right-shift form: polynomial term x^t taps bit (width - t),
+            // so the x^width term taps bit 0 (the bit being shifted out).
+            fb ^= (self.state >> (self.width as u32 - t)) & 1;
+        }
+        self.state = (self.state >> 1) | (fb << (self.width - 1));
+        self.state &= self.mask;
+        out
+    }
+
+    /// The sequence period (`2^width − 1` for a primitive polynomial).
+    pub fn period(&self) -> u64 {
+        (1u64 << self.width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn maximal_period_small_widths() {
+        for width in 2..=12usize {
+            let mut lfsr = Lfsr::new(width, 1);
+            let mut seen = HashSet::new();
+            let period = lfsr.period();
+            for _ in 0..period {
+                assert!(
+                    seen.insert(lfsr.state()),
+                    "state repeated early at width {width}"
+                );
+                lfsr.step();
+            }
+            assert_eq!(lfsr.state(), 1, "must return to the seed");
+            assert_eq!(seen.len() as u64, period);
+            assert!(!seen.contains(&0), "all-zero state must never occur");
+        }
+    }
+
+    #[test]
+    fn output_bits_are_balanced() {
+        let mut lfsr = Lfsr::new(16, 0xACE1);
+        let period = lfsr.period();
+        let ones: u64 = (0..period).map(|_| u64::from(lfsr.step())).sum();
+        // A maximal LFSR emits 2^(n-1) ones per period.
+        assert_eq!(ones, 1 << 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_seed_rejected() {
+        let _ = Lfsr::new(8, 0);
+    }
+
+    #[test]
+    fn width_32_steps() {
+        let mut lfsr = Lfsr::new(32, 0xDEADBEEF);
+        let mut distinct = HashSet::new();
+        for _ in 0..1000 {
+            lfsr.step();
+            distinct.insert(lfsr.state());
+        }
+        assert_eq!(distinct.len(), 1000);
+    }
+}

@@ -1,0 +1,36 @@
+//! Test-pattern-generation hardware models (paper Sec. 8 "applications").
+//!
+//! PROTEST's optimized input probabilities are consumed by hardware pattern
+//! generators for self test: the paper pairs the analysis with non-linear
+//! feedback shift registers (NLFSR, \[KuWu84\]) that stimulate each primary
+//! input with its optimal probability, against the standard BILBO
+//! (uniform-LFSR) baseline, with MISR signature compression on the response
+//! side.
+//!
+//! * [`Lfsr`] — maximal-length linear feedback shift registers (Fibonacci
+//!   form) from a table of primitive polynomials, degrees 2–32.
+//! * [`WeightedTapNetwork`] / [`WeightedLfsrPatterns`] — the NLFSR
+//!   realization: per input, a small AND/OR network over independent LFSR
+//!   taps realizes any weight `k/2^r` exactly (`k/16` for the paper's
+//!   grid). This is the nonlinear output logic that turns a linear register
+//!   into a weighted generator.
+//! * [`Bilbo`] — the built-in logic block observer register model with its
+//!   four operating modes.
+//! * [`Misr`] — multiple-input signature register for response compaction.
+//! * [`selftest`] — a self-test campaign harness: generator → circuit →
+//!   MISR, fault detection by signature mismatch.
+
+#![warn(missing_docs)]
+
+mod bilbo;
+mod lfsr;
+mod misr;
+mod polys;
+pub mod selftest;
+mod weighted;
+
+pub use bilbo::{Bilbo, BilboMode};
+pub use lfsr::Lfsr;
+pub use misr::Misr;
+pub use polys::{primitive_taps, MAX_LFSR_WIDTH, MIN_LFSR_WIDTH};
+pub use weighted::{weighted_generator_circuit, WeightedLfsrPatterns, WeightedTapNetwork};

@@ -1,0 +1,138 @@
+use crate::polys::primitive_taps;
+
+/// A multiple-input signature register (MISR) for response compaction.
+///
+/// Each clock, the register shifts (Fibonacci feedback from a primitive
+/// polynomial) and XORs one parallel response word into its state. After a
+/// test the final state is the *signature*; a faulty circuit almost surely
+/// produces a different one (aliasing probability ≈ `2^-width`).
+///
+/// # Example
+///
+/// ```
+/// use protest_tpg::Misr;
+///
+/// let mut golden = Misr::new(16);
+/// let mut faulty = Misr::new(16);
+/// for t in 0..100u32 {
+///     golden.absorb(t);
+///     faulty.absorb(if t == 57 { t ^ 0b100 } else { t }); // one wrong response
+/// }
+/// assert_ne!(golden.signature(), faulty.signature());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Misr {
+    state: u32,
+    width: usize,
+    mask: u32,
+    taps: &'static [u32],
+}
+
+impl Misr {
+    /// Creates a MISR of the given width, initial state 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unsupported widths (see
+    /// [`primitive_taps`](crate::primitive_taps)).
+    pub fn new(width: usize) -> Self {
+        let taps = primitive_taps(width);
+        let mask = if width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << width) - 1
+        };
+        Misr {
+            state: 0,
+            width,
+            mask,
+            taps,
+        }
+    }
+
+    /// Register width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Absorbs one parallel response word (low `width` bits used).
+    pub fn absorb(&mut self, word: u32) {
+        let mut fb = 0u32;
+        for &t in self.taps {
+            // Right-shift form: polynomial term x^t taps bit (width - t),
+            // so the x^width term taps bit 0 (the bit being shifted out).
+            fb ^= (self.state >> (self.width as u32 - t)) & 1;
+        }
+        self.state = (((self.state >> 1) | (fb << (self.width - 1))) ^ word) & self.mask;
+    }
+
+    /// Absorbs a slice of response bits (`bits[i]` → input `i mod width`),
+    /// packing groups of `width` bits into words.
+    pub fn absorb_bits(&mut self, bits: &[bool]) {
+        for chunk in bits.chunks(self.width) {
+            let mut word = 0u32;
+            for (i, &b) in chunk.iter().enumerate() {
+                if b {
+                    word |= 1 << i;
+                }
+            }
+            self.absorb(word);
+        }
+    }
+
+    /// The current signature.
+    pub fn signature(&self) -> u32 {
+        self.state
+    }
+
+    /// Resets to the all-zero state.
+    pub fn reset(&mut self) {
+        self.state = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn different_streams_give_different_signatures() {
+        let mut a = Misr::new(16);
+        let mut b = Misr::new(16);
+        for i in 0..100u32 {
+            a.absorb(i & 0xFFFF);
+            b.absorb((i ^ (u32::from(i == 50))) & 0xFFFF); // single-bit flip
+        }
+        assert_ne!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        let mut a = Misr::new(8);
+        let mut b = Misr::new(8);
+        for i in 0..32u32 {
+            a.absorb(i * 7);
+            b.absorb(i * 7);
+        }
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn reset_restores_zero() {
+        let mut m = Misr::new(8);
+        m.absorb(0xAB);
+        assert_ne!(m.signature(), 0);
+        m.reset();
+        assert_eq!(m.signature(), 0);
+    }
+
+    #[test]
+    fn absorb_bits_packs() {
+        let mut a = Misr::new(4);
+        a.absorb_bits(&[true, false, true, false, true, true, false, false]);
+        let mut b = Misr::new(4);
+        b.absorb(0b0101);
+        b.absorb(0b0011);
+        assert_eq!(a.signature(), b.signature());
+    }
+}

@@ -1,0 +1,82 @@
+//! Primitive polynomial tap tables for maximal-length LFSRs.
+
+/// Smallest supported LFSR width.
+pub const MIN_LFSR_WIDTH: usize = 2;
+/// Largest supported LFSR width.
+pub const MAX_LFSR_WIDTH: usize = 32;
+
+/// Feedback taps (1-based bit positions, `x^k` terms, excluding `x^0`) of a
+/// primitive polynomial of the given degree; the generated LFSR has period
+/// `2^degree − 1`.
+///
+/// Taps are from the standard Xilinx/Alfke table of primitive polynomials.
+///
+/// # Panics
+///
+/// Panics if `degree` is outside
+/// [`MIN_LFSR_WIDTH`]`..=`[`MAX_LFSR_WIDTH`].
+pub fn primitive_taps(degree: usize) -> &'static [u32] {
+    assert!(
+        (MIN_LFSR_WIDTH..=MAX_LFSR_WIDTH).contains(&degree),
+        "no primitive polynomial stored for degree {degree}"
+    );
+    match degree {
+        2 => &[2, 1],
+        3 => &[3, 2],
+        4 => &[4, 3],
+        5 => &[5, 3],
+        6 => &[6, 5],
+        7 => &[7, 6],
+        8 => &[8, 6, 5, 4],
+        9 => &[9, 5],
+        10 => &[10, 7],
+        11 => &[11, 9],
+        12 => &[12, 6, 4, 1],
+        13 => &[13, 4, 3, 1],
+        14 => &[14, 5, 3, 1],
+        15 => &[15, 14],
+        16 => &[16, 15, 13, 4],
+        17 => &[17, 14],
+        18 => &[18, 11],
+        19 => &[19, 6, 2, 1],
+        20 => &[20, 17],
+        21 => &[21, 19],
+        22 => &[22, 21],
+        23 => &[23, 18],
+        24 => &[24, 23, 22, 17],
+        25 => &[25, 22],
+        26 => &[26, 6, 2, 1],
+        27 => &[27, 5, 2, 1],
+        28 => &[28, 25],
+        29 => &[29, 27],
+        30 => &[30, 6, 4, 1],
+        31 => &[31, 28],
+        32 => &[32, 22, 2, 1],
+        _ => unreachable!("range checked above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taps_are_well_formed() {
+        for degree in MIN_LFSR_WIDTH..=MAX_LFSR_WIDTH {
+            let taps = primitive_taps(degree);
+            assert!(taps.contains(&(degree as u32)), "degree {degree}");
+            assert!(taps.iter().all(|&t| t >= 1 && t <= degree as u32));
+            // An even number of feedback terms including x^0 means the taps
+            // list (excluding x^0) must have even length for a primitive
+            // polynomial over GF(2)? Not in general — but it must at least
+            // be nonempty and sorted descending here.
+            assert!(taps.windows(2).all(|w| w[0] > w[1]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no primitive polynomial")]
+    fn rejects_degree_one() {
+        let _ = primitive_taps(1);
+    }
+}

@@ -1,0 +1,416 @@
+//! Weighted pattern generation from LFSR taps — the NLFSR realization.
+//!
+//! The paper's companion report \[KuWu84\] builds non-linear feedback shift
+//! registers whose outputs are biased to PROTEST's optimal probabilities.
+//! The classic construction: independent equidistributed register cells
+//! give bits with `P(1) = 1/2`; a small AND/OR network over `r` of them
+//! realizes any weight `k/2^r` *exactly*:
+//!
+//! ```text
+//! w(1xyz₂ / 16) = t₁ ∨ w(xyz₂/8)      (OR adds 1/2)
+//! w(0xyz₂ / 16) = t₁ ∧ w(xyz₂/8)·2    (AND halves)
+//! ```
+//!
+//! Four cells per primary input suffice for the paper's `k/16` grid.
+
+use protest_sim::{PatternBlock, PatternSource};
+
+use crate::lfsr::Lfsr;
+
+/// The combinational tap network realizing one weight `k / 2^r`.
+///
+/// `ops[i]` tells how tap `i` combines with the partial result:
+/// `true` = OR, `false` = AND, applied from the last fraction bit upward.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedTapNetwork {
+    numerator: u32,
+    resolution: u32,
+    ops: Vec<bool>,
+}
+
+impl WeightedTapNetwork {
+    /// Builds the network for weight `numerator / 2^resolution_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `numerator` is 0 or ≥ `2^resolution_bits`, or
+    /// `resolution_bits` is 0 or > 16 (degenerate weights 0 and 1 need no
+    /// generator — tie the input to a constant instead).
+    pub fn new(numerator: u32, resolution_bits: u32) -> Self {
+        assert!(
+            resolution_bits >= 1 && resolution_bits <= 16,
+            "resolution out of range"
+        );
+        assert!(
+            numerator >= 1 && numerator < (1 << resolution_bits),
+            "weight must be strictly between 0 and 1"
+        );
+        // Strip trailing zeros: k/2^r with k even reduces.
+        let shift = numerator.trailing_zeros();
+        let numerator_r = numerator >> shift;
+        let resolution = resolution_bits - shift;
+        // Walk the binary digits of k/2^r from the MSB (weight 1/2) down:
+        // leading digit handled implicitly by the final tap.
+        // Construction (from least significant useful digit upward):
+        //   w = 1/2                      -> single tap
+        //   digit 1: w' = 1/2 + w/2      -> OR with a fresh tap
+        //   digit 0: w' = w/2            -> AND with a fresh tap
+        let mut ops = Vec::new();
+        // numerator_r is odd and has `resolution` significant bits; bit
+        // (resolution-1) is the MSB. The lowest bit is 1 (odd) and seeds the
+        // single-tap base; remaining digits, low to high, choose AND/OR.
+        for bit in 1..resolution {
+            ops.push((numerator_r >> bit) & 1 == 1);
+        }
+        WeightedTapNetwork {
+            numerator,
+            resolution: resolution_bits,
+            ops,
+        }
+    }
+
+    /// Number of register cells (taps) consumed.
+    pub fn taps(&self) -> usize {
+        self.ops.len() + 1
+    }
+
+    /// The realized weight.
+    pub fn weight(&self) -> f64 {
+        self.numerator as f64 / (1u64 << self.resolution) as f64
+    }
+
+    /// Evaluates the network on tap words (bit-parallel over 64 patterns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps.len() != self.taps()`.
+    pub fn eval_words(&self, taps: &[u64]) -> u64 {
+        assert_eq!(taps.len(), self.taps(), "tap count mismatch");
+        let mut acc = taps[0];
+        for (i, &or) in self.ops.iter().enumerate() {
+            if or {
+                acc |= taps[i + 1];
+            } else {
+                acc &= taps[i + 1];
+            }
+        }
+        acc
+    }
+
+    /// Emits the network as real gates into a circuit under construction —
+    /// the hardware the \[KuWu84\]-style NLFSR actually adds next to the
+    /// shift register. `taps` are the register-cell nodes (one per tap);
+    /// returns the weighted output node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps.len() != self.taps()`.
+    pub fn emit_gates(
+        &self,
+        b: &mut protest_netlist::CircuitBuilder,
+        taps: &[protest_netlist::NodeId],
+    ) -> protest_netlist::NodeId {
+        assert_eq!(taps.len(), self.taps(), "tap count mismatch");
+        let mut acc = taps[0];
+        for (i, &or) in self.ops.iter().enumerate() {
+            acc = if or {
+                b.or2(acc, taps[i + 1])
+            } else {
+                b.and2(acc, taps[i + 1])
+            };
+        }
+        acc
+    }
+}
+
+/// Builds the complete weighted-generator *output logic* as a standalone
+/// combinational circuit: inputs are the shift-register cells (one per
+/// consumed tap), outputs are the weighted pattern bits, one per requested
+/// weight. This is the netlist a DFT flow would synthesize next to the
+/// LFSR — and being a [`protest_netlist::Circuit`], it can itself be
+/// analyzed by PROTEST.
+///
+/// Weights are quantized to `k/2^resolution_bits`; degenerate weights
+/// (0 or 1) become constant outputs.
+///
+/// # Panics
+///
+/// Panics if any probability is outside `[0, 1]` or
+/// `resolution_bits ∉ 1..=16`.
+pub fn weighted_generator_circuit(
+    probs: &[f64],
+    resolution_bits: u32,
+) -> protest_netlist::Circuit {
+    assert!(
+        (1..=16).contains(&resolution_bits),
+        "resolution out of range"
+    );
+    let denom = 1u32 << resolution_bits;
+    let mut b = protest_netlist::CircuitBuilder::new("weighted_generator");
+    let mut outputs = Vec::with_capacity(probs.len());
+    let mut cell = 0usize;
+    for &p in probs {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
+        let k = (p * denom as f64).round() as u32;
+        if k == 0 || k == denom {
+            outputs.push(b.constant(k == denom));
+            continue;
+        }
+        let nw = WeightedTapNetwork::new(k, resolution_bits);
+        let taps: Vec<protest_netlist::NodeId> = (0..nw.taps())
+            .map(|_| {
+                cell += 1;
+                b.input(format!("cell{}", cell - 1))
+            })
+            .collect();
+        outputs.push(nw.emit_gates(&mut b, &taps));
+    }
+    for (i, &o) in outputs.iter().enumerate() {
+        b.output(o, format!("w{i}"));
+    }
+    b.finish().expect("generator netlist construction is valid")
+}
+
+/// A weighted random-pattern source driven by one maximal LFSR — the
+/// software model of the NLFSR self-test hardware.
+///
+/// Each primary input owns a disjoint span of register cells plus a
+/// [`WeightedTapNetwork`] computing its biased bit, so input bits are
+/// mutually independent within a pattern (up to the LFSR's linear
+/// structure). Weights are quantized to `k/2^resolution_bits` (k = 0 and
+/// k = max map to constant 0/1).
+#[derive(Debug)]
+pub struct WeightedLfsrPatterns {
+    lfsr: Lfsr,
+    networks: Vec<Option<WeightedTapNetwork>>, // None = constant weight 0/1
+    constants: Vec<bool>,
+    total_taps: usize,
+}
+
+impl WeightedLfsrPatterns {
+    /// Creates a generator for the given per-input probabilities, quantized
+    /// to `k/2^resolution_bits` (use 4 for the paper's k/16 grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]` or
+    /// `resolution_bits ∉ 1..=16`.
+    pub fn new(probs: &[f64], resolution_bits: u32, seed: u32) -> Self {
+        assert!((1..=16).contains(&resolution_bits), "resolution out of range");
+        let denom = 1u32 << resolution_bits;
+        let mut networks = Vec::with_capacity(probs.len());
+        let mut constants = Vec::with_capacity(probs.len());
+        let mut total_taps = 0usize;
+        for &p in probs {
+            assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
+            let k = (p * denom as f64).round() as u32;
+            if k == 0 || k == denom {
+                networks.push(None);
+                constants.push(k == denom);
+            } else {
+                let nw = WeightedTapNetwork::new(k, resolution_bits);
+                total_taps += nw.taps();
+                networks.push(Some(nw));
+                constants.push(false);
+            }
+        }
+        // One long LFSR provides all cells; each pattern advances the
+        // register by `total_taps` steps so cells do not repeat across
+        // inputs.
+        let width = 32;
+        let seed = if seed == 0 { 0xACE1_u32 } else { seed };
+        WeightedLfsrPatterns {
+            lfsr: Lfsr::new(width, seed),
+            networks,
+            constants,
+            total_taps: total_taps.max(1),
+        }
+    }
+
+    /// The quantized weight actually realized for input `i`.
+    pub fn realized_weight(&self, i: usize) -> f64 {
+        match &self.networks[i] {
+            Some(nw) => nw.weight(),
+            None => {
+                if self.constants[i] {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+impl PatternSource for WeightedLfsrPatterns {
+    fn num_inputs(&self) -> usize {
+        self.networks.len()
+    }
+
+    fn next_block(&mut self, words: &mut PatternBlock) {
+        assert_eq!(words.len(), self.networks.len());
+        let mut tap_words: Vec<u64> = vec![0; self.total_taps];
+        // Fill tap words pattern by pattern: each pattern consumes
+        // `total_taps` fresh LFSR output bits.
+        for bit in 0..64 {
+            for w in tap_words.iter_mut() {
+                if self.lfsr.step() {
+                    *w |= 1 << bit;
+                }
+            }
+        }
+        let mut cursor = 0usize;
+        for (i, w) in words.iter_mut().enumerate() {
+            match &self.networks[i] {
+                None => *w = if self.constants[i] { !0 } else { 0 },
+                Some(nw) => {
+                    let span = &tap_words[cursor..cursor + nw.taps()];
+                    *w = nw.eval_words(span);
+                    cursor += nw.taps();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_weights_are_exact_over_all_tap_values() {
+        for denom_bits in 1..=4u32 {
+            let denom = 1u32 << denom_bits;
+            for k in 1..denom {
+                let nw = WeightedTapNetwork::new(k, denom_bits);
+                let taps = nw.taps();
+                let mut ones = 0u32;
+                for m in 0..(1u32 << taps) {
+                    let tap_words: Vec<u64> =
+                        (0..taps).map(|i| ((m >> i) & 1) as u64).collect();
+                    ones += (nw.eval_words(&tap_words) & 1) as u32;
+                }
+                // Fraction of tap assignments mapping to 1 = k / 2^taps …
+                // normalized to the reduced resolution.
+                let got = ones as f64 / (1u64 << taps) as f64;
+                let want = k as f64 / denom as f64;
+                assert!(
+                    (got - want).abs() < 1e-12,
+                    "k={k}/{denom}: got {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn network_tap_budget_is_small() {
+        for k in 1..16u32 {
+            let nw = WeightedTapNetwork::new(k, 4);
+            assert!(nw.taps() <= 4, "k={k} uses {} taps", nw.taps());
+        }
+        // Reduced fractions use fewer taps: 8/16 = 1/2 needs one.
+        assert_eq!(WeightedTapNetwork::new(8, 4).taps(), 1); // 1/2
+        assert_eq!(WeightedTapNetwork::new(4, 4).taps(), 2); // 1/4 = t·t
+        assert_eq!(WeightedTapNetwork::new(12, 4).taps(), 2); // 3/4 = t∨t
+    }
+
+    #[test]
+    fn generator_frequencies_approach_weights() {
+        let probs = [0.0625, 0.5, 0.875, 0.9375, 0.0, 1.0];
+        let mut src = WeightedLfsrPatterns::new(&probs, 4, 7);
+        let mut ones = vec![0u64; probs.len()];
+        let blocks = 1500;
+        let mut words = vec![0u64; probs.len()];
+        for _ in 0..blocks {
+            src.next_block(&mut words);
+            for (o, w) in ones.iter_mut().zip(&words) {
+                *o += w.count_ones() as u64;
+            }
+        }
+        let n = (blocks * 64) as f64;
+        for (i, &p) in probs.iter().enumerate() {
+            let freq = ones[i] as f64 / n;
+            assert!(
+                (freq - p).abs() < 0.02,
+                "input {i}: frequency {freq}, weight {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn realized_weights_quantize() {
+        let src = WeightedLfsrPatterns::new(&[0.63, 0.5, 0.001], 4, 1);
+        assert!((src.realized_weight(0) - 10.0 / 16.0).abs() < 1e-12);
+        assert!((src.realized_weight(1) - 0.5).abs() < 1e-12);
+        assert_eq!(src.realized_weight(2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly between")]
+    fn network_rejects_degenerate_weight() {
+        let _ = WeightedTapNetwork::new(0, 4);
+    }
+
+    #[test]
+    fn emitted_hardware_matches_software_model() {
+        use protest_sim::LogicSim;
+        // Build the gate-level generator for a mix of weights and check its
+        // truth behaviour against the software tap network, exhaustively
+        // over all register-cell values.
+        let probs = [0.3125, 0.5, 0.875]; // 5/16, 8/16, 14/16
+        let ckt = weighted_generator_circuit(&probs, 4);
+        let mut sim = LogicSim::new(&ckt);
+        let n = ckt.num_inputs();
+        let networks: Vec<WeightedTapNetwork> = [5u32, 8, 14]
+            .iter()
+            .map(|&k| WeightedTapNetwork::new(k, 4))
+            .collect();
+        for m in 0..(1u64 << n) {
+            let inputs: Vec<u64> = (0..n).map(|i| ((m >> i) & 1) * !0u64).collect();
+            let out = sim.run_block(&inputs);
+            let mut cursor = 0usize;
+            for (oi, nw) in networks.iter().enumerate() {
+                let taps: Vec<u64> = (0..nw.taps())
+                    .map(|t| ((m >> (cursor + t)) & 1) * !0u64)
+                    .collect();
+                cursor += nw.taps();
+                assert_eq!(
+                    out[oi] & 1,
+                    nw.eval_words(&taps) & 1,
+                    "cells {m:b}, output {oi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn emitted_hardware_is_itself_analyzable() {
+        // The generator netlist's output signal probabilities under uniform
+        // register cells must equal the requested weights — computed by the
+        // exact engine over the emitted gates.
+        let probs = [0.0625, 0.4375, 0.9375, 1.0];
+        let ckt = weighted_generator_circuit(&probs, 4);
+        // Exhaustive check by simulation with all cells equally weighted.
+        use protest_sim::{LogicSim, PatternSource, UniformRandomPatterns};
+        let mut sim = LogicSim::new(&ckt);
+        let mut src = UniformRandomPatterns::new(ckt.num_inputs(), 9);
+        let mut ones = vec![0u64; ckt.num_outputs()];
+        let blocks = 4000;
+        let mut words = vec![0u64; ckt.num_inputs()];
+        for _ in 0..blocks {
+            src.next_block(&mut words);
+            let out = sim.run_block(&words);
+            for (o, w) in ones.iter_mut().zip(&out) {
+                *o += w.count_ones() as u64;
+            }
+        }
+        let total = (blocks * 64) as f64;
+        for (i, &p) in probs.iter().enumerate() {
+            let freq = ones[i] as f64 / total;
+            assert!(
+                (freq - p).abs() < 0.01,
+                "output {i}: frequency {freq}, weight {p}"
+            );
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Analyze a circuit from an ISCAS-85 `.bench` file (or the bundled c17).
+//!
+//! ```sh
+//! cargo run --release --example analyze_bench_file [path/to/circuit.bench]
+//! ```
+
+use std::env;
+use std::fs;
+
+use protest::prelude::*;
+use protest_core::report::TestabilityReport;
+use protest_netlist::parse_bench;
+
+const C17: &str = "\
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = match env::args().nth(1) {
+        Some(path) => {
+            let text = fs::read_to_string(&path)?;
+            parse_bench(&path, &text)?
+        }
+        None => {
+            println!("(no file given; analyzing the bundled c17)\n");
+            parse_bench("c17", C17)?
+        }
+    };
+    let analyzer = Analyzer::new(&circuit);
+    let analysis = analyzer.run(&InputProbs::uniform(circuit.num_inputs()))?;
+    let report = TestabilityReport::new(&analyzer, &analysis, &[(1.0, 0.95), (1.0, 0.999)], 10);
+    println!("{report}");
+    Ok(())
+}

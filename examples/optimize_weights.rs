@@ -1,0 +1,64 @@
+//! Input-probability optimization on a random-pattern-resistant circuit
+//! (the paper's Sec. 6 headline): the 24-bit comparator COMP needs ~10¹⁰
+//! uniform random patterns, but only ~10⁴ weighted ones.
+//!
+//! ```sh
+//! cargo run --release --example optimize_weights
+//! ```
+
+use protest::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = comp24();
+    let analyzer = Analyzer::new(&circuit);
+
+    // Conventional random test at p = 0.5.
+    let uniform = analyzer.run(&InputProbs::uniform(circuit.num_inputs()))?;
+    let n_uniform = uniform.required_test_length(1.0, 0.95);
+    println!(
+        "uniform patterns:   N = {}",
+        n_uniform.map_or("unreachable".into(), |t| t.patterns.to_string())
+    );
+
+    // Hill-climb the per-input probabilities on the k/16 grid.
+    let params = OptimizeParams {
+        n_target: 10_000,
+        ..OptimizeParams::default()
+    };
+    let result = HillClimber::new(&analyzer, params).optimize()?;
+    println!(
+        "optimization: {} rounds, {} evaluations",
+        result.rounds, result.evaluations
+    );
+    for (i, (&id, p)) in circuit
+        .inputs()
+        .iter()
+        .zip(result.probs.as_slice())
+        .enumerate()
+    {
+        if (p - 0.5).abs() > 0.2 {
+            print!("{}={:.2} ", circuit.node_label(id), p);
+            if i % 8 == 7 {
+                println!();
+            }
+        }
+    }
+    println!();
+
+    let optimized = analyzer.run(&result.probs)?;
+    let n_opt = optimized.required_test_length(1.0, 0.95);
+    println!(
+        "optimized patterns: N = {}",
+        n_opt.map_or("unreachable".into(), |t| t.patterns.to_string())
+    );
+
+    // Validate by fault simulation with the weighted source.
+    let mut source = WeightedRandomPatterns::new(result.probs.as_slice(), 3);
+    let curve =
+        protest_sim::coverage_run(&circuit, analyzer.faults(), &mut source, &[1000, 12_000]);
+    println!(
+        "fault simulation with optimized weights: {:.1}% @1000, {:.1}% @12000",
+        curve.checkpoints[0].percent, curve.checkpoints[1].percent
+    );
+    Ok(())
+}

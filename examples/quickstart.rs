@@ -1,0 +1,58 @@
+//! Quickstart: build a small circuit, estimate its testability, compute a
+//! test length, and cross-check with fault simulation.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use protest::prelude::*;
+use protest_core::report::TestabilityReport;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe a circuit: a 4-bit "is this value in range [9, 12]?"
+    //    detector with a deliberately hard-to-excite corner.
+    let mut b = CircuitBuilder::new("range_detector");
+    let xs = b.input_bus("x", 4);
+    let ge9 = {
+        // x ≥ 9 ⇔ x3 ∧ (x2 ∨ x1 ∨ x0 ≥ 1) — built explicitly.
+        let low_or = b.or(&[xs[0], xs[1], xs[2]]);
+        b.and2(xs[3], low_or)
+    };
+    let le12 = {
+        // x ≤ 12 ⇔ ¬(x3 ∧ x2 ∧ (x1 ∨ x0))
+        let t = b.or2(xs[0], xs[1]);
+        let u = b.and(&[xs[3], xs[2], t]);
+        b.not(u)
+    };
+    let in_range = b.and2(ge9, le12);
+    b.output(in_range, "in_range");
+    let circuit = b.finish()?;
+
+    // 2. Analyze with uniform random inputs (p = 0.5 everywhere).
+    let analyzer = Analyzer::new(&circuit);
+    let analysis = analyzer.run(&InputProbs::uniform(circuit.num_inputs()))?;
+
+    println!("signal probability of in_range: {:.4}", analysis.signal_probability(in_range));
+    println!(
+        "(exact value: P(9 ≤ x ≤ 12) = 4/16 = {:.4})\n",
+        4.0 / 16.0
+    );
+
+    // 3. Print the standard testability report with test lengths.
+    let report = TestabilityReport::new(&analyzer, &analysis, &[(1.0, 0.95), (1.0, 0.999)], 5);
+    println!("{report}");
+
+    // 4. Validate the test length by fault simulation, as the paper does.
+    let n = analysis
+        .required_test_length(1.0, 0.95)
+        .expect("all faults detectable")
+        .patterns;
+    let mut source = UniformRandomPatterns::new(circuit.num_inputs(), 42);
+    let curve = protest_sim::coverage_run(&circuit, analyzer.faults(), &mut source, &[n]);
+    println!(
+        "fault simulation of {} random patterns reaches {:.1}% coverage",
+        n,
+        curve.final_percent()
+    );
+    Ok(())
+}

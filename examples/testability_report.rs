@@ -1,0 +1,39 @@
+//! The full PROTEST workflow on the paper's ALU (SN74181): signal
+//! probabilities, fault-detection probabilities, least-testable faults,
+//! required test lengths, and validation by fault simulation.
+//!
+//! ```sh
+//! cargo run --release --example testability_report
+//! ```
+
+use protest::prelude::*;
+use protest_core::report::TestabilityReport;
+use protest_core::stats::pearson_correlation;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = alu_74181();
+    let analyzer = Analyzer::new(&circuit);
+    let probs = InputProbs::uniform(circuit.num_inputs());
+    let analysis = analyzer.run(&probs)?;
+
+    let report = TestabilityReport::new(
+        &analyzer,
+        &analysis,
+        &[(1.0, 0.95), (0.98, 0.98), (1.0, 0.999)],
+        8,
+    );
+    println!("{report}");
+
+    // Validate estimates against simulation, Table-1 style.
+    let mut fsim = FaultSim::new(&circuit);
+    let mut source = WeightedRandomPatterns::new(probs.as_slice(), 7);
+    let counts = fsim.count_detections(analyzer.faults(), &mut source, 20_000);
+    let p_prot = analysis.detection_probabilities();
+    let p_sim = counts.probabilities();
+    println!(
+        "\ncorrelation of estimates with fault simulation over {} faults: {:.3}",
+        p_prot.len(),
+        pearson_correlation(&p_prot, &p_sim)
+    );
+    Ok(())
+}

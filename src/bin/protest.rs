@@ -1,0 +1,342 @@
+//! The `protest` command-line tool: probabilistic testability analysis for
+//! combinational circuits, after Wunderlich's DAC'85 PROTEST.
+//!
+//! ```text
+//! protest stats    <circuit>                  circuit statistics
+//! protest analyze  <circuit> [options]        testability report
+//! protest optimize <circuit> [options]        optimized input probabilities
+//! protest patterns <circuit> [options]        emit a random pattern set
+//! protest simulate <circuit> --patterns FILE  fault-simulate a pattern set
+//! ```
+//!
+//! `<circuit>` is an ISCAS-85 `.bench` file, or a PDL file when it ends in
+//! `.pdl`. Common options:
+//!
+//! ```text
+//! --prob P          stimulate every input with probability P (default 0.5)
+//! --testlen D,E     report N for fraction D, confidence E (repeatable)
+//! --hardest K       list the K least testable faults (default 10)
+//! --n-target N      optimizer objective parameter (default 10000)
+//! --count N         number of patterns to emit (patterns subcommand)
+//! --optimized       use optimized probabilities (patterns subcommand)
+//! --seed S          RNG seed (default 1)
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::process::ExitCode;
+
+use protest::prelude::*;
+use protest_core::optimize::{HillClimber, OptimizeParams};
+use protest_core::report::TestabilityReport;
+use protest_core::InputProbs;
+use protest_netlist::{parse_bench, parse_pdl, CircuitStats};
+use protest_sim::{coverage_run, PatternSet, ReplaySource};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: protest <stats|analyze|optimize|patterns|simulate> <circuit> [options]
+options: --prob P  --testlen D,E  --hardest K  --n-target N  --count N
+         --optimized  --patterns FILE  --seed S";
+
+/// Parsed command-line options.
+struct Options {
+    prob: f64,
+    testlens: Vec<(f64, f64)>,
+    hardest: usize,
+    n_target: u64,
+    count: usize,
+    optimized: bool,
+    patterns_file: Option<String>,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            prob: 0.5,
+            testlens: Vec::new(),
+            hardest: 10,
+            n_target: 10_000,
+            count: 1000,
+            optimized: false,
+            patterns_file: None,
+            seed: 1,
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter();
+    let command = it.next().ok_or("missing subcommand")?.as_str();
+    let path = it.next().ok_or("missing circuit file")?.clone();
+    let mut opts = Options::default();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--prob" => {
+                opts.prob = value("--prob")?
+                    .parse()
+                    .map_err(|e| format!("--prob: {e}"))?;
+            }
+            "--testlen" => {
+                let v = value("--testlen")?;
+                let (d, e) = v
+                    .split_once(',')
+                    .ok_or(format!("--testlen expects D,E, got `{v}`"))?;
+                let d: f64 = d.trim().parse().map_err(|e| format!("--testlen: {e}"))?;
+                let e: f64 = e.trim().parse().map_err(|e| format!("--testlen: {e}"))?;
+                opts.testlens.push((d, e));
+            }
+            "--hardest" => {
+                opts.hardest = value("--hardest")?
+                    .parse()
+                    .map_err(|e| format!("--hardest: {e}"))?;
+            }
+            "--n-target" => {
+                opts.n_target = value("--n-target")?
+                    .parse()
+                    .map_err(|e| format!("--n-target: {e}"))?;
+            }
+            "--count" => {
+                opts.count = value("--count")?
+                    .parse()
+                    .map_err(|e| format!("--count: {e}"))?;
+            }
+            "--optimized" => opts.optimized = true,
+            "--patterns" => opts.patterns_file = Some(value("--patterns")?.clone()),
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if opts.testlens.is_empty() {
+        opts.testlens = vec![(1.0, 0.95), (0.98, 0.98)];
+    }
+    let circuit = load_circuit(&path)?;
+    match command {
+        "stats" => cmd_stats(&circuit),
+        "analyze" => cmd_analyze(&circuit, &opts),
+        "optimize" => cmd_optimize(&circuit, &opts),
+        "patterns" => cmd_patterns(&circuit, &opts),
+        "simulate" => cmd_simulate(&circuit, &opts),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn load_circuit(path: &str) -> Result<Circuit, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let name = path
+        .rsplit('/')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(".bench")
+        .trim_end_matches(".pdl");
+    if path.ends_with(".pdl") {
+        parse_pdl(name, &text).map_err(|e| format!("{path}: {e}"))
+    } else {
+        parse_bench(name, &text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn cmd_stats(circuit: &Circuit) -> Result<String, String> {
+    Ok(format!("{}\n", CircuitStats::of(circuit)))
+}
+
+fn cmd_analyze(circuit: &Circuit, opts: &Options) -> Result<String, String> {
+    let analyzer = Analyzer::new(circuit);
+    let probs = InputProbs::constant(circuit.num_inputs(), opts.prob)
+        .map_err(|e| e.to_string())?;
+    let analysis = analyzer.run(&probs).map_err(|e| e.to_string())?;
+    let report =
+        TestabilityReport::new(&analyzer, &analysis, &opts.testlens, opts.hardest);
+    Ok(format!("{report}\n"))
+}
+
+fn cmd_optimize(circuit: &Circuit, opts: &Options) -> Result<String, String> {
+    let analyzer = Analyzer::new(circuit);
+    let params = OptimizeParams {
+        n_target: opts.n_target,
+        seed: opts.seed,
+        ..OptimizeParams::default()
+    };
+    let result = HillClimber::new(&analyzer, params)
+        .optimize()
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# optimized input probabilities ({} rounds, {} evaluations)",
+        result.rounds, result.evaluations
+    );
+    for (&id, p) in circuit.inputs().iter().zip(result.probs.as_slice()) {
+        let _ = writeln!(out, "{} {:.4}", circuit.node_label(id), p);
+    }
+    let analysis = analyzer.run(&result.probs).map_err(|e| e.to_string())?;
+    for &(d, e) in &opts.testlens {
+        let n = analysis
+            .required_test_length(d, e)
+            .map_or("unreachable".to_string(), |t| t.patterns.to_string());
+        let _ = writeln!(out, "# N(d={d}, e={e}) = {n}");
+    }
+    Ok(out)
+}
+
+fn cmd_patterns(circuit: &Circuit, opts: &Options) -> Result<String, String> {
+    let names: Vec<String> = circuit
+        .inputs()
+        .iter()
+        .map(|&i| circuit.node_label(i))
+        .collect();
+    let probs = if opts.optimized {
+        let analyzer = Analyzer::new(circuit);
+        let params = OptimizeParams {
+            n_target: opts.n_target,
+            seed: opts.seed,
+            ..OptimizeParams::default()
+        };
+        HillClimber::new(&analyzer, params)
+            .optimize()
+            .map_err(|e| e.to_string())?
+            .probs
+    } else {
+        InputProbs::constant(circuit.num_inputs(), opts.prob).map_err(|e| e.to_string())?
+    };
+    let mut src = WeightedRandomPatterns::new(probs.as_slice(), opts.seed);
+    let set = PatternSet::capture(&mut src, opts.count).with_names(names);
+    Ok(set.to_text())
+}
+
+fn cmd_simulate(circuit: &Circuit, opts: &Options) -> Result<String, String> {
+    let file = opts
+        .patterns_file
+        .as_ref()
+        .ok_or("simulate needs --patterns FILE")?;
+    let text = fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let set = PatternSet::from_text(&text).map_err(|e| e.to_string())?;
+    if set.num_inputs() != circuit.num_inputs() {
+        return Err(format!(
+            "pattern set has {} inputs, circuit has {}",
+            set.num_inputs(),
+            circuit.num_inputs()
+        ));
+    }
+    let analyzer = Analyzer::new(circuit);
+    let mut src = ReplaySource::new(&set);
+    let curve = coverage_run(circuit, analyzer.faults(), &mut src, &[set.len() as u64]);
+    Ok(format!(
+        "{} patterns, {} collapsed faults, coverage {:.2}%\n",
+        set.len(),
+        curve.total_faults,
+        curve.final_percent()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_c17() -> tempfile::TempGuard {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static COUNTER: AtomicU32 = AtomicU32::new(0);
+        let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "protest_cli_c17_{}_{unique}.bench",
+            std::process::id()
+        ));
+        fs::write(
+            &path,
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nOUTPUT(z1)\nOUTPUT(z2)\n\
+             g1 = NAND(a, c)\ng2 = NAND(c, d)\ng3 = NAND(b, g2)\ng4 = NAND(g2, e)\n\
+             z1 = NAND(g1, g3)\nz2 = NAND(g3, g4)\n",
+        )
+        .unwrap();
+        tempfile::TempGuard(path)
+    }
+
+    mod tempfile {
+        pub struct TempGuard(pub std::path::PathBuf);
+        impl Drop for TempGuard {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+    }
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn stats_and_analyze() {
+        let f = write_c17();
+        let p = f.0.to_str().unwrap();
+        let out = run(&args(&["stats", p])).unwrap();
+        assert!(out.contains("6 gates"), "{out}");
+        let out = run(&args(&["analyze", p, "--testlen", "1.0,0.95"])).unwrap();
+        assert!(out.contains("required random test lengths"), "{out}");
+    }
+
+    #[test]
+    fn optimize_and_patterns_roundtrip() {
+        let f = write_c17();
+        let p = f.0.to_str().unwrap();
+        let out = run(&args(&["optimize", p, "--n-target", "500"])).unwrap();
+        assert!(out.contains("optimized input probabilities"), "{out}");
+        let pats = run(&args(&["patterns", p, "--count", "128"])).unwrap();
+        let set = PatternSet::from_text(&pats).unwrap();
+        assert_eq!(set.len(), 128);
+        assert_eq!(set.num_inputs(), 5);
+    }
+
+    #[test]
+    fn simulate_pattern_file() {
+        let f = write_c17();
+        let p = f.0.to_str().unwrap();
+        let pats = run(&args(&["patterns", p, "--count", "256", "--seed", "9"])).unwrap();
+        let pat_path = std::env::temp_dir().join(format!(
+            "protest_cli_pats_{}.txt",
+            std::process::id()
+        ));
+        fs::write(&pat_path, pats).unwrap();
+        let out = run(&args(&[
+            "simulate",
+            p,
+            "--patterns",
+            pat_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let _ = fs::remove_file(&pat_path);
+        assert!(out.contains("coverage"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&args(&["analyze", "/nonexistent.bench"])).is_err());
+        assert!(run(&args(&["frobnicate", "x"])).is_err());
+        assert!(run(&args(&[])).is_err());
+        let f = write_c17();
+        let p = f.0.to_str().unwrap();
+        assert!(run(&args(&["analyze", p, "--prob", "nan?"])).is_err());
+        assert!(run(&args(&["analyze", p, "--bogus"])).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! # PROTEST — Probabilistic Testability Analysis
+//!
+//! An umbrella crate re-exporting the whole PROTEST workspace, a
+//! from-scratch Rust reproduction of:
+//!
+//! > H.-J. Wunderlich, *PROTEST: A Tool for Probabilistic Testability
+//! > Analysis*, 22nd Design Automation Conference (DAC), 1985, pp. 204–211.
+//!
+//! PROTEST estimates signal probabilities and fault-detection probabilities
+//! of combinational circuits, computes the random-pattern test length needed
+//! for a target fault coverage, and optimizes the per-input signal
+//! probabilities of weighted random patterns.
+//!
+//! ## Crate map
+//!
+//! * [`netlist`] — circuit representation, parsers, levelization,
+//!   reconvergence analysis.
+//! * [`bdd`] — reduced ordered BDDs with weighted probability evaluation
+//!   (the exact oracle).
+//! * [`sim`] — bit-parallel logic simulation and stuck-at fault simulation.
+//! * [`core`] — the paper's algorithms: signal-probability estimation,
+//!   observability/detection models, test-length computation, input
+//!   probability optimization.
+//! * [`circuits`] — the paper's evaluation circuits (SN74181 ALU, MULT,
+//!   DIV, COMP) plus generators.
+//! * [`tpg`] — LFSR/NLFSR pattern generators, BILBO and MISR models.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use protest::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build a tiny circuit: z = AND(a, OR(a, b)) — reconvergent on `a`.
+//! let mut b = CircuitBuilder::new("quick");
+//! let a = b.input("a");
+//! let b_in = b.input("b");
+//! let o = b.or2(a, b_in);
+//! let z = b.and2(a, o);
+//! b.output(z, "z");
+//! let ckt = b.finish()?;
+//!
+//! // Estimate signal probabilities with uniform inputs (p = 0.5 each).
+//! let analysis = Analyzer::new(&ckt).run(&InputProbs::uniform(ckt.num_inputs()))?;
+//! let p_z = analysis.signal_probability(z);
+//! assert!((p_z - 0.5).abs() < 1e-9); // exact here: P(a ∧ (a ∨ b)) = P(a)
+//! # Ok(())
+//! # }
+//! ```
+
+pub use protest_bdd as bdd;
+pub use protest_circuits as circuits;
+pub use protest_core as core;
+pub use protest_netlist as netlist;
+pub use protest_sim as sim;
+pub use protest_tpg as tpg;
+
+/// Commonly used items, for glob import in examples and applications.
+pub mod prelude {
+    pub use protest_circuits::{alu_74181, comp24, div16, mult_abcd};
+    pub use protest_core::{
+        Analyzer, AnalyzerParams, CircuitAnalysis, InputProbs, ObservabilityModel,
+        PinSensitivityModel, TestLength, optimize::{HillClimber, OptimizeParams},
+    };
+    pub use protest_netlist::{Circuit, CircuitBuilder, GateKind, Levels, NodeId};
+    pub use protest_sim::{
+        Fault, FaultSim, FaultUniverse, LogicSim, PatternSource, StuckAt, UniformRandomPatterns,
+        WeightedRandomPatterns,
+    };
+    pub use protest_tpg::{Bilbo, Lfsr, Misr, WeightedLfsrPatterns};
+}

@@ -1,0 +1,190 @@
+//! Cross-validation of independent engines against each other:
+//! estimator vs exact signal probabilities, PPSFP vs serial fault
+//! simulation, BDD vs exhaustive enumeration, estimates vs miters.
+
+use protest::prelude::*;
+use protest_circuits::{c17, random_circuit, RandomCircuitParams};
+use protest_core::detect::exact_detection_probability;
+use protest_core::sigprob::{bdd_signal_probs, exhaustive_signal_probs, signal_prob_bounds};
+use protest_core::InputProbs;
+use protest_sim::serial::detect_block_serial;
+
+#[test]
+fn estimator_tracks_exact_on_random_circuits() {
+    for seed in 0..20u64 {
+        let circuit = random_circuit(RandomCircuitParams {
+            inputs: 7,
+            gates: 30,
+            outputs: 3,
+            seed,
+        });
+        let probs = InputProbs::uniform(7);
+        let exact = exhaustive_signal_probs(&circuit, &probs).unwrap();
+        let analyzer = Analyzer::new(&circuit);
+        let analysis = analyzer.run(&probs).unwrap();
+        let estimates: Vec<f64> = (0..circuit.num_nodes())
+            .map(|i| analysis.signal_probability(NodeId::from_index(i)))
+            .collect();
+        // Bounded conditioning is a heuristic: individual nodes can drift
+        // (the paper's own MULT shows Δ_max = 0.48), but estimates must be
+        // valid probabilities, track exact values in aggregate and
+        // correlate strongly.
+        for (i, (&e, &got)) in exact.iter().zip(&estimates).enumerate() {
+            assert!((0.0..=1.0).contains(&got), "seed {seed} node {i}: {got}");
+            assert!(
+                (got - e).abs() < 0.5,
+                "seed {seed} node {i}: estimate {got} vs exact {e}"
+            );
+        }
+        let mean_err: f64 = exact
+            .iter()
+            .zip(&estimates)
+            .map(|(e, g)| (e - g).abs())
+            .sum::<f64>()
+            / exact.len() as f64;
+        assert!(mean_err < 0.06, "seed {seed}: mean error {mean_err}");
+        let corr = protest_core::stats::pearson_correlation(&estimates, &exact);
+        assert!(corr > 0.9, "seed {seed}: node-probability correlation {corr}");
+    }
+}
+
+#[test]
+fn bdd_matches_exhaustive_on_random_circuits() {
+    for seed in 20..35u64 {
+        let circuit = random_circuit(RandomCircuitParams {
+            inputs: 8,
+            gates: 40,
+            outputs: 4,
+            seed,
+        });
+        let probs = InputProbs::from_slice(&[0.3, 0.5, 0.7, 0.2, 0.9, 0.4, 0.6, 0.5]).unwrap();
+        let exact = exhaustive_signal_probs(&circuit, &probs).unwrap();
+        let bdd = bdd_signal_probs(&circuit, &probs, 1_000_000).unwrap();
+        for (i, (a, b)) in exact.iter().zip(&bdd).enumerate() {
+            assert!((a - b).abs() < 1e-10, "seed {seed} node {i}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn cutting_bounds_contain_exact_on_random_circuits() {
+    for seed in 35..50u64 {
+        let circuit = random_circuit(RandomCircuitParams {
+            inputs: 6,
+            gates: 35,
+            outputs: 3,
+            seed,
+        });
+        let probs = InputProbs::uniform(6);
+        let exact = exhaustive_signal_probs(&circuit, &probs).unwrap();
+        let bounds = signal_prob_bounds(&circuit, &probs).unwrap();
+        for (i, (e, b)) in exact.iter().zip(&bounds).enumerate() {
+            assert!(
+                b.contains(*e),
+                "seed {seed} node {i}: {e} outside [{}, {}]",
+                b.lo,
+                b.hi
+            );
+        }
+    }
+}
+
+#[test]
+fn ppsfp_matches_serial_on_random_circuits() {
+    for seed in 50..60u64 {
+        let circuit = random_circuit(RandomCircuitParams {
+            inputs: 6,
+            gates: 40,
+            outputs: 4,
+            seed,
+        });
+        let universe = FaultUniverse::all(&circuit);
+        let mut src = UniformRandomPatterns::new(6, seed);
+        let mut inputs = vec![0u64; 6];
+        src.next_block(&mut inputs);
+        let mut logic = LogicSim::new(&circuit);
+        logic.run_block_internal(&inputs);
+        let good = logic.values().to_vec();
+        let mut fsim = FaultSim::new(&circuit);
+        for fault in universe.iter() {
+            let fast = fsim.detect_block(fault, &good);
+            let slow = detect_block_serial(&circuit, fault, &inputs);
+            assert_eq!(fast, slow, "seed {seed}, {fault:?}");
+        }
+    }
+}
+
+#[test]
+fn deductive_matches_ppsfp_on_random_circuits() {
+    use protest_sim::DeductiveSim;
+    for seed in 60..72u64 {
+        let circuit = random_circuit(RandomCircuitParams {
+            inputs: 6,
+            gates: 35,
+            outputs: 3,
+            seed,
+        });
+        let universe = FaultUniverse::all(&circuit);
+        let faults: Vec<Fault> = universe.iter().collect();
+        let ded = DeductiveSim::new(&circuit, &faults);
+        let mut src = UniformRandomPatterns::new(6, seed ^ 0xDEAD);
+        let mut words = vec![0u64; 6];
+        src.next_block(&mut words);
+        let mut logic = LogicSim::new(&circuit);
+        logic.run_block_internal(&words);
+        let good = logic.values().to_vec();
+        let mut fsim = FaultSim::new(&circuit);
+        // Compare pattern 0 of the block.
+        let scalar: Vec<bool> = words.iter().map(|&w| w & 1 == 1).collect();
+        let ded_detected = ded.detect_pattern(&scalar);
+        for (fi, &fault) in faults.iter().enumerate() {
+            let ppsfp = fsim.detect_block(fault, &good) & 1 == 1;
+            assert_eq!(
+                ppsfp, ded_detected[fi],
+                "seed {seed}: {fault:?} disagrees between PPSFP and deductive"
+            );
+        }
+    }
+}
+
+#[test]
+fn estimates_match_exact_miters_on_c17() {
+    let circuit = c17();
+    let probs = InputProbs::uniform(5);
+    let analyzer = Analyzer::new(&circuit);
+    let analysis = analyzer.run(&probs).unwrap();
+    for est in analysis.fault_estimates() {
+        let exact = exact_detection_probability(&circuit, est.fault, &probs).unwrap();
+        assert!(
+            (est.detection - exact).abs() < 0.26,
+            "{:?}: estimate {} vs exact {exact}",
+            est.fault,
+            est.detection
+        );
+    }
+    // Mean error over all faults must be far tighter than the worst case.
+    let mean: f64 = analysis
+        .fault_estimates()
+        .iter()
+        .map(|e| {
+            let exact = exact_detection_probability(&circuit, e.fault, &probs).unwrap();
+            (e.detection - exact).abs()
+        })
+        .sum::<f64>()
+        / analysis.fault_estimates().len() as f64;
+    assert!(mean < 0.06, "mean |est − exact| = {mean}");
+}
+
+#[test]
+fn estimated_detection_frequency_matches_simulation_on_alu() {
+    use protest_core::stats::pearson_correlation;
+    let circuit = alu_74181();
+    let analyzer = Analyzer::new(&circuit);
+    let probs = InputProbs::uniform(circuit.num_inputs());
+    let analysis = analyzer.run(&probs).unwrap();
+    let mut fsim = FaultSim::new(&circuit);
+    let mut src = WeightedRandomPatterns::new(probs.as_slice(), 9);
+    let counts = fsim.count_detections(analyzer.faults(), &mut src, 10_000);
+    let corr = pearson_correlation(&analysis.detection_probabilities(), &counts.probabilities());
+    assert!(corr > 0.9, "Table-1 style correlation too low: {corr}");
+}

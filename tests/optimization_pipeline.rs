@@ -1,0 +1,79 @@
+//! The Sec. 6 pipeline on a scaled-down comparator: optimization must cut
+//! the required random test length by orders of magnitude and the gain must
+//! be real under fault simulation (not just in the estimator's eyes).
+
+use protest::prelude::*;
+use protest_circuits::div_nonrestoring;
+use protest_core::testlen::required_test_length;
+use protest_core::InputProbs;
+use protest_sim::coverage_run;
+
+/// Detection probabilities with estimated-undetectable faults dropped
+/// (redundancy candidates; see the `hardest_faults` study).
+fn detectable(analysis: &protest_core::CircuitAnalysis) -> Vec<f64> {
+    analysis
+        .detection_probabilities()
+        .into_iter()
+        .filter(|&p| p > 0.0)
+        .collect()
+}
+
+#[test]
+fn optimization_cuts_test_length_and_simulation_confirms() {
+    // An 8÷8 non-restoring divider: random-resistant but small enough for a
+    // fast test.
+    let circuit = div_nonrestoring(8, 8);
+    let analyzer = Analyzer::new(&circuit);
+
+    let uniform = analyzer
+        .run(&InputProbs::uniform(circuit.num_inputs()))
+        .unwrap();
+    let n_uniform = required_test_length(&detectable(&uniform), 0.95)
+        .expect("detectable faults reachable")
+        .patterns;
+
+    let params = OptimizeParams {
+        n_target: 2000,
+        max_rounds: 8,
+        ..OptimizeParams::default()
+    };
+    let result = HillClimber::new(&analyzer, params).optimize().unwrap();
+    let optimized = analyzer.run(&result.probs).unwrap();
+    let n_opt = required_test_length(&detectable(&optimized), 0.95)
+        .expect("detectable faults reachable")
+        .patterns;
+    assert!(
+        n_opt * 3 <= n_uniform,
+        "estimated reduction too small: {n_uniform} → {n_opt}"
+    );
+
+    // Simulation check: optimized weighted patterns must reach clearly
+    // higher coverage than uniform ones at the same (short) length.
+    let budget = 2048;
+    let mut uni = UniformRandomPatterns::new(circuit.num_inputs(), 3);
+    let cov_uni = coverage_run(&circuit, analyzer.faults(), &mut uni, &[budget]).final_percent();
+    let mut wtd = WeightedRandomPatterns::new(result.probs.as_slice(), 3);
+    let cov_wtd = coverage_run(&circuit, analyzer.faults(), &mut wtd, &[budget]).final_percent();
+    assert!(
+        cov_wtd >= cov_uni,
+        "weighted {cov_wtd:.1}% below uniform {cov_uni:.1}%"
+    );
+    assert!(cov_wtd > 95.0, "optimized coverage only {cov_wtd:.1}%");
+}
+
+#[test]
+fn optimized_weights_work_through_nlfsr_hardware_model() {
+    // The Sec. 8 application: quantized k/16 weights realized by LFSR tap
+    // networks must deliver the same coverage win as ideal weighted sources.
+    let circuit = div_nonrestoring(8, 8);
+    let analyzer = Analyzer::new(&circuit);
+    let params = OptimizeParams {
+        n_target: 2000,
+        max_rounds: 8,
+        ..OptimizeParams::default()
+    };
+    let result = HillClimber::new(&analyzer, params).optimize().unwrap();
+    let mut hw = WeightedLfsrPatterns::new(result.probs.as_slice(), 4, 0xBEEF);
+    let cov = coverage_run(&circuit, analyzer.faults(), &mut hw, &[2048]).final_percent();
+    assert!(cov > 95.0, "NLFSR-driven coverage only {cov:.1}%");
+}

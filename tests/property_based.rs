@@ -1,0 +1,131 @@
+//! Property-based tests over random circuits and probability vectors.
+
+use proptest::prelude::*;
+use protest::prelude::*;
+use protest_circuits::{random_circuit, RandomCircuitParams};
+use protest_core::sigprob::exhaustive_signal_probs;
+use protest_core::testlen::{
+    required_test_length, set_detection_probability,
+};
+use protest_core::InputProbs;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Estimates are probabilities, and deterministic inputs propagate to
+    /// deterministic estimates matching a logic simulation.
+    #[test]
+    fn estimates_are_valid_probabilities(seed in 0u64..5000) {
+        let circuit = random_circuit(RandomCircuitParams {
+            inputs: 6,
+            gates: 25,
+            outputs: 3,
+            seed,
+        });
+        let analyzer = Analyzer::new(&circuit);
+        let analysis = analyzer.run(&InputProbs::uniform(6)).unwrap();
+        for i in 0..circuit.num_nodes() {
+            let p = analysis.signal_probability(NodeId::from_index(i));
+            prop_assert!((0.0..=1.0).contains(&p), "node {i}: {p}");
+        }
+        for est in analysis.fault_estimates() {
+            prop_assert!((0.0..=1.0).contains(&est.detection));
+            prop_assert!(est.detection <= est.activation + 1e-9);
+        }
+    }
+
+    /// With 0/1 input probabilities the estimator equals a logic simulation.
+    #[test]
+    fn deterministic_inputs_reduce_to_simulation(
+        seed in 0u64..2000,
+        mask in 0u64..64,
+    ) {
+        let circuit = random_circuit(RandomCircuitParams {
+            inputs: 6,
+            gates: 25,
+            outputs: 3,
+            seed,
+        });
+        let probs: Vec<f64> = (0..6).map(|i| f64::from((mask >> i) & 1 == 1)).collect();
+        let analyzer = Analyzer::new(&circuit);
+        let analysis = analyzer.run(&InputProbs::from_slice(&probs).unwrap()).unwrap();
+        let mut sim = LogicSim::new(&circuit);
+        let words: Vec<u64> = (0..6).map(|i| ((mask >> i) & 1) * !0u64).collect();
+        sim.run_block_internal(&words);
+        for i in 0..circuit.num_nodes() {
+            let want = f64::from(sim.value(NodeId::from_index(i)) & 1 == 1);
+            let got = analysis.signal_probability(NodeId::from_index(i));
+            prop_assert!((got - want).abs() < 1e-9, "node {i}: {got} vs {want}");
+        }
+    }
+
+    /// Exhaustive signal probabilities are exact, so weighted Monte-Carlo
+    /// estimates must converge toward them.
+    #[test]
+    fn exhaustive_is_a_fixed_point_of_sampling(seed in 0u64..500) {
+        let circuit = random_circuit(RandomCircuitParams {
+            inputs: 5,
+            gates: 20,
+            outputs: 2,
+            seed,
+        });
+        let probs = InputProbs::from_slice(&[0.3, 0.7, 0.5, 0.2, 0.9]).unwrap();
+        let exact = exhaustive_signal_probs(&circuit, &probs).unwrap();
+        let mc = protest_core::sigprob::monte_carlo_signal_probs(&circuit, &probs, 60_000, seed)
+            .unwrap();
+        for (i, (e, m)) in exact.iter().zip(&mc).enumerate() {
+            prop_assert!((e - m).abs() < 0.03, "node {i}: exact {e} vs mc {m}");
+        }
+    }
+
+    /// Test length: P_F(N) is monotone in N; the solver returns the minimal
+    /// satisfying N.
+    #[test]
+    fn test_length_minimality(
+        ps in proptest::collection::vec(1e-4f64..1.0, 1..20),
+        e in 0.5f64..0.999,
+    ) {
+        let tl = required_test_length(&ps, e).unwrap();
+        prop_assert!(set_detection_probability(&ps, tl.patterns) >= e);
+        if tl.patterns > 1 {
+            prop_assert!(set_detection_probability(&ps, tl.patterns - 1) < e);
+        }
+        // Monotonicity spot checks.
+        prop_assert!(
+            set_detection_probability(&ps, tl.patterns * 2)
+                >= set_detection_probability(&ps, tl.patterns)
+        );
+    }
+
+    /// Fault collapsing preserves detection behaviour: every fault in a
+    /// class has the same detection mask as its representative.
+    #[test]
+    fn collapsed_classes_are_behaviourally_equivalent(seed in 0u64..300) {
+        let circuit = random_circuit(RandomCircuitParams {
+            inputs: 5,
+            gates: 18,
+            outputs: 2,
+            seed,
+        });
+        let universe = FaultUniverse::all(&circuit);
+        let collapsed = protest_sim::collapse_universe(&circuit, &universe);
+        let mut src = UniformRandomPatterns::new(5, seed);
+        let mut inputs = vec![0u64; 5];
+        src.next_block(&mut inputs);
+        let mut logic = LogicSim::new(&circuit);
+        logic.run_block_internal(&inputs);
+        let good = logic.values().to_vec();
+        let mut fsim = FaultSim::new(&circuit);
+        for (class, &rep) in collapsed
+            .classes()
+            .iter()
+            .zip(collapsed.representatives())
+        {
+            let rep_mask = fsim.detect_block(rep, &good);
+            for &f in class {
+                let mask = fsim.detect_block(f, &good);
+                prop_assert_eq!(mask, rep_mask, "fault {:?} vs rep {:?}", f, rep);
+            }
+        }
+    }
+}
