@@ -109,7 +109,11 @@ fn lut_bdd(
         }
         let mut term = manager.constant(true);
         for (i, &f) in fanins.iter().enumerate() {
-            let lit = if (m >> i) & 1 == 1 { f } else { manager.not(f)? };
+            let lit = if (m >> i) & 1 == 1 {
+                f
+            } else {
+                manager.not(f)?
+            };
             term = manager.and(term, lit)?;
         }
         acc = manager.or(acc, term)?;

@@ -298,7 +298,11 @@ impl Manager {
         let mut cur = f;
         while !cur.is_terminal() {
             let d = self.nodes[cur.0 as usize];
-            cur = if assignment[d.var as usize] { d.hi } else { d.lo };
+            cur = if assignment[d.var as usize] {
+                d.hi
+            } else {
+                d.lo
+            };
         }
         cur == BddRef::TRUE
     }
@@ -329,8 +333,8 @@ impl Manager {
         }
         let d = self.nodes[f.0 as usize];
         let pv = probs[d.var as usize];
-        let p = pv * self.prob_rec(d.hi, probs, memo)
-            + (1.0 - pv) * self.prob_rec(d.lo, probs, memo);
+        let p =
+            pv * self.prob_rec(d.hi, probs, memo) + (1.0 - pv) * self.prob_rec(d.lo, probs, memo);
         memo.insert(f, p);
         p
     }

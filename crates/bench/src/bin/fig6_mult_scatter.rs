@@ -29,11 +29,7 @@ fn main() {
     let mut src = WeightedRandomPatterns::new(probs.as_slice(), 0xF6);
     let counts = fsim.count_detections(analyzer.faults(), &mut src, 20_000);
     let p_sim = counts.probabilities();
-    let points: Vec<(f64, f64)> = p_prot
-        .iter()
-        .copied()
-        .zip(p_sim.iter().copied())
-        .collect();
+    let points: Vec<(f64, f64)> = p_prot.iter().copied().zip(p_sim.iter().copied()).collect();
     println!("{}", scatter_csv(&points));
     println!("{}", ascii_scatter(&points, 60, 30));
     let above = points.iter().filter(|&&(p, s)| s >= p).count();

@@ -15,7 +15,7 @@ fn main() {
         let ps = analysis.detection_probabilities();
         let zero = ps.iter().filter(|&&p| p <= 0.0).count();
         let tiny = ps.iter().filter(|&&p| p > 0.0 && p < 1e-12).count();
-        let small = ps.iter().filter(|&&p| p >= 1e-12 && p < 1e-6).count();
+        let small = ps.iter().filter(|&&p| (1e-12..1e-6).contains(&p)).count();
         println!(
             "\n{name}: {} faults | p=0: {zero} | 0<p<1e-12: {tiny} | 1e-12..1e-6: {small}",
             ps.len()

@@ -7,13 +7,14 @@ use std::time::Instant;
 use protest_bench::{banner, TextTable};
 use protest_circuits::{alu_74181, mult_abcd};
 use protest_core::stats::{max_abs_error, mean_abs_error, pearson_correlation};
-use protest_core::{
-    Analyzer, AnalyzerParams, InputProbs, ObservabilityModel, PinSensitivityModel,
-};
+use protest_core::{Analyzer, AnalyzerParams, InputProbs, ObservabilityModel, PinSensitivityModel};
 use protest_sim::{FaultSim, WeightedRandomPatterns};
 
 fn main() {
-    banner("model calibration — observability variants vs P_SIM", "Sec. 3/4");
+    banner(
+        "model calibration — observability variants vs P_SIM",
+        "Sec. 3/4",
+    );
     let mut table = TextTable::new(&[
         "circuit", "stem", "pin", "maxvers", "max_err", "avg_err", "corr", "secs",
     ]);

@@ -45,8 +45,7 @@ fn conflict_demo() {
     let hc = HillClimber::new(&analyzer, params);
     let single = hc.optimize().expect("optimization succeeds");
     let mut s1 = WeightedRandomPatterns::new(single.probs.as_slice(), 0xC1);
-    let cov_single =
-        coverage_run(&circuit, &faults, &mut s1, &[2 * budget]).final_percent();
+    let cov_single = coverage_run(&circuit, &faults, &mut s1, &[2 * budget]).final_percent();
     // Two simulation-guided rounds with half the budget each.
     let mut fsim = FaultSim::new(&circuit);
     let mut covered = vec![false; faults.len()];
@@ -55,7 +54,9 @@ fn conflict_demo() {
         if !active.iter().any(|&a| a) {
             break;
         }
-        let dist = hc.optimize_for_faults(&active).expect("optimization succeeds");
+        let dist = hc
+            .optimize_for_faults(&active)
+            .expect("optimization succeeds");
         let mut src = WeightedRandomPatterns::new(dist.probs.as_slice(), 0xC2 + k);
         let first = fsim.first_detections(&faults, &mut src, budget);
         for (i, f) in first.iter().enumerate() {
@@ -64,8 +65,7 @@ fn conflict_demo() {
             }
         }
     }
-    let cov_multi =
-        100.0 * covered.iter().filter(|&&c| c).count() as f64 / faults.len() as f64;
+    let cov_multi = 100.0 * covered.iter().filter(|&&c| c).count() as f64 / faults.len() as f64;
     println!(
         "AND16 ∥ NOR16 with {} total patterns: one distribution {cov_single:.1} %,          two distributions {cov_multi:.1} %
 ",
@@ -134,8 +134,7 @@ fn main() {
             }
         }
         total_patterns += budget_per_dist;
-        let cov =
-            100.0 * covered.iter().filter(|&&c| c).count() as f64 / faults.len() as f64;
+        let cov = 100.0 * covered.iter().filter(|&&c| c).count() as f64 / faults.len() as f64;
         table.row(&[
             format!("distribution {} (+{newly} faults)", k + 1),
             total_patterns.to_string(),
@@ -146,8 +145,7 @@ fn main() {
         }
     }
     println!("{}", table.render());
-    let final_cov =
-        100.0 * covered.iter().filter(|&&c| c).count() as f64 / faults.len() as f64;
+    let final_cov = 100.0 * covered.iter().filter(|&&c| c).count() as f64 / faults.len() as f64;
     println!(
         "single-distribution plateau ≈ 84 % (div_opt_probe); simulation-guided \
          multi-distribution testing reaches {final_cov:.1} % with the same total budget"

@@ -24,22 +24,14 @@ fn main() {
     );
     let patterns = 20_000u64;
     let stafan_budget = 4096u64; // STAFAN's pitch: far fewer simulated patterns
-    let mut table = TextTable::new(&[
-        "circuit", "estimator", "corr vs P_SIM", "avg |err|",
-    ]);
+    let mut table = TextTable::new(&["circuit", "estimator", "corr vs P_SIM", "avg |err|"]);
     for (name, circuit) in [("ALU", alu_74181()), ("MULT", mult_abcd())] {
         let probs = InputProbs::uniform(circuit.num_inputs());
         let analyzer = Analyzer::new(&circuit);
         let analysis = analyzer.run(&probs).expect("analysis succeeds");
         let p_prot = analysis.detection_probabilities();
-        let p_stafan = stafan_estimates(
-            &circuit,
-            &probs,
-            analyzer.faults(),
-            stafan_budget,
-            0x5F,
-        )
-        .expect("stafan succeeds");
+        let p_stafan = stafan_estimates(&circuit, &probs, analyzer.faults(), stafan_budget, 0x5F)
+            .expect("stafan succeeds");
         let mut fsim = FaultSim::new(&circuit);
         let mut src = WeightedRandomPatterns::new(probs.as_slice(), 0xA1);
         let p_sim = fsim

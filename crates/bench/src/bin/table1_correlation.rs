@@ -30,7 +30,13 @@ fn main() {
     );
     let patterns = 20_000u64;
     let mut table = TextTable::new(&[
-        "circuit", "model", "faults", "max_err", "avg_err", "corr", "paper(max,avg,corr)",
+        "circuit",
+        "model",
+        "faults",
+        "max_err",
+        "avg_err",
+        "corr",
+        "paper(max,avg,corr)",
     ]);
     for (name, circuit, paper) in [
         ("ALU", alu_74181(), "(0.15, 0.04, 0.97)"),

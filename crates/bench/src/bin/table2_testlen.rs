@@ -12,7 +12,10 @@ use protest_core::{Analyzer, InputProbs};
 use protest_sim::{coverage_run, UniformRandomPatterns};
 
 fn main() {
-    banner("Table 2 — size of test sets (d = 0.98, e = 0.98)", "Sec. 5, Table 2");
+    banner(
+        "Table 2 — size of test sets (d = 0.98, e = 0.98)",
+        "Sec. 5, Table 2",
+    );
     let (d, e) = (0.98, 0.98);
     let mut table = TextTable::new(&["circuit", "N", "paper N", "validated coverage %"]);
     for (name, circuit, paper_n) in [

@@ -57,9 +57,7 @@ fn main() {
         }
         detectable.push(ps);
     }
-    let mut table = TextTable::new(&[
-        "d", "e", "N(DIV)", "paper", "N(COMP)", "paper",
-    ]);
+    let mut table = TextTable::new(&["d", "e", "N(DIV)", "paper", "N(COMP)", "paper"]);
     for (d, e, p_div, p_comp) in paper {
         let nd = protest_core::testlen::required_test_length_fraction(&detectable[0], d, e);
         let nc = protest_core::testlen::required_test_length_fraction(&detectable[1], d, e);

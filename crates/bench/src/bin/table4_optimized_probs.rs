@@ -16,7 +16,10 @@ use protest_core::optimize::{HillClimber, OptimizeParams};
 use protest_core::Analyzer;
 
 fn main() {
-    banner("Table 4 — optimized input probabilities for COMP", "Sec. 6, Table 4");
+    banner(
+        "Table 4 — optimized input probabilities for COMP",
+        "Sec. 6, Table 4",
+    );
     let circuit = comp24();
     let analyzer = Analyzer::new(&circuit);
     let params = OptimizeParams {
@@ -41,10 +44,10 @@ fn main() {
         .map(|i| circuit.node_label(circuit.inputs()[i]))
         .collect();
     let ps = result.probs.as_slice();
-    for row in 0..(names.len() + 2) / 3 {
+    for row in 0..names.len().div_ceil(3) {
         let mut cells = Vec::with_capacity(6);
         for col in 0..3 {
-            let i = row + col * ((names.len() + 2) / 3);
+            let i = row + col * names.len().div_ceil(3);
             if i < names.len() {
                 cells.push(names[i].clone());
                 cells.push(format!("{:.2}", ps[i]));

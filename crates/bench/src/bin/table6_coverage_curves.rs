@@ -33,7 +33,11 @@ fn main() {
         "Sec. 6, Table 6",
     );
     let mut table = TextTable::new(&[
-        "patterns", "DIV not-opt", "DIV optim.", "COMP not-opt", "COMP optim.",
+        "patterns",
+        "DIV not-opt",
+        "DIV optim.",
+        "COMP not-opt",
+        "COMP optim.",
     ]);
     let mut curves = Vec::new();
     for circuit in [div16(), comp24()] {

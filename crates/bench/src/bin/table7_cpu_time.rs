@@ -33,7 +33,10 @@ fn main() {
     circuits.push(comp24());
     circuits.sort_by_key(transistor_count);
     let mut table = TextTable::new(&[
-        "circuit", "transistors", "est. test set (d=0.98,e=0.95)", "CPU s",
+        "circuit",
+        "transistors",
+        "est. test set (d=0.98,e=0.95)",
+        "CPU s",
     ]);
     let mut sizes = Vec::new();
     let mut times = Vec::new();

@@ -36,7 +36,11 @@ fn main() {
         mult_array(9),
     ];
     let mut table = TextTable::new(&[
-        "circuit", "transistors", "inputs", "optim. test set (d=0.98,e=0.95)", "CPU s",
+        "circuit",
+        "transistors",
+        "inputs",
+        "optim. test set (d=0.98,e=0.95)",
+        "CPU s",
     ]);
     for circuit in &circuits {
         let analyzer = Analyzer::new(circuit);

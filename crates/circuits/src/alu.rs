@@ -64,7 +64,7 @@ pub fn alu_74181() -> Circuit {
     let aeb = b.and(&f); // open-collector A=B: F == 1111
     let cn4 = b.not(carries[4]); // active-low carry out
     let pbar = b.nand(&p); // P̄ = ¬(p3·p2·p1·p0)
-    // Ḡ = ¬(g3 ∨ p3·g2 ∨ p3·p2·g1 ∨ p3·p2·p1·g0)
+                           // Ḡ = ¬(g3 ∨ p3·g2 ∨ p3·p2·g1 ∨ p3·p2·p1·g0)
     let y1 = b.and2(p[3], g[2]);
     let y2 = b.and(&[p[3], p[2], g[1]]);
     let y3 = b.and(&[p[3], p[2], p[1], g[0]]);
@@ -135,7 +135,8 @@ pub fn alu_behavior(a: u8, bv: u8, s: u8, m: bool, cn: bool) -> AluOutputs {
         (total & 0xF) as u8
     };
     let pbar = !(p[0] && p[1] && p[2] && p[3]);
-    let gbar = !(g[3] || (p[3] && g[2]) || (p[3] && p[2] && g[1]) || (p[3] && p[2] && p[1] && g[0]));
+    let gbar =
+        !(g[3] || (p[3] && g[2]) || (p[3] && p[2] && g[1]) || (p[3] && p[2] && p[1] && g[0]));
     AluOutputs {
         f,
         aeb: f == 0xF,
@@ -151,7 +152,14 @@ mod tests {
 
     use super::*;
 
-    fn run_gate_level(sim: &mut LogicSim<'_>, a: u8, bv: u8, s: u8, m: bool, cn: bool) -> AluOutputs {
+    fn run_gate_level(
+        sim: &mut LogicSim<'_>,
+        a: u8,
+        bv: u8,
+        s: u8,
+        m: bool,
+        cn: bool,
+    ) -> AluOutputs {
         let mut inputs = Vec::with_capacity(14);
         for i in 0..4 {
             inputs.push((((a >> i) & 1) as u64) * !0);
@@ -166,6 +174,7 @@ mod tests {
         inputs.push(u64::from(cn) * !0);
         let out = sim.run_block(&inputs);
         let mut f = 0u8;
+        #[allow(clippy::needless_range_loop)]
         for i in 0..4 {
             f |= ((out[i] & 1) as u8) << i;
         }
@@ -245,9 +254,6 @@ mod tests {
         let ckt = alu_74181();
         // The real part is ~60–75 gate equivalents.
         let gates = ckt.num_gates();
-        assert!(
-            (50..=90).contains(&gates),
-            "unexpected gate count {gates}"
-        );
+        assert!((50..=90).contains(&gates), "unexpected gate count {gates}");
     }
 }

@@ -92,13 +92,25 @@ fn comparator_slice(
         all_eq_lt.push(i_lt);
         lt_terms.push(b.and(&all_eq_lt));
     }
-    let o_gt = if gt_terms.len() == 1 { gt_terms[0] } else { b.or(&gt_terms) };
-    let o_lt = if lt_terms.len() == 1 { lt_terms[0] } else { b.or(&lt_terms) };
+    let o_gt = if gt_terms.len() == 1 {
+        gt_terms[0]
+    } else {
+        b.or(&gt_terms)
+    };
+    let o_lt = if lt_terms.len() == 1 {
+        lt_terms[0]
+    } else {
+        b.or(&lt_terms)
+    };
     let mut all_eq = eq_bit;
     if let Some((_, i_eq, _)) = cascade {
         all_eq.push(i_eq);
     }
-    let o_eq = if all_eq.len() == 1 { all_eq[0] } else { b.and(&all_eq) };
+    let o_eq = if all_eq.len() == 1 {
+        all_eq[0]
+    } else {
+        b.and(&all_eq)
+    };
     (o_gt, o_eq, o_lt)
 }
 
@@ -225,7 +237,11 @@ mod tests {
             (0x000100, 0x0000FF),
         ];
         for &(a, b) in probes {
-            for ti in [(true, false, false), (false, true, false), (false, false, true)] {
+            for ti in [
+                (true, false, false),
+                (false, true, false),
+                (false, false, true),
+            ] {
                 let mut inputs = Vec::new();
                 for i in 0..24 {
                     inputs.push((((a >> i) & 1) as u64) * !0);
@@ -238,7 +254,11 @@ mod tests {
                 inputs.push(u64::from(ti.2) * !0);
                 let out = sim.run_block(&inputs);
                 let got = (out[0] & 1 == 1, out[1] & 1 == 1, out[2] & 1 == 1);
-                assert_eq!(got, comp24_behavior(a, b, ti), "a={a:#x} b={b:#x} ti={ti:?}");
+                assert_eq!(
+                    got,
+                    comp24_behavior(a, b, ti),
+                    "a={a:#x} b={b:#x} ti={ti:?}"
+                );
             }
         }
     }
@@ -254,7 +274,7 @@ mod tests {
             let a: u32 = rng.gen::<u32>() & 0xFF_FFFF;
             // Bias toward near-equal words to exercise the equality chain.
             let b = if rng.gen_bool(0.5) {
-                a ^ (1 << rng.gen_range(0..24))
+                a ^ (1u32 << rng.gen_range(0..24u32))
             } else {
                 rng.gen::<u32>() & 0xFF_FFFF
             };

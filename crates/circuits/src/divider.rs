@@ -66,8 +66,8 @@ pub fn div_array(nd: usize, nv: usize) -> Circuit {
     for (i, q) in quotient.iter().enumerate() {
         b.output(*q, format!("q{i}"));
     }
-    for i in 0..nv {
-        b.output(rem[i], format!("r{i}"));
+    for (i, &r) in rem.iter().enumerate().take(nv) {
+        b.output(r, format!("r{i}"));
     }
     b.finish().expect("divider construction is valid")
 }
@@ -127,7 +127,8 @@ pub fn div_nonrestoring(nd: usize, nv: usize) -> Circuit {
     for (i, r) in acc.iter().enumerate() {
         b.output(*r, format!("r{i}"));
     }
-    b.finish().expect("non-restoring divider construction is valid")
+    b.finish()
+        .expect("non-restoring divider construction is valid")
 }
 
 /// Behavioral reference for [`div_nonrestoring`]: returns the quotient and
@@ -141,7 +142,11 @@ pub fn div_nonrestoring_behavior(nd: usize, nv: usize, n: u64, d: u64) -> (u64, 
     for k in (0..nd).rev() {
         let s_neg = (acc >> (w - 1)) & 1 == 1;
         acc = ((acc << 1) | ((n >> k) & 1)) & mask;
-        let (bv, cin) = if s_neg { (d & mask, 0) } else { ((!d) & mask, 1) };
+        let (bv, cin) = if s_neg {
+            (d & mask, 0)
+        } else {
+            ((!d) & mask, 1)
+        };
         acc = (acc + bv + cin) & mask;
         if (acc >> (w - 1)) & 1 == 0 {
             q |= 1 << k;
@@ -191,10 +196,12 @@ mod tests {
         }
         let out = sim.run_block(&inputs);
         let mut q = 0u64;
+        #[allow(clippy::needless_range_loop)]
         for i in 0..nd {
             q |= (out[i] & 1) << i;
         }
         let mut r = 0u64;
+        #[allow(clippy::needless_range_loop)]
         for i in 0..nv {
             r |= (out[nd + i] & 1) << i;
         }
@@ -223,10 +230,12 @@ mod tests {
         }
         let out = sim.run_block(&inputs);
         let mut q = 0u64;
+        #[allow(clippy::needless_range_loop)]
         for i in 0..nd {
             q |= (out[i] & 1) << i;
         }
         let mut r = 0u64;
+        #[allow(clippy::needless_range_loop)]
         for i in 0..nv + 2 {
             r |= (out[nd + i] & 1) << i;
         }
@@ -242,8 +251,8 @@ mod tests {
                 let got = run_nr(&mut sim, 4, 3, n, d);
                 let want = div_nonrestoring_behavior(4, 3, n, d);
                 assert_eq!(got, want, "{n}/{d}");
-                if d > 0 {
-                    assert_eq!(got.0, n / d, "quotient {n}/{d}");
+                if let Some(want) = n.checked_div(d) {
+                    assert_eq!(got.0, want, "quotient {n}/{d}");
                 }
             }
         }

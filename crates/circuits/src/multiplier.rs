@@ -24,6 +24,7 @@ fn array_multiply(b: &mut CircuitBuilder, c: &[NodeId], d: &[NodeId]) -> Vec<Nod
     // sum bits for each weight; rows are added with FA/HA chains.
     let mut acc: Vec<NodeId> = (0..n).map(|j| b.and2(c[j], d[0])).collect();
     let mut product = Vec::with_capacity(2 * n);
+    #[allow(clippy::needless_range_loop)]
     for i in 1..n {
         // acc currently holds bits of weight i-1 .. i-1+n-1; its lowest bit
         // is final.

@@ -53,8 +53,10 @@ impl AigLit {
         self.0 & 1 == 1
     }
 
-    /// The complemented literal.
+    /// The complemented literal (named after the AIG-literature operation;
+    /// the `Not` trait is not implemented so call sites stay explicit).
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> AigLit {
         AigLit(self.0 ^ 1)
     }
@@ -243,7 +245,13 @@ impl Aig {
 
     /// Expands on the highest variable first; `fixed` holds the minterm bits
     /// already decided for variables `var..n`.
-    fn lut_rec(&mut self, table: &TruthTable, fanins: &[AigLit], var: usize, fixed: usize) -> AigLit {
+    fn lut_rec(
+        &mut self,
+        table: &TruthTable,
+        fanins: &[AigLit],
+        var: usize,
+        fixed: usize,
+    ) -> AigLit {
         if var == 0 {
             return if table.bit(fixed) {
                 AigLit::TRUE

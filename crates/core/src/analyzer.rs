@@ -197,10 +197,7 @@ mod tests {
         let ckt = c17();
         let analyzer = Analyzer::new(&ckt);
         let analysis = analyzer.run(&InputProbs::uniform(5)).unwrap();
-        assert_eq!(
-            analysis.fault_estimates().len(),
-            analyzer.faults().len()
-        );
+        assert_eq!(analysis.fault_estimates().len(), analyzer.faults().len());
         assert!(analyzer.uncollapsed_fault_count() >= analyzer.faults().len());
         for est in analysis.fault_estimates() {
             assert!((0.0..=1.0).contains(&est.detection));
@@ -238,8 +235,7 @@ mod tests {
         let analyzer = Analyzer::new(&ckt);
         let probs = InputProbs::from_slice(&[0.5, 0.3, 0.8]).unwrap();
         let analysis = analyzer.run(&probs).unwrap();
-        let exact =
-            crate::sigprob::exhaustive_signal_probs(&ckt, &probs).unwrap();
+        let exact = crate::sigprob::exhaustive_signal_probs(&ckt, &probs).unwrap();
         // z = maj(x) ∧ x0. The LUT's Shannon decomposition creates nested
         // reconvergence that bounded conditioning captures only partially
         // (conditional re-propagation uses the plain product rule, as the

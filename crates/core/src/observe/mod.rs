@@ -112,6 +112,7 @@ pub fn compute_observability(
             .iter()
             .map(|&f| node_probs[f.index()])
             .collect();
+        #[allow(clippy::needless_range_loop)]
         for pin in 0..node.fanins().len() {
             let sens = pin_sensitivity(circuit, node.kind(), &fanin_probs, pin, params);
             pin_s[id.index()][pin] = (s * sens).clamp(0.0, 1.0);
@@ -341,7 +342,11 @@ mod tests {
             ..AnalyzerParams::default()
         };
         let (_, obs) = analyze(&ckt, &[0.5], &params);
-        assert!(obs.node(a).abs() < 1e-12, "stem must cancel: {}", obs.node(a));
+        assert!(
+            obs.node(a).abs() < 1e-12,
+            "stem must cancel: {}",
+            obs.node(a)
+        );
     }
 
     #[test]

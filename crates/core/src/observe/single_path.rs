@@ -110,14 +110,7 @@ impl<'c> SinglePathEstimator<'c> {
             if sens <= 0.0 {
                 continue;
             }
-            self.walk(
-                gate,
-                prob * sens,
-                length + 1,
-                node_probs,
-                best,
-                paths_left,
-            );
+            self.walk(gate, prob * sens, length + 1, node_probs, best, paths_left);
         }
     }
 }
@@ -277,7 +270,11 @@ mod tests {
         let c = b.input("c");
         let mut outs = Vec::new();
         for i in 0..20 {
-            let g = if i % 2 == 0 { b.and2(a, c) } else { b.or2(a, c) };
+            let g = if i % 2 == 0 {
+                b.and2(a, c)
+            } else {
+                b.or2(a, c)
+            };
             outs.push(g);
         }
         for (i, o) in outs.iter().enumerate() {

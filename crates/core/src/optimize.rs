@@ -168,7 +168,10 @@ impl<'a, 'c> HillClimber<'a, 'c> {
         confidence: f64,
     ) -> Result<MultiDistributionResult, CoreError> {
         assert!(max_distributions > 0, "need at least one distribution");
-        assert!(patterns_per_distribution > 0, "need a positive pattern budget");
+        assert!(
+            patterns_per_distribution > 0,
+            "need a positive pattern budget"
+        );
         assert!(
             confidence > 0.0 && confidence < 1.0,
             "confidence must be in (0, 1)"
@@ -231,7 +234,10 @@ impl<'a, 'c> HillClimber<'a, 'c> {
             self.analyzer.faults().len(),
             "one flag per fault"
         );
-        assert!(active.iter().any(|&a| a), "at least one fault must be active");
+        assert!(
+            active.iter().any(|&a| a),
+            "at least one fault must be active"
+        );
         let start = vec![self.params.grid / 2; self.analyzer.circuit().num_inputs()];
         self.optimize_masked(start, Some(active))
     }
@@ -268,9 +274,7 @@ impl<'a, 'c> HillClimber<'a, 'c> {
                     }
                     ks[i] = cand;
                     let j = self.objective(&ks, mask, &mut evaluations)?;
-                    if j > best + 1e-12
-                        && best_move.map_or(true, |(bj, _)| j > bj)
-                    {
+                    if j > best + 1e-12 && best_move.is_none_or(|(bj, _)| j > bj) {
                         best_move = Some((j, cand));
                     }
                 }
@@ -340,7 +344,7 @@ impl<'a, 'c> HillClimber<'a, 'c> {
             .detection_probabilities()
             .into_iter()
             .enumerate()
-            .filter(|&(i, _)| mask.map_or(true, |m| m[i]))
+            .filter(|&(i, _)| mask.is_none_or(|m| m[i]))
             .map(|(_, p)| p.max(1e-12))
             .collect();
         Ok(-ln_expected_undetected(&ps, self.params.n_target))
@@ -381,8 +385,7 @@ mod tests {
         assert!(res.objective_ln >= res.initial_objective_ln);
         // sa0 at the root needs all-ones patterns: optimal probabilities are
         // clearly above 1/2 (they trade off against sa1 activations).
-        let mean: f64 =
-            res.probs.as_slice().iter().sum::<f64>() / res.probs.len() as f64;
+        let mean: f64 = res.probs.as_slice().iter().sum::<f64>() / res.probs.len() as f64;
         assert!(mean > 0.6, "mean optimized probability {mean}");
     }
 
@@ -396,8 +399,7 @@ mod tests {
         let analyzer = Analyzer::new(&ckt);
         let hc = HillClimber::new(&analyzer, OptimizeParams::default());
         let res = hc.optimize().unwrap();
-        let mean: f64 =
-            res.probs.as_slice().iter().sum::<f64>() / res.probs.len() as f64;
+        let mean: f64 = res.probs.as_slice().iter().sum::<f64>() / res.probs.len() as f64;
         assert!(mean < 0.4, "mean optimized probability {mean}");
     }
 
@@ -481,15 +483,21 @@ mod tests {
         // Single distribution: at least one hard fault stays uncovered at
         // the 200-pattern budget.
         let single = hc.optimize_multi(1, 200, 0.95).unwrap();
-        assert!(single.uncovered() > 0, "single distribution should not suffice");
+        assert!(
+            single.uncovered() > 0,
+            "single distribution should not suffice"
+        );
         // A few distributions cover everything.
         let multi = hc.optimize_multi(4, 200, 0.95).unwrap();
-        assert_eq!(multi.uncovered(), 0, "multiple distributions must cover all");
+        assert_eq!(
+            multi.uncovered(),
+            0,
+            "multiple distributions must cover all"
+        );
         assert!(multi.distributions.len() >= 2);
         // The rounds must pull the inputs in opposite directions.
-        let mean = |r: &OptimizationResult| {
-            r.probs.as_slice().iter().sum::<f64>() / r.probs.len() as f64
-        };
+        let mean =
+            |r: &OptimizationResult| r.probs.as_slice().iter().sum::<f64>() / r.probs.len() as f64;
         let means: Vec<f64> = multi.distributions.iter().map(mean).collect();
         let hi = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -528,7 +536,7 @@ mod tests {
             .optimize()
             .unwrap();
         for (&k, &p) in res.grid_ks.iter().zip(res.probs.as_slice()) {
-            assert!(k >= 1 && k < 16);
+            assert!((1..16).contains(&k));
             assert!((p - k as f64 / 16.0).abs() < 1e-12);
         }
     }

@@ -109,10 +109,7 @@ impl InputProbs {
         if denominator == 0 {
             return Err(CoreError::ProbRange { value: f64::NAN });
         }
-        let probs: Vec<f64> = ks
-            .iter()
-            .map(|&k| k as f64 / denominator as f64)
-            .collect();
+        let probs: Vec<f64> = ks.iter().map(|&k| k as f64 / denominator as f64).collect();
         Self::from_slice(&probs)
     }
 

@@ -94,9 +94,7 @@ impl fmt::Display for TestabilityReport {
             writeln!(f, "  {:>5} {:>7} {:>14}", "d", "e", "N")?;
             for (d, e, tl) in &self.test_lengths {
                 match tl {
-                    Some(t) => {
-                        writeln!(f, "  {:>5.2} {:>7.3} {:>14}", d, e, t.patterns)?
-                    }
+                    Some(t) => writeln!(f, "  {:>5.2} {:>7.3} {:>14}", d, e, t.patterns)?,
                     None => writeln!(f, "  {:>5.2} {:>7.3} {:>14}", d, e, "unreachable")?,
                 }
             }
@@ -119,8 +117,7 @@ mod tests {
         let ckt = c17();
         let analyzer = Analyzer::new(&ckt);
         let analysis = analyzer.run(&InputProbs::uniform(5)).unwrap();
-        let report =
-            TestabilityReport::new(&analyzer, &analysis, &[(1.0, 0.95), (0.98, 0.98)], 5);
+        let report = TestabilityReport::new(&analyzer, &analysis, &[(1.0, 0.95), (0.98, 0.98)], 5);
         let text = report.to_string();
         assert!(text.contains("c17"), "{text}");
         assert!(text.contains("least testable"), "{text}");

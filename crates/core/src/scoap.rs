@@ -85,20 +85,48 @@ impl Scoap {
                 GateKind::Buf => (c0(fan[0]) + 1, c1(fan[0]) + 1),
                 GateKind::Not => (c1(fan[0]) + 1, c0(fan[0]) + 1),
                 GateKind::And => (
-                    fan.iter().map(|&f| c0(f)).min().unwrap_or(INF).saturating_add(1),
-                    fan.iter().map(|&f| c1(f)).fold(0u32, |a, b| a.saturating_add(b)) + 1,
+                    fan.iter()
+                        .map(|&f| c0(f))
+                        .min()
+                        .unwrap_or(INF)
+                        .saturating_add(1),
+                    fan.iter()
+                        .map(|&f| c1(f))
+                        .fold(0u32, |a, b| a.saturating_add(b))
+                        + 1,
                 ),
                 GateKind::Nand => (
-                    fan.iter().map(|&f| c1(f)).fold(0u32, |a, b| a.saturating_add(b)) + 1,
-                    fan.iter().map(|&f| c0(f)).min().unwrap_or(INF).saturating_add(1),
+                    fan.iter()
+                        .map(|&f| c1(f))
+                        .fold(0u32, |a, b| a.saturating_add(b))
+                        + 1,
+                    fan.iter()
+                        .map(|&f| c0(f))
+                        .min()
+                        .unwrap_or(INF)
+                        .saturating_add(1),
                 ),
                 GateKind::Or => (
-                    fan.iter().map(|&f| c0(f)).fold(0u32, |a, b| a.saturating_add(b)) + 1,
-                    fan.iter().map(|&f| c1(f)).min().unwrap_or(INF).saturating_add(1),
+                    fan.iter()
+                        .map(|&f| c0(f))
+                        .fold(0u32, |a, b| a.saturating_add(b))
+                        + 1,
+                    fan.iter()
+                        .map(|&f| c1(f))
+                        .min()
+                        .unwrap_or(INF)
+                        .saturating_add(1),
                 ),
                 GateKind::Nor => (
-                    fan.iter().map(|&f| c1(f)).min().unwrap_or(INF).saturating_add(1),
-                    fan.iter().map(|&f| c0(f)).fold(0u32, |a, b| a.saturating_add(b)) + 1,
+                    fan.iter()
+                        .map(|&f| c1(f))
+                        .min()
+                        .unwrap_or(INF)
+                        .saturating_add(1),
+                    fan.iter()
+                        .map(|&f| c0(f))
+                        .fold(0u32, |a, b| a.saturating_add(b))
+                        + 1,
                 ),
                 GateKind::Xor | GateKind::Xnor | GateKind::Lut(_) => {
                     // Generic k-input component: enumerate input minterms,
@@ -219,9 +247,7 @@ fn pin_observation_cost(
         GateKind::And | GateKind::Nand => {
             others.fold(0u32, |a, f| a.saturating_add(cc1[f.index()]))
         }
-        GateKind::Or | GateKind::Nor => {
-            others.fold(0u32, |a, f| a.saturating_add(cc0[f.index()]))
-        }
+        GateKind::Or | GateKind::Nor => others.fold(0u32, |a, f| a.saturating_add(cc0[f.index()])),
         GateKind::Xor | GateKind::Xnor => {
             // Any side assignment sensitizes; cheapest per side input.
             others.fold(0u32, |a, f| {
@@ -243,10 +269,7 @@ fn pin_observation_cost(
 /// Convenience: `P_SCOAP` for a list of faults.
 pub fn p_scoap_estimates(circuit: &Circuit, faults: &[Fault]) -> Vec<f64> {
     let scoap = Scoap::compute(circuit);
-    faults
-        .iter()
-        .map(|&f| scoap.p_scoap(circuit, f))
-        .collect()
+    faults.iter().map(|&f| scoap.p_scoap(circuit, f)).collect()
 }
 
 #[cfg(test)]

@@ -117,9 +117,7 @@ pub fn signal_prob_bounds(
         let node = circuit.node(id);
         let b = match node.kind() {
             GateKind::Input => {
-                let pos = circuit
-                    .input_position(id)
-                    .expect("input in input list");
+                let pos = circuit.input_position(id).expect("input in input list");
                 ProbBounds::point(p[pos])
             }
             GateKind::Const(v) => ProbBounds::point(if v { 1.0 } else { 0.0 }),

@@ -29,10 +29,11 @@ use crate::params::AnalyzerParams;
 struct AndCache {
     /// Bounded `V(a, b)`, empty for case-3 ANDs.
     joining: Vec<AigNodeId>,
-    /// Union of the bounded fanin cones of `a` and `b`, ascending (= topo)
-    /// order, excluding nodes at the depth boundary (their base estimate is
-    /// used as-is).
-    cone: Vec<AigNodeId>,
+    /// The joining points plus their descendants within the bounded union
+    /// cone of `a` and `b`, ascending (= topo) order. Re-propagation only
+    /// walks this set: pinning joining points cannot change any other cone
+    /// node, so the rest of the cone keeps its base estimate untouched.
+    inner: Vec<AigNodeId>,
 }
 
 /// The PROTEST estimator. Construction performs all graph searches; each
@@ -56,6 +57,7 @@ impl SignalProbEstimator {
         let mut in_a = vec![u32::MAX; n];
         let mut in_b = vec![u32::MAX; n];
         let mut epoch = 0u32;
+        #[allow(clippy::needless_range_loop)]
         for k in 0..n {
             let id = AigNodeId::from_index(k);
             let Some((la, lb)) = aig.and_fanins(id) else {
@@ -73,7 +75,7 @@ impl SignalProbEstimator {
                     continue;
                 }
                 let succs = &fanouts[x.index()];
-                if succs.len() < 2 && !(succs.len() >= 1 && (x == a || x == b)) {
+                if succs.len() < 2 && !(!succs.is_empty() && (x == a || x == b)) {
                     // A fanout of 1 can still join if x *is* a or b itself
                     // (x feeds the other side through its single successor
                     // while feeding the AND directly).
@@ -113,7 +115,25 @@ impl SignalProbEstimator {
                 .collect();
             cone.sort_unstable();
             joining.sort_unstable();
-            cache[k] = AndCache { joining, cone };
+            // Forward pass: keep only joining points and their descendants —
+            // the subgraph a pinned assignment can actually change.
+            let mut desc = vec![false; cone.len()];
+            let is_desc = |cone: &[AigNodeId], desc: &[bool], node: AigNodeId| {
+                cone.binary_search(&node).map(|i| desc[i]).unwrap_or(false)
+            };
+            let mut inner = Vec::new();
+            for ci in 0..cone.len() {
+                let x = cone[ci];
+                let d = joining.binary_search(&x).is_ok()
+                    || aig.and_fanins(x).is_some_and(|(fa, fb)| {
+                        is_desc(&cone, &desc, fa.node()) || is_desc(&cone, &desc, fb.node())
+                    });
+                if d {
+                    desc[ci] = true;
+                    inner.push(x);
+                }
+            }
+            cache[k] = AndCache { joining, inner };
         }
         SignalProbEstimator {
             aig,
@@ -142,7 +162,7 @@ impl SignalProbEstimator {
         let mut probs = vec![0.0f64; n];
         // Node 0 is constant TRUE.
         probs[0] = 1.0;
-        let mut scratch = Scratch::new(n);
+        let mut scratch = Scratch2::new(n);
         for k in 1..n {
             let id = AigNodeId::from_index(k);
             if let Some(pos) = self.aig.input_position(id) {
@@ -170,18 +190,29 @@ impl SignalProbEstimator {
         la: AigLit,
         lb: AigLit,
         cache: &AndCache,
-        scratch: &mut Scratch,
+        scratch: &mut Scratch2,
     ) -> f64 {
         let pa = lit_prob(base, la);
         let pb = lit_prob(base, lb);
-        // Score each joining point by |Cov(a,x)·Cov(b,x)| / S(x)².
+        // Score each joining point by |Cov(a,x)·Cov(b,x)| / S(x)². Nested
+        // conditioning during scoring sharpens the ranking, but its cost
+        // multiplies with the candidate count — restrict it to small sets.
+        let nest_scores = cache.joining.len() <= MAX_NESTED_SCORING;
         let mut scored: Vec<(f64, AigNodeId)> = Vec::with_capacity(cache.joining.len());
         for &x in &cache.joining {
             let px = base[x.index()];
             if px <= f64::EPSILON || px >= 1.0 - f64::EPSILON {
                 continue; // deterministic node carries no correlation
             }
-            let (pa1, pb1) = repropagate(&self.aig, base, &cache.cone, &[(x, 1.0)], la, lb, scratch);
+            let (pa1, pb1, _) = self.repropagate(
+                base,
+                &cache.inner,
+                &[(x, 1.0)],
+                la,
+                lb,
+                nest_scores,
+                scratch,
+            );
             let cov_a = (pa1 - pa) * px;
             let cov_b = (pb1 - pb) * px;
             let score = (cov_a * cov_b).abs() / (px * (1.0 - px));
@@ -194,28 +225,285 @@ impl SignalProbEstimator {
         }
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         scored.truncate(self.maxvers);
-        let w: Vec<AigNodeId> = scored.iter().map(|&(_, x)| x).collect();
+        if scored.is_empty() {
+            return (pa * pb).clamp(0.0, 1.0); // maxvers = 0: product rule
+        }
+        // Drop joining points whose score is negligible next to the top
+        // one: every kept point doubles the enumeration below.
+        let cutoff = scored[0].0 * 3e-3;
+        scored.retain(|&(s, _)| s >= cutoff);
+        let mut w: Vec<AigNodeId> = scored.iter().map(|&(_, x)| x).collect();
+        // Topological order: chain-rule weights condition each joining point
+        // on the pins of its ancestors.
+        w.sort_unstable();
 
-        // Enumerate the 2^|W| assignments (formula (2)).
+        // Pin-dependency masks: for each cone node, which pins can reach
+        // anything its evaluation *reads*. A node's value depends only on
+        // the assignment projected onto those pins, so values can be
+        // memoized across the 2^|W| enumeration walks below. Direct fanins
+        // alone are not enough: a node evaluated with nested conditioning
+        // reads the outer values of its whole nested cone (and of that
+        // cone's fanins), and the fanin path from such a read back to the
+        // node can leave this bounded cone — the mask must be the union
+        // over every read site, not just the fanin chain.
+        let mut dep: Vec<u32> = vec![0; cache.inner.len()];
+        for ci in 0..cache.inner.len() {
+            let x = cache.inner[ci];
+            let mut m = match w.iter().position(|&p| p == x) {
+                Some(i) => 1u32 << i,
+                None => 0,
+            };
+            let absorb = |m: &mut u32, node: AigNodeId, dep: &[u32]| {
+                if let Ok(i) = cache.inner.binary_search(&node) {
+                    *m |= dep[i];
+                }
+            };
+            if let Some((fa, fb)) = self.aig.and_fanins(x) {
+                absorb(&mut m, fa.node(), &dep);
+                absorb(&mut m, fb.node(), &dep);
+            }
+            let xcache = &self.cache[x.index()];
+            if !xcache.joining.is_empty() && xcache.inner.len() <= MAX_NESTED_CONE {
+                for &y in &xcache.inner {
+                    absorb(&mut m, y, &dep);
+                    if let Some((ga, gb)) = self.aig.and_fanins(y) {
+                        absorb(&mut m, ga.node(), &dep);
+                        absorb(&mut m, gb.node(), &dep);
+                    }
+                }
+            }
+            dep[ci] = m;
+        }
+        scratch.memo_begin(cache.inner.len() << w.len());
+
+        // Enumerate the 2^|W| assignments (formula (2)). `P(A_v)` is the
+        // *joint* probability of the assignment, accumulated by the chain
+        // rule inside `repropagate` — joining points are often correlated
+        // with each other (one may even imply another), so the product of
+        // marginals would put weight on impossible assignments.
         let mut total = 0.0f64;
+        let mut norm = 0.0f64;
         let mut pinned: Vec<(AigNodeId, f64)> = w.iter().map(|&x| (x, 0.0)).collect();
         for v in 0..(1usize << w.len()) {
+            for (i, _) in w.iter().enumerate() {
+                pinned[i].1 = f64::from((v >> i) & 1 == 1);
+            }
+            let (pa_v, pb_v, weight) = self.repropagate_memo(
+                base,
+                &cache.inner,
+                &pinned,
+                la,
+                lb,
+                scratch,
+                v,
+                &dep,
+                w.len() as u32,
+            );
+            if weight <= 0.0 {
+                continue;
+            }
+            total += weight * pa_v * pb_v;
+            norm += weight;
+        }
+        if norm <= 0.0 {
+            return (pa * pb).clamp(0.0, 1.0);
+        }
+        (total / norm).clamp(0.0, 1.0)
+    }
+
+    /// Re-propagates probabilities through `cone` (ascending = topological
+    /// order) with `pinned` node values fixed; fanins outside the cone take
+    /// their base estimate. Returns the conditional probabilities of `la`
+    /// and `lb` plus the joint probability of the pinned assignment,
+    /// accumulated by the chain rule: each pinned node contributes its
+    /// *conditional* probability given the pins already applied upstream.
+    #[allow(clippy::too_many_arguments)]
+    fn repropagate(
+        &self,
+        base: &[f64],
+        cone: &[AigNodeId],
+        pinned: &[(AigNodeId, f64)],
+        la: AigLit,
+        lb: AigLit,
+        nest: bool,
+        scratch: &mut Scratch2,
+    ) -> (f64, f64, f64) {
+        let (outer, inner) = scratch.split();
+        outer.begin();
+        let mut weight = 1.0f64;
+        for &n in cone {
+            // Conditional estimate of `n` under the pins applied so far.
+            // Nodes unaffected by the pinned set keep their base estimate:
+            // the base values already include bounded conditioning, so
+            // recomputing them with the plain product rule would *degrade*
+            // them.
+            let affected = match self.aig.and_fanins(n) {
+                Some((fa, fb)) => outer.is_set(fa.node()) || outer.is_set(fb.node()),
+                None => false,
+            };
+            let phat = if !affected {
+                base[n.index()]
+            } else if nest {
+                self.cone_node_value(base, n, outer, inner)
+            } else {
+                let (fa, fb) = self.aig.and_fanins(n).expect("affected implies AND");
+                outer.lit_value(base, fa) * outer.lit_value(base, fb)
+            };
+            if let Some(&(_, pv)) = pinned.iter().find(|&&(x, _)| x == n) {
+                weight *= if pv > 0.5 { phat } else { 1.0 - phat };
+                if weight <= 0.0 {
+                    return (0.0, 0.0, 0.0); // impossible assignment
+                }
+                outer.set(n, pv);
+            } else if affected {
+                outer.set(n, phat);
+            }
+        }
+        (outer.lit_value(base, la), outer.lit_value(base, lb), weight)
+    }
+
+    /// [`repropagate`](Self::repropagate) with nested conditioning always
+    /// on and a memo across enumeration walks: a cone node's value depends
+    /// only on the current assignment `v` projected onto the pins that
+    /// reach it (`dep`), so each distinct projection is computed once.
+    #[allow(clippy::too_many_arguments)]
+    fn repropagate_memo(
+        &self,
+        base: &[f64],
+        cone: &[AigNodeId],
+        pinned: &[(AigNodeId, f64)],
+        la: AigLit,
+        lb: AigLit,
+        scratch: &mut Scratch2,
+        v: usize,
+        dep: &[u32],
+        bits: u32,
+    ) -> (f64, f64, f64) {
+        let (outer, inner, memo) = scratch.split_memo();
+        outer.begin();
+        let mut weight = 1.0f64;
+        for (ci, &n) in cone.iter().enumerate() {
+            let affected = match self.aig.and_fanins(n) {
+                Some((fa, fb)) => outer.is_set(fa.node()) || outer.is_set(fb.node()),
+                None => false,
+            };
+            let pin_idx = pinned.iter().position(|&(x, _)| x == n);
+            let phat = if !affected {
+                base[n.index()]
+            } else {
+                // A pinned node's pre-pin estimate cannot depend on its own
+                // pin bit — mask it out so both branches share the entry.
+                let mask = dep[ci] & !pin_idx.map_or(0, |i| 1u32 << i);
+                let key = (ci << bits) | (v & mask as usize);
+                match memo.lookup(key) {
+                    Some(cached) => cached,
+                    None => {
+                        let computed = self.cone_node_value(base, n, outer, inner);
+                        memo.store(key, computed);
+                        computed
+                    }
+                }
+            };
+            if let Some(&(_, pv)) = pin_idx.map(|i| &pinned[i]) {
+                weight *= if pv > 0.5 { phat } else { 1.0 - phat };
+                if weight <= 0.0 {
+                    return (0.0, 0.0, 0.0); // impossible assignment
+                }
+                outer.set(n, pv);
+            } else if affected {
+                outer.set(n, phat);
+            }
+        }
+        (outer.lit_value(base, la), outer.lit_value(base, lb), weight)
+    }
+
+    /// Value of an affected cone AND node under the current outer context.
+    ///
+    /// A node with its own joining points carries reconvergence *inside*
+    /// the cone that the plain product rule would destroy (its base value
+    /// handled it by conditioning, but the base value is no longer valid
+    /// once upstream pins move its fanins). One level of nested
+    /// conditioning re-derives the value: enumerate the node's own joining
+    /// set in the outer context and combine with chain-rule weights.
+    fn cone_node_value(
+        &self,
+        base: &[f64],
+        n: AigNodeId,
+        outer: &Scratch,
+        inner: &mut Scratch,
+    ) -> f64 {
+        let (fa, fb) = self
+            .aig
+            .and_fanins(n)
+            .expect("cone interior node is an AND");
+        let ncache = &self.cache[n.index()];
+        if ncache.joining.is_empty() || ncache.inner.len() > MAX_NESTED_CONE {
+            let va = outer.lit_value(base, fa);
+            let vb = outer.lit_value(base, fb);
+            return va * vb;
+        }
+        // Bound the nested enumeration tighter than MAXVERS: this runs per
+        // affected node per outer assignment.
+        let mut w: Vec<AigNodeId> = ncache.joining.clone();
+        w.truncate(self.maxvers.min(MAX_NESTED_VERS));
+        let mut total = 0.0f64;
+        let mut norm = 0.0f64;
+        for v in 0..(1usize << w.len()) {
+            inner.begin();
             let mut weight = 1.0f64;
-            for (i, &x) in w.iter().enumerate() {
-                let px = base[x.index()];
-                let bit = (v >> i) & 1 == 1;
-                weight *= if bit { px } else { 1.0 - px };
-                pinned[i].1 = if bit { 1.0 } else { 0.0 };
+            for &m in &ncache.inner {
+                let affected = match self.aig.and_fanins(m) {
+                    Some((ga, gb)) => inner.is_set(ga.node()) || inner.is_set(gb.node()),
+                    None => false,
+                };
+                let phat = if affected {
+                    let (ga, gb) = self.aig.and_fanins(m).expect("affected implies AND");
+                    // Fallback chain: nested scratch → outer scratch → base.
+                    let va = inner.lit_value_over(outer, base, ga);
+                    let vb = inner.lit_value_over(outer, base, gb);
+                    va * vb
+                } else {
+                    outer.get(base, m)
+                };
+                if let Some(i) = w.iter().position(|&x| x == m) {
+                    let bit = (v >> i) & 1 == 1;
+                    weight *= if bit { phat } else { 1.0 - phat };
+                    if weight <= 0.0 {
+                        break;
+                    }
+                    inner.set(m, f64::from(bit));
+                } else if affected {
+                    inner.set(m, phat);
+                }
             }
             if weight <= 0.0 {
                 continue;
             }
-            let (pa_v, pb_v) = repropagate(&self.aig, base, &cache.cone, &pinned, la, lb, scratch);
-            total += weight * pa_v * pb_v;
+            let va = inner.lit_value_over(outer, base, fa);
+            let vb = inner.lit_value_over(outer, base, fb);
+            total += weight * va * vb;
+            norm += weight;
         }
-        total.clamp(0.0, 1.0)
+        if norm <= 0.0 {
+            let va = outer.lit_value(base, fa);
+            let vb = outer.lit_value(base, fb);
+            return va * vb;
+        }
+        (total / norm).clamp(0.0, 1.0)
     }
 }
+
+/// Cap on joining points enumerated per nested (inner) conditioning pass —
+/// the cost multiplies into every outer assignment.
+const MAX_NESTED_VERS: usize = 2;
+
+/// Nested conditioning only runs when the node's affected subgraph is this
+/// small; larger cones fall back to the product rule to keep the estimator
+/// usable inside the optimizer's hill-climbing loop.
+const MAX_NESTED_CONE: usize = 32;
+
+/// Candidate-count bound for nested conditioning inside the scoring pass.
+const MAX_NESTED_SCORING: usize = 12;
 
 /// Probability of a literal given per-node probabilities.
 pub(crate) fn lit_prob(probs: &[f64], lit: AigLit) -> f64 {
@@ -225,37 +513,6 @@ pub(crate) fn lit_prob(probs: &[f64], lit: AigLit) -> f64 {
     } else {
         p
     }
-}
-
-/// Re-propagates probabilities through `cone` (ascending node order) with
-/// `pinned` node values fixed; fanins outside the cone take their base
-/// estimate. Returns the conditional probabilities of `la` and `lb`.
-fn repropagate(
-    aig: &Aig,
-    base: &[f64],
-    cone: &[AigNodeId],
-    pinned: &[(AigNodeId, f64)],
-    la: AigLit,
-    lb: AigLit,
-    scratch: &mut Scratch,
-) -> (f64, f64) {
-    scratch.begin();
-    for &n in cone {
-        let v = if let Some(&(_, pv)) = pinned.iter().find(|&&(x, _)| x == n) {
-            pv
-        } else if let Some((fa, fb)) = aig.and_fanins(n) {
-            let va = scratch.lit_value(base, fa);
-            let vb = scratch.lit_value(base, fb);
-            va * vb
-        } else {
-            base[n.index()]
-        };
-        scratch.set(n, v);
-    }
-    (
-        scratch.lit_value(base, la),
-        scratch.lit_value(base, lb),
-    )
 }
 
 /// Epoch-stamped scratch values for conditional propagation (O(1) reset).
@@ -285,6 +542,9 @@ impl Scratch {
         self.value[n.index()] = v;
         self.stamp[n.index()] = self.epoch;
     }
+    fn is_set(&self, n: AigNodeId) -> bool {
+        self.stamp[n.index()] == self.epoch
+    }
     fn get(&self, base: &[f64], n: AigNodeId) -> f64 {
         if self.stamp[n.index()] == self.epoch {
             self.value[n.index()]
@@ -299,6 +559,81 @@ impl Scratch {
         } else {
             p
         }
+    }
+    /// Like [`lit_value`](Scratch::lit_value) with a two-level fallback:
+    /// this scratch first, then `outer`, then `base`.
+    fn lit_value_over(&self, outer: &Scratch, base: &[f64], lit: AigLit) -> f64 {
+        let n = lit.node();
+        let p = if self.is_set(n) {
+            self.value[n.index()]
+        } else {
+            outer.get(base, n)
+        };
+        if lit.is_complement() {
+            1.0 - p
+        } else {
+            p
+        }
+    }
+}
+
+/// A pair of [`Scratch`] buffers: one for the outer conditional pass and
+/// one for nested (per-cone-node) conditioning, which runs while the outer
+/// pass is mid-walk.
+#[derive(Debug)]
+struct Scratch2 {
+    outer: Scratch,
+    inner: Scratch,
+    memo: Memo,
+}
+
+impl Scratch2 {
+    fn new(n: usize) -> Self {
+        Scratch2 {
+            outer: Scratch::new(n),
+            inner: Scratch::new(n),
+            memo: Memo::default(),
+        }
+    }
+    fn split(&mut self) -> (&mut Scratch, &mut Scratch) {
+        (&mut self.outer, &mut self.inner)
+    }
+    fn split_memo(&mut self) -> (&mut Scratch, &mut Scratch, &mut Memo) {
+        (&mut self.outer, &mut self.inner, &mut self.memo)
+    }
+    /// Invalidates all memo entries and guarantees capacity for `slots`.
+    fn memo_begin(&mut self, slots: usize) {
+        self.memo.begin(slots);
+    }
+}
+
+/// Epoch-stamped memo table for nested cone values, keyed by
+/// `(cone index) << |W| | projected assignment`.
+#[derive(Debug, Default)]
+struct Memo {
+    value: Vec<f64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl Memo {
+    fn begin(&mut self, slots: usize) {
+        if self.stamp.len() < slots {
+            self.stamp.resize(slots, 0);
+            self.value.resize(slots, 0.0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+    }
+    fn lookup(&self, key: usize) -> Option<f64> {
+        (self.stamp[key] == self.epoch).then(|| self.value[key])
+    }
+    fn store(&mut self, key: usize, v: f64) {
+        self.value[key] = v;
+        self.stamp[key] = self.epoch;
     }
 }
 
@@ -410,6 +745,60 @@ mod tests {
     }
 
     #[test]
+    fn nested_reconvergence_survives_conditional_repropagation() {
+        // Regression: z = NAND(NAND(x3, x1), OR(AND(x0, x3, x6), x6, x6)).
+        // The top NAND's only joining point is x3, but the OR side contains
+        // its *own* reconvergence on x6 (repeated fanin). Re-propagating
+        // that side with the plain product rule while conditioning on x3
+        // destroyed the x6 correlation and produced 0.578 instead of the
+        // exact 0.625 (observed on `random_circuit` seed 13, node 12).
+        let mut b = CircuitBuilder::new("nested_rc");
+        let x0 = b.input("x0");
+        let x1 = b.input("x1");
+        let x3 = b.input("x3");
+        let x6 = b.input("x6");
+        let g7 = b.and(&[x0, x3, x6]);
+        let g8 = b.nand2(x3, x1);
+        let g9 = b.or(&[g7, x6, x6]);
+        let z = b.nand2(g8, g9);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let got = estimate_outputs(&ckt, &[0.5; 4], &AnalyzerParams::default());
+        // Exact: P(¬(x3·x1) ∧ (x7 ∨ x6)) = P(¬(x3·x1) ∧ x6) = 0.75·0.5,
+        // so the NAND output is 1 − 0.375 = 0.625.
+        assert!(
+            (got[0] - 0.625).abs() < 0.05,
+            "nested reconvergence mis-estimated: got {} want 0.625",
+            got[0]
+        );
+    }
+
+    #[test]
+    fn correlated_joining_points_get_joint_weights() {
+        // Regression: z = AND(AND(a, b), a). Both `AND(a, b)` and `a` are
+        // joining points of the outer AND, and they are strongly correlated
+        // (the inner AND implies a). Weighting assignments by a product of
+        // marginals puts mass on the impossible case (inner = 1, a = 0) and
+        // overestimates; chain-rule weights must recover P(a·b) exactly.
+        let mut b = CircuitBuilder::new("joint_w");
+        let a = b.input("a");
+        let c = b.input("b");
+        let t = b.and2(a, c);
+        let z = b.and2(t, a);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        for (pa, pb) in [(0.5, 0.5), (0.75, 0.25), (0.3, 0.9)] {
+            let got = estimate_outputs(&ckt, &[pa, pb], &AnalyzerParams::default());
+            let want = pa * pb;
+            assert!(
+                (got[0] - want).abs() < 1e-9,
+                "pa={pa} pb={pb}: got {} want {want}",
+                got[0]
+            );
+        }
+    }
+
+    #[test]
     fn classic_reconvergent_majority_is_exact_with_enough_maxvers() {
         // maj(a,b,c) = ab ∨ bc ∨ ac: inputs are shared across branches.
         let mut b = CircuitBuilder::new("maj");
@@ -497,4 +886,3 @@ mod tests {
         }
     }
 }
-

@@ -117,7 +117,7 @@ mod tests {
         let mut b = CircuitBuilder::new("x");
         let xs = b.input_bus("x", 5);
         let t1 = b.xor_tree(&xs);
-        let t2 = b.and_tree(&xs[1..4].to_vec());
+        let t2 = b.and_tree(&xs[1..4]);
         let z = b.nor2(t1, t2);
         b.output(z, "z");
         let ckt = b.finish().unwrap();

@@ -18,8 +18,8 @@ mod exact;
 mod monte_carlo;
 
 pub use bounds_impl::{signal_prob_bounds, ProbBounds};
-pub use estimate::SignalProbEstimator;
 pub(crate) use estimate::lit_prob as lit_prob_of;
+pub use estimate::SignalProbEstimator;
 pub use exact::{bdd_signal_probs, exhaustive_signal_probs, EXHAUSTIVE_INPUT_LIMIT};
 pub use monte_carlo::monte_carlo_signal_probs;
 

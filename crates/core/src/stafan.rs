@@ -71,6 +71,7 @@ impl StafanStats {
                 if node.fanins().is_empty() {
                     continue;
                 }
+                #[allow(clippy::needless_range_loop)]
                 for pin in 0..node.fanins().len() {
                     fanin_buf.clear();
                     for (j, &f) in node.fanins().iter().enumerate() {
@@ -81,8 +82,7 @@ impl StafanStats {
                         GateKind::Lut(lid) => circuit.lut(lid).eval_words(&fanin_buf),
                         k => k.eval_words(&fanin_buf),
                     };
-                    sens_count[id.index()][pin] +=
-                        u64::from((flipped ^ out).count_ones());
+                    sens_count[id.index()][pin] += u64::from((flipped ^ out).count_ones());
                 }
             }
         }
@@ -139,6 +139,7 @@ pub fn stafan_estimates(
         }
         node_obs[id.index()] = o;
         let node = circuit.node(id);
+        #[allow(clippy::needless_range_loop)]
         for pin in 0..node.fanins().len() {
             pin_obs[id.index()][pin] = o * stats.sensitization(id, pin);
         }

@@ -49,11 +49,7 @@ pub fn max_abs_error(xs: &[f64], ys: &[f64]) -> f64 {
 pub fn mean_abs_error(xs: &[f64], ys: &[f64]) -> f64 {
     assert_eq!(xs.len(), ys.len(), "series must have equal length");
     assert!(!xs.is_empty(), "series must be non-empty");
-    xs.iter()
-        .zip(ys)
-        .map(|(&x, &y)| (x - y).abs())
-        .sum::<f64>()
-        / xs.len() as f64
+    xs.iter().zip(ys).map(|(&x, &y)| (x - y).abs()).sum::<f64>() / xs.len() as f64
 }
 
 #[cfg(test)]

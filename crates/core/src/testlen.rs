@@ -28,7 +28,11 @@ pub const MAX_PATTERNS: u64 = 1 << 50;
 /// be covered) and 0.0 for an empty set.
 pub fn ln_set_detection_probability(ps: &[f64], n: u64) -> f64 {
     if n == 0 {
-        return if ps.is_empty() { 0.0 } else { f64::NEG_INFINITY };
+        return if ps.is_empty() {
+            0.0
+        } else {
+            f64::NEG_INFINITY
+        };
     }
     let mut total = 0.0f64;
     for &p in ps {

@@ -269,7 +269,7 @@ impl CircuitBuilder {
         assert!(!fanins.is_empty(), "tree() requires at least one fanin");
         let mut layer: Vec<NodeId> = fanins.to_vec();
         while layer.len() > 1 {
-            let mut next = Vec::with_capacity((layer.len() + 1) / 2);
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
             for pair in layer.chunks(2) {
                 if pair.len() == 2 {
                     next.push(self.push(kind, vec![pair[0], pair[1]], None));

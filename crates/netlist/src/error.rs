@@ -82,7 +82,10 @@ impl fmt::Display for NetlistError {
                 write!(f, "circuit has no primary {what}")
             }
             NetlistError::LutWidth { inputs } => {
-                write!(f, "truth-table component with {inputs} inputs (supported: 1..=16)")
+                write!(
+                    f,
+                    "truth-table component with {inputs} inputs (supported: 1..=16)"
+                )
             }
             NetlistError::UnknownLut { id } => write!(f, "unknown truth table id {id}"),
             NetlistError::Parse { line, message } => {

@@ -119,7 +119,9 @@ impl GateKind {
             GateKind::Nor => !fanin_words.iter().fold(0u64, |acc, w| acc | w),
             GateKind::Xor => fanin_words.iter().fold(0u64, |acc, w| acc ^ w),
             GateKind::Xnor => !fanin_words.iter().fold(0u64, |acc, w| acc ^ w),
-            GateKind::Lut(_) => panic!("truth-table gates are evaluated via TruthTable::eval_words"),
+            GateKind::Lut(_) => {
+                panic!("truth-table gates are evaluated via TruthTable::eval_words")
+            }
         }
     }
 
@@ -186,10 +188,7 @@ impl TruthTable {
     /// # Errors
     ///
     /// Returns [`NetlistError::LutWidth`] for unsupported widths.
-    pub fn from_fn<F: FnMut(usize) -> bool>(
-        inputs: usize,
-        mut f: F,
-    ) -> Result<Self, NetlistError> {
+    pub fn from_fn<F: FnMut(usize) -> bool>(inputs: usize, mut f: F) -> Result<Self, NetlistError> {
         if inputs == 0 || inputs > Self::MAX_INPUTS {
             return Err(NetlistError::LutWidth { inputs });
         }
@@ -207,7 +206,7 @@ impl TruthTable {
     }
 
     fn word_count(inputs: usize) -> usize {
-        ((1usize << inputs) + 63) / 64
+        (1usize << inputs).div_ceil(64)
     }
 
     /// Number of inputs of the function.

@@ -66,5 +66,5 @@ pub use write::{to_bench, to_pdl};
 
 /// Analysis passes over a [`Circuit`]: fanout maps, cones, joining points.
 pub mod analyze {
-    pub use crate::analyze_impl::{Fanouts, JoiningPoints, cone_of_influence, fanin_cone};
+    pub use crate::analyze_impl::{cone_of_influence, fanin_cone, Fanouts, JoiningPoints};
 }

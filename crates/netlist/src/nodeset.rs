@@ -14,7 +14,7 @@ impl NodeSet {
     /// Creates an empty set able to hold ids `0..capacity`.
     pub fn new(capacity: usize) -> Self {
         NodeSet {
-            words: vec![0; (capacity + 63) / 64],
+            words: vec![0; capacity.div_ceil(64)],
             len: 0,
         }
     }
@@ -67,7 +67,7 @@ impl NodeSet {
     /// Membership test.
     pub fn contains(&self, id: NodeId) -> bool {
         let (w, b) = (id.index() / 64, id.index() % 64);
-        self.words.get(w).map_or(false, |word| word & (1 << b) != 0)
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
     }
 
     /// Removes all members (O(capacity/64)).

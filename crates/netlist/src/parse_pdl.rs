@@ -175,9 +175,7 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn skip_ws(&mut self) {
-        while self.pos < self.text.len()
-            && self.text.as_bytes()[self.pos].is_ascii_whitespace()
-        {
+        while self.pos < self.text.len() && self.text.as_bytes()[self.pos].is_ascii_whitespace() {
             self.pos += 1;
         }
     }
@@ -201,7 +199,7 @@ impl<'a> Cursor<'a> {
         let start = self.pos;
         while self
             .peek()
-            .map_or(false, |c| c.is_ascii_alphanumeric() || c == b'_')
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
         {
             self.pos += 1;
         }
@@ -217,11 +215,7 @@ impl<'a> Cursor<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(self.err(format!(
-                "expected `{}` at `{}`",
-                c as char,
-                self.rest()
-            )))
+            Err(self.err(format!("expected `{}` at `{}`", c as char, self.rest())))
         }
     }
 }
@@ -274,10 +268,9 @@ fn parse_expr(
         _ => match word {
             "0" => Ok(builder.constant(false)),
             "1" => Ok(builder.constant(true)),
-            w => env
-                .get(w)
-                .copied()
-                .ok_or_else(|| NetlistError::Undefined { name: w.to_string() }),
+            w => env.get(w).copied().ok_or_else(|| NetlistError::Undefined {
+                name: w.to_string(),
+            }),
         },
     }
 }
@@ -334,19 +327,28 @@ z = or(and(a, b), and(b, c), and(a, c));
     #[test]
     fn rejects_bad_arity() {
         let src = "input a b; output z; z = not(a, b);";
-        assert!(matches!(parse_pdl("a", src), Err(NetlistError::Parse { .. })));
+        assert!(matches!(
+            parse_pdl("a", src),
+            Err(NetlistError::Parse { .. })
+        ));
     }
 
     #[test]
     fn rejects_trailing_garbage() {
         let src = "input a; output z; z = not(a) extra;";
-        assert!(matches!(parse_pdl("t", src), Err(NetlistError::Parse { .. })));
+        assert!(matches!(
+            parse_pdl("t", src),
+            Err(NetlistError::Parse { .. })
+        ));
     }
 
     #[test]
     fn rejects_undefined_output() {
         let src = "input a; output zz; z = not(a);";
-        assert!(matches!(parse_pdl("o", src), Err(NetlistError::Parse { .. })));
+        assert!(matches!(
+            parse_pdl("o", src),
+            Err(NetlistError::Parse { .. })
+        ));
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub fn transistor_count(circuit: &Circuit) -> u64 {
 /// The paper describes MULT as "built with 1 568 gate equivalents"; this is
 /// the matching metric.
 pub fn gate_equivalents(circuit: &Circuit) -> u64 {
-    (transistor_count(circuit) + 3) / 4
+    transistor_count(circuit).div_ceil(4)
 }
 
 #[cfg(test)]

@@ -67,7 +67,13 @@ pub fn to_pdl(circuit: &Circuit) -> String {
             GateKind::Lut(_) => panic!("cannot export truth-table components to PDL"),
             kind => {
                 let args: Vec<String> = node.fanins().iter().map(|&f| sig(f)).collect();
-                let _ = writeln!(out, "{} = {}({});", sig(id), kind.mnemonic(), args.join(", "));
+                let _ = writeln!(
+                    out,
+                    "{} = {}({});",
+                    sig(id),
+                    kind.mnemonic(),
+                    args.join(", ")
+                );
             }
         }
     }

@@ -78,10 +78,7 @@ pub fn coverage_run<S: PatternSource>(
     // first[i] = 1-based pattern index of first detection.
     let mut out = Vec::with_capacity(checkpoints.len());
     for &cp in checkpoints {
-        let detected = first
-            .iter()
-            .filter(|d| d.map_or(false, |n| n <= cp))
-            .count();
+        let detected = first.iter().filter(|d| d.is_some_and(|n| n <= cp)).count();
         out.push(CoverageCheckpoint {
             patterns: cp,
             detected,

@@ -106,9 +106,7 @@ impl<'c> DeductiveSim<'c> {
             scratch.clear();
             for (pin, &f) in fan.iter().enumerate() {
                 for &fi in &lists[f.index()] {
-                    scratch
-                        .entry(fi)
-                        .or_insert_with(|| vec![false; fan.len()])[pin] = true;
+                    scratch.entry(fi).or_insert_with(|| vec![false; fan.len()])[pin] = true;
                 }
             }
             for &(fi, pin, pol) in &self.local_pins[id.index()] {
@@ -118,9 +116,8 @@ impl<'c> DeductiveSim<'c> {
                 // good value.
                 let driver_val = good[fan[pin as usize].index()];
                 if driver_val != pol.bit() {
-                    scratch
-                        .entry(fi)
-                        .or_insert_with(|| vec![false; fan.len()])[pin as usize] = true;
+                    scratch.entry(fi).or_insert_with(|| vec![false; fan.len()])[pin as usize] =
+                        true;
                 } else {
                     scratch.entry(fi).or_insert_with(|| vec![false; fan.len()]);
                 }

@@ -112,12 +112,9 @@ impl Fault {
     pub fn label(&self, circuit: &Circuit) -> String {
         match self.site {
             FaultSite::Output(n) => format!("{} {}", circuit.node_label(n), self.polarity),
-            FaultSite::InputPin { gate, pin } => format!(
-                "{}.in{} {}",
-                circuit.node_label(gate),
-                pin,
-                self.polarity
-            ),
+            FaultSite::InputPin { gate, pin } => {
+                format!("{}.in{} {}", circuit.node_label(gate), pin, self.polarity)
+            }
         }
     }
 }
@@ -241,11 +238,7 @@ impl CollapsedUniverse {
 pub fn collapse_universe(circuit: &Circuit, universe: &FaultUniverse) -> CollapsedUniverse {
     use std::collections::HashMap;
 
-    let index: HashMap<Fault, usize> = universe
-        .iter()
-        .enumerate()
-        .map(|(i, f)| (f, i))
-        .collect();
+    let index: HashMap<Fault, usize> = universe.iter().enumerate().map(|(i, f)| (f, i)).collect();
     let mut dsu = Dsu::new(universe.len());
 
     for (id, node) in circuit.iter() {
@@ -442,8 +435,7 @@ mod tests {
     }
 
     #[test]
-    fn branch_faults_do_not_collapse_across_stem()
-    {
+    fn branch_faults_do_not_collapse_across_stem() {
         // a (stem) feeds AND(a, b) and OR(a, c). Branch a→AND sa0 collapses
         // with AND output sa0 but NOT with the stem fault a sa0.
         let mut b = CircuitBuilder::new("s");
@@ -459,11 +451,7 @@ mod tests {
         let col = collapse_universe(&ckt, &u);
         // Find class containing AND-output sa0.
         let and_sa0 = Fault::output(g1, StuckAt::Zero);
-        let class = col
-            .classes()
-            .iter()
-            .find(|c| c.contains(&and_sa0))
-            .unwrap();
+        let class = col.classes().iter().find(|c| c.contains(&and_sa0)).unwrap();
         assert!(class.contains(&Fault::input_pin(g1, 0, StuckAt::Zero)));
         assert!(!class.contains(&Fault::output(a, StuckAt::Zero)));
     }

@@ -2,7 +2,7 @@ use protest_netlist::analyze::Fanouts;
 use protest_netlist::{Circuit, Levels, NodeId};
 
 use crate::fault::{Fault, FaultSite};
-use crate::logic::{LogicSim, eval_node};
+use crate::logic::{eval_node, LogicSim};
 use crate::patterns::PatternSource;
 
 /// Per-fault detection statistics from a counting (non-dropping) run.

@@ -29,24 +29,23 @@
 mod coverage;
 mod deductive;
 mod fault;
-mod pattern_io;
 mod fault_sim;
 mod logic;
+mod pattern_io;
 mod patterns;
 pub mod serial;
 
 pub mod collapse {
     //! Structural fault collapsing.
-    pub use crate::fault::{CollapsedUniverse, collapse_universe};
+    pub use crate::fault::{collapse_universe, CollapsedUniverse};
 }
 
-pub use coverage::{CoverageCheckpoint, CoverageCurve, coverage_run};
+pub use coverage::{coverage_run, CoverageCheckpoint, CoverageCurve};
 pub use deductive::DeductiveSim;
-pub use fault::{CollapsedUniverse, Fault, FaultSite, FaultUniverse, StuckAt, collapse_universe};
+pub use fault::{collapse_universe, CollapsedUniverse, Fault, FaultSite, FaultUniverse, StuckAt};
 pub use fault_sim::{DetectionCounts, FaultSim};
 pub use logic::LogicSim;
 pub use pattern_io::{PatternIoError, PatternSet, ReplaySource};
 pub use patterns::{
-    ExhaustivePatterns, PatternBlock, PatternSource, UniformRandomPatterns,
-    WeightedRandomPatterns,
+    ExhaustivePatterns, PatternBlock, PatternSource, UniformRandomPatterns, WeightedRandomPatterns,
 };

@@ -96,9 +96,7 @@ impl<'c> LogicSim<'c> {
                         self.fanin_buf.push(self.values[f.index()]);
                     }
                     let v = match kind {
-                        GateKind::Lut(lid) => {
-                            self.circuit.lut(lid).eval_words(&self.fanin_buf)
-                        }
+                        GateKind::Lut(lid) => self.circuit.lut(lid).eval_words(&self.fanin_buf),
                         k => k.eval_words(&self.fanin_buf),
                     };
                     self.values[id.index()] = v;
@@ -193,8 +191,7 @@ mod tests {
         }
         let block = sim.run_block(&words);
         for pat in 0..8usize {
-            let scalar =
-                sim.run_single(&[(pat & 1) != 0, (pat & 2) != 0, (pat & 4) != 0]);
+            let scalar = sim.run_single(&[(pat & 1) != 0, (pat & 2) != 0, (pat & 4) != 0]);
             assert_eq!((block[0] >> pat) & 1 == 1, scalar[0], "pattern {pat}");
         }
     }

@@ -72,7 +72,10 @@ impl std::fmt::Display for PatternIoError {
                 write!(f, "bad pattern at line {line}: {message}")
             }
             PatternIoError::Truncated { expected, got } => {
-                write!(f, "pattern set truncated: header declared {expected}, found {got}")
+                write!(
+                    f,
+                    "pattern set truncated: header declared {expected}, found {got}"
+                )
             }
         }
     }
@@ -146,8 +149,7 @@ impl PatternSet {
             source.next_block(&mut words);
             let in_block = (count - taken).min(64);
             for bit in 0..in_block {
-                let pattern: Vec<bool> =
-                    words.iter().map(|w| (w >> bit) & 1 == 1).collect();
+                let pattern: Vec<bool> = words.iter().map(|w| (w >> bit) & 1 == 1).collect();
                 set.patterns.push(pattern);
             }
             taken += in_block;
@@ -158,7 +160,12 @@ impl PatternSet {
     /// Serializes to the text format.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "patterns {} inputs {}", self.patterns.len(), self.inputs);
+        let _ = writeln!(
+            out,
+            "patterns {} inputs {}",
+            self.patterns.len(),
+            self.inputs
+        );
         if let Some(names) = &self.names {
             let _ = writeln!(out, "names {}", names.join(" "));
         }

@@ -190,10 +190,7 @@ mod tests {
         let n = (blocks * 64) as f64;
         for (o, &p) in ones.iter().zip(&probs) {
             let freq = *o as f64 / n;
-            assert!(
-                (freq - p).abs() < 0.01,
-                "frequency {freq} too far from {p}"
-            );
+            assert!((freq - p).abs() < 0.01, "frequency {freq} too far from {p}");
         }
     }
 
@@ -225,7 +222,10 @@ mod tests {
             }
             seen[m] = true;
         }
-        assert!(seen.iter().all(|&s| s), "first 8 patterns must enumerate all minterms");
+        assert!(
+            seen.iter().all(|&s| s),
+            "first 8 patterns must enumerate all minterms"
+        );
     }
 
     #[test]
@@ -235,8 +235,7 @@ mod tests {
         src.next_block(&mut words);
         // Pattern 0 and pattern 4 are the same minterm (wrap at 4).
         let m0: usize = ((words[0] & 1) + ((words[1] & 1) << 1)) as usize;
-        let m4: usize =
-            (((words[0] >> 4) & 1) + (((words[1] >> 4) & 1) << 1)) as usize;
+        let m4: usize = (((words[0] >> 4) & 1) + (((words[1] >> 4) & 1) << 1)) as usize;
         assert_eq!(m0, m4);
     }
 }

@@ -36,11 +36,7 @@ fn simulate(circuit: &Circuit, input_words: &[u64], fault: Option<Fault>) -> Vec
     for &id in levels.order() {
         let node = circuit.node(id);
         if !matches!(node.kind(), GateKind::Input) {
-            let mut fanins: Vec<u64> = node
-                .fanins()
-                .iter()
-                .map(|&f| values[f.index()])
-                .collect();
+            let mut fanins: Vec<u64> = node.fanins().iter().map(|&f| values[f.index()]).collect();
             if let Some(Fault {
                 site: FaultSite::InputPin { gate, pin },
                 polarity,
@@ -98,7 +94,10 @@ mod tests {
         // A handful of deterministic pattern blocks.
         for seed in 0..4u64 {
             let inputs: Vec<u64> = (0..3)
-                .map(|i| seed.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17 * i as u32))
+                .map(|i| {
+                    seed.wrapping_mul(0x9E3779B97F4A7C15)
+                        .rotate_left(17 * i as u32)
+                })
                 .collect();
             logic.run_block_internal(&inputs);
             let good = logic.values().to_vec();

@@ -70,6 +70,7 @@ pub fn run_self_test<S: PatternSource>(
         let mut good_words = vec![0u32; 64];
         for (oi, &o) in outs.iter().enumerate() {
             let w = good[o.index()];
+            #[allow(clippy::needless_range_loop)]
             for pat in 0..64 {
                 if (w >> pat) & 1 == 1 {
                     good_words[pat] |= 1 << (oi % 32);
@@ -96,6 +97,7 @@ pub fn run_self_test<S: PatternSource>(
             // only the combined mask, so instead absorb good XOR mask into
             // output 0's lane. This preserves "difference ⇒ (almost surely)
             // different signature" while modeling aliasing.
+            #[allow(clippy::needless_range_loop)]
             for pat in 0..64 {
                 let mut w = good_words[pat];
                 if (detect >> pat) & 1 == 1 {

@@ -38,7 +38,7 @@ impl WeightedTapNetwork {
     /// generator — tie the input to a constant instead).
     pub fn new(numerator: u32, resolution_bits: u32) -> Self {
         assert!(
-            resolution_bits >= 1 && resolution_bits <= 16,
+            (1..=16).contains(&resolution_bits),
             "resolution out of range"
         );
         assert!(
@@ -137,10 +137,7 @@ impl WeightedTapNetwork {
 ///
 /// Panics if any probability is outside `[0, 1]` or
 /// `resolution_bits ∉ 1..=16`.
-pub fn weighted_generator_circuit(
-    probs: &[f64],
-    resolution_bits: u32,
-) -> protest_netlist::Circuit {
+pub fn weighted_generator_circuit(probs: &[f64], resolution_bits: u32) -> protest_netlist::Circuit {
     assert!(
         (1..=16).contains(&resolution_bits),
         "resolution out of range"
@@ -196,7 +193,10 @@ impl WeightedLfsrPatterns {
     /// Panics if any probability is outside `[0, 1]` or
     /// `resolution_bits ∉ 1..=16`.
     pub fn new(probs: &[f64], resolution_bits: u32, seed: u32) -> Self {
-        assert!((1..=16).contains(&resolution_bits), "resolution out of range");
+        assert!(
+            (1..=16).contains(&resolution_bits),
+            "resolution out of range"
+        );
         let denom = 1u32 << resolution_bits;
         let mut networks = Vec::with_capacity(probs.len());
         let mut constants = Vec::with_capacity(probs.len());
@@ -286,8 +286,7 @@ mod tests {
                 let taps = nw.taps();
                 let mut ones = 0u32;
                 for m in 0..(1u32 << taps) {
-                    let tap_words: Vec<u64> =
-                        (0..taps).map(|i| ((m >> i) & 1) as u64).collect();
+                    let tap_words: Vec<u64> = (0..taps).map(|i| ((m >> i) & 1) as u64).collect();
                     ones += (nw.eval_words(&tap_words) & 1) as u32;
                 }
                 // Fraction of tap assignments mapping to 1 = k / 2^taps …

@@ -32,11 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let analyzer = Analyzer::new(&circuit);
     let analysis = analyzer.run(&InputProbs::uniform(circuit.num_inputs()))?;
 
-    println!("signal probability of in_range: {:.4}", analysis.signal_probability(in_range));
     println!(
-        "(exact value: P(9 ≤ x ≤ 12) = 4/16 = {:.4})\n",
-        4.0 / 16.0
+        "signal probability of in_range: {:.4}",
+        analysis.signal_probability(in_range)
     );
+    println!("(exact value: P(9 ≤ x ≤ 12) = 4/16 = {:.4})\n", 4.0 / 16.0);
 
     // 3. Print the standard testability report with test lengths.
     let report = TestabilityReport::new(&analyzer, &analysis, &[(1.0, 0.95), (1.0, 0.999)], 5);

@@ -164,11 +164,9 @@ fn cmd_stats(circuit: &Circuit) -> Result<String, String> {
 
 fn cmd_analyze(circuit: &Circuit, opts: &Options) -> Result<String, String> {
     let analyzer = Analyzer::new(circuit);
-    let probs = InputProbs::constant(circuit.num_inputs(), opts.prob)
-        .map_err(|e| e.to_string())?;
+    let probs = InputProbs::constant(circuit.num_inputs(), opts.prob).map_err(|e| e.to_string())?;
     let analysis = analyzer.run(&probs).map_err(|e| e.to_string())?;
-    let report =
-        TestabilityReport::new(&analyzer, &analysis, &opts.testlens, opts.hardest);
+    let report = TestabilityReport::new(&analyzer, &analysis, &opts.testlens, opts.hardest);
     Ok(format!("{report}\n"))
 }
 
@@ -313,10 +311,8 @@ mod tests {
         let f = write_c17();
         let p = f.0.to_str().unwrap();
         let pats = run(&args(&["patterns", p, "--count", "256", "--seed", "9"])).unwrap();
-        let pat_path = std::env::temp_dir().join(format!(
-            "protest_cli_pats_{}.txt",
-            std::process::id()
-        ));
+        let pat_path =
+            std::env::temp_dir().join(format!("protest_cli_pats_{}.txt", std::process::id()));
         fs::write(&pat_path, pats).unwrap();
         let out = run(&args(&[
             "simulate",

@@ -59,8 +59,9 @@ pub use protest_tpg as tpg;
 pub mod prelude {
     pub use protest_circuits::{alu_74181, comp24, div16, mult_abcd};
     pub use protest_core::{
+        optimize::{HillClimber, OptimizeParams},
         Analyzer, AnalyzerParams, CircuitAnalysis, InputProbs, ObservabilityModel,
-        PinSensitivityModel, TestLength, optimize::{HillClimber, OptimizeParams},
+        PinSensitivityModel, TestLength,
     };
     pub use protest_netlist::{Circuit, CircuitBuilder, GateKind, Levels, NodeId};
     pub use protest_sim::{

@@ -44,7 +44,10 @@ fn estimator_tracks_exact_on_random_circuits() {
             / exact.len() as f64;
         assert!(mean_err < 0.06, "seed {seed}: mean error {mean_err}");
         let corr = protest_core::stats::pearson_correlation(&estimates, &exact);
-        assert!(corr > 0.9, "seed {seed}: node-probability correlation {corr}");
+        assert!(
+            corr > 0.9,
+            "seed {seed}: node-probability correlation {corr}"
+        );
     }
 }
 

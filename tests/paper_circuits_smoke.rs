@@ -1,0 +1,59 @@
+//! Smoke test over the paper's four evaluation circuits: the analyzer must
+//! return finite, well-formed probabilities for every node and every fault
+//! on each of them (Table 1's circuit set).
+
+use protest::prelude::*;
+use protest_circuits::{alu_74181, comp24, div16, mult_abcd};
+
+#[test]
+fn analyzer_is_well_formed_on_all_paper_circuits() {
+    let circuits = [
+        ("alu", alu_74181()),
+        ("mult", mult_abcd()),
+        ("div", div16()),
+        ("comp", comp24()),
+    ];
+    for (name, circuit) in circuits {
+        let analyzer = Analyzer::new(&circuit);
+        let analysis = analyzer
+            .run(&InputProbs::uniform(circuit.num_inputs()))
+            .unwrap_or_else(|e| panic!("{name}: analysis failed: {e}"));
+
+        for i in 0..circuit.num_nodes() {
+            let p = analysis.signal_probability(NodeId::from_index(i));
+            assert!(
+                p.is_finite() && (0.0..=1.0).contains(&p),
+                "{name}: node {i} signal probability {p} outside [0, 1]"
+            );
+        }
+
+        let estimates = analysis.fault_estimates();
+        assert!(!estimates.is_empty(), "{name}: no fault estimates produced");
+        assert_eq!(
+            estimates.len(),
+            analyzer.faults().len(),
+            "{name}: one estimate per fault"
+        );
+        for est in estimates {
+            assert!(
+                est.detection.is_finite() && (0.0..=1.0).contains(&est.detection),
+                "{name}: {:?} detection probability {} outside [0, 1]",
+                est.fault,
+                est.detection
+            );
+            assert!(
+                est.activation.is_finite() && (0.0..=1.0).contains(&est.activation),
+                "{name}: {:?} activation probability {} outside [0, 1]",
+                est.fault,
+                est.activation
+            );
+            assert!(
+                est.detection <= est.activation + 1e-9,
+                "{name}: {:?} detects ({}) more often than it activates ({})",
+                est.fault,
+                est.detection,
+                est.activation
+            );
+        }
+    }
+}

@@ -4,9 +4,7 @@ use proptest::prelude::*;
 use protest::prelude::*;
 use protest_circuits::{random_circuit, RandomCircuitParams};
 use protest_core::sigprob::exhaustive_signal_probs;
-use protest_core::testlen::{
-    required_test_length, set_detection_probability,
-};
+use protest_core::testlen::{required_test_length, set_detection_probability};
 use protest_core::InputProbs;
 
 proptest! {
