@@ -187,6 +187,19 @@ impl Aig {
         }
     }
 
+    /// The AIG node carrying primary input `pos`. Inputs occupy the fixed
+    /// slots `1..=num_inputs` in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= num_inputs()`.
+    pub fn input_node(&self, pos: usize) -> AigNodeId {
+        assert!(pos < self.num_inputs, "input position out of range");
+        let id = AigNodeId::from_index(pos + 1);
+        debug_assert_eq!(self.input_position(id), Some(pos));
+        id
+    }
+
     fn mk_and(&mut self, a: AigLit, b: AigLit) -> AigLit {
         // Constant folding and trivial cases.
         if a == AigLit::FALSE || b == AigLit::FALSE || a == b.not() {

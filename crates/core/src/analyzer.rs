@@ -4,11 +4,11 @@ use protest_netlist::{Circuit, NodeId};
 use protest_sim::{collapse_universe, Fault, FaultUniverse};
 
 use crate::aig::Aig;
-use crate::detect::detection_probability;
 use crate::error::CoreError;
-use crate::observe::{compute_observability, Observability};
+use crate::observe::Observability;
 use crate::params::{AnalyzerParams, InputProbs};
-use crate::sigprob::{lit_prob_of, SignalProbEstimator};
+use crate::session::AnalysisSession;
+use crate::sigprob::SignalProbEstimator;
 use crate::testlen::{self, TestLength};
 
 /// Detection estimate for one fault.
@@ -78,49 +78,38 @@ impl<'c> Analyzer<'c> {
         self.uncollapsed
     }
 
+    /// Opens an incremental [`AnalysisSession`] at the given input
+    /// probabilities — the API the optimizer hot loop uses: mutate one
+    /// input at a time and re-estimate in O(dirty cone) instead of
+    /// O(circuit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ProbsLength`] if `probs` does not match the
+    /// circuit's input count.
+    pub fn session(&self, probs: &InputProbs) -> Result<AnalysisSession<'_, 'c>, CoreError> {
+        AnalysisSession::new(self, probs)
+    }
+
     /// Runs the full analysis for one input probability vector.
+    ///
+    /// This is a thin one-shot wrapper: it opens an [`AnalysisSession`]
+    /// (see [`session`](Self::session)) and immediately finishes it into an
+    /// owned [`CircuitAnalysis`]. Callers that evaluate many probability
+    /// vectors should keep the session instead.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::ProbsLength`] if `probs` does not match the
     /// circuit's input count.
     pub fn run(&self, probs: &InputProbs) -> Result<CircuitAnalysis, CoreError> {
-        probs.check_len(self.circuit.num_inputs())?;
-        let aig_probs = self.estimator.estimate(probs.as_slice());
-        let aig = self.estimator.aig();
-        let node_probs: Vec<f64> = (0..self.circuit.num_nodes())
-            .map(|i| lit_prob_of(&aig_probs, aig.lit_of(NodeId::from_index(i))))
-            .collect();
-        let obs = compute_observability(self.circuit, &node_probs, &self.params);
-        let estimates = self
-            .faults
-            .iter()
-            .map(|&fault| {
-                let detection = detection_probability(self.circuit, fault, &node_probs, &obs);
-                let driver = fault.site.driver(self.circuit);
-                let p = node_probs[driver.index()];
-                let activation = match fault.polarity {
-                    protest_sim::StuckAt::Zero => p,
-                    protest_sim::StuckAt::One => 1.0 - p,
-                };
-                let observability = if activation > 0.0 {
-                    detection / activation
-                } else {
-                    0.0
-                };
-                FaultEstimate {
-                    fault,
-                    activation,
-                    observability,
-                    detection,
-                }
-            })
-            .collect();
-        Ok(CircuitAnalysis {
-            node_probs,
-            obs,
-            estimates,
-        })
+        Ok(self.session(probs)?.into_analysis())
+    }
+
+    /// The shared signal-probability estimator (crate-internal: sessions
+    /// drive its per-node kernel directly).
+    pub(crate) fn estimator(&self) -> &SignalProbEstimator {
+        &self.estimator
     }
 }
 
@@ -134,6 +123,19 @@ pub struct CircuitAnalysis {
 }
 
 impl CircuitAnalysis {
+    /// Assembles an analysis from a finished session's parts.
+    pub(crate) fn from_parts(
+        node_probs: Vec<f64>,
+        obs: Observability,
+        estimates: Vec<FaultEstimate>,
+    ) -> Self {
+        CircuitAnalysis {
+            node_probs,
+            obs,
+            estimates,
+        }
+    }
+
     /// Estimated `P(node = 1)`.
     pub fn signal_probability(&self, id: NodeId) -> f64 {
         self.node_probs[id.index()]

@@ -20,6 +20,29 @@
 //! The [`Analyzer`] facade wires these together; [`report`] renders
 //! human-readable testability reports.
 //!
+//! # One-shot vs incremental analysis
+//!
+//! [`Analyzer::run`] is the one-shot entry point: it evaluates one input
+//! probability vector and returns an owned [`CircuitAnalysis`]. Workloads
+//! that re-evaluate the same circuit many times while changing few inputs
+//! per step — the Sec. 6 hill climber above all — should open an
+//! [`AnalysisSession`] via [`Analyzer::session`] instead: mutations
+//! (`set_input_prob`, `set_all`) re-propagate only the affected fan-out
+//! cone, queries are lazy and cached, and `snapshot`/`revert` undo
+//! rejected trial moves in O(dirty cone). Results are bit-identical to
+//! from-scratch runs.
+//!
+//! ## Migration notes (0.1 → 0.2)
+//!
+//! * `SignalProbEstimator::estimate` is deprecated: use
+//!   [`sigprob::SignalProbEstimator::full_estimate`] for a one-shot pass,
+//!   or an [`AnalysisSession`] for repeated re-estimation.
+//! * `Analyzer::run` remains, now as a thin wrapper that opens a session
+//!   and finishes it immediately — same results, same signature.
+//! * The four `optimize*` entry points of [`optimize::HillClimber`] share
+//!   one session-driven climbing loop; their signatures and results are
+//!   unchanged.
+//!
 //! # Example
 //!
 //! ```
@@ -49,6 +72,7 @@ mod aig;
 mod analyzer;
 mod error;
 mod params;
+mod session;
 
 pub mod detect;
 pub mod observe;
@@ -64,4 +88,5 @@ pub use aig::{Aig, AigLit, AigNodeId};
 pub use analyzer::{Analyzer, CircuitAnalysis, FaultEstimate};
 pub use error::CoreError;
 pub use params::{AnalyzerParams, InputProbs, ObservabilityModel, PinSensitivityModel};
+pub use session::{AnalysisSession, SessionStats};
 pub use testlen::TestLength;

@@ -63,62 +63,115 @@ impl Observability {
 /// Computes observabilities in one reverse-topological pass.
 ///
 /// `node_probs[i]` is the signal probability of circuit node `i` (from the
-/// estimator or an exact method).
+/// estimator or an exact method). One-shot convenience around
+/// [`ObservabilityEngine`]; callers that re-evaluate the same circuit many
+/// times (the optimizer hot loop, [`crate::AnalysisSession`]) should build
+/// the engine once instead — it amortizes levelization and fanout maps.
 pub fn compute_observability(
     circuit: &Circuit,
     node_probs: &[f64],
     params: &AnalyzerParams,
 ) -> Observability {
-    assert_eq!(
-        node_probs.len(),
-        circuit.num_nodes(),
-        "one probability per node"
-    );
-    let levels = Levels::new(circuit);
-    let fanouts = Fanouts::new(circuit);
-    let mut node_s = vec![0.0f64; circuit.num_nodes()];
-    let mut pin_s: Vec<Vec<f64>> = circuit
-        .nodes()
-        .iter()
-        .map(|n| vec![0.0; n.fanins().len()])
-        .collect();
+    ObservabilityEngine::new(circuit, params).compute(node_probs)
+}
 
-    for &id in levels.order().iter().rev() {
-        // 1. Stem recombination over consuming pins (+ PO branch).
-        let mut branches: Vec<f64> = fanouts
-            .of(id)
-            .iter()
-            .map(|&(g, pin)| pin_s[g.index()][pin as usize])
-            .collect();
-        if circuit.is_output(id) {
-            branches.push(1.0);
-        }
-        let s = match params.observability {
-            ObservabilityModel::Parity => branches.into_iter().fold(0.0, xor_combine),
-            ObservabilityModel::AnyPath => {
-                1.0 - branches.into_iter().fold(1.0, |acc, b| acc * (1.0 - b))
-            }
-        };
-        let s = s.clamp(0.0, 1.0);
-        node_s[id.index()] = s;
+/// Reusable observability computation: levelization and the fanout map are
+/// built once at construction, and each pass writes into a caller-owned
+/// [`Observability`] without reallocating.
+#[derive(Debug)]
+pub struct ObservabilityEngine<'c> {
+    circuit: &'c Circuit,
+    levels: Levels,
+    fanouts: Fanouts,
+    params: AnalyzerParams,
+}
 
-        // 2. Pin sensitivities of this gate.
-        let node = circuit.node(id);
-        if node.fanins().is_empty() {
-            continue;
-        }
-        let fanin_probs: Vec<f64> = node
-            .fanins()
-            .iter()
-            .map(|&f| node_probs[f.index()])
-            .collect();
-        #[allow(clippy::needless_range_loop)]
-        for pin in 0..node.fanins().len() {
-            let sens = pin_sensitivity(circuit, node.kind(), &fanin_probs, pin, params);
-            pin_s[id.index()][pin] = (s * sens).clamp(0.0, 1.0);
+impl<'c> ObservabilityEngine<'c> {
+    /// Builds the engine (levelization + fanout map) for a circuit.
+    pub fn new(circuit: &'c Circuit, params: &AnalyzerParams) -> Self {
+        ObservabilityEngine {
+            circuit,
+            levels: Levels::new(circuit),
+            fanouts: Fanouts::new(circuit),
+            params: *params,
         }
     }
-    Observability { node_s, pin_s }
+
+    /// A zeroed [`Observability`] with the right shape for this circuit,
+    /// ready for [`compute_into`](Self::compute_into).
+    pub fn empty(&self) -> Observability {
+        Observability {
+            node_s: vec![0.0f64; self.circuit.num_nodes()],
+            pin_s: self
+                .circuit
+                .nodes()
+                .iter()
+                .map(|n| vec![0.0; n.fanins().len()])
+                .collect(),
+        }
+    }
+
+    /// One reverse-topological pass, allocating the result.
+    pub fn compute(&self, node_probs: &[f64]) -> Observability {
+        let mut obs = self.empty();
+        self.compute_into(node_probs, &mut obs);
+        obs
+    }
+
+    /// One reverse-topological pass into an existing [`Observability`]
+    /// (shaped by [`empty`](Self::empty) for the same circuit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_probs` or `obs` does not match the circuit.
+    pub fn compute_into(&self, node_probs: &[f64], obs: &mut Observability) {
+        let circuit = self.circuit;
+        assert_eq!(
+            node_probs.len(),
+            circuit.num_nodes(),
+            "one probability per node"
+        );
+        assert_eq!(obs.node_s.len(), circuit.num_nodes(), "mismatched shape");
+        let node_s = &mut obs.node_s;
+        let pin_s = &mut obs.pin_s;
+        let mut branches: Vec<f64> = Vec::new();
+        let mut fanin_probs: Vec<f64> = Vec::new();
+
+        for &id in self.levels.order().iter().rev() {
+            // 1. Stem recombination over consuming pins (+ PO branch).
+            branches.clear();
+            branches.extend(
+                self.fanouts
+                    .of(id)
+                    .iter()
+                    .map(|&(g, pin)| pin_s[g.index()][pin as usize]),
+            );
+            if circuit.is_output(id) {
+                branches.push(1.0);
+            }
+            let s = match self.params.observability {
+                ObservabilityModel::Parity => branches.iter().copied().fold(0.0, xor_combine),
+                ObservabilityModel::AnyPath => {
+                    1.0 - branches.iter().fold(1.0, |acc, &b| acc * (1.0 - b))
+                }
+            };
+            let s = s.clamp(0.0, 1.0);
+            node_s[id.index()] = s;
+
+            // 2. Pin sensitivities of this gate.
+            let node = circuit.node(id);
+            if node.fanins().is_empty() {
+                continue;
+            }
+            fanin_probs.clear();
+            fanin_probs.extend(node.fanins().iter().map(|&f| node_probs[f.index()]));
+            #[allow(clippy::needless_range_loop)]
+            for pin in 0..node.fanins().len() {
+                let sens = pin_sensitivity(circuit, node.kind(), &fanin_probs, pin, &self.params);
+                pin_s[id.index()][pin] = (s * sens).clamp(0.0, 1.0);
+            }
+        }
+    }
 }
 
 /// Probability that the gate output follows input pin `pin`.

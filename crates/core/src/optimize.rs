@@ -14,6 +14,7 @@ use rand::SeedableRng;
 use crate::analyzer::Analyzer;
 use crate::error::CoreError;
 use crate::params::InputProbs;
+use crate::session::AnalysisSession;
 use crate::testlen::{ln_expected_undetected, ln_set_detection_probability};
 
 /// Hill-climbing configuration.
@@ -181,15 +182,21 @@ impl<'a, 'c> HillClimber<'a, 'c> {
         let mut covered = vec![false; nfaults];
         let mut covered_by = vec![None; nfaults];
         let mut distributions = Vec::new();
+        // One incremental session serves every round: each `climb` resets
+        // the inputs to the uniform start (re-propagating only what that
+        // changes) and leaves the session at the round's optimum, where the
+        // detection probabilities are read back directly.
+        let start = vec![self.params.grid / 2; inputs];
+        let mut session = self
+            .analyzer
+            .session(&InputProbs::from_grid(&start, self.params.grid)?)?;
         for round in 0..max_distributions {
             if covered.iter().all(|&c| c) {
                 break;
             }
             let mask: Vec<bool> = covered.iter().map(|&c| !c).collect();
-            let start = vec![self.params.grid / 2; inputs];
-            let result = self.optimize_masked(start, Some(&mask))?;
-            let analysis = self.analyzer.run(&result.probs)?;
-            let ps = analysis.detection_probabilities();
+            let result = self.climb(&mut session, start.clone(), Some(&mask))?;
+            let ps = session.fault_detect_probs();
             let mut newly = 0usize;
             for (i, &p) in ps.iter().enumerate() {
                 if covered[i] || p <= 0.0 {
@@ -247,16 +254,35 @@ impl<'a, 'c> HillClimber<'a, 'c> {
         start: Vec<u32>,
         mask: Option<&[bool]>,
     ) -> Result<OptimizationResult, CoreError> {
-        let inputs = self.analyzer.circuit().num_inputs();
-        assert_eq!(start.len(), inputs, "one grid cell per input");
         let g = self.params.grid;
         assert!(
             start.iter().all(|&k| k >= 1 && k < g),
             "grid numerators must be in 1..grid"
         );
+        let mut session = self.analyzer.session(&InputProbs::from_grid(&start, g)?)?;
+        self.climb(&mut session, start, mask)
+    }
+
+    /// The single climbing loop shared by all four `optimize*` entry
+    /// points, driven by an incremental [`AnalysisSession`]: each trial
+    /// move mutates one input (or shifts all of them), re-propagating only
+    /// the dirty fan-out cone, and rejected moves are undone with
+    /// `snapshot`/`revert` instead of a from-scratch re-run. The session is
+    /// left positioned at the returned optimum.
+    fn climb(
+        &self,
+        session: &mut AnalysisSession<'_, '_>,
+        start: Vec<u32>,
+        mask: Option<&[bool]>,
+    ) -> Result<OptimizationResult, CoreError> {
+        let inputs = self.analyzer.circuit().num_inputs();
+        assert_eq!(start.len(), inputs, "one grid cell per input");
+        let g = self.params.grid;
         let mut ks = start;
+        session.set_all(InputProbs::from_grid(&ks, g)?.as_slice())?;
         let mut evaluations = 0usize;
-        let mut best = self.objective(&ks, mask, &mut evaluations)?;
+        let mut ps_buf: Vec<f64> = Vec::new();
+        let mut best = self.objective(session, mask, &mut evaluations, &mut ps_buf);
         let initial = best;
         let mut rng = StdRng::seed_from_u64(self.params.seed);
         let mut order: Vec<usize> = (0..inputs).collect();
@@ -272,19 +298,20 @@ impl<'a, 'c> HillClimber<'a, 'c> {
                     if cand < 1 || cand >= g {
                         continue;
                     }
-                    ks[i] = cand;
-                    let j = self.objective(&ks, mask, &mut evaluations)?;
+                    session.snapshot();
+                    session.set_input_prob(i, f64::from(cand) / f64::from(g))?;
+                    let j = self.objective(session, mask, &mut evaluations, &mut ps_buf);
+                    session.revert();
                     if j > best + 1e-12 && best_move.is_none_or(|(bj, _)| j > bj) {
                         best_move = Some((j, cand));
                     }
                 }
-                match best_move {
-                    Some((j, k)) => {
-                        ks[i] = k;
-                        best = j;
-                        improved = true;
-                    }
-                    None => ks[i] = k0,
+                if let Some((j, k)) = best_move {
+                    ks[i] = k;
+                    session.snapshot();
+                    session.set_input_prob(i, f64::from(k) / f64::from(g))?;
+                    best = j;
+                    improved = true;
                 }
             }
             // Global ±1 shifts: coordinate moves cannot follow the diagonal
@@ -301,12 +328,15 @@ impl<'a, 'c> HillClimber<'a, 'c> {
                     if cand == ks {
                         break;
                     }
-                    let j = self.objective(&cand, mask, &mut evaluations)?;
+                    session.snapshot();
+                    session.set_all(InputProbs::from_grid(&cand, g)?.as_slice())?;
+                    let j = self.objective(session, mask, &mut evaluations, &mut ps_buf);
                     if j > best + 1e-12 {
                         ks = cand;
                         best = j;
                         improved = true;
                     } else {
+                        session.revert();
                         break;
                     }
                 }
@@ -326,28 +356,30 @@ impl<'a, 'c> HillClimber<'a, 'c> {
         })
     }
 
-    /// The climbing objective at a grid point: `−ln E[#undetected]`
-    /// (see [`ln_expected_undetected`]), which is monotone-aligned with
-    /// `J_N` but keeps a usable gradient after `ln J_N` saturates to 0 in
-    /// `f64`. Detection probabilities are floored at 1e−12 so estimated-
-    /// undetectable faults stay comparable instead of poisoning the sum.
+    /// The climbing objective at the session's current point:
+    /// `−ln E[#undetected]` (see [`ln_expected_undetected`]), which is
+    /// monotone-aligned with `J_N` but keeps a usable gradient after
+    /// `ln J_N` saturates to 0 in `f64`. Detection probabilities are
+    /// floored at 1e−12 so estimated-undetectable faults stay comparable
+    /// instead of poisoning the sum.
     fn objective(
         &self,
-        ks: &[u32],
+        session: &mut AnalysisSession<'_, '_>,
         mask: Option<&[bool]>,
         evaluations: &mut usize,
-    ) -> Result<f64, CoreError> {
+        ps_buf: &mut Vec<f64>,
+    ) -> f64 {
         *evaluations += 1;
-        let probs = InputProbs::from_grid(ks, self.params.grid)?;
-        let analysis = self.analyzer.run(&probs)?;
-        let ps: Vec<f64> = analysis
-            .detection_probabilities()
-            .into_iter()
-            .enumerate()
-            .filter(|&(i, _)| mask.is_none_or(|m| m[i]))
-            .map(|(_, p)| p.max(1e-12))
-            .collect();
-        Ok(-ln_expected_undetected(&ps, self.params.n_target))
+        ps_buf.clear();
+        ps_buf.extend(
+            session
+                .fault_detect_probs()
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask.is_none_or(|m| m[i]))
+                .map(|(_, &p)| p.max(1e-12)),
+        );
+        -ln_expected_undetected(ps_buf, self.params.n_target)
     }
 
     /// `ln J_N` at a grid point (the paper's reported objective; not used

@@ -1,0 +1,431 @@
+//! Incremental analysis sessions: the optimizer-hot-loop API.
+//!
+//! The paper's headline use case (Sec. 6, Table 8) evaluates the estimator
+//! thousands of times while changing exactly *one* input probability per
+//! hill-climbing step. A from-scratch [`Analyzer::run`] re-propagates the
+//! whole circuit — and re-walks every conditioned reconvergence cone — on
+//! every call. An [`AnalysisSession`] instead owns the propagated per-node
+//! probabilities and re-evaluates only the *dirty cone*: the set of AND
+//! nodes whose read dependencies (fanins, conditioning cones, nested cones)
+//! are reached by the changed inputs, pruned further wherever a recomputed
+//! value comes out bit-identical to the old one.
+//!
+//! Results are **bit-identical** to a from-scratch pass: a node is
+//! re-evaluated whenever anything it reads changed, with the same per-node
+//! kernel and the same floating-point operation order, so by induction over
+//! the topological order every stored probability equals the value a fresh
+//! [`SignalProbEstimator::full_estimate`](crate::sigprob::SignalProbEstimator::full_estimate)
+//! would produce.
+//!
+//! # Example
+//!
+//! ```
+//! use protest_core::{Analyzer, InputProbs};
+//! use protest_netlist::CircuitBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = CircuitBuilder::new("demo");
+//! let xs = b.input_bus("x", 4);
+//! let t = b.and_tree(&xs);
+//! b.output(t, "z");
+//! let ckt = b.finish()?;
+//!
+//! let analyzer = Analyzer::new(&ckt);
+//! let mut session = analyzer.session(&InputProbs::uniform(4))?;
+//! assert!((session.signal_prob(t) - 0.5f64.powi(4)).abs() < 1e-12);
+//!
+//! // Mutate one input; only its fan-out cone is re-propagated.
+//! session.set_input_prob(0, 0.75)?;
+//! assert!((session.signal_prob(t) - 0.75 * 0.5f64.powi(3)).abs() < 1e-12);
+//!
+//! // Trial moves: snapshot, mutate, inspect, revert in O(dirty cone).
+//! session.snapshot();
+//! session.set_input_prob(1, 1.0)?;
+//! session.revert();
+//! assert!((session.signal_prob(t) - 0.75 * 0.5f64.powi(3)).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use protest_netlist::{Circuit, NodeId};
+use protest_sim::StuckAt;
+
+use crate::analyzer::{Analyzer, CircuitAnalysis, FaultEstimate};
+use crate::detect::detection_probability;
+use crate::error::CoreError;
+use crate::observe::{Observability, ObservabilityEngine};
+use crate::params::InputProbs;
+use crate::sigprob::{lit_prob_of, EvalScratch};
+
+/// Counters describing how much work a session has actually done — the
+/// observable evidence that incremental re-estimation is cheaper than
+/// from-scratch passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Mutation calls (`set_input_prob` / `set_all`) that changed anything.
+    pub mutations: u64,
+    /// AND-node kernel evaluations performed by incremental propagation
+    /// (excludes the one full pass at construction).
+    pub and_evals: u64,
+    /// `revert` calls that undid at least one change.
+    pub reverts: u64,
+    /// AND nodes in the circuit's AIG — a full pass evaluates all of them.
+    pub and_nodes: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum UndoEntry {
+    Input { pos: u32, old: f64 },
+    Node { index: u32, old: f64 },
+}
+
+/// A stateful, incremental analysis over one circuit (see the [module
+/// docs](self)).
+///
+/// Created by [`Analyzer::session`]. Mutations ([`set_input_prob`]
+/// (Self::set_input_prob), [`set_all`](Self::set_all)) re-propagate only
+/// the affected fan-out cone; queries ([`signal_probs`]
+/// (Self::signal_probs), [`observabilities`](Self::observabilities),
+/// [`fault_detect_probs`](Self::fault_detect_probs)) are lazy and cached
+/// until the next mutation. [`snapshot`](Self::snapshot) /
+/// [`revert`](Self::revert) undo rejected trial moves in O(dirty cone).
+#[derive(Debug)]
+pub struct AnalysisSession<'a, 'c> {
+    analyzer: &'a Analyzer<'c>,
+    obs_engine: ObservabilityEngine<'c>,
+    /// Read-dependency fanout lists over AIG nodes (see
+    /// `SignalProbEstimator::reader_map`), built lazily on the first
+    /// mutation: the one-shot path (`Analyzer::run`) never needs them.
+    readers: Vec<Vec<u32>>,
+    input_probs: Vec<f64>,
+    /// Per-AIG-node probabilities, kept equal to a from-scratch pass.
+    aig_probs: Vec<f64>,
+    scratch: EvalScratch,
+    /// Dirty worklist, popped in ascending (= topological) order.
+    heap: BinaryHeap<Reverse<u32>>,
+    queued: Vec<bool>,
+    /// Changes since the last `snapshot()`, newest last.
+    undo: Vec<UndoEntry>,
+    // Lazy query caches.
+    node_probs: Vec<f64>,
+    node_probs_valid: bool,
+    obs: Observability,
+    obs_valid: bool,
+    estimates: Vec<FaultEstimate>,
+    detections: Vec<f64>,
+    estimates_valid: bool,
+    stats: SessionStats,
+}
+
+impl<'a, 'c> AnalysisSession<'a, 'c> {
+    pub(crate) fn new(analyzer: &'a Analyzer<'c>, probs: &InputProbs) -> Result<Self, CoreError> {
+        probs.check_len(analyzer.circuit().num_inputs())?;
+        let est = analyzer.estimator();
+        let aig_probs = est.full_estimate(probs.as_slice());
+        let obs_engine = ObservabilityEngine::new(analyzer.circuit(), analyzer.params());
+        let obs = obs_engine.empty();
+        let n = est.aig().len();
+        Ok(AnalysisSession {
+            analyzer,
+            obs_engine,
+            readers: Vec::new(),
+            input_probs: probs.as_slice().to_vec(),
+            aig_probs,
+            scratch: est.new_scratch(),
+            heap: BinaryHeap::new(),
+            queued: vec![false; n],
+            undo: Vec::new(),
+            node_probs: vec![0.0; analyzer.circuit().num_nodes()],
+            node_probs_valid: false,
+            obs,
+            obs_valid: false,
+            estimates: Vec::with_capacity(analyzer.faults().len()),
+            detections: Vec::with_capacity(analyzer.faults().len()),
+            estimates_valid: false,
+            stats: SessionStats {
+                and_nodes: est.aig().num_ands(),
+                ..SessionStats::default()
+            },
+        })
+    }
+
+    /// The analyzer this session evaluates.
+    pub fn analyzer(&self) -> &'a Analyzer<'c> {
+        self.analyzer
+    }
+
+    /// The circuit under analysis.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.analyzer.circuit()
+    }
+
+    /// The current input probability vector.
+    pub fn input_probs(&self) -> &[f64] {
+        &self.input_probs
+    }
+
+    /// Work counters since construction.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Sets the probability of primary input `input` (position in the
+    /// circuit's input list) and re-propagates its dirty fan-out cone.
+    /// A no-op when the probability is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ProbRange`] if `p` is not a finite number in
+    /// `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is out of range.
+    pub fn set_input_prob(&mut self, input: usize, p: f64) -> Result<(), CoreError> {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(CoreError::ProbRange { value: p });
+        }
+        assert!(
+            input < self.input_probs.len(),
+            "input position out of range"
+        );
+        if self.input_probs[input] == p {
+            return Ok(());
+        }
+        self.ensure_readers();
+        self.undo.push(UndoEntry::Input {
+            pos: input as u32,
+            old: self.input_probs[input],
+        });
+        self.input_probs[input] = p;
+        let node = self.analyzer.estimator().aig().input_node(input);
+        self.write_node(node.index(), p);
+        self.stats.mutations += 1;
+        self.propagate();
+        Ok(())
+    }
+
+    /// Builds the reader map on the first mutation (one-shot sessions that
+    /// only query never pay for it).
+    fn ensure_readers(&mut self) {
+        if self.readers.is_empty() {
+            self.readers = self.analyzer.estimator().reader_map();
+        }
+    }
+
+    /// Replaces the whole input probability vector, re-propagating the
+    /// union of the changed inputs' fan-out cones (inputs whose probability
+    /// is unchanged contribute nothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ProbsLength`] on a mismatched length and
+    /// [`CoreError::ProbRange`] on an out-of-range entry (in which case the
+    /// session is left unchanged).
+    pub fn set_all(&mut self, probs: &[f64]) -> Result<(), CoreError> {
+        if probs.len() != self.input_probs.len() {
+            return Err(CoreError::ProbsLength {
+                got: probs.len(),
+                expected: self.input_probs.len(),
+            });
+        }
+        for &p in probs {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(CoreError::ProbRange { value: p });
+            }
+        }
+        self.ensure_readers();
+        let mut changed = false;
+        for (i, &p) in probs.iter().enumerate() {
+            if self.input_probs[i] == p {
+                continue;
+            }
+            self.undo.push(UndoEntry::Input {
+                pos: i as u32,
+                old: self.input_probs[i],
+            });
+            self.input_probs[i] = p;
+            let node = self.analyzer.estimator().aig().input_node(i);
+            self.write_node(node.index(), p);
+            changed = true;
+        }
+        if changed {
+            self.stats.mutations += 1;
+            self.propagate();
+        }
+        Ok(())
+    }
+
+    /// Marks the current state as the point [`revert`](Self::revert)
+    /// returns to, discarding the previous undo history.
+    pub fn snapshot(&mut self) {
+        self.undo.clear();
+    }
+
+    /// Restores the state at the last [`snapshot`](Self::snapshot) (or at
+    /// construction), undoing every mutation since in O(changed nodes).
+    pub fn revert(&mut self) {
+        if self.undo.is_empty() {
+            return;
+        }
+        while let Some(entry) = self.undo.pop() {
+            match entry {
+                UndoEntry::Input { pos, old } => self.input_probs[pos as usize] = old,
+                UndoEntry::Node { index, old } => self.aig_probs[index as usize] = old,
+            }
+        }
+        self.stats.reverts += 1;
+        self.invalidate();
+    }
+
+    /// Estimated `P(node = 1)` for every circuit node, indexable by node
+    /// index.
+    pub fn signal_probs(&mut self) -> &[f64] {
+        self.ensure_node_probs();
+        &self.node_probs
+    }
+
+    /// Estimated `P(node = 1)` for one circuit node.
+    pub fn signal_prob(&mut self, id: NodeId) -> f64 {
+        self.ensure_node_probs();
+        self.node_probs[id.index()]
+    }
+
+    /// Observabilities under the current input probabilities.
+    pub fn observabilities(&mut self) -> &Observability {
+        self.ensure_obs();
+        &self.obs
+    }
+
+    /// Detection probability estimates (`P_PROT`), aligned with
+    /// [`Analyzer::faults`].
+    pub fn fault_detect_probs(&mut self) -> &[f64] {
+        self.ensure_estimates();
+        &self.detections
+    }
+
+    /// Per-fault detection estimates, aligned with [`Analyzer::faults`].
+    pub fn fault_estimates(&mut self) -> &[FaultEstimate] {
+        self.ensure_estimates();
+        &self.estimates
+    }
+
+    /// Finishes the session into an owned [`CircuitAnalysis`] snapshot.
+    pub fn into_analysis(mut self) -> CircuitAnalysis {
+        self.ensure_estimates();
+        CircuitAnalysis::from_parts(self.node_probs, self.obs, self.estimates)
+    }
+
+    /// Records a raw AIG-node probability write (undo-logged) and enqueues
+    /// its readers.
+    fn write_node(&mut self, index: usize, p: f64) {
+        let old = self.aig_probs[index];
+        if old == p {
+            return;
+        }
+        self.undo.push(UndoEntry::Node {
+            index: index as u32,
+            old,
+        });
+        self.aig_probs[index] = p;
+        let queued = &mut self.queued;
+        let heap = &mut self.heap;
+        for &r in &self.readers[index] {
+            if !queued[r as usize] {
+                queued[r as usize] = true;
+                heap.push(Reverse(r));
+            }
+        }
+        self.invalidate();
+    }
+
+    /// Drains the dirty worklist in ascending (= topological) order,
+    /// re-evaluating each node and spreading dirtiness only where the new
+    /// value differs from the old one.
+    fn propagate(&mut self) {
+        let analyzer = self.analyzer;
+        let est = analyzer.estimator();
+        while let Some(Reverse(k)) = self.heap.pop() {
+            self.queued[k as usize] = false;
+            let id = crate::AigNodeId::from_index(k as usize);
+            let new = est.and_node_value(&self.aig_probs, id, &mut self.scratch);
+            self.stats.and_evals += 1;
+            let old = self.aig_probs[k as usize];
+            if new == old {
+                continue; // value unchanged: downstream reads see no difference
+            }
+            self.undo.push(UndoEntry::Node { index: k, old });
+            self.aig_probs[k as usize] = new;
+            let queued = &mut self.queued;
+            let heap = &mut self.heap;
+            for &r in &self.readers[k as usize] {
+                if !queued[r as usize] {
+                    queued[r as usize] = true;
+                    heap.push(Reverse(r));
+                }
+            }
+        }
+    }
+
+    fn invalidate(&mut self) {
+        self.node_probs_valid = false;
+        self.obs_valid = false;
+        self.estimates_valid = false;
+    }
+
+    fn ensure_node_probs(&mut self) {
+        if self.node_probs_valid {
+            return;
+        }
+        let aig = self.analyzer.estimator().aig();
+        for i in 0..self.node_probs.len() {
+            self.node_probs[i] = lit_prob_of(&self.aig_probs, aig.lit_of(NodeId::from_index(i)));
+        }
+        self.node_probs_valid = true;
+    }
+
+    fn ensure_obs(&mut self) {
+        if self.obs_valid {
+            return;
+        }
+        self.ensure_node_probs();
+        self.obs_engine
+            .compute_into(&self.node_probs, &mut self.obs);
+        self.obs_valid = true;
+    }
+
+    fn ensure_estimates(&mut self) {
+        if self.estimates_valid {
+            return;
+        }
+        self.ensure_obs();
+        let circuit = self.analyzer.circuit();
+        self.estimates.clear();
+        self.detections.clear();
+        for &fault in self.analyzer.faults() {
+            let detection = detection_probability(circuit, fault, &self.node_probs, &self.obs);
+            let driver = fault.site.driver(circuit);
+            let p = self.node_probs[driver.index()];
+            let activation = match fault.polarity {
+                StuckAt::Zero => p,
+                StuckAt::One => 1.0 - p,
+            };
+            let observability = if activation > 0.0 {
+                detection / activation
+            } else {
+                0.0
+            };
+            self.estimates.push(FaultEstimate {
+                fault,
+                activation,
+                observability,
+                detection,
+            });
+            self.detections.push(detection);
+        }
+        self.estimates_valid = true;
+    }
+}

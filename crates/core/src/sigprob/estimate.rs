@@ -34,11 +34,24 @@ struct AndCache {
     /// walks this set: pinning joining points cannot change any other cone
     /// node, so the rest of the cone keeps its base estimate untouched.
     inner: Vec<AigNodeId>,
+    /// For each cone node, the positions of its two fanins within `inner`
+    /// (`-1` when a fanin is outside the cone or the node is not an AND).
+    fanin_ci: Vec<[i32; 2]>,
+    /// Whether [`SignalProbEstimator::cone_node_value`] runs nested
+    /// conditioning for this cone node (its own joining set is non-empty
+    /// and its own cone is small enough).
+    nested_ok: Vec<bool>,
+    /// Per joining candidate: bitset over `inner` positions of the
+    /// candidate's descendant closure (via direct fanin edges, self
+    /// included) — exactly the nodes a walk pinning that candidate can
+    /// touch, so re-propagation skips the rest of the cone outright.
+    desc: Vec<Vec<u64>>,
 }
 
 /// The PROTEST estimator. Construction performs all graph searches; each
-/// [`estimate`](SignalProbEstimator::estimate) call is then a pure numeric
-/// pass.
+/// [`full_estimate`](SignalProbEstimator::full_estimate) call is then a
+/// pure numeric pass, and [`crate::AnalysisSession`] re-evaluates single
+/// nodes incrementally via the same per-node kernel.
 #[derive(Debug)]
 pub struct SignalProbEstimator {
     aig: Aig,
@@ -133,7 +146,45 @@ impl SignalProbEstimator {
                     inner.push(x);
                 }
             }
-            cache[k] = AndCache { joining, inner };
+            // Cone-local structure: fanin positions, nested-conditioning
+            // flags and per-candidate descendant bitsets. All value-
+            // independent, computed once so the evaluation hot loops touch
+            // no graph searches at all.
+            let words = inner.len().div_ceil(64);
+            let mut fanin_ci = vec![[-1i32; 2]; inner.len()];
+            let mut nested_ok = vec![false; inner.len()];
+            for (ci, &x) in inner.iter().enumerate() {
+                if let Some((fa, fb)) = aig.and_fanins(x) {
+                    for (side, f) in [fa, fb].into_iter().enumerate() {
+                        if let Ok(i) = inner.binary_search(&f.node()) {
+                            fanin_ci[ci][side] = i as i32;
+                        }
+                    }
+                }
+                let xc = &cache[x.index()];
+                nested_ok[ci] = !xc.joining.is_empty() && xc.inner.len() <= MAX_NESTED_CONE;
+            }
+            let mut cand_desc = Vec::with_capacity(joining.len());
+            for &x in &joining {
+                let mut bits = vec![0u64; words];
+                for (ci, &node) in inner.iter().enumerate() {
+                    let d = node == x
+                        || fanin_ci[ci].iter().any(|&fc| {
+                            fc >= 0 && (bits[fc as usize >> 6] >> (fc as usize & 63)) & 1 == 1
+                        });
+                    if d {
+                        bits[ci >> 6] |= 1 << (ci & 63);
+                    }
+                }
+                cand_desc.push(bits);
+            }
+            cache[k] = AndCache {
+                joining,
+                inner,
+                fanin_ci,
+                nested_ok,
+                desc: cand_desc,
+            };
         }
         SignalProbEstimator {
             aig,
@@ -147,12 +198,17 @@ impl SignalProbEstimator {
         &self.aig
     }
 
-    /// Estimates `P(node = 1)` for every AIG node.
+    /// Estimates `P(node = 1)` for every AIG node in one full pass.
+    ///
+    /// For repeated evaluations that change few inputs between calls, build
+    /// an [`crate::AnalysisSession`] instead: it re-propagates only the
+    /// dirty fan-out cone of the changed inputs and produces bit-identical
+    /// results.
     ///
     /// # Panics
     ///
     /// Panics if `input_probs.len() != aig.num_inputs()`.
-    pub fn estimate(&self, input_probs: &[f64]) -> Vec<f64> {
+    pub fn full_estimate(&self, input_probs: &[f64]) -> Vec<f64> {
         assert_eq!(
             input_probs.len(),
             self.aig.num_inputs(),
@@ -162,31 +218,126 @@ impl SignalProbEstimator {
         let mut probs = vec![0.0f64; n];
         // Node 0 is constant TRUE.
         probs[0] = 1.0;
-        let mut scratch = Scratch2::new(n);
+        let mut scratch = self.new_scratch();
         for k in 1..n {
             let id = AigNodeId::from_index(k);
             if let Some(pos) = self.aig.input_position(id) {
                 probs[k] = input_probs[pos];
                 continue;
             }
-            let (la, lb) = self
-                .aig
-                .and_fanins(id)
-                .expect("non-input, non-constant AIG node is an AND");
-            let cache = &self.cache[k];
-            if cache.joining.is_empty() {
-                probs[k] = lit_prob(&probs, la) * lit_prob(&probs, lb);
-                continue;
-            }
-            probs[k] = self.conditioned(&probs, la, lb, cache, &mut scratch);
+            probs[k] = self.and_node_value(&probs, id, &mut scratch);
         }
         probs
     }
 
+    /// Deprecated name of [`full_estimate`](Self::full_estimate).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Analyzer::session` / `AnalysisSession` for repeated \
+                re-estimation, or `full_estimate` for a one-shot pass"
+    )]
+    pub fn estimate(&self, input_probs: &[f64]) -> Vec<f64> {
+        self.full_estimate(input_probs)
+    }
+
+    /// Fresh scratch space sized for this estimator's AIG.
+    pub(crate) fn new_scratch(&self) -> Scratch2 {
+        Scratch2::new(self.aig.len())
+    }
+
+    /// Evaluates one AND node given the current per-node probabilities of
+    /// everything the node *reads* (its fanins plus its conditioning cone;
+    /// see [`reader_map`](Self::reader_map)). This is the per-node kernel
+    /// shared by [`full_estimate`](Self::full_estimate) and the incremental
+    /// session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an AND node.
+    pub(crate) fn and_node_value(
+        &self,
+        probs: &[f64],
+        id: AigNodeId,
+        scratch: &mut Scratch2,
+    ) -> f64 {
+        let (la, lb) = self
+            .aig
+            .and_fanins(id)
+            .expect("non-input, non-constant AIG node is an AND");
+        let cache = &self.cache[id.index()];
+        if cache.joining.is_empty() {
+            return lit_prob(probs, la) * lit_prob(probs, lb);
+        }
+        self.conditioned(probs, id.index(), la, lb, cache, scratch)
+    }
+
+    /// The read-dependency fan-out map: `readers[x]` lists every AND node
+    /// whose [`and_node_value`](Self::and_node_value) *reads* the base
+    /// probability of `x` — its direct fanins, its conditioning cone
+    /// (`inner`), the fanins of the cone nodes, and the nested cones that
+    /// [`cone_node_value`](Self::cone_node_value) may consult. Incremental
+    /// re-propagation is sound exactly when a node is re-evaluated whenever
+    /// any member of its read set changes value, so this map (not the plain
+    /// structural fanout map) drives the session's dirty propagation.
+    ///
+    /// Every read of an AND node lies in its transitive fanin, so
+    /// `readers[x]` only contains indices greater than `x` — a worklist
+    /// popped in ascending order visits nodes in dependency order.
+    pub(crate) fn reader_map(&self) -> Vec<Vec<u32>> {
+        let n = self.aig.len();
+        let mut readers: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut readset: Vec<u32> = Vec::new();
+        for k in 0..n {
+            let id = AigNodeId::from_index(k);
+            let Some((la, lb)) = self.aig.and_fanins(id) else {
+                continue;
+            };
+            readset.clear();
+            readset.push(la.node().index() as u32);
+            readset.push(lb.node().index() as u32);
+            for &x in &self.cache[k].inner {
+                readset.push(x.index() as u32);
+                if let Some((fa, fb)) = self.aig.and_fanins(x) {
+                    readset.push(fa.node().index() as u32);
+                    readset.push(fb.node().index() as u32);
+                }
+                // Nested conditioning reads x's own cone (and its fanins)
+                // whenever `cone_node_value` decides to run it.
+                let xcache = &self.cache[x.index()];
+                if !xcache.joining.is_empty() && xcache.inner.len() <= MAX_NESTED_CONE {
+                    for &y in &xcache.inner {
+                        readset.push(y.index() as u32);
+                        if let Some((ga, gb)) = self.aig.and_fanins(y) {
+                            readset.push(ga.node().index() as u32);
+                            readset.push(gb.node().index() as u32);
+                        }
+                    }
+                }
+            }
+            readset.sort_unstable();
+            readset.dedup();
+            for &r in &readset {
+                // Node 0 is the constant; its value never changes.
+                if r != 0 {
+                    readers[r as usize].push(k as u32);
+                }
+            }
+        }
+        readers
+    }
+
     /// Case-4 computation: select `W`, enumerate its assignments.
+    ///
+    /// `k` is the node's own index; the scratch keeps a per-node cache of
+    /// the `W`-dependent (but value-independent) structures — pin-dependency
+    /// masks and the affected sublist — so a persistent scratch (an
+    /// [`crate::AnalysisSession`]) skips rebuilding them whenever the
+    /// selected conditioning set is unchanged since the node's last
+    /// evaluation.
     fn conditioned(
         &self,
         base: &[f64],
+        k: usize,
         la: AigLit,
         lb: AigLit,
         cache: &AndCache,
@@ -198,26 +349,18 @@ impl SignalProbEstimator {
         // conditioning during scoring sharpens the ranking, but its cost
         // multiplies with the candidate count — restrict it to small sets.
         let nest_scores = cache.joining.len() <= MAX_NESTED_SCORING;
-        let mut scored: Vec<(f64, AigNodeId)> = Vec::with_capacity(cache.joining.len());
-        for &x in &cache.joining {
+        let mut scored: Vec<(f64, u32)> = Vec::with_capacity(cache.joining.len());
+        for (j, &x) in cache.joining.iter().enumerate() {
             let px = base[x.index()];
             if px <= f64::EPSILON || px >= 1.0 - f64::EPSILON {
                 continue; // deterministic node carries no correlation
             }
-            let (pa1, pb1, _) = self.repropagate(
-                base,
-                &cache.inner,
-                &[(x, 1.0)],
-                la,
-                lb,
-                nest_scores,
-                scratch,
-            );
+            let (pa1, pb1) = self.repropagate_scoring(base, cache, j, nest_scores, la, lb, scratch);
             let cov_a = (pa1 - pa) * px;
             let cov_b = (pb1 - pb) * px;
             let score = (cov_a * cov_b).abs() / (px * (1.0 - px));
             if score > 1e-15 {
-                scored.push((score, x));
+                scored.push((score, j as u32));
             }
         }
         if scored.is_empty() {
@@ -232,72 +375,62 @@ impl SignalProbEstimator {
         // one: every kept point doubles the enumeration below.
         let cutoff = scored[0].0 * 3e-3;
         scored.retain(|&(s, _)| s >= cutoff);
-        let mut w: Vec<AigNodeId> = scored.iter().map(|&(_, x)| x).collect();
+        let mut w_idx: Vec<u32> = scored.iter().map(|&(_, j)| j).collect();
         // Topological order: chain-rule weights condition each joining point
-        // on the pins of its ancestors.
-        w.sort_unstable();
+        // on the pins of its ancestors (`joining` is ascending, so sorting
+        // the candidate indices sorts the nodes).
+        w_idx.sort_unstable();
 
-        // Pin-dependency masks: for each cone node, which pins can reach
-        // anything its evaluation *reads*. A node's value depends only on
-        // the assignment projected onto those pins, so values can be
-        // memoized across the 2^|W| enumeration walks below. Direct fanins
-        // alone are not enough: a node evaluated with nested conditioning
-        // reads the outer values of its whole nested cone (and of that
-        // cone's fanins), and the fanin path from such a read back to the
-        // node can leave this bounded cone — the mask must be the union
-        // over every read site, not just the fanin chain.
-        let mut dep: Vec<u32> = vec![0; cache.inner.len()];
-        for ci in 0..cache.inner.len() {
-            let x = cache.inner[ci];
-            let mut m = match w.iter().position(|&p| p == x) {
-                Some(i) => 1u32 << i,
-                None => 0,
-            };
-            let absorb = |m: &mut u32, node: AigNodeId, dep: &[u32]| {
-                if let Ok(i) = cache.inner.binary_search(&node) {
-                    *m |= dep[i];
-                }
-            };
-            if let Some((fa, fb)) = self.aig.and_fanins(x) {
-                absorb(&mut m, fa.node(), &dep);
-                absorb(&mut m, fb.node(), &dep);
-            }
-            let xcache = &self.cache[x.index()];
-            if !xcache.joining.is_empty() && xcache.inner.len() <= MAX_NESTED_CONE {
-                for &y in &xcache.inner {
-                    absorb(&mut m, y, &dep);
-                    if let Some((ga, gb)) = self.aig.and_fanins(y) {
-                        absorb(&mut m, ga.node(), &dep);
-                        absorb(&mut m, gb.node(), &dep);
-                    }
-                }
-            }
-            dep[ci] = m;
+        // W-dependent, value-independent structures: pin-dependency masks
+        // and the affected sublist (union of the pins' descendant bitsets —
+        // the only cone nodes an enumeration walk can touch). Rebuilt only
+        // when the selected W differs from this node's last evaluation with
+        // this scratch.
+        if scratch.cond[k].w != w_idx {
+            let dep = self.build_dep_masks(cache, &w_idx);
+            let affected = affected_sublist(cache, &w_idx);
+            let cc = &mut scratch.cond[k];
+            cc.w = w_idx.clone();
+            cc.dep = dep;
+            cc.affected = affected;
         }
-        scratch.memo_begin(cache.inner.len() << w.len());
+        scratch.memo_begin(cache.inner.len() << w_idx.len());
+        let Scratch2 {
+            outer,
+            inner,
+            memo,
+            cond,
+        } = scratch;
+        let cc = &cond[k];
 
         // Enumerate the 2^|W| assignments (formula (2)). `P(A_v)` is the
         // *joint* probability of the assignment, accumulated by the chain
-        // rule inside `repropagate` — joining points are often correlated
+        // rule inside the walk — joining points are often correlated
         // with each other (one may even imply another), so the product of
         // marginals would put weight on impossible assignments.
         let mut total = 0.0f64;
         let mut norm = 0.0f64;
-        let mut pinned: Vec<(AigNodeId, f64)> = w.iter().map(|&x| (x, 0.0)).collect();
-        for v in 0..(1usize << w.len()) {
-            for (i, _) in w.iter().enumerate() {
+        let mut pinned: Vec<(AigNodeId, f64)> = w_idx
+            .iter()
+            .map(|&j| (cache.joining[j as usize], 0.0))
+            .collect();
+        for v in 0..(1usize << w_idx.len()) {
+            for (i, _) in w_idx.iter().enumerate() {
                 pinned[i].1 = f64::from((v >> i) & 1 == 1);
             }
             let (pa_v, pb_v, weight) = self.repropagate_memo(
                 base,
-                &cache.inner,
+                cache,
+                &cc.affected,
                 &pinned,
                 la,
                 lb,
-                scratch,
+                outer,
+                inner,
+                memo,
                 v,
-                &dep,
-                w.len() as u32,
+                &cc.dep,
+                w_idx.len() as u32,
             );
             if weight <= 0.0 {
                 continue;
@@ -311,84 +444,131 @@ impl SignalProbEstimator {
         (total / norm).clamp(0.0, 1.0)
     }
 
-    /// Re-propagates probabilities through `cone` (ascending = topological
-    /// order) with `pinned` node values fixed; fanins outside the cone take
-    /// their base estimate. Returns the conditional probabilities of `la`
-    /// and `lb` plus the joint probability of the pinned assignment,
-    /// accumulated by the chain rule: each pinned node contributes its
-    /// *conditional* probability given the pins already applied upstream.
-    #[allow(clippy::too_many_arguments)]
-    fn repropagate(
-        &self,
-        base: &[f64],
-        cone: &[AigNodeId],
-        pinned: &[(AigNodeId, f64)],
-        la: AigLit,
-        lb: AigLit,
-        nest: bool,
-        scratch: &mut Scratch2,
-    ) -> (f64, f64, f64) {
-        let (outer, inner) = scratch.split();
-        outer.begin();
-        let mut weight = 1.0f64;
-        for &n in cone {
-            // Conditional estimate of `n` under the pins applied so far.
-            // Nodes unaffected by the pinned set keep their base estimate:
-            // the base values already include bounded conditioning, so
-            // recomputing them with the plain product rule would *degrade*
-            // them.
-            let affected = match self.aig.and_fanins(n) {
-                Some((fa, fb)) => outer.is_set(fa.node()) || outer.is_set(fb.node()),
-                None => false,
+    /// Pin-dependency masks: for each cone node, which pins can reach
+    /// anything its evaluation *reads*. A node's value depends only on
+    /// the assignment projected onto those pins, so values can be
+    /// memoized across the 2^|W| enumeration walks. Direct fanins
+    /// alone are not enough: a node evaluated with nested conditioning
+    /// reads the outer values of its whole nested cone (and of that
+    /// cone's fanins), and the fanin path from such a read back to the
+    /// node can leave this bounded cone — the mask must be the union
+    /// over every read site, not just the fanin chain.
+    fn build_dep_masks(&self, cache: &AndCache, w_idx: &[u32]) -> Vec<u32> {
+        let mut dep: Vec<u32> = vec![0; cache.inner.len()];
+        for ci in 0..cache.inner.len() {
+            let x = cache.inner[ci];
+            let mut m = match w_idx.iter().position(|&j| cache.joining[j as usize] == x) {
+                Some(i) => 1u32 << i,
+                None => 0,
             };
-            let phat = if !affected {
-                base[n.index()]
-            } else if nest {
-                self.cone_node_value(base, n, outer, inner)
-            } else {
-                let (fa, fb) = self.aig.and_fanins(n).expect("affected implies AND");
-                outer.lit_value(base, fa) * outer.lit_value(base, fb)
-            };
-            if let Some(&(_, pv)) = pinned.iter().find(|&&(x, _)| x == n) {
-                weight *= if pv > 0.5 { phat } else { 1.0 - phat };
-                if weight <= 0.0 {
-                    return (0.0, 0.0, 0.0); // impossible assignment
+            for &fc in &cache.fanin_ci[ci] {
+                if fc >= 0 {
+                    m |= dep[fc as usize];
                 }
-                outer.set(n, pv);
-            } else if affected {
-                outer.set(n, phat);
             }
+            if cache.nested_ok[ci] {
+                let absorb = |m: &mut u32, node: AigNodeId, dep: &[u32]| {
+                    if let Ok(i) = cache.inner.binary_search(&node) {
+                        *m |= dep[i];
+                    }
+                };
+                let xcache = &self.cache[x.index()];
+                for &y in &xcache.inner {
+                    absorb(&mut m, y, &dep);
+                    if let Some((ga, gb)) = self.aig.and_fanins(y) {
+                        absorb(&mut m, ga.node(), &dep);
+                        absorb(&mut m, gb.node(), &dep);
+                    }
+                }
+            }
+            dep[ci] = m;
         }
-        (outer.lit_value(base, la), outer.lit_value(base, lb), weight)
+        dep
     }
 
-    /// [`repropagate`](Self::repropagate) with nested conditioning always
-    /// on and a memo across enumeration walks: a cone node's value depends
-    /// only on the current assignment `v` projected onto the pins that
-    /// reach it (`dep`), so each distinct projection is computed once.
+    /// Scoring walk: re-propagates the cone with joining candidate `j`
+    /// pinned to 1 and returns the conditional probabilities of `la` and
+    /// `lb`. Only the candidate's descendant sublist is visited — the rest
+    /// of the cone provably keeps its base estimate.
+    #[allow(clippy::too_many_arguments)]
+    fn repropagate_scoring(
+        &self,
+        base: &[f64],
+        cache: &AndCache,
+        j: usize,
+        nest: bool,
+        la: AigLit,
+        lb: AigLit,
+        scratch: &mut Scratch2,
+    ) -> (f64, f64) {
+        let x = cache.joining[j];
+        let (outer, inner) = scratch.split();
+        outer.begin();
+        for (wi, &word0) in cache.desc[j].iter().enumerate() {
+            let mut word = word0;
+            while word != 0 {
+                let ci = (wi << 6) | word.trailing_zeros() as usize;
+                word &= word - 1;
+                let n = cache.inner[ci];
+                // Conditional estimate of `n` under the pin. Nodes
+                // unaffected by it keep their base estimate: the base
+                // values already include bounded conditioning, so
+                // recomputing them with the plain product rule would
+                // *degrade* them.
+                let affected = match self.aig.and_fanins(n) {
+                    Some((fa, fb)) => outer.is_set(fa.node()) || outer.is_set(fb.node()),
+                    None => false,
+                };
+                let phat = if !affected {
+                    base[n.index()]
+                } else if nest {
+                    self.cone_node_value(base, n, outer, inner)
+                } else {
+                    let (fa, fb) = self.aig.and_fanins(n).expect("affected implies AND");
+                    outer.lit_value(base, fa) * outer.lit_value(base, fb)
+                };
+                if n == x {
+                    outer.set(n, 1.0);
+                } else if affected {
+                    outer.set(n, phat);
+                }
+            }
+        }
+        (outer.lit_value(base, la), outer.lit_value(base, lb))
+    }
+
+    /// Enumeration walk with nested conditioning always on and a memo
+    /// across walks: a cone node's value depends only on the current
+    /// assignment `v` projected onto the pins that reach it (`dep`), so
+    /// each distinct projection is computed once. Visits only `affected`
+    /// (the union of the pins' descendant sublists, ascending).
     #[allow(clippy::too_many_arguments)]
     fn repropagate_memo(
         &self,
         base: &[f64],
-        cone: &[AigNodeId],
+        cache: &AndCache,
+        affected: &[u32],
         pinned: &[(AigNodeId, f64)],
         la: AigLit,
         lb: AigLit,
-        scratch: &mut Scratch2,
+        outer: &mut Scratch,
+        inner: &mut Scratch,
+        memo: &mut Memo,
         v: usize,
         dep: &[u32],
         bits: u32,
     ) -> (f64, f64, f64) {
-        let (outer, inner, memo) = scratch.split_memo();
         outer.begin();
         let mut weight = 1.0f64;
-        for (ci, &n) in cone.iter().enumerate() {
-            let affected = match self.aig.and_fanins(n) {
+        for &ci in affected {
+            let ci = ci as usize;
+            let n = cache.inner[ci];
+            let is_affected = match self.aig.and_fanins(n) {
                 Some((fa, fb)) => outer.is_set(fa.node()) || outer.is_set(fb.node()),
                 None => false,
             };
             let pin_idx = pinned.iter().position(|&(x, _)| x == n);
-            let phat = if !affected {
+            let phat = if !is_affected {
                 base[n.index()]
             } else {
                 // A pinned node's pre-pin estimate cannot depend on its own
@@ -410,7 +590,7 @@ impl SignalProbEstimator {
                     return (0.0, 0.0, 0.0); // impossible assignment
                 }
                 outer.set(n, pv);
-            } else if affected {
+            } else if is_affected {
                 outer.set(n, phat);
             }
         }
@@ -444,14 +624,26 @@ impl SignalProbEstimator {
         }
         // Bound the nested enumeration tighter than MAXVERS: this runs per
         // affected node per outer assignment.
-        let mut w: Vec<AigNodeId> = ncache.joining.clone();
-        w.truncate(self.maxvers.min(MAX_NESTED_VERS));
+        let wn = ncache.joining.len().min(self.maxvers.min(MAX_NESTED_VERS));
+        let w = &ncache.joining[..wn];
+        // The nested cone has at most MAX_NESTED_CONE (= 32) entries, so
+        // the descendant bitsets are single words; the walk visits only the
+        // pins' descendant closure (everything else falls back to the outer
+        // context / base values unchanged).
+        let mut sublist: u64 = 0;
+        for d in &ncache.desc[..wn] {
+            sublist |= d[0];
+        }
         let mut total = 0.0f64;
         let mut norm = 0.0f64;
-        for v in 0..(1usize << w.len()) {
+        for v in 0..(1usize << wn) {
             inner.begin();
             let mut weight = 1.0f64;
-            for &m in &ncache.inner {
+            let mut bitsleft = sublist;
+            while bitsleft != 0 {
+                let ci = bitsleft.trailing_zeros() as usize;
+                bitsleft &= bitsleft - 1;
+                let m = ncache.inner[ci];
                 let affected = match self.aig.and_fanins(m) {
                     Some((ga, gb)) => inner.is_set(ga.node()) || inner.is_set(gb.node()),
                     None => false,
@@ -579,12 +771,32 @@ impl Scratch {
 
 /// A pair of [`Scratch`] buffers: one for the outer conditional pass and
 /// one for nested (per-cone-node) conditioning, which runs while the outer
-/// pass is mid-walk.
+/// pass is mid-walk. Opaque outside this module; obtained via
+/// [`SignalProbEstimator::new_scratch`].
 #[derive(Debug)]
-struct Scratch2 {
+pub(crate) struct Scratch2 {
     outer: Scratch,
     inner: Scratch,
     memo: Memo,
+    /// Per-node cache of the last evaluation's `W`-dependent structures
+    /// (selected pin set, pin-dependency masks, affected sublist). All
+    /// value-independent given `W`, so a *persistent* scratch — an
+    /// [`crate::AnalysisSession`] — skips rebuilding them whenever a
+    /// re-evaluated node selects the same conditioning set as last time.
+    /// A fresh scratch (every [`SignalProbEstimator::full_estimate`] call)
+    /// starts cold, exactly like the stateless API always has.
+    cond: Vec<CondState>,
+}
+
+/// See [`Scratch2::cond`].
+#[derive(Debug, Default)]
+struct CondState {
+    /// Joining-candidate indices of the last selected `W` (ascending).
+    w: Vec<u32>,
+    /// Pin-dependency masks over the full cone for that `W`.
+    dep: Vec<u32>,
+    /// Union of the pins' descendant sublists (cone indices, ascending).
+    affected: Vec<u32>,
 }
 
 impl Scratch2 {
@@ -593,18 +805,42 @@ impl Scratch2 {
             outer: Scratch::new(n),
             inner: Scratch::new(n),
             memo: Memo::default(),
+            cond: (0..n).map(|_| CondState::default()).collect(),
         }
     }
     fn split(&mut self) -> (&mut Scratch, &mut Scratch) {
         (&mut self.outer, &mut self.inner)
     }
-    fn split_memo(&mut self) -> (&mut Scratch, &mut Scratch, &mut Memo) {
-        (&mut self.outer, &mut self.inner, &mut self.memo)
-    }
     /// Invalidates all memo entries and guarantees capacity for `slots`.
     fn memo_begin(&mut self, slots: usize) {
         self.memo.begin(slots);
     }
+}
+
+/// Calls `f` with each set-bit position of `words`, ascending.
+fn for_each_set_bit(words: &[u64], mut f: impl FnMut(usize)) {
+    for (wi, &word0) in words.iter().enumerate() {
+        let mut word = word0;
+        while word != 0 {
+            f((wi << 6) | word.trailing_zeros() as usize);
+            word &= word - 1;
+        }
+    }
+}
+
+/// The cone indices (ascending) a walk pinning `w_idx` can touch: the
+/// union of the candidates' descendant bitsets.
+fn affected_sublist(cache: &AndCache, w_idx: &[u32]) -> Vec<u32> {
+    let words = cache.desc.first().map_or(0, Vec::len);
+    let mut mask = vec![0u64; words];
+    for &j in w_idx {
+        for (wi, &d) in cache.desc[j as usize].iter().enumerate() {
+            mask[wi] |= d;
+        }
+    }
+    let mut out = Vec::new();
+    for_each_set_bit(&mask, |ci| out.push(ci as u32));
+    out
 }
 
 /// Epoch-stamped memo table for nested cone values, keyed by
@@ -686,7 +922,7 @@ mod tests {
     ) -> Vec<f64> {
         let aig = Aig::from_circuit(circuit);
         let est = SignalProbEstimator::new(aig, params);
-        let node_probs = est.estimate(probs);
+        let node_probs = est.full_estimate(probs);
         circuit
             .outputs()
             .iter()

@@ -7,14 +7,18 @@
 //! ```
 
 use protest::prelude::*;
+use protest_core::testlen::required_test_length_fraction;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = comp24();
     let analyzer = Analyzer::new(&circuit);
 
+    // One incremental session serves the whole example: the uniform
+    // baseline, and the re-analysis at the optimized point.
+    let mut session = analyzer.session(&InputProbs::uniform(circuit.num_inputs()))?;
+
     // Conventional random test at p = 0.5.
-    let uniform = analyzer.run(&InputProbs::uniform(circuit.num_inputs()))?;
-    let n_uniform = uniform.required_test_length(1.0, 0.95);
+    let n_uniform = required_test_length_fraction(session.fault_detect_probs(), 1.0, 0.95);
     println!(
         "uniform patterns:   N = {}",
         n_uniform.map_or("unreachable".into(), |t| t.patterns.to_string())
@@ -45,8 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
 
-    let optimized = analyzer.run(&result.probs)?;
-    let n_opt = optimized.required_test_length(1.0, 0.95);
+    // Move the session to the optimized point: only the cones of the
+    // inputs whose probability actually moved are re-propagated.
+    session.set_all(result.probs.as_slice())?;
+    let n_opt = required_test_length_fraction(session.fault_detect_probs(), 1.0, 0.95);
     println!(
         "optimized patterns: N = {}",
         n_opt.map_or("unreachable".into(), |t| t.patterns.to_string())

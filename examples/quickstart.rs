@@ -28,15 +28,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.output(in_range, "in_range");
     let circuit = b.finish()?;
 
-    // 2. Analyze with uniform random inputs (p = 0.5 everywhere).
+    // 2. Analyze with uniform random inputs (p = 0.5 everywhere), through
+    //    an incremental session so follow-up what-ifs are cheap.
     let analyzer = Analyzer::new(&circuit);
-    let analysis = analyzer.run(&InputProbs::uniform(circuit.num_inputs()))?;
+    let mut session = analyzer.session(&InputProbs::uniform(circuit.num_inputs()))?;
 
     println!(
         "signal probability of in_range: {:.4}",
-        analysis.signal_probability(in_range)
+        session.signal_prob(in_range)
     );
     println!("(exact value: P(9 ≤ x ≤ 12) = 4/16 = {:.4})\n", 4.0 / 16.0);
+
+    // What-if: bias the top bit high. Only its fan-out cone is
+    // re-propagated, not the whole circuit.
+    session.set_input_prob(3, 0.9)?;
+    println!(
+        "with P(x3) = 0.9 the output rises to {:.4}\n",
+        session.signal_prob(in_range)
+    );
+    session.set_input_prob(3, 0.5)?; // back to uniform
+    let analysis = session.into_analysis();
 
     // 3. Print the standard testability report with test lengths.
     let report = TestabilityReport::new(&analyzer, &analysis, &[(1.0, 0.95), (1.0, 0.999)], 5);

@@ -29,6 +29,7 @@ use std::process::ExitCode;
 use protest::prelude::*;
 use protest_core::optimize::{HillClimber, OptimizeParams};
 use protest_core::report::TestabilityReport;
+use protest_core::testlen::required_test_length_fraction;
 use protest_core::InputProbs;
 use protest_netlist::{parse_bench, parse_pdl, CircuitStats};
 use protest_sim::{coverage_run, PatternSet, ReplaySource};
@@ -189,10 +190,10 @@ fn cmd_optimize(circuit: &Circuit, opts: &Options) -> Result<String, String> {
     for (&id, p) in circuit.inputs().iter().zip(result.probs.as_slice()) {
         let _ = writeln!(out, "{} {:.4}", circuit.node_label(id), p);
     }
-    let analysis = analyzer.run(&result.probs).map_err(|e| e.to_string())?;
+    // Re-use an incremental session for the post-optimization queries.
+    let mut session = analyzer.session(&result.probs).map_err(|e| e.to_string())?;
     for &(d, e) in &opts.testlens {
-        let n = analysis
-            .required_test_length(d, e)
+        let n = required_test_length_fraction(session.fault_detect_probs(), d, e)
             .map_or("unreachable".to_string(), |t| t.patterns.to_string());
         let _ = writeln!(out, "# N(d={d}, e={e}) = {n}");
     }

@@ -60,8 +60,8 @@ pub mod prelude {
     pub use protest_circuits::{alu_74181, comp24, div16, mult_abcd};
     pub use protest_core::{
         optimize::{HillClimber, OptimizeParams},
-        Analyzer, AnalyzerParams, CircuitAnalysis, InputProbs, ObservabilityModel,
-        PinSensitivityModel, TestLength,
+        AnalysisSession, Analyzer, AnalyzerParams, CircuitAnalysis, InputProbs, ObservabilityModel,
+        PinSensitivityModel, SessionStats, TestLength,
     };
     pub use protest_netlist::{Circuit, CircuitBuilder, GateKind, Levels, NodeId};
     pub use protest_sim::{

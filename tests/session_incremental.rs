@@ -1,0 +1,165 @@
+//! Differential property tests for the incremental analysis API:
+//! arbitrary sequences of `set_input_prob` / `set_all` mutations and
+//! `snapshot`/`revert` pairs over random circuits must leave an
+//! [`AnalysisSession`] in exactly the state a from-scratch analysis of the
+//! same input probabilities produces (to 1e-12 — in fact the
+//! implementation is bit-identical by construction).
+
+use proptest::prelude::*;
+use protest::prelude::*;
+use protest_circuits::{random_circuit, RandomCircuitParams};
+use protest_core::InputProbs;
+
+const INPUTS: usize = 6;
+
+fn build(seed: u64) -> Circuit {
+    random_circuit(RandomCircuitParams {
+        inputs: INPUTS,
+        gates: 30,
+        outputs: 3,
+        seed,
+    })
+}
+
+/// Asserts that the session agrees with a fresh from-scratch analysis at
+/// `probs` on signal probabilities, observabilities and fault detection
+/// probabilities (panics on mismatch, like the `prop_assert!` shim).
+fn assert_matches_fresh(
+    session: &mut AnalysisSession<'_, '_>,
+    analyzer: &Analyzer<'_>,
+    probs: &[f64],
+) {
+    let fresh = analyzer
+        .run(&InputProbs::from_slice(probs).unwrap())
+        .unwrap();
+    {
+        let got = session.signal_probs();
+        let want = fresh.signal_probabilities();
+        for (i, (&a, &b)) in got.iter().zip(want).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-12,
+                "signal prob node {i}: session {a} vs fresh {b}"
+            );
+        }
+    }
+    {
+        let circuit = analyzer.circuit();
+        let obs = session.observabilities();
+        for i in 0..circuit.num_nodes() {
+            let id = NodeId::from_index(i);
+            let (a, b) = (obs.node(id), fresh.node_observability(id));
+            assert!(
+                (a - b).abs() <= 1e-12,
+                "observability node {i}: session {a} vs fresh {b}"
+            );
+        }
+    }
+    let got = session.fault_detect_probs();
+    let want = fresh.detection_probabilities();
+    assert_eq!(got.len(), want.len());
+    for (i, (&a, &b)) in got.iter().zip(&want).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-12,
+            "detection fault {i}: session {a} vs fresh {b}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random single-input mutation scripts: after every few steps the
+    /// session must match a fresh analysis of the accumulated probability
+    /// vector.
+    #[test]
+    fn mutation_scripts_match_fresh_runs(
+        seed in 0u64..4000,
+        script in proptest::collection::vec((0usize..INPUTS, 0u32..=16), 1..16),
+    ) {
+        let circuit = build(seed);
+        let analyzer = Analyzer::new(&circuit);
+        let mut probs = vec![0.5f64; INPUTS];
+        let mut session = analyzer.session(&InputProbs::uniform(INPUTS)).unwrap();
+        for (step, &(i, k)) in script.iter().enumerate() {
+            let p = f64::from(k) / 16.0;
+            session.set_input_prob(i, p).unwrap();
+            probs[i] = p;
+            // Checking after every step would hide staleness bugs behind
+            // the fresh run; stride so several mutations accumulate.
+            if step % 3 == 2 || step == script.len() - 1 {
+                assert_matches_fresh(&mut session, &analyzer, &probs);
+            }
+        }
+    }
+
+    /// `set_all` must be equivalent to the corresponding sequence of
+    /// single-input mutations and to a fresh run.
+    #[test]
+    fn set_all_matches_fresh_runs(
+        seed in 0u64..4000,
+        ks in proptest::collection::vec(0u32..=16, INPUTS),
+    ) {
+        let circuit = build(seed);
+        let analyzer = Analyzer::new(&circuit);
+        let probs: Vec<f64> = ks.iter().map(|&k| f64::from(k) / 16.0).collect();
+        let mut session = analyzer.session(&InputProbs::uniform(INPUTS)).unwrap();
+        session.set_all(&probs).unwrap();
+        assert_matches_fresh(&mut session, &analyzer, &probs);
+    }
+
+    /// Rejected-move pattern: snapshot, a burst of mutations, revert —
+    /// the session must land exactly back on the pre-snapshot state, and
+    /// stay consistent through further mutations.
+    #[test]
+    fn snapshot_revert_restores_exactly(
+        seed in 0u64..4000,
+        pre in proptest::collection::vec((0usize..INPUTS, 0u32..=16), 0..6),
+        trial in proptest::collection::vec((0usize..INPUTS, 0u32..=16), 1..6),
+        post in (0usize..INPUTS, 0u32..=16),
+    ) {
+        let circuit = build(seed);
+        let analyzer = Analyzer::new(&circuit);
+        let mut probs = vec![0.5f64; INPUTS];
+        let mut session = analyzer.session(&InputProbs::uniform(INPUTS)).unwrap();
+        for &(i, k) in &pre {
+            let p = f64::from(k) / 16.0;
+            session.set_input_prob(i, p).unwrap();
+            probs[i] = p;
+        }
+        session.snapshot();
+        for &(i, k) in &trial {
+            session.set_input_prob(i, f64::from(k) / 16.0).unwrap();
+        }
+        session.revert();
+        prop_assert_eq!(session.input_probs(), &probs[..]);
+        assert_matches_fresh(&mut session, &analyzer, &probs);
+
+        // The reverted session is not a dead end: further mutations keep
+        // agreeing with fresh runs.
+        let (i, k) = post;
+        let p = f64::from(k) / 16.0;
+        session.set_input_prob(i, p).unwrap();
+        probs[i] = p;
+        assert_matches_fresh(&mut session, &analyzer, &probs);
+    }
+
+    /// Deterministic endpoints (p ∈ {0, 1}) exercise the impossible-
+    /// assignment paths of the conditioning kernel; reverts across them
+    /// must still restore exactly.
+    #[test]
+    fn deterministic_endpoints_roundtrip(
+        seed in 0u64..4000,
+        mask in 0u64..64,
+    ) {
+        let circuit = build(seed);
+        let analyzer = Analyzer::new(&circuit);
+        let mut session = analyzer.session(&InputProbs::uniform(INPUTS)).unwrap();
+        let probs: Vec<f64> = (0..INPUTS).map(|i| f64::from((mask >> i) & 1 == 1)).collect();
+        session.set_all(&probs).unwrap();
+        assert_matches_fresh(&mut session, &analyzer, &probs);
+        session.snapshot();
+        session.set_all(&[0.5; INPUTS]).unwrap();
+        session.revert();
+        assert_matches_fresh(&mut session, &analyzer, &probs);
+    }
+}
