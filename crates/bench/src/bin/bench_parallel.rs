@@ -1,0 +1,208 @@
+//! Machine-readable benchmark of the parallel analysis executor: serial
+//! (`--threads 1`) vs N-thread wall-clock across the paper's circuits for
+//!
+//! * **full analysis** — one [`protest_core::Analyzer::run`] (estimation +
+//!   observability + per-fault loop),
+//! * **fault loop** — the optimizer-step composite on a persistent
+//!   session: one single-input mutation, then `fault_detect_probs`
+//!   (dirty-cone propagation + observability pass + incremental fault
+//!   refresh),
+//! * **optimize** — a fixed hill-climbing budget (`max_rounds = 2`).
+//!
+//! Writes `BENCH_parallel.json` (path overridable as the first CLI
+//! argument) — the perf trajectory record for the parallel executor.
+//! Results are bit-identical at every thread count (enforced by
+//! `tests/parallel_differential.rs`); this binary records the wall-clock
+//! side of that trade. Thread counts that exceed the machine's cores
+//! time-slice instead of speeding up — the JSON records
+//! `available_parallelism` so readers can judge the numbers.
+//!
+//! ```sh
+//! cargo run --release -p protest-bench --bin bench_parallel
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use protest_bench::banner;
+use protest_circuits::{alu_74181, comp24, div_nonrestoring, mult_array};
+use protest_core::optimize::{HillClimber, OptimizeParams};
+use protest_core::{Analyzer, AnalyzerParams, InputProbs};
+use protest_netlist::Circuit;
+
+/// One (circuit, thread-count) measurement.
+struct Cell {
+    threads: usize,
+    full_ms: f64,
+    fault_loop_ms: f64,
+    optimize_ms: f64,
+}
+
+struct CircuitRow {
+    name: &'static str,
+    inputs: usize,
+    faults: usize,
+    cells: Vec<Cell>,
+}
+
+fn measure(circuit: &Circuit, threads: usize, fault_trials: u32) -> (Cell, usize) {
+    let analyzer = Analyzer::with_params(
+        circuit,
+        AnalyzerParams {
+            num_threads: threads,
+            ..AnalyzerParams::default()
+        },
+    );
+    let inputs = circuit.num_inputs();
+    let probs = InputProbs::uniform(inputs);
+
+    // Full analysis: estimation + observability + per-fault loop.
+    let reps = 5u32;
+    let t = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(analyzer.run(&probs).expect("analysis succeeds"));
+    }
+    let full_ms = t.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+
+    // Fault loop: the optimizer-step composite on a persistent session.
+    let mut session = analyzer.session(&probs).expect("session builds");
+    session.snapshot();
+    session.set_input_prob(0, 9.0 / 16.0).expect("warm-up");
+    std::hint::black_box(session.fault_detect_probs());
+    session.revert();
+    let t = Instant::now();
+    for r in 0..fault_trials {
+        session.snapshot();
+        session
+            .set_input_prob(0, if r % 2 == 0 { 9.0 / 16.0 } else { 7.0 / 16.0 })
+            .expect("probability in range");
+        std::hint::black_box(session.fault_detect_probs());
+        session.revert();
+    }
+    let fault_loop_ms = t.elapsed().as_secs_f64() * 1e3 / f64::from(fault_trials);
+
+    // Fixed optimizer budget.
+    let op = OptimizeParams {
+        n_target: 1000,
+        max_rounds: 2,
+        seed: 3,
+        ..OptimizeParams::default()
+    };
+    let t = Instant::now();
+    let result = HillClimber::new(&analyzer, op)
+        .optimize()
+        .expect("optimization succeeds");
+    let optimize_ms = t.elapsed().as_secs_f64() * 1e3;
+    std::hint::black_box(result.evaluations);
+
+    (
+        Cell {
+            threads,
+            full_ms,
+            fault_loop_ms,
+            optimize_ms,
+        },
+        analyzer.faults().len(),
+    )
+}
+
+fn measure_circuit(name: &'static str, circuit: &Circuit, fault_trials: u32) -> CircuitRow {
+    let mut cells = Vec::new();
+    let mut faults = 0;
+    for threads in [1usize, 2, 4] {
+        let (cell, nfaults) = measure(circuit, threads, fault_trials);
+        faults = nfaults;
+        cells.push(cell);
+    }
+    CircuitRow {
+        name,
+        inputs: circuit.num_inputs(),
+        faults,
+        cells,
+    }
+}
+
+fn json(rows: &[CircuitRow], cores: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"parallel_vs_serial\",\n");
+    out.push_str("  \"unit\": \"ms\",\n");
+    let _ = writeln!(out, "  \"available_parallelism\": {cores},");
+    out.push_str(
+        "  \"description\": \"Wall-clock per thread count for one full analysis \
+         (Analyzer::run), the optimizer-step fault loop (session mutation + \
+         fault_detect_probs) and a fixed 2-round hill climb; speedups are vs the \
+         threads=1 cell of the same metric\",\n",
+    );
+    out.push_str("  \"command\": \"cargo run --release -p protest-bench --bin bench_parallel\",\n");
+    out.push_str("  \"circuits\": [\n");
+    for (ci, row) in rows.iter().enumerate() {
+        let base = &row.cells[0];
+        let _ = write!(
+            out,
+            "    {{\n      \"name\": \"{}\",\n      \"inputs\": {},\n      \"faults\": {},\n      \
+             \"threads\": [\n",
+            row.name, row.inputs, row.faults,
+        );
+        for (i, cell) in row.cells.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        {{\"threads\": {}, \"full_ms\": {:.4}, \"fault_loop_ms\": {:.4}, \
+                 \"optimize_ms\": {:.4}, \"full_speedup\": {:.2}, \"fault_loop_speedup\": {:.2}, \
+                 \"optimize_speedup\": {:.2}}}{}",
+                cell.threads,
+                cell.full_ms,
+                cell.fault_loop_ms,
+                cell.optimize_ms,
+                base.full_ms / cell.full_ms,
+                base.fault_loop_ms / cell.fault_loop_ms,
+                base.optimize_ms / cell.optimize_ms,
+                if i + 1 == row.cells.len() { "" } else { "," },
+            );
+        }
+        let _ = write!(
+            out,
+            "      ]\n    }}{}\n",
+            if ci + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    banner(
+        "parallel executor vs serial analysis passes",
+        "ROADMAP parallelism item / ISSUE 3 tentpole",
+    );
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("available parallelism: {cores} core(s)");
+    let rows = vec![
+        measure_circuit("alu_74181", &alu_74181(), 16),
+        measure_circuit("comp24", &comp24(), 32),
+        measure_circuit("mult6", &mult_array(6), 16),
+        measure_circuit("div8x8", &div_nonrestoring(8, 8), 8),
+    ];
+    for row in &rows {
+        let base = &row.cells[0];
+        for cell in &row.cells {
+            println!(
+                "{:10} {:2} threads: full {:9.3} ms ({:4.2}x) | fault loop {:9.3} ms ({:4.2}x) | \
+                 optimize {:9.1} ms ({:4.2}x)",
+                row.name,
+                cell.threads,
+                cell.full_ms,
+                base.full_ms / cell.full_ms,
+                cell.fault_loop_ms,
+                base.fault_loop_ms / cell.fault_loop_ms,
+                cell.optimize_ms,
+                base.optimize_ms / cell.optimize_ms,
+            );
+        }
+    }
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_parallel.json".to_string());
+    std::fs::write(&path, json(&rows, cores)).expect("write benchmark JSON");
+    println!("wrote {path}");
+}

@@ -37,6 +37,7 @@ fn main() {
                         maxlist: 10,
                         observability: stem,
                         pin_sensitivity: pin,
+                        ..AnalyzerParams::default()
                     };
                     let analyzer = Analyzer::with_params(&circuit, params);
                     let t0 = Instant::now();

@@ -3,8 +3,11 @@
 use protest_netlist::{Circuit, NodeId};
 use protest_sim::{collapse_universe, Fault, FaultUniverse};
 
+use std::sync::{Arc, OnceLock};
+
 use crate::aig::Aig;
 use crate::error::CoreError;
+use crate::exec::Exec;
 use crate::observe::Observability;
 use crate::params::{AnalyzerParams, InputProbs};
 use crate::session::AnalysisSession;
@@ -34,6 +37,10 @@ pub struct Analyzer<'c> {
     estimator: SignalProbEstimator,
     faults: Vec<Fault>,
     uncollapsed: usize,
+    exec: Exec,
+    /// Fault→dependent-nodes bitsets for the sessions' incremental fault
+    /// query cache, built on first use and shared by every session.
+    fault_deps: OnceLock<Arc<crate::session::FaultDeps>>,
 }
 
 impl<'c> Analyzer<'c> {
@@ -49,13 +56,22 @@ impl<'c> Analyzer<'c> {
         let uncollapsed = universe.len();
         let collapsed = collapse_universe(circuit, &universe);
         let estimator = SignalProbEstimator::new(Aig::from_circuit(circuit), &params);
+        let exec = Exec::new(params.num_threads);
         Analyzer {
             circuit,
             params,
             estimator,
             faults: collapsed.representatives().to_vec(),
             uncollapsed,
+            exec,
+            fault_deps: OnceLock::new(),
         }
+    }
+
+    /// The resolved thread count this analyzer's parallel passes run on
+    /// (1 = everything serial).
+    pub fn num_threads(&self) -> usize {
+        self.exec.threads()
     }
 
     /// The circuit under analysis.
@@ -110,6 +126,22 @@ impl<'c> Analyzer<'c> {
     /// drive its per-node kernel directly).
     pub(crate) fn estimator(&self) -> &SignalProbEstimator {
         &self.estimator
+    }
+
+    /// The execution context parallel passes run on (crate-internal).
+    pub(crate) fn exec(&self) -> &Exec {
+        &self.exec
+    }
+
+    /// The shared fault→dependent-nodes map (crate-internal), built on the
+    /// first incremental fault refresh of any session over this analyzer.
+    pub(crate) fn fault_deps(
+        &self,
+        engine: &crate::observe::ObservabilityEngine<'_>,
+    ) -> Arc<crate::session::FaultDeps> {
+        self.fault_deps
+            .get_or_init(|| Arc::new(crate::session::build_fault_deps(self, engine)))
+            .clone()
     }
 }
 

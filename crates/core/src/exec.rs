@@ -1,0 +1,137 @@
+//! The parallel execution context shared by the analysis hot loops.
+//!
+//! Every embarrassingly-parallel pass in this crate (per-node estimation
+//! ranks, the observability wavefronts, the per-fault detection loop, the
+//! optimizer's trial moves) is driven through an [`Exec`]: a resolved
+//! thread count plus the `rayon` pool work is dispatched on. With one
+//! thread the `Exec` carries no pool at all and every call site takes its
+//! serial path, so `--threads 1` is byte-for-byte the pre-parallelism
+//! code. With `N > 1` threads, pools are cached per size and shared
+//! process-wide — constructing many [`crate::Analyzer`]s does not spawn
+//! thread herds.
+//!
+//! Parallelism never changes results: call sites split work into
+//! per-element computations whose inputs are immutable during the pass and
+//! combine the outputs in element order, so every floating-point operation
+//! sequence is identical to the serial schedule.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Resolves a requested thread count (see
+/// [`AnalyzerParams::num_threads`](crate::AnalyzerParams::num_threads)):
+/// `0` means the `PROTEST_THREADS` environment variable if set, else the
+/// machine's available parallelism.
+pub(crate) fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(value) = std::env::var("PROTEST_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// The pool cache's storage: (thread count, pool) pairs.
+type PoolCache = Mutex<Vec<(usize, Arc<rayon::ThreadPool>)>>;
+
+/// Process-wide pool cache, keyed by thread count. Pools are tiny (N − 1
+/// parked threads) and analyses with equal `--threads` share one.
+fn shared_pool(threads: usize) -> Arc<rayon::ThreadPool> {
+    static POOLS: OnceLock<PoolCache> = OnceLock::new();
+    let mut pools = POOLS.get_or_init(|| Mutex::new(Vec::new())).lock().unwrap();
+    if let Some((_, pool)) = pools.iter().find(|(n, _)| *n == threads) {
+        return pool.clone();
+    }
+    let pool = Arc::new(
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("failed to spawn analysis thread pool"),
+    );
+    pools.push((threads, pool.clone()));
+    pool
+}
+
+/// A resolved execution context: thread count plus (when parallel) the
+/// pool to run on.
+#[derive(Debug, Clone)]
+pub(crate) struct Exec {
+    pool: Option<Arc<rayon::ThreadPool>>,
+    threads: usize,
+}
+
+impl Exec {
+    /// Builds the context for a requested thread count (0 = auto).
+    pub(crate) fn new(requested: usize) -> Self {
+        let threads = resolve_threads(requested);
+        if threads <= 1 {
+            Exec {
+                pool: None,
+                threads: 1,
+            }
+        } else {
+            Exec {
+                pool: Some(shared_pool(threads)),
+                threads,
+            }
+        }
+    }
+
+    /// The resolved thread count (≥ 1).
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether parallel paths should run at all.
+    pub(crate) fn parallel(&self) -> bool {
+        self.threads > 1
+    }
+
+    /// Runs `op` with this context's pool installed (so `rayon::scope` and
+    /// the parallel iterators inside target it); a serial context just
+    /// calls `op` on the current thread.
+    pub(crate) fn run<R: Send>(&self, op: impl FnOnce() -> R + Send) -> R {
+        match &self.pool {
+            Some(pool) => pool.install(op),
+            None => op(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_threads_win_over_everything() {
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(1), 1);
+    }
+
+    #[test]
+    fn serial_context_has_no_pool() {
+        let exec = Exec::new(1);
+        assert!(!exec.parallel());
+        assert_eq!(exec.threads(), 1);
+        assert_eq!(exec.run(|| 7), 7);
+    }
+
+    #[test]
+    fn parallel_context_installs_its_pool() {
+        let exec = Exec::new(4);
+        assert!(exec.parallel());
+        assert_eq!(exec.threads(), 4);
+        assert_eq!(exec.run(rayon::current_num_threads), 4);
+    }
+
+    #[test]
+    fn pools_are_shared_per_size() {
+        let a = shared_pool(5);
+        let b = shared_pool(5);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -28,13 +28,26 @@
 //! per step — the Sec. 6 hill climber above all — should open an
 //! [`AnalysisSession`] via [`Analyzer::session`] instead: mutations
 //! (`set_input_prob`, `set_all`) re-propagate only the affected fan-out
-//! cone, queries are lazy and cached, and `snapshot`/`revert` undo
-//! rejected trial moves in O(dirty cone). Results are bit-identical to
-//! from-scratch runs.
+//! cone, queries are lazy and cached (fault queries incrementally — only
+//! faults whose site or propagation cone intersects the dirty nodes are
+//! recomputed), and `snapshot`/`revert` undo rejected trial moves in
+//! O(dirty cone). Results are bit-identical to from-scratch runs.
 //!
-//! ## Migration notes (0.1 → 0.2)
+//! # Parallelism
 //!
-//! * `SignalProbEstimator::estimate` is deprecated: use
+//! Every embarrassingly-parallel hot loop — the estimator's fanin-depth
+//! ranks, the observability wavefronts, the per-fault detection loop and
+//! the optimizer's trial moves — runs on a worker pool sized by
+//! [`AnalyzerParams::num_threads`] (0 = the `PROTEST_THREADS` environment
+//! variable, else the machine's available parallelism; 1 = the serial
+//! code paths). Parallel execution only reschedules independent per-node
+//! computations and recombines results in node order, so **results are
+//! bit-identical at every thread count** (proven by the differential
+//! proptests in `tests/parallel_differential.rs`).
+//!
+//! ## Migration notes (0.2 → 0.3)
+//!
+//! * `SignalProbEstimator::estimate` (deprecated in 0.2) is removed: use
 //!   [`sigprob::SignalProbEstimator::full_estimate`] for a one-shot pass,
 //!   or an [`AnalysisSession`] for repeated re-estimation.
 //! * `Analyzer::run` remains, now as a thin wrapper that opens a session
@@ -42,6 +55,8 @@
 //! * The four `optimize*` entry points of [`optimize::HillClimber`] share
 //!   one session-driven climbing loop; their signatures and results are
 //!   unchanged.
+//! * [`AnalyzerParams`] gained `num_threads`; code building it with
+//!   struct-update syntax (`..Default::default()`) is unaffected.
 //!
 //! # Example
 //!
@@ -71,6 +86,7 @@
 mod aig;
 mod analyzer;
 mod error;
+mod exec;
 mod params;
 mod session;
 

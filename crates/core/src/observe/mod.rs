@@ -20,6 +20,7 @@
 use protest_netlist::analyze::Fanouts;
 use protest_netlist::{Circuit, GateKind, Levels, NodeId};
 
+use crate::exec::Exec;
 use crate::params::{AnalyzerParams, ObservabilityModel, PinSensitivityModel};
 
 mod single_path;
@@ -84,17 +85,41 @@ pub struct ObservabilityEngine<'c> {
     levels: Levels,
     fanouts: Fanouts,
     params: AnalyzerParams,
+    /// `order()[start..end]` ranges of equal level, one per level. The
+    /// levelized order is sorted by `(level, id)`, so these are contiguous
+    /// and ascending by node id — the wavefronts of the parallel pass.
+    level_bounds: Vec<(u32, u32)>,
 }
 
 impl<'c> ObservabilityEngine<'c> {
     /// Builds the engine (levelization + fanout map) for a circuit.
     pub fn new(circuit: &'c Circuit, params: &AnalyzerParams) -> Self {
+        let levels = Levels::new(circuit);
+        let order = levels.order();
+        let mut level_bounds = Vec::new();
+        let mut start = 0usize;
+        while start < order.len() {
+            let level = levels.level(order[start]);
+            let mut end = start + 1;
+            while end < order.len() && levels.level(order[end]) == level {
+                end += 1;
+            }
+            level_bounds.push((start as u32, end as u32));
+            start = end;
+        }
         ObservabilityEngine {
             circuit,
-            levels: Levels::new(circuit),
+            levels,
             fanouts: Fanouts::new(circuit),
             params: *params,
+            level_bounds,
         }
+    }
+
+    /// The engine's fanout map (crate-internal: the session's fault
+    /// dependency cones reuse it).
+    pub(crate) fn fanouts(&self) -> &Fanouts {
+        &self.fanouts
     }
 
     /// A zeroed [`Observability`] with the right shape for this circuit,
@@ -125,54 +150,177 @@ impl<'c> ObservabilityEngine<'c> {
     ///
     /// Panics if `node_probs` or `obs` does not match the circuit.
     pub fn compute_into(&self, node_probs: &[f64], obs: &mut Observability) {
-        let circuit = self.circuit;
         assert_eq!(
             node_probs.len(),
-            circuit.num_nodes(),
+            self.circuit.num_nodes(),
             "one probability per node"
         );
-        assert_eq!(obs.node_s.len(), circuit.num_nodes(), "mismatched shape");
-        let node_s = &mut obs.node_s;
-        let pin_s = &mut obs.pin_s;
+        assert_eq!(
+            obs.node_s.len(),
+            self.circuit.num_nodes(),
+            "mismatched shape"
+        );
         let mut branches: Vec<f64> = Vec::new();
         let mut fanin_probs: Vec<f64> = Vec::new();
-
+        let mut pins_tmp: Vec<f64> = Vec::new();
         for &id in self.levels.order().iter().rev() {
-            // 1. Stem recombination over consuming pins (+ PO branch).
-            branches.clear();
-            branches.extend(
-                self.fanouts
-                    .of(id)
-                    .iter()
-                    .map(|&(g, pin)| pin_s[g.index()][pin as usize]),
+            pins_tmp.clear();
+            let s = self.eval_node(
+                id,
+                node_probs,
+                &obs.pin_s,
+                &mut branches,
+                &mut fanin_probs,
+                &mut pins_tmp,
             );
-            if circuit.is_output(id) {
-                branches.push(1.0);
-            }
-            let s = match self.params.observability {
-                ObservabilityModel::Parity => branches.iter().copied().fold(0.0, xor_combine),
-                ObservabilityModel::AnyPath => {
-                    1.0 - branches.iter().fold(1.0, |acc, &b| acc * (1.0 - b))
-                }
-            };
-            let s = s.clamp(0.0, 1.0);
-            node_s[id.index()] = s;
+            obs.node_s[id.index()] = s;
+            obs.pin_s[id.index()].copy_from_slice(&pins_tmp);
+        }
+    }
 
-            // 2. Pin sensitivities of this gate.
-            let node = circuit.node(id);
-            if node.fanins().is_empty() {
-                continue;
+    /// Like [`compute_into`](Self::compute_into), spread over the
+    /// executor's threads one level wavefront at a time. Nodes at equal
+    /// level read only pin observabilities of strictly deeper levels
+    /// (their consuming gates) plus the immutable `node_probs`, so chunks
+    /// of a wavefront are independent; each chunk's results are written
+    /// back in node order and every per-node computation is the exact
+    /// serial sequence — results are bit-identical to the serial pass.
+    pub(crate) fn compute_into_exec(
+        &self,
+        node_probs: &[f64],
+        obs: &mut Observability,
+        exec: &Exec,
+    ) {
+        if !exec.parallel() {
+            self.compute_into(node_probs, obs);
+            return;
+        }
+        assert_eq!(
+            node_probs.len(),
+            self.circuit.num_nodes(),
+            "one probability per node"
+        );
+        assert_eq!(
+            obs.node_s.len(),
+            self.circuit.num_nodes(),
+            "mismatched shape"
+        );
+        let threads = exec.threads();
+        let order = self.levels.order();
+        let mut branches: Vec<f64> = Vec::new();
+        let mut fanin_probs: Vec<f64> = Vec::new();
+        let mut pins_tmp: Vec<f64> = Vec::new();
+        exec.run(|| {
+            for &(start, end) in self.level_bounds.iter().rev() {
+                let batch = &order[start as usize..end as usize];
+                if batch.len() < MIN_PAR_WAVEFRONT {
+                    for &id in batch {
+                        pins_tmp.clear();
+                        let s = self.eval_node(
+                            id,
+                            node_probs,
+                            &obs.pin_s,
+                            &mut branches,
+                            &mut fanin_probs,
+                            &mut pins_tmp,
+                        );
+                        obs.node_s[id.index()] = s;
+                        obs.pin_s[id.index()].copy_from_slice(&pins_tmp);
+                    }
+                    continue;
+                }
+                let chunk = batch.len().div_ceil(threads);
+                let pin_s_read = &obs.pin_s;
+                let mut slots: Vec<Option<(Vec<f64>, Vec<f64>)>> = std::iter::repeat_with(|| None)
+                    .take(batch.len().div_ceil(chunk))
+                    .collect();
+                rayon::scope(|s| {
+                    for (ids, slot) in batch.chunks(chunk).zip(slots.iter_mut()) {
+                        s.spawn(move |_| {
+                            let mut ns = Vec::with_capacity(ids.len());
+                            let mut ps = Vec::new();
+                            let mut branches = Vec::new();
+                            let mut fanin_probs = Vec::new();
+                            for &id in ids {
+                                let stem = self.eval_node(
+                                    id,
+                                    node_probs,
+                                    pin_s_read,
+                                    &mut branches,
+                                    &mut fanin_probs,
+                                    &mut ps,
+                                );
+                                ns.push(stem);
+                            }
+                            *slot = Some((ns, ps));
+                        });
+                    }
+                });
+                // Write back in node order; each chunk's `ps` concatenates
+                // its nodes' pin rows in order.
+                for (ids, slot) in batch.chunks(chunk).zip(slots) {
+                    let (ns, ps) = slot.expect("wavefront chunk completed");
+                    let mut off = 0usize;
+                    for (&id, &s) in ids.iter().zip(ns.iter()) {
+                        obs.node_s[id.index()] = s;
+                        let row = &mut obs.pin_s[id.index()];
+                        let width = row.len();
+                        row.copy_from_slice(&ps[off..off + width]);
+                        off += width;
+                    }
+                }
             }
+        });
+    }
+
+    /// One node of the reverse pass: returns the stem observability and
+    /// appends the node's pin observabilities to `pins_out`. Reads only
+    /// `node_probs` and the pin observabilities of the node's consumers
+    /// (strictly deeper levels). The floating-point sequence is exactly
+    /// the serial loop body's.
+    fn eval_node(
+        &self,
+        id: NodeId,
+        node_probs: &[f64],
+        pin_s: &[Vec<f64>],
+        branches: &mut Vec<f64>,
+        fanin_probs: &mut Vec<f64>,
+        pins_out: &mut Vec<f64>,
+    ) -> f64 {
+        let circuit = self.circuit;
+        branches.clear();
+        branches.extend(
+            self.fanouts
+                .of(id)
+                .iter()
+                .map(|&(g, pin)| pin_s[g.index()][pin as usize]),
+        );
+        if circuit.is_output(id) {
+            branches.push(1.0);
+        }
+        let s = match self.params.observability {
+            ObservabilityModel::Parity => branches.iter().copied().fold(0.0, xor_combine),
+            ObservabilityModel::AnyPath => {
+                1.0 - branches.iter().fold(1.0, |acc, &b| acc * (1.0 - b))
+            }
+        };
+        let s = s.clamp(0.0, 1.0);
+        let node = circuit.node(id);
+        if !node.fanins().is_empty() {
             fanin_probs.clear();
             fanin_probs.extend(node.fanins().iter().map(|&f| node_probs[f.index()]));
             #[allow(clippy::needless_range_loop)]
             for pin in 0..node.fanins().len() {
-                let sens = pin_sensitivity(circuit, node.kind(), &fanin_probs, pin, &self.params);
-                pin_s[id.index()][pin] = (s * sens).clamp(0.0, 1.0);
+                let sens = pin_sensitivity(circuit, node.kind(), fanin_probs, pin, &self.params);
+                pins_out.push((s * sens).clamp(0.0, 1.0));
             }
         }
+        s
     }
 }
+
+/// Minimum wavefront width worth fanning out to worker threads.
+const MIN_PAR_WAVEFRONT: usize = 16;
 
 /// Probability that the gate output follows input pin `pin`.
 fn pin_sensitivity(

@@ -269,6 +269,13 @@ impl<'a, 'c> HillClimber<'a, 'c> {
     /// the dirty fan-out cone, and rejected moves are undone with
     /// `snapshot`/`revert` instead of a from-scratch re-run. The session is
     /// left positioned at the returned optimum.
+    ///
+    /// On a parallel executor the two ±1 trial moves of each input are
+    /// evaluated concurrently on cloned worker sessions synced to the
+    /// climb's current point (sessions are confluent: any mutation route
+    /// to the same input vector yields bit-identical state, so each trial
+    /// objective equals the value the serial dance produces and the climb
+    /// trajectory — every accepted move, every count — is unchanged).
     fn climb(
         &self,
         session: &mut AnalysisSession<'_, '_>,
@@ -282,8 +289,12 @@ impl<'a, 'c> HillClimber<'a, 'c> {
         session.set_all(InputProbs::from_grid(&ks, g)?.as_slice())?;
         let mut evaluations = 0usize;
         let mut ps_buf: Vec<f64> = Vec::new();
-        let mut best = self.objective(session, mask, &mut evaluations, &mut ps_buf);
+        evaluations += 1;
+        let mut best = self.objective_value(session, mask, &mut ps_buf);
         let initial = best;
+        let exec = self.analyzer.exec();
+        // Trial-move workers, cloned lazily on the first parallel trial.
+        let mut workers: Vec<(AnalysisSession<'_, '_>, Vec<f64>)> = Vec::new();
         let mut rng = StdRng::seed_from_u64(self.params.seed);
         let mut order: Vec<usize> = (0..inputs).collect();
         let mut rounds = 0usize;
@@ -293,15 +304,51 @@ impl<'a, 'c> HillClimber<'a, 'c> {
             let mut improved = false;
             for &i in &order {
                 let k0 = ks[i];
-                let mut best_move: Option<(f64, u32)> = None;
-                for cand in [k0.wrapping_sub(1), k0 + 1] {
-                    if cand < 1 || cand >= g {
-                        continue;
+                let cands: Vec<u32> = [k0.wrapping_sub(1), k0 + 1]
+                    .into_iter()
+                    .filter(|&c| (1..g).contains(&c))
+                    .collect();
+                let mut trials: Vec<(u32, f64)> = Vec::with_capacity(cands.len());
+                if exec.parallel() && cands.len() == 2 {
+                    if workers.is_empty() {
+                        workers.push((session.clone(), Vec::new()));
+                        workers.push((session.clone(), Vec::new()));
                     }
-                    session.snapshot();
-                    session.set_input_prob(i, f64::from(cand) / f64::from(g))?;
-                    let j = self.objective(session, mask, &mut evaluations, &mut ps_buf);
-                    session.revert();
+                    let base = session.input_probs().to_vec();
+                    let (w0, w1) = workers.split_at_mut(1);
+                    let eval = |worker: &mut (AnalysisSession<'_, '_>, Vec<f64>),
+                                cand: u32|
+                     -> Result<f64, CoreError> {
+                        let (worker_session, ps) = worker;
+                        let mut target = base.clone();
+                        target[i] = f64::from(cand) / f64::from(g);
+                        worker_session.snapshot();
+                        worker_session.set_all(&target)?;
+                        let objective = self.objective_value(worker_session, mask, ps);
+                        // Undo the trial in O(changed) writes: the next
+                        // sync then re-propagates only the climb's accepted
+                        // moves, not this trial's cone on top of them.
+                        worker_session.revert();
+                        Ok(objective)
+                    };
+                    let (j0, j1) = exec.run(|| {
+                        rayon::join(|| eval(&mut w0[0], cands[0]), || eval(&mut w1[0], cands[1]))
+                    });
+                    evaluations += 2;
+                    trials.push((cands[0], j0?));
+                    trials.push((cands[1], j1?));
+                } else {
+                    for &cand in &cands {
+                        session.snapshot();
+                        session.set_input_prob(i, f64::from(cand) / f64::from(g))?;
+                        evaluations += 1;
+                        let j = self.objective_value(session, mask, &mut ps_buf);
+                        session.revert();
+                        trials.push((cand, j));
+                    }
+                }
+                let mut best_move: Option<(f64, u32)> = None;
+                for &(cand, j) in &trials {
                     if j > best + 1e-12 && best_move.is_none_or(|(bj, _)| j > bj) {
                         best_move = Some((j, cand));
                     }
@@ -330,7 +377,8 @@ impl<'a, 'c> HillClimber<'a, 'c> {
                     }
                     session.snapshot();
                     session.set_all(InputProbs::from_grid(&cand, g)?.as_slice())?;
-                    let j = self.objective(session, mask, &mut evaluations, &mut ps_buf);
+                    evaluations += 1;
+                    let j = self.objective_value(session, mask, &mut ps_buf);
                     if j > best + 1e-12 {
                         ks = cand;
                         best = j;
@@ -362,14 +410,12 @@ impl<'a, 'c> HillClimber<'a, 'c> {
     /// `ln J_N` saturates to 0 in `f64`. Detection probabilities are
     /// floored at 1e−12 so estimated-undetectable faults stay comparable
     /// instead of poisoning the sum.
-    fn objective(
+    fn objective_value(
         &self,
         session: &mut AnalysisSession<'_, '_>,
         mask: Option<&[bool]>,
-        evaluations: &mut usize,
         ps_buf: &mut Vec<f64>,
     ) -> f64 {
-        *evaluations += 1;
         ps_buf.clear();
         ps_buf.extend(
             session

@@ -49,6 +49,14 @@ pub struct AnalyzerParams {
     pub observability: ObservabilityModel,
     /// Gate-pin sensitivity model.
     pub pin_sensitivity: PinSensitivityModel,
+    /// Worker threads for the parallel analysis executor (estimation
+    /// ranks, observability wavefronts, the per-fault loop and the
+    /// optimizer's trial moves). `0` (the default) resolves to the
+    /// `PROTEST_THREADS` environment variable if set, else the machine's
+    /// available parallelism; `1` forces the serial code paths. Results
+    /// are bit-identical at every setting — the parallel passes keep the
+    /// serial floating-point operation order.
+    pub num_threads: usize,
 }
 
 impl Default for AnalyzerParams {
@@ -58,6 +66,7 @@ impl Default for AnalyzerParams {
             maxlist: 10,
             observability: ObservabilityModel::default(),
             pin_sensitivity: PinSensitivityModel::default(),
+            num_threads: 0,
         }
     }
 }

@@ -10,12 +10,29 @@
 //! are reached by the changed inputs, pruned further wherever a recomputed
 //! value comes out bit-identical to the old one.
 //!
+//! Two more reuse layers sit on top:
+//!
+//! * **Parallel rank batches** — the dirty worklist is drained one
+//!   fanin-depth rank at a time; nodes sharing a rank never read each
+//!   other, so wide ranks are evaluated concurrently on the analyzer's
+//!   executor (see [`crate::AnalyzerParams::num_threads`]), each worker
+//!   with its own scratch, and the results applied in node order.
+//! * **Incremental fault queries** — [`fault_detect_probs`]
+//!   (Self::fault_detect_probs) keeps its per-fault results between
+//!   mutations and recomputes only the faults whose activation site or
+//!   propagation cone intersects the dirty nodes (a fault→dependent-nodes
+//!   bitset built once per session family); [`SessionStats`] counts the
+//!   reused entries.
+//!
 //! Results are **bit-identical** to a from-scratch pass: a node is
 //! re-evaluated whenever anything it reads changed, with the same per-node
 //! kernel and the same floating-point operation order, so by induction over
 //! the topological order every stored probability equals the value a fresh
 //! [`SignalProbEstimator::full_estimate`](crate::sigprob::SignalProbEstimator::full_estimate)
-//! would produce.
+//! would produce. The same argument covers the parallel paths (they only
+//! reschedule independent per-node computations) and the fault cache (a
+//! skipped fault's inputs are all unchanged, so recomputing it would
+//! reproduce the cached value exactly).
 //!
 //! # Example
 //!
@@ -49,16 +66,18 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use protest_netlist::{Circuit, NodeId};
-use protest_sim::StuckAt;
+use protest_sim::{Fault, FaultSite, StuckAt};
+use rayon::prelude::*;
 
 use crate::analyzer::{Analyzer, CircuitAnalysis, FaultEstimate};
 use crate::detect::detection_probability;
 use crate::error::CoreError;
 use crate::observe::{Observability, ObservabilityEngine};
 use crate::params::InputProbs;
-use crate::sigprob::{lit_prob_of, EvalScratch};
+use crate::sigprob::{lit_prob_of, EvalScratch, MIN_PAR_COND, MIN_PAR_WIDE};
 
 /// Counters describing how much work a session has actually done — the
 /// observable evidence that incremental re-estimation is cheaper than
@@ -72,6 +91,15 @@ pub struct SessionStats {
     pub and_evals: u64,
     /// `revert` calls that undid at least one change.
     pub reverts: u64,
+    /// Per-fault detection estimates actually computed by
+    /// [`AnalysisSession::fault_detect_probs`] /
+    /// [`AnalysisSession::fault_estimates`] (the first query computes all
+    /// of them; later queries only the faults touched by the dirty cone).
+    pub fault_evals: u64,
+    /// Per-fault detection estimates *reused* from the previous query
+    /// because neither the fault's activation site nor its propagation
+    /// cone intersected the nodes changed since.
+    pub fault_reuses: u64,
     /// AND nodes in the circuit's AIG — a full pass evaluates all of them.
     pub and_nodes: usize,
 }
@@ -81,6 +109,119 @@ enum UndoEntry {
     Input { pos: u32, old: f64 },
     Node { index: u32, old: f64 },
 }
+
+/// For each fault, the circuit nodes its detection estimate *reads*: the
+/// activation driver plus the fanins of every gate in the forward cone of
+/// the fault site (those are exactly the signal probabilities the
+/// observability recursion between the site and the outputs consumes).
+/// A mutation whose dirty nodes miss this set cannot change the fault's
+/// estimate, bit for bit. Built once per [`Analyzer`] (see
+/// [`Analyzer::fault_deps`]) and shared by every session and clone.
+#[derive(Debug)]
+pub(crate) struct FaultDeps {
+    /// Words per fault row (circuit nodes, rounded up to u64 words).
+    words: usize,
+    /// Concatenated per-fault bitset rows over circuit node indices.
+    bits: Vec<u64>,
+    /// For each AIG node, the circuit nodes it carries the probability of
+    /// (inverse of `Aig::lit_of`, constants excluded) — translates the
+    /// session's AIG-level dirty set into circuit-level bits.
+    circ_of_aig: Vec<Vec<u32>>,
+}
+
+pub(crate) fn build_fault_deps(
+    analyzer: &Analyzer<'_>,
+    engine: &ObservabilityEngine<'_>,
+) -> FaultDeps {
+    let circuit = analyzer.circuit();
+    let fanouts = engine.fanouts();
+    let n = circuit.num_nodes();
+    let words = n.div_ceil(64).max(1);
+    let faults = analyzer.faults();
+    let mut bits = vec![0u64; faults.len() * words];
+    let mut visited = vec![false; n];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    for (fi, &fault) in faults.iter().enumerate() {
+        let row = &mut bits[fi * words..(fi + 1) * words];
+        let driver = fault.site.driver(circuit);
+        row[driver.index() >> 6] |= 1 << (driver.index() & 63);
+        stack.clear();
+        match fault.site {
+            FaultSite::Output(node) => {
+                stack.extend(fanouts.of(node).iter().map(|&(g, _)| g));
+            }
+            FaultSite::InputPin { gate, .. } => stack.push(gate),
+        }
+        while let Some(g) = stack.pop() {
+            if visited[g.index()] {
+                continue;
+            }
+            visited[g.index()] = true;
+            touched.push(g.index() as u32);
+            for &f in circuit.node(g).fanins() {
+                row[f.index() >> 6] |= 1 << (f.index() & 63);
+            }
+            stack.extend(
+                fanouts
+                    .of(g)
+                    .iter()
+                    .map(|&(h, _)| h)
+                    .filter(|h| !visited[h.index()]),
+            );
+        }
+        for &t in &touched {
+            visited[t as usize] = false;
+        }
+        touched.clear();
+    }
+    let aig = analyzer.estimator().aig();
+    let mut circ_of_aig: Vec<Vec<u32>> = vec![Vec::new(); aig.len()];
+    for c in 0..n {
+        let lit = aig.lit_of(NodeId::from_index(c));
+        if !lit.is_const() {
+            circ_of_aig[lit.node().index()].push(c as u32);
+        }
+    }
+    FaultDeps {
+        words,
+        bits,
+        circ_of_aig,
+    }
+}
+
+/// The per-fault estimate, shared by the full and the incremental fault
+/// pass (and by every thread of the parallel one).
+fn estimate_fault(
+    circuit: &Circuit,
+    fault: Fault,
+    node_probs: &[f64],
+    obs: &Observability,
+) -> FaultEstimate {
+    let detection = detection_probability(circuit, fault, node_probs, obs);
+    let driver = fault.site.driver(circuit);
+    let p = node_probs[driver.index()];
+    let activation = match fault.polarity {
+        StuckAt::Zero => p,
+        StuckAt::One => 1.0 - p,
+    };
+    let observability = if activation > 0.0 {
+        detection / activation
+    } else {
+        0.0
+    };
+    FaultEstimate {
+        fault,
+        activation,
+        observability,
+        detection,
+    }
+}
+
+/// Minimum fault count worth fanning out to worker threads (a per-fault
+/// estimate is a handful of flops — small batches cost more to queue than
+/// to compute).
+const MIN_PAR_FAULTS: usize = 512;
 
 /// A stateful, incremental analysis over one circuit (see the [module
 /// docs](self)).
@@ -92,23 +233,35 @@ enum UndoEntry {
 /// [`fault_detect_probs`](Self::fault_detect_probs)) are lazy and cached
 /// until the next mutation. [`snapshot`](Self::snapshot) /
 /// [`revert`](Self::revert) undo rejected trial moves in O(dirty cone).
+///
+/// Sessions are [`Clone`]: the big immutable structures (observability
+/// engine, fault dependency map) are shared, so cloning is proportional to
+/// the per-node state only — the optimizer clones one session per worker
+/// to evaluate trial moves in parallel.
 #[derive(Debug)]
 pub struct AnalysisSession<'a, 'c> {
     analyzer: &'a Analyzer<'c>,
-    obs_engine: ObservabilityEngine<'c>,
-    /// Read-dependency fanout lists over AIG nodes (see
-    /// `SignalProbEstimator::reader_map`), built lazily on the first
-    /// mutation: the one-shot path (`Analyzer::run`) never needs them.
-    readers: Vec<Vec<u32>>,
+    obs_engine: Arc<ObservabilityEngine<'c>>,
     input_probs: Vec<f64>,
     /// Per-AIG-node probabilities, kept equal to a from-scratch pass.
     aig_probs: Vec<f64>,
     scratch: EvalScratch,
-    /// Dirty worklist, popped in ascending (= topological) order.
-    heap: BinaryHeap<Reverse<u32>>,
+    /// Per-worker scratches for parallel rank batches, grown on demand.
+    par_scratch: Vec<EvalScratch>,
+    /// Dirty worklist keyed by (fanin-depth rank, node index): popping in
+    /// ascending order yields whole ranks of mutually independent nodes.
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
     queued: Vec<bool>,
+    /// The rank currently being drained (scratch for `propagate`).
+    batch_ids: Vec<u32>,
+    batch_vals: Vec<f64>,
     /// Changes since the last `snapshot()`, newest last.
     undo: Vec<UndoEntry>,
+    /// AIG nodes whose probability changed since the last fault-estimate
+    /// refresh (drives the incremental fault query cache).
+    dirty_mark: Vec<bool>,
+    dirty_aig: Vec<u32>,
+    dirty_words: Vec<u64>,
     // Lazy query caches.
     node_probs: Vec<f64>,
     node_probs_valid: bool,
@@ -117,6 +270,9 @@ pub struct AnalysisSession<'a, 'c> {
     estimates: Vec<FaultEstimate>,
     detections: Vec<f64>,
     estimates_valid: bool,
+    /// Whether `estimates`/`detections` hold a full (possibly stale) set
+    /// that the incremental refresh can patch.
+    have_estimates: bool,
     stats: SessionStats,
 }
 
@@ -124,20 +280,28 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
     pub(crate) fn new(analyzer: &'a Analyzer<'c>, probs: &InputProbs) -> Result<Self, CoreError> {
         probs.check_len(analyzer.circuit().num_inputs())?;
         let est = analyzer.estimator();
-        let aig_probs = est.full_estimate(probs.as_slice());
-        let obs_engine = ObservabilityEngine::new(analyzer.circuit(), analyzer.params());
+        let aig_probs = est.full_estimate_exec(probs.as_slice(), analyzer.exec());
+        let obs_engine = Arc::new(ObservabilityEngine::new(
+            analyzer.circuit(),
+            analyzer.params(),
+        ));
         let obs = obs_engine.empty();
         let n = est.aig().len();
         Ok(AnalysisSession {
             analyzer,
             obs_engine,
-            readers: Vec::new(),
             input_probs: probs.as_slice().to_vec(),
             aig_probs,
             scratch: est.new_scratch(),
+            par_scratch: Vec::new(),
             heap: BinaryHeap::new(),
             queued: vec![false; n],
+            batch_ids: Vec::new(),
+            batch_vals: Vec::new(),
             undo: Vec::new(),
+            dirty_mark: vec![false; n],
+            dirty_aig: Vec::new(),
+            dirty_words: Vec::new(),
             node_probs: vec![0.0; analyzer.circuit().num_nodes()],
             node_probs_valid: false,
             obs,
@@ -145,6 +309,7 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
             estimates: Vec::with_capacity(analyzer.faults().len()),
             detections: Vec::with_capacity(analyzer.faults().len()),
             estimates_valid: false,
+            have_estimates: false,
             stats: SessionStats {
                 and_nodes: est.aig().num_ands(),
                 ..SessionStats::default()
@@ -195,7 +360,6 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
         if self.input_probs[input] == p {
             return Ok(());
         }
-        self.ensure_readers();
         self.undo.push(UndoEntry::Input {
             pos: input as u32,
             old: self.input_probs[input],
@@ -206,14 +370,6 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
         self.stats.mutations += 1;
         self.propagate();
         Ok(())
-    }
-
-    /// Builds the reader map on the first mutation (one-shot sessions that
-    /// only query never pay for it).
-    fn ensure_readers(&mut self) {
-        if self.readers.is_empty() {
-            self.readers = self.analyzer.estimator().reader_map();
-        }
     }
 
     /// Replaces the whole input probability vector, re-propagating the
@@ -237,7 +393,6 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
                 return Err(CoreError::ProbRange { value: p });
             }
         }
-        self.ensure_readers();
         let mut changed = false;
         for (i, &p) in probs.iter().enumerate() {
             if self.input_probs[i] == p {
@@ -274,7 +429,10 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
         while let Some(entry) = self.undo.pop() {
             match entry {
                 UndoEntry::Input { pos, old } => self.input_probs[pos as usize] = old,
-                UndoEntry::Node { index, old } => self.aig_probs[index as usize] = old,
+                UndoEntry::Node { index, old } => {
+                    self.aig_probs[index as usize] = old;
+                    self.mark_dirty(index);
+                }
             }
         }
         self.stats.reverts += 1;
@@ -319,6 +477,15 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
         CircuitAnalysis::from_parts(self.node_probs, self.obs, self.estimates)
     }
 
+    /// Records an AIG node as changed since the last fault-estimate
+    /// refresh.
+    fn mark_dirty(&mut self, index: u32) {
+        if !self.dirty_mark[index as usize] {
+            self.dirty_mark[index as usize] = true;
+            self.dirty_aig.push(index);
+        }
+    }
+
     /// Records a raw AIG-node probability write (undo-logged) and enqueues
     /// its readers.
     fn write_node(&mut self, index: usize, p: f64) {
@@ -331,41 +498,119 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
             old,
         });
         self.aig_probs[index] = p;
-        let queued = &mut self.queued;
-        let heap = &mut self.heap;
-        for &r in &self.readers[index] {
-            if !queued[r as usize] {
-                queued[r as usize] = true;
-                heap.push(Reverse(r));
-            }
-        }
+        self.mark_dirty(index as u32);
+        self.enqueue_readers(index);
         self.invalidate();
     }
 
-    /// Drains the dirty worklist in ascending (= topological) order,
-    /// re-evaluating each node and spreading dirtiness only where the new
-    /// value differs from the old one.
+    /// Queues every reader of `index` keyed by its fanin-depth rank.
+    fn enqueue_readers(&mut self, index: usize) {
+        let est = self.analyzer.estimator();
+        let rank_of = &est.ranks().of;
+        let readers = est.readers();
+        let queued = &mut self.queued;
+        let heap = &mut self.heap;
+        for &r in &readers[index] {
+            if !queued[r as usize] {
+                queued[r as usize] = true;
+                heap.push(Reverse((rank_of[r as usize], r)));
+            }
+        }
+    }
+
+    /// Applies a freshly evaluated value: undo-log, store, mark dirty and
+    /// spread dirtiness — but only where the value actually changed.
+    fn apply_value(&mut self, index: u32, new: f64) {
+        let old = self.aig_probs[index as usize];
+        if new == old {
+            return; // value unchanged: downstream reads see no difference
+        }
+        self.undo.push(UndoEntry::Node { index, old });
+        self.aig_probs[index as usize] = new;
+        self.mark_dirty(index);
+        self.enqueue_readers(index as usize);
+    }
+
+    /// Drains the dirty worklist one fanin-depth rank at a time (ascending
+    /// rank = dependency order). Nodes within a rank never read each other,
+    /// so wide ranks are evaluated in parallel chunks — each worker with
+    /// its own scratch — and the results applied in node-index order;
+    /// narrow ranks (and serial executors) take the inline path. Either
+    /// way every node sees the same settled lower ranks as the serial
+    /// schedule, so the propagated values are bit-identical.
     fn propagate(&mut self) {
         let analyzer = self.analyzer;
         let est = analyzer.estimator();
-        while let Some(Reverse(k)) = self.heap.pop() {
-            self.queued[k as usize] = false;
-            let id = crate::AigNodeId::from_index(k as usize);
-            let new = est.and_node_value(&self.aig_probs, id, &mut self.scratch);
-            self.stats.and_evals += 1;
-            let old = self.aig_probs[k as usize];
-            if new == old {
-                continue; // value unchanged: downstream reads see no difference
-            }
-            self.undo.push(UndoEntry::Node { index: k, old });
-            self.aig_probs[k as usize] = new;
-            let queued = &mut self.queued;
-            let heap = &mut self.heap;
-            for &r in &self.readers[k as usize] {
-                if !queued[r as usize] {
-                    queued[r as usize] = true;
-                    heap.push(Reverse(r));
+        let exec = analyzer.exec();
+        while let Some(&Reverse((rank, _))) = self.heap.peek() {
+            self.batch_ids.clear();
+            while let Some(&Reverse((r, k))) = self.heap.peek() {
+                if r != rank {
+                    break;
                 }
+                self.heap.pop();
+                self.queued[k as usize] = false;
+                self.batch_ids.push(k);
+            }
+            let len = self.batch_ids.len();
+            // Fan out only when the rank carries enough conditioned
+            // (µs-scale) kernels — or is very wide — mirroring the full
+            // pass's thresholds; the choice cannot affect values.
+            let parallel_batch = exec.parallel()
+                && (len >= MIN_PAR_WIDE || {
+                    let mut cond = 0u32;
+                    for &k in &self.batch_ids {
+                        cond += u32::from(est.is_conditioned(k));
+                        if cond >= MIN_PAR_COND {
+                            break;
+                        }
+                    }
+                    cond >= MIN_PAR_COND
+                });
+            if !parallel_batch {
+                for i in 0..len {
+                    let k = self.batch_ids[i];
+                    let id = crate::AigNodeId::from_index(k as usize);
+                    let new = est.and_node_value(&self.aig_probs, id, &mut self.scratch);
+                    self.stats.and_evals += 1;
+                    self.apply_value(k, new);
+                }
+                continue;
+            }
+            let threads = exec.threads();
+            while self.par_scratch.len() < threads {
+                self.par_scratch.push(est.new_scratch());
+            }
+            self.batch_vals.clear();
+            self.batch_vals.resize(len, 0.0);
+            let chunk = len.div_ceil(threads);
+            {
+                let probs = &self.aig_probs;
+                let ids_all = &self.batch_ids;
+                let vals = &mut self.batch_vals;
+                let scratches = &mut self.par_scratch;
+                exec.run(|| {
+                    rayon::scope(|s| {
+                        for ((ids, out), scratch) in ids_all
+                            .chunks(chunk)
+                            .zip(vals.chunks_mut(chunk))
+                            .zip(scratches.iter_mut())
+                        {
+                            s.spawn(move |_| {
+                                for (slot, &k) in out.iter_mut().zip(ids) {
+                                    let id = crate::AigNodeId::from_index(k as usize);
+                                    *slot = est.and_node_value(probs, id, scratch);
+                                }
+                            });
+                        }
+                    });
+                });
+            }
+            self.stats.and_evals += len as u64;
+            for i in 0..len {
+                let k = self.batch_ids[i];
+                let v = self.batch_vals[i];
+                self.apply_value(k, v);
             }
         }
     }
@@ -393,39 +638,127 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
         }
         self.ensure_node_probs();
         self.obs_engine
-            .compute_into(&self.node_probs, &mut self.obs);
+            .compute_into_exec(&self.node_probs, &mut self.obs, self.analyzer.exec());
         self.obs_valid = true;
     }
 
+    /// Refreshes the per-fault estimates. The first call computes every
+    /// fault; later calls reuse the cached result for each fault whose
+    /// dependency set (activation driver + propagation-cone fanins, see
+    /// [`FaultDeps`]) misses the dirty nodes, and recompute the rest —
+    /// in parallel chunks when the executor and the batch warrant it.
     fn ensure_estimates(&mut self) {
         if self.estimates_valid {
             return;
         }
         self.ensure_obs();
-        let circuit = self.analyzer.circuit();
-        self.estimates.clear();
-        self.detections.clear();
-        for &fault in self.analyzer.faults() {
-            let detection = detection_probability(circuit, fault, &self.node_probs, &self.obs);
-            let driver = fault.site.driver(circuit);
-            let p = self.node_probs[driver.index()];
-            let activation = match fault.polarity {
-                StuckAt::Zero => p,
-                StuckAt::One => 1.0 - p,
-            };
-            let observability = if activation > 0.0 {
-                detection / activation
+        let analyzer = self.analyzer;
+        let circuit = analyzer.circuit();
+        let faults = analyzer.faults();
+        let exec = analyzer.exec();
+        if !self.have_estimates {
+            self.estimates.clear();
+            self.detections.clear();
+            if exec.parallel() && faults.len() >= MIN_PAR_FAULTS {
+                let node_probs = &self.node_probs;
+                let obs = &self.obs;
+                self.estimates = exec.run(|| {
+                    faults
+                        .par_iter()
+                        .map(|&fault| estimate_fault(circuit, fault, node_probs, obs))
+                        .collect()
+                });
             } else {
-                0.0
-            };
-            self.estimates.push(FaultEstimate {
-                fault,
-                activation,
-                observability,
-                detection,
-            });
-            self.detections.push(detection);
+                for &fault in faults {
+                    self.estimates.push(estimate_fault(
+                        circuit,
+                        fault,
+                        &self.node_probs,
+                        &self.obs,
+                    ));
+                }
+            }
+            self.detections
+                .extend(self.estimates.iter().map(|e| e.detection));
+            self.stats.fault_evals += faults.len() as u64;
+            self.have_estimates = true;
+        } else {
+            let deps = analyzer.fault_deps(&self.obs_engine);
+            let words = deps.words;
+            self.dirty_words.clear();
+            self.dirty_words.resize(words, 0);
+            for &a in &self.dirty_aig {
+                for &c in &deps.circ_of_aig[a as usize] {
+                    self.dirty_words[(c >> 6) as usize] |= 1 << (c & 63);
+                }
+            }
+            let dirty_words = &self.dirty_words;
+            let todo: Vec<u32> = (0..faults.len())
+                .filter(|&fi| {
+                    deps.bits[fi * words..(fi + 1) * words]
+                        .iter()
+                        .zip(dirty_words)
+                        .any(|(&row, &dirty)| row & dirty != 0)
+                })
+                .map(|fi| fi as u32)
+                .collect();
+            self.stats.fault_reuses += (faults.len() - todo.len()) as u64;
+            self.stats.fault_evals += todo.len() as u64;
+            if exec.parallel() && todo.len() >= MIN_PAR_FAULTS {
+                let node_probs = &self.node_probs;
+                let obs = &self.obs;
+                let updates: Vec<FaultEstimate> = exec.run(|| {
+                    todo.par_iter()
+                        .map(|&fi| estimate_fault(circuit, faults[fi as usize], node_probs, obs))
+                        .collect()
+                });
+                for (&fi, est) in todo.iter().zip(updates) {
+                    self.estimates[fi as usize] = est;
+                    self.detections[fi as usize] = est.detection;
+                }
+            } else {
+                for &fi in &todo {
+                    let est =
+                        estimate_fault(circuit, faults[fi as usize], &self.node_probs, &self.obs);
+                    self.estimates[fi as usize] = est;
+                    self.detections[fi as usize] = est.detection;
+                }
+            }
         }
+        for &a in &self.dirty_aig {
+            self.dirty_mark[a as usize] = false;
+        }
+        self.dirty_aig.clear();
         self.estimates_valid = true;
+    }
+}
+
+impl Clone for AnalysisSession<'_, '_> {
+    fn clone(&self) -> Self {
+        AnalysisSession {
+            analyzer: self.analyzer,
+            obs_engine: Arc::clone(&self.obs_engine),
+            input_probs: self.input_probs.clone(),
+            aig_probs: self.aig_probs.clone(),
+            scratch: self.scratch.clone(),
+            par_scratch: self.par_scratch.clone(),
+            heap: self.heap.clone(),
+            queued: self.queued.clone(),
+            batch_ids: self.batch_ids.clone(),
+            batch_vals: self.batch_vals.clone(),
+            undo: self.undo.clone(),
+            dirty_mark: self.dirty_mark.clone(),
+            dirty_aig: self.dirty_aig.clone(),
+            dirty_words: self.dirty_words.clone(),
+            node_probs: self.node_probs.clone(),
+            node_probs_valid: self.node_probs_valid,
+            obs: self.obs.clone(),
+            obs_valid: self.obs_valid,
+            estimates: self.estimates.clone(),
+            detections: self.detections.clone(),
+            estimates_valid: self.estimates_valid,
+            have_estimates: self.have_estimates,
+            stats: self.stats,
+        }
     }
 }

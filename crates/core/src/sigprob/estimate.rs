@@ -19,7 +19,10 @@
 //!    conditional probabilities are obtained by re-propagating the bounded
 //!    fanin cone with the joining points pinned.
 
+use std::sync::OnceLock;
+
 use crate::aig::{Aig, AigLit, AigNodeId};
+use crate::exec::Exec;
 use crate::params::AnalyzerParams;
 
 /// Per-AND structural cache: joining points and the bounded cone used for
@@ -57,6 +60,30 @@ pub struct SignalProbEstimator {
     aig: Aig,
     maxvers: usize,
     cache: Vec<AndCache>,
+    /// Fanin-depth ranks of the AIG, built on first use (only the parallel
+    /// passes and the incremental session need them).
+    ranks: OnceLock<Ranks>,
+    /// Read-dependency fanout map, built on first use (only incremental
+    /// sessions need it; one-shot passes never pay).
+    readers: OnceLock<Vec<Vec<u32>>>,
+}
+
+/// Fanin-depth ranks over the AIG. Every value an AND node *reads* (its
+/// fanins, its conditioning cone, the nested cones) lies in its transitive
+/// fanin and therefore on a strictly smaller rank, so nodes sharing a rank
+/// are mutually independent: a parallel pass may evaluate a whole rank
+/// concurrently against the settled lower ranks and stay bit-identical to
+/// the serial schedule.
+#[derive(Debug)]
+pub(crate) struct Ranks {
+    /// Rank per AIG node (0 for the constant and the primary inputs).
+    pub(crate) of: Vec<u32>,
+    /// AND node indices grouped by rank, ascending within each rank.
+    pub(crate) by_rank: Vec<Vec<u32>>,
+    /// Conditioned (joining-point) nodes per rank: the µs-scale kernel
+    /// invocations that make a rank worth fanning out. Product-rule nodes
+    /// are two multiplications — queueing them costs more than they do.
+    pub(crate) cond_per_rank: Vec<u32>,
 }
 
 impl SignalProbEstimator {
@@ -190,6 +217,8 @@ impl SignalProbEstimator {
             aig,
             maxvers: params.maxvers,
             cache,
+            ranks: OnceLock::new(),
+            readers: OnceLock::new(),
         }
     }
 
@@ -230,14 +259,103 @@ impl SignalProbEstimator {
         probs
     }
 
-    /// Deprecated name of [`full_estimate`](Self::full_estimate).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Analyzer::session` / `AnalysisSession` for repeated \
-                re-estimation, or `full_estimate` for a one-shot pass"
-    )]
-    pub fn estimate(&self, input_probs: &[f64]) -> Vec<f64> {
-        self.full_estimate(input_probs)
+    /// Like [`full_estimate`](Self::full_estimate) but spread over the
+    /// executor's threads, one fanin-depth rank at a time: within a rank
+    /// every node's read set (fanins + conditioning cones) lies on lower
+    /// ranks, so workers evaluate disjoint chunks against the settled
+    /// prefix and the results are written back in node-index order. Each
+    /// per-node value is produced by the same kernel reading the same
+    /// settled values as the serial pass, so the output is bit-identical.
+    pub(crate) fn full_estimate_exec(&self, input_probs: &[f64], exec: &Exec) -> Vec<f64> {
+        if !exec.parallel() {
+            return self.full_estimate(input_probs);
+        }
+        assert_eq!(
+            input_probs.len(),
+            self.aig.num_inputs(),
+            "one probability per primary input"
+        );
+        let n = self.aig.len();
+        let mut probs = vec![0.0f64; n];
+        probs[0] = 1.0;
+        for (pos, &p) in input_probs.iter().enumerate() {
+            probs[self.aig.input_node(pos).index()] = p;
+        }
+        let ranks = self.ranks();
+        let threads = exec.threads();
+        let mut scratches: Vec<Scratch2> = (0..threads).map(|_| self.new_scratch()).collect();
+        let mut vals: Vec<f64> = Vec::new();
+        exec.run(|| {
+            for (ri, rank) in ranks.by_rank.iter().enumerate() {
+                if rank.is_empty() {
+                    continue;
+                }
+                if ranks.cond_per_rank[ri] < MIN_PAR_COND && rank.len() < MIN_PAR_WIDE {
+                    for &k in rank {
+                        let id = AigNodeId::from_index(k as usize);
+                        probs[k as usize] = self.and_node_value(&probs, id, &mut scratches[0]);
+                    }
+                    continue;
+                }
+                vals.clear();
+                vals.resize(rank.len(), 0.0);
+                let chunk = rank.len().div_ceil(threads);
+                let probs_ref = &probs;
+                rayon::scope(|s| {
+                    for ((ids, out), scratch) in rank
+                        .chunks(chunk)
+                        .zip(vals.chunks_mut(chunk))
+                        .zip(scratches.iter_mut())
+                    {
+                        s.spawn(move |_| {
+                            for (slot, &k) in out.iter_mut().zip(ids) {
+                                let id = AigNodeId::from_index(k as usize);
+                                *slot = self.and_node_value(probs_ref, id, scratch);
+                            }
+                        });
+                    }
+                });
+                for (&k, &v) in rank.iter().zip(vals.iter()) {
+                    probs[k as usize] = v;
+                }
+            }
+        });
+        probs
+    }
+
+    /// The fanin-depth [`Ranks`] of the AIG, built on first use.
+    pub(crate) fn ranks(&self) -> &Ranks {
+        self.ranks.get_or_init(|| {
+            let n = self.aig.len();
+            let mut of = vec![0u32; n];
+            let mut by_rank: Vec<Vec<u32>> = Vec::new();
+            let mut cond_per_rank: Vec<u32> = Vec::new();
+            for k in 1..n {
+                let id = AigNodeId::from_index(k);
+                let Some((la, lb)) = self.aig.and_fanins(id) else {
+                    continue;
+                };
+                let rank = 1 + of[la.node().index()].max(of[lb.node().index()]);
+                of[k] = rank;
+                if by_rank.len() <= rank as usize {
+                    by_rank.resize(rank as usize + 1, Vec::new());
+                    cond_per_rank.resize(rank as usize + 1, 0);
+                }
+                by_rank[rank as usize].push(k as u32);
+                cond_per_rank[rank as usize] += u32::from(!self.cache[k].joining.is_empty());
+            }
+            Ranks {
+                of,
+                by_rank,
+                cond_per_rank,
+            }
+        })
+    }
+
+    /// Whether a node runs the conditioned (joining-point) kernel — the
+    /// expensive case the parallel batching thresholds count.
+    pub(crate) fn is_conditioned(&self, k: u32) -> bool {
+        !self.cache[k as usize].joining.is_empty()
     }
 
     /// Fresh scratch space sized for this estimator's AIG.
@@ -282,8 +400,14 @@ impl SignalProbEstimator {
     ///
     /// Every read of an AND node lies in its transitive fanin, so
     /// `readers[x]` only contains indices greater than `x` — a worklist
-    /// popped in ascending order visits nodes in dependency order.
-    pub(crate) fn reader_map(&self) -> Vec<Vec<u32>> {
+    /// popped in ascending order visits nodes in dependency order. Built
+    /// on first use and cached: every session over this estimator shares
+    /// one map.
+    pub(crate) fn readers(&self) -> &[Vec<u32>] {
+        self.readers.get_or_init(|| self.build_reader_map())
+    }
+
+    fn build_reader_map(&self) -> Vec<Vec<u32>> {
         let n = self.aig.len();
         let mut readers: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut readset: Vec<u32> = Vec::new();
@@ -697,6 +821,16 @@ const MAX_NESTED_CONE: usize = 32;
 /// Candidate-count bound for nested conditioning inside the scoring pass.
 const MAX_NESTED_SCORING: usize = 12;
 
+/// Minimum conditioned-node count for fanning a rank out to worker
+/// threads: conditioned kernels cost microseconds each, so a handful
+/// already covers the spawn/synchronization overhead.
+pub(crate) const MIN_PAR_COND: u32 = 4;
+
+/// Ranks with at least this many nodes are fanned out even without
+/// conditioned members — at this width the two-multiplication product
+/// nodes amortize the queueing cost.
+pub(crate) const MIN_PAR_WIDE: usize = 1024;
+
 /// Probability of a literal given per-node probabilities.
 pub(crate) fn lit_prob(probs: &[f64], lit: AigLit) -> f64 {
     let p = probs[lit.node().index()];
@@ -708,7 +842,7 @@ pub(crate) fn lit_prob(probs: &[f64], lit: AigLit) -> f64 {
 }
 
 /// Epoch-stamped scratch values for conditional propagation (O(1) reset).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Scratch {
     value: Vec<f64>,
     stamp: Vec<u32>,
@@ -773,7 +907,7 @@ impl Scratch {
 /// one for nested (per-cone-node) conditioning, which runs while the outer
 /// pass is mid-walk. Opaque outside this module; obtained via
 /// [`SignalProbEstimator::new_scratch`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Scratch2 {
     outer: Scratch,
     inner: Scratch,
@@ -789,7 +923,7 @@ pub(crate) struct Scratch2 {
 }
 
 /// See [`Scratch2::cond`].
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct CondState {
     /// Joining-candidate indices of the last selected `W` (ascending).
     w: Vec<u32>,
@@ -845,7 +979,7 @@ fn affected_sublist(cache: &AndCache, w_idx: &[u32]) -> Vec<u32> {
 
 /// Epoch-stamped memo table for nested cone values, keyed by
 /// `(cone index) << |W| | projected assignment`.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct Memo {
     value: Vec<f64>,
     stamp: Vec<u32>,

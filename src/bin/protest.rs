@@ -20,6 +20,9 @@
 //! --count N         number of patterns to emit (patterns subcommand)
 //! --optimized       use optimized probabilities (patterns subcommand)
 //! --seed S          RNG seed (default 1)
+//! --threads N       analysis worker threads (default: PROTEST_THREADS or
+//!                   the machine's available parallelism; results are
+//!                   bit-identical at every thread count)
 //! ```
 
 use std::fmt::Write as _;
@@ -30,7 +33,7 @@ use protest::prelude::*;
 use protest_core::optimize::{HillClimber, OptimizeParams};
 use protest_core::report::TestabilityReport;
 use protest_core::testlen::required_test_length_fraction;
-use protest_core::InputProbs;
+use protest_core::{AnalyzerParams, InputProbs};
 use protest_netlist::{parse_bench, parse_pdl, CircuitStats};
 use protest_sim::{coverage_run, PatternSet, ReplaySource};
 
@@ -52,7 +55,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage: protest <stats|analyze|optimize|patterns|simulate> <circuit> [options]
 options: --prob P  --testlen D,E  --hardest K  --n-target N  --count N
-         --optimized  --patterns FILE  --seed S";
+         --optimized  --patterns FILE  --seed S  --threads N";
 
 /// Parsed command-line options.
 struct Options {
@@ -64,6 +67,7 @@ struct Options {
     optimized: bool,
     patterns_file: Option<String>,
     seed: u64,
+    threads: usize,
 }
 
 impl Default for Options {
@@ -77,6 +81,7 @@ impl Default for Options {
             optimized: false,
             patterns_file: None,
             seed: 1,
+            threads: 0,
         }
     }
 }
@@ -127,6 +132,11 @@ fn run(args: &[String]) -> Result<String, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -163,8 +173,19 @@ fn cmd_stats(circuit: &Circuit) -> Result<String, String> {
     Ok(format!("{}\n", CircuitStats::of(circuit)))
 }
 
+/// Analyzer honoring the CLI's `--threads` (0 = auto).
+fn analyzer_for<'c>(circuit: &'c Circuit, opts: &Options) -> Analyzer<'c> {
+    Analyzer::with_params(
+        circuit,
+        AnalyzerParams {
+            num_threads: opts.threads,
+            ..AnalyzerParams::default()
+        },
+    )
+}
+
 fn cmd_analyze(circuit: &Circuit, opts: &Options) -> Result<String, String> {
-    let analyzer = Analyzer::new(circuit);
+    let analyzer = analyzer_for(circuit, opts);
     let probs = InputProbs::constant(circuit.num_inputs(), opts.prob).map_err(|e| e.to_string())?;
     let analysis = analyzer.run(&probs).map_err(|e| e.to_string())?;
     let report = TestabilityReport::new(&analyzer, &analysis, &opts.testlens, opts.hardest);
@@ -172,7 +193,7 @@ fn cmd_analyze(circuit: &Circuit, opts: &Options) -> Result<String, String> {
 }
 
 fn cmd_optimize(circuit: &Circuit, opts: &Options) -> Result<String, String> {
-    let analyzer = Analyzer::new(circuit);
+    let analyzer = analyzer_for(circuit, opts);
     let params = OptimizeParams {
         n_target: opts.n_target,
         seed: opts.seed,
@@ -207,7 +228,7 @@ fn cmd_patterns(circuit: &Circuit, opts: &Options) -> Result<String, String> {
         .map(|&i| circuit.node_label(i))
         .collect();
     let probs = if opts.optimized {
-        let analyzer = Analyzer::new(circuit);
+        let analyzer = analyzer_for(circuit, opts);
         let params = OptimizeParams {
             n_target: opts.n_target,
             seed: opts.seed,
@@ -324,6 +345,16 @@ mod tests {
         .unwrap();
         let _ = fs::remove_file(&pat_path);
         assert!(out.contains("coverage"), "{out}");
+    }
+
+    #[test]
+    fn threads_flag_is_accepted_and_results_match_serial() {
+        let f = write_c17();
+        let p = f.0.to_str().unwrap();
+        let serial = run(&args(&["analyze", p, "--threads", "1"])).unwrap();
+        let parallel = run(&args(&["analyze", p, "--threads", "4"])).unwrap();
+        assert_eq!(serial, parallel, "reports must be bit-identical");
+        assert!(run(&args(&["analyze", p, "--threads", "zero?"])).is_err());
     }
 
     #[test]

@@ -65,6 +65,67 @@ fn assert_matches_fresh(
     }
 }
 
+/// The incremental fault query cache: two structurally disjoint cones in
+/// one circuit — mutating an input of cone A must *reuse* every cached
+/// fault estimate of cone B (its dependency set misses the dirty nodes)
+/// while still matching a fresh from-scratch analysis bit for bit.
+#[test]
+fn fault_query_cache_reuses_untouched_cones() {
+    let mut b = CircuitBuilder::new("two_cones");
+    let xs = b.input_bus("x", 4);
+    let ys = b.input_bus("y", 4);
+    let za = b.and_tree(&xs);
+    let zb = b.or_tree(&ys);
+    b.output(za, "za");
+    b.output(zb, "zb");
+    let ckt = b.finish().unwrap();
+    let analyzer = Analyzer::new(&ckt);
+    let mut session = analyzer.session(&InputProbs::uniform(8)).unwrap();
+
+    // The first query computes every fault, reusing nothing.
+    session.fault_detect_probs();
+    let s0 = session.stats();
+    assert_eq!(s0.fault_evals as usize, analyzer.faults().len());
+    assert_eq!(s0.fault_reuses, 0);
+
+    // Mutating an x-input dirties only the AND cone: every y-cone fault
+    // must be served from the cache, and some x-cone fault recomputed.
+    session.set_input_prob(0, 0.75).unwrap();
+    session.fault_detect_probs();
+    let s1 = session.stats();
+    assert!(
+        s1.fault_reuses > 0,
+        "faults of the untouched OR cone must be reused: {s1:?}"
+    );
+    assert!(
+        s1.fault_evals > s0.fault_evals,
+        "faults of the dirtied AND cone must be recomputed: {s1:?}"
+    );
+    assert_eq!(
+        (s1.fault_evals - s0.fault_evals) + (s1.fault_reuses - s0.fault_reuses),
+        analyzer.faults().len() as u64,
+        "every fault is either recomputed or reused"
+    );
+
+    // A query with no intervening mutation touches nothing at all.
+    session.fault_detect_probs();
+    assert_eq!(session.stats(), s1);
+
+    // And the patched cache still matches a fresh analysis exactly.
+    let probs: Vec<f64> = session.input_probs().to_vec();
+    assert_matches_fresh(&mut session, &analyzer, &probs);
+
+    // Reverting a trial move marks the restored nodes dirty (conservative),
+    // so the next query recomputes the cone once more — but never the
+    // disjoint one.
+    session.snapshot();
+    session.set_input_prob(1, 0.25).unwrap();
+    session.revert();
+    session.fault_detect_probs();
+    let s2 = session.stats();
+    assert!(s2.fault_reuses > s1.fault_reuses, "{s2:?}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

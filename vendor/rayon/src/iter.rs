@@ -1,0 +1,378 @@
+//! Chunked parallel iterators over slices and ranges (API subset).
+//!
+//! Every iterator here is *indexed*: it knows its length, splits into
+//! contiguous pieces, and `collect::<Vec<_>>()` preserves item order, so
+//! switching a serial `iter()` to `par_iter()` changes neither results nor
+//! ordering. Execution fans the items out as at most one contiguous chunk
+//! per pool thread inside a [`crate::scope`]; on a serial pool (or for a
+//! single-item iterator) everything runs inline on the caller.
+
+use std::ops::Range;
+
+/// A parallel iterator (API subset: `map`, `enumerate`, `for_each`,
+/// `collect`, `len`).
+///
+/// The `pi_*` methods are the shim's internal producer machinery (public
+/// so the driver can be generic, hidden because upstream has no such
+/// methods — code written against this trait should not call them).
+#[allow(clippy::len_without_is_empty)]
+pub trait ParallelIterator: Sized + Send {
+    /// The item type.
+    type Item: Send;
+
+    /// Number of items left.
+    #[doc(hidden)]
+    fn pi_len(&self) -> usize;
+
+    /// Splits into `[0, index)` and `[index, len)`.
+    #[doc(hidden)]
+    fn pi_split_at(self, index: usize) -> (Self, Self);
+
+    /// Sequentially feeds every item to `sink`, in order.
+    #[doc(hidden)]
+    fn pi_drain(self, sink: &mut dyn FnMut(Self::Item));
+
+    /// Maps each item through `f`.
+    ///
+    /// Unlike upstream, the shim requires `F: Clone` (each chunk gets its
+    /// own copy); closures capturing only shared references are `Clone`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send + Clone,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Runs `f` on every item, in parallel chunks.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        run_chunks(self, &|chunk| chunk.pi_drain(&mut |item| f(item)));
+    }
+
+    /// Collects into a collection (the shim implements `Vec<T>`),
+    /// preserving item order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Number of items (every shim iterator is exactly sized).
+    fn len(&self) -> usize {
+        self.pi_len()
+    }
+}
+
+/// Conversion into a [`ParallelIterator`], mirroring upstream.
+pub trait IntoParallelIterator {
+    /// The iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type.
+    type Item: Send;
+    /// Converts self.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` on `&C` collections, mirroring upstream's blanket impl.
+pub trait IntoParallelRefIterator<'data> {
+    /// The iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type (a shared reference).
+    type Item: Send + 'data;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoParallelIterator,
+{
+    type Iter = <&'data C as IntoParallelIterator>::Iter;
+    type Item = <&'data C as IntoParallelIterator>::Item;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut()` on `&mut C` collections, mirroring upstream.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type (a mutable reference).
+    type Item: Send + 'data;
+    /// Borrowing parallel iterator.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoParallelIterator,
+{
+    type Iter = <&'data mut C as IntoParallelIterator>::Iter;
+    type Item = <&'data mut C as IntoParallelIterator>::Item;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Collection types buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection, preserving item order.
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T>,
+    {
+        let total = iter.pi_len();
+        let chunks = run_chunks(iter, &|chunk| {
+            let mut items = Vec::with_capacity(chunk.pi_len());
+            chunk.pi_drain(&mut |item| items.push(item));
+            items
+        });
+        let mut out = Vec::with_capacity(total);
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+/// Splits `iter` into at most one contiguous chunk per pool thread, runs
+/// `run` on each inside a scope, and returns the per-chunk results in
+/// order. Serial pools (and trivial lengths) run inline.
+fn run_chunks<I, R, F>(iter: I, run: &F) -> Vec<R>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let threads = crate::current_num_threads();
+    let len = iter.pi_len();
+    if threads <= 1 || len <= 1 {
+        return vec![run(iter)];
+    }
+    let num_chunks = threads.min(len);
+    let mut pieces = Vec::with_capacity(num_chunks);
+    let mut rest = iter;
+    let mut remaining = len;
+    for i in 0..num_chunks {
+        let take = remaining.div_ceil(num_chunks - i);
+        let (head, tail) = rest.pi_split_at(take);
+        pieces.push(head);
+        rest = tail;
+        remaining -= take;
+        if remaining == 0 {
+            break;
+        }
+    }
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(pieces.len()).collect();
+    crate::scope(|s| {
+        for (piece, slot) in pieces.drain(..).zip(slots.iter_mut()) {
+            s.spawn(move |_| *slot = Some(run(piece)));
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("chunk completed without a result"))
+        .collect()
+}
+
+/// Borrowing iterator over a slice (`par_iter`).
+#[derive(Debug)]
+pub struct Iter<'data, T: Sync> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for Iter<'data, T> {
+    type Item = &'data T;
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(index);
+        (Iter { slice: a }, Iter { slice: b })
+    }
+    fn pi_drain(self, sink: &mut dyn FnMut(Self::Item)) {
+        for item in self.slice {
+            sink(item);
+        }
+    }
+}
+
+impl<'data, T: Sync> IntoParallelIterator for &'data [T] {
+    type Iter = Iter<'data, T>;
+    type Item = &'data T;
+    fn into_par_iter(self) -> Self::Iter {
+        Iter { slice: self }
+    }
+}
+
+impl<'data, T: Sync> IntoParallelIterator for &'data Vec<T> {
+    type Iter = Iter<'data, T>;
+    type Item = &'data T;
+    fn into_par_iter(self) -> Self::Iter {
+        Iter { slice: self }
+    }
+}
+
+/// Mutably borrowing iterator over a slice (`par_iter_mut`).
+#[derive(Debug)]
+pub struct IterMut<'data, T: Send> {
+    slice: &'data mut [T],
+}
+
+impl<'data, T: Send> ParallelIterator for IterMut<'data, T> {
+    type Item = &'data mut T;
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(index);
+        (IterMut { slice: a }, IterMut { slice: b })
+    }
+    fn pi_drain(self, sink: &mut dyn FnMut(Self::Item)) {
+        for item in self.slice {
+            sink(item);
+        }
+    }
+}
+
+impl<'data, T: Send> IntoParallelIterator for &'data mut [T] {
+    type Iter = IterMut<'data, T>;
+    type Item = &'data mut T;
+    fn into_par_iter(self) -> Self::Iter {
+        IterMut { slice: self }
+    }
+}
+
+impl<'data, T: Send> IntoParallelIterator for &'data mut Vec<T> {
+    type Iter = IterMut<'data, T>;
+    type Item = &'data mut T;
+    fn into_par_iter(self) -> Self::Iter {
+        IterMut { slice: self }
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+#[derive(Debug)]
+pub struct RangeIter {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+    fn pi_len(&self) -> usize {
+        self.range.len()
+    }
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let mid = self.range.start + index;
+        (
+            RangeIter {
+                range: self.range.start..mid,
+            },
+            RangeIter {
+                range: mid..self.range.end,
+            },
+        )
+    }
+    fn pi_drain(self, sink: &mut dyn FnMut(Self::Item)) {
+        for i in self.range {
+            sink(i);
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+    fn into_par_iter(self) -> Self::Iter {
+        RangeIter { range: self }
+    }
+}
+
+/// Mapped parallel iterator (see [`ParallelIterator::map`]).
+#[derive(Debug)]
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send + Clone,
+{
+    type Item = R;
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.pi_split_at(index);
+        (
+            Map {
+                base: a,
+                f: self.f.clone(),
+            },
+            Map { base: b, f: self.f },
+        )
+    }
+    fn pi_drain(self, sink: &mut dyn FnMut(Self::Item)) {
+        let f = self.f;
+        self.base.pi_drain(&mut |item| sink(f(item)));
+    }
+}
+
+/// Index-pairing parallel iterator (see [`ParallelIterator::enumerate`]).
+#[derive(Debug)]
+pub struct Enumerate<I> {
+    base: I,
+    offset: usize,
+}
+
+impl<I> ParallelIterator for Enumerate<I>
+where
+    I: ParallelIterator,
+{
+    type Item = (usize, I::Item);
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.pi_split_at(index);
+        (
+            Enumerate {
+                base: a,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: b,
+                offset: self.offset + index,
+            },
+        )
+    }
+    fn pi_drain(self, sink: &mut dyn FnMut(Self::Item)) {
+        let mut index = self.offset;
+        self.base.pi_drain(&mut |item| {
+            sink((index, item));
+            index += 1;
+        });
+    }
+}

@@ -1,0 +1,443 @@
+//! Offline shim for the subset of the `rayon` 1.x API used by PROTEST.
+//!
+//! The build environment cannot reach crates.io, so this crate implements
+//! the pieces the workspace actually uses: a persistent [`ThreadPool`] of
+//! `std::thread` workers ([`ThreadPoolBuilder`] with `num_threads`),
+//! [`join`], [`scope`] with panic propagation, and chunked parallel
+//! iterators over slices and ranges (`par_iter` / `par_iter_mut` /
+//! `into_par_iter` with `map` / `enumerate` / `for_each` / `collect`, see
+//! [`prelude`]). `workspace.dependencies` points the `rayon` name here, so
+//! the upstream crate can drop in unchanged later.
+//!
+//! Deviations from upstream, all deliberate:
+//!
+//! * No work stealing: jobs go through one shared injector queue, and
+//!   threads blocked in [`scope`] help drain it (which also makes nested
+//!   scopes deadlock-free). Fine for the coarse chunks PROTEST spawns,
+//!   wrong granularity for microtasks.
+//! * A pool of `num_threads = N` spawns `N − 1` workers; the calling
+//!   thread is the N-th executor (it participates while waiting). With
+//!   `N ≤ 1` nothing is spawned and every operation degenerates to plain
+//!   serial execution on the caller.
+//! * [`ParallelIterator::map`] additionally requires `F: Clone` (upstream
+//!   shares the closure by reference through its producer machinery; the
+//!   shim clones it into each chunk). Closures capturing only shared
+//!   references — every use in this workspace — are `Clone` automatically.
+//! * Parallel iterators are always "indexed": chunks are contiguous and
+//!   `collect::<Vec<_>>()` preserves item order, matching upstream's
+//!   behavior for the slice/range iterators implemented here.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+pub mod iter;
+pub mod prelude;
+
+/// A queued unit of work. Lifetime-erased: [`scope`] guarantees every job
+/// runs before the borrows it captures expire.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between a pool's workers and the threads using it.
+struct PoolState {
+    /// Shared injector queue (no per-worker deques / stealing).
+    queue: Mutex<VecDeque<Job>>,
+    /// Signals queued jobs, job completion and shutdown.
+    condvar: Condvar,
+    /// Logical executor count, *including* the installing caller.
+    threads: usize,
+    shutdown: AtomicBool,
+}
+
+impl PoolState {
+    fn push_job(&self, job: Job) {
+        self.queue.lock().unwrap().push_back(job);
+        self.condvar.notify_all();
+    }
+
+    /// Pops one job without blocking.
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().unwrap().pop_front()
+    }
+}
+
+/// Worker main loop: drain the queue, park when empty, exit on shutdown
+/// (only after the queue is empty, so no job is ever dropped unexecuted).
+fn worker_loop(state: Arc<PoolState>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some(state.clone()));
+    loop {
+        let job = {
+            let mut queue = state.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = state.condvar.wait(queue).unwrap();
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+thread_local! {
+    /// The pool the current thread belongs to (workers) or has installed
+    /// (callers inside [`ThreadPool::install`]).
+    static CURRENT: RefCell<Option<Arc<PoolState>>> = const { RefCell::new(None) };
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+fn global_pool() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| {
+        ThreadPoolBuilder::new()
+            .build()
+            .expect("failed to spawn global thread pool")
+    })
+}
+
+/// The pool the current thread should run parallel work on: its own pool
+/// (worker threads and `install` callers), else the global one.
+fn current_state() -> Arc<PoolState> {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .unwrap_or_else(|| global_pool().state.clone())
+    })
+}
+
+/// Number of logical threads parallel work is spread over in the current
+/// context (1 means everything runs serially on the caller).
+pub fn current_num_threads() -> usize {
+    current_state().threads
+}
+
+/// Error building a [`ThreadPool`].
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    message: String,
+}
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] (API subset: `num_threads` only).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default configuration (one thread per available
+    /// CPU).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of threads (0 = one per available CPU).
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool, spawning its workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a worker thread cannot be spawned.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.num_threads
+        };
+        let state = Arc::new(PoolState {
+            queue: Mutex::new(VecDeque::new()),
+            condvar: Condvar::new(),
+            threads,
+            shutdown: AtomicBool::new(false),
+        });
+        // The installing caller is the N-th executor; N ≤ 1 spawns nothing
+        // and keeps every operation strictly serial.
+        let mut handles = Vec::new();
+        for i in 1..threads {
+            let worker_state = state.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("rayon-shim-{i}"))
+                .spawn(move || worker_loop(worker_state));
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    // Shut down the workers already spawned before
+                    // reporting failure — otherwise they'd park on the
+                    // condvar forever.
+                    state.shutdown.store(true, Ordering::SeqCst);
+                    state.condvar.notify_all();
+                    for handle in handles {
+                        let _ = handle.join();
+                    }
+                    return Err(ThreadPoolBuildError {
+                        message: e.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(ThreadPool { state, handles })
+    }
+
+    /// Builds the pool and installs it as the global one.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the global pool was already initialized or a
+    /// worker cannot be spawned.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let pool = self.build()?;
+        GLOBAL.set(pool).map_err(|_| ThreadPoolBuildError {
+            message: "global thread pool already initialized".to_string(),
+        })
+    }
+}
+
+/// A persistent pool of worker threads.
+pub struct ThreadPool {
+    state: Arc<PoolState>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.state.threads)
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// The pool's logical thread count (including the installing caller).
+    pub fn current_num_threads(&self) -> usize {
+        self.state.threads
+    }
+
+    /// Runs `op` with this pool as the current one: [`join`], [`scope`]
+    /// and the parallel iterators called inside use this pool's workers.
+    /// `op` itself runs on the calling thread, which participates in the
+    /// work while waiting.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        struct Restore(Option<Arc<PoolState>>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let previous = self.0.take();
+                CURRENT.with(|c| *c.borrow_mut() = previous);
+            }
+        }
+        let previous = CURRENT.with(|c| c.borrow_mut().replace(self.state.clone()));
+        let _restore = Restore(previous);
+        op()
+    }
+
+    /// [`scope`] on this pool.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R + Send,
+        R: Send,
+    {
+        self.install(|| scope(op))
+    }
+
+    /// [`join`] on this pool.
+    pub fn join<A, B, RA, RB>(&self, oper_a: A, oper_b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        self.install(|| join(oper_a, oper_b))
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.condvar.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Book-keeping for one [`scope`] invocation.
+struct ScopeState {
+    pool: Arc<PoolState>,
+    /// Spawned jobs not yet completed.
+    pending: AtomicUsize,
+    /// First panic payload from a spawned job.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl ScopeState {
+    fn store_panic(&self, payload: Box<dyn Any + Send + 'static>) {
+        let mut slot = self.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    /// Marks one job done and wakes waiters. The queue lock is taken so
+    /// the decrement cannot race with a waiter that just checked `pending`
+    /// and is about to sleep.
+    fn complete_one(&self) {
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+        let _guard = self.pool.queue.lock().unwrap();
+        self.pool.condvar.notify_all();
+    }
+}
+
+/// A scope for spawning borrowed work; see [`scope`].
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    /// Invariant over `'scope`, as in upstream rayon.
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns a job that may borrow anything outliving the scope. The job
+    /// runs on the pool (inline when the pool is serial) and is guaranteed
+    /// to finish before [`scope`] returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        let state = self.state.clone();
+        state.pending.fetch_add(1, Ordering::SeqCst);
+        let run = {
+            let state = state.clone();
+            move || {
+                let scope = Scope {
+                    state: state.clone(),
+                    marker: PhantomData,
+                };
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&scope))) {
+                    state.store_panic(payload);
+                }
+                state.complete_one();
+            }
+        };
+        if state.pool.threads <= 1 {
+            // Serial pool: degenerate to immediate inline execution.
+            run();
+            return;
+        }
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(run);
+        // SAFETY: `scope` (the only constructor of `Scope` values handed
+        // to user code) does not return until `pending` reaches zero, and
+        // `pending` is only decremented after a job has run. Jobs are
+        // never dropped unexecuted (workers drain the queue before honoring
+        // shutdown; waiters help drain it), so every borrow with lifetime
+        // `'scope` inside the job is used strictly before it expires.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        state.pool.push_job(job);
+    }
+}
+
+/// Creates a scope in which borrowed work can be [`spawn`](Scope::spawn)ed,
+/// waits for all of it, and propagates the first panic (if any). Runs on
+/// the current pool (the surrounding [`ThreadPool::install`], the worker's
+/// own pool, or the global pool).
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    scope_in(current_state(), op)
+}
+
+fn scope_in<'scope, OP, R>(pool: Arc<PoolState>, op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let state = Arc::new(ScopeState {
+        pool,
+        pending: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+    });
+    let scope = Scope {
+        state: state.clone(),
+        marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    // Always wait — even when `op` panicked — so spawned jobs never outlive
+    // the borrows they capture. While waiting, help run queued jobs (ours
+    // or any other scope's): this is what makes nested scopes safe.
+    loop {
+        if state.pending.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+        if let Some(job) = state.pool.try_pop() {
+            job();
+            continue;
+        }
+        let guard = state.pool.queue.lock().unwrap();
+        if state.pending.load(Ordering::SeqCst) == 0 || !guard.is_empty() {
+            continue;
+        }
+        drop(state.pool.condvar.wait(guard).unwrap());
+    }
+    match result {
+        Err(payload) => resume_unwind(payload),
+        Ok(value) => {
+            if let Some(payload) = state.panic.lock().unwrap().take() {
+                resume_unwind(payload);
+            }
+            value
+        }
+    }
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+/// Panics in either closure propagate after both have been waited for.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = current_state();
+    if pool.threads <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    let mut rb = None;
+    let rb_slot = &mut rb;
+    let ra = scope_in(pool, |s| {
+        s.spawn(move |_| *rb_slot = Some(oper_b()));
+        oper_a()
+    });
+    let rb = rb.expect("join: second operand completed without a result");
+    (ra, rb)
+}

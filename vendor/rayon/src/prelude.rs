@@ -1,0 +1,7 @@
+//! The traits needed to use parallel iterators, mirroring
+//! `rayon::prelude`.
+
+pub use crate::iter::{
+    FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+    IntoParallelRefMutIterator, ParallelIterator,
+};

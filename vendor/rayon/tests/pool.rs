@@ -1,0 +1,254 @@
+//! Unit tests for the vendored rayon-subset shim: pool lifecycle, `join`,
+//! `scope` (including panic propagation and nesting), and the chunked
+//! parallel iterators. Everything runs against explicit pools so the tests
+//! behave the same on single-core and many-core machines.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+
+fn pool(threads: usize) -> ThreadPool {
+    ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool builds")
+}
+
+#[test]
+fn builder_reports_thread_count() {
+    for n in [1, 2, 4] {
+        assert_eq!(pool(n).current_num_threads(), n);
+    }
+}
+
+#[test]
+fn install_sets_current_num_threads() {
+    let p = pool(3);
+    assert_eq!(p.install(rayon::current_num_threads), 3);
+}
+
+#[test]
+fn join_returns_both_results() {
+    for n in [1, 4] {
+        let p = pool(n);
+        let (a, b) = p.join(|| 2 + 2, || "ok".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}
+
+#[test]
+fn join_can_borrow_mutably_from_the_stack() {
+    let p = pool(4);
+    let mut left = 0u64;
+    let mut right = 0u64;
+    p.join(
+        || left = (0..1000u64).sum(),
+        || right = (0..100u64).product::<u64>().wrapping_add(7),
+    );
+    assert_eq!(left, 499_500);
+    assert_eq!(right, 7);
+}
+
+#[test]
+fn scope_runs_every_spawned_job() {
+    for n in [1, 2, 4] {
+        let p = pool(n);
+        let counter = AtomicUsize::new(0);
+        p.scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 64, "num_threads = {n}");
+    }
+}
+
+#[test]
+fn nested_scopes_complete() {
+    for n in [1, 4] {
+        let p = pool(n);
+        let counter = AtomicUsize::new(0);
+        p.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    rayon::scope(|inner| {
+                        for _ in 0..8 {
+                            inner.spawn(|_| {
+                                counter.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 32, "num_threads = {n}");
+    }
+}
+
+#[test]
+fn scope_spawn_can_respawn_on_the_scope_argument() {
+    let p = pool(4);
+    let counter = AtomicUsize::new(0);
+    p.scope(|s| {
+        s.spawn(|s| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            s.spawn(|_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+    });
+    assert_eq!(counter.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn scope_propagates_spawned_panic_after_waiting() {
+    for n in [1, 4] {
+        let p = pool(n);
+        let finished = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            p.scope(|s| {
+                s.spawn(|_| panic!("boom in a spawned job"));
+                for _ in 0..8 {
+                    s.spawn(|_| {
+                        finished.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }));
+        let payload = result.expect_err("scope must rethrow the spawned panic");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("non-str payload");
+        assert!(message.contains("boom"), "unexpected payload: {message}");
+        // The panic is only rethrown after every sibling job has run.
+        assert_eq!(finished.load(Ordering::SeqCst), 8, "num_threads = {n}");
+    }
+}
+
+#[test]
+fn pool_survives_a_panicked_scope() {
+    let p = pool(2);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        p.scope(|s| s.spawn(|_| panic!("first use panics")));
+    }));
+    assert!(result.is_err());
+    // The workers must still be alive and accept new work.
+    let (a, b) = p.join(|| 1, || 2);
+    assert_eq!((a, b), (1, 2));
+}
+
+#[test]
+fn par_iter_collect_preserves_order() {
+    let input: Vec<u64> = (0..1000).collect();
+    for n in [1, 2, 4, 7] {
+        let p = pool(n);
+        let out: Vec<u64> = p.install(|| input.par_iter().map(|&x| x * x).collect());
+        let want: Vec<u64> = input.iter().map(|&x| x * x).collect();
+        assert_eq!(out, want, "num_threads = {n}");
+    }
+}
+
+#[test]
+fn par_iter_enumerate_indices_are_global() {
+    let input: Vec<u32> = (0..257).collect();
+    let p = pool(4);
+    let out: Vec<(usize, u32)> = p.install(|| input.par_iter().map(|&x| x).enumerate().collect());
+    for (i, &(idx, val)) in out.iter().enumerate() {
+        assert_eq!(idx, i);
+        assert_eq!(val as usize, i);
+    }
+}
+
+#[test]
+fn range_into_par_iter_matches_serial() {
+    let p = pool(3);
+    let out: Vec<usize> = p.install(|| (10..200).into_par_iter().map(|i| i * 3).collect());
+    let want: Vec<usize> = (10..200).map(|i| i * 3).collect();
+    assert_eq!(out, want);
+}
+
+#[test]
+fn par_iter_mut_touches_every_element_once() {
+    for n in [1, 4] {
+        let p = pool(n);
+        let mut data: Vec<usize> = vec![0; 503];
+        p.install(|| {
+            data.par_iter_mut()
+                .enumerate()
+                .for_each(|(i, slot)| *slot += i + 1)
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i + 1, "num_threads = {n}, element {i}");
+        }
+    }
+}
+
+#[test]
+fn for_each_sees_every_item() {
+    let p = pool(4);
+    let seen = Mutex::new(Vec::new());
+    p.install(|| {
+        (0..100usize)
+            .into_par_iter()
+            .for_each(|i| seen.lock().unwrap().push(i))
+    });
+    let mut got = seen.into_inner().unwrap();
+    got.sort_unstable();
+    let want: Vec<usize> = (0..100).collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn num_threads_one_degenerates_to_serial_inline_execution() {
+    // On a serial pool nothing is spawned: every job runs inline on the
+    // calling thread, so thread-identity and ordering are deterministic.
+    let p = pool(1);
+    let caller = std::thread::current().id();
+    let order = Mutex::new(Vec::new());
+    let order_ref = &order;
+    p.scope(|s| {
+        for i in 0..8 {
+            s.spawn(move |_| {
+                assert_eq!(std::thread::current().id(), caller);
+                order_ref.lock().unwrap().push(i);
+            });
+        }
+    });
+    assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<_>>());
+    let out: Vec<usize> = p.install(|| (0..32).into_par_iter().map(|i| i + 1).collect());
+    assert_eq!(out, (1..33).collect::<Vec<_>>());
+}
+
+#[test]
+fn empty_and_single_item_iterators() {
+    let p = pool(4);
+    let empty: Vec<u32> = p.install(|| Vec::<u32>::new().par_iter().map(|&x| x).collect());
+    assert!(empty.is_empty());
+    let one: Vec<u32> = p.install(|| [41u32].par_iter().map(|&x| x + 1).collect());
+    assert_eq!(one, vec![42]);
+}
+
+#[test]
+fn dropping_a_pool_joins_its_workers() {
+    // Just exercising Drop: spawn real work, drop, and build another pool.
+    let p = pool(4);
+    let counter = AtomicUsize::new(0);
+    p.scope(|s| {
+        for _ in 0..16 {
+            s.spawn(|_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+    });
+    drop(p);
+    assert_eq!(counter.load(Ordering::SeqCst), 16);
+    let p2 = pool(2);
+    assert_eq!(p2.join(|| 1, || 1), (1, 1));
+}
