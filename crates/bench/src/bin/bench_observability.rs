@@ -1,0 +1,245 @@
+//! Machine-readable benchmark of the incremental observability pass: a
+//! full reverse sweep vs the post-mutation dirty-region sweep an
+//! [`protest_core::AnalysisSession`] runs, per primary input, serial and
+//! at 4 threads, across the paper's circuits.
+//!
+//! Writes `BENCH_observability.json` (path overridable as the first CLI
+//! argument) — the perf trajectory record for the reverse-pass half of
+//! the optimizer step.
+//!
+//! ```sh
+//! cargo run --release -p protest-bench --bin bench_observability
+//! ```
+//!
+//! Interpretation: the incremental sweep re-evaluates only the gates whose
+//! pin sensitivities read a changed signal probability plus the
+//! reverse-closure of the pin observabilities that actually change. Inputs
+//! whose forward cone stays local (ALU selector lines, divider low bits)
+//! re-sweep a small fraction of the circuit; inputs feeding the whole
+//! output cone are bounded by their genuine value changes, so — exactly
+//! like the forward pass — the *mean* speedup lands near the dirty
+//! fraction while cone-local mutations win big.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use protest_bench::banner;
+use protest_circuits::{alu_74181, comp24, div_nonrestoring, mult_array};
+use protest_core::{Analyzer, AnalyzerParams, InputProbs};
+use protest_netlist::Circuit;
+
+/// Thread counts measured (index-aligned with the per-row arrays).
+const THREADS: [usize; 2] = [1, 4];
+
+struct InputRow {
+    input: usize,
+    /// Nodes the incremental sweep re-evaluated (identical at any thread
+    /// count).
+    obs_nodes: u64,
+    /// Per-thread-count incremental refresh time.
+    refresh_ms: [f64; 2],
+    /// Per-thread-count speedup vs that thread count's full sweep.
+    speedup: [f64; 2],
+}
+
+struct CircuitRow {
+    name: &'static str,
+    inputs: usize,
+    nodes: usize,
+    /// Full reverse sweep per thread count.
+    full_ms: [f64; 2],
+    per_input: Vec<InputRow>,
+}
+
+impl CircuitRow {
+    fn speedups_sorted(&self, ti: usize) -> Vec<f64> {
+        let mut s: Vec<f64> = self.per_input.iter().map(|r| r.speedup[ti]).collect();
+        s.sort_by(f64::total_cmp);
+        s
+    }
+    fn mean_speedup(&self, ti: usize) -> f64 {
+        let ms: f64 = self.per_input.iter().map(|r| r.refresh_ms[ti]).sum::<f64>()
+            / self.per_input.len() as f64;
+        self.full_ms[ti] / ms
+    }
+}
+
+fn measure(name: &'static str, circuit: &Circuit, trials: u32) -> CircuitRow {
+    let inputs = circuit.num_inputs();
+    let probs = InputProbs::uniform(inputs);
+    let mut full_ms = [0.0f64; 2];
+    let mut per_input: Vec<InputRow> = (0..inputs)
+        .map(|input| InputRow {
+            input,
+            obs_nodes: 0,
+            refresh_ms: [0.0; 2],
+            speedup: [0.0; 2],
+        })
+        .collect();
+    for (ti, &threads) in THREADS.iter().enumerate() {
+        let analyzer = Analyzer::with_params(
+            circuit,
+            AnalyzerParams {
+                num_threads: threads,
+                ..AnalyzerParams::default()
+            },
+        );
+        let mut session = analyzer.session(&probs).expect("session builds");
+        session.observabilities(); // cold sweep outside every timer
+
+        // Full sweep, measured in the same post-mutation cycle as the
+        // incremental rows: shifting *every* input makes the dirty window
+        // dense, which takes the session's full-resweep path. Same cache
+        // state, same query route — only the dirty region differs.
+        let mut elapsed = 0.0f64;
+        for r in 0..trials {
+            let delta = if r % 2 == 0 { 1.0 } else { -1.0 };
+            let shifted: Vec<f64> = probs.as_slice().iter().map(|p| p + delta / 16.0).collect();
+            session.snapshot();
+            session.set_all(&shifted).expect("probabilities in range");
+            session.signal_probs();
+            let t = Instant::now();
+            std::hint::black_box(session.observabilities());
+            elapsed += t.elapsed().as_secs_f64();
+            session.revert();
+            session.signal_probs();
+            session.observabilities();
+        }
+        full_ms[ti] = elapsed * 1e3 / f64::from(trials);
+
+        // Incremental: mutate one input, settle the forward pass, then
+        // time the observability refresh alone.
+        for (i, row) in per_input.iter_mut().enumerate() {
+            let evals0 = session.stats().obs_node_evals;
+            let mut elapsed = 0.0f64;
+            for r in 0..trials {
+                session.snapshot();
+                session
+                    .set_input_prob(i, if r % 2 == 0 { 9.0 / 16.0 } else { 7.0 / 16.0 })
+                    .expect("probability in range");
+                session.signal_probs();
+                let t = Instant::now();
+                std::hint::black_box(session.observabilities());
+                elapsed += t.elapsed().as_secs_f64();
+                // Undo the trial and re-sync (untimed) so every trial
+                // starts from the same settled state.
+                session.revert();
+                session.signal_probs();
+                session.observabilities();
+            }
+            let refresh_ms = elapsed * 1e3 / f64::from(trials);
+            row.refresh_ms[ti] = refresh_ms;
+            row.speedup[ti] = full_ms[ti] / refresh_ms;
+            // Timed + resync refreshes both run; nodes per timed refresh
+            // is half the counted delta.
+            row.obs_nodes = (session.stats().obs_node_evals - evals0) / u64::from(2 * trials);
+        }
+    }
+    CircuitRow {
+        name,
+        inputs,
+        nodes: circuit.num_nodes(),
+        full_ms,
+        per_input,
+    }
+}
+
+fn json(rows: &[CircuitRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"observability_incremental_vs_full\",\n");
+    out.push_str("  \"unit\": \"ms\",\n");
+    out.push_str(
+        "  \"description\": \"Post-mutation observability refresh timing, uniform base point, \
+         at 1 and 4 threads. full_sweep_ms: every input shifted at once (dense dirty window -> \
+         the session's full-resweep path). per_input: one input mutated (snapshot + \
+         set_input_prob + signal_probs, then the timed observabilities() refresh) -> the \
+         incremental dirty-region sweep, or the dense fallback when the window is large. \
+         obs_nodes = nodes re-evaluated per refresh (circuit total means dense fallback)\",\n",
+    );
+    out.push_str(
+        "  \"command\": \"cargo run --release -p protest-bench --bin bench_observability\",\n",
+    );
+    out.push_str("  \"threads\": [1, 4],\n");
+    out.push_str("  \"circuits\": [\n");
+    for (ci, row) in rows.iter().enumerate() {
+        let s1 = row.speedups_sorted(0);
+        let s4 = row.speedups_sorted(1);
+        let _ = write!(
+            out,
+            "    {{\n      \"name\": \"{}\",\n      \"inputs\": {},\n      \"nodes\": {},\n      \
+             \"full_sweep_ms\": {{\"t1\": {:.4}, \"t4\": {:.4}}},\n      \
+             \"speedup_best\": {{\"t1\": {:.2}, \"t4\": {:.2}}},\n      \
+             \"speedup_median\": {{\"t1\": {:.2}, \"t4\": {:.2}}},\n      \
+             \"speedup_mean\": {{\"t1\": {:.2}, \"t4\": {:.2}}},\n      \"per_input\": [\n",
+            row.name,
+            row.inputs,
+            row.nodes,
+            row.full_ms[0],
+            row.full_ms[1],
+            s1[s1.len() - 1],
+            s4[s4.len() - 1],
+            s1[s1.len() / 2],
+            s4[s4.len() / 2],
+            row.mean_speedup(0),
+            row.mean_speedup(1),
+        );
+        for (ii, r) in row.per_input.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        {{\"input\": {}, \"obs_nodes\": {}, \"refresh_ms_t1\": {:.4}, \
+                 \"refresh_ms_t4\": {:.4}, \"speedup_t1\": {:.2}, \"speedup_t4\": {:.2}}}{}",
+                r.input,
+                r.obs_nodes,
+                r.refresh_ms[0],
+                r.refresh_ms[1],
+                r.speedup[0],
+                r.speedup[1],
+                if ii + 1 == row.per_input.len() {
+                    ""
+                } else {
+                    ","
+                },
+            );
+        }
+        let _ = write!(
+            out,
+            "      ]\n    }}{}\n",
+            if ci + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    banner(
+        "incremental observability refresh vs full reverse sweeps",
+        "ROADMAP reverse-pass query-cache item / optimizer step",
+    );
+    let rows = vec![
+        measure("alu_74181", &alu_74181(), 16),
+        measure("comp24", &comp24(), 64),
+        measure("mult6", &mult_array(6), 16),
+        measure("div8x8", &div_nonrestoring(8, 8), 8),
+    ];
+    for row in &rows {
+        let s1 = row.speedups_sorted(0);
+        println!(
+            "{:10} {:3} inputs, {:4} nodes: full sweep {:8.4} ms serial | incremental speedup \
+             best {:6.2}x  median {:5.2}x  mean {:5.2}x",
+            row.name,
+            row.inputs,
+            row.nodes,
+            row.full_ms[0],
+            s1[s1.len() - 1],
+            s1[s1.len() / 2],
+            row.mean_speedup(0),
+        );
+    }
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_observability.json".to_string());
+    std::fs::write(&path, json(&rows)).expect("write benchmark JSON");
+    println!("wrote {path}");
+}

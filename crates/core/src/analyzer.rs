@@ -8,7 +8,7 @@ use std::sync::{Arc, OnceLock};
 use crate::aig::Aig;
 use crate::error::CoreError;
 use crate::exec::Exec;
-use crate::observe::Observability;
+use crate::observe::{Observability, ObservabilityEngine};
 use crate::params::{AnalyzerParams, InputProbs};
 use crate::session::AnalysisSession;
 use crate::sigprob::SignalProbEstimator;
@@ -38,9 +38,16 @@ pub struct Analyzer<'c> {
     faults: Vec<Fault>,
     uncollapsed: usize,
     exec: Exec,
+    /// The reverse-sweep structure (levelization, fanouts, wavefront
+    /// bounds), built on the first session and shared by all of them.
+    obs_engine: OnceLock<Arc<ObservabilityEngine<'c>>>,
     /// Fault→dependent-nodes bitsets for the sessions' incremental fault
     /// query cache, built on first use and shared by every session.
-    fault_deps: OnceLock<Arc<crate::session::FaultDeps>>,
+    fault_deps: OnceLock<Arc<crate::detect::FaultDeps>>,
+    /// For each AIG node, the circuit nodes carrying its probability
+    /// (inverse of `Aig::lit_of`, constants excluded) — translates the
+    /// sessions' AIG-level dirty regions into circuit-level node sets.
+    circ_of_aig: OnceLock<Vec<Vec<u32>>>,
 }
 
 impl<'c> Analyzer<'c> {
@@ -64,7 +71,9 @@ impl<'c> Analyzer<'c> {
             faults: collapsed.representatives().to_vec(),
             uncollapsed,
             exec,
+            obs_engine: OnceLock::new(),
             fault_deps: OnceLock::new(),
+            circ_of_aig: OnceLock::new(),
         }
     }
 
@@ -133,15 +142,36 @@ impl<'c> Analyzer<'c> {
         &self.exec
     }
 
+    /// The shared observability engine (crate-internal), built when the
+    /// first session over this analyzer opens — every session and clone
+    /// reuses one levelization and fanout map.
+    pub(crate) fn obs_engine(&self) -> &Arc<ObservabilityEngine<'c>> {
+        self.obs_engine
+            .get_or_init(|| Arc::new(ObservabilityEngine::new(self.circuit, &self.params)))
+    }
+
     /// The shared fault→dependent-nodes map (crate-internal), built on the
     /// first incremental fault refresh of any session over this analyzer.
-    pub(crate) fn fault_deps(
-        &self,
-        engine: &crate::observe::ObservabilityEngine<'_>,
-    ) -> Arc<crate::session::FaultDeps> {
+    pub(crate) fn fault_deps(&self) -> Arc<crate::detect::FaultDeps> {
         self.fault_deps
-            .get_or_init(|| Arc::new(crate::session::build_fault_deps(self, engine)))
+            .get_or_init(|| Arc::new(crate::detect::build_fault_deps(self)))
             .clone()
+    }
+
+    /// The AIG→circuit probability-carrier map (crate-internal), shared by
+    /// every incremental query consumer.
+    pub(crate) fn circ_of_aig(&self) -> &[Vec<u32>] {
+        self.circ_of_aig.get_or_init(|| {
+            let aig = self.estimator.aig();
+            let mut map: Vec<Vec<u32>> = vec![Vec::new(); aig.len()];
+            for c in 0..self.circuit.num_nodes() {
+                let lit = aig.lit_of(NodeId::from_index(c));
+                if !lit.is_const() {
+                    map[lit.node().index()].push(c as u32);
+                }
+            }
+            map
+        })
     }
 }
 
@@ -181,6 +211,13 @@ impl CircuitAnalysis {
     /// Estimated observability `s(x)` of a node output.
     pub fn node_observability(&self, id: NodeId) -> f64 {
         self.obs.node(id)
+    }
+
+    /// The full observability result (stem and pin values) — the
+    /// from-scratch reference the incremental session sweeps are
+    /// differentially tested against.
+    pub fn observabilities(&self) -> &Observability {
+        &self.obs
     }
 
     /// Per-fault detection estimates, aligned with

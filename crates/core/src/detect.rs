@@ -15,7 +15,9 @@
 use protest_netlist::{Circuit, CircuitBuilder, GateKind, Levels, NodeId};
 use protest_sim::{Fault, FaultSite, StuckAt};
 
+use crate::analyzer::{Analyzer, FaultEstimate};
 use crate::error::CoreError;
+use crate::exec::Exec;
 use crate::observe::Observability;
 use crate::params::InputProbs;
 use crate::sigprob::exhaustive_signal_probs;
@@ -39,6 +41,212 @@ pub fn detection_probability(
         FaultSite::InputPin { gate, pin } => obs.pin(gate, pin as usize),
     };
     (activation * s).clamp(0.0, 1.0)
+}
+
+/// The per-fault estimate, shared by the full and the incremental fault
+/// pass (and by every thread of the parallel one).
+pub(crate) fn estimate_fault(
+    circuit: &Circuit,
+    fault: Fault,
+    node_probs: &[f64],
+    obs: &Observability,
+) -> FaultEstimate {
+    let detection = detection_probability(circuit, fault, node_probs, obs);
+    let driver = fault.site.driver(circuit);
+    let p = node_probs[driver.index()];
+    let activation = match fault.polarity {
+        StuckAt::Zero => p,
+        StuckAt::One => 1.0 - p,
+    };
+    let observability = if activation > 0.0 {
+        detection / activation
+    } else {
+        0.0
+    };
+    FaultEstimate {
+        fault,
+        activation,
+        observability,
+        detection,
+    }
+}
+
+/// Minimum fault count worth fanning out to worker threads (a per-fault
+/// estimate is a handful of flops — small batches cost more to queue than
+/// to compute).
+pub(crate) const MIN_PAR_FAULTS: usize = 512;
+
+/// Session-persistent buffers of the incremental fault loop: the dirty
+/// fault list and the parallel result staging area are reused across
+/// queries instead of reallocated per optimizer trial move.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FaultScratch {
+    /// Fault indices to recompute this refresh.
+    pub(crate) todo: Vec<u32>,
+    /// Parallel-path staging: one slot per `todo` entry.
+    updates: Vec<FaultEstimate>,
+}
+
+/// Evaluates every fault from scratch into `estimates`/`detections`
+/// (cleared first, capacity reused). The parallel path chunks the fault
+/// list over the executor's workers and writes each chunk's results in
+/// fault order, so the output is bit-identical to the serial loop.
+pub(crate) fn estimate_all_faults(
+    circuit: &Circuit,
+    faults: &[Fault],
+    node_probs: &[f64],
+    obs: &Observability,
+    exec: &Exec,
+    estimates: &mut Vec<FaultEstimate>,
+    detections: &mut Vec<f64>,
+) {
+    estimates.clear();
+    detections.clear();
+    if exec.parallel() && faults.len() >= MIN_PAR_FAULTS {
+        // Placeholder rows first (reusing the buffer's capacity), then
+        // fill disjoint chunks in fault order on the workers.
+        estimates.extend(faults.iter().map(|&fault| FaultEstimate {
+            fault,
+            activation: 0.0,
+            observability: 0.0,
+            detection: 0.0,
+        }));
+        let chunk = faults.len().div_ceil(exec.threads());
+        let out_all: &mut [FaultEstimate] = estimates;
+        exec.run(|| {
+            rayon::scope(|s| {
+                for (fs, out) in faults.chunks(chunk).zip(out_all.chunks_mut(chunk)) {
+                    s.spawn(move |_| {
+                        for (slot, &fault) in out.iter_mut().zip(fs) {
+                            *slot = estimate_fault(circuit, fault, node_probs, obs);
+                        }
+                    });
+                }
+            });
+        });
+    } else {
+        estimates.extend(
+            faults
+                .iter()
+                .map(|&fault| estimate_fault(circuit, fault, node_probs, obs)),
+        );
+    }
+    detections.extend(estimates.iter().map(|e| e.detection));
+}
+
+/// Recomputes only the faults listed in `scratch.todo`, patching
+/// `estimates`/`detections` in place. The parallel path stages results in
+/// `scratch.updates` (reused across calls) so a query allocates nothing
+/// after warm-up.
+#[allow(clippy::too_many_arguments)] // the session's split borrows: one slot per field
+pub(crate) fn re_estimate_faults(
+    circuit: &Circuit,
+    faults: &[Fault],
+    node_probs: &[f64],
+    obs: &Observability,
+    exec: &Exec,
+    scratch: &mut FaultScratch,
+    estimates: &mut [FaultEstimate],
+    detections: &mut [f64],
+) {
+    let FaultScratch { todo, updates } = scratch;
+    if todo.is_empty() {
+        return;
+    }
+    if exec.parallel() && todo.len() >= MIN_PAR_FAULTS {
+        // Stale entries as placeholders: every slot is overwritten by its
+        // chunk before the writeback below reads it.
+        updates.clear();
+        updates.extend(todo.iter().map(|&fi| estimates[fi as usize]));
+        let threads = exec.threads();
+        let chunk = todo.len().div_ceil(threads);
+        {
+            let out_all: &mut [FaultEstimate] = updates;
+            exec.run(|| {
+                rayon::scope(|s| {
+                    for (ids, out) in todo.chunks(chunk).zip(out_all.chunks_mut(chunk)) {
+                        s.spawn(move |_| {
+                            for (slot, &fi) in out.iter_mut().zip(ids) {
+                                *slot =
+                                    estimate_fault(circuit, faults[fi as usize], node_probs, obs);
+                            }
+                        });
+                    }
+                });
+            });
+        }
+        for (&fi, &est) in todo.iter().zip(updates.iter()) {
+            estimates[fi as usize] = est;
+            detections[fi as usize] = est.detection;
+        }
+    } else {
+        for &fi in todo.iter() {
+            let est = estimate_fault(circuit, faults[fi as usize], node_probs, obs);
+            estimates[fi as usize] = est;
+            detections[fi as usize] = est.detection;
+        }
+    }
+}
+
+/// For each fault, the circuit nodes its detection estimate *reads*: the
+/// activation driver plus the fanins of every gate in the forward cone of
+/// the fault site (those are exactly the signal probabilities the
+/// observability recursion between the site and the outputs consumes).
+/// A mutation whose dirty nodes miss this set cannot change the fault's
+/// estimate, bit for bit. Built once per [`Analyzer`] (see
+/// [`Analyzer::fault_deps`]) and shared by every session and clone.
+#[derive(Debug)]
+pub(crate) struct FaultDeps {
+    /// Words per fault row (circuit nodes, rounded up to u64 words).
+    pub(crate) words: usize,
+    /// Concatenated per-fault bitset rows over circuit node indices.
+    pub(crate) bits: Vec<u64>,
+}
+
+pub(crate) fn build_fault_deps(analyzer: &Analyzer<'_>) -> FaultDeps {
+    let circuit = analyzer.circuit();
+    let fanouts = analyzer.obs_engine().fanouts();
+    let n = circuit.num_nodes();
+    let words = n.div_ceil(64).max(1);
+    let faults = analyzer.faults();
+    let mut bits = vec![0u64; faults.len() * words];
+    let mut visited = vec![false; n];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    for (fi, &fault) in faults.iter().enumerate() {
+        let row = &mut bits[fi * words..(fi + 1) * words];
+        let driver = fault.site.driver(circuit);
+        row[driver.index() >> 6] |= 1 << (driver.index() & 63);
+        stack.clear();
+        match fault.site {
+            FaultSite::Output(node) => {
+                stack.extend(fanouts.of(node).iter().map(|&(g, _)| g));
+            }
+            FaultSite::InputPin { gate, .. } => stack.push(gate),
+        }
+        while let Some(g) = stack.pop() {
+            if visited[g.index()] {
+                continue;
+            }
+            visited[g.index()] = true;
+            touched.push(g.index() as u32);
+            for &f in circuit.node(g).fanins() {
+                row[f.index() >> 6] |= 1 << (f.index() & 63);
+            }
+            stack.extend(
+                fanouts
+                    .of(g)
+                    .iter()
+                    .map(|&(h, _)| h)
+                    .filter(|h| !visited[h.index()]),
+            );
+        }
+        for &t in &touched {
+            visited[t as usize] = false;
+        }
+        touched.clear();
+    }
+    FaultDeps { words, bits }
 }
 
 /// Builds a copy of `circuit` with `fault` permanently injected.

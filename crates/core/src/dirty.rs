@@ -1,0 +1,319 @@
+//! The shared dirty-region tracker behind every incremental query path.
+//!
+//! An [`crate::AnalysisSession`] answers three families of queries —
+//! circuit-level signal probabilities, observabilities and per-fault
+//! detection estimates — and each of them caches its last result. A
+//! mutation (or a revert) invalidates *parts* of all three, but the three
+//! refreshes run at different times: the optimizer may take several trial
+//! moves between observability reads, and a `signal_probs` call must not
+//! force the fault cache to catch up. Before this module each cache
+//! invented its own notion of staleness (a boolean here, a node list
+//! there); now they all consume one [`DirtyRegion`].
+//!
+//! The tracker is a *log* of changed AIG nodes plus one epoch cursor per
+//! consumer:
+//!
+//! * [`DirtyRegion::mark`] appends a changed node to the log (deduplicated
+//!   while every consumer still has the previous entry ahead of its
+//!   cursor — `last_pos` doubles as the region's node bitset) and widens
+//!   the window's touched fanin-depth rank range.
+//! * [`DirtyRegion::pending`] hands a consumer the slice of changes it has
+//!   not seen yet; [`DirtyRegion::commit`] advances that consumer's cursor.
+//! * When every cursor reaches the end of the log the window is over and
+//!   the log is compacted to empty, so a long optimizer run whose queries
+//!   keep up (the hill climber reads fault estimates every trial move)
+//!   never grows the log beyond one mutation window.
+//! * A consumer that is *never* queried cannot be allowed to pin the log
+//!   forever: when the log outgrows a node-count-proportional cap, every
+//!   lagging consumer is switched to **overflow** mode (its next refresh
+//!   must be a from-scratch pass — the cold path every cache already has)
+//!   and the log compacts. Memory stays O(nodes) no matter the query
+//!   pattern, and an overflowed refresh is still bit-identical because
+//!   the full pass is the incremental path's reference.
+//!
+//! A node may appear more than once in a consumer's pending slice (it
+//! changed, was consumed by a *different* consumer, then changed again);
+//! consumers must process entries idempotently — all of them translate the
+//! entry into "re-derive whatever reads this node", which is.
+//!
+//! The module also hosts [`Wavefront`], the rank-keyed worklist the
+//! *forward* signal-probability propagation schedules on, drained in
+//! ascending fanin-depth rank order; popping one rank at a time yields
+//! whole ranks of mutually independent nodes — the batches the parallel
+//! executor fans out. (The *reverse* observability sweep uses its own
+//! level-bucketed worklist, `LevelFront` in
+//! [`crate::observe::incremental`] — levels are dense and bounded by the
+//! circuit depth, so buckets beat a heap there.)
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The incremental caches fed by one [`DirtyRegion`], in cursor order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Consumer {
+    /// Circuit-level `node_probs` (the AIG→circuit probability map).
+    NodeProbs = 0,
+    /// The persistent observability state (incremental reverse sweep).
+    Observability = 1,
+    /// The per-fault detection estimate cache.
+    Faults = 2,
+}
+
+/// Number of [`Consumer`] variants (cursor array length).
+pub(crate) const NUM_CONSUMERS: usize = 3;
+
+/// A multi-consumer log of changed AIG nodes (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub(crate) struct DirtyRegion {
+    /// Changed AIG node indices, in mark order. May repeat a node across
+    /// consumer epochs, never within the slice still pending for *every*
+    /// consumer.
+    log: Vec<u32>,
+    /// Per-node last position in `log` (`u32::MAX` = absent) — the
+    /// membership bitset of the current window.
+    last_pos: Vec<u32>,
+    /// Per-consumer epoch cursor: everything before it has been consumed.
+    cursors: [usize; NUM_CONSUMERS],
+    /// Consumers that fell so far behind the log was compacted out from
+    /// under them — their next refresh must be from scratch.
+    overflowed: [bool; NUM_CONSUMERS],
+    /// Log length at which lagging consumers are overflowed (see the
+    /// [module docs](self)); proportional to the node count.
+    cap: usize,
+    /// Touched fanin-depth rank range of the current window
+    /// (`u32::MAX`/`0` when the log is empty).
+    min_rank: u32,
+    max_rank: u32,
+}
+
+impl DirtyRegion {
+    /// An empty tracker over `nodes` AIG nodes.
+    pub(crate) fn new(nodes: usize) -> Self {
+        DirtyRegion {
+            log: Vec::new(),
+            last_pos: vec![u32::MAX; nodes],
+            cursors: [0; NUM_CONSUMERS],
+            overflowed: [false; NUM_CONSUMERS],
+            cap: 2 * nodes + 64,
+            min_rank: u32::MAX,
+            max_rank: 0,
+        }
+    }
+
+    /// Records that AIG node `node` (at fanin-depth rank `rank`) changed.
+    ///
+    /// The append is skipped when the node's latest log entry is still
+    /// ahead of **every** consumer's cursor — each of them will see that
+    /// entry, and a second one would say nothing new. When the log hits
+    /// its cap, lagging consumers are overflowed and the log compacts,
+    /// bounding memory under any query pattern.
+    pub(crate) fn mark(&mut self, node: u32, rank: u32) {
+        let last = self.last_pos[node as usize];
+        let farthest = *self.cursors.iter().max().expect("cursor array non-empty");
+        if last != u32::MAX && last as usize >= farthest {
+            return;
+        }
+        if self.log.len() >= self.cap {
+            for c in 0..NUM_CONSUMERS {
+                if self.cursors[c] < self.log.len() {
+                    self.overflowed[c] = true;
+                    self.cursors[c] = self.log.len();
+                }
+            }
+            self.compact();
+        }
+        self.last_pos[node as usize] = self.log.len() as u32;
+        self.log.push(node);
+        self.min_rank = self.min_rank.min(rank);
+        self.max_rank = self.max_rank.max(rank);
+    }
+
+    /// Whether `consumer` has consumed every recorded change. An
+    /// overflowed consumer is never clean: it owes a full refresh.
+    pub(crate) fn is_clean(&self, consumer: Consumer) -> bool {
+        !self.overflowed[consumer as usize] && self.cursors[consumer as usize] == self.log.len()
+    }
+
+    /// Whether `consumer` lost its window to compaction and must refresh
+    /// from scratch (cleared by [`commit`](Self::commit)).
+    pub(crate) fn overflowed(&self, consumer: Consumer) -> bool {
+        self.overflowed[consumer as usize]
+    }
+
+    /// The changes `consumer` has not consumed yet (may repeat a node —
+    /// process idempotently).
+    pub(crate) fn pending(&self, consumer: Consumer) -> &[u32] {
+        &self.log[self.cursors[consumer as usize]..]
+    }
+
+    /// Marks everything currently logged as consumed by `consumer`
+    /// (clearing its overflow debt); when every consumer has caught up
+    /// the window is compacted to empty.
+    pub(crate) fn commit(&mut self, consumer: Consumer) {
+        self.cursors[consumer as usize] = self.log.len();
+        self.overflowed[consumer as usize] = false;
+        if self.cursors.iter().all(|&c| c == self.log.len()) {
+            self.compact();
+        }
+    }
+
+    /// Resets the log to empty (every cursor must already equal the log
+    /// length).
+    fn compact(&mut self) {
+        debug_assert!(self.cursors.iter().all(|&c| c == self.log.len()));
+        for &n in &self.log {
+            self.last_pos[n as usize] = u32::MAX;
+        }
+        self.log.clear();
+        self.cursors = [0; NUM_CONSUMERS];
+        self.min_rank = u32::MAX;
+        self.max_rank = 0;
+    }
+
+    /// Fanin-depth rank range `(min, max)` touched by the current window,
+    /// or `None` when no change is pending for anyone.
+    pub(crate) fn rank_range(&self) -> Option<(u32, u32)> {
+        if self.log.is_empty() {
+            None
+        } else {
+            Some((self.min_rank, self.max_rank))
+        }
+    }
+}
+
+/// A deduplicated worklist keyed by fanin-depth rank, drained one rank at
+/// a time in ascending order (dependency order for the forward pass);
+/// within a rank, entries pop in ascending node index. Entries sharing a
+/// rank never read each other, so a popped batch may be evaluated in any
+/// order (or in parallel) without changing any value.
+#[derive(Debug, Clone)]
+pub(crate) struct Wavefront {
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    queued: Vec<bool>,
+}
+
+impl Wavefront {
+    /// An empty worklist over `nodes` entries.
+    pub(crate) fn new(nodes: usize) -> Self {
+        Wavefront {
+            heap: BinaryHeap::new(),
+            queued: vec![false; nodes],
+        }
+    }
+
+    /// Queues `index` under `key`; a no-op while it is already queued.
+    pub(crate) fn push(&mut self, key: u32, index: u32) {
+        if !self.queued[index as usize] {
+            self.queued[index as usize] = true;
+            self.heap.push(Reverse((key, index)));
+        }
+    }
+
+    /// Pops every entry sharing the front key into `batch` (replacing its
+    /// contents) and returns that key, or `None` when the list is empty.
+    pub(crate) fn pop_batch(&mut self, batch: &mut Vec<u32>) -> Option<u32> {
+        let &Reverse((front, _)) = self.heap.peek()?;
+        batch.clear();
+        while let Some(&Reverse((key, index))) = self.heap.peek() {
+            if key != front {
+                break;
+            }
+            self.heap.pop();
+            self.queued[index as usize] = false;
+            batch.push(index);
+        }
+        Some(front)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_and_commit_per_consumer() {
+        let mut d = DirtyRegion::new(8);
+        d.mark(3, 1);
+        d.mark(5, 2);
+        assert_eq!(d.pending(Consumer::NodeProbs), &[3, 5]);
+        assert_eq!(d.pending(Consumer::Faults), &[3, 5]);
+        d.commit(Consumer::NodeProbs);
+        assert!(d.is_clean(Consumer::NodeProbs));
+        assert!(!d.is_clean(Consumer::Faults));
+        // A re-mark after one consumer moved past the entry must re-log it.
+        d.mark(3, 1);
+        assert_eq!(d.pending(Consumer::NodeProbs), &[3]);
+        assert_eq!(d.pending(Consumer::Faults), &[3, 5, 3]);
+        // While no consumer has moved, marking again is deduplicated.
+        d.mark(3, 1);
+        assert_eq!(d.pending(Consumer::NodeProbs), &[3]);
+    }
+
+    #[test]
+    fn compaction_resets_the_window() {
+        let mut d = DirtyRegion::new(4);
+        d.mark(1, 4);
+        d.mark(2, 9);
+        assert_eq!(d.rank_range(), Some((4, 9)));
+        d.commit(Consumer::NodeProbs);
+        d.commit(Consumer::Observability);
+        assert_eq!(d.rank_range(), Some((4, 9)), "one consumer still behind");
+        d.commit(Consumer::Faults);
+        assert_eq!(d.rank_range(), None);
+        for c in [
+            Consumer::NodeProbs,
+            Consumer::Observability,
+            Consumer::Faults,
+        ] {
+            assert!(d.is_clean(c));
+            assert!(d.pending(c).is_empty());
+        }
+        // The bitset was reset too: marking logs afresh at position 0.
+        d.mark(2, 1);
+        assert_eq!(d.pending(Consumer::Faults), &[2]);
+    }
+
+    #[test]
+    fn lagging_consumer_overflows_instead_of_pinning_the_log() {
+        let mut d = DirtyRegion::new(4); // cap = 72
+                                         // NodeProbs and Observability keep up; Faults is never queried.
+        for round in 0u32..200 {
+            d.mark(round % 4, 0);
+            d.commit(Consumer::NodeProbs);
+            d.commit(Consumer::Observability);
+        }
+        assert!(
+            d.pending(Consumer::Faults).len() <= 72,
+            "log must stay bounded: {} entries",
+            d.pending(Consumer::Faults).len()
+        );
+        assert!(d.overflowed(Consumer::Faults), "straggler owes a full pass");
+        assert!(!d.is_clean(Consumer::Faults));
+        assert!(!d.overflowed(Consumer::NodeProbs));
+        // The full refresh commits and clears the debt.
+        d.commit(Consumer::Faults);
+        assert!(!d.overflowed(Consumer::Faults));
+        assert!(d.is_clean(Consumer::Faults));
+    }
+
+    #[test]
+    fn wavefront_pops_ranks_in_forward_order() {
+        let mut w = Wavefront::new(16);
+        for &(rank, id) in &[(3u32, 9u32), (1, 4), (3, 2), (1, 7), (2, 11)] {
+            w.push(rank, id);
+        }
+        w.push(1, 4); // duplicate: deduplicated
+        let mut batch = Vec::new();
+        assert_eq!(w.pop_batch(&mut batch), Some(1));
+        assert_eq!(batch, vec![4, 7], "ascending index within a rank");
+        assert_eq!(w.pop_batch(&mut batch), Some(2));
+        assert_eq!(batch, vec![11]);
+        assert_eq!(w.pop_batch(&mut batch), Some(3));
+        assert_eq!(batch, vec![2, 9]);
+        assert_eq!(w.pop_batch(&mut batch), None);
+        // Popped entries may be re-queued.
+        w.push(0, 4);
+        assert_eq!(w.pop_batch(&mut batch), Some(0));
+        assert_eq!(batch, vec![4]);
+    }
+}

@@ -85,6 +85,7 @@
 
 mod aig;
 mod analyzer;
+mod dirty;
 mod error;
 mod exec;
 mod params;

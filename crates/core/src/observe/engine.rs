@@ -1,0 +1,275 @@
+//! The reverse-sweep engine: levelization, fanout maps, and the full
+//! (cold-start / cross-check) observability passes.
+//!
+//! The per-node evaluation ([`ObservabilityEngine::eval_node`]) is shared
+//! by three schedules: the serial full sweep, the parallel level-wavefront
+//! full sweep, and the [incremental dirty-region sweep](super::incremental)
+//! — so all of them produce bit-identical numbers by construction.
+
+use protest_netlist::analyze::Fanouts;
+use protest_netlist::{Circuit, Levels, NodeId};
+
+use crate::exec::Exec;
+use crate::params::AnalyzerParams;
+
+use super::model::{pin_sensitivity, xor_combine, SensScratch};
+use super::Observability;
+use crate::params::ObservabilityModel;
+
+/// Minimum wavefront width worth fanning out to worker threads.
+pub(super) const MIN_PAR_WAVEFRONT: usize = 16;
+
+/// Per-worker buffers for one node evaluation: consumer branch values,
+/// fanin probabilities and the pin-sensitivity cofactor scratch.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NodeEvalScratch {
+    branches: Vec<f64>,
+    fanin_probs: Vec<f64>,
+    sens: SensScratch,
+}
+
+/// Reusable observability computation: levelization and the fanout map are
+/// built once at construction, and each pass writes into a caller-owned
+/// [`Observability`] without reallocating.
+///
+/// The full sweeps here are the *cold-start and cross-check* paths; after
+/// the first pass an [`crate::AnalysisSession`] keeps the result alive and
+/// re-sweeps only the dirty reverse region (see [`super::incremental`]).
+#[derive(Debug)]
+pub struct ObservabilityEngine<'c> {
+    pub(super) circuit: &'c Circuit,
+    pub(super) levels: Levels,
+    pub(super) fanouts: Fanouts,
+    pub(super) params: AnalyzerParams,
+    /// `order()[start..end]` ranges of equal level, one per level. The
+    /// levelized order is sorted by `(level, id)`, so these are contiguous
+    /// and ascending by node id — the wavefronts of the parallel pass.
+    pub(super) level_bounds: Vec<(u32, u32)>,
+}
+
+impl<'c> ObservabilityEngine<'c> {
+    /// Builds the engine (levelization + fanout map) for a circuit.
+    pub fn new(circuit: &'c Circuit, params: &AnalyzerParams) -> Self {
+        let levels = Levels::new(circuit);
+        let order = levels.order();
+        let mut level_bounds = Vec::new();
+        let mut start = 0usize;
+        while start < order.len() {
+            let level = levels.level(order[start]);
+            let mut end = start + 1;
+            while end < order.len() && levels.level(order[end]) == level {
+                end += 1;
+            }
+            level_bounds.push((start as u32, end as u32));
+            start = end;
+        }
+        ObservabilityEngine {
+            circuit,
+            levels,
+            fanouts: Fanouts::new(circuit),
+            params: *params,
+            level_bounds,
+        }
+    }
+
+    /// The engine's fanout map (crate-internal: the session's fault
+    /// dependency cones and the incremental sweep's seeding reuse it).
+    pub(crate) fn fanouts(&self) -> &Fanouts {
+        &self.fanouts
+    }
+
+    /// Number of level wavefronts a full reverse sweep visits.
+    pub(crate) fn num_levels(&self) -> usize {
+        self.level_bounds.len()
+    }
+
+    /// A zeroed [`Observability`] with the right shape for this circuit,
+    /// ready for [`compute_into`](Self::compute_into).
+    pub fn empty(&self) -> Observability {
+        Observability {
+            node_s: vec![0.0f64; self.circuit.num_nodes()],
+            pin_s: self
+                .circuit
+                .nodes()
+                .iter()
+                .map(|n| vec![0.0; n.fanins().len()])
+                .collect(),
+        }
+    }
+
+    /// One reverse-topological pass, allocating the result.
+    pub fn compute(&self, node_probs: &[f64]) -> Observability {
+        let mut obs = self.empty();
+        self.compute_into(node_probs, &mut obs);
+        obs
+    }
+
+    /// One full reverse-topological pass into an existing
+    /// [`Observability`] (shaped by [`empty`](Self::empty) for the same
+    /// circuit) — the from-scratch reference the incremental sweep is
+    /// cross-checked against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_probs` or `obs` does not match the circuit.
+    pub fn compute_into(&self, node_probs: &[f64], obs: &mut Observability) {
+        assert_eq!(
+            node_probs.len(),
+            self.circuit.num_nodes(),
+            "one probability per node"
+        );
+        assert_eq!(
+            obs.node_s.len(),
+            self.circuit.num_nodes(),
+            "mismatched shape"
+        );
+        let mut scratch = NodeEvalScratch::default();
+        let mut pins_tmp: Vec<f64> = Vec::new();
+        for &id in self.levels.order().iter().rev() {
+            pins_tmp.clear();
+            let s = self.eval_node(id, node_probs, &obs.pin_s, &mut scratch, &mut pins_tmp);
+            obs.node_s[id.index()] = s;
+            obs.pin_s[id.index()].copy_from_slice(&pins_tmp);
+        }
+    }
+
+    /// Like [`compute_into`](Self::compute_into), spread over the
+    /// executor's threads one level wavefront at a time. Nodes at equal
+    /// level read only pin observabilities of strictly deeper levels
+    /// (their consuming gates) plus the immutable `node_probs`, so chunks
+    /// of a wavefront are independent; each chunk's results are written
+    /// back in node order and every per-node computation is the exact
+    /// serial sequence — results are bit-identical to the serial pass.
+    pub(crate) fn compute_into_exec(
+        &self,
+        node_probs: &[f64],
+        obs: &mut Observability,
+        exec: &Exec,
+    ) {
+        if !exec.parallel() {
+            self.compute_into(node_probs, obs);
+            return;
+        }
+        assert_eq!(
+            node_probs.len(),
+            self.circuit.num_nodes(),
+            "one probability per node"
+        );
+        assert_eq!(
+            obs.node_s.len(),
+            self.circuit.num_nodes(),
+            "mismatched shape"
+        );
+        let threads = exec.threads();
+        let order = self.levels.order();
+        let mut scratch = NodeEvalScratch::default();
+        let mut pins_tmp: Vec<f64> = Vec::new();
+        exec.run(|| {
+            for &(start, end) in self.level_bounds.iter().rev() {
+                let batch = &order[start as usize..end as usize];
+                if batch.len() < MIN_PAR_WAVEFRONT {
+                    for &id in batch {
+                        pins_tmp.clear();
+                        let s =
+                            self.eval_node(id, node_probs, &obs.pin_s, &mut scratch, &mut pins_tmp);
+                        obs.node_s[id.index()] = s;
+                        obs.pin_s[id.index()].copy_from_slice(&pins_tmp);
+                    }
+                    continue;
+                }
+                let chunk = batch.len().div_ceil(threads);
+                let pin_s_read = &obs.pin_s;
+                let mut slots: Vec<Option<(Vec<f64>, Vec<f64>)>> = std::iter::repeat_with(|| None)
+                    .take(batch.len().div_ceil(chunk))
+                    .collect();
+                rayon::scope(|s| {
+                    for (ids, slot) in batch.chunks(chunk).zip(slots.iter_mut()) {
+                        s.spawn(move |_| {
+                            let mut ns = Vec::with_capacity(ids.len());
+                            let mut ps = Vec::new();
+                            let mut scratch = NodeEvalScratch::default();
+                            for &id in ids {
+                                let stem = self.eval_node(
+                                    id,
+                                    node_probs,
+                                    pin_s_read,
+                                    &mut scratch,
+                                    &mut ps,
+                                );
+                                ns.push(stem);
+                            }
+                            *slot = Some((ns, ps));
+                        });
+                    }
+                });
+                // Write back in node order; each chunk's `ps` concatenates
+                // its nodes' pin rows in order.
+                for (ids, slot) in batch.chunks(chunk).zip(slots) {
+                    let (ns, ps) = slot.expect("wavefront chunk completed");
+                    let mut off = 0usize;
+                    for (&id, &s) in ids.iter().zip(ns.iter()) {
+                        obs.node_s[id.index()] = s;
+                        let row = &mut obs.pin_s[id.index()];
+                        let width = row.len();
+                        row.copy_from_slice(&ps[off..off + width]);
+                        off += width;
+                    }
+                }
+            }
+        });
+    }
+
+    /// One node of the reverse pass: returns the stem observability and
+    /// appends the node's pin observabilities to `pins_out`. Reads only
+    /// `node_probs` entries of the node's fanins and the pin
+    /// observabilities of the node's consumers (strictly deeper levels).
+    /// The floating-point sequence is exactly the serial loop body's, so
+    /// every schedule that calls it — full, parallel, incremental — agrees
+    /// bit for bit.
+    pub(super) fn eval_node(
+        &self,
+        id: NodeId,
+        node_probs: &[f64],
+        pin_s: &[Vec<f64>],
+        scratch: &mut NodeEvalScratch,
+        pins_out: &mut Vec<f64>,
+    ) -> f64 {
+        let circuit = self.circuit;
+        scratch.branches.clear();
+        scratch.branches.extend(
+            self.fanouts
+                .of(id)
+                .iter()
+                .map(|&(g, pin)| pin_s[g.index()][pin as usize]),
+        );
+        if circuit.is_output(id) {
+            scratch.branches.push(1.0);
+        }
+        let s = match self.params.observability {
+            ObservabilityModel::Parity => scratch.branches.iter().copied().fold(0.0, xor_combine),
+            ObservabilityModel::AnyPath => {
+                1.0 - scratch.branches.iter().fold(1.0, |acc, &b| acc * (1.0 - b))
+            }
+        };
+        let s = s.clamp(0.0, 1.0);
+        let node = circuit.node(id);
+        if !node.fanins().is_empty() {
+            scratch.fanin_probs.clear();
+            scratch
+                .fanin_probs
+                .extend(node.fanins().iter().map(|&f| node_probs[f.index()]));
+            for pin in 0..node.fanins().len() {
+                let sens = pin_sensitivity(
+                    circuit,
+                    node.kind(),
+                    &scratch.fanin_probs,
+                    pin,
+                    &self.params,
+                    &mut scratch.sens,
+                );
+                pins_out.push((s * sens).clamp(0.0, 1.0));
+            }
+        }
+        s
+    }
+}

@@ -14,24 +14,38 @@
 //! (the paper's unique mapping `¬x ↦ 1−x`, `x·y ↦ x·y`). The alternative
 //! model for many-output circuits replaces the stem combiner by
 //! `s(x) = 1 − (1−s₁)…(1−sₘ)`. Both are selectable via
-//! [`ObservabilityModel`]; primary outputs contribute an observation branch
-//! with `s = 1`.
+//! [`ObservabilityModel`](crate::params::ObservabilityModel); primary
+//! outputs contribute an observation branch with `s = 1`.
+//!
+//! The module is layered as an **incremental engine**:
+//!
+//! * [`model`] — the pure per-gate math (multilinear extensions, pin
+//!   sensitivities).
+//! * [`engine`] — [`ObservabilityEngine`]: amortized levelization/fanout
+//!   structure plus the full reverse sweeps (serial and parallel level
+//!   wavefronts). These remain the cold-start and cross-check paths.
+//! * [`incremental`] — the dirty-region reverse sweep a
+//!   [`crate::AnalysisSession`] runs after a mutation: seeded from the
+//!   changed signal probabilities, pruned wherever a recomputed pin
+//!   observability is bit-identical to the stored one, and spread over
+//!   the executor's threads one wavefront at a time.
+//!
+//! All three paths share one per-node evaluation, so they agree bit for
+//! bit by construction.
 
-use protest_netlist::analyze::Fanouts;
-use protest_netlist::{Circuit, GateKind, Levels, NodeId};
+use protest_netlist::{Circuit, NodeId};
 
-use crate::exec::Exec;
-use crate::params::{AnalyzerParams, ObservabilityModel, PinSensitivityModel};
+use crate::params::AnalyzerParams;
 
+mod engine;
+mod incremental;
+mod model;
 mod single_path;
 
+pub use engine::ObservabilityEngine;
+pub(crate) use incremental::ObsDelta;
+pub use model::{multilinear, xor_combine};
 pub use single_path::{SinglePathEstimator, SinglePathParams};
-
-/// The paper's associative combiner `t ⊕ y = t + y − 2ty`
-/// (probability of an XOR of independent events).
-pub fn xor_combine(t: f64, y: f64) -> f64 {
-    t + y - 2.0 * t * y
-}
 
 /// Observability values for every node output and every gate input pin.
 #[derive(Debug, Clone)]
@@ -66,8 +80,9 @@ impl Observability {
 /// `node_probs[i]` is the signal probability of circuit node `i` (from the
 /// estimator or an exact method). One-shot convenience around
 /// [`ObservabilityEngine`]; callers that re-evaluate the same circuit many
-/// times (the optimizer hot loop, [`crate::AnalysisSession`]) should build
-/// the engine once instead — it amortizes levelization and fanout maps.
+/// times (the optimizer hot loop, [`crate::AnalysisSession`]) should go
+/// through a session instead — it keeps the observability state alive and
+/// re-sweeps only the dirty reverse region per mutation.
 pub fn compute_observability(
     circuit: &Circuit,
     node_probs: &[f64],
@@ -76,366 +91,11 @@ pub fn compute_observability(
     ObservabilityEngine::new(circuit, params).compute(node_probs)
 }
 
-/// Reusable observability computation: levelization and the fanout map are
-/// built once at construction, and each pass writes into a caller-owned
-/// [`Observability`] without reallocating.
-#[derive(Debug)]
-pub struct ObservabilityEngine<'c> {
-    circuit: &'c Circuit,
-    levels: Levels,
-    fanouts: Fanouts,
-    params: AnalyzerParams,
-    /// `order()[start..end]` ranges of equal level, one per level. The
-    /// levelized order is sorted by `(level, id)`, so these are contiguous
-    /// and ascending by node id — the wavefronts of the parallel pass.
-    level_bounds: Vec<(u32, u32)>,
-}
-
-impl<'c> ObservabilityEngine<'c> {
-    /// Builds the engine (levelization + fanout map) for a circuit.
-    pub fn new(circuit: &'c Circuit, params: &AnalyzerParams) -> Self {
-        let levels = Levels::new(circuit);
-        let order = levels.order();
-        let mut level_bounds = Vec::new();
-        let mut start = 0usize;
-        while start < order.len() {
-            let level = levels.level(order[start]);
-            let mut end = start + 1;
-            while end < order.len() && levels.level(order[end]) == level {
-                end += 1;
-            }
-            level_bounds.push((start as u32, end as u32));
-            start = end;
-        }
-        ObservabilityEngine {
-            circuit,
-            levels,
-            fanouts: Fanouts::new(circuit),
-            params: *params,
-            level_bounds,
-        }
-    }
-
-    /// The engine's fanout map (crate-internal: the session's fault
-    /// dependency cones reuse it).
-    pub(crate) fn fanouts(&self) -> &Fanouts {
-        &self.fanouts
-    }
-
-    /// A zeroed [`Observability`] with the right shape for this circuit,
-    /// ready for [`compute_into`](Self::compute_into).
-    pub fn empty(&self) -> Observability {
-        Observability {
-            node_s: vec![0.0f64; self.circuit.num_nodes()],
-            pin_s: self
-                .circuit
-                .nodes()
-                .iter()
-                .map(|n| vec![0.0; n.fanins().len()])
-                .collect(),
-        }
-    }
-
-    /// One reverse-topological pass, allocating the result.
-    pub fn compute(&self, node_probs: &[f64]) -> Observability {
-        let mut obs = self.empty();
-        self.compute_into(node_probs, &mut obs);
-        obs
-    }
-
-    /// One reverse-topological pass into an existing [`Observability`]
-    /// (shaped by [`empty`](Self::empty) for the same circuit).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node_probs` or `obs` does not match the circuit.
-    pub fn compute_into(&self, node_probs: &[f64], obs: &mut Observability) {
-        assert_eq!(
-            node_probs.len(),
-            self.circuit.num_nodes(),
-            "one probability per node"
-        );
-        assert_eq!(
-            obs.node_s.len(),
-            self.circuit.num_nodes(),
-            "mismatched shape"
-        );
-        let mut branches: Vec<f64> = Vec::new();
-        let mut fanin_probs: Vec<f64> = Vec::new();
-        let mut pins_tmp: Vec<f64> = Vec::new();
-        for &id in self.levels.order().iter().rev() {
-            pins_tmp.clear();
-            let s = self.eval_node(
-                id,
-                node_probs,
-                &obs.pin_s,
-                &mut branches,
-                &mut fanin_probs,
-                &mut pins_tmp,
-            );
-            obs.node_s[id.index()] = s;
-            obs.pin_s[id.index()].copy_from_slice(&pins_tmp);
-        }
-    }
-
-    /// Like [`compute_into`](Self::compute_into), spread over the
-    /// executor's threads one level wavefront at a time. Nodes at equal
-    /// level read only pin observabilities of strictly deeper levels
-    /// (their consuming gates) plus the immutable `node_probs`, so chunks
-    /// of a wavefront are independent; each chunk's results are written
-    /// back in node order and every per-node computation is the exact
-    /// serial sequence — results are bit-identical to the serial pass.
-    pub(crate) fn compute_into_exec(
-        &self,
-        node_probs: &[f64],
-        obs: &mut Observability,
-        exec: &Exec,
-    ) {
-        if !exec.parallel() {
-            self.compute_into(node_probs, obs);
-            return;
-        }
-        assert_eq!(
-            node_probs.len(),
-            self.circuit.num_nodes(),
-            "one probability per node"
-        );
-        assert_eq!(
-            obs.node_s.len(),
-            self.circuit.num_nodes(),
-            "mismatched shape"
-        );
-        let threads = exec.threads();
-        let order = self.levels.order();
-        let mut branches: Vec<f64> = Vec::new();
-        let mut fanin_probs: Vec<f64> = Vec::new();
-        let mut pins_tmp: Vec<f64> = Vec::new();
-        exec.run(|| {
-            for &(start, end) in self.level_bounds.iter().rev() {
-                let batch = &order[start as usize..end as usize];
-                if batch.len() < MIN_PAR_WAVEFRONT {
-                    for &id in batch {
-                        pins_tmp.clear();
-                        let s = self.eval_node(
-                            id,
-                            node_probs,
-                            &obs.pin_s,
-                            &mut branches,
-                            &mut fanin_probs,
-                            &mut pins_tmp,
-                        );
-                        obs.node_s[id.index()] = s;
-                        obs.pin_s[id.index()].copy_from_slice(&pins_tmp);
-                    }
-                    continue;
-                }
-                let chunk = batch.len().div_ceil(threads);
-                let pin_s_read = &obs.pin_s;
-                let mut slots: Vec<Option<(Vec<f64>, Vec<f64>)>> = std::iter::repeat_with(|| None)
-                    .take(batch.len().div_ceil(chunk))
-                    .collect();
-                rayon::scope(|s| {
-                    for (ids, slot) in batch.chunks(chunk).zip(slots.iter_mut()) {
-                        s.spawn(move |_| {
-                            let mut ns = Vec::with_capacity(ids.len());
-                            let mut ps = Vec::new();
-                            let mut branches = Vec::new();
-                            let mut fanin_probs = Vec::new();
-                            for &id in ids {
-                                let stem = self.eval_node(
-                                    id,
-                                    node_probs,
-                                    pin_s_read,
-                                    &mut branches,
-                                    &mut fanin_probs,
-                                    &mut ps,
-                                );
-                                ns.push(stem);
-                            }
-                            *slot = Some((ns, ps));
-                        });
-                    }
-                });
-                // Write back in node order; each chunk's `ps` concatenates
-                // its nodes' pin rows in order.
-                for (ids, slot) in batch.chunks(chunk).zip(slots) {
-                    let (ns, ps) = slot.expect("wavefront chunk completed");
-                    let mut off = 0usize;
-                    for (&id, &s) in ids.iter().zip(ns.iter()) {
-                        obs.node_s[id.index()] = s;
-                        let row = &mut obs.pin_s[id.index()];
-                        let width = row.len();
-                        row.copy_from_slice(&ps[off..off + width]);
-                        off += width;
-                    }
-                }
-            }
-        });
-    }
-
-    /// One node of the reverse pass: returns the stem observability and
-    /// appends the node's pin observabilities to `pins_out`. Reads only
-    /// `node_probs` and the pin observabilities of the node's consumers
-    /// (strictly deeper levels). The floating-point sequence is exactly
-    /// the serial loop body's.
-    fn eval_node(
-        &self,
-        id: NodeId,
-        node_probs: &[f64],
-        pin_s: &[Vec<f64>],
-        branches: &mut Vec<f64>,
-        fanin_probs: &mut Vec<f64>,
-        pins_out: &mut Vec<f64>,
-    ) -> f64 {
-        let circuit = self.circuit;
-        branches.clear();
-        branches.extend(
-            self.fanouts
-                .of(id)
-                .iter()
-                .map(|&(g, pin)| pin_s[g.index()][pin as usize]),
-        );
-        if circuit.is_output(id) {
-            branches.push(1.0);
-        }
-        let s = match self.params.observability {
-            ObservabilityModel::Parity => branches.iter().copied().fold(0.0, xor_combine),
-            ObservabilityModel::AnyPath => {
-                1.0 - branches.iter().fold(1.0, |acc, &b| acc * (1.0 - b))
-            }
-        };
-        let s = s.clamp(0.0, 1.0);
-        let node = circuit.node(id);
-        if !node.fanins().is_empty() {
-            fanin_probs.clear();
-            fanin_probs.extend(node.fanins().iter().map(|&f| node_probs[f.index()]));
-            #[allow(clippy::needless_range_loop)]
-            for pin in 0..node.fanins().len() {
-                let sens = pin_sensitivity(circuit, node.kind(), fanin_probs, pin, &self.params);
-                pins_out.push((s * sens).clamp(0.0, 1.0));
-            }
-        }
-        s
-    }
-}
-
-/// Minimum wavefront width worth fanning out to worker threads.
-const MIN_PAR_WAVEFRONT: usize = 16;
-
-/// Probability that the gate output follows input pin `pin`.
-fn pin_sensitivity(
-    circuit: &Circuit,
-    kind: GateKind,
-    probs: &[f64],
-    pin: usize,
-    params: &AnalyzerParams,
-) -> f64 {
-    match params.pin_sensitivity {
-        PinSensitivityModel::ArithmeticXor => {
-            let mut q0 = probs.to_vec();
-            q0[pin] = 0.0;
-            let mut q1 = probs.to_vec();
-            q1[pin] = 1.0;
-            xor_combine(
-                multilinear(circuit, kind, &q0),
-                multilinear(circuit, kind, &q1),
-            )
-        }
-        PinSensitivityModel::BooleanDifference => boolean_difference(circuit, kind, probs, pin),
-    }
-}
-
-/// The arithmetic multilinear extension `f̂` of a gate function, evaluated at
-/// a probability vector.
-pub fn multilinear(circuit: &Circuit, kind: GateKind, probs: &[f64]) -> f64 {
-    match kind {
-        GateKind::Input => unreachable!("inputs have no gate function"),
-        GateKind::Const(v) => {
-            if v {
-                1.0
-            } else {
-                0.0
-            }
-        }
-        GateKind::Buf => probs[0],
-        GateKind::Not => 1.0 - probs[0],
-        GateKind::And => probs.iter().product(),
-        GateKind::Nand => 1.0 - probs.iter().product::<f64>(),
-        GateKind::Or => 1.0 - probs.iter().map(|p| 1.0 - p).product::<f64>(),
-        GateKind::Nor => probs.iter().map(|p| 1.0 - p).product(),
-        GateKind::Xor => probs.iter().copied().fold(0.0, xor_combine),
-        GateKind::Xnor => 1.0 - probs.iter().copied().fold(0.0, xor_combine),
-        GateKind::Lut(lid) => {
-            let table = circuit.lut(lid);
-            let n = table.num_inputs();
-            let mut total = 0.0;
-            for m in 0..(1usize << n) {
-                if !table.bit(m) {
-                    continue;
-                }
-                let mut w = 1.0;
-                for (i, &p) in probs.iter().enumerate() {
-                    w *= if (m >> i) & 1 == 1 { p } else { 1.0 - p };
-                }
-                total += w;
-            }
-            total
-        }
-    }
-}
-
-/// Exact `P(f|ₚᵢₙ₌₀ ≠ f|ₚᵢₙ₌₁)` under independent inputs.
-fn boolean_difference(circuit: &Circuit, kind: GateKind, probs: &[f64], pin: usize) -> f64 {
-    match kind {
-        GateKind::Buf | GateKind::Not => 1.0,
-        GateKind::Xor | GateKind::Xnor => 1.0,
-        GateKind::And | GateKind::Nand => probs
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != pin)
-            .map(|(_, &p)| p)
-            .product(),
-        GateKind::Or | GateKind::Nor => probs
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != pin)
-            .map(|(_, &p)| 1.0 - p)
-            .product(),
-        GateKind::Const(_) => 0.0,
-        GateKind::Input => unreachable!("inputs have no gate function"),
-        GateKind::Lut(lid) => {
-            let table = circuit.lut(lid);
-            let n = table.num_inputs();
-            let mut total = 0.0;
-            // Enumerate assignments of the other pins.
-            for m in 0..(1usize << n) {
-                if (m >> pin) & 1 == 1 {
-                    continue; // canonical: pin bit 0; pair with pin bit 1
-                }
-                let f0 = table.bit(m);
-                let f1 = table.bit(m | (1 << pin));
-                if f0 == f1 {
-                    continue;
-                }
-                let mut w = 1.0;
-                for (i, &p) in probs.iter().enumerate() {
-                    if i == pin {
-                        continue;
-                    }
-                    w *= if (m >> i) & 1 == 1 { p } else { 1.0 - p };
-                }
-                total += w;
-            }
-            total
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use protest_netlist::{CircuitBuilder, TruthTable};
 
-    use crate::params::InputProbs;
+    use crate::params::{InputProbs, ObservabilityModel, PinSensitivityModel};
     use crate::sigprob::exhaustive_signal_probs;
 
     use super::*;

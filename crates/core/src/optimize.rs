@@ -14,7 +14,7 @@ use rand::SeedableRng;
 use crate::analyzer::Analyzer;
 use crate::error::CoreError;
 use crate::params::InputProbs;
-use crate::session::AnalysisSession;
+use crate::session::{AnalysisSession, SessionStats};
 use crate::testlen::{ln_expected_undetected, ln_set_detection_probability};
 
 /// Hill-climbing configuration.
@@ -57,6 +57,16 @@ pub struct OptimizationResult {
     pub rounds: usize,
     /// Number of objective evaluations (analysis runs).
     pub evaluations: usize,
+    /// Work counters of *this* climb: the driving session's work from the
+    /// climb's start to its optimum, plus the net work of any cloned
+    /// trial-move worker sessions a parallel executor used (for
+    /// [`HillClimber::optimize_multi`] each round therefore reports its
+    /// own work). The observable record of how much incremental reuse the
+    /// forward, reverse and per-fault passes achieved. Totals grow
+    /// somewhat with the thread count: each worker clone re-propagates
+    /// accepted moves to catch up to the climb's current point, work the
+    /// serial schedule performs only once on the driving session.
+    pub session_stats: SessionStats,
 }
 
 /// Result of [`HillClimber::optimize_multi`]: one distribution per round
@@ -265,8 +275,12 @@ impl<'a, 'c> HillClimber<'a, 'c> {
 
     /// The single climbing loop shared by all four `optimize*` entry
     /// points, driven by an incremental [`AnalysisSession`]: each trial
-    /// move mutates one input (or shifts all of them), re-propagating only
-    /// the dirty fan-out cone, and rejected moves are undone with
+    /// move mutates one input (or shifts all of them), and every analysis
+    /// layer the objective reads refreshes from the session's shared
+    /// dirty-region tracker — the forward pass re-propagates only the
+    /// dirty fan-out cone, the reverse pass re-sweeps only the dirty
+    /// observability region, and the fault pass recomputes only the
+    /// intersected faults. Rejected moves are undone with
     /// `snapshot`/`revert` instead of a from-scratch re-run. The session is
     /// left positioned at the returned optimum.
     ///
@@ -285,6 +299,7 @@ impl<'a, 'c> HillClimber<'a, 'c> {
         let inputs = self.analyzer.circuit().num_inputs();
         assert_eq!(start.len(), inputs, "one grid cell per input");
         let g = self.params.grid;
+        let climb_base = session.stats();
         let mut ks = start;
         session.set_all(InputProbs::from_grid(&ks, g)?.as_slice())?;
         let mut evaluations = 0usize;
@@ -294,7 +309,10 @@ impl<'a, 'c> HillClimber<'a, 'c> {
         let initial = best;
         let exec = self.analyzer.exec();
         // Trial-move workers, cloned lazily on the first parallel trial.
+        // `worker_base` snapshots the driving session's counters at clone
+        // time so each worker's *net* work can be folded into the result.
         let mut workers: Vec<(AnalysisSession<'_, '_>, Vec<f64>)> = Vec::new();
+        let mut worker_base = SessionStats::default();
         let mut rng = StdRng::seed_from_u64(self.params.seed);
         let mut order: Vec<usize> = (0..inputs).collect();
         let mut rounds = 0usize;
@@ -311,6 +329,7 @@ impl<'a, 'c> HillClimber<'a, 'c> {
                 let mut trials: Vec<(u32, f64)> = Vec::with_capacity(cands.len());
                 if exec.parallel() && cands.len() == 2 {
                     if workers.is_empty() {
+                        worker_base = session.stats();
                         workers.push((session.clone(), Vec::new()));
                         workers.push((session.clone(), Vec::new()));
                     }
@@ -320,14 +339,17 @@ impl<'a, 'c> HillClimber<'a, 'c> {
                                 cand: u32|
                      -> Result<f64, CoreError> {
                         let (worker_session, ps) = worker;
+                        // Catch the worker up to the climb's current point
+                        // first — it then re-propagates only the moves
+                        // accepted since its last trial (usually one
+                        // cone), and the snapshot/revert pair keeps each
+                        // trial itself O(trial cone).
+                        worker_session.set_all(&base)?;
+                        worker_session.snapshot();
                         let mut target = base.clone();
                         target[i] = f64::from(cand) / f64::from(g);
-                        worker_session.snapshot();
                         worker_session.set_all(&target)?;
                         let objective = self.objective_value(worker_session, mask, ps);
-                        // Undo the trial in O(changed) writes: the next
-                        // sync then re-propagates only the climb's accepted
-                        // moves, not this trial's cone on top of them.
                         worker_session.revert();
                         Ok(objective)
                     };
@@ -394,6 +416,10 @@ impl<'a, 'c> HillClimber<'a, 'c> {
             }
         }
         let probs = InputProbs::from_grid(&ks, g)?;
+        let mut session_stats = session.stats().since(&climb_base);
+        for (worker, _) in &workers {
+            session_stats = session_stats.plus(&worker.stats().since(&worker_base));
+        }
         Ok(OptimizationResult {
             probs,
             grid_ks: ks,
@@ -401,6 +427,7 @@ impl<'a, 'c> HillClimber<'a, 'c> {
             initial_objective_ln: initial,
             rounds,
             evaluations,
+            session_stats,
         })
     }
 

@@ -4,35 +4,70 @@
 //! thousands of times while changing exactly *one* input probability per
 //! hill-climbing step. A from-scratch [`Analyzer::run`] re-propagates the
 //! whole circuit — and re-walks every conditioned reconvergence cone — on
-//! every call. An [`AnalysisSession`] instead owns the propagated per-node
-//! probabilities and re-evaluates only the *dirty cone*: the set of AND
-//! nodes whose read dependencies (fanins, conditioning cones, nested cones)
-//! are reached by the changed inputs, pruned further wherever a recomputed
-//! value comes out bit-identical to the old one.
+//! every call. An [`AnalysisSession`] instead owns all per-node state and
+//! re-derives only what a mutation can actually reach, in **both**
+//! dataflow directions:
 //!
-//! Two more reuse layers sit on top:
+//! * **forward** — signal probabilities re-propagate only the *dirty
+//!   fan-out cone*: the AND nodes whose read dependencies (fanins,
+//!   conditioning cones, nested cones) are reached by the changed inputs,
+//!   pruned wherever a recomputed value comes out bit-identical;
+//! * **reverse** — observabilities re-sweep only the *dirty reverse
+//!   region*: the gates whose pin sensitivities read a changed signal
+//!   probability plus the reverse-closure of the pin observabilities that
+//!   actually change from there (see [`crate::observe::incremental`]);
+//! * **per fault** — detection estimates recompute only the faults whose
+//!   dependency cone intersects the changed nodes.
 //!
-//! * **Parallel rank batches** — the dirty worklist is drained one
-//!   fanin-depth rank at a time; nodes sharing a rank never read each
-//!   other, so wide ranks are evaluated concurrently on the analyzer's
-//!   executor (see [`crate::AnalyzerParams::num_threads`]), each worker
-//!   with its own scratch, and the results applied in node order.
-//! * **Incremental fault queries** — [`fault_detect_probs`]
-//!   (Self::fault_detect_probs) keeps its per-fault results between
-//!   mutations and recomputes only the faults whose activation site or
-//!   propagation cone intersects the dirty nodes (a fault→dependent-nodes
-//!   bitset built once per session family); [`SessionStats`] counts the
-//!   reused entries.
+//! # Query lifecycle
+//!
+//! All three query caches consume one shared [`DirtyRegion`] (see
+//! [`crate::dirty`]): every mutation appends the changed AIG nodes to its
+//! log, and each cache keeps its own epoch cursor into that log, so the
+//! caches stay independently lazy — a `signal_probs` call never forces the
+//! fault cache to catch up, and three queries after one mutation each pay
+//! only their own slice of work.
+//!
+//! | query | cold (first call) | after a mutation |
+//! |---|---|---|
+//! | [`signal_probs`](AnalysisSession::signal_probs) | full AIG→circuit map | remaps only circuit nodes carried by dirty AIG nodes |
+//! | [`observabilities`](AnalysisSession::observabilities) | full parallel reverse sweep | incremental reverse sweep of the dirty region |
+//! | [`fault_detect_probs`](AnalysisSession::fault_detect_probs) / [`fault_estimates`](AnalysisSession::fault_estimates) | every fault | only faults whose dependency bitset hits the dirty nodes |
+//!
+//! What invalidates what: [`set_input_prob`](AnalysisSession::set_input_prob)
+//! and [`set_all`](AnalysisSession::set_all) mark exactly the AIG nodes
+//! whose propagated probability changed (value-change pruning stops the
+//! marking at unchanged nodes); [`revert`](AnalysisSession::revert) marks
+//! every node it restores (conservative: the restored value *is* a
+//! change relative to the rejected trial). Queries never invalidate
+//! anything. Each query refresh commits its cursor; once all three have
+//! caught up the log compacts to empty, so a hill-climbing run that reads
+//! fault estimates every trial move keeps the log at one mutation window.
+//!
+//! Deeper reuse layers under the queries:
+//!
+//! * **Parallel wavefronts** — the forward worklist drains one fanin-depth
+//!   rank at a time and the reverse worklist one circuit level at a time;
+//!   nodes sharing a rank/level never read each other, so wide wavefronts
+//!   are evaluated concurrently on the analyzer's executor (see
+//!   [`crate::AnalyzerParams::num_threads`]), each worker with its own
+//!   scratch, and the results applied in a deterministic order.
+//! * **Session-persistent scratch** — evaluation buffers, the fault `todo`
+//!   list and the parallel staging areas live in the session and are
+//!   reused across queries; the optimizer's trial moves allocate nothing
+//!   after warm-up.
 //!
 //! Results are **bit-identical** to a from-scratch pass: a node is
 //! re-evaluated whenever anything it reads changed, with the same per-node
 //! kernel and the same floating-point operation order, so by induction over
-//! the topological order every stored probability equals the value a fresh
-//! [`SignalProbEstimator::full_estimate`](crate::sigprob::SignalProbEstimator::full_estimate)
-//! would produce. The same argument covers the parallel paths (they only
-//! reschedule independent per-node computations) and the fault cache (a
-//! skipped fault's inputs are all unchanged, so recomputing it would
-//! reproduce the cached value exactly).
+//! the (forward or reverse) topological order every stored value equals the
+//! value a fresh pass would produce. The same argument covers the parallel
+//! paths (they only reschedule independent per-node computations) and the
+//! fault cache (a skipped fault's inputs are all unchanged, so recomputing
+//! it would reproduce the cached value exactly). The differential proptests
+//! in `tests/session_incremental.rs` assert `to_bits` equality against
+//! from-scratch passes across random mutation/snapshot/revert scripts at
+//! one and four threads.
 //!
 //! # Example
 //!
@@ -64,18 +99,15 @@
 //! # }
 //! ```
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use protest_netlist::{Circuit, NodeId};
-use protest_sim::{Fault, FaultSite, StuckAt};
-use rayon::prelude::*;
 
 use crate::analyzer::{Analyzer, CircuitAnalysis, FaultEstimate};
-use crate::detect::detection_probability;
+use crate::detect::{self, FaultScratch};
+use crate::dirty::{Consumer, DirtyRegion, Wavefront};
 use crate::error::CoreError;
-use crate::observe::{Observability, ObservabilityEngine};
+use crate::observe::{ObsDelta, Observability, ObservabilityEngine};
 use crate::params::InputProbs;
 use crate::sigprob::{lit_prob_of, EvalScratch, MIN_PAR_COND, MIN_PAR_WIDE};
 
@@ -100,8 +132,59 @@ pub struct SessionStats {
     /// because neither the fault's activation site nor its propagation
     /// cone intersected the nodes changed since.
     pub fault_reuses: u64,
-    /// AND nodes in the circuit's AIG — a full pass evaluates all of them.
+    /// Level wavefronts visited by observability reverse sweeps (the cold
+    /// full sweep counts every level of the circuit; an incremental
+    /// refresh only the levels intersecting the dirty reverse region).
+    pub obs_level_evals: u64,
+    /// Per-node observability evaluations performed by reverse sweeps
+    /// (cold sweeps count every node).
+    pub obs_node_evals: u64,
+    /// Nodes whose stored observability was *reused* by an incremental
+    /// refresh because nothing they read changed — the reverse-pass mirror
+    /// of [`fault_reuses`](Self::fault_reuses).
+    pub obs_node_reuses: u64,
+    /// AND nodes in the circuit's AIG — a full forward pass evaluates all
+    /// of them.
     pub and_nodes: usize,
+    /// Circuit nodes — a full reverse sweep evaluates all of them.
+    pub circuit_nodes: usize,
+}
+
+impl SessionStats {
+    /// Counter-wise `self − earlier` (sizes kept from `self`): the work
+    /// performed between two [`AnalysisSession::stats`] reads.
+    pub fn since(&self, earlier: &SessionStats) -> SessionStats {
+        SessionStats {
+            mutations: self.mutations - earlier.mutations,
+            and_evals: self.and_evals - earlier.and_evals,
+            reverts: self.reverts - earlier.reverts,
+            fault_evals: self.fault_evals - earlier.fault_evals,
+            fault_reuses: self.fault_reuses - earlier.fault_reuses,
+            obs_level_evals: self.obs_level_evals - earlier.obs_level_evals,
+            obs_node_evals: self.obs_node_evals - earlier.obs_node_evals,
+            obs_node_reuses: self.obs_node_reuses - earlier.obs_node_reuses,
+            and_nodes: self.and_nodes,
+            circuit_nodes: self.circuit_nodes,
+        }
+    }
+
+    /// Counter-wise `self + other` (sizes kept from `self`): aggregates
+    /// work across sessions — e.g. the optimizer's cloned trial-move
+    /// workers into the driving session's totals.
+    pub fn plus(&self, other: &SessionStats) -> SessionStats {
+        SessionStats {
+            mutations: self.mutations + other.mutations,
+            and_evals: self.and_evals + other.and_evals,
+            reverts: self.reverts + other.reverts,
+            fault_evals: self.fault_evals + other.fault_evals,
+            fault_reuses: self.fault_reuses + other.fault_reuses,
+            obs_level_evals: self.obs_level_evals + other.obs_level_evals,
+            obs_node_evals: self.obs_node_evals + other.obs_node_evals,
+            obs_node_reuses: self.obs_node_reuses + other.obs_node_reuses,
+            and_nodes: self.and_nodes,
+            circuit_nodes: self.circuit_nodes,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -110,118 +193,15 @@ enum UndoEntry {
     Node { index: u32, old: f64 },
 }
 
-/// For each fault, the circuit nodes its detection estimate *reads*: the
-/// activation driver plus the fanins of every gate in the forward cone of
-/// the fault site (those are exactly the signal probabilities the
-/// observability recursion between the site and the outputs consumes).
-/// A mutation whose dirty nodes miss this set cannot change the fault's
-/// estimate, bit for bit. Built once per [`Analyzer`] (see
-/// [`Analyzer::fault_deps`]) and shared by every session and clone.
-#[derive(Debug)]
-pub(crate) struct FaultDeps {
-    /// Words per fault row (circuit nodes, rounded up to u64 words).
-    words: usize,
-    /// Concatenated per-fault bitset rows over circuit node indices.
-    bits: Vec<u64>,
-    /// For each AIG node, the circuit nodes it carries the probability of
-    /// (inverse of `Aig::lit_of`, constants excluded) — translates the
-    /// session's AIG-level dirty set into circuit-level bits.
-    circ_of_aig: Vec<Vec<u32>>,
-}
-
-pub(crate) fn build_fault_deps(
-    analyzer: &Analyzer<'_>,
-    engine: &ObservabilityEngine<'_>,
-) -> FaultDeps {
-    let circuit = analyzer.circuit();
-    let fanouts = engine.fanouts();
-    let n = circuit.num_nodes();
-    let words = n.div_ceil(64).max(1);
-    let faults = analyzer.faults();
-    let mut bits = vec![0u64; faults.len() * words];
-    let mut visited = vec![false; n];
-    let mut touched: Vec<u32> = Vec::new();
-    let mut stack: Vec<NodeId> = Vec::new();
-    for (fi, &fault) in faults.iter().enumerate() {
-        let row = &mut bits[fi * words..(fi + 1) * words];
-        let driver = fault.site.driver(circuit);
-        row[driver.index() >> 6] |= 1 << (driver.index() & 63);
-        stack.clear();
-        match fault.site {
-            FaultSite::Output(node) => {
-                stack.extend(fanouts.of(node).iter().map(|&(g, _)| g));
-            }
-            FaultSite::InputPin { gate, .. } => stack.push(gate),
-        }
-        while let Some(g) = stack.pop() {
-            if visited[g.index()] {
-                continue;
-            }
-            visited[g.index()] = true;
-            touched.push(g.index() as u32);
-            for &f in circuit.node(g).fanins() {
-                row[f.index() >> 6] |= 1 << (f.index() & 63);
-            }
-            stack.extend(
-                fanouts
-                    .of(g)
-                    .iter()
-                    .map(|&(h, _)| h)
-                    .filter(|h| !visited[h.index()]),
-            );
-        }
-        for &t in &touched {
-            visited[t as usize] = false;
-        }
-        touched.clear();
-    }
-    let aig = analyzer.estimator().aig();
-    let mut circ_of_aig: Vec<Vec<u32>> = vec![Vec::new(); aig.len()];
-    for c in 0..n {
-        let lit = aig.lit_of(NodeId::from_index(c));
-        if !lit.is_const() {
-            circ_of_aig[lit.node().index()].push(c as u32);
-        }
-    }
-    FaultDeps {
-        words,
-        bits,
-        circ_of_aig,
-    }
-}
-
-/// The per-fault estimate, shared by the full and the incremental fault
-/// pass (and by every thread of the parallel one).
-fn estimate_fault(
-    circuit: &Circuit,
-    fault: Fault,
-    node_probs: &[f64],
-    obs: &Observability,
-) -> FaultEstimate {
-    let detection = detection_probability(circuit, fault, node_probs, obs);
-    let driver = fault.site.driver(circuit);
-    let p = node_probs[driver.index()];
-    let activation = match fault.polarity {
-        StuckAt::Zero => p,
-        StuckAt::One => 1.0 - p,
-    };
-    let observability = if activation > 0.0 {
-        detection / activation
-    } else {
-        0.0
-    };
-    FaultEstimate {
-        fault,
-        activation,
-        observability,
-        detection,
-    }
-}
-
-/// Minimum fault count worth fanning out to worker threads (a per-fault
-/// estimate is a handful of flops — small batches cost more to queue than
-/// to compute).
-const MIN_PAR_FAULTS: usize = 512;
+/// An incremental observability refresh whose dirty AIG window reaches
+/// `aig_len / DENSE_OBS_WINDOW_DIVISOR` entries falls back to the full
+/// parallel reverse sweep: seeding iterates the whole window (which for a
+/// dense mutation exceeds the circuit's node count — the AIG is larger
+/// than the netlist) and the bucketed worklist adds per-node bookkeeping,
+/// so past roughly half the AIG the plain sweep is measurably faster
+/// (`bench_observability` on the div8x8 dividend bits). Correctness is
+/// unaffected — the full sweep *is* the incremental path's reference.
+const DENSE_OBS_WINDOW_DIVISOR: usize = 2;
 
 /// A stateful, incremental analysis over one circuit (see the [module
 /// docs](self)).
@@ -230,9 +210,10 @@ const MIN_PAR_FAULTS: usize = 512;
 /// (Self::set_input_prob), [`set_all`](Self::set_all)) re-propagate only
 /// the affected fan-out cone; queries ([`signal_probs`]
 /// (Self::signal_probs), [`observabilities`](Self::observabilities),
-/// [`fault_detect_probs`](Self::fault_detect_probs)) are lazy and cached
-/// until the next mutation. [`snapshot`](Self::snapshot) /
-/// [`revert`](Self::revert) undo rejected trial moves in O(dirty cone).
+/// [`fault_detect_probs`](Self::fault_detect_probs)) are lazy, cached, and
+/// refresh incrementally from the shared dirty-region tracker.
+/// [`snapshot`](Self::snapshot) / [`revert`](Self::revert) undo rejected
+/// trial moves in O(dirty cone).
 ///
 /// Sessions are [`Clone`]: the big immutable structures (observability
 /// engine, fault dependency map) are shared, so cloning is proportional to
@@ -248,30 +229,28 @@ pub struct AnalysisSession<'a, 'c> {
     scratch: EvalScratch,
     /// Per-worker scratches for parallel rank batches, grown on demand.
     par_scratch: Vec<EvalScratch>,
-    /// Dirty worklist keyed by (fanin-depth rank, node index): popping in
+    /// Forward dirty worklist keyed by fanin-depth rank: popping in
     /// ascending order yields whole ranks of mutually independent nodes.
-    heap: BinaryHeap<Reverse<(u32, u32)>>,
-    queued: Vec<bool>,
+    front: Wavefront,
     /// The rank currently being drained (scratch for `propagate`).
     batch_ids: Vec<u32>,
     batch_vals: Vec<f64>,
     /// Changes since the last `snapshot()`, newest last.
     undo: Vec<UndoEntry>,
-    /// AIG nodes whose probability changed since the last fault-estimate
-    /// refresh (drives the incremental fault query cache).
-    dirty_mark: Vec<bool>,
-    dirty_aig: Vec<u32>,
+    /// The shared dirty-region tracker every query cache consumes.
+    dirty: DirtyRegion,
+    /// Circuit-level dirty bitset (scratch for the fault refresh).
     dirty_words: Vec<u64>,
-    // Lazy query caches.
+    // Lazy query caches (see the module docs' lifecycle table).
     node_probs: Vec<f64>,
-    node_probs_valid: bool,
+    have_node_probs: bool,
     obs: Observability,
-    obs_valid: bool,
+    /// Persistent state of the incremental reverse sweeps.
+    obs_delta: ObsDelta,
+    have_obs: bool,
     estimates: Vec<FaultEstimate>,
     detections: Vec<f64>,
-    estimates_valid: bool,
-    /// Whether `estimates`/`detections` hold a full (possibly stale) set
-    /// that the incremental refresh can patch.
+    fault_scratch: FaultScratch,
     have_estimates: bool,
     stats: SessionStats,
 }
@@ -281,12 +260,11 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
         probs.check_len(analyzer.circuit().num_inputs())?;
         let est = analyzer.estimator();
         let aig_probs = est.full_estimate_exec(probs.as_slice(), analyzer.exec());
-        let obs_engine = Arc::new(ObservabilityEngine::new(
-            analyzer.circuit(),
-            analyzer.params(),
-        ));
+        let obs_engine = Arc::clone(analyzer.obs_engine());
         let obs = obs_engine.empty();
+        let obs_delta = ObsDelta::new(&obs_engine);
         let n = est.aig().len();
+        let circuit_nodes = analyzer.circuit().num_nodes();
         Ok(AnalysisSession {
             analyzer,
             obs_engine,
@@ -294,24 +272,24 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
             aig_probs,
             scratch: est.new_scratch(),
             par_scratch: Vec::new(),
-            heap: BinaryHeap::new(),
-            queued: vec![false; n],
+            front: Wavefront::new(n),
             batch_ids: Vec::new(),
             batch_vals: Vec::new(),
             undo: Vec::new(),
-            dirty_mark: vec![false; n],
-            dirty_aig: Vec::new(),
+            dirty: DirtyRegion::new(n),
             dirty_words: Vec::new(),
-            node_probs: vec![0.0; analyzer.circuit().num_nodes()],
-            node_probs_valid: false,
+            node_probs: vec![0.0; circuit_nodes],
+            have_node_probs: false,
             obs,
-            obs_valid: false,
+            obs_delta,
+            have_obs: false,
             estimates: Vec::with_capacity(analyzer.faults().len()),
             detections: Vec::with_capacity(analyzer.faults().len()),
-            estimates_valid: false,
+            fault_scratch: FaultScratch::default(),
             have_estimates: false,
             stats: SessionStats {
                 and_nodes: est.aig().num_ands(),
+                circuit_nodes,
                 ..SessionStats::default()
             },
         })
@@ -335,6 +313,14 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
     /// Work counters since construction.
     pub fn stats(&self) -> SessionStats {
         self.stats
+    }
+
+    /// Fanin-depth rank range `(min, max)` of the AIG nodes changed since
+    /// the last point every query cache was current, or `None` when
+    /// nothing is pending — a diagnostic window into the shared
+    /// dirty-region tracker (how deep the open mutation window reaches).
+    pub fn dirty_rank_range(&self) -> Option<(u32, u32)> {
+        self.dirty.rank_range()
     }
 
     /// Sets the probability of primary input `input` (position in the
@@ -422,6 +408,10 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
 
     /// Restores the state at the last [`snapshot`](Self::snapshot) (or at
     /// construction), undoing every mutation since in O(changed nodes).
+    /// Every restored node is marked dirty again (conservatively: relative
+    /// to the rejected trial its value *did* change), so the query caches
+    /// re-derive — and value-change pruning immediately re-confirms — the
+    /// touched region on their next refresh.
     pub fn revert(&mut self) {
         if self.undo.is_empty() {
             return;
@@ -436,7 +426,6 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
             }
         }
         self.stats.reverts += 1;
-        self.invalidate();
     }
 
     /// Estimated `P(node = 1)` for every circuit node, indexable by node
@@ -477,13 +466,10 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
         CircuitAnalysis::from_parts(self.node_probs, self.obs, self.estimates)
     }
 
-    /// Records an AIG node as changed since the last fault-estimate
-    /// refresh.
+    /// Records an AIG node as changed in the shared dirty region.
     fn mark_dirty(&mut self, index: u32) {
-        if !self.dirty_mark[index as usize] {
-            self.dirty_mark[index as usize] = true;
-            self.dirty_aig.push(index);
-        }
+        let rank = self.analyzer.estimator().ranks().of[index as usize];
+        self.dirty.mark(index, rank);
     }
 
     /// Records a raw AIG-node probability write (undo-logged) and enqueues
@@ -500,7 +486,6 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
         self.aig_probs[index] = p;
         self.mark_dirty(index as u32);
         self.enqueue_readers(index);
-        self.invalidate();
     }
 
     /// Queues every reader of `index` keyed by its fanin-depth rank.
@@ -508,13 +493,8 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
         let est = self.analyzer.estimator();
         let rank_of = &est.ranks().of;
         let readers = est.readers();
-        let queued = &mut self.queued;
-        let heap = &mut self.heap;
         for &r in &readers[index] {
-            if !queued[r as usize] {
-                queued[r as usize] = true;
-                heap.push(Reverse((rank_of[r as usize], r)));
-            }
+            self.front.push(rank_of[r as usize], r);
         }
     }
 
@@ -531,35 +511,27 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
         self.enqueue_readers(index as usize);
     }
 
-    /// Drains the dirty worklist one fanin-depth rank at a time (ascending
-    /// rank = dependency order). Nodes within a rank never read each other,
-    /// so wide ranks are evaluated in parallel chunks — each worker with
-    /// its own scratch — and the results applied in node-index order;
-    /// narrow ranks (and serial executors) take the inline path. Either
-    /// way every node sees the same settled lower ranks as the serial
-    /// schedule, so the propagated values are bit-identical.
+    /// Drains the forward worklist one fanin-depth rank at a time
+    /// (ascending rank = dependency order). Nodes within a rank never read
+    /// each other, so wide ranks are evaluated in parallel chunks — each
+    /// worker with its own scratch — and the results applied in node-index
+    /// order; narrow ranks (and serial executors) take the inline path.
+    /// Either way every node sees the same settled lower ranks as the
+    /// serial schedule, so the propagated values are bit-identical.
     fn propagate(&mut self) {
         let analyzer = self.analyzer;
         let est = analyzer.estimator();
         let exec = analyzer.exec();
-        while let Some(&Reverse((rank, _))) = self.heap.peek() {
-            self.batch_ids.clear();
-            while let Some(&Reverse((r, k))) = self.heap.peek() {
-                if r != rank {
-                    break;
-                }
-                self.heap.pop();
-                self.queued[k as usize] = false;
-                self.batch_ids.push(k);
-            }
-            let len = self.batch_ids.len();
+        let mut batch = std::mem::take(&mut self.batch_ids);
+        while self.front.pop_batch(&mut batch).is_some() {
+            let len = batch.len();
             // Fan out only when the rank carries enough conditioned
             // (µs-scale) kernels — or is very wide — mirroring the full
             // pass's thresholds; the choice cannot affect values.
             let parallel_batch = exec.parallel()
                 && (len >= MIN_PAR_WIDE || {
                     let mut cond = 0u32;
-                    for &k in &self.batch_ids {
+                    for &k in &batch {
                         cond += u32::from(est.is_conditioned(k));
                         if cond >= MIN_PAR_COND {
                             break;
@@ -568,8 +540,7 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
                     cond >= MIN_PAR_COND
                 });
             if !parallel_batch {
-                for i in 0..len {
-                    let k = self.batch_ids[i];
+                for &k in batch.iter() {
                     let id = crate::AigNodeId::from_index(k as usize);
                     let new = est.and_node_value(&self.aig_probs, id, &mut self.scratch);
                     self.stats.and_evals += 1;
@@ -581,19 +552,19 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
             while self.par_scratch.len() < threads {
                 self.par_scratch.push(est.new_scratch());
             }
-            self.batch_vals.clear();
-            self.batch_vals.resize(len, 0.0);
+            let mut vals = std::mem::take(&mut self.batch_vals);
+            vals.clear();
+            vals.resize(len, 0.0);
             let chunk = len.div_ceil(threads);
             {
                 let probs = &self.aig_probs;
-                let ids_all = &self.batch_ids;
-                let vals = &mut self.batch_vals;
+                let out_all = &mut vals;
                 let scratches = &mut self.par_scratch;
                 exec.run(|| {
                     rayon::scope(|s| {
-                        for ((ids, out), scratch) in ids_all
+                        for ((ids, out), scratch) in batch
                             .chunks(chunk)
-                            .zip(vals.chunks_mut(chunk))
+                            .zip(out_all.chunks_mut(chunk))
                             .zip(scratches.iter_mut())
                         {
                             s.spawn(move |_| {
@@ -607,48 +578,98 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
                 });
             }
             self.stats.and_evals += len as u64;
-            for i in 0..len {
-                let k = self.batch_ids[i];
-                let v = self.batch_vals[i];
+            for (&k, &v) in batch.iter().zip(vals.iter()) {
                 self.apply_value(k, v);
             }
+            self.batch_vals = vals;
         }
+        self.batch_ids = batch;
     }
 
-    fn invalidate(&mut self) {
-        self.node_probs_valid = false;
-        self.obs_valid = false;
-        self.estimates_valid = false;
-    }
-
+    /// Refreshes the circuit-level probability map. Cold (first call, or
+    /// after this consumer's dirty window overflowed): one full
+    /// AIG→circuit mapping pass. Incremental: remaps only the circuit
+    /// nodes carried by AIG nodes in this consumer's dirty window.
     fn ensure_node_probs(&mut self) {
-        if self.node_probs_valid {
+        if !self.have_node_probs || self.dirty.overflowed(Consumer::NodeProbs) {
+            let aig = self.analyzer.estimator().aig();
+            for i in 0..self.node_probs.len() {
+                self.node_probs[i] =
+                    lit_prob_of(&self.aig_probs, aig.lit_of(NodeId::from_index(i)));
+            }
+            self.dirty.commit(Consumer::NodeProbs);
+            self.have_node_probs = true;
+            return;
+        }
+        if self.dirty.is_clean(Consumer::NodeProbs) {
             return;
         }
         let aig = self.analyzer.estimator().aig();
-        for i in 0..self.node_probs.len() {
-            self.node_probs[i] = lit_prob_of(&self.aig_probs, aig.lit_of(NodeId::from_index(i)));
+        let circ_of_aig = self.analyzer.circ_of_aig();
+        for &a in self.dirty.pending(Consumer::NodeProbs) {
+            for &c in &circ_of_aig[a as usize] {
+                self.node_probs[c as usize] =
+                    lit_prob_of(&self.aig_probs, aig.lit_of(NodeId::from_index(c as usize)));
+            }
         }
-        self.node_probs_valid = true;
+        self.dirty.commit(Consumer::NodeProbs);
     }
 
+    /// Refreshes the observability state. Cold: one full (parallel)
+    /// reverse sweep. Incremental: seeds the reverse worklist with every
+    /// reader of a changed signal probability and re-sweeps only the
+    /// levels the dirty region actually reaches (see
+    /// [`crate::observe::incremental`]). When the dirty window covers most
+    /// of the AIG (see [`DENSE_OBS_WINDOW_DIVISOR`]) the refresh falls
+    /// back to the full sweep instead — seeding plus worklist bookkeeping
+    /// over a near-total region costs more than the sweep it saves, and
+    /// the full pass is the incremental path's reference anyway.
     fn ensure_obs(&mut self) {
-        if self.obs_valid {
+        self.ensure_node_probs();
+        if self.have_obs && self.dirty.is_clean(Consumer::Observability) {
             return;
         }
-        self.ensure_node_probs();
-        self.obs_engine
-            .compute_into_exec(&self.node_probs, &mut self.obs, self.analyzer.exec());
-        self.obs_valid = true;
+        let dense = self.dirty.pending(Consumer::Observability).len()
+            >= self.aig_probs.len() / DENSE_OBS_WINDOW_DIVISOR;
+        if !self.have_obs || dense || self.dirty.overflowed(Consumer::Observability) {
+            self.obs_engine.compute_into_exec(
+                &self.node_probs,
+                &mut self.obs,
+                self.analyzer.exec(),
+            );
+            self.stats.obs_level_evals += self.obs_engine.num_levels() as u64;
+            self.stats.obs_node_evals += self.stats.circuit_nodes as u64;
+            self.dirty.commit(Consumer::Observability);
+            self.have_obs = true;
+            return;
+        }
+        let circ_of_aig = self.analyzer.circ_of_aig();
+        for &a in self.dirty.pending(Consumer::Observability) {
+            for &c in &circ_of_aig[a as usize] {
+                self.obs_delta
+                    .seed_readers(&self.obs_engine, NodeId::from_index(c as usize));
+            }
+        }
+        self.dirty.commit(Consumer::Observability);
+        let work = self.obs_engine.refresh_into_exec(
+            &self.node_probs,
+            &mut self.obs,
+            &mut self.obs_delta,
+            self.analyzer.exec(),
+        );
+        self.stats.obs_level_evals += work.levels;
+        self.stats.obs_node_evals += work.nodes;
+        self.stats.obs_node_reuses += self.stats.circuit_nodes as u64 - work.nodes;
     }
 
     /// Refreshes the per-fault estimates. The first call computes every
     /// fault; later calls reuse the cached result for each fault whose
     /// dependency set (activation driver + propagation-cone fanins, see
-    /// [`FaultDeps`]) misses the dirty nodes, and recompute the rest —
-    /// in parallel chunks when the executor and the batch warrant it.
+    /// [`crate::detect::FaultDeps`]) misses the dirty nodes, and recompute
+    /// the rest — in parallel chunks when the executor and the batch
+    /// warrant it.
     fn ensure_estimates(&mut self) {
-        if self.estimates_valid {
+        if self.have_estimates && self.dirty.is_clean(Consumer::Faults) {
             return;
         }
         self.ensure_obs();
@@ -656,80 +677,55 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
         let circuit = analyzer.circuit();
         let faults = analyzer.faults();
         let exec = analyzer.exec();
-        if !self.have_estimates {
-            self.estimates.clear();
-            self.detections.clear();
-            if exec.parallel() && faults.len() >= MIN_PAR_FAULTS {
-                let node_probs = &self.node_probs;
-                let obs = &self.obs;
-                self.estimates = exec.run(|| {
-                    faults
-                        .par_iter()
-                        .map(|&fault| estimate_fault(circuit, fault, node_probs, obs))
-                        .collect()
-                });
-            } else {
-                for &fault in faults {
-                    self.estimates.push(estimate_fault(
-                        circuit,
-                        fault,
-                        &self.node_probs,
-                        &self.obs,
-                    ));
-                }
-            }
-            self.detections
-                .extend(self.estimates.iter().map(|e| e.detection));
+        if !self.have_estimates || self.dirty.overflowed(Consumer::Faults) {
+            detect::estimate_all_faults(
+                circuit,
+                faults,
+                &self.node_probs,
+                &self.obs,
+                exec,
+                &mut self.estimates,
+                &mut self.detections,
+            );
             self.stats.fault_evals += faults.len() as u64;
+            self.dirty.commit(Consumer::Faults);
             self.have_estimates = true;
-        } else {
-            let deps = analyzer.fault_deps(&self.obs_engine);
-            let words = deps.words;
-            self.dirty_words.clear();
-            self.dirty_words.resize(words, 0);
-            for &a in &self.dirty_aig {
-                for &c in &deps.circ_of_aig[a as usize] {
-                    self.dirty_words[(c >> 6) as usize] |= 1 << (c & 63);
-                }
-            }
-            let dirty_words = &self.dirty_words;
-            let todo: Vec<u32> = (0..faults.len())
-                .filter(|&fi| {
-                    deps.bits[fi * words..(fi + 1) * words]
-                        .iter()
-                        .zip(dirty_words)
-                        .any(|(&row, &dirty)| row & dirty != 0)
-                })
-                .map(|fi| fi as u32)
-                .collect();
-            self.stats.fault_reuses += (faults.len() - todo.len()) as u64;
-            self.stats.fault_evals += todo.len() as u64;
-            if exec.parallel() && todo.len() >= MIN_PAR_FAULTS {
-                let node_probs = &self.node_probs;
-                let obs = &self.obs;
-                let updates: Vec<FaultEstimate> = exec.run(|| {
-                    todo.par_iter()
-                        .map(|&fi| estimate_fault(circuit, faults[fi as usize], node_probs, obs))
-                        .collect()
-                });
-                for (&fi, est) in todo.iter().zip(updates) {
-                    self.estimates[fi as usize] = est;
-                    self.detections[fi as usize] = est.detection;
-                }
-            } else {
-                for &fi in &todo {
-                    let est =
-                        estimate_fault(circuit, faults[fi as usize], &self.node_probs, &self.obs);
-                    self.estimates[fi as usize] = est;
-                    self.detections[fi as usize] = est.detection;
-                }
+            return;
+        }
+        let deps = analyzer.fault_deps();
+        let words = deps.words;
+        self.dirty_words.clear();
+        self.dirty_words.resize(words, 0);
+        let circ_of_aig = analyzer.circ_of_aig();
+        for &a in self.dirty.pending(Consumer::Faults) {
+            for &c in &circ_of_aig[a as usize] {
+                self.dirty_words[(c >> 6) as usize] |= 1 << (c & 63);
             }
         }
-        for &a in &self.dirty_aig {
-            self.dirty_mark[a as usize] = false;
+        self.dirty.commit(Consumer::Faults);
+        let dirty_words = &self.dirty_words;
+        self.fault_scratch.todo.clear();
+        for fi in 0..faults.len() {
+            if deps.bits[fi * words..(fi + 1) * words]
+                .iter()
+                .zip(dirty_words)
+                .any(|(&row, &dirty)| row & dirty != 0)
+            {
+                self.fault_scratch.todo.push(fi as u32);
+            }
         }
-        self.dirty_aig.clear();
-        self.estimates_valid = true;
+        self.stats.fault_reuses += (faults.len() - self.fault_scratch.todo.len()) as u64;
+        self.stats.fault_evals += self.fault_scratch.todo.len() as u64;
+        detect::re_estimate_faults(
+            circuit,
+            faults,
+            &self.node_probs,
+            &self.obs,
+            exec,
+            &mut self.fault_scratch,
+            &mut self.estimates,
+            &mut self.detections,
+        );
     }
 }
 
@@ -742,21 +738,20 @@ impl Clone for AnalysisSession<'_, '_> {
             aig_probs: self.aig_probs.clone(),
             scratch: self.scratch.clone(),
             par_scratch: self.par_scratch.clone(),
-            heap: self.heap.clone(),
-            queued: self.queued.clone(),
+            front: self.front.clone(),
             batch_ids: self.batch_ids.clone(),
             batch_vals: self.batch_vals.clone(),
             undo: self.undo.clone(),
-            dirty_mark: self.dirty_mark.clone(),
-            dirty_aig: self.dirty_aig.clone(),
+            dirty: self.dirty.clone(),
             dirty_words: self.dirty_words.clone(),
             node_probs: self.node_probs.clone(),
-            node_probs_valid: self.node_probs_valid,
+            have_node_probs: self.have_node_probs,
             obs: self.obs.clone(),
-            obs_valid: self.obs_valid,
+            obs_delta: self.obs_delta.clone(),
+            have_obs: self.have_obs,
             estimates: self.estimates.clone(),
             detections: self.detections.clone(),
-            estimates_valid: self.estimates_valid,
+            fault_scratch: self.fault_scratch.clone(),
             have_estimates: self.have_estimates,
             stats: self.stats,
         }

@@ -9,6 +9,11 @@
 //! protest simulate <circuit> --patterns FILE  fault-simulate a pattern set
 //! ```
 //!
+//! `stats --probe` additionally opens an incremental analysis session,
+//! nudges one input probability and reports how much of the forward,
+//! reverse-observability and per-fault work the session reused — the
+//! work counters behind the optimizer's incremental hot loop.
+//!
 //! `<circuit>` is an ISCAS-85 `.bench` file, or a PDL file when it ends in
 //! `.pdl`. Common options:
 //!
@@ -23,6 +28,8 @@
 //! --threads N       analysis worker threads (default: PROTEST_THREADS or
 //!                   the machine's available parallelism; results are
 //!                   bit-identical at every thread count)
+//! --probe           with `stats`: report incremental-session reuse
+//!                   counters after a one-input mutation
 //! ```
 
 use std::fmt::Write as _;
@@ -55,7 +62,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage: protest <stats|analyze|optimize|patterns|simulate> <circuit> [options]
 options: --prob P  --testlen D,E  --hardest K  --n-target N  --count N
-         --optimized  --patterns FILE  --seed S  --threads N";
+         --optimized  --patterns FILE  --seed S  --threads N  --probe";
 
 /// Parsed command-line options.
 struct Options {
@@ -68,6 +75,7 @@ struct Options {
     patterns_file: Option<String>,
     seed: u64,
     threads: usize,
+    probe: bool,
 }
 
 impl Default for Options {
@@ -82,6 +90,7 @@ impl Default for Options {
             patterns_file: None,
             seed: 1,
             threads: 0,
+            probe: false,
         }
     }
 }
@@ -137,6 +146,7 @@ fn run(args: &[String]) -> Result<String, String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?;
             }
+            "--probe" => opts.probe = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -145,7 +155,7 @@ fn run(args: &[String]) -> Result<String, String> {
     }
     let circuit = load_circuit(&path)?;
     match command {
-        "stats" => cmd_stats(&circuit),
+        "stats" => cmd_stats(&circuit, &opts),
         "analyze" => cmd_analyze(&circuit, &opts),
         "optimize" => cmd_optimize(&circuit, &opts),
         "patterns" => cmd_patterns(&circuit, &opts),
@@ -169,8 +179,50 @@ fn load_circuit(path: &str) -> Result<Circuit, String> {
     }
 }
 
-fn cmd_stats(circuit: &Circuit) -> Result<String, String> {
-    Ok(format!("{}\n", CircuitStats::of(circuit)))
+fn cmd_stats(circuit: &Circuit, opts: &Options) -> Result<String, String> {
+    let mut out = format!("{}\n", CircuitStats::of(circuit));
+    if opts.probe {
+        if circuit.num_inputs() == 0 {
+            return Err("--probe needs at least one primary input".to_string());
+        }
+        let analyzer = analyzer_for(circuit, opts);
+        let probs = InputProbs::uniform(circuit.num_inputs());
+        let mut session = analyzer.session(&probs).map_err(|e| e.to_string())?;
+        session.fault_detect_probs();
+        let cold = session.stats();
+        session
+            .set_input_prob(0, 0.5 + 1.0 / 16.0)
+            .map_err(|e| e.to_string())?;
+        let window = session
+            .dirty_rank_range()
+            .map_or("empty".to_string(), |(lo, hi)| format!("ranks {lo}..={hi}"));
+        session.fault_detect_probs();
+        let warm = session.stats();
+        let _ = writeln!(out, "incremental probe (input 0: 0.5000 -> 0.5625):");
+        let _ = writeln!(out, "  dirty window:  {window}");
+        let _ = writeln!(
+            out,
+            "  forward:       {} of {} AND nodes re-evaluated",
+            warm.and_evals - cold.and_evals,
+            warm.and_nodes
+        );
+        let _ = writeln!(
+            out,
+            "  observability: {} levels swept, {} nodes re-evaluated, {} reused of {}",
+            warm.obs_level_evals - cold.obs_level_evals,
+            warm.obs_node_evals - cold.obs_node_evals,
+            warm.obs_node_reuses - cold.obs_node_reuses,
+            warm.circuit_nodes
+        );
+        let _ = writeln!(
+            out,
+            "  faults:        {} re-estimated, {} reused of {}",
+            warm.fault_evals - cold.fault_evals,
+            warm.fault_reuses - cold.fault_reuses,
+            analyzer.faults().len()
+        );
+    }
+    Ok(out)
 }
 
 /// Analyzer honoring the CLI's `--threads` (0 = auto).
@@ -207,6 +259,20 @@ fn cmd_optimize(circuit: &Circuit, opts: &Options) -> Result<String, String> {
         out,
         "# optimized input probabilities ({} rounds, {} evaluations)",
         result.rounds, result.evaluations
+    );
+    let w = result.session_stats;
+    let _ = writeln!(
+        out,
+        "# session work: {} mutations, {} AND evals (of {} ANDs/pass), \
+         obs {} levels / {} nodes swept ({} reused), faults {} evaluated ({} reused)",
+        w.mutations,
+        w.and_evals,
+        w.and_nodes,
+        w.obs_level_evals,
+        w.obs_node_evals,
+        w.obs_node_reuses,
+        w.fault_evals,
+        w.fault_reuses
     );
     for (&id, p) in circuit.inputs().iter().zip(result.probs.as_slice()) {
         let _ = writeln!(out, "{} {:.4}", circuit.node_label(id), p);
@@ -314,6 +380,28 @@ mod tests {
         assert!(out.contains("6 gates"), "{out}");
         let out = run(&args(&["analyze", p, "--testlen", "1.0,0.95"])).unwrap();
         assert!(out.contains("required random test lengths"), "{out}");
+    }
+
+    #[test]
+    fn stats_probe_reports_incremental_reuse() {
+        let f = write_c17();
+        let p = f.0.to_str().unwrap();
+        let out = run(&args(&["stats", p, "--probe"])).unwrap();
+        assert!(out.contains("incremental probe"), "{out}");
+        assert!(out.contains("observability:"), "{out}");
+        assert!(out.contains("reused"), "{out}");
+        // Without the flag the probe stays off.
+        let plain = run(&args(&["stats", p])).unwrap();
+        assert!(!plain.contains("incremental probe"), "{plain}");
+    }
+
+    #[test]
+    fn optimize_reports_session_work() {
+        let f = write_c17();
+        let p = f.0.to_str().unwrap();
+        let out = run(&args(&["optimize", p, "--n-target", "500"])).unwrap();
+        assert!(out.contains("# session work:"), "{out}");
+        assert!(out.contains("reused"), "{out}");
     }
 
     #[test]
