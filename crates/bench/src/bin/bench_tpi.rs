@@ -1,0 +1,202 @@
+//! Machine-readable benchmark of the test-point insertion advisor:
+//! candidate-scoring throughput (serial vs 4 threads) and the committed
+//! test-length trajectory (predicted vs re-analyzed per point), across the
+//! paper's random-resistant circuits.
+//!
+//! Writes `BENCH_tpi.json` (path overridable as the first CLI argument) —
+//! the perf record of the analyze → modify → re-analyze workload.
+//!
+//! ```sh
+//! cargo run --release -p protest-bench --bin bench_tpi
+//! ```
+//!
+//! Interpretation: one candidate score is a what-if reverse sweep (cone-
+//! local for observation points, full for control points) plus a test-
+//! length evaluation — hundreds of candidates per committed point, which
+//! is exactly the fleet-style workload the parallel executor chunks over
+//! its workers. On a 1-core container the 4-thread row measures
+//! scheduling overhead, not speedup; results are bit-identical either way.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use protest_bench::banner;
+use protest_circuits::{alu_74181, comp24, div_nonrestoring};
+use protest_core::tpi::{advise, rank, TpiParams};
+use protest_core::AnalyzerParams;
+use protest_netlist::Circuit;
+
+/// Thread counts measured (index-aligned with the per-row arrays).
+const THREADS: [usize; 2] = [1, 4];
+
+struct StepRow {
+    kind: &'static str,
+    node: String,
+    predicted: Option<u64>,
+    realized: Option<u64>,
+}
+
+struct CircuitRow {
+    name: &'static str,
+    inputs: usize,
+    nodes: usize,
+    candidates: usize,
+    /// Full ranking pass (base analysis + scoring) per thread count.
+    rank_ms: [f64; 2],
+    /// Candidates scored per second, per thread count.
+    cands_per_sec: [f64; 2],
+    base: Option<u64>,
+    steps: Vec<StepRow>,
+    /// Whole advisor run (budget points committed) at 1 thread.
+    advise_ms: f64,
+}
+
+fn params_for(threads: usize, budget: usize, max_candidates: usize) -> TpiParams {
+    TpiParams {
+        analyzer: AnalyzerParams {
+            num_threads: threads,
+            ..AnalyzerParams::default()
+        },
+        budget,
+        max_candidates,
+        ..TpiParams::default()
+    }
+}
+
+fn measure(name: &'static str, circuit: &Circuit, trials: u32, budget: usize) -> CircuitRow {
+    let max_candidates = 96;
+    let mut rank_ms = [0.0f64; 2];
+    let mut candidates = 0usize;
+    for (ti, &threads) in THREADS.iter().enumerate() {
+        let params = params_for(threads, budget, max_candidates);
+        // Warm-up (pools, allocator) outside the timer.
+        let (_, ranked) = rank(circuit, &params).expect("ranking runs");
+        candidates = ranked.len();
+        let t = Instant::now();
+        for _ in 0..trials {
+            std::hint::black_box(rank(circuit, &params).expect("ranking runs"));
+        }
+        rank_ms[ti] = t.elapsed().as_secs_f64() * 1e3 / f64::from(trials);
+    }
+    let cands_per_sec = [
+        candidates as f64 / (rank_ms[0] / 1e3),
+        candidates as f64 / (rank_ms[1] / 1e3),
+    ];
+    let params = params_for(1, budget, max_candidates);
+    let t = Instant::now();
+    let result = advise(circuit, &params).expect("advisor runs");
+    let advise_ms = t.elapsed().as_secs_f64() * 1e3;
+    let steps = result
+        .steps
+        .iter()
+        .map(|s| StepRow {
+            kind: s.spec.kind.mnemonic(),
+            node: s.label.clone(),
+            predicted: s.predicted_patterns,
+            realized: s.realized_patterns,
+        })
+        .collect();
+    CircuitRow {
+        name,
+        inputs: circuit.num_inputs(),
+        nodes: circuit.num_nodes(),
+        candidates,
+        rank_ms,
+        cands_per_sec,
+        base: result.base_patterns,
+        steps,
+        advise_ms,
+    }
+}
+
+fn json_opt(n: Option<u64>) -> String {
+    n.map_or("null".to_string(), |n| n.to_string())
+}
+
+fn json(rows: &[CircuitRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"tpi_advisor\",\n");
+    out.push_str("  \"unit\": \"ms\",\n");
+    out.push_str(
+        "  \"description\": \"Test-point insertion advisor: rank_ms times one full candidate \
+         ranking pass (base analysis + analytic what-if scoring of every surviving candidate) at \
+         1 and 4 threads; cands_per_sec is the scoring throughput; trajectory records the \
+         committed points with predicted vs re-analyzed (ground-truth) test length N(d=1, \
+         e=0.98). On a 1-core host the t4 column measures scheduling overhead, not speedup.\",\n",
+    );
+    out.push_str("  \"command\": \"cargo run --release -p protest-bench --bin bench_tpi\",\n");
+    out.push_str("  \"threads\": [1, 4],\n");
+    out.push_str("  \"circuits\": [\n");
+    for (ci, row) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\n      \"name\": \"{}\",\n      \"inputs\": {},\n      \"nodes\": {},\n      \
+             \"candidates\": {},\n      \
+             \"rank_ms\": {{\"t1\": {:.3}, \"t4\": {:.3}}},\n      \
+             \"cands_per_sec\": {{\"t1\": {:.1}, \"t4\": {:.1}}},\n      \
+             \"advise_ms_t1\": {:.3},\n      \
+             \"trajectory\": {{\"base\": {}, \"steps\": [\n",
+            row.name,
+            row.inputs,
+            row.nodes,
+            row.candidates,
+            row.rank_ms[0],
+            row.rank_ms[1],
+            row.cands_per_sec[0],
+            row.cands_per_sec[1],
+            row.advise_ms,
+            json_opt(row.base),
+        );
+        for (si, s) in row.steps.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        {{\"kind\": \"{}\", \"node\": \"{}\", \"predicted\": {}, \
+                 \"realized\": {}}}{}",
+                s.kind,
+                s.node,
+                json_opt(s.predicted),
+                json_opt(s.realized),
+                if si + 1 == row.steps.len() { "" } else { "," },
+            );
+        }
+        let _ = write!(
+            out,
+            "      ]}}\n    }}{}\n",
+            if ci + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    banner(
+        "test-point insertion advisor: scoring throughput + trajectory",
+        "the analyze -> modify -> re-analyze workload (ISSUE 5)",
+    );
+    let rows = vec![
+        measure("comp24", &comp24(), 4, 4),
+        measure("alu_74181", &alu_74181(), 4, 4),
+        measure("div8x8", &div_nonrestoring(8, 8), 2, 4),
+    ];
+    for row in &rows {
+        println!(
+            "{:10} {:4} nodes: {:3} candidates ranked in {:8.2} ms serial ({:7.1}/s) | \
+             {} points: N {} -> {}",
+            row.name,
+            row.nodes,
+            row.candidates,
+            row.rank_ms[0],
+            row.cands_per_sec[0],
+            row.steps.len(),
+            json_opt(row.base),
+            json_opt(row.steps.last().map_or(row.base, |s| s.realized)),
+        );
+    }
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_tpi.json".to_string());
+    std::fs::write(&path, json(&rows)).expect("write benchmark JSON");
+    println!("wrote {path}");
+}

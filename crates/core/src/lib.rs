@@ -100,6 +100,7 @@ pub mod sigprob;
 pub mod stafan;
 pub mod stats;
 pub mod testlen;
+pub mod tpi;
 
 pub use aig::{Aig, AigLit, AigNodeId};
 pub use analyzer::{Analyzer, CircuitAnalysis, FaultEstimate};

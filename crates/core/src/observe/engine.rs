@@ -19,6 +19,22 @@ use crate::params::ObservabilityModel;
 /// Minimum wavefront width worth fanning out to worker threads.
 pub(super) const MIN_PAR_WAVEFRONT: usize = 16;
 
+/// A hypothetical modification applied to one stem during a reverse sweep
+/// — the analytic heart of test-point scoring (see [`crate::tpi`]): the
+/// sweep computes exactly what a real insertion would, without rebuilding
+/// the circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum StemAdjust {
+    /// An extra observation branch with the given observability combined
+    /// into the stem — what a pseudo-output `BUF` contributes (`1.0` for a
+    /// direct primary output).
+    ExtraBranch(f64),
+    /// The stem observability multiplied by a sensitization factor — what
+    /// an inserted control gate contributes (`q` for `AND`, `1 − q` for
+    /// `OR`, the probability the gate passes the original net through).
+    Scale(f64),
+}
+
 /// Per-worker buffers for one node evaluation: consumer branch values,
 /// fanin probabilities and the pin-sensitivity cofactor scratch.
 #[derive(Debug, Clone, Default)]
@@ -76,6 +92,12 @@ impl<'c> ObservabilityEngine<'c> {
     /// dependency cones and the incremental sweep's seeding reuse it).
     pub(crate) fn fanouts(&self) -> &Fanouts {
         &self.fanouts
+    }
+
+    /// The engine's levelization (crate-internal: the test-point scorer
+    /// drives its what-if sweeps over the same order).
+    pub(crate) fn levels(&self) -> &Levels {
+        &self.levels
     }
 
     /// Number of level wavefronts a full reverse sweep visits.
@@ -234,6 +256,24 @@ impl<'c> ObservabilityEngine<'c> {
         scratch: &mut NodeEvalScratch,
         pins_out: &mut Vec<f64>,
     ) -> f64 {
+        self.eval_node_adjusted(id, node_probs, pin_s, scratch, pins_out, None)
+    }
+
+    /// [`eval_node`](Self::eval_node) with an optional what-if
+    /// [`StemAdjust`] folded in between the stem combine and the pin
+    /// computation, so the adjustment propagates into the node's pin
+    /// observabilities (and, through the sweep, its whole fanin cone)
+    /// exactly as a structural insertion would. `None` takes the identical
+    /// floating-point path as the plain evaluation.
+    pub(crate) fn eval_node_adjusted(
+        &self,
+        id: NodeId,
+        node_probs: &[f64],
+        pin_s: &[Vec<f64>],
+        scratch: &mut NodeEvalScratch,
+        pins_out: &mut Vec<f64>,
+        adjust: Option<StemAdjust>,
+    ) -> f64 {
         let circuit = self.circuit;
         scratch.branches.clear();
         scratch.branches.extend(
@@ -250,6 +290,14 @@ impl<'c> ObservabilityEngine<'c> {
             ObservabilityModel::AnyPath => {
                 1.0 - scratch.branches.iter().fold(1.0, |acc, &b| acc * (1.0 - b))
             }
+        };
+        let s = match adjust {
+            None => s,
+            Some(StemAdjust::ExtraBranch(b)) => match self.params.observability {
+                ObservabilityModel::Parity => xor_combine(s, b),
+                ObservabilityModel::AnyPath => 1.0 - (1.0 - s) * (1.0 - b),
+            },
+            Some(StemAdjust::Scale(f)) => s * f,
         };
         let s = s.clamp(0.0, 1.0);
         let node = circuit.node(id);

@@ -43,6 +43,7 @@ mod model;
 mod single_path;
 
 pub use engine::ObservabilityEngine;
+pub(crate) use engine::{NodeEvalScratch, StemAdjust};
 pub(crate) use incremental::ObsDelta;
 pub use model::{multilinear, xor_combine};
 pub use single_path::{SinglePathEstimator, SinglePathParams};
@@ -72,6 +73,19 @@ impl Observability {
     /// All node observabilities, indexable by node index.
     pub fn node_values(&self) -> &[f64] {
         &self.node_s
+    }
+
+    /// The per-gate pin observability rows (crate-internal: the test-point
+    /// scorer's what-if sweeps read them through
+    /// [`ObservabilityEngine::eval_node_adjusted`](engine)).
+    pub(crate) fn pin_rows(&self) -> &[Vec<f64>] {
+        &self.pin_s
+    }
+
+    /// Stores one node's sweep result (crate-internal, same consumers).
+    pub(crate) fn store(&mut self, id: NodeId, s: f64, pins: &[f64]) {
+        self.node_s[id.index()] = s;
+        self.pin_s[id.index()].copy_from_slice(pins);
     }
 }
 

@@ -1,0 +1,152 @@
+//! Candidate enumeration and the cheap prefilter that keeps full what-if
+//! scoring affordable on large circuits.
+
+use std::collections::HashSet;
+
+use protest_netlist::{Circuit, GateKind, NodeId, TestPointKind, TestPointSpec};
+
+use crate::observe::Observability;
+
+/// Enumerates every test-point candidate on a circuit's stems:
+///
+/// * observation points on every non-constant node that is not already a
+///   primary output;
+/// * control-0 and control-1 points on every non-constant, non-input node
+///   (control on an input is just an input weight — the optimizer's job).
+///
+/// Nodes in `exclude` (previously inserted points and their nets) are
+/// skipped. The order is deterministic: by node index, observe before
+/// control-0 before control-1.
+pub fn enumerate_candidates(circuit: &Circuit, exclude: &HashSet<NodeId>) -> Vec<TestPointSpec> {
+    let mut out = Vec::new();
+    for (id, node) in circuit.iter() {
+        if exclude.contains(&id) || matches!(node.kind(), GateKind::Const(_)) {
+            continue;
+        }
+        if !circuit.is_output(id) {
+            out.push(TestPointSpec {
+                node: id,
+                kind: TestPointKind::Observe,
+            });
+        }
+        if !matches!(node.kind(), GateKind::Input) {
+            out.push(TestPointSpec {
+                node: id,
+                kind: TestPointKind::ControlZero,
+            });
+            out.push(TestPointSpec {
+                node: id,
+                kind: TestPointKind::ControlOne,
+            });
+        }
+    }
+    out
+}
+
+/// Keeps the most promising `max` candidates for full scoring, half by the
+/// observation proxy and half by the control proxy:
+///
+/// * **observe** — how much the stem's own worst fault gains from `s → 1`:
+///   the ratio `min(p, 1−p) / (min(p, 1−p)·s(n))`, i.e. stems that are
+///   poorly observed but still activatable rank first;
+/// * **control** — how skewed the stem's signal probability is (`p` for
+///   control-0 candidates, `1−p` for control-1): a near-constant net
+///   starves activation in its fanout cone, which is exactly what a
+///   control point fixes.
+///
+/// These proxies ignore cone-wide effects on purpose — they only decide
+/// *which* candidates get the full analytic score, never the ranking among
+/// the survivors. Deterministic (ties broken by node index and kind).
+pub(crate) fn prefilter(
+    specs: Vec<TestPointSpec>,
+    node_probs: &[f64],
+    obs: &Observability,
+    max: usize,
+) -> Vec<TestPointSpec> {
+    if specs.len() <= max {
+        return specs;
+    }
+    const EPS: f64 = 1e-18;
+    let key = |spec: &TestPointSpec| -> f64 {
+        let p = node_probs[spec.node.index()];
+        match spec.kind {
+            TestPointKind::Observe => {
+                let act = p.min(1.0 - p);
+                let s = obs.node(spec.node);
+                (act + EPS) / (act * s + EPS)
+            }
+            TestPointKind::ControlZero => p,
+            TestPointKind::ControlOne => 1.0 - p,
+        }
+    };
+    let rank_top = |mut subset: Vec<TestPointSpec>, quota: usize| -> Vec<TestPointSpec> {
+        subset.sort_by(|a, b| {
+            key(b)
+                .total_cmp(&key(a))
+                .then_with(|| a.node.cmp(&b.node))
+                .then_with(|| a.kind.cmp(&b.kind))
+        });
+        subset.truncate(quota);
+        subset
+    };
+    let (observe, control): (Vec<_>, Vec<_>) = specs
+        .into_iter()
+        .partition(|s| s.kind == TestPointKind::Observe);
+    // Half the slots per family, slack flowing to whichever has more.
+    let ctrl_quota = (max - max / 2).min(control.len());
+    let obs_quota = (max - ctrl_quota).min(observe.len());
+    let ctrl_quota = (max - obs_quota).min(control.len());
+    let mut kept = rank_top(observe, obs_quota);
+    kept.extend(rank_top(control, ctrl_quota));
+    // Deterministic evaluation order regardless of proxy ranking.
+    kept.sort_by(|a, b| a.node.cmp(&b.node).then_with(|| a.kind.cmp(&b.kind)));
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_netlist::CircuitBuilder;
+
+    use super::*;
+
+    #[test]
+    fn enumeration_skips_outputs_inputs_and_constants() {
+        let mut b = CircuitBuilder::new("e");
+        let a = b.input("a");
+        let k = b.constant(true);
+        let g = b.and2(a, k);
+        let z = b.not(g);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let specs = enumerate_candidates(&ckt, &HashSet::new());
+        // a: observe only; k: nothing; g: all three; z (output): controls only.
+        assert!(specs.contains(&TestPointSpec {
+            node: a,
+            kind: TestPointKind::Observe
+        }));
+        assert!(!specs.iter().any(|s| s.node == k));
+        assert_eq!(specs.iter().filter(|s| s.node == g).count(), 3);
+        assert_eq!(specs.iter().filter(|s| s.node == z).count(), 2);
+        assert!(!specs.contains(&TestPointSpec {
+            node: z,
+            kind: TestPointKind::Observe
+        }));
+        assert!(!specs.contains(&TestPointSpec {
+            node: a,
+            kind: TestPointKind::ControlZero
+        }));
+    }
+
+    #[test]
+    fn exclusion_set_is_honored() {
+        let mut b = CircuitBuilder::new("x");
+        let a = b.input("a");
+        let g = b.not(a);
+        let z = b.not(g);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let excluded: HashSet<NodeId> = [g].into_iter().collect();
+        let specs = enumerate_candidates(&ckt, &excluded);
+        assert!(!specs.iter().any(|s| s.node == g));
+    }
+}

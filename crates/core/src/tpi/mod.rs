@@ -1,0 +1,121 @@
+//! Test-point insertion advisor: the DFT subsystem closing the
+//! **analyze → modify → re-analyze** loop.
+//!
+//! PROTEST tells a designer *where* a circuit resists random-pattern
+//! testing — this module acts on that: it proposes control and observation
+//! test points, scores every candidate analytically on the current
+//! analysis state, greedily commits the best ones under a budget by
+//! **actually rewriting the netlist** (via
+//! [`protest_netlist::insert_test_point`]), and re-runs the full analysis
+//! on each modified circuit so every committed step reports its
+//! *predicted* and its *re-analyzed* (ground-truth) test length.
+//!
+//! # Candidate model
+//!
+//! Candidates are enumerated on every internal stem
+//! ([`enumerate_candidates`]):
+//!
+//! * **Observe** ([`TestPointKind::Observe`]) — a pseudo-output `BUF` on
+//!   the stem; in the observability flow model this adds an observation
+//!   branch with `s = 1` at the stem. Skipped on nets that already are
+//!   primary outputs.
+//! * **Control-0 / Control-1** ([`TestPointKind::ControlZero`] /
+//!   [`ControlOne`](TestPointKind::ControlOne)) — an `AND` / `OR` of the
+//!   stem with a fresh pseudo-input stimulated at probability `q`
+//!   ([`TpiParams::control_prob`]): the net's signal probability shifts to
+//!   `p·q` / `1 − (1−p)(1−q)`, and the stem's observability picks up the
+//!   gate's pass-through factor `q` / `1 − q`. Skipped on primary inputs
+//!   (re-weighting an input is the optimizer's job, not a test point's).
+//!
+//! Nodes belonging to previously committed points (the inserted gate, its
+//! pseudo-input, and the driven net) are excluded from later rounds.
+//!
+//! # Scoring formulas
+//!
+//! Scoring folds a candidate's effect through the *existing* session state
+//! — signal probabilities `p(x)`, observabilities `s(x)` and the per-fault
+//! detection profile — without rebuilding the circuit:
+//!
+//! * **Observe at `n`** — signal probabilities are unchanged; the stem
+//!   combine at `n` gains an extra branch with `s = 1`
+//!   ([`StemAdjust::ExtraBranch`](crate::observe)), and only the *fanin
+//!   cone* of `n` is re-swept (everything else is untouched, so the sweep
+//!   is exact for the modified circuit). Detections are patched for the
+//!   faults whose site lies in the cone.
+//! * **Control at `n`** — `p(n)` shifts as above and is propagated through
+//!   the fanout cone with the product-rule (COP-style) gate extensions
+//!   ([`crate::observe::multilinear`]); a full reverse sweep with the
+//!   pass-through factor applied at `n` ([`StemAdjust::Scale`]) then
+//!   refreshes observabilities, and every fault's detection is recomputed.
+//!   Stem faults *at* `n` keep their original activation (the net's old
+//!   driver still carries `p`, only its consumers see the shifted value).
+//!
+//! Each candidate's predicted quality is the required random test length
+//! `N(d, e)` over the estimated-detectable faults
+//! ([`crate::testlen::required_test_length_fraction`]), tie-broken by the
+//! log-expected number of undetected faults at the base test length —
+//! the same continuous objective the input-probability optimizer climbs.
+//! Candidate evaluation is embarrassingly parallel and runs on the
+//! analyzer's executor ([`crate::AnalyzerParams::num_threads`]); results
+//! are bit-identical at every thread count.
+//!
+//! ## Prediction accuracy
+//!
+//! For **observe** candidates the score is *exact* with respect to the
+//! post-insertion re-analysis up to the handful of new collapsed faults
+//! the inserted `BUF` adds (those are highly detectable by construction,
+//! so they rarely move `N`). For **control** candidates the forward
+//! propagation uses the plain product rule where the estimator uses
+//! reconvergence conditioning, so predictions carry the COP bias on
+//! reconvergent circuits. The integration tests hold the top-ranked
+//! candidate's predicted `N` within a **factor 2** of the re-analyzed `N`
+//! (`TPI_PREDICTION_TOLERANCE`) on the paper's circuits; observe
+//! predictions land within ~1 %.
+//!
+//! # Greedy loop and invalidation
+//!
+//! [`advise`] repeats up to [`TpiParams::budget`] times:
+//!
+//! 1. run the full analysis of the **current** circuit (an
+//!    [`crate::AnalysisSession`] over a fresh [`crate::Analyzer`] — the
+//!    previous round's state is invalid the moment the netlist changed);
+//! 2. enumerate + prefilter + score candidates, rank them;
+//! 3. walk the ranking: insert the candidate, re-analyze the modified
+//!    circuit, and **commit only if the re-analyzed test length strictly
+//!    improves** (up to [`TpiParams::max_tries_per_step`] rejected
+//!    attempts per step) — so the reported ground-truth trajectory is
+//!    monotonically decreasing by construction;
+//! 4. on commit, the modified circuit becomes current, the pseudo-input
+//!    weight vector grows by `q`, and the committed point's nodes join
+//!    the exclusion set. All analysis state is rebuilt in the next round
+//!    — nothing survives a netlist mutation.
+//!
+//! The loop stops early when no candidate improves the ground truth.
+//!
+//! # Example
+//!
+//! ```
+//! use protest_circuits::comp24;
+//! use protest_core::tpi::{advise, TpiParams};
+//!
+//! let circuit = comp24();
+//! let params = TpiParams {
+//!     budget: 1,
+//!     max_candidates: 16,
+//!     ..TpiParams::default()
+//! };
+//! let result = advise(&circuit, &params).unwrap();
+//! assert_eq!(result.steps.len(), 1);
+//! let step = &result.steps[0];
+//! // The committed point's ground truth improves on the base length.
+//! assert!(step.realized_patterns.unwrap() < result.base_patterns.unwrap());
+//! ```
+
+mod advisor;
+mod candidates;
+mod score;
+
+pub use advisor::{advise, rank, CandidateReport, TpiParams, TpiResult, TpiStep};
+pub use candidates::enumerate_candidates;
+pub use protest_netlist::{TestPointKind, TestPointSpec};
+pub use score::TPI_PREDICTION_TOLERANCE;

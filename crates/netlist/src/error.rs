@@ -59,6 +59,11 @@ pub enum NetlistError {
         /// The undefined signal name.
         name: String,
     },
+    /// A test-point insertion request was invalid.
+    TestPoint {
+        /// What was wrong with the request.
+        message: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -93,6 +98,9 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::Undefined { name } => {
                 write!(f, "signal `{name}` referenced but never defined")
+            }
+            NetlistError::TestPoint { message } => {
+                write!(f, "invalid test point: {message}")
             }
         }
     }

@@ -14,6 +14,9 @@
 //! * Parsers/writers for the ISCAS-85 `.bench` format ([`parse_bench`]) and a
 //!   small structural description language, PDL ([`parse_pdl`]), standing in
 //!   for the structure-description language the original PASCAL tool compiled.
+//! * Test-point insertion ([`insert_test_point`]) — DFT netlist editing
+//!   (pseudo-inputs/outputs, control/observe gates) that preserves existing
+//!   node ids and names.
 //! * A CMOS transistor cost model ([`transistor_count`]) used to report circuit sizes the way the
 //!   paper's Tables 7 and 8 do.
 //!
@@ -43,6 +46,7 @@ mod analyze_impl;
 mod builder;
 mod error;
 mod gate;
+mod insert;
 mod levelize;
 mod netlist;
 mod nodeset;
@@ -55,6 +59,9 @@ mod write;
 pub use builder::CircuitBuilder;
 pub use error::NetlistError;
 pub use gate::{GateKind, LutId, TruthTable};
+pub use insert::{
+    insert_test_point, insert_test_points, InsertedPoint, TestPointKind, TestPointSpec,
+};
 pub use levelize::Levels;
 pub use netlist::{Circuit, Node, NodeId};
 pub use nodeset::NodeSet;

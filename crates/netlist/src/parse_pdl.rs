@@ -20,7 +20,8 @@
 //!            | "input" IDENT+ ";"
 //!            | "output" IDENT+ ";"
 //!            | IDENT "=" expr ";"
-//! expr      := IDENT | "0" | "1" | GATE "(" expr { "," expr } ")"
+//! expr      := IDENT | "0" | "1" | "const0" "(" ")" | "const1" "(" ")"
+//!            | GATE "(" expr { "," expr } ")"
 //! GATE      := and|or|xor|nand|nor|xnor|not|buf
 //! ```
 //!
@@ -238,6 +239,13 @@ fn parse_expr(
         _ => None,
     };
     p.skip_ws();
+    // `const0()` / `const1()` — the writer's loss-free constant form
+    // (the bare literals `0` / `1` below are also accepted).
+    if kind.is_none() && (word == "const0" || word == "const1") && p.peek() == Some(b'(') {
+        p.expect(b'(')?;
+        p.expect(b')')?;
+        return Ok(builder.constant(word == "const1"));
+    }
     match kind {
         Some(kind) if p.peek() == Some(b'(') => {
             p.expect(b'(')?;

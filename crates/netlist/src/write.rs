@@ -1,8 +1,23 @@
 //! Netlist writers: `.bench` and PDL emission.
+//!
+//! Both writers are **round-trip stable**: `write → parse → write` yields
+//! bit-identical text. Two properties make that hold on arbitrary circuits
+//! (the test-point-insertion flow produces circuits exercising both):
+//!
+//! * Synthetic names never collide with declared ones — an unnamed node's
+//!   `n<i>` label is suffixed with `_` until it is unique, so a circuit
+//!   that declares a signal `n5` next to an unnamed node 5 still writes
+//!   two distinct definitions.
+//! * PDL assignments are emitted in dependency (levelized) order, because
+//!   [`crate::parse_pdl`] resolves references strictly backwards — storage
+//!   order may contain forward references (e.g. after test-point insertion
+//!   appends a control gate whose consumers precede it).
 
+use std::collections::HashSet;
 use std::fmt::Write as _;
 
 use crate::gate::GateKind;
+use crate::levelize::Levels;
 use crate::netlist::{Circuit, NodeId};
 
 /// Serializes a circuit in ISCAS-85 `.bench` syntax.
@@ -15,14 +30,14 @@ use crate::netlist::{Circuit, NodeId};
 ///
 /// Panics if the circuit contains [`GateKind::Lut`] nodes.
 pub fn to_bench(circuit: &Circuit) -> String {
+    let names = signal_names(circuit, is_clean_bench);
     let mut out = String::new();
     let _ = writeln!(out, "# {}", circuit.name());
-    let sig = |id: NodeId| signal_name(circuit, id);
     for &i in circuit.inputs() {
-        let _ = writeln!(out, "INPUT({})", sig(i));
+        let _ = writeln!(out, "INPUT({})", names[i.index()]);
     }
     for &o in circuit.outputs() {
-        let _ = writeln!(out, "OUTPUT({})", sig(o));
+        let _ = writeln!(out, "OUTPUT({})", names[o.index()]);
     }
     for (id, node) in circuit.iter() {
         let gate = match node.kind() {
@@ -39,38 +54,61 @@ pub fn to_bench(circuit: &Circuit) -> String {
             GateKind::Xnor => "XNOR",
             GateKind::Lut(_) => panic!("cannot export truth-table components to .bench"),
         };
-        let args: Vec<String> = node.fanins().iter().map(|&f| sig(f)).collect();
-        let _ = writeln!(out, "{} = {}({})", sig(id), gate, args.join(", "));
+        let args: Vec<&str> = node
+            .fanins()
+            .iter()
+            .map(|&f| names[f.index()].as_str())
+            .collect();
+        let _ = writeln!(out, "{} = {}({})", names[id.index()], gate, args.join(", "));
     }
     out
 }
 
 /// Serializes a circuit in PDL syntax (see [`crate::parse_pdl`]).
 ///
+/// Assignments are emitted in levelized (dependency) order — PDL forbids
+/// forward references — and constants as `const0()` / `const1()` gates, so
+/// a parse of the output reproduces the circuit structure exactly.
+///
 /// # Panics
 ///
 /// Panics if the circuit contains [`GateKind::Lut`] nodes.
 pub fn to_pdl(circuit: &Circuit) -> String {
+    let names = signal_names(circuit, is_clean_pdl);
     let mut out = String::new();
     let _ = writeln!(out, "circuit {};", circuit.name());
-    let sig = |id: NodeId| signal_name(circuit, id);
-    let inputs: Vec<String> = circuit.inputs().iter().map(|&i| sig(i)).collect();
+    let inputs: Vec<&str> = circuit
+        .inputs()
+        .iter()
+        .map(|&i| names[i.index()].as_str())
+        .collect();
     let _ = writeln!(out, "input {};", inputs.join(" "));
-    let outputs: Vec<String> = circuit.outputs().iter().map(|&o| sig(o)).collect();
+    let outputs: Vec<&str> = circuit
+        .outputs()
+        .iter()
+        .map(|&o| names[o.index()].as_str())
+        .collect();
     let _ = writeln!(out, "output {};", outputs.join(" "));
-    for (id, node) in circuit.iter() {
+    let levels = Levels::new(circuit);
+    for &id in levels.order() {
+        let node = circuit.node(id);
         match node.kind() {
             GateKind::Input => continue,
             GateKind::Const(v) => {
-                let _ = writeln!(out, "{} = buf({});", sig(id), if v { 1 } else { 0 });
+                let gate = if v { "const1" } else { "const0" };
+                let _ = writeln!(out, "{} = {}();", names[id.index()], gate);
             }
             GateKind::Lut(_) => panic!("cannot export truth-table components to PDL"),
             kind => {
-                let args: Vec<String> = node.fanins().iter().map(|&f| sig(f)).collect();
+                let args: Vec<&str> = node
+                    .fanins()
+                    .iter()
+                    .map(|&f| names[f.index()].as_str())
+                    .collect();
                 let _ = writeln!(
                     out,
                     "{} = {}({});",
-                    sig(id),
+                    names[id.index()],
                     kind.mnemonic(),
                     args.join(", ")
                 );
@@ -80,13 +118,47 @@ pub fn to_pdl(circuit: &Circuit) -> String {
     out
 }
 
-/// A writer-safe signal name: declared name if it is a clean identifier,
-/// otherwise a synthetic `n<i>` label.
-fn signal_name(circuit: &Circuit, id: NodeId) -> String {
-    match circuit.node(id).name() {
-        Some(n) if n.bytes().all(|c| c.is_ascii_alphanumeric() || c == b'_') => n.to_string(),
-        _ => format!("n{}", id.index()),
-    }
+/// Writer-safe signal names for every node: the declared name when the
+/// target syntax can represent it, otherwise a synthetic `n<i>` label
+/// suffixed with `_` until it collides with no declared (or earlier
+/// synthetic) name.
+fn signal_names(circuit: &Circuit, clean: fn(&str) -> bool) -> Vec<String> {
+    let mut taken: HashSet<String> = circuit
+        .nodes()
+        .iter()
+        .filter_map(|n| n.name().filter(|s| clean(s)).map(str::to_string))
+        .collect();
+    (0..circuit.num_nodes())
+        .map(|i| {
+            let node = circuit.node(NodeId::from_index(i));
+            match node.name().filter(|s| clean(s)) {
+                Some(n) => n.to_string(),
+                None => {
+                    let mut synth = format!("n{i}");
+                    while taken.contains(&synth) {
+                        synth.push('_');
+                    }
+                    taken.insert(synth.clone());
+                    synth
+                }
+            }
+        })
+        .collect()
+}
+
+/// Whether a declared name can be written verbatim in `.bench` (the
+/// parser accepts any alphanumeric token — ISCAS names are often purely
+/// numeric).
+fn is_clean_bench(name: &str) -> bool {
+    !name.is_empty() && name.bytes().all(|c| c.is_ascii_alphanumeric() || c == b'_')
+}
+
+/// Whether a declared name is a PDL identifier: [`is_clean_bench`] minus
+/// leading digits — `parse_pdl` rejects digit-leading assignment targets
+/// and reads a bare `0`/`1` fanin as a constant, so those names must fall
+/// back to synthetic labels.
+fn is_clean_pdl(name: &str) -> bool {
+    is_clean_bench(name) && !name.as_bytes()[0].is_ascii_digit()
 }
 
 #[cfg(test)]
@@ -117,6 +189,8 @@ mod tests {
         assert_eq!(back.num_inputs(), ckt.num_inputs());
         assert_eq!(back.num_gates(), ckt.num_gates());
         assert_eq!(back.num_outputs(), 1);
+        // Text fixpoint: re-serializing the parsed circuit is bit-identical.
+        assert_eq!(to_bench(&back), text);
     }
 
     #[test]
@@ -127,6 +201,7 @@ mod tests {
         assert_eq!(back.name(), "samp");
         assert_eq!(back.num_inputs(), 2);
         assert_eq!(back.num_gates(), ckt.num_gates());
+        assert_eq!(to_pdl(&back), text);
     }
 
     #[test]
@@ -140,5 +215,85 @@ mod tests {
         assert!(text.contains("n1 = NOT(a)"), "got:\n{text}");
         let back = parse_bench("anon", &text).unwrap();
         assert_eq!(back.num_gates(), 1);
+    }
+
+    #[test]
+    fn synthetic_names_dodge_declared_collisions() {
+        // A signal *declared* `n1` next to an unnamed node at index 1 used
+        // to serialize as two `n1 = …` definitions (a parse error). The
+        // writer now suffixes the synthetic label.
+        let mut b = CircuitBuilder::new("clash");
+        let a = b.input("a");
+        let x = b.not(a); // index 1, unnamed → synthetic n1
+        let y = b.buf(x);
+        b.name(y, "n1"); // declared name colliding with the synthetic
+        b.output(y, "z");
+        let ckt = b.finish().unwrap();
+        let text = to_bench(&ckt);
+        assert!(text.contains("n1_ = NOT(a)"), "got:\n{text}");
+        assert!(text.contains("n1 = BUFF(n1_)"), "got:\n{text}");
+        let back = parse_bench("clash", &text).unwrap();
+        assert_eq!(to_bench(&back), text);
+        let pdl = to_pdl(&ckt);
+        let back = parse_pdl("clash", &pdl).unwrap();
+        assert_eq!(to_pdl(&back), pdl);
+    }
+
+    #[test]
+    fn pdl_rejects_digit_leading_names_via_synthetic_fallback() {
+        // ISCAS-style numeric signal names are legal in `.bench` but not
+        // in PDL (`10` fails is_ident, a bare `1` fanin parses as a
+        // constant) — the PDL writer must fall back to synthetic labels.
+        let text = "\
+INPUT(1)
+INPUT(2)
+OUTPUT(10)
+10 = NAND(1, 2)
+";
+        let ckt = parse_bench("numeric", text).unwrap();
+        // `.bench` keeps the numeric names verbatim, bit-stably.
+        assert_eq!(
+            to_bench(&parse_bench("numeric", &to_bench(&ckt)).unwrap()),
+            to_bench(&ckt)
+        );
+        let pdl = to_pdl(&ckt);
+        assert!(!pdl.contains("10 ="), "got:\n{pdl}");
+        let back = parse_pdl("numeric", &pdl).unwrap();
+        assert_eq!(back.num_inputs(), 2);
+        assert_eq!(back.num_gates(), 1);
+        assert_eq!(to_pdl(&back), pdl);
+    }
+
+    #[test]
+    fn pdl_emits_in_dependency_order() {
+        // Storage order with a forward reference (consumer before driver):
+        // the PDL writer must reorder, because the parser resolves
+        // backwards only. `.bench` handles forward references natively.
+        let text = "\
+INPUT(a)
+OUTPUT(z)
+z = NOT(y)
+y = BUF(a)
+";
+        let ckt = parse_bench("fwd", text).unwrap();
+        let pdl = to_pdl(&ckt);
+        let back = parse_pdl("fwd", &pdl).unwrap();
+        assert_eq!(back.num_gates(), ckt.num_gates());
+        assert_eq!(to_pdl(&back), pdl);
+    }
+
+    #[test]
+    fn pdl_constants_roundtrip_without_growth() {
+        let mut b = CircuitBuilder::new("k");
+        let a = b.input("a");
+        let one = b.constant(true);
+        let z = b.xor2(a, one);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let pdl = to_pdl(&ckt);
+        assert!(pdl.contains("= const1();"), "got:\n{pdl}");
+        let back = parse_pdl("k", &pdl).unwrap();
+        assert_eq!(back.num_nodes(), ckt.num_nodes());
+        assert_eq!(to_pdl(&back), pdl);
     }
 }

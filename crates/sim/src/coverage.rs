@@ -91,6 +91,36 @@ pub fn coverage_run<S: PatternSource>(
     }
 }
 
+/// Realized fault coverage of `circuit` under `patterns` weighted random
+/// patterns — the ground-truth cross-check of the analytic DFT advisor
+/// (test-point insertion predicts a shorter test; this measures whether a
+/// fixed pattern budget really covers more faults on the modified
+/// circuit).
+///
+/// `weights[i]` is the stimulation probability of input `i` (pseudo-inputs
+/// of inserted control points included, at their chosen `q`).
+///
+/// # Panics
+///
+/// Panics if `weights` does not match the circuit's input count or
+/// `patterns` is 0.
+pub fn weighted_coverage(
+    circuit: &Circuit,
+    faults: &[Fault],
+    weights: &[f64],
+    seed: u64,
+    patterns: u64,
+) -> CoverageCurve {
+    assert_eq!(
+        weights.len(),
+        circuit.num_inputs(),
+        "one weight per primary input"
+    );
+    assert!(patterns > 0, "need at least one pattern");
+    let mut source = crate::patterns::WeightedRandomPatterns::new(weights, seed);
+    coverage_run(circuit, faults, &mut source, &[patterns])
+}
+
 #[cfg(test)]
 mod tests {
     use protest_netlist::CircuitBuilder;
@@ -99,6 +129,23 @@ mod tests {
     use crate::patterns::UniformRandomPatterns;
 
     use super::*;
+
+    #[test]
+    fn weighted_coverage_matches_explicit_run() {
+        let mut b = CircuitBuilder::new("w");
+        let xs = b.input_bus("x", 5);
+        let t = b.and_tree(&xs);
+        b.output(t, "z");
+        let ckt = b.finish().unwrap();
+        let u = FaultUniverse::all(&ckt);
+        let weights = [0.9; 5];
+        let curve = weighted_coverage(&ckt, u.faults(), &weights, 7, 512);
+        let mut src = crate::patterns::WeightedRandomPatterns::new(&weights, 7);
+        let want = coverage_run(&ckt, u.faults(), &mut src, &[512]);
+        assert_eq!(curve.final_percent(), want.final_percent());
+        // Heavy 1-weights make the all-ones activation common.
+        assert!(curve.final_percent() > 90.0, "{}", curve.final_percent());
+    }
 
     #[test]
     fn coverage_is_monotone_and_complete_on_easy_circuit() {

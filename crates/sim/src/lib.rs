@@ -40,7 +40,7 @@ pub mod collapse {
     pub use crate::fault::{collapse_universe, CollapsedUniverse};
 }
 
-pub use coverage::{coverage_run, CoverageCheckpoint, CoverageCurve};
+pub use coverage::{coverage_run, weighted_coverage, CoverageCheckpoint, CoverageCurve};
 pub use deductive::DeductiveSim;
 pub use fault::{collapse_universe, CollapsedUniverse, Fault, FaultSite, FaultUniverse, StuckAt};
 pub use fault_sim::{DetectionCounts, FaultSim};

@@ -5,6 +5,7 @@
 //! protest stats    <circuit>                  circuit statistics
 //! protest analyze  <circuit> [options]        testability report
 //! protest optimize <circuit> [options]        optimized input probabilities
+//! protest tpi      <circuit> --budget K       test-point insertion advisor
 //! protest patterns <circuit> [options]        emit a random pattern set
 //! protest simulate <circuit> --patterns FILE  fault-simulate a pattern set
 //! ```
@@ -14,8 +15,16 @@
 //! reverse-observability and per-fault work the session reused — the
 //! work counters behind the optimizer's incremental hot loop.
 //!
-//! `<circuit>` is an ISCAS-85 `.bench` file, or a PDL file when it ends in
-//! `.pdl`. Common options:
+//! `tpi` closes the analyze → modify → re-analyze loop: it scores
+//! control/observation test-point candidates analytically, greedily
+//! commits up to `--budget` points by rewriting the netlist, and reports
+//! the predicted and the re-analyzed test length per committed point.
+//! `--dry-run` prints the ranked candidate table without modifying
+//! anything; `--out FILE` writes the modified `.bench` netlist.
+//!
+//! `<circuit>` is an ISCAS-85 `.bench` file, a PDL file when it ends in
+//! `.pdl`, or one of the built-in circuit names `c17`, `comp24`, `alu`,
+//! `mult`, `mult6`, `div8x8`, `div16`. Common options:
 //!
 //! ```text
 //! --prob P          stimulate every input with probability P (default 0.5)
@@ -30,6 +39,13 @@
 //!                   bit-identical at every thread count)
 //! --probe           with `stats`: report incremental-session reuse
 //!                   counters after a one-input mutation
+//! --budget K        tpi: maximum test points to commit (default 3)
+//! --target-d D      tpi: test-length fraction d (default 1.0)
+//! --target-e E      tpi: test-length confidence e (default 0.98)
+//! --ctrl-prob Q     tpi: pseudo-input weight of control points (default 0.5)
+//! --max-candidates M  tpi: candidates surviving into full scoring (128)
+//! --dry-run         tpi: rank candidates only, modify nothing
+//! --out FILE        tpi: write the modified netlist as .bench
 //! ```
 
 use std::fmt::Write as _;
@@ -40,8 +56,9 @@ use protest::prelude::*;
 use protest_core::optimize::{HillClimber, OptimizeParams};
 use protest_core::report::TestabilityReport;
 use protest_core::testlen::required_test_length_fraction;
+use protest_core::tpi::{self, TpiParams};
 use protest_core::{AnalyzerParams, InputProbs};
-use protest_netlist::{parse_bench, parse_pdl, CircuitStats};
+use protest_netlist::{parse_bench, parse_pdl, to_bench, CircuitStats};
 use protest_sim::{coverage_run, PatternSet, ReplaySource};
 
 fn main() -> ExitCode {
@@ -60,9 +77,11 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-usage: protest <stats|analyze|optimize|patterns|simulate> <circuit> [options]
+usage: protest <stats|analyze|optimize|tpi|patterns|simulate> <circuit> [options]
 options: --prob P  --testlen D,E  --hardest K  --n-target N  --count N
-         --optimized  --patterns FILE  --seed S  --threads N  --probe";
+         --optimized  --patterns FILE  --seed S  --threads N  --probe
+         --budget K  --target-d D  --target-e E  --ctrl-prob Q
+         --max-candidates M  --dry-run  --out FILE";
 
 /// Parsed command-line options.
 struct Options {
@@ -76,6 +95,13 @@ struct Options {
     seed: u64,
     threads: usize,
     probe: bool,
+    budget: usize,
+    target_d: f64,
+    target_e: f64,
+    ctrl_prob: f64,
+    max_candidates: usize,
+    dry_run: bool,
+    out: Option<String>,
 }
 
 impl Default for Options {
@@ -91,6 +117,13 @@ impl Default for Options {
             seed: 1,
             threads: 0,
             probe: false,
+            budget: 3,
+            target_d: 1.0,
+            target_e: 0.98,
+            ctrl_prob: 0.5,
+            max_candidates: 128,
+            dry_run: false,
+            out: None,
         }
     }
 }
@@ -147,6 +180,33 @@ fn run(args: &[String]) -> Result<String, String> {
                     .map_err(|e| format!("--threads: {e}"))?;
             }
             "--probe" => opts.probe = true,
+            "--budget" => {
+                opts.budget = value("--budget")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?;
+            }
+            "--target-d" => {
+                opts.target_d = value("--target-d")?
+                    .parse()
+                    .map_err(|e| format!("--target-d: {e}"))?;
+            }
+            "--target-e" => {
+                opts.target_e = value("--target-e")?
+                    .parse()
+                    .map_err(|e| format!("--target-e: {e}"))?;
+            }
+            "--ctrl-prob" => {
+                opts.ctrl_prob = value("--ctrl-prob")?
+                    .parse()
+                    .map_err(|e| format!("--ctrl-prob: {e}"))?;
+            }
+            "--max-candidates" => {
+                opts.max_candidates = value("--max-candidates")?
+                    .parse()
+                    .map_err(|e| format!("--max-candidates: {e}"))?;
+            }
+            "--dry-run" => opts.dry_run = true,
+            "--out" => opts.out = Some(value("--out")?.clone()),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -158,14 +218,36 @@ fn run(args: &[String]) -> Result<String, String> {
         "stats" => cmd_stats(&circuit, &opts),
         "analyze" => cmd_analyze(&circuit, &opts),
         "optimize" => cmd_optimize(&circuit, &opts),
+        "tpi" => cmd_tpi(&circuit, &opts),
         "patterns" => cmd_patterns(&circuit, &opts),
         "simulate" => cmd_simulate(&circuit, &opts),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
 
+/// A built-in circuit by name, for file-free invocations (CI smoke runs,
+/// quick experiments).
+fn builtin_circuit(name: &str) -> Option<Circuit> {
+    use protest::circuits as c;
+    match name {
+        "c17" => Some(c::c17()),
+        "comp24" => Some(c::comp24()),
+        "alu" | "alu_74181" => Some(c::alu_74181()),
+        "mult" => Some(c::mult_abcd()),
+        "mult6" => Some(c::mult_array(6)),
+        "div8x8" => Some(c::div_nonrestoring(8, 8)),
+        "div16" => Some(c::div16()),
+        _ => None,
+    }
+}
+
 fn load_circuit(path: &str) -> Result<Circuit, String> {
-    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            return builtin_circuit(path).ok_or(format!("{path}: {e}"));
+        }
+    };
     let name = path
         .rsplit('/')
         .next()
@@ -283,6 +365,142 @@ fn cmd_optimize(circuit: &Circuit, opts: &Options) -> Result<String, String> {
         let n = required_test_length_fraction(session.fault_detect_probs(), d, e)
             .map_or("unreachable".to_string(), |t| t.patterns.to_string());
         let _ = writeln!(out, "# N(d={d}, e={e}) = {n}");
+    }
+    Ok(out)
+}
+
+/// Formats an optional pattern count (`None` = beyond the search cap).
+fn fmt_patterns(n: Option<u64>) -> String {
+    n.map_or("unreachable".to_string(), |n| n.to_string())
+}
+
+fn tpi_params(circuit: &Circuit, opts: &Options) -> Result<TpiParams, String> {
+    let base_probs = if opts.prob == 0.5 {
+        None
+    } else {
+        Some(InputProbs::constant(circuit.num_inputs(), opts.prob).map_err(|e| e.to_string())?)
+    };
+    Ok(TpiParams {
+        analyzer: AnalyzerParams {
+            num_threads: opts.threads,
+            ..AnalyzerParams::default()
+        },
+        budget: opts.budget,
+        frac_d: opts.target_d,
+        conf_e: opts.target_e,
+        control_prob: opts.ctrl_prob,
+        max_candidates: opts.max_candidates,
+        base_probs,
+        ..TpiParams::default()
+    })
+}
+
+fn cmd_tpi(circuit: &Circuit, opts: &Options) -> Result<String, String> {
+    let params = tpi_params(circuit, opts)?;
+    let mut out = String::new();
+    if opts.dry_run {
+        let (base, ranked) = tpi::rank(circuit, &params).map_err(|e| e.to_string())?;
+        let base_n = base.map(|t| t.patterns);
+        let _ = writeln!(
+            out,
+            "# {}: ranked test-point candidates (dry run; base N(d={}, e={}) = {})",
+            circuit.name(),
+            opts.target_d,
+            opts.target_e,
+            fmt_patterns(base_n)
+        );
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<16} {:<4} {:>14}  {:>8}",
+            "rank", "node", "kind", "predicted N", "delta"
+        );
+        for (i, cand) in ranked.iter().take(20).enumerate() {
+            let predicted = cand.predicted.map(|t| t.patterns);
+            let delta = match (base_n, predicted) {
+                (Some(b), Some(p)) if b > 0 => {
+                    format!("{:+.1}%", 100.0 * (p as f64 - b as f64) / b as f64)
+                }
+                _ => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:>4}  {:<16} {:<4} {:>14}  {:>8}",
+                i + 1,
+                cand.label,
+                cand.spec.kind.mnemonic(),
+                fmt_patterns(predicted),
+                delta
+            );
+        }
+        return Ok(out);
+    }
+    let result = tpi::advise(circuit, &params).map_err(|e| e.to_string())?;
+    let _ = writeln!(
+        out,
+        "# {}: base N(d={}, e={}) = {}",
+        circuit.name(),
+        opts.target_d,
+        opts.target_e,
+        fmt_patterns(result.base_patterns)
+    );
+    for (i, step) in result.steps.iter().enumerate() {
+        let point = match &step.control_input_name {
+            Some(ctrl) => format!(
+                "{} @ {} (input {ctrl} w={:.2})",
+                step.spec.kind, step.label, opts.ctrl_prob
+            ),
+            None => format!(
+                "{} @ {} (output {})",
+                step.spec.kind, step.label, step.gate_name
+            ),
+        };
+        let _ = writeln!(
+            out,
+            "step {}: + {point:<34} predicted N = {:>12}  re-analyzed N = {:>12}  ({} scored, {} rejected)",
+            i + 1,
+            fmt_patterns(step.predicted_patterns),
+            fmt_patterns(step.realized_patterns),
+            step.candidates_scored,
+            step.rejected_commits,
+        );
+    }
+    if result.stopped_early {
+        let _ = writeln!(
+            out,
+            "# stopped after {} of {} points: no candidate improved the re-analyzed test length",
+            result.steps.len(),
+            opts.budget
+        );
+    }
+    let final_n = result
+        .steps
+        .last()
+        .map_or(result.base_patterns, |s| s.realized_patterns);
+    if let (Some(b), Some(f)) = (result.base_patterns, final_n) {
+        let _ = writeln!(
+            out,
+            "# final N = {f} ({:.1}x shorter), +{} pseudo-inputs, +{} pseudo-outputs",
+            b as f64 / f.max(1) as f64,
+            result.circuit.num_inputs() - circuit.num_inputs(),
+            result.circuit.num_outputs() - circuit.num_outputs(),
+        );
+    }
+    for (&id, &w) in result
+        .circuit
+        .inputs()
+        .iter()
+        .zip(&result.weights)
+        .skip(circuit.num_inputs())
+    {
+        let _ = writeln!(
+            out,
+            "# pseudo-input {} weight {w:.4}",
+            result.circuit.node_label(id)
+        );
+    }
+    if let Some(path) = &opts.out {
+        fs::write(path, to_bench(&result.circuit)).map_err(|e| format!("{path}: {e}"))?;
+        let _ = writeln!(out, "# wrote modified netlist to {path}");
     }
     Ok(out)
 }
@@ -433,6 +651,59 @@ mod tests {
         .unwrap();
         let _ = fs::remove_file(&pat_path);
         assert!(out.contains("coverage"), "{out}");
+    }
+
+    #[test]
+    fn tpi_dry_run_ranks_without_modifying() {
+        let f = write_c17();
+        let p = f.0.to_str().unwrap();
+        let out = run(&args(&["tpi", p, "--dry-run", "--max-candidates", "8"])).unwrap();
+        assert!(out.contains("ranked test-point candidates"), "{out}");
+        assert!(out.contains("predicted N"), "{out}");
+        assert!(!out.contains("re-analyzed"), "{out}");
+    }
+
+    #[test]
+    fn tpi_commits_points_and_writes_netlist() {
+        let f = write_c17();
+        let p = f.0.to_str().unwrap();
+        let out_path =
+            std::env::temp_dir().join(format!("protest_cli_tpi_{}.bench", std::process::id()));
+        let out = run(&args(&[
+            "tpi",
+            p,
+            "--budget",
+            "1",
+            "--max-candidates",
+            "24",
+            "--out",
+            out_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("re-analyzed N"), "{out}");
+        assert!(out.contains("# final N"), "{out}");
+        let text = fs::read_to_string(&out_path).unwrap();
+        let _ = fs::remove_file(&out_path);
+        let modified = parse_bench("c17_tpi", &text).unwrap();
+        assert!(modified.num_outputs() + modified.num_inputs() > 7);
+    }
+
+    #[test]
+    fn tpi_accepts_builtin_circuit_names() {
+        let out = run(&args(&[
+            "tpi",
+            "c17",
+            "--budget",
+            "1",
+            "--max-candidates",
+            "24",
+            "--threads",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("base N"), "{out}");
+        // Unknown names still error out.
+        assert!(run(&args(&["tpi", "not_a_circuit"])).is_err());
     }
 
     #[test]

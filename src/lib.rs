@@ -20,7 +20,8 @@
 //! * [`sim`] — bit-parallel logic simulation and stuck-at fault simulation.
 //! * [`core`] — the paper's algorithms: signal-probability estimation,
 //!   observability/detection models, test-length computation, input
-//!   probability optimization.
+//!   probability optimization — plus the test-point insertion advisor
+//!   closing the analyze → modify → re-analyze loop (`core::tpi`).
 //! * [`circuits`] — the paper's evaluation circuits (SN74181 ALU, MULT,
 //!   DIV, COMP) plus generators.
 //! * [`tpg`] — LFSR/NLFSR pattern generators, BILBO and MISR models.
@@ -60,13 +61,17 @@ pub mod prelude {
     pub use protest_circuits::{alu_74181, comp24, div16, mult_abcd};
     pub use protest_core::{
         optimize::{HillClimber, OptimizeParams},
+        tpi::{TpiParams, TpiResult},
         AnalysisSession, Analyzer, AnalyzerParams, CircuitAnalysis, InputProbs, ObservabilityModel,
         PinSensitivityModel, SessionStats, TestLength,
     };
-    pub use protest_netlist::{Circuit, CircuitBuilder, GateKind, Levels, NodeId};
+    pub use protest_netlist::{
+        insert_test_point, Circuit, CircuitBuilder, GateKind, Levels, NodeId, TestPointKind,
+        TestPointSpec,
+    };
     pub use protest_sim::{
-        Fault, FaultSim, FaultUniverse, LogicSim, PatternSource, StuckAt, UniformRandomPatterns,
-        WeightedRandomPatterns,
+        weighted_coverage, Fault, FaultSim, FaultUniverse, LogicSim, PatternSource, StuckAt,
+        UniformRandomPatterns, WeightedRandomPatterns,
     };
     pub use protest_tpg::{Bilbo, Lfsr, Misr, WeightedLfsrPatterns};
 }

@@ -1,0 +1,205 @@
+//! Property tests of test-point insertion.
+//!
+//! * **Monotonicity** (satellite): under the any-path observability flow
+//!   model, an observation point can only *add* an always-sensitized
+//!   branch at its stem — so no fault's analytic detection probability may
+//!   decrease and the required test length may not increase. Checked on
+//!   random circuits (proptest) and on the paper's circuits.
+//! * **Function preservation**: with its pseudo-input held at the
+//!   non-forcing value, a control point is logically transparent, and an
+//!   observation point never disturbs the original outputs — checked
+//!   bit-parallel against `LogicSim`.
+
+use proptest::prelude::*;
+use protest::prelude::*;
+use protest_circuits::{comp24, random_circuit, RandomCircuitParams};
+use protest_core::detect::detection_probability;
+use protest_core::testlen::required_test_length;
+use protest_core::{InputProbs, ObservabilityModel};
+use protest_netlist::{insert_test_point, GateKind, TestPointKind, TestPointSpec};
+use protest_sim::FaultUniverse;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Detections of every uncollapsed fault of `faulted` (a circuit sharing
+/// `circuit`'s node ids), measured on an analysis of `on`.
+fn fault_detections(
+    faults: &FaultUniverse,
+    on: &Circuit,
+    analysis: &protest_core::CircuitAnalysis,
+) -> Vec<f64> {
+    faults
+        .iter()
+        .map(|f| {
+            detection_probability(
+                on,
+                f,
+                analysis.signal_probabilities(),
+                analysis.observabilities(),
+            )
+        })
+        .collect()
+}
+
+/// Asserts the monotonicity contract for one observe insertion at `node`.
+fn assert_observe_monotone(circuit: &Circuit, node: protest_netlist::NodeId) {
+    let params = AnalyzerParams {
+        observability: ObservabilityModel::AnyPath,
+        ..AnalyzerParams::default()
+    };
+    let spec = TestPointSpec {
+        node,
+        kind: TestPointKind::Observe,
+    };
+    let (modified, _) = insert_test_point(circuit, spec).expect("insertion succeeds");
+    let probs = InputProbs::uniform(circuit.num_inputs());
+    let before = Analyzer::with_params(circuit, params).run(&probs).unwrap();
+    let after = Analyzer::with_params(&modified, params)
+        .run(&probs)
+        .unwrap();
+    // Node ids are preserved, so the original (uncollapsed) fault universe
+    // is addressable on both circuits.
+    let universe = FaultUniverse::all(circuit);
+    let det_before = fault_detections(&universe, circuit, &before);
+    let det_after = fault_detections(&universe, &modified, &after);
+    for ((b, a), f) in det_before.iter().zip(&det_after).zip(universe.iter()) {
+        assert!(
+            a >= &(b - 1e-9),
+            "{}: observe @ {} decreased {} from {b} to {a}",
+            circuit.name(),
+            circuit.node_label(node),
+            f.label(circuit),
+        );
+    }
+    // Test length over the shared fault set may only shrink (None = the
+    // search cap; a fault becoming detectable can turn None into Some).
+    let n_before = required_test_length(&det_before, 0.98).map(|t| t.patterns);
+    let n_after = required_test_length(&det_after, 0.98).map(|t| t.patterns);
+    match (n_before, n_after) {
+        (Some(b), Some(a)) => assert!(a <= b, "N grew from {b} to {a}"),
+        (Some(b), None) => panic!("N became unreachable (was {b})"),
+        (None, _) => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn observe_points_are_monotone_on_random_circuits(seed in 0u64..5_000) {
+        let circuit = random_circuit(RandomCircuitParams {
+            inputs: 6,
+            gates: 30,
+            outputs: 3,
+            seed,
+        });
+        // Pick a deterministic pseudo-random non-output, non-constant node.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0ffee);
+        let candidates: Vec<_> = circuit
+            .iter()
+            .filter(|(id, n)| {
+                !matches!(n.kind(), GateKind::Const(_)) && !circuit.is_output(*id)
+            })
+            .map(|(id, _)| id)
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let node = candidates[rng.gen_range(0..candidates.len())];
+        assert_observe_monotone(&circuit, node);
+    }
+
+    #[test]
+    fn control_points_are_transparent_at_the_non_forcing_value(seed in 0u64..5_000) {
+        let circuit = random_circuit(RandomCircuitParams {
+            inputs: 6,
+            gates: 25,
+            outputs: 3,
+            seed,
+        });
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+        let gates: Vec<_> = circuit
+            .iter()
+            .filter(|(_, n)| !matches!(n.kind(), GateKind::Const(_) | GateKind::Input))
+            .map(|(id, _)| id)
+            .collect();
+        if gates.is_empty() {
+            return;
+        }
+        let node = gates[rng.gen_range(0..gates.len())];
+        let kind = if rng.gen_range(0..2u32) == 0 {
+            TestPointKind::ControlZero
+        } else {
+            TestPointKind::ControlOne
+        };
+        let (modified, point) =
+            insert_test_point(&circuit, TestPointSpec { node, kind }).unwrap();
+        // Non-forcing pseudo-input value: 1 for AND (c0), 0 for OR (c1).
+        let ctrl_word = match kind {
+            TestPointKind::ControlZero => !0u64,
+            _ => 0u64,
+        };
+        let mut sim_orig = LogicSim::new(&circuit);
+        let mut sim_mod = LogicSim::new(&modified);
+        let mut block: Vec<u64> = (0..circuit.num_inputs() as u64)
+            .map(|i| 0x9e3779b97f4a7c15u64.wrapping_mul(i ^ seed))
+            .collect();
+        let out_orig = sim_orig.run_block(&block).to_vec();
+        block.push(ctrl_word);
+        let out_mod = sim_mod.run_block(&block).to_vec();
+        prop_assert_eq!(&out_orig[..], &out_mod[..out_orig.len()],
+            "control point {} must be transparent", point.gate_name);
+    }
+
+    #[test]
+    fn observe_points_preserve_original_outputs(seed in 0u64..5_000) {
+        let circuit = random_circuit(RandomCircuitParams {
+            inputs: 5,
+            gates: 20,
+            outputs: 2,
+            seed,
+        });
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+        let node = protest_netlist::NodeId::from_index(
+            rng.gen_range(0..circuit.num_nodes()),
+        );
+        if matches!(circuit.node(node).kind(), GateKind::Const(_)) {
+            return;
+        }
+        let (modified, point) = insert_test_point(
+            &circuit,
+            TestPointSpec {
+                node,
+                kind: TestPointKind::Observe,
+            },
+        )
+        .unwrap();
+        let block: Vec<u64> = (0..circuit.num_inputs() as u64)
+            .map(|i| 0xd1b54a32d192ed03u64.wrapping_mul(i ^ seed))
+            .collect();
+        let mut sim_orig = LogicSim::new(&circuit);
+        let mut sim_mod = LogicSim::new(&modified);
+        let out_orig = sim_orig.run_block(&block).to_vec();
+        let out_mod = sim_mod.run_block(&block).to_vec();
+        prop_assert_eq!(&out_orig[..], &out_mod[..out_orig.len()]);
+        // And the pseudo-output really carries the observed net.
+        prop_assert_eq!(out_mod.len(), out_orig.len() + 1);
+        let _ = point;
+    }
+}
+
+#[test]
+fn observe_points_are_monotone_on_the_paper_circuits() {
+    for circuit in [protest_circuits::alu_74181(), comp24()] {
+        // A deterministic sample of internal stems across the circuit.
+        let candidates: Vec<_> = circuit
+            .iter()
+            .filter(|(id, n)| !matches!(n.kind(), GateKind::Const(_)) && !circuit.is_output(*id))
+            .map(|(id, _)| id)
+            .collect();
+        for k in 0..5 {
+            let node = candidates[k * candidates.len() / 5];
+            assert_observe_monotone(&circuit, node);
+        }
+    }
+}
