@@ -14,9 +14,79 @@ use crate::manager::{BddError, BddRef, Manager};
 /// Returns [`BddError::NodeLimit`] if any intermediate BDD exceeds the
 /// manager's node budget.
 pub fn build_node_bdds(manager: &mut Manager, circuit: &Circuit) -> Result<Vec<BddRef>, BddError> {
+    let order: Vec<usize> = (0..circuit.num_inputs()).collect();
+    build_node_bdds_with_order(manager, circuit, &order)
+}
+
+/// A structural variable order: inputs in first-visit order of a
+/// depth-first search from the primary outputs into their fanin cones.
+///
+/// Inputs that feed the same output cone get adjacent BDD levels, which on
+/// cascaded circuits (ripple comparators, array dividers) keeps the BDD
+/// linear where the declaration order (`A0..`, then `B0..`) is exponential.
+/// Returns `var_of_input[input_position] = variable index`, suitable for
+/// [`build_node_bdds_with_order`]; inputs unreachable from any output are
+/// appended in declaration order so the result is always a permutation.
+pub fn dfs_variable_order(circuit: &Circuit) -> Vec<usize> {
+    let mut var_of_input = vec![usize::MAX; circuit.num_inputs()];
+    let mut next = 0usize;
+    let mut seen = vec![false; circuit.num_nodes()];
+    let mut stack: Vec<protest_netlist::NodeId> = Vec::new();
+    for &o in circuit.outputs() {
+        if !seen[o.index()] {
+            seen[o.index()] = true;
+            stack.push(o);
+        }
+        while let Some(n) = stack.pop() {
+            if let Some(pos) = circuit.input_position(n) {
+                if var_of_input[pos] == usize::MAX {
+                    var_of_input[pos] = next;
+                    next += 1;
+                }
+            }
+            // Push fanins in reverse so the first fanin is visited first.
+            for &f in circuit.node(n).fanins().iter().rev() {
+                if !seen[f.index()] {
+                    seen[f.index()] = true;
+                    stack.push(f);
+                }
+            }
+        }
+    }
+    for v in var_of_input.iter_mut() {
+        if *v == usize::MAX {
+            *v = next;
+            next += 1;
+        }
+    }
+    var_of_input
+}
+
+/// [`build_node_bdds`] with an explicit variable order:
+/// `var_of_input[input_position]` is the BDD variable the input at that
+/// declaration position maps to (see [`dfs_variable_order`]).
+///
+/// Callers evaluating [`Manager::probability`] must permute their
+/// probability vectors the same way (`probs_by_var[var_of_input[i]] =
+/// probs_by_input[i]`).
+///
+/// # Errors
+///
+/// Returns [`BddError::NodeLimit`] if any intermediate BDD exceeds the
+/// manager's node budget.
+pub fn build_node_bdds_with_order(
+    manager: &mut Manager,
+    circuit: &Circuit,
+    var_of_input: &[usize],
+) -> Result<Vec<BddRef>, BddError> {
     assert!(
         manager.num_vars() >= circuit.num_inputs(),
         "manager must have at least one variable per primary input"
+    );
+    assert_eq!(
+        var_of_input.len(),
+        circuit.num_inputs(),
+        "variable order must cover every primary input"
     );
     let levels = Levels::new(circuit);
     let mut refs = vec![BddRef::FALSE; circuit.num_nodes()];
@@ -27,7 +97,7 @@ pub fn build_node_bdds(manager: &mut Manager, circuit: &Circuit) -> Result<Vec<B
                 let pos = circuit
                     .input_position(id)
                     .expect("input node missing from input list");
-                manager.var(pos)
+                manager.var(var_of_input[pos])
             }
             GateKind::Const(v) => manager.constant(v),
             GateKind::Buf => refs[node.fanins()[0].index()],
@@ -187,6 +257,54 @@ mod tests {
         }
         // Majority with p=0.5 each: 4/8 = 0.5.
         assert!((m.probability(outs[0], &[0.5; 3]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dfs_order_is_a_permutation_and_preserves_semantics() {
+        // Interleaved comparator-style cone: declaration order a0 a1 b0 b1,
+        // DFS order pairs each a_i with its b_i.
+        let mut b = CircuitBuilder::new("cmp2");
+        let a = b.input_bus("a", 2);
+        let bv = b.input_bus("b", 2);
+        let e0 = b.xnor2(a[0], bv[0]);
+        let e1 = b.xnor2(a[1], bv[1]);
+        let z = b.and2(e1, e0);
+        b.output(z, "eq");
+        let ckt = b.finish().unwrap();
+        let order = dfs_variable_order(&ckt);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3], "order must be a permutation");
+        // a1 (pos 1) and b1 (pos 3) are visited first via e1.
+        assert_eq!(order[1], 0);
+        assert_eq!(order[3], 1);
+        let mut m = Manager::new(4);
+        let refs = build_node_bdds_with_order(&mut m, &ckt, &order).unwrap();
+        for mask in 0..16usize {
+            let by_input: Vec<bool> = (0..4).map(|i| (mask >> i) & 1 == 1).collect();
+            let mut by_var = vec![false; 4];
+            for (pos, &v) in order.iter().enumerate() {
+                by_var[v] = by_input[pos];
+            }
+            let want = (by_input[0] == by_input[2]) && (by_input[1] == by_input[3]);
+            assert_eq!(m.eval(refs[z.index()], &by_var), want, "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn dfs_order_covers_dangling_inputs() {
+        let mut b = CircuitBuilder::new("dangle");
+        let a = b.input("a");
+        let unused = b.input("unused");
+        let _ = unused;
+        let z = b.not(a);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let order = dfs_variable_order(&ckt);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
+        assert_eq!(order[0], 0, "reachable input is numbered first");
     }
 
     #[test]

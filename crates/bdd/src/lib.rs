@@ -31,10 +31,13 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod from_netlist;
 mod manager;
 
-pub use from_netlist::{build_node_bdds, build_output_bdds};
+pub use from_netlist::{
+    build_node_bdds, build_node_bdds_with_order, build_output_bdds, dfs_variable_order,
+};
 pub use manager::{BddError, BddRef, Manager};

@@ -5,6 +5,7 @@
 //! plumbing: the `P_PROT` vs `P_SIM` pipeline, text tables, ASCII scatter
 //! plots and CSV emission.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::time::Instant;

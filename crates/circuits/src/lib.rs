@@ -22,6 +22,7 @@
 //! * [`size_ladder`] — a family of growing multiplier circuits standing in
 //!   for the unnamed circuit ladder of the paper's Tables 7/8.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod adders;

@@ -1,7 +1,7 @@
 //! The analysis facade: one-stop PROTEST runs.
 
 use protest_netlist::{Circuit, NodeId};
-use protest_sim::{collapse_universe, Fault, FaultUniverse};
+use protest_sim::{collapse_universe, dominance_collapse, Fault, FaultUniverse};
 
 use std::sync::{Arc, OnceLock};
 
@@ -9,7 +9,7 @@ use crate::aig::Aig;
 use crate::error::CoreError;
 use crate::exec::Exec;
 use crate::observe::{Observability, ObservabilityEngine};
-use crate::params::{AnalyzerParams, InputProbs};
+use crate::params::{AnalyzerParams, FaultCollapse, InputProbs};
 use crate::session::AnalysisSession;
 use crate::sigprob::SignalProbEstimator;
 use crate::testlen::{self, TestLength};
@@ -36,7 +36,14 @@ pub struct Analyzer<'c> {
     params: AnalyzerParams,
     estimator: SignalProbEstimator,
     faults: Vec<Fault>,
+    /// Expanded member count per analyzed class, aligned with `faults`.
+    class_sizes: Vec<u32>,
     uncollapsed: usize,
+    /// Fault classes dropped by the redundancy prover
+    /// (`params.prune_redundant`).
+    pruned_classes: usize,
+    /// Expanded faults inside the pruned classes.
+    pruned_faults: usize,
     exec: Exec,
     /// The reverse-sweep structure (levelization, fanouts, wavefront
     /// bounds), built on the first session and shared by all of them.
@@ -58,10 +65,46 @@ impl<'c> Analyzer<'c> {
     }
 
     /// Creates an analyzer with explicit parameters.
+    ///
+    /// The fault list is built as a pipeline: equivalence collapsing,
+    /// then (with `params.prune_redundant`) pruning of proven-redundant
+    /// classes, then (with [`FaultCollapse::Dominance`]) dominance
+    /// merging of the survivors. Pruning must precede dominance merging:
+    /// a dominance class mixes faults with *different* test sets, so only
+    /// equivalence classes — where one proof covers every member — may be
+    /// dropped wholesale.
     pub fn with_params(circuit: &'c Circuit, params: AnalyzerParams) -> Self {
         let universe = FaultUniverse::all(circuit);
         let uncollapsed = universe.len();
-        let collapsed = collapse_universe(circuit, &universe);
+        let mut collapsed = collapse_universe(circuit, &universe);
+        let mut pruned_classes = 0;
+        let mut pruned_faults = 0;
+        if params.prune_redundant {
+            let probs = vec![0.5; circuit.num_inputs()];
+            let (verdicts, _) = crate::staticanalysis::redundancy::prove_classes(
+                circuit,
+                &collapsed,
+                &probs,
+                params.redundancy_budget,
+                params.num_threads,
+            );
+            let keep: Vec<bool> = verdicts.iter().map(|v| !v.is_redundant()).collect();
+            pruned_classes = keep.iter().filter(|&&k| !k).count();
+            pruned_faults = collapsed
+                .classes()
+                .iter()
+                .zip(&keep)
+                .filter(|(_, &k)| !k)
+                .map(|(c, _)| c.len())
+                .sum();
+            if pruned_classes > 0 {
+                collapsed = collapsed.filtered(&keep);
+            }
+        }
+        if params.collapse == FaultCollapse::Dominance {
+            collapsed = dominance_collapse(circuit, &collapsed);
+        }
+        let class_sizes = collapsed.classes().iter().map(|c| c.len() as u32).collect();
         let estimator = SignalProbEstimator::new(Aig::from_circuit(circuit), &params);
         let exec = Exec::new(params.num_threads);
         Analyzer {
@@ -69,7 +112,10 @@ impl<'c> Analyzer<'c> {
             params,
             estimator,
             faults: collapsed.representatives().to_vec(),
+            class_sizes,
             uncollapsed,
+            pruned_classes,
+            pruned_faults,
             exec,
             obs_engine: OnceLock::new(),
             fault_deps: OnceLock::new(),
@@ -98,9 +144,27 @@ impl<'c> Analyzer<'c> {
         &self.faults
     }
 
+    /// Expanded member count of each analyzed class, aligned with
+    /// [`faults`](Self::faults) — the weights for class-expanded test
+    /// lengths.
+    pub fn class_sizes(&self) -> &[u32] {
+        &self.class_sizes
+    }
+
     /// Size of the uncollapsed fault universe.
     pub fn uncollapsed_fault_count(&self) -> usize {
         self.uncollapsed
+    }
+
+    /// Fault classes dropped by the redundancy prover (0 unless
+    /// [`AnalyzerParams::prune_redundant`] was set).
+    pub fn pruned_class_count(&self) -> usize {
+        self.pruned_classes
+    }
+
+    /// Expanded faults inside the pruned classes.
+    pub fn pruned_fault_count(&self) -> usize {
+        self.pruned_faults
     }
 
     /// Opens an incremental [`AnalysisSession`] at the given input
@@ -253,6 +317,31 @@ impl CircuitAnalysis {
     /// [`testlen::required_test_length_fraction`]).
     pub fn required_test_length(&self, d: f64, e: f64) -> Option<TestLength> {
         testlen::required_test_length_fraction(&self.detection_probabilities(), d, e)
+    }
+
+    /// Class-expanded test length: like
+    /// [`required_test_length`](Self::required_test_length), but each
+    /// analyzed class contributes its product term once per member
+    /// (weights from [`Analyzer::class_sizes`]), so `N(d, e)` refers to a
+    /// fraction of the *full* fault universe rather than of the
+    /// representatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range `d`/`e` or a weight-vector length mismatch
+    /// (see [`testlen::required_test_length_fraction_weighted`]).
+    pub fn required_test_length_expanded(
+        &self,
+        class_sizes: &[u32],
+        d: f64,
+        e: f64,
+    ) -> Option<TestLength> {
+        testlen::required_test_length_fraction_weighted(
+            &self.detection_probabilities(),
+            class_sizes,
+            d,
+            e,
+        )
     }
 }
 

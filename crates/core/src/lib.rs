@@ -81,6 +81,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod aig;
@@ -98,6 +99,7 @@ pub mod report;
 pub mod scoap;
 pub mod sigprob;
 pub mod stafan;
+pub mod staticanalysis;
 pub mod stats;
 pub mod testlen;
 pub mod tpi;
@@ -105,6 +107,9 @@ pub mod tpi;
 pub use aig::{Aig, AigLit, AigNodeId};
 pub use analyzer::{Analyzer, CircuitAnalysis, FaultEstimate};
 pub use error::CoreError;
-pub use params::{AnalyzerParams, InputProbs, ObservabilityModel, PinSensitivityModel};
+pub use params::{
+    AnalyzerParams, FaultCollapse, InputProbs, ObservabilityModel, PinSensitivityModel,
+};
 pub use session::{AnalysisSession, SessionStats};
+pub use staticanalysis::{check, CheckParams, StaticReport};
 pub use testlen::TestLength;

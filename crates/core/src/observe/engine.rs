@@ -50,7 +50,7 @@ pub(crate) struct NodeEvalScratch {
 ///
 /// The full sweeps here are the *cold-start and cross-check* paths; after
 /// the first pass an [`crate::AnalysisSession`] keeps the result alive and
-/// re-sweeps only the dirty reverse region (see [`super::incremental`]).
+/// re-sweeps only the dirty reverse region (see `super::incremental`).
 #[derive(Debug)]
 pub struct ObservabilityEngine<'c> {
     pub(super) circuit: &'c Circuit,

@@ -19,12 +19,12 @@
 //!
 //! The module is layered as an **incremental engine**:
 //!
-//! * [`model`] — the pure per-gate math (multilinear extensions, pin
+//! * `model` — the pure per-gate math (multilinear extensions, pin
 //!   sensitivities).
-//! * [`engine`] — [`ObservabilityEngine`]: amortized levelization/fanout
+//! * `engine` — [`ObservabilityEngine`]: amortized levelization/fanout
 //!   structure plus the full reverse sweeps (serial and parallel level
 //!   wavefronts). These remain the cold-start and cross-check paths.
-//! * [`incremental`] — the dirty-region reverse sweep a
+//! * `incremental` — the dirty-region reverse sweep a
 //!   [`crate::AnalysisSession`] runs after a mutation: seeded from the
 //!   changed signal probabilities, pruned wherever a recomputed pin
 //!   observability is bit-identical to the stored one, and spread over

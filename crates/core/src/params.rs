@@ -36,6 +36,23 @@ pub enum PinSensitivityModel {
     BooleanDifference,
 }
 
+/// How the analyzer collapses the fault universe before estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultCollapse {
+    /// Structural equivalence only: every class member has the identical
+    /// test set, so any member stands for the class. The default — the
+    /// behavior of every analyzer version so far.
+    #[default]
+    Equivalence,
+    /// Equivalence followed by dominance merging
+    /// ([`protest_sim::collapse::dominance_collapse`]): detecting a class
+    /// representative implies detecting every member, so the per-fault
+    /// loop runs over fewer, harder representatives. Test lengths over the
+    /// representatives are conservative for the full universe; reports
+    /// expand classes by size for the corrected `N(d,e)`.
+    Dominance,
+}
+
 /// Tuning parameters of the analysis (paper Sec. 2 and 3).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnalyzerParams {
@@ -57,6 +74,19 @@ pub struct AnalyzerParams {
     /// are bit-identical at every setting — the parallel passes keep the
     /// serial floating-point operation order.
     pub num_threads: usize,
+    /// Fault-collapsing mode (default: equivalence only, today's
+    /// behavior).
+    pub collapse: FaultCollapse,
+    /// Run the redundancy prover at construction and drop
+    /// proven-undetectable fault classes from the analyzed list. Sound:
+    /// pruned classes have detection probability exactly 0, so removing
+    /// them changes no survivor's estimate and only *corrects* test
+    /// lengths (an undetectable fault makes every `N(d=1, e)` infinite).
+    pub prune_redundant: bool,
+    /// BDD node budget per redundancy proof (see
+    /// [`staticanalysis`](crate::staticanalysis) for the budget
+    /// semantics). Only consulted when `prune_redundant` is set.
+    pub redundancy_budget: usize,
 }
 
 impl Default for AnalyzerParams {
@@ -67,6 +97,9 @@ impl Default for AnalyzerParams {
             observability: ObservabilityModel::default(),
             pin_sensitivity: PinSensitivityModel::default(),
             num_threads: 0,
+            collapse: FaultCollapse::default(),
+            prune_redundant: false,
+            redundancy_budget: 200_000,
         }
     }
 }

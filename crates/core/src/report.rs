@@ -16,10 +16,14 @@ pub struct TestabilityReport {
     stats: CircuitStats,
     fault_count: usize,
     uncollapsed: usize,
+    expanded: usize,
+    pruned_classes: usize,
+    pruned_faults: usize,
     min_detection: f64,
     median_detection: f64,
     hardest: Vec<(String, f64)>,
     test_lengths: Vec<(f64, f64, Option<TestLength>)>,
+    expanded_test_lengths: Vec<(f64, f64, Option<TestLength>)>,
 }
 
 impl TestabilityReport {
@@ -45,15 +49,29 @@ impl TestabilityReport {
             .iter()
             .map(|&(d, e)| (d, e, analysis.required_test_length(d, e)))
             .collect();
+        let expanded_test_lengths = targets
+            .iter()
+            .map(|&(d, e)| {
+                (
+                    d,
+                    e,
+                    analysis.required_test_length_expanded(analyzer.class_sizes(), d, e),
+                )
+            })
+            .collect();
         TestabilityReport {
             circuit_name: circuit.name().to_string(),
             stats: CircuitStats::of(circuit),
             fault_count: analyzer.faults().len(),
             uncollapsed: analyzer.uncollapsed_fault_count(),
+            expanded: analyzer.class_sizes().iter().map(|&c| c as usize).sum(),
+            pruned_classes: analyzer.pruned_class_count(),
+            pruned_faults: analyzer.pruned_fault_count(),
             min_detection,
             median_detection,
             hardest,
             test_lengths,
+            expanded_test_lengths,
         }
     }
 
@@ -78,6 +96,13 @@ impl fmt::Display for TestabilityReport {
             "faults: {} collapsed classes ({} uncollapsed)",
             self.fault_count, self.uncollapsed
         )?;
+        if self.pruned_classes > 0 {
+            writeln!(
+                f,
+                "  {} proven-redundant classes pruned ({} faults)",
+                self.pruned_classes, self.pruned_faults
+            )?;
+        }
         writeln!(
             f,
             "detection probability: min {:.3e}, median {:.3e}",
@@ -99,6 +124,23 @@ impl fmt::Display for TestabilityReport {
                 }
             }
         }
+        // The rows above treat each class as one fault; the expanded rows
+        // weight every class by its member count, so `d` is a fraction of
+        // the full universe. Identical when every class has one member.
+        if !self.expanded_test_lengths.is_empty() && self.expanded > self.fault_count {
+            writeln!(
+                f,
+                "\nclass-expanded test lengths ({} faults):",
+                self.expanded
+            )?;
+            writeln!(f, "  {:>5} {:>7} {:>14}", "d", "e", "N")?;
+            for (d, e, tl) in &self.expanded_test_lengths {
+                match tl {
+                    Some(t) => writeln!(f, "  {:>5.2} {:>7.3} {:>14}", d, e, t.patterns)?,
+                    None => writeln!(f, "  {:>5.2} {:>7.3} {:>14}", d, e, "unreachable")?,
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -111,6 +153,24 @@ mod tests {
     use crate::params::InputProbs;
 
     use super::*;
+
+    #[test]
+    fn expanded_rows_appear_once_classes_have_members() {
+        // comp24-style circuits collapse heavily; on c17 the collapse is
+        // mild but still > 1 member per class somewhere, so the expanded
+        // section renders and its N is at least the representative N (the
+        // weighted product has at least every representative factor).
+        let ckt = c17();
+        let analyzer = Analyzer::new(&ckt);
+        let analysis = analyzer.run(&InputProbs::uniform(5)).unwrap();
+        let report = TestabilityReport::new(&analyzer, &analysis, &[(1.0, 0.95)], 3);
+        let expanded: usize = analyzer.class_sizes().iter().map(|&c| c as usize).sum();
+        assert_eq!(expanded, analyzer.uncollapsed_fault_count());
+        if expanded > analyzer.faults().len() {
+            let text = report.to_string();
+            assert!(text.contains("class-expanded test lengths"), "{text}");
+        }
+    }
 
     #[test]
     fn report_renders() {

@@ -203,13 +203,13 @@ enum UndoEntry {
 /// unaffected — the full sweep *is* the incremental path's reference.
 const DENSE_OBS_WINDOW_DIVISOR: usize = 2;
 
-/// A stateful, incremental analysis over one circuit (see the [module
-/// docs](self)).
+/// A stateful, incremental analysis over one circuit (see the module
+/// docs above).
 ///
-/// Created by [`Analyzer::session`]. Mutations ([`set_input_prob`]
-/// (Self::set_input_prob), [`set_all`](Self::set_all)) re-propagate only
-/// the affected fan-out cone; queries ([`signal_probs`]
-/// (Self::signal_probs), [`observabilities`](Self::observabilities),
+/// Created by [`Analyzer::session`]. Mutations
+/// ([`set_input_prob`](Self::set_input_prob), [`set_all`](Self::set_all))
+/// re-propagate only the affected fan-out cone; queries
+/// ([`signal_probs`](Self::signal_probs), [`observabilities`](Self::observabilities),
 /// [`fault_detect_probs`](Self::fault_detect_probs)) are lazy, cached, and
 /// refresh incrementally from the shared dirty-region tracker.
 /// [`snapshot`](Self::snapshot) / [`revert`](Self::revert) undo rejected

@@ -1,0 +1,121 @@
+//! The findings model: typed, located diagnostics produced by the lint
+//! passes and the redundancy prover.
+
+use std::fmt;
+
+use protest_netlist::NodeId;
+
+/// How serious a finding is for the circuit's testability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Harmless, but worth knowing (a duplicated gate, an unused input).
+    Info,
+    /// Logic whose faults inflate test lengths without being testable
+    /// (constant nets, dead gates).
+    Warning,
+    /// Logic that is provably useless silicon: it reaches no output under
+    /// any input assignment.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The typed catalogue of structural defects the lint passes detect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// A gate output proven constant by propagation from tied
+    /// ([`GateKind::Const`](protest_netlist::GateKind::Const)) nets.
+    ConstantNet,
+    /// A gate (or input-fed cone) from which no primary output is
+    /// structurally reachable.
+    DeadGate,
+    /// A gate that reaches outputs structurally, but only through edges
+    /// blocked by a constant controlling side input — no value change at
+    /// it can ever be observed.
+    UnobservableGate,
+    /// A primary input that drives nothing and is not itself an output.
+    DanglingInput,
+    /// A gate computing the same function as an earlier gate over the
+    /// identical fanins (structural duplicate).
+    DuplicateGate,
+    /// A stuck-at fault class proven undetectable by the redundancy
+    /// prover.
+    RedundantFault,
+}
+
+impl FindingKind {
+    /// Short kebab-case tag (used by the JSON renderer).
+    pub fn tag(self) -> &'static str {
+        match self {
+            FindingKind::ConstantNet => "constant-net",
+            FindingKind::DeadGate => "dead-gate",
+            FindingKind::UnobservableGate => "unobservable-gate",
+            FindingKind::DanglingInput => "dangling-input",
+            FindingKind::DuplicateGate => "duplicate-gate",
+            FindingKind::RedundantFault => "redundant-fault",
+        }
+    }
+}
+
+/// One diagnostic: what was found, how bad it is, and where.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// What kind of defect this is.
+    pub kind: FindingKind,
+    /// How serious it is.
+    pub severity: Severity,
+    /// The node the finding is anchored at, when it concerns a single
+    /// node (fault findings name the class representative's site).
+    pub node: Option<NodeId>,
+    /// Human-readable location (node label, or a fault label).
+    pub label: String,
+    /// What is wrong, in one sentence.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} [{}]: {}",
+            self.severity,
+            self.label,
+            self.kind.tag(),
+            self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severities_order_by_badness() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn findings_render_compactly() {
+        let f = Finding {
+            kind: FindingKind::DeadGate,
+            severity: Severity::Warning,
+            node: None,
+            label: "g7".to_string(),
+            message: "no path to any primary output".to_string(),
+        };
+        assert_eq!(
+            f.to_string(),
+            "warning: g7 [dead-gate]: no path to any primary output"
+        );
+    }
+}

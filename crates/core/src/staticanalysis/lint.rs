@@ -1,0 +1,419 @@
+//! Structural lint passes: constant nets, dead and unobservable logic,
+//! dangling inputs, duplicate gates.
+//!
+//! Every pass is purely structural — no probabilities involved — and each
+//! defect becomes a typed [`Finding`]. The constant lattice and the
+//! cut-edge observability computed here are shared with the redundancy
+//! prover (`redundancy`), which re-derives per-fault versions of the same
+//! facts.
+
+use std::collections::HashMap;
+
+use protest_netlist::analyze::Fanouts;
+use protest_netlist::{Circuit, GateKind, Levels, NodeId};
+
+use super::findings::{Finding, FindingKind, Severity};
+
+/// The robust constant lattice: `Some(v)` means the node's output is `v`
+/// under *every* input assignment, proven by forward propagation from
+/// [`GateKind::Const`] gates alone (primary inputs stay unknown).
+pub(crate) fn const_lattice(circuit: &Circuit) -> Vec<Option<bool>> {
+    let levels = Levels::new(circuit);
+    let mut value: Vec<Option<bool>> = vec![None; circuit.num_nodes()];
+    for &id in levels.order() {
+        let node = circuit.node(id);
+        let vals = |i: usize| value[node.fanins()[i].index()];
+        value[id.index()] = match node.kind() {
+            GateKind::Input => None,
+            GateKind::Const(v) => Some(v),
+            GateKind::Buf => vals(0),
+            GateKind::Not => vals(0).map(|v| !v),
+            GateKind::And | GateKind::Nand => {
+                let fixed = all_or_controlling(node.fanins(), &value, false);
+                fixed.map(|v| {
+                    if matches!(node.kind(), GateKind::Nand) {
+                        !v
+                    } else {
+                        v
+                    }
+                })
+            }
+            GateKind::Or | GateKind::Nor => {
+                let fixed = all_or_controlling(node.fanins(), &value, true);
+                fixed.map(|v| {
+                    if matches!(node.kind(), GateKind::Nor) {
+                        !v
+                    } else {
+                        v
+                    }
+                })
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                // Parity is determined only when every fanin is.
+                let mut acc = Some(matches!(node.kind(), GateKind::Xnor));
+                for &f in node.fanins() {
+                    acc = match (acc, value[f.index()]) {
+                        (Some(a), Some(b)) => Some(a ^ b),
+                        _ => None,
+                    };
+                }
+                acc
+            }
+            GateKind::Lut(lid) => {
+                let mut words = Vec::with_capacity(node.fanins().len());
+                let mut known = true;
+                for &f in node.fanins() {
+                    match value[f.index()] {
+                        Some(v) => words.push(if v { !0u64 } else { 0 }),
+                        None => {
+                            known = false;
+                            break;
+                        }
+                    }
+                }
+                if known {
+                    Some(circuit.lut(lid).eval_words(&words) & 1 != 0)
+                } else {
+                    None
+                }
+            }
+        };
+    }
+    value
+}
+
+/// AND/OR-family evaluation on the lattice: `Some(c)` if any fanin holds
+/// the controlling value `c`, `Some(!c)` if all fanins hold `!c`, `None`
+/// otherwise.
+fn all_or_controlling(
+    fanins: &[NodeId],
+    value: &[Option<bool>],
+    controlling: bool,
+) -> Option<bool> {
+    let mut all_noncontrolling = true;
+    for &f in fanins {
+        match value[f.index()] {
+            Some(v) if v == controlling => return Some(controlling),
+            Some(_) => {}
+            None => all_noncontrolling = false,
+        }
+    }
+    if all_noncontrolling {
+        Some(!controlling)
+    } else {
+        None
+    }
+}
+
+/// Whether the lattice `value` is controlling for gate kind `kind` — a
+/// side input holding it forces the gate's output regardless of the other
+/// pins, blocking fault propagation through them.
+pub(crate) fn is_controlling(kind: GateKind, value: bool) -> bool {
+    match kind {
+        GateKind::And | GateKind::Nand => !value,
+        GateKind::Or | GateKind::Nor => value,
+        _ => false,
+    }
+}
+
+/// Whether the fanout edge into `gate` at `pin` is *cut*: some other pin
+/// holds a proven constant that controls the gate, so no value change can
+/// pass through this edge. `invalidated(n)` masks lattice facts whose
+/// deriving node may itself be disturbed (the redundancy prover passes the
+/// fault's forward cone; the global lint pass passes `|_| false`).
+pub(crate) fn edge_is_cut(
+    circuit: &Circuit,
+    lattice: &[Option<bool>],
+    gate: NodeId,
+    pin: usize,
+    invalidated: &dyn Fn(NodeId) -> bool,
+) -> bool {
+    let node = circuit.node(gate);
+    for (j, &driver) in node.fanins().iter().enumerate() {
+        if j == pin || invalidated(driver) {
+            continue;
+        }
+        if let Some(v) = lattice[driver.index()] {
+            if is_controlling(node.kind(), v) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Reverse reachability from the primary outputs over *uncut* fanout
+/// edges: `result[n]` is true when a value change at `n`'s output has at
+/// least one structurally open path to an output. Shared with the prover,
+/// which calls it with a per-fault `invalidated` cone.
+pub(crate) fn observable_set(
+    circuit: &Circuit,
+    fanouts: &Fanouts,
+    levels: &Levels,
+    lattice: &[Option<bool>],
+    invalidated: &dyn Fn(NodeId) -> bool,
+) -> Vec<bool> {
+    let mut obs = vec![false; circuit.num_nodes()];
+    for &id in levels.order().iter().rev() {
+        if circuit.is_output(id) {
+            obs[id.index()] = true;
+            continue;
+        }
+        obs[id.index()] = fanouts.of(id).iter().any(|&(g, pin)| {
+            obs[g.index()] && !edge_is_cut(circuit, lattice, g, pin as usize, invalidated)
+        });
+    }
+    obs
+}
+
+/// Backward reachability from the primary outputs (ignoring cuts): the
+/// complement is the structurally dead region.
+fn live_set(circuit: &Circuit) -> Vec<bool> {
+    let mut live = vec![false; circuit.num_nodes()];
+    let mut stack: Vec<NodeId> = circuit.outputs().to_vec();
+    for &o in circuit.outputs() {
+        live[o.index()] = true;
+    }
+    while let Some(n) = stack.pop() {
+        for &f in circuit.node(n).fanins() {
+            if !live[f.index()] {
+                live[f.index()] = true;
+                stack.push(f);
+            }
+        }
+    }
+    live
+}
+
+/// Structural-hash key for duplicate detection: gate kind plus fanins,
+/// sorted for the symmetric kinds so `AND(a, b)` and `AND(b, a)` collide.
+fn structural_key(circuit: &Circuit, id: NodeId) -> Option<(GateKind, Vec<NodeId>)> {
+    let node = circuit.node(id);
+    let kind = node.kind();
+    if matches!(kind, GateKind::Input | GateKind::Const(_)) {
+        return None;
+    }
+    let mut fanins = node.fanins().to_vec();
+    if matches!(
+        kind,
+        GateKind::And
+            | GateKind::Nand
+            | GateKind::Or
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor
+    ) {
+        fanins.sort();
+    }
+    Some((kind, fanins))
+}
+
+/// Runs every structural lint pass and returns the findings together with
+/// the constant lattice (reused by the redundancy prover).
+pub(crate) fn lint(circuit: &Circuit, fanouts: &Fanouts) -> (Vec<Finding>, Vec<Option<bool>>) {
+    let lattice = const_lattice(circuit);
+    let live = live_set(circuit);
+    let levels = Levels::new(circuit);
+    let no_cuts = |_: NodeId| false;
+    let obs = observable_set(circuit, fanouts, &levels, &lattice, &no_cuts);
+    let mut findings = Vec::new();
+
+    // Constant nets: real gates (not the Const sources themselves) whose
+    // output is pinned by tied inputs.
+    for (id, node) in circuit.iter() {
+        if matches!(node.kind(), GateKind::Input | GateKind::Const(_)) {
+            continue;
+        }
+        if let Some(v) = lattice[id.index()] {
+            findings.push(Finding {
+                kind: FindingKind::ConstantNet,
+                severity: Severity::Warning,
+                node: Some(id),
+                label: circuit.node_label(id),
+                message: format!("output is constant {} under every input", v as u8),
+            });
+        }
+    }
+
+    // Dangling inputs and dead gates.
+    for (id, node) in circuit.iter() {
+        if matches!(node.kind(), GateKind::Input) {
+            if fanouts.degree(id) == 0 && !circuit.is_output(id) {
+                findings.push(Finding {
+                    kind: FindingKind::DanglingInput,
+                    severity: Severity::Info,
+                    node: Some(id),
+                    label: circuit.node_label(id),
+                    message: "primary input drives nothing".to_string(),
+                });
+            }
+            continue;
+        }
+        if matches!(node.kind(), GateKind::Const(_)) {
+            continue;
+        }
+        if !live[id.index()] {
+            findings.push(Finding {
+                kind: FindingKind::DeadGate,
+                severity: Severity::Warning,
+                node: Some(id),
+                label: circuit.node_label(id),
+                message: "no path to any primary output".to_string(),
+            });
+        } else if !obs[id.index()] {
+            findings.push(Finding {
+                kind: FindingKind::UnobservableGate,
+                severity: Severity::Error,
+                node: Some(id),
+                label: circuit.node_label(id),
+                message: "every output path is blocked by a constant controlling side input"
+                    .to_string(),
+            });
+        }
+    }
+
+    // Structural duplicates: first occurrence wins, later twins are
+    // flagged.
+    let mut seen: HashMap<(GateKind, Vec<NodeId>), NodeId> = HashMap::new();
+    for (id, _) in circuit.iter() {
+        let Some(key) = structural_key(circuit, id) else {
+            continue;
+        };
+        match seen.entry(key) {
+            std::collections::hash_map::Entry::Occupied(first) => {
+                findings.push(Finding {
+                    kind: FindingKind::DuplicateGate,
+                    severity: Severity::Info,
+                    node: Some(id),
+                    label: circuit.node_label(id),
+                    message: format!(
+                        "computes the same function as {}",
+                        circuit.node_label(*first.get())
+                    ),
+                });
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(id);
+            }
+        }
+    }
+    (findings, lattice)
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_netlist::CircuitBuilder;
+
+    use super::*;
+
+    fn kinds(findings: &[Finding]) -> Vec<FindingKind> {
+        findings.iter().map(|f| f.kind).collect()
+    }
+
+    #[test]
+    fn constant_propagation_through_gates() {
+        // AND(a, const0) = 0; OR of that with const1 = 1; XOR(c0, c1) = 1.
+        let mut b = CircuitBuilder::new("c");
+        let a = b.input("a");
+        let c0 = b.constant(false);
+        let c1 = b.constant(true);
+        let g0 = b.and2(a, c0);
+        let g1 = b.or2(g0, c1);
+        let g2 = b.xor2(c0, c1);
+        let z = b.and2(g1, g2);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let lattice = const_lattice(&ckt);
+        assert_eq!(lattice[g0.index()], Some(false));
+        assert_eq!(lattice[g1.index()], Some(true));
+        assert_eq!(lattice[g2.index()], Some(true));
+        assert_eq!(lattice[z.index()], Some(true));
+        assert_eq!(lattice[a.index()], None);
+    }
+
+    #[test]
+    fn dead_and_dangling_are_distinguished() {
+        let mut b = CircuitBuilder::new("d");
+        let a = b.input("a");
+        let u = b.input("unused");
+        let c = b.input("c");
+        let _dead = b.and2(a, c); // consumed by nobody
+        let z = b.not(a);
+        b.output(z, "z");
+        let _ = u;
+        let ckt = b.finish().unwrap();
+        let fanouts = Fanouts::new(&ckt);
+        let (findings, _) = lint(&ckt, &fanouts);
+        let ks = kinds(&findings);
+        assert!(ks.contains(&FindingKind::DeadGate));
+        assert!(ks.contains(&FindingKind::DanglingInput));
+        // `c` is an input feeding only the dead gate: it has fanout, so it
+        // is not dangling; inputs are never flagged dead.
+        assert_eq!(
+            ks.iter()
+                .filter(|&&k| k == FindingKind::DanglingInput)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn constant_side_input_makes_logic_unobservable() {
+        // g = AND(x, const0): everything feeding g only is unobservable
+        // (and g itself is a constant net).
+        let mut b = CircuitBuilder::new("u");
+        let a = b.input("a");
+        let c0 = b.constant(false);
+        let x = b.not(a);
+        let g = b.and2(x, c0);
+        let z = b.or2(g, a);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let fanouts = Fanouts::new(&ckt);
+        let (findings, _) = lint(&ckt, &fanouts);
+        let unobservable: Vec<_> = findings
+            .iter()
+            .filter(|f| f.kind == FindingKind::UnobservableGate)
+            .map(|f| f.node.unwrap())
+            .collect();
+        assert!(
+            unobservable.contains(&x),
+            "x only reaches z through the cut AND"
+        );
+        let constant: Vec<_> = findings
+            .iter()
+            .filter(|f| f.kind == FindingKind::ConstantNet)
+            .map(|f| f.node.unwrap())
+            .collect();
+        assert!(constant.contains(&g));
+    }
+
+    #[test]
+    fn symmetric_duplicates_collide() {
+        let mut b = CircuitBuilder::new("dup");
+        let a = b.input("a");
+        let c = b.input("c");
+        let g1 = b.and2(a, c);
+        let g2 = b.and2(c, a); // same function, swapped fanins
+        let z = b.or2(g1, g2);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let fanouts = Fanouts::new(&ckt);
+        let (findings, _) = lint(&ckt, &fanouts);
+        let dups: Vec<_> = findings
+            .iter()
+            .filter(|f| f.kind == FindingKind::DuplicateGate)
+            .collect();
+        assert_eq!(dups.len(), 1);
+        assert_eq!(dups[0].node, Some(g2));
+    }
+
+    #[test]
+    fn clean_circuits_produce_no_findings() {
+        let ckt = protest_circuits::c17();
+        let fanouts = Fanouts::new(&ckt);
+        let (findings, lattice) = lint(&ckt, &fanouts);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(lattice.iter().all(Option::is_none));
+    }
+}

@@ -1,0 +1,405 @@
+//! Static netlist analysis: lint passes, dominator-based fault collapsing
+//! and BDD-backed redundancy proving — everything PROTEST can say about a
+//! circuit *before* touching probabilities.
+//!
+//! # Pass pipeline
+//!
+//! [`check`] runs the passes in dependency order:
+//!
+//! 1. **Lint** ([`FindingKind`]) — constant-net propagation from tied
+//!    inputs, dead and unobservable logic, dangling inputs, structural
+//!    duplicates. Each defect is a typed [`Finding`] with a severity and a
+//!    location.
+//! 2. **Dominators** — immediate dominators of the fanout graph
+//!    ([`protest_netlist::analyze::Dominators`]): single-path propagation
+//!    implications per stem, the structure behind dominance fault
+//!    collapsing ([`protest_sim::collapse::dominance_collapse`]) and the
+//!    prover's widening tier.
+//! 3. **Fault collapsing** — equivalence classes (identical test sets)
+//!    first, then dominance merging (detecting the representative implies
+//!    detecting every member), reported as collapse ratios.
+//! 4. **Redundancy proving** (optional, [`CheckParams::prove_redundant`])
+//!    — the four-tier prover of [`redundancy`]: constant activation,
+//!    static unobservability, dominator widening, and exact miter BDDs
+//!    under a node budget. Proven-redundant classes become
+//!    [`FindingKind::RedundantFault`] findings and are pruned from the
+//!    class counts; budget exhaustion is reported as *unproven*, never
+//!    guessed.
+//!
+//! # Finding taxonomy and severities
+//!
+//! `Info` findings are clean-ups (duplicates, dangling inputs); `Warning`
+//! marks logic that inflates test lengths without being testable
+//! (constants, dead gates); `Error` marks provably useless silicon
+//! (unobservable gates, redundant faults). The checker never fails the
+//! run — findings are a report, not a gate.
+//!
+//! # Budget semantics
+//!
+//! The prover's [`CheckParams::node_budget`] caps each miter BDD. Within
+//! the budget every verdict is exact: `Redundant` means detection
+//! probability identically zero, `Testable` carries the exact detection
+//! probability (not an estimate). Past the budget the class is `Unproven`
+//! and is treated exactly like a testable class by every downstream
+//! consumer — pruning is sound-by-construction.
+//!
+//! The same machinery runs inside [`Analyzer`](crate::Analyzer) when
+//! [`AnalyzerParams::collapse`](crate::AnalyzerParams::collapse) or
+//! [`AnalyzerParams::prune_redundant`](crate::AnalyzerParams::prune_redundant)
+//! is set, and behind `protest check` on the command line.
+
+mod findings;
+mod lint;
+pub mod redundancy;
+
+pub use findings::{Finding, FindingKind, Severity};
+pub use redundancy::{ProverStats, RedundancyReason, Verdict};
+
+use std::fmt;
+
+use protest_netlist::analyze::{Dominators, Fanouts};
+use protest_netlist::{Circuit, GateKind};
+use protest_sim::{collapse_universe, dominance_collapse, FaultUniverse};
+
+/// Knobs of the [`check`] entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckParams {
+    /// Run the redundancy prover (the expensive, BDD-backed pass).
+    pub prove_redundant: bool,
+    /// BDD node budget per miter proof (see the module docs).
+    pub node_budget: usize,
+    /// Worker threads for the prover (0 = auto, like
+    /// [`AnalyzerParams::num_threads`](crate::AnalyzerParams::num_threads)).
+    pub num_threads: usize,
+}
+
+impl Default for CheckParams {
+    fn default() -> Self {
+        CheckParams {
+            prove_redundant: false,
+            node_budget: 200_000,
+            num_threads: 0,
+        }
+    }
+}
+
+/// The prover's summary inside a [`StaticReport`].
+#[derive(Debug, Clone)]
+pub struct ProverReport {
+    /// Aggregate counters (classes by tier and outcome).
+    pub stats: ProverStats,
+    /// Per-class verdicts, aligned with the equivalence classes.
+    pub verdicts: Vec<Verdict>,
+    /// Expanded fault count of the proven-redundant classes.
+    pub redundant_faults: usize,
+    /// Smallest exact detection probability among proven-testable classes.
+    pub min_exact_detection: Option<f64>,
+}
+
+/// Everything the static analysis layer can report about a circuit.
+#[derive(Debug, Clone)]
+pub struct StaticReport {
+    /// Circuit name.
+    pub circuit_name: String,
+    /// Lint findings, then one `RedundantFault` finding per proven class.
+    pub findings: Vec<Finding>,
+    /// Uncollapsed fault universe size.
+    pub universe_faults: usize,
+    /// Equivalence classes (before any pruning).
+    pub equivalence_classes: usize,
+    /// Classes after redundancy pruning (equals `equivalence_classes`
+    /// when the prover did not run or proved nothing).
+    pub pruned_classes: usize,
+    /// Classes after dominance merging on the pruned survivors.
+    pub dominance_classes: usize,
+    /// Nodes whose immediate dominator is a real gate — stems with a
+    /// single-path propagation implication.
+    pub dominated_stems: usize,
+    /// Prover results, when [`CheckParams::prove_redundant`] was set.
+    pub prover: Option<ProverReport>,
+}
+
+impl StaticReport {
+    /// Findings at or above a severity.
+    pub fn findings_at_least(&self, severity: Severity) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.severity >= severity)
+    }
+
+    /// Renders the report as a JSON object (hand-rolled — the workspace
+    /// carries no serialization dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"circuit\": \"{}\",\n",
+            escape(&self.circuit_name)
+        ));
+        out.push_str(&format!(
+            "  \"universe_faults\": {},\n",
+            self.universe_faults
+        ));
+        out.push_str(&format!(
+            "  \"equivalence_classes\": {},\n",
+            self.equivalence_classes
+        ));
+        out.push_str(&format!("  \"pruned_classes\": {},\n", self.pruned_classes));
+        out.push_str(&format!(
+            "  \"dominance_classes\": {},\n",
+            self.dominance_classes
+        ));
+        out.push_str(&format!(
+            "  \"dominated_stems\": {},\n",
+            self.dominated_stems
+        ));
+        out.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"kind\": \"{}\", \"severity\": \"{}\", \"label\": \"{}\", \"message\": \"{}\"}}{}\n",
+                f.kind.tag(),
+                f.severity,
+                escape(&f.label),
+                escape(&f.message),
+                if i + 1 < self.findings.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        match &self.prover {
+            None => out.push_str("  \"prover\": null\n"),
+            Some(p) => {
+                out.push_str("  \"prover\": {\n");
+                out.push_str(&format!("    \"classes\": {},\n", p.stats.classes));
+                out.push_str(&format!(
+                    "    \"proven_redundant\": {},\n",
+                    p.stats.redundant
+                ));
+                out.push_str(&format!(
+                    "    \"redundant_faults\": {},\n",
+                    p.redundant_faults
+                ));
+                out.push_str(&format!("    \"proven_testable\": {},\n", p.stats.testable));
+                out.push_str(&format!("    \"unproven\": {},\n", p.stats.unproven));
+                out.push_str(&format!(
+                    "    \"by_tier\": {{\"constant_site\": {}, \"unobservable\": {}, \"dominated\": {}, \"bdd\": {}}},\n",
+                    p.stats.by_constant_site,
+                    p.stats.by_unobservable,
+                    p.stats.by_dominator,
+                    p.stats.by_bdd
+                ));
+                out.push_str(&format!("    \"bdd_calls\": {},\n", p.stats.bdd_calls));
+                out.push_str(&format!(
+                    "    \"budget_exceeded\": {},\n",
+                    p.stats.budget_exceeded
+                ));
+                match p.min_exact_detection {
+                    Some(p_min) => {
+                        out.push_str(&format!("    \"min_exact_detection\": {p_min:e}\n"))
+                    }
+                    None => out.push_str("    \"min_exact_detection\": null\n"),
+                }
+                out.push_str("  }\n");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl fmt::Display for StaticReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "PROTEST static check — {}", self.circuit_name)?;
+        writeln!(f, "{}", "=".repeat(50))?;
+        if self.findings.is_empty() {
+            writeln!(f, "lint: clean")?;
+        } else {
+            writeln!(f, "lint findings:")?;
+            for finding in &self.findings {
+                writeln!(f, "  {finding}")?;
+            }
+        }
+        writeln!(
+            f,
+            "faults: {} uncollapsed -> {} equivalence classes -> {} after pruning -> {} dominance classes",
+            self.universe_faults,
+            self.equivalence_classes,
+            self.pruned_classes,
+            self.dominance_classes
+        )?;
+        writeln!(
+            f,
+            "dominators: {} stems with a single-path propagation implication",
+            self.dominated_stems
+        )?;
+        if let Some(p) = &self.prover {
+            writeln!(
+                f,
+                "redundancy prover: {} classes -> {} proven redundant ({} faults), {} proven testable, {} unproven",
+                p.stats.classes,
+                p.stats.redundant,
+                p.redundant_faults,
+                p.stats.testable,
+                p.stats.unproven
+            )?;
+            writeln!(
+                f,
+                "  tiers: {} constant-site, {} unobservable, {} dominated, {} bdd-zero ({} miter BDDs, {} over budget)",
+                p.stats.by_constant_site,
+                p.stats.by_unobservable,
+                p.stats.by_dominator,
+                p.stats.by_bdd,
+                p.stats.bdd_calls,
+                p.stats.budget_exceeded
+            )?;
+            if let Some(p_min) = p.min_exact_detection {
+                writeln!(f, "  min exact detection probability: {p_min:.3e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the full static analysis pipeline (see the module docs).
+pub fn check(circuit: &Circuit, params: &CheckParams) -> StaticReport {
+    let fanouts = Fanouts::new(circuit);
+    let (mut findings, _lattice) = lint::lint(circuit, &fanouts);
+    let doms = Dominators::new(circuit, &fanouts);
+    let dominated_stems = circuit
+        .iter()
+        .filter(|&(id, node)| !matches!(node.kind(), GateKind::Const(_)) && doms.idom(id).is_some())
+        .count();
+
+    let universe = FaultUniverse::all(circuit);
+    let equiv = collapse_universe(circuit, &universe);
+
+    let (prover, pruned) = if params.prove_redundant {
+        let probs = vec![0.5; circuit.num_inputs()];
+        let (verdicts, stats) = redundancy::prove_classes(
+            circuit,
+            &equiv,
+            &probs,
+            params.node_budget,
+            params.num_threads,
+        );
+        let keep: Vec<bool> = verdicts.iter().map(|v| !v.is_redundant()).collect();
+        let redundant_faults: usize = equiv
+            .classes()
+            .iter()
+            .zip(&keep)
+            .filter(|(_, &k)| !k)
+            .map(|(c, _)| c.len())
+            .sum();
+        for (ci, v) in verdicts.iter().enumerate() {
+            if let Verdict::Redundant(reason) = v {
+                let rep = equiv.representatives()[ci];
+                findings.push(Finding {
+                    kind: FindingKind::RedundantFault,
+                    severity: Severity::Error,
+                    node: Some(rep.site.affected()),
+                    label: rep.label(circuit),
+                    message: format!(
+                        "proven undetectable ({}); class of {} fault(s) pruned",
+                        reason.tag(),
+                        equiv.classes()[ci].len()
+                    ),
+                });
+            }
+        }
+        let min_exact_detection = verdicts
+            .iter()
+            .filter_map(|v| match v {
+                Verdict::Testable { p_exact } => Some(*p_exact),
+                _ => None,
+            })
+            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pruned = equiv.filtered(&keep);
+        (
+            Some(ProverReport {
+                stats,
+                verdicts,
+                redundant_faults,
+                min_exact_detection,
+            }),
+            pruned,
+        )
+    } else {
+        (None, equiv.clone())
+    };
+
+    let dominance = dominance_collapse(circuit, &pruned);
+    StaticReport {
+        circuit_name: circuit.name().to_string(),
+        findings,
+        universe_faults: universe.len(),
+        equivalence_classes: equiv.len(),
+        pruned_classes: pruned.len(),
+        dominance_classes: dominance.len(),
+        dominated_stems,
+        prover,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_netlist::CircuitBuilder;
+
+    use super::*;
+
+    #[test]
+    fn clean_circuit_checks_clean() {
+        let ckt = protest_circuits::c17();
+        let report = check(&ckt, &CheckParams::default());
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert!(report.prover.is_none());
+        assert!(report.dominance_classes <= report.equivalence_classes);
+        assert!(report.equivalence_classes <= report.universe_faults);
+        let text = report.to_string();
+        assert!(text.contains("lint: clean"), "{text}");
+        assert!(text.contains("equivalence classes"), "{text}");
+    }
+
+    #[test]
+    fn prover_prunes_redundant_classes_and_reports_them() {
+        // z = OR(a, NOT a) is constant 1: z sa1 (and the a/na faults) are
+        // redundant; w = AND(a, c) keeps the circuit nontrivial.
+        let mut b = CircuitBuilder::new("red");
+        let a = b.input("a");
+        let c = b.input("c");
+        let na = b.not(a);
+        let z = b.or2(a, na);
+        let w = b.and2(a, c);
+        b.output(z, "z");
+        b.output(w, "w");
+        let ckt = b.finish().unwrap();
+        let report = check(
+            &ckt,
+            &CheckParams {
+                prove_redundant: true,
+                ..CheckParams::default()
+            },
+        );
+        let p = report.prover.as_ref().unwrap();
+        assert!(p.stats.redundant >= 1, "{:?}", p.stats);
+        assert_eq!(p.stats.unproven, 0);
+        assert!(report.pruned_classes < report.equivalence_classes);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == FindingKind::RedundantFault));
+        let text = report.to_string();
+        assert!(text.contains("proven redundant"), "{text}");
+        let json = report.to_json();
+        assert!(json.contains("\"proven_redundant\""), "{json}");
+        assert!(json.contains("\"redundant-fault\""), "{json}");
+    }
+
+    #[test]
+    fn json_renders_without_prover_too() {
+        let ckt = protest_circuits::c17();
+        let report = check(&ckt, &CheckParams::default());
+        let json = report.to_json();
+        assert!(json.contains("\"prover\": null"), "{json}");
+        assert!(json.contains("\"equivalence_classes\""), "{json}");
+    }
+}

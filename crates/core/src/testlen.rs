@@ -54,6 +54,127 @@ pub fn set_detection_probability(ps: &[f64], n: u64) -> f64 {
     ln_set_detection_probability(ps, n).exp()
 }
 
+/// [`ln_set_detection_probability`] with a multiplicity per probability —
+/// the class-expansion form: a collapsed fault class of size `k` whose
+/// members share the representative's detection probability contributes
+/// its product term `k` times.
+///
+/// Entries with `count == 0` are skipped (a fully pruned class).
+pub fn ln_set_detection_probability_weighted(ps: &[f64], counts: &[u32], n: u64) -> f64 {
+    assert_eq!(ps.len(), counts.len(), "one count per probability");
+    if n == 0 {
+        return if counts.iter().all(|&c| c == 0) {
+            0.0
+        } else {
+            f64::NEG_INFINITY
+        };
+    }
+    let mut total = 0.0f64;
+    for (&p, &count) in ps.iter().zip(counts) {
+        if count == 0 {
+            continue;
+        }
+        if p <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        if p >= 1.0 {
+            continue;
+        }
+        let t = n as f64 * (-p).ln_1p();
+        total += count as f64 * (-t.exp_m1()).ln();
+    }
+    total
+}
+
+/// The weighted companion of [`required_test_length`]: minimal `N` with
+/// `Π_i (1 − (1 − p_i)^N)^{count_i} ≥ confidence`, or `None` beyond
+/// [`MAX_PATTERNS`].
+///
+/// # Panics
+///
+/// Panics if `confidence` is not within `(0, 1)` or the slices differ in
+/// length.
+pub fn required_test_length_weighted(
+    ps: &[f64],
+    counts: &[u32],
+    confidence: f64,
+) -> Option<TestLength> {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    assert_eq!(ps.len(), counts.len(), "one count per probability");
+    if counts.iter().all(|&c| c == 0) {
+        return Some(TestLength {
+            patterns: 0,
+            confidence: 1.0,
+        });
+    }
+    let target = confidence.ln();
+    let reaches = |n: u64| ln_set_detection_probability_weighted(ps, counts, n) >= target;
+    let mut hi = 1u64;
+    while !reaches(hi) {
+        if hi >= MAX_PATTERNS {
+            return None;
+        }
+        hi = (hi * 2).min(MAX_PATTERNS);
+    }
+    let mut lo = hi / 2;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if reaches(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(TestLength {
+        patterns: hi,
+        confidence: ln_set_detection_probability_weighted(ps, counts, hi).exp(),
+    })
+}
+
+/// The weighted `d`-fraction variant: drops the hardest `(1 − d)`-fraction
+/// of the *expanded* universe (counting multiplicities), splitting a class
+/// at the boundary when necessary, then computes the weighted test length.
+///
+/// # Panics
+///
+/// Panics like [`required_test_length_weighted`], and if `d` is not within
+/// `(0, 1]`.
+pub fn required_test_length_fraction_weighted(
+    ps: &[f64],
+    counts: &[u32],
+    d: f64,
+    e: f64,
+) -> Option<TestLength> {
+    assert!(d > 0.0 && d <= 1.0, "fraction d must be in (0, 1]");
+    assert_eq!(ps.len(), counts.len(), "one count per probability");
+    let total: u64 = counts.iter().map(|&c| c as u64).sum();
+    let mut keep = ((d * total as f64).round() as u64).min(total);
+    // Highest detection probability first; keep the easiest `keep` faults.
+    let mut order: Vec<usize> = (0..ps.len()).collect();
+    order.sort_by(|&a, &b| {
+        ps[b]
+            .partial_cmp(&ps[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut kept_ps = Vec::with_capacity(ps.len());
+    let mut kept_counts = Vec::with_capacity(counts.len());
+    for &i in &order {
+        if keep == 0 {
+            break;
+        }
+        let take = (counts[i] as u64).min(keep) as u32;
+        if take > 0 {
+            kept_ps.push(ps[i]);
+            kept_counts.push(take);
+            keep -= take as u64;
+        }
+    }
+    required_test_length_weighted(&kept_ps, &kept_counts, e)
+}
+
 /// `ln Σ_f (1 − p_f)^N` — the log of the *expected number of undetected
 /// faults* after `N` patterns.
 ///
@@ -237,5 +358,50 @@ mod tests {
     #[should_panic(expected = "confidence")]
     fn rejects_confidence_one() {
         let _ = required_test_length(&[0.5], 1.0);
+    }
+
+    #[test]
+    fn weighted_matches_repeated_expansion() {
+        // A class of size k contributes exactly like k copies of its
+        // representative's probability.
+        let ps = [0.4, 0.05, 0.7];
+        let counts = [3u32, 2, 1];
+        let expanded: Vec<f64> = ps
+            .iter()
+            .zip(&counts)
+            .flat_map(|(&p, &c)| std::iter::repeat_n(p, c as usize))
+            .collect();
+        for n in [1u64, 7, 40] {
+            let w = ln_set_detection_probability_weighted(&ps, &counts, n);
+            let e = ln_set_detection_probability(&expanded, n);
+            assert!((w - e).abs() < 1e-12, "n={n}: {w} vs {e}");
+        }
+        let nw = required_test_length_weighted(&ps, &counts, 0.95).unwrap();
+        let ne = required_test_length(&expanded, 0.95).unwrap();
+        assert_eq!(nw.patterns, ne.patterns);
+        assert!((nw.confidence - ne.confidence).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_fraction_splits_boundary_classes() {
+        // Universe of 4 expanded faults; d = 0.75 keeps 3, cutting the
+        // hard class of size 2 down to one member.
+        let ps = [0.9, 0.01];
+        let counts = [2u32, 2];
+        let full = required_test_length_fraction_weighted(&ps, &counts, 1.0, 0.95).unwrap();
+        let part = required_test_length_fraction_weighted(&ps, &counts, 0.75, 0.95).unwrap();
+        let expanded = [0.9, 0.9, 0.01, 0.01];
+        let reference = required_test_length_fraction(&expanded, 0.75, 0.95).unwrap();
+        assert_eq!(part.patterns, reference.patterns);
+        assert!(part.patterns < full.patterns);
+    }
+
+    #[test]
+    fn weighted_skips_empty_classes() {
+        let got = required_test_length_weighted(&[0.5, 0.2], &[1, 0], 0.9).unwrap();
+        let reference = required_test_length(&[0.5], 0.9).unwrap();
+        assert_eq!(got.patterns, reference.patterns);
+        let none = required_test_length_weighted(&[0.5], &[0], 0.9).unwrap();
+        assert_eq!(none.patterns, 0);
     }
 }

@@ -45,7 +45,7 @@
 //! * **Control at `n`** — `p(n)` shifts as above and is propagated through
 //!   the fanout cone with the product-rule (COP-style) gate extensions
 //!   ([`crate::observe::multilinear`]); a full reverse sweep with the
-//!   pass-through factor applied at `n` ([`StemAdjust::Scale`]) then
+//!   pass-through factor applied at `n` ([`StemAdjust::Scale`](crate::observe)) then
 //!   refreshes observabilities, and every fault's detection is recomputed.
 //!   Stem faults *at* `n` keep their original activation (the net's old
 //!   driver still carries `p`, only its consumers see the shifted value).

@@ -1,0 +1,229 @@
+//! Immediate dominators of the fanout graph.
+//!
+//! A node `d` *dominates* node `n` when every path from `n` to any primary
+//! output passes through `d` — i.e. a fault effect originating at `n` can
+//! only be observed after traversing `d`. (On the fanout graph, oriented
+//! from inputs to outputs, these are the post-dominators with respect to a
+//! virtual sink fed by every primary output.)
+//!
+//! The static-analysis layer uses dominators two ways: as *single-path
+//! propagation implications* (a stem whose immediate dominator is a real
+//! gate must sensitize that gate to be tested at all), and to widen
+//! redundancy proofs (once both stuck-at faults of `d` are proven
+//! undetectable, every fault dominated by `d` is undetectable too, without
+//! another proof).
+//!
+//! Computed with the Cooper–Harvey–Kennedy iterative algorithm over the
+//! reverse topological order; combinational circuits are acyclic, so a
+//! single sweep converges.
+
+use crate::analyze_impl::Fanouts;
+use crate::levelize::Levels;
+use crate::netlist::{Circuit, NodeId};
+
+/// The virtual sink joining all primary outputs, used as the `idom` of
+/// nodes observed directly (or through reconverging paths that only meet
+/// at the outputs).
+const SINK: u32 = u32::MAX;
+/// Marker for nodes with no path to any primary output.
+const DEAD: u32 = u32::MAX - 1;
+
+/// Immediate dominators of every node with respect to the primary outputs.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[n]`: immediate dominator node index, `SINK`, or `DEAD`.
+    idom: Vec<u32>,
+}
+
+impl Dominators {
+    /// Computes immediate dominators on the fanout graph of `circuit`.
+    pub fn new(circuit: &Circuit, fanouts: &Fanouts) -> Self {
+        let n = circuit.num_nodes();
+        let levels = Levels::new(circuit);
+        // Process nodes in reverse topological order: every fanout of a
+        // node is processed before the node itself.
+        let order: Vec<NodeId> = levels.order().iter().rev().copied().collect();
+        let mut rank = vec![0u32; n];
+        for (r, &id) in order.iter().enumerate() {
+            rank[id.index()] = r as u32;
+        }
+        let mut idom = vec![DEAD; n];
+        let is_output = {
+            let mut v = vec![false; n];
+            for &o in circuit.outputs() {
+                v[o.index()] = true;
+            }
+            v
+        };
+        for &id in &order {
+            let mut cur = if is_output[id.index()] {
+                Some(SINK)
+            } else {
+                None
+            };
+            for &(g, _) in fanouts.of(id) {
+                if idom[g.index()] == DEAD {
+                    continue; // fanout leads nowhere
+                }
+                // The candidate dominator contributed by this fanout edge
+                // is the successor gate itself.
+                cur = Some(match cur {
+                    None => g.index() as u32,
+                    Some(c) => Self::intersect(&idom, &rank, c, g.index() as u32),
+                });
+            }
+            if let Some(c) = cur {
+                idom[id.index()] = c;
+            }
+        }
+        Dominators { idom }
+    }
+
+    /// Walks both candidates up their idom chains until they meet
+    /// (classic two-finger intersection). Idom links strictly decrease the
+    /// reverse-topological rank and terminate at the sink (rank −1), so
+    /// raising the farther-from-the-outputs side always converges.
+    fn intersect(idom: &[u32], rank: &[u32], mut a: u32, mut b: u32) -> u32 {
+        let r = |x: u32| {
+            if x == SINK {
+                -1i64
+            } else {
+                rank[x as usize] as i64
+            }
+        };
+        while a != b {
+            if r(a) > r(b) {
+                a = idom[a as usize];
+            } else {
+                b = idom[b as usize];
+            }
+        }
+        a
+    }
+
+    /// The immediate dominator of `id`: `Some(node)` when a single gate
+    /// post-dominates it, `None` when it is dominated only by the virtual
+    /// output sink (a primary output, or reconvergence meeting only at the
+    /// outputs) or has no path to an output at all.
+    pub fn idom(&self, id: NodeId) -> Option<NodeId> {
+        match self.idom[id.index()] {
+            SINK | DEAD => None,
+            d => Some(NodeId::from_index(d as usize)),
+        }
+    }
+
+    /// Whether `id` reaches any primary output at all.
+    pub fn reaches_output(&self, id: NodeId) -> bool {
+        self.idom[id.index()] != DEAD
+    }
+
+    /// Iterates the strict dominator chain of `id`, nearest first,
+    /// stopping at the virtual sink.
+    pub fn chain(&self, id: NodeId) -> DominatorChain<'_> {
+        DominatorChain {
+            doms: self,
+            cur: self.idom[id.index()],
+        }
+    }
+
+    /// Whether `d` dominates `n` (strictly; a node does not dominate
+    /// itself here).
+    pub fn dominates(&self, d: NodeId, n: NodeId) -> bool {
+        self.chain(n).any(|x| x == d)
+    }
+}
+
+/// Iterator over a node's strict dominators, nearest first.
+#[derive(Debug)]
+pub struct DominatorChain<'a> {
+    doms: &'a Dominators,
+    cur: u32,
+}
+
+impl Iterator for DominatorChain<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        match self.cur {
+            SINK | DEAD => None,
+            d => {
+                self.cur = self.doms.idom[d as usize];
+                Some(NodeId::from_index(d as usize))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    #[test]
+    fn chain_of_gates_dominates_linearly() {
+        // a -> n1 -> n2 -> z (PO): idom(a) = n1, idom(n1) = n2, idom(n2) = sink.
+        let mut b = CircuitBuilder::new("chain");
+        let a = b.input("a");
+        let n1 = b.not(a);
+        let n2 = b.not(n1);
+        b.output(n2, "z");
+        let ckt = b.finish().unwrap();
+        let fanouts = Fanouts::new(&ckt);
+        let doms = Dominators::new(&ckt, &fanouts);
+        assert_eq!(doms.idom(a), Some(n1));
+        assert_eq!(doms.idom(n1), Some(n2));
+        assert_eq!(doms.idom(n2), None);
+        assert!(doms.dominates(n2, a));
+        assert_eq!(doms.chain(a).collect::<Vec<_>>(), vec![n1, n2]);
+    }
+
+    #[test]
+    fn reconvergence_is_dominated_by_the_merge_gate() {
+        // a fans out to two NOTs that reconverge in one AND -> z.
+        let mut b = CircuitBuilder::new("reconv");
+        let a = b.input("a");
+        let n1 = b.not(a);
+        let n2 = b.not(a);
+        let z = b.and2(n1, n2);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let fanouts = Fanouts::new(&ckt);
+        let doms = Dominators::new(&ckt, &fanouts);
+        assert_eq!(doms.idom(a), Some(z), "both paths meet at the AND");
+        assert_eq!(doms.idom(n1), Some(z));
+        assert_eq!(doms.idom(z), None);
+    }
+
+    #[test]
+    fn multi_output_stems_have_no_gate_dominator() {
+        // a feeds a NOT observed at z1 and is itself observed at z2.
+        let mut b = CircuitBuilder::new("po");
+        let a = b.input("a");
+        let n = b.not(a);
+        b.output(n, "z1");
+        b.output(a, "z2");
+        let ckt = b.finish().unwrap();
+        let fanouts = Fanouts::new(&ckt);
+        let doms = Dominators::new(&ckt, &fanouts);
+        assert_eq!(doms.idom(a), None, "direct observation bypasses the NOT");
+        assert!(doms.reaches_output(a));
+    }
+
+    #[test]
+    fn dead_nodes_are_flagged() {
+        let mut b = CircuitBuilder::new("dead");
+        let a = b.input("a");
+        let c = b.input("c");
+        let dead = b.and2(a, c); // never consumed, not an output
+        let _ = dead;
+        let z = b.not(a);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let fanouts = Fanouts::new(&ckt);
+        let doms = Dominators::new(&ckt, &fanouts);
+        assert!(!doms.reaches_output(dead));
+        assert!(doms.reaches_output(a));
+        // `c` only feeds the dead gate: no output path, no dominator.
+        assert!(!doms.reaches_output(c));
+        assert_eq!(doms.idom(c), None);
+    }
+}

@@ -38,7 +38,7 @@ use crate::error::NetlistError;
 use crate::gate::GateKind;
 use crate::netlist::{Circuit, Node, NodeId};
 
-/// The kind of test point to insert (see the [module docs](self)).
+/// The kind of test point to insert (see the module docs above).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TestPointKind {
     /// Pseudo-output observation point: `tpo = BUF(net)`, `OUTPUT(tpo)`.
@@ -104,7 +104,7 @@ pub struct InsertedPoint {
 }
 
 /// Inserts one test point, returning the rewritten circuit and the
-/// insertion record. See the [module docs](self) for the rewrite rules.
+/// insertion record. See the module docs above for the rewrite rules.
 ///
 /// # Errors
 ///

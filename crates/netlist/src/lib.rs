@@ -40,10 +40,12 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod analyze_impl;
 mod builder;
+mod dominators;
 mod error;
 mod gate;
 mod insert;
@@ -71,7 +73,9 @@ pub use stats::{CircuitStats, GateCounts};
 pub use transistor::{gate_equivalents, transistor_count, transistors_for_gate};
 pub use write::{to_bench, to_pdl};
 
-/// Analysis passes over a [`Circuit`]: fanout maps, cones, joining points.
+/// Analysis passes over a [`Circuit`]: fanout maps, cones, joining points,
+/// dominators.
 pub mod analyze {
     pub use crate::analyze_impl::{cone_of_influence, fanin_cone, Fanouts, JoiningPoints};
+    pub use crate::dominators::{DominatorChain, Dominators};
 }

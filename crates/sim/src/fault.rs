@@ -195,8 +195,14 @@ impl FaultUniverse {
     }
 }
 
-/// A collapsed fault universe: equivalence classes under classic structural
-/// rules, with one representative per class.
+/// A collapsed fault universe: fault classes with one representative each.
+///
+/// Produced by [`collapse_universe`] (equivalence classes: every member has
+/// the *same* test set, so the representative is interchangeable with any
+/// member) or by [`dominance_collapse`] (implication classes: every test
+/// detecting the representative also detects every member, but not
+/// necessarily vice versa — the representative is the *hardest* member and
+/// a test set covering all representatives covers the whole universe).
 #[derive(Debug, Clone)]
 pub struct CollapsedUniverse {
     representatives: Vec<Fault>,
@@ -204,12 +210,17 @@ pub struct CollapsedUniverse {
 }
 
 impl CollapsedUniverse {
-    /// One representative fault per equivalence class.
+    /// One representative fault per class.
+    ///
+    /// For equivalence classes this is the smallest member; for dominance
+    /// classes it is the root of the implication tree (which need not be
+    /// the smallest member — see [`dominance_collapse`]).
     pub fn representatives(&self) -> &[Fault] {
         &self.representatives
     }
 
-    /// The full class for each representative (same index order).
+    /// The full class for each representative (same index order, members
+    /// sorted).
     pub fn classes(&self) -> &[Vec<Fault>] {
         &self.classes
     }
@@ -223,18 +234,72 @@ impl CollapsedUniverse {
     pub fn is_empty(&self) -> bool {
         self.representatives.is_empty()
     }
+
+    /// Total fault count across all classes (the covered universe size).
+    pub fn expanded_len(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+
+    /// A copy with only the classes whose index is flagged in `keep` —
+    /// how the redundancy prover drops proven-undetectable classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len()` differs from [`len`](Self::len).
+    pub fn filtered(&self, keep: &[bool]) -> CollapsedUniverse {
+        assert_eq!(keep.len(), self.len(), "one keep flag per class");
+        let representatives = self
+            .representatives
+            .iter()
+            .zip(keep)
+            .filter(|(_, &k)| k)
+            .map(|(&r, _)| r)
+            .collect();
+        let classes = self
+            .classes
+            .iter()
+            .zip(keep)
+            .filter(|(_, &k)| k)
+            .map(|(c, _)| c.clone())
+            .collect();
+        CollapsedUniverse {
+            representatives,
+            classes,
+        }
+    }
 }
 
-/// Collapses a fault universe using structural equivalence:
+/// Collapses a fault universe using structural equivalence: two faults are
+/// merged exactly when their faulty circuits compute the same function, so
+/// every member of a class has the *identical* test set (and identical
+/// per-pattern detection words under fault simulation).
 ///
-/// * AND: any input sa0 ≡ output sa0; NAND: input sa0 ≡ output sa1;
-///   OR: input sa1 ≡ output sa1; NOR: input sa1 ≡ output sa0;
-///   NOT/BUF: input faults ≡ (inverted/same) output faults.
-/// * XOR/XNOR/LUT gates provide no structural equivalence.
+/// The gate-local rules:
 ///
-/// Only equivalences *within the enumerated universe* are applied; since
-/// [`FaultUniverse::all`] never enumerates pin faults on fanout-free nets,
-/// the classic stem/branch equivalence is already implicit.
+/// * Forcing a controlling value on any input forces the output — AND: any
+///   input sa0 ≡ output sa0; NAND: input sa0 ≡ output sa1; OR: input sa1 ≡
+///   output sa1; NOR: input sa1 ≡ output sa0.
+/// * NOT/BUF: input faults ≡ (inverted/same) output faults, both
+///   polarities.
+/// * XOR/XNOR/LUT gates provide **no** equivalence at all: no input value
+///   controls the output (every input change flips an XOR; a LUT makes no
+///   structural promise), so an input stuck-at and an output stuck-at
+///   compute different functions in general.
+///
+/// Two collapses are *implicit* rather than rule-driven:
+///
+/// * Stem/branch: [`FaultUniverse::all`] enumerates pin faults only on
+///   branches of fanout stems. On a fanout-free net the pin fault is the
+///   same fault as the driver's output fault, so it is simply never
+///   enumerated (checkpoint-free enumeration) — the would-be two-member
+///   class appears as the output fault alone.
+/// * A driver net observed directly as a primary output never substitutes
+///   for a missing pin fault: the PO observes the output fault without
+///   propagating through the consuming gate, so the equivalence would be
+///   unsound there.
+///
+/// The representative of each class is its smallest member (site order,
+/// then polarity), and `classes()[i][0] == representatives()[i]`.
 pub fn collapse_universe(circuit: &Circuit, universe: &FaultUniverse) -> CollapsedUniverse {
     use std::collections::HashMap;
 
@@ -314,6 +379,124 @@ pub fn collapse_universe(circuit: &Circuit, universe: &FaultUniverse) -> Collaps
     }
     classes.sort_by_key(|c| c[0]);
     let representatives = classes.iter().map(|c| c[0]).collect();
+    CollapsedUniverse {
+        representatives,
+        classes,
+    }
+}
+
+/// Extends an equivalence-collapsed universe with classic *dominance*
+/// collapsing: a gate-output fault whose detection is implied by one of the
+/// gate's input faults is folded into that input fault's class.
+///
+/// The gate-local implication (with `c` the controlling value): any test
+/// for input `sa ¬c` must set that input to `c` and every other input to
+/// `¬c`, which activates the output fault of the *non-controlled* polarity
+/// and produces the identical output error — so `tests(in sa ¬c) ⊆
+/// tests(out sa ¬out_pol)`:
+///
+/// * AND: output sa1 is dominated by any input sa1;
+/// * OR: output sa0 by any input sa0;
+/// * NAND: output sa0 by any input sa1;
+/// * NOR: output sa1 by any input sa0.
+///
+/// Unlike equivalence, dominance is one-directional, so classes are built
+/// as an *accounting forest over the equivalence classes*: each dominated
+/// output-fault class records exactly one accounting parent (the first
+/// resolvable input fault, subject to the same stem/PO guards as
+/// [`collapse_universe`]), and a merged class is a tree whose root class
+/// implies — pattern by pattern — the detection of every member. The
+/// representative is the **root** class's representative (the hardest
+/// member), *not* the smallest fault of the merged class: a test set
+/// detecting every representative therefore detects the entire universe,
+/// which is what makes collapsed test-length and coverage computations
+/// conservative. One incoming edge per class keeps this sound; merging all
+/// mutually-dominating inputs of a gate (as equivalence does) would create
+/// classes in which no single member implies all others.
+pub fn dominance_collapse(circuit: &Circuit, equiv: &CollapsedUniverse) -> CollapsedUniverse {
+    use std::collections::HashMap;
+
+    // Fault → equivalence-class index.
+    let mut class_of: HashMap<Fault, u32> = HashMap::new();
+    for (ci, class) in equiv.classes().iter().enumerate() {
+        for &f in class {
+            class_of.insert(f, ci as u32);
+        }
+    }
+    // Accounting forest over class indices: at most one parent per class.
+    let mut parent: Vec<Option<u32>> = vec![None; equiv.len()];
+    let root = |parent: &[Option<u32>], mut c: u32| -> u32 {
+        while let Some(p) = parent[c as usize] {
+            c = p;
+        }
+        c
+    };
+
+    for (id, node) in circuit.iter() {
+        let controlled = match node.kind() {
+            GateKind::And | GateKind::Nand => StuckAt::Zero,
+            GateKind::Or | GateKind::Nor => StuckAt::One,
+            _ => continue,
+        };
+        let out_pol = match node.kind() {
+            GateKind::And => StuckAt::Zero,
+            GateKind::Nand => StuckAt::One,
+            GateKind::Or => StuckAt::One,
+            GateKind::Nor => StuckAt::Zero,
+            _ => unreachable!(),
+        };
+        let target = Fault::output(id, out_pol.flipped());
+        let Some(&tc) = class_of.get(&target) else {
+            continue; // dead node or pruned class
+        };
+        if parent[tc as usize].is_some() {
+            continue; // already accounted to another implier
+        }
+        let source_pol = controlled.flipped();
+        for (pin, &f) in node.fanins().iter().enumerate() {
+            let pin_fault = Fault::input_pin(id, pin as u8, source_pol);
+            let in_fault = Fault::output(f, source_pol);
+            // Same resolution as `collapse_universe`: the branch fault when
+            // enumerated, else the driver's output fault on fanout-free
+            // nets not directly observed as primary outputs.
+            let sc = class_of.get(&pin_fault).copied().or_else(|| {
+                if circuit.is_output(f) {
+                    None
+                } else {
+                    class_of.get(&in_fault).copied()
+                }
+            });
+            let Some(sc) = sc else { continue };
+            // Self-loops and forest cycles (possible when equivalence
+            // classes span reconverging regions) would break the
+            // "root implies all members" invariant — skip such edges.
+            if sc == tc || root(&parent, sc) == tc {
+                continue;
+            }
+            parent[tc as usize] = Some(sc);
+            break; // one accounting parent per dominated class
+        }
+    }
+
+    // Group equivalence classes by forest root and emit merged classes.
+    let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
+    for c in 0..equiv.len() as u32 {
+        groups.entry(root(&parent, c)).or_default().push(c);
+    }
+    let mut merged: Vec<(Fault, Vec<Fault>)> = groups
+        .into_iter()
+        .map(|(r, members)| {
+            let mut faults: Vec<Fault> = members
+                .iter()
+                .flat_map(|&c| equiv.classes()[c as usize].iter().copied())
+                .collect();
+            faults.sort();
+            (equiv.representatives()[r as usize], faults)
+        })
+        .collect();
+    merged.sort_by_key(|&(rep, _)| rep);
+    let representatives = merged.iter().map(|&(rep, _)| rep).collect();
+    let classes = merged.into_iter().map(|(_, c)| c).collect();
     CollapsedUniverse {
         representatives,
         classes,
@@ -454,6 +637,133 @@ mod tests {
         let class = col.classes().iter().find(|c| c.contains(&and_sa0)).unwrap();
         assert!(class.contains(&Fault::input_pin(g1, 0, StuckAt::Zero)));
         assert!(!class.contains(&Fault::output(a, StuckAt::Zero)));
+    }
+
+    #[test]
+    fn dominance_folds_and_output_sa1_into_an_input() {
+        // z = AND(a, c): equivalence gives {a0,c0,z0},{a1},{c1},{z1};
+        // dominance accounts z1 to a1 (first resolvable pin) → 3 classes.
+        let mut b = CircuitBuilder::new("and");
+        let a = b.input("a");
+        let c = b.input("c");
+        let z = b.and2(a, c);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let u = FaultUniverse::all(&ckt);
+        let equiv = collapse_universe(&ckt, &u);
+        let dom = dominance_collapse(&ckt, &equiv);
+        assert_eq!(dom.len(), 3);
+        assert_eq!(dom.expanded_len(), u.len());
+        let merged = dom
+            .classes()
+            .iter()
+            .find(|cl| cl.contains(&Fault::output(z, StuckAt::One)))
+            .unwrap();
+        assert!(merged.contains(&Fault::output(a, StuckAt::One)));
+        // The representative is the implying root (a sa1), even though the
+        // class is sorted and might list another fault first.
+        let rep_idx = dom
+            .classes()
+            .iter()
+            .position(|cl| cl.contains(&Fault::output(z, StuckAt::One)))
+            .unwrap();
+        assert_eq!(
+            dom.representatives()[rep_idx],
+            Fault::output(a, StuckAt::One)
+        );
+    }
+
+    #[test]
+    fn dominance_chains_through_gate_cascades() {
+        // z = OR(OR(a, c), d): out-sa0 chains account to a sa0; the whole
+        // sa0 side folds into input classes.
+        let mut b = CircuitBuilder::new("orchain");
+        let a = b.input("a");
+        let c = b.input("c");
+        let d = b.input("d");
+        let o1 = b.or2(a, c);
+        let z = b.or2(o1, d);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let u = FaultUniverse::all(&ckt);
+        let equiv = collapse_universe(&ckt, &u);
+        let dom = dominance_collapse(&ckt, &equiv);
+        assert!(dom.len() < equiv.len());
+        let cl = dom
+            .classes()
+            .iter()
+            .find(|cl| cl.contains(&Fault::output(z, StuckAt::Zero)))
+            .unwrap();
+        // o1 sa0 is dominated by a sa0 (equivalence class {a0, c0?}: no —
+        // OR equivalence is sa1; a0 is its own class) and z sa0 by o1 sa0.
+        assert!(cl.contains(&Fault::output(o1, StuckAt::Zero)));
+        assert!(cl.contains(&Fault::output(a, StuckAt::Zero)));
+        let idx = dom
+            .classes()
+            .iter()
+            .position(|x| std::ptr::eq(x.as_slice(), cl.as_slice()))
+            .unwrap();
+        assert_eq!(
+            dom.representatives()[idx],
+            Fault::output(a, StuckAt::Zero),
+            "root of the implication chain is the representative"
+        );
+    }
+
+    #[test]
+    fn dominance_skips_po_observed_drivers() {
+        // z = AND(a, c) where a is also a primary output: a sa1 is
+        // detectable at the PO without propagating through the AND, so
+        // z sa1 must NOT be folded into it; pin faults are not enumerated
+        // (no stem), and c sa1 still dominates.
+        let mut b = CircuitBuilder::new("po");
+        let a = b.input("a");
+        let c = b.input("c");
+        let z = b.and2(a, c);
+        b.output(z, "z");
+        b.output(a, "a_out");
+        let ckt = b.finish().unwrap();
+        let u = FaultUniverse::all(&ckt);
+        let equiv = collapse_universe(&ckt, &u);
+        let dom = dominance_collapse(&ckt, &equiv);
+        let cl = dom
+            .classes()
+            .iter()
+            .find(|cl| cl.contains(&Fault::output(z, StuckAt::One)))
+            .unwrap();
+        assert!(!cl.contains(&Fault::output(a, StuckAt::One)));
+        assert!(cl.contains(&Fault::output(c, StuckAt::One)));
+    }
+
+    #[test]
+    fn dominance_leaves_xor_untouched() {
+        let mut b = CircuitBuilder::new("x");
+        let a = b.input("a");
+        let c = b.input("c");
+        let z = b.xor2(a, c);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let u = FaultUniverse::all(&ckt);
+        let equiv = collapse_universe(&ckt, &u);
+        let dom = dominance_collapse(&ckt, &equiv);
+        assert_eq!(dom.len(), equiv.len());
+    }
+
+    #[test]
+    fn filtered_drops_flagged_classes() {
+        let mut b = CircuitBuilder::new("f");
+        let a = b.input("a");
+        let c = b.input("c");
+        let z = b.and2(a, c);
+        b.output(z, "z");
+        let ckt = b.finish().unwrap();
+        let u = FaultUniverse::all(&ckt);
+        let col = collapse_universe(&ckt, &u);
+        let mut keep = vec![true; col.len()];
+        keep[0] = false;
+        let kept = col.filtered(&keep);
+        assert_eq!(kept.len(), col.len() - 1);
+        assert_eq!(kept.representatives()[0], col.representatives()[1]);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //!   and implement the same trait.)
 //! * [`CoverageCurve`] — fault coverage as a function of pattern count.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod coverage;
@@ -37,12 +38,15 @@ pub mod serial;
 
 pub mod collapse {
     //! Structural fault collapsing.
-    pub use crate::fault::{collapse_universe, CollapsedUniverse};
+    pub use crate::fault::{collapse_universe, dominance_collapse, CollapsedUniverse};
 }
 
 pub use coverage::{coverage_run, weighted_coverage, CoverageCheckpoint, CoverageCurve};
 pub use deductive::DeductiveSim;
-pub use fault::{collapse_universe, CollapsedUniverse, Fault, FaultSite, FaultUniverse, StuckAt};
+pub use fault::{
+    collapse_universe, dominance_collapse, CollapsedUniverse, Fault, FaultSite, FaultUniverse,
+    StuckAt,
+};
 pub use fault_sim::{DetectionCounts, FaultSim};
 pub use logic::LogicSim;
 pub use pattern_io::{PatternIoError, PatternSet, ReplaySource};

@@ -20,6 +20,7 @@
 //! * [`selftest`] — a self-test campaign harness: generator → circuit →
 //!   MISR, fault detection by signature mismatch.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bilbo;

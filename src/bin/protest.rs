@@ -3,12 +3,22 @@
 //!
 //! ```text
 //! protest stats    <circuit>                  circuit statistics
+//! protest check    <circuit> [options]        static lint + redundancy check
 //! protest analyze  <circuit> [options]        testability report
 //! protest optimize <circuit> [options]        optimized input probabilities
 //! protest tpi      <circuit> --budget K       test-point insertion advisor
 //! protest patterns <circuit> [options]        emit a random pattern set
 //! protest simulate <circuit> --patterns FILE  fault-simulate a pattern set
 //! ```
+//!
+//! `check` runs the probability-free static analysis layer: structural
+//! lints (constant nets, dead/unobservable logic, dangling inputs,
+//! duplicate gates), dominator statistics and the fault-collapsing
+//! pipeline (equivalence, then dominance). With `--prove-redundant` it
+//! also runs the BDD-backed redundancy prover (node budget set by
+//! `--bdd-budget`, chunked over `--threads` workers) and prunes
+//! proven-undetectable fault classes from the reported counts; `--json`
+//! emits the machine-readable form. Findings never fail the run.
 //!
 //! `stats --probe` additionally opens an incremental analysis session,
 //! nudges one input probability and reports how much of the forward,
@@ -39,6 +49,9 @@
 //!                   bit-identical at every thread count)
 //! --probe           with `stats`: report incremental-session reuse
 //!                   counters after a one-input mutation
+//! --json            check: emit the report as JSON
+//! --prove-redundant check: run the BDD-backed redundancy prover
+//! --bdd-budget N    check: BDD node budget per proof (default 200000)
 //! --budget K        tpi: maximum test points to commit (default 3)
 //! --target-d D      tpi: test-length fraction d (default 1.0)
 //! --target-e E      tpi: test-length confidence e (default 0.98)
@@ -47,6 +60,8 @@
 //! --dry-run         tpi: rank candidates only, modify nothing
 //! --out FILE        tpi: write the modified netlist as .bench
 //! ```
+
+#![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
 use std::fs;
@@ -77,9 +92,10 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-usage: protest <stats|analyze|optimize|tpi|patterns|simulate> <circuit> [options]
+usage: protest <stats|check|analyze|optimize|tpi|patterns|simulate> <circuit> [options]
 options: --prob P  --testlen D,E  --hardest K  --n-target N  --count N
          --optimized  --patterns FILE  --seed S  --threads N  --probe
+         --json  --prove-redundant  --bdd-budget N
          --budget K  --target-d D  --target-e E  --ctrl-prob Q
          --max-candidates M  --dry-run  --out FILE";
 
@@ -102,6 +118,9 @@ struct Options {
     max_candidates: usize,
     dry_run: bool,
     out: Option<String>,
+    json: bool,
+    prove_redundant: bool,
+    bdd_budget: usize,
 }
 
 impl Default for Options {
@@ -124,6 +143,9 @@ impl Default for Options {
             max_candidates: 128,
             dry_run: false,
             out: None,
+            json: false,
+            prove_redundant: false,
+            bdd_budget: 200_000,
         }
     }
 }
@@ -207,6 +229,13 @@ fn run(args: &[String]) -> Result<String, String> {
             }
             "--dry-run" => opts.dry_run = true,
             "--out" => opts.out = Some(value("--out")?.clone()),
+            "--json" => opts.json = true,
+            "--prove-redundant" => opts.prove_redundant = true,
+            "--bdd-budget" => {
+                opts.bdd_budget = value("--bdd-budget")?
+                    .parse()
+                    .map_err(|e| format!("--bdd-budget: {e}"))?;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -216,6 +245,7 @@ fn run(args: &[String]) -> Result<String, String> {
     let circuit = load_circuit(&path)?;
     match command {
         "stats" => cmd_stats(&circuit, &opts),
+        "check" => cmd_check(&circuit, &opts),
         "analyze" => cmd_analyze(&circuit, &opts),
         "optimize" => cmd_optimize(&circuit, &opts),
         "tpi" => cmd_tpi(&circuit, &opts),
@@ -305,6 +335,20 @@ fn cmd_stats(circuit: &Circuit, opts: &Options) -> Result<String, String> {
         );
     }
     Ok(out)
+}
+
+fn cmd_check(circuit: &Circuit, opts: &Options) -> Result<String, String> {
+    let params = protest_core::CheckParams {
+        prove_redundant: opts.prove_redundant,
+        node_budget: opts.bdd_budget,
+        num_threads: opts.threads,
+    };
+    let report = protest_core::check(circuit, &params);
+    if opts.json {
+        Ok(report.to_json())
+    } else {
+        Ok(report.to_string())
+    }
 }
 
 /// Analyzer honoring the CLI's `--threads` (0 = auto).
@@ -598,6 +642,55 @@ mod tests {
         assert!(out.contains("6 gates"), "{out}");
         let out = run(&args(&["analyze", p, "--testlen", "1.0,0.95"])).unwrap();
         assert!(out.contains("required random test lengths"), "{out}");
+    }
+
+    #[test]
+    fn check_reports_clean_circuit() {
+        let f = write_c17();
+        let p = f.0.to_str().unwrap();
+        let out = run(&args(&["check", p])).unwrap();
+        assert!(out.contains("lint: clean"), "{out}");
+        assert!(out.contains("equivalence classes"), "{out}");
+        assert!(!out.contains("redundancy prover"), "{out}");
+    }
+
+    #[test]
+    fn check_prover_and_json() {
+        let f = write_c17();
+        let p = f.0.to_str().unwrap();
+        let out = run(&args(&["check", p, "--prove-redundant", "--threads", "1"])).unwrap();
+        assert!(out.contains("redundancy prover"), "{out}");
+        assert!(out.contains("proven testable"), "{out}");
+        let json = run(&args(&[
+            "check",
+            p,
+            "--prove-redundant",
+            "--json",
+            "--bdd-budget",
+            "100000",
+        ]))
+        .unwrap();
+        assert!(json.contains("\"proven_redundant\": 0"), "{json}");
+        assert!(json.contains("\"findings\": ["), "{json}");
+    }
+
+    #[test]
+    fn check_flags_redundant_logic() {
+        // z = OR(a, NOT a) is constant 1: the prover must find and prune
+        // redundant classes; the report exits successfully regardless.
+        let path =
+            std::env::temp_dir().join(format!("protest_cli_red_{}.bench", std::process::id()));
+        fs::write(
+            &path,
+            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nOUTPUT(w)\n\
+             na = NOT(a)\nz = OR(a, na)\nw = AND(a, b)\n",
+        )
+        .unwrap();
+        let guard = tempfile::TempGuard(path);
+        let p = guard.0.to_str().unwrap();
+        let out = run(&args(&["check", p, "--prove-redundant"])).unwrap();
+        assert!(out.contains("proven redundant"), "{out}");
+        assert!(out.contains("redundant-fault"), "{out}");
     }
 
     #[test]

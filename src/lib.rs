@@ -49,6 +49,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use protest_bdd as bdd;
 pub use protest_circuits as circuits;
 pub use protest_core as core;
