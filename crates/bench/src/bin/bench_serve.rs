@@ -1,0 +1,321 @@
+//! Load generator for the `protest serve` daemon: throughput, latency
+//! quantiles and cache behavior under concurrent clients.
+//!
+//! Writes `BENCH_serve.json` (path overridable as the first CLI
+//! argument). `--smoke` shrinks every workload to a CI-sized run.
+//!
+//! ```sh
+//! cargo run --release -p protest-bench --bin bench_serve [-- [--smoke] [PATH]]
+//! ```
+//!
+//! Three workloads, each against a fresh in-process daemon:
+//!
+//! * **hot** — every client resubmits the *same* netlist text and then
+//!   queries it; after the first registration every submit is answered
+//!   from the content-hash registry (no parse, no analyzer build) and
+//!   every analyze runs on a warm pooled session. This is the daemon's
+//!   design-center workload; the acceptance bar is a >90 % cache hit
+//!   rate.
+//! * **cold** — every submit is a textually unique netlist (a variant
+//!   comment changes the hash), so each one pays the full parse, analyzer
+//!   build and session warm-up. The hot/cold throughput gap is the
+//!   amortization the daemon exists to provide.
+//! * **batch** — the same analyze queries as hot, but grouped into one
+//!   `batch` envelope per wire round-trip, sharing one session checkout.
+//!
+//! Interpretation caveat: the build container is 1-core, so concurrent
+//! clients measure interleaving and queueing, not parallel speedup, and
+//! requests/sec understates what multi-core serving would reach. The
+//! hot-vs-cold ratio and the cache hit rate are core-count independent.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use protest_bench::banner;
+use protest_circuits::comp24;
+use protest_netlist::to_bench;
+use protest_serve::{serve, Json, ServeConfig, ServerHandle};
+
+struct WorkloadResult {
+    name: &'static str,
+    clients: usize,
+    requests: usize,
+    wall_s: f64,
+    req_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    hit_rate: f64,
+    session_warm_hits: u64,
+    session_cold_clones: u64,
+}
+
+fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx]
+}
+
+/// One blocking request/reply round-trip; returns the latency.
+fn roundtrip(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Duration {
+    let start = Instant::now();
+    // One write per request: a trailing lone-newline write would sit in
+    // Nagle's buffer waiting for the delayed ACK (~40 ms per request).
+    let mut framed = String::with_capacity(line.len() + 1);
+    framed.push_str(line);
+    framed.push('\n');
+    writer.write_all(framed.as_bytes()).expect("send request");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read reply");
+    assert!(
+        reply.contains("\"ok\":true"),
+        "request `{line}` failed: {}",
+        reply.trim()
+    );
+    start.elapsed()
+}
+
+fn connect(handle: &ServerHandle) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    (stream, reader)
+}
+
+/// Escapes netlist text into a JSON string literal.
+fn json_text(text: &str) -> String {
+    Json::str(text).to_line()
+}
+
+/// Runs `clients` threads, each issuing the lines produced by
+/// `requests_for(client_idx)`, against a fresh daemon. Returns the
+/// aggregated result and shuts the daemon down.
+fn run_workload(
+    name: &'static str,
+    clients: usize,
+    requests_for: impl Fn(usize) -> Vec<String> + Sync,
+) -> WorkloadResult {
+    let handle = serve(ServeConfig::default()).expect("start daemon");
+    let wall = Instant::now();
+    let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let requests = requests_for(c);
+                let handle = &handle;
+                scope.spawn(move || {
+                    let (mut writer, mut reader) = connect(handle);
+                    requests
+                        .iter()
+                        .map(|line| roundtrip(&mut writer, &mut reader, line).as_micros() as u64)
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    let metrics = handle.metrics();
+    let load = |a: &std::sync::atomic::AtomicU64| a.load(std::sync::atomic::Ordering::Relaxed);
+    // Pool gauges are refreshed lazily; one stats round-trip forces it.
+    {
+        let (mut writer, mut reader) = connect(&handle);
+        roundtrip(&mut writer, &mut reader, "{\"op\":\"stats\"}");
+    }
+    let cache_hits = load(&metrics.cache_hits);
+    let cache_misses = load(&metrics.cache_misses);
+    let session_warm_hits = load(&metrics.session_warm_hits);
+    let session_cold_clones = load(&metrics.session_cold_clones);
+    handle.shutdown();
+
+    let mut all: Vec<u64> = latencies.into_iter().flatten().collect();
+    all.sort_unstable();
+    let requests = all.len();
+    WorkloadResult {
+        name,
+        clients,
+        requests,
+        wall_s,
+        req_per_sec: requests as f64 / wall_s,
+        p50_us: quantile(&all, 0.50),
+        p99_us: quantile(&all, 0.99),
+        cache_hits,
+        cache_misses,
+        hit_rate: if cache_hits + cache_misses > 0 {
+            cache_hits as f64 / (cache_hits + cache_misses) as f64
+        } else {
+            0.0
+        },
+        session_warm_hits,
+        session_cold_clones,
+    }
+}
+
+fn json(rows: &[WorkloadResult], smoke: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"serve_daemon\",\n");
+    out.push_str("  \"unit\": \"us\",\n");
+    out.push_str(
+        "  \"description\": \"protest serve load test: concurrent clients over TCP issuing \
+         newline-delimited JSON requests. hot resubmits one netlist (content-hash cache hits + \
+         warm pooled sessions), cold submits unique netlists (each pays parse + analyzer build), \
+         batch groups the hot queries into batch envelopes sharing one session checkout. The \
+         build container is 1-core: req_per_sec measures interleaved serving, not parallel \
+         speedup; the hot/cold gap and hit rates are core-count independent.\",\n",
+    );
+    out.push_str("  \"command\": \"cargo run --release -p protest-bench --bin bench_serve\",\n");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\n      \"name\": \"{}\",\n      \"clients\": {},\n      \
+             \"requests\": {},\n      \"wall_s\": {:.3},\n      \
+             \"req_per_sec\": {:.1},\n      \"p50_us\": {},\n      \"p99_us\": {},\n      \
+             \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n      \
+             \"sessions\": {{\"warm_hits\": {}, \"cold_clones\": {}}}\n    }}{}\n",
+            r.name,
+            r.clients,
+            r.requests,
+            r.wall_s,
+            r.req_per_sec,
+            r.p50_us,
+            r.p99_us,
+            r.cache_hits,
+            r.cache_misses,
+            r.hit_rate,
+            r.session_warm_hits,
+            r.session_cold_clones,
+            if i + 1 == rows.len() { "" } else { "," },
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut path = "BENCH_serve.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            path = arg;
+        }
+    }
+    banner(
+        "analysis-as-a-service daemon: throughput, latency, cache behavior",
+        "serving workload over the warm-session infrastructure",
+    );
+
+    let text = to_bench(&comp24());
+    let text_json = json_text(&text);
+    let (clients, rounds, cold_circuits, batch_size) = if smoke {
+        (2, 10, 4, 5)
+    } else {
+        (4, 60, 24, 10)
+    };
+
+    // hot: submit-same + analyze, the cache-hit fast path.
+    let hot = run_workload("hot", clients, |c| {
+        let mut reqs = Vec::new();
+        for i in 0..rounds {
+            reqs.push(format!("{{\"op\":\"submit\",\"text\":{text_json}}}"));
+            // Cycle a few probability points so sessions actually re-sync.
+            let p = 0.3 + 0.1 * ((c + i) % 5) as f64;
+            reqs.push(format!(
+                "{{\"op\":\"analyze\",\"circuit\":\"{}\",\"prob\":{p},\"detect_probs\":false}}",
+                hot_hash(&text)
+            ));
+        }
+        reqs
+    });
+
+    // cold: textually unique submits, every one a registry miss.
+    let cold = run_workload("cold", clients, |c| {
+        (0..cold_circuits)
+            .map(|i| {
+                let variant = format!("# variant {c}-{i}\n{text}");
+                format!("{{\"op\":\"submit\",\"text\":{}}}", json_text(&variant))
+            })
+            .collect()
+    });
+
+    // batch: the hot analyze queries, batch_size per envelope.
+    let batch = run_workload("batch", clients, |c| {
+        let mut reqs = vec![format!("{{\"op\":\"submit\",\"text\":{text_json}}}")];
+        for i in 0..rounds / batch_size {
+            let entries: Vec<String> = (0..batch_size)
+                .map(|j| {
+                    let p = 0.3 + 0.1 * ((c + i + j) % 5) as f64;
+                    format!("{{\"op\":\"analyze\",\"prob\":{p},\"detect_probs\":false}}")
+                })
+                .collect();
+            reqs.push(format!(
+                "{{\"op\":\"batch\",\"circuit\":\"{}\",\"requests\":[{}]}}",
+                hot_hash(&text),
+                entries.join(",")
+            ));
+        }
+        reqs
+    });
+
+    for r in [&hot, &cold, &batch] {
+        println!(
+            "{:6} {:3} clients, {:5} requests in {:6.2}s = {:8.1} req/s | p50 {:>7}us p99 {:>8}us | cache {}/{} ({:.1}%)",
+            r.name,
+            r.clients,
+            r.requests,
+            r.wall_s,
+            r.req_per_sec,
+            r.p50_us,
+            r.p99_us,
+            r.cache_hits,
+            r.cache_hits + r.cache_misses,
+            100.0 * r.hit_rate,
+        );
+    }
+    assert!(
+        hot.hit_rate > 0.90,
+        "hot workload cache hit rate {:.3} must exceed 0.90",
+        hot.hit_rate
+    );
+
+    std::fs::write(&path, json(&[hot, cold, batch], smoke)).expect("write benchmark JSON");
+    println!("wrote {path}");
+}
+
+/// The registry key the daemon will assign to `text` — submit once
+/// out-of-band to learn it, so the workload generators can address
+/// analyze queries without threading replies around.
+fn hot_hash(text: &str) -> String {
+    use std::sync::OnceLock;
+    static HASH: OnceLock<String> = OnceLock::new();
+    HASH.get_or_init(|| {
+        let handle = serve(ServeConfig::default()).expect("probe daemon");
+        let (mut writer, mut reader) = connect(&handle);
+        writer
+            .write_all(format!("{{\"op\":\"submit\",\"text\":{}}}\n", json_text(text)).as_bytes())
+            .expect("send probe");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read probe");
+        handle.shutdown();
+        let parsed = Json::parse(&reply).expect("probe reply");
+        parsed
+            .get("result")
+            .and_then(|r| r.get("circuit"))
+            .and_then(Json::as_str)
+            .expect("probe hash")
+            .to_string()
+    })
+    .clone()
+}

@@ -41,6 +41,30 @@ pub use misc::{c17, decoder, mux_tree, parity_tree};
 pub use multiplier::{mult_abcd, mult_abcd_behavior, mult_array};
 pub use random::{random_circuit, RandomCircuitParams};
 
+/// The built-in circuit names [`by_name`] resolves, in presentation order.
+///
+/// One canonical list shared by every front end (the `protest` CLI's
+/// `<circuit>` arguments, the serve daemon's `submit {"builtin": …}`
+/// requests, the load-generator workloads) so a name works everywhere or
+/// nowhere.
+pub const BUILTIN_NAMES: [&str; 7] = ["c17", "comp24", "alu", "mult", "mult6", "div8x8", "div16"];
+
+/// Resolves a built-in circuit by name (see [`BUILTIN_NAMES`]; `alu`
+/// accepts the long form `alu_74181` too). Returns `None` for unknown
+/// names.
+pub fn by_name(name: &str) -> Option<protest_netlist::Circuit> {
+    match name {
+        "c17" => Some(c17()),
+        "comp24" => Some(comp24()),
+        "alu" | "alu_74181" => Some(alu_74181()),
+        "mult" => Some(mult_abcd()),
+        "mult6" => Some(mult_array(6)),
+        "div8x8" => Some(div_nonrestoring(8, 8)),
+        "div16" => Some(div16()),
+        _ => None,
+    }
+}
+
 /// A family of growing array-multiplier circuits used as the size ladder for
 /// the CPU-time experiments (paper Tables 7/8 use an unnamed ladder from
 /// ~370 to ~48 000 transistors; `mult_array` widths 3, 6, 9, 16 and 26 land

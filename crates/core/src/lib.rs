@@ -95,6 +95,7 @@ mod session;
 pub mod detect;
 pub mod observe;
 pub mod optimize;
+pub mod pool;
 pub mod report;
 pub mod scoap;
 pub mod sigprob;
@@ -110,6 +111,7 @@ pub use error::CoreError;
 pub use params::{
     AnalyzerParams, FaultCollapse, InputProbs, ObservabilityModel, PinSensitivityModel,
 };
+pub use pool::{PoolStats, PooledSession, SessionPool};
 pub use session::{AnalysisSession, SessionStats};
 pub use staticanalysis::{check, CheckParams, StaticReport};
 pub use testlen::TestLength;

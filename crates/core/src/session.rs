@@ -406,6 +406,25 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
         self.undo.clear();
     }
 
+    /// Re-synchronizes the session to `probs` and makes that state the new
+    /// snapshot point: [`set_all`](Self::set_all) (so only the fan-out
+    /// cones of inputs that actually differ re-propagate) followed by
+    /// [`snapshot`](Self::snapshot). This is the checkout/return primitive
+    /// of [`SessionPool`](crate::SessionPool): a warm session coming back
+    /// from arbitrary mutations is reset in O(dirty cone) instead of being
+    /// rebuilt from scratch — and re-syncing to the probabilities it
+    /// already carries is free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ProbsLength`] / [`CoreError::ProbRange`] like
+    /// [`set_all`](Self::set_all) (the session is left unchanged).
+    pub fn resync(&mut self, probs: &InputProbs) -> Result<(), CoreError> {
+        self.set_all(probs.as_slice())?;
+        self.snapshot();
+        Ok(())
+    }
+
     /// Restores the state at the last [`snapshot`](Self::snapshot) (or at
     /// construction), undoing every mutation since in O(changed nodes).
     /// Every restored node is marked dirty again (conservatively: relative

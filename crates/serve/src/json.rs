@@ -1,0 +1,519 @@
+//! A minimal JSON tree: parser and single-line writer.
+//!
+//! The wire protocol is newline-delimited JSON and the build environment
+//! has no crates.io access, so the daemon carries its own ~300-line JSON
+//! implementation instead of serde. Two properties matter for the
+//! protocol:
+//!
+//! * **Float round-tripping** — numbers are written with Rust's
+//!   shortest-round-trip `Display`, so an `f64` parsed back from a reply
+//!   is bit-identical to the value the server computed. The differential
+//!   tests (served vs direct library results) rely on this.
+//! * **Single-line output** — [`Json::to_line`] never emits a newline
+//!   (strings escape control characters), so any value is a valid
+//!   protocol frame.
+//!
+//! The parser is a plain recursive-descent walk with a depth cap; a
+//! malformed or absurdly nested request fails with a message, never a
+//! panic or stack overflow.
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts — far beyond any legitimate
+/// request, small enough that recursion cannot exhaust the stack.
+const MAX_DEPTH: usize = 64;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON does not distinguish integers; `f64` holds every
+    /// integer up to 2⁵³ exactly).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as an ordered key → value list (preserves insertion
+    /// order; lookups are linear, fine at protocol sizes).
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse failure: byte offset plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Convenience constructor for an object.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Convenience constructor for a string value.
+    pub fn str(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a whole number in
+    /// `u64` range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes to a single line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => write_num(*n, out),
+            Json::Str(s) => write_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one JSON value; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+}
+
+/// Writes a number: whole values in integer form (so request ids and
+/// counts round-trip textually), others with shortest-round-trip `Display`.
+/// Non-finite values have no JSON form and become `null`.
+fn write_num(n: f64, out: &mut String) {
+    use fmt::Write as _;
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    use fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'t> {
+    bytes: &'t [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> JsonError {
+        JsonError {
+            at: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(what))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.error("unexpected character")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'{', "expected '{'")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':'")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| self.error("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.eat(b'u', "expected low surrogate")?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.error("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.error("lone high surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return Err(self.error("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                }
+                b if b < 0x20 => return Err(self.error("control character in string")),
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: the input is a &str, so the bytes
+                    // are valid — copy the full sequence.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err(self.error("truncated UTF-8 sequence"));
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| self.error("invalid UTF-8 in string"))?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.error("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            _ => Err(self.error("invalid number")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_structures() {
+        let text = r#"{"id":7,"op":"analyze","probs":[0.5,0.125],"nested":{"a":[true,false,null]},"s":"a\n\"b\"\\"}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("op").unwrap().as_str(), Some("analyze"));
+        let reprinted = v.to_line();
+        assert_eq!(Json::parse(&reprinted).unwrap(), v);
+        assert!(!reprinted.contains('\n'));
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_identically() {
+        for &x in &[
+            0.1,
+            1.0 / 3.0,
+            6.7e-11,
+            1.4918e-8,
+            f64::MIN_POSITIVE,
+            123456789.123456,
+            2f64.powi(60),
+        ] {
+            let line = Json::Num(x).to_line();
+            let back = Json::parse(&line).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {line}");
+        }
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(Json::Num(42.0).to_line(), "42");
+        assert_eq!(Json::Num(-3.0).to_line(), "-3");
+        assert_eq!(Json::Num(0.5).to_line(), "0.5");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "nul",
+            "\"unterminated",
+            "1 2",
+            "{\"a\" 1}",
+            "\"\\q\"",
+            "01x",
+            "\"\\ud800\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn depth_is_capped() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(Json::parse(&deep).is_err());
+        let ok = "[".repeat(30) + &"]".repeat(30);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn unicode_strings_roundtrip() {
+        let v = Json::parse("\"caf\\u00e9 — ☃\"").unwrap();
+        assert_eq!(v.as_str(), Some("café — ☃"));
+        let v = Json::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Analysis-as-a-service: a long-running daemon serving PROTEST
+//! testability analysis over TCP.
+//!
+//! The cost profile of probabilistic testability analysis is front-loaded:
+//! parsing the netlist, building the [`Analyzer`](protest_core::Analyzer)
+//! (fault collapsing, AIG construction, levelization) and the first full
+//! estimation pass dwarf any individual query. A CLI pays that price on
+//! every invocation; a daemon pays it **once per circuit** and then
+//! answers queries from warm state. This crate provides that daemon:
+//!
+//! * a **content-hash registry** — identical netlist text maps to one
+//!   parsed circuit and one built analyzer, shared by all clients
+//!   ([`registry`]);
+//! * **warm session pools** — incremental
+//!   [`AnalysisSession`](protest_core::AnalysisSession)s checked out per
+//!   request and re-synced on return, so repeat queries pay only the
+//!   dirty-cone cost ([`protest_core::SessionPool`]);
+//! * a **bounded worker model** — accept thread, N request handlers,
+//!   per-circuit worker threads behind bounded queues; overload sheds
+//!   typed `busy` replies instead of queueing unboundedly ([`server`]);
+//! * **observability** — per-endpoint p50/p99 latency, cache hit rates,
+//!   pool and queue gauges via the `stats` endpoint and an optional
+//!   periodic log line ([`metrics`]).
+//!
+//! # Wire protocol
+//!
+//! Newline-delimited JSON over TCP: one request per line, one reply per
+//! line, replies carry the client's `id` back verbatim (pipelining works
+//! because replies come in request order per connection). No TLS, no
+//! auth — this is a trusted-network analysis service, not an internet
+//! endpoint.
+//!
+//! Every reply is `{"id":…,"ok":true,"result":{…}}` or
+//! `{"id":…,"ok":false,"error":{"kind":…,"message":…}}`, where `kind` is
+//! one of `parse`, `protocol`, `netlist`, `not_found`, `busy`, `timeout`,
+//! `oversized`, `analysis`, `shutting_down`. Malformed or oversized input
+//! never kills the connection (framing resynchronizes at the next
+//! newline) and never takes the daemon down.
+//!
+//! ## Endpoints
+//!
+//! **`submit`** registers a netlist (BENCH or PDL text, or a built-in by
+//! name) and returns its content hash — the key every other endpoint
+//! addresses the circuit by. Submitting the same text again is a cache
+//! hit: no parse, no build.
+//!
+//! ```text
+//! → {"id":1,"op":"submit","format":"bench","name":"c17","text":"INPUT(a)\n…"}
+//! ← {"id":1,"ok":true,"result":{"circuit":"8c52…d1","name":"c17","inputs":5,"outputs":2,"gates":6,"cached":false}}
+//! → {"id":2,"op":"submit","builtin":"comp24"}
+//! ← {"id":2,"ok":true,"result":{"circuit":"builtin:comp24","name":"comp24","inputs":48,"outputs":3,"gates":103,"cached":false}}
+//! ```
+//!
+//! **`analyze`** evaluates one input-probability vector: detection
+//! probabilities per collapsed fault, optional signal probabilities,
+//! test lengths `N(d, e)`, the hardest faults.
+//!
+//! ```text
+//! → {"id":3,"op":"analyze","circuit":"builtin:comp24","prob":0.5,"testlen":[[1.0,0.95]],"hardest":2}
+//! ← {"id":3,"ok":true,"result":{"circuit":"comp24","inputs":48,"faults":252,"detect_probs":[…],"testlen":[{"d":1,"e":0.95,"patterns":7106}],"hardest":[{"fault":"i37/H sa1","detection":0.0016,…},…]}}
+//! ```
+//!
+//! **`optimize`** runs the Sec. 6 hill climber; **`tpi`** ranks or
+//! commits test points; **`check`** runs the static lint / collapse /
+//! redundancy report; **`simulate`** runs weighted-random fault
+//! simulation:
+//!
+//! ```text
+//! → {"id":4,"op":"optimize","circuit":"builtin:comp24","n_target":2000,"seed":1}
+//! ← {"id":4,"ok":true,"result":{"probs":[…],"rounds":3,"evaluations":1289,"testlen":[…]}}
+//! → {"id":5,"op":"simulate","circuit":"builtin:comp24","prob":0.5,"patterns":4096,"seed":7}
+//! ← {"id":5,"ok":true,"result":{"total_faults":252,"detected":244,"coverage_percent":96.83}}
+//! ```
+//!
+//! **`batch`** runs several of the above on ONE warm session checkout —
+//! the cheapest way to sweep probability vectors:
+//!
+//! ```text
+//! → {"id":6,"op":"batch","circuit":"builtin:comp24","requests":[{"op":"analyze","prob":0.4},{"op":"analyze","prob":0.45}]}
+//! ← {"id":6,"ok":true,"result":{"results":[{"ok":true,"result":{…}},{"ok":true,"result":{…}}]}}
+//! ```
+//!
+//! **`stats`** returns the metrics snapshot; **`shutdown`** starts a
+//! graceful drain (in-flight and queued requests still complete):
+//!
+//! ```text
+//! → {"id":7,"op":"stats"}
+//! ← {"id":7,"ok":true,"result":{"requests_total":6,"cache":{"hits":1,…},"endpoints":{…},…}}
+//! → {"id":8,"op":"shutdown"}
+//! ← {"id":8,"ok":true,"result":{"draining":true}}
+//! ```
+//!
+//! # Fidelity
+//!
+//! Served results are **bit-identical** to the direct library API: the
+//! JSON writer uses Rust's shortest-roundtrip float formatting, so every
+//! `f64` survives serialize → parse with `to_bits` equality (proven by
+//! the differential integration tests). The daemon adds caching and
+//! transport, never approximation.
+//!
+//! # Example
+//!
+//! ```
+//! use protest_serve::{serve, ServeConfig};
+//! use std::io::{BufRead, BufReader, Write};
+//!
+//! let handle = serve(ServeConfig::default()).unwrap();
+//! let mut conn = std::net::TcpStream::connect(handle.addr()).unwrap();
+//! let mut replies = BufReader::new(conn.try_clone().unwrap());
+//!
+//! conn.write_all(b"{\"id\":1,\"op\":\"submit\",\"builtin\":\"c17\"}\n").unwrap();
+//! let mut reply = String::new();
+//! replies.read_line(&mut reply).unwrap();
+//! assert!(reply.contains("\"ok\":true"));
+//! handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod ops;
+pub mod protocol;
+pub mod queue;
+pub mod registry;
+pub mod server;
+
+pub use json::Json;
+pub use metrics::{Endpoint, Metrics};
+pub use protocol::{ErrorKind, Request, WireError};
+pub use registry::Registry;
+pub use server::{serve, ServeConfig, ServerHandle};

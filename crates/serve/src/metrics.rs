@@ -1,0 +1,390 @@
+//! Server observability: request counters, per-endpoint latency
+//! histograms (p50/p99), cache and session gauges, queue depth.
+//!
+//! Everything is lock-free atomics so the hot path records a latency in a
+//! few nanoseconds. Latencies go into log₂-bucketed histograms (bucket
+//! `i` covers `[2^i, 2^(i+1))` microseconds); quantiles interpolate
+//! linearly inside the winning bucket, which is plenty for p50/p99 on a
+//! load test. The same snapshot feeds the `stats` endpoint and the
+//! periodic log line.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// The protocol endpoints, used to index per-endpoint metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `submit` — register (or look up) a circuit.
+    Submit,
+    /// `analyze` — signal/detection probabilities + test lengths.
+    Analyze,
+    /// `optimize` — input-probability hill climb.
+    Optimize,
+    /// `tpi` — test-point insertion advisor.
+    Tpi,
+    /// `check` — static lint/collapse/redundancy report.
+    Check,
+    /// `simulate` — weighted-random fault simulation.
+    Simulate,
+    /// `stats` — this snapshot.
+    Stats,
+    /// `batch` — several circuit ops amortized over one session checkout.
+    Batch,
+    /// `shutdown` — graceful drain.
+    Shutdown,
+}
+
+/// All endpoints, aligned with the metrics array.
+pub const ENDPOINTS: [Endpoint; 9] = [
+    Endpoint::Submit,
+    Endpoint::Analyze,
+    Endpoint::Optimize,
+    Endpoint::Tpi,
+    Endpoint::Check,
+    Endpoint::Simulate,
+    Endpoint::Stats,
+    Endpoint::Batch,
+    Endpoint::Shutdown,
+];
+
+impl Endpoint {
+    /// The wire name (also the metrics key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Submit => "submit",
+            Endpoint::Analyze => "analyze",
+            Endpoint::Optimize => "optimize",
+            Endpoint::Tpi => "tpi",
+            Endpoint::Check => "check",
+            Endpoint::Simulate => "simulate",
+            Endpoint::Stats => "stats",
+            Endpoint::Batch => "batch",
+            Endpoint::Shutdown => "shutdown",
+        }
+    }
+
+    fn index(self) -> usize {
+        ENDPOINTS.iter().position(|&e| e == self).unwrap()
+    }
+}
+
+const BUCKETS: usize = 40;
+
+/// A log₂ latency histogram over microseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one latency in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let bucket = (63 - u64::leading_zeros(us.max(1)) as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) in microseconds: linear
+    /// interpolation inside the winning log₂ bucket. 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let here = bucket.load(Ordering::Relaxed);
+            if seen + here >= target {
+                let lo = 1u64 << i;
+                let hi = 1u64 << (i + 1);
+                let into = (target - seen) as f64 / here.max(1) as f64;
+                return lo + ((hi - lo) as f64 * into) as u64;
+            }
+            seen += here;
+        }
+        1 << BUCKETS
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+}
+
+/// Per-endpoint counters.
+#[derive(Debug, Default)]
+pub struct EndpointMetrics {
+    /// Requests that produced an `ok` reply.
+    pub ok: AtomicU64,
+    /// Requests that produced an error reply.
+    pub errors: AtomicU64,
+    /// End-to-end handler latency (parse → reply written).
+    pub latency: Histogram,
+}
+
+/// The server-wide metrics hub, shared by every thread.
+#[derive(Debug)]
+pub struct Metrics {
+    endpoints: [EndpointMetrics; ENDPOINTS.len()],
+    /// `submit`s answered from the content-hash registry.
+    pub cache_hits: AtomicU64,
+    /// `submit`s that had to parse and build a new circuit entry.
+    pub cache_misses: AtomicU64,
+    /// Requests rejected because a line exceeded the size cap.
+    pub oversized: AtomicU64,
+    /// Requests rejected as malformed (bad JSON / bad envelope).
+    pub malformed: AtomicU64,
+    /// Requests that hit the per-request timeout.
+    pub timeouts: AtomicU64,
+    /// Requests shed because a job queue was full.
+    pub busy: AtomicU64,
+    /// Connections accepted / finished.
+    pub conns_opened: AtomicU64,
+    /// Connections closed.
+    pub conns_closed: AtomicU64,
+    /// Jobs currently queued across all circuits.
+    pub queue_depth: AtomicU64,
+    /// Live (checked-out) sessions across all pools.
+    pub sessions_live: AtomicU64,
+    /// Idle warm sessions across all pools.
+    pub sessions_idle: AtomicU64,
+    /// Pool checkouts served warm.
+    pub session_warm_hits: AtomicU64,
+    /// Pool checkouts that cold-cloned.
+    pub session_cold_clones: AtomicU64,
+    /// Registered circuits.
+    pub circuits: AtomicU64,
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            endpoints: std::array::from_fn(|_| EndpointMetrics::default()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            oversized: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            conns_opened: AtomicU64::new(0),
+            conns_closed: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            sessions_live: AtomicU64::new(0),
+            sessions_idle: AtomicU64::new(0),
+            session_warm_hits: AtomicU64::new(0),
+            session_cold_clones: AtomicU64::new(0),
+            circuits: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Metrics {
+    /// The counters of one endpoint.
+    pub fn endpoint(&self, e: Endpoint) -> &EndpointMetrics {
+        &self.endpoints[e.index()]
+    }
+
+    /// Records a finished request: outcome plus latency.
+    pub fn record(&self, e: Endpoint, ok: bool, us: u64) {
+        let m = self.endpoint(e);
+        if ok {
+            m.ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            m.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        m.latency.record_us(us);
+    }
+
+    /// Total requests answered (ok + error), every endpoint.
+    pub fn requests_total(&self) -> u64 {
+        self.endpoints
+            .iter()
+            .map(|m| m.ok.load(Ordering::Relaxed) + m.errors.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// The `stats` endpoint / log-line snapshot.
+    pub fn snapshot(&self) -> Json {
+        let mut per_endpoint = Vec::new();
+        for e in ENDPOINTS {
+            let m = self.endpoint(e);
+            let ok = m.ok.load(Ordering::Relaxed);
+            let errors = m.errors.load(Ordering::Relaxed);
+            if ok + errors == 0 {
+                continue;
+            }
+            per_endpoint.push((
+                e.name().to_string(),
+                Json::obj(vec![
+                    ("ok", Json::Num(ok as f64)),
+                    ("errors", Json::Num(errors as f64)),
+                    ("p50_us", Json::Num(m.latency.quantile_us(0.50) as f64)),
+                    ("p99_us", Json::Num(m.latency.quantile_us(0.99) as f64)),
+                    ("mean_us", Json::Num(m.latency.mean_us())),
+                ]),
+            ));
+        }
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let hit_rate = if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+        Json::obj(vec![
+            ("uptime_s", Json::Num(self.started.elapsed().as_secs_f64())),
+            ("requests_total", Json::Num(self.requests_total() as f64)),
+            ("endpoints", Json::Obj(per_endpoint)),
+            (
+                "cache",
+                Json::obj(vec![
+                    (
+                        "circuits",
+                        Json::Num(self.circuits.load(Ordering::Relaxed) as f64),
+                    ),
+                    ("hits", Json::Num(hits as f64)),
+                    ("misses", Json::Num(misses as f64)),
+                    ("hit_rate", Json::Num(hit_rate)),
+                ]),
+            ),
+            (
+                "sessions",
+                Json::obj(vec![
+                    (
+                        "live",
+                        Json::Num(self.sessions_live.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "idle",
+                        Json::Num(self.sessions_idle.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "warm_hits",
+                        Json::Num(self.session_warm_hits.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "cold_clones",
+                        Json::Num(self.session_cold_clones.load(Ordering::Relaxed) as f64),
+                    ),
+                ]),
+            ),
+            (
+                "rejections",
+                Json::obj(vec![
+                    (
+                        "oversized",
+                        Json::Num(self.oversized.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "malformed",
+                        Json::Num(self.malformed.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "timeouts",
+                        Json::Num(self.timeouts.load(Ordering::Relaxed) as f64),
+                    ),
+                    ("busy", Json::Num(self.busy.load(Ordering::Relaxed) as f64)),
+                ]),
+            ),
+            (
+                "queue_depth",
+                Json::Num(self.queue_depth.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "connections",
+                Json::obj(vec![
+                    (
+                        "opened",
+                        Json::Num(self.conns_opened.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "closed",
+                        Json::Num(self.conns_closed.load(Ordering::Relaxed) as f64),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// One human-readable line for the periodic log.
+    pub fn log_line(&self) -> String {
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let analyze = self.endpoint(Endpoint::Analyze);
+        format!(
+            "serve: {} reqs ({} conns, q={}) cache {}/{} hit sessions {} live/{} idle analyze p50 {}us p99 {}us",
+            self.requests_total(),
+            self.conns_opened.load(Ordering::Relaxed),
+            self.queue_depth.load(Ordering::Relaxed),
+            hits,
+            hits + misses,
+            self.sessions_live.load(Ordering::Relaxed),
+            self.sessions_idle.load(Ordering::Relaxed),
+            analyze.latency.quantile_us(0.50),
+            analyze.latency.quantile_us(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::default();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 10_000] {
+            h.record_us(us);
+        }
+        let p50 = h.quantile_us(0.5);
+        assert!((8..=128).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!((8192..=16384).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.count(), 10);
+    }
+
+    #[test]
+    fn snapshot_reports_endpoints_and_cache() {
+        let m = Metrics::default();
+        m.record(Endpoint::Analyze, true, 120);
+        m.record(Endpoint::Analyze, false, 80);
+        m.cache_hits.fetch_add(9, Ordering::Relaxed);
+        m.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let snap = m.snapshot();
+        let analyze = snap.get("endpoints").unwrap().get("analyze").unwrap();
+        assert_eq!(analyze.get("ok").unwrap().as_u64(), Some(1));
+        assert_eq!(analyze.get("errors").unwrap().as_u64(), Some(1));
+        let cache = snap.get("cache").unwrap();
+        assert_eq!(cache.get("hit_rate").unwrap().as_f64(), Some(0.9));
+        assert_eq!(snap.get("requests_total").unwrap().as_u64(), Some(2));
+        assert!(!m.log_line().is_empty());
+    }
+}

@@ -1,0 +1,231 @@
+//! A small bounded MPMC queue (mutex + condvars) — the backpressure
+//! primitive between the accept thread, the request handlers and the
+//! per-circuit workers.
+//!
+//! `std::sync::mpsc` receivers are single-consumer; the daemon needs many
+//! handler threads popping connections and many circuit workers popping
+//! jobs, so this carries its own ~100-line queue instead. Semantics:
+//!
+//! * [`try_push`](Bounded::try_push) never blocks — a full queue is the
+//!   caller's signal to shed load (reply `busy`) instead of queueing
+//!   unboundedly;
+//! * [`push_blocking`](Bounded::push_blocking) waits for space — the
+//!   accept thread's form of backpressure (connections wait in the OS
+//!   accept backlog);
+//! * [`pop`](Bounded::pop) blocks until an item or close; after
+//!   [`close`](Bounded::close) remaining items still drain (pop returns
+//!   them) and only then does `pop` return `None` — the graceful-shutdown
+//!   contract: nothing accepted is dropped.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a [`Bounded::try_push`] did not enqueue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue was at capacity; the item is handed back.
+    Full(T),
+    /// The queue was closed; the item is handed back.
+    Closed(T),
+}
+
+/// Outcome of a [`Bounded::pop_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Popped<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The timeout elapsed on an open-but-empty queue.
+    Empty,
+    /// The queue is closed and fully drained.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue (see the module docs).
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Bounded<T> {
+    /// Creates a queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Bounded {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueues without blocking.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues, waiting for space; returns the item back if the queue is
+    /// (or becomes) closed.
+    pub fn push_blocking(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                drop(state);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).unwrap();
+        }
+    }
+
+    /// Dequeues, blocking until an item arrives or — once the queue is
+    /// closed *and* drained — returning `None`.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Like [`pop`](Self::pop) but gives up after `timeout`; see
+    /// [`Popped`] for the three outcomes.
+    pub fn pop_timeout(&self, timeout: Duration) -> Popped<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Popped::Item(item);
+            }
+            if state.closed {
+                return Popped::Closed;
+            }
+            let (next, result) = self.not_empty.wait_timeout(state, timeout).unwrap();
+            state = next;
+            if result.timed_out() {
+                if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.not_full.notify_one();
+                    return Popped::Item(item);
+                }
+                return if state.closed {
+                    Popped::Closed
+                } else {
+                    Popped::Empty
+                };
+            }
+        }
+    }
+
+    /// Current queue length.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: pushes start failing, pops drain the remainder
+    /// and then return `None`. All waiters wake.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_backpressure() {
+        let q = Bounded::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = Bounded::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Popped::Closed);
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let q = Arc::new(Bounded::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        for i in 0..100 {
+            q.push_blocking(i).unwrap();
+        }
+        q.close();
+        assert_eq!(consumer.join().unwrap(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_timeout_on_empty_open_queue() {
+        let q: Bounded<u32> = Bounded::new(1);
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Popped::Empty);
+        q.try_push(7).unwrap();
+        assert!(!q.is_empty());
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Popped::Item(7));
+    }
+}

@@ -1,0 +1,441 @@
+//! The content-hash circuit registry and per-circuit host threads.
+//!
+//! [`Analyzer`] borrows its `Circuit` (`#![forbid(unsafe_code)]` rules out
+//! a self-referential owning cell), so warm state cannot live in a plain
+//! map. Instead each registered circuit gets a **host thread** that owns
+//! the `Circuit`, builds the `Analyzer` and a [`SessionPool`] on its own
+//! stack, and runs a [`std::thread::scope`] of workers that share both by
+//! reference. Handler threads talk to the host through a bounded job
+//! queue: [`try_push`](crate::queue::Bounded::try_push) gives backpressure
+//! (full queue → typed `busy` reply, never unbounded buffering) and a
+//! `sync_channel` carries the reply back with a per-request timeout.
+//!
+//! The registry key is a content hash computed over the *raw netlist
+//! text* (before parsing), so resubmitting an already-known netlist never
+//! parses, never builds, and shares the one warm `Analyzer` with every
+//! other client — the cache-hit fast path the whole daemon is built
+//! around. Built-ins are keyed `builtin:<name>`.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use protest_core::{Analyzer, InputProbs, PoolStats, SessionPool};
+use protest_netlist::{parse_bench, parse_pdl, Circuit};
+
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::ops::run_op;
+use crate::protocol::{CircuitOp, ErrorKind, WireError};
+use crate::queue::{Bounded, PushError};
+
+/// Per-op results of one job, in request order.
+type JobReply = Vec<Result<Json, WireError>>;
+
+struct Job {
+    ops: Vec<CircuitOp>,
+    reply: SyncSender<JobReply>,
+}
+
+/// One registered circuit: identity + the channel to its host thread.
+pub struct Entry {
+    /// The registry key (content hash or `builtin:<name>`).
+    pub hash: String,
+    /// The circuit's declared name.
+    pub name: String,
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Gate count.
+    pub gates: usize,
+    jobs: Arc<Bounded<Job>>,
+    pool_stats: Arc<Mutex<PoolStats>>,
+    host: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// What `submit` learned: the entry plus whether it was already cached.
+pub struct SubmitOutcome {
+    /// The registered entry.
+    pub entry: Arc<Entry>,
+    /// `true` when the hash was already registered (no parse, no build).
+    pub cached: bool,
+}
+
+/// 128-bit FNV-1a over the keyed text, as 32 hex chars. Not
+/// cryptographic — good enough to key a trusted-client cache, and it
+/// keeps the hit path free of any parsing work.
+fn content_hash(format: &str, text: &str) -> String {
+    fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+        let mut h = seed;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+    let mut keyed = String::with_capacity(format.len() + 1 + text.len());
+    keyed.push_str(format);
+    keyed.push('\0');
+    keyed.push_str(text);
+    let a = fnv1a(0xcbf2_9ce4_8422_2325, keyed.as_bytes());
+    // Second lane: different offset basis, walking the bytes in reverse.
+    let mut b = 0x6c62_272e_07bb_0142u64;
+    for &byte in keyed.as_bytes().iter().rev() {
+        b ^= byte as u64;
+        b = b.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{a:016x}{b:016x}")
+}
+
+/// The circuit host loop: owns the circuit, shares analyzer + pool across
+/// `workers` scoped threads, drains the job queue until it is closed.
+fn host_loop(
+    circuit: Circuit,
+    jobs: Arc<Bounded<Job>>,
+    pool_stats: Arc<Mutex<PoolStats>>,
+    workers: usize,
+) {
+    let analyzer = Analyzer::new(&circuit);
+    let base = InputProbs::uniform(circuit.num_inputs());
+    let pool = match SessionPool::new(&analyzer, base) {
+        Ok(pool) => pool,
+        Err(e) => {
+            // Construction failed (degenerate circuit): answer every job
+            // with a typed error instead of leaving clients to time out.
+            let err = WireError::new(ErrorKind::Analysis, e.to_string());
+            while let Some(job) = jobs.pop() {
+                let n = job.ops.len();
+                let _ = job.reply.send(vec![Err(err.clone()); n]);
+            }
+            return;
+        }
+    };
+    pool.warm(workers);
+    *pool_stats.lock().unwrap() = pool.stats();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // `pop` drains remaining jobs after close, then ends the
+                // worker — the graceful-shutdown contract.
+                while let Some(job) = jobs.pop() {
+                    let mut session = pool.checkout();
+                    let results: JobReply = job
+                        .ops
+                        .iter()
+                        .map(|op| run_op(&circuit, &analyzer, &mut session, op))
+                        .collect();
+                    drop(session);
+                    *pool_stats.lock().unwrap() = pool.stats();
+                    // A dropped receiver (request timed out) is fine.
+                    let _ = job.reply.send(results);
+                }
+            });
+        }
+    });
+}
+
+/// The content-hash circuit registry (see the module docs).
+pub struct Registry {
+    entries: Mutex<HashMap<String, Arc<Entry>>>,
+    metrics: Arc<Metrics>,
+    /// Worker threads per circuit host.
+    workers_per_circuit: usize,
+    /// Job-queue capacity per circuit (backpressure bound).
+    queue_capacity: usize,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new(metrics: Arc<Metrics>, workers_per_circuit: usize, queue_capacity: usize) -> Self {
+        Registry {
+            entries: Mutex::new(HashMap::new()),
+            metrics,
+            workers_per_circuit: workers_per_circuit.max(1),
+            queue_capacity: queue_capacity.max(1),
+        }
+    }
+
+    fn spawn_entry(&self, hash: String, circuit: Circuit) -> Arc<Entry> {
+        let jobs = Arc::new(Bounded::new(self.queue_capacity));
+        let pool_stats = Arc::new(Mutex::new(PoolStats::default()));
+        let entry = Arc::new(Entry {
+            hash,
+            name: circuit.name().to_string(),
+            inputs: circuit.num_inputs(),
+            outputs: circuit.num_outputs(),
+            gates: circuit.num_gates(),
+            jobs: Arc::clone(&jobs),
+            pool_stats: Arc::clone(&pool_stats),
+            host: Mutex::new(None),
+        });
+        let workers = self.workers_per_circuit;
+        let handle = std::thread::Builder::new()
+            .name(format!("host-{}", entry.name))
+            .spawn(move || host_loop(circuit, jobs, pool_stats, workers))
+            .expect("spawn circuit host thread");
+        *entry.host.lock().unwrap() = Some(handle);
+        entry
+    }
+
+    /// Registers (or re-finds) a netlist given by text. The hash is
+    /// computed *before* any parsing, so the hit path costs one hash and
+    /// one map lookup.
+    pub fn submit_text(
+        &self,
+        format: &str,
+        name: Option<&str>,
+        text: &str,
+    ) -> Result<SubmitOutcome, WireError> {
+        let hash = content_hash(format, text);
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(entry) = entries.get(&hash) {
+            self.metrics
+                .cache_hits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Ok(SubmitOutcome {
+                entry: Arc::clone(entry),
+                cached: true,
+            });
+        }
+        self.metrics
+            .cache_misses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let name = name.unwrap_or("circuit");
+        let circuit = match format {
+            "pdl" => parse_pdl(name, text),
+            _ => parse_bench(name, text),
+        }
+        .map_err(|e| WireError::new(ErrorKind::Netlist, e.to_string()))?;
+        let entry = self.spawn_entry(hash.clone(), circuit);
+        entries.insert(hash, Arc::clone(&entry));
+        self.metrics
+            .circuits
+            .store(entries.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        Ok(SubmitOutcome {
+            entry,
+            cached: false,
+        })
+    }
+
+    /// Registers (or re-finds) a built-in circuit, keyed `builtin:<name>`.
+    pub fn submit_builtin(&self, name: &str) -> Result<SubmitOutcome, WireError> {
+        let hash = format!("builtin:{name}");
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(entry) = entries.get(&hash) {
+            self.metrics
+                .cache_hits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Ok(SubmitOutcome {
+                entry: Arc::clone(entry),
+                cached: true,
+            });
+        }
+        self.metrics
+            .cache_misses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let circuit = protest_circuits::by_name(name).ok_or_else(|| {
+            WireError::new(
+                ErrorKind::NotFound,
+                format!(
+                    "unknown builtin `{name}` (known: {})",
+                    protest_circuits::BUILTIN_NAMES.join(", ")
+                ),
+            )
+        })?;
+        let entry = self.spawn_entry(hash.clone(), circuit);
+        entries.insert(hash, Arc::clone(&entry));
+        self.metrics
+            .circuits
+            .store(entries.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        Ok(SubmitOutcome {
+            entry,
+            cached: false,
+        })
+    }
+
+    /// Looks up a registered circuit by hash.
+    pub fn get(&self, hash: &str) -> Option<Arc<Entry>> {
+        self.entries.lock().unwrap().get(hash).cloned()
+    }
+
+    /// Runs `ops` on the circuit `hash` over one session checkout,
+    /// waiting at most `timeout` for the reply.
+    pub fn dispatch(
+        &self,
+        hash: &str,
+        ops: Vec<CircuitOp>,
+        timeout: Duration,
+    ) -> Result<JobReply, WireError> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let entry = self.get(hash).ok_or_else(|| {
+            WireError::new(
+                ErrorKind::NotFound,
+                format!("no circuit with hash `{hash}` — submit it first"),
+            )
+        })?;
+        let (tx, rx) = mpsc::sync_channel(1);
+        let job = Job { ops, reply: tx };
+        match entry.jobs.try_push(job) {
+            Ok(()) => {}
+            Err(PushError::Full(_)) => {
+                self.metrics.busy.fetch_add(1, Relaxed);
+                return Err(WireError::new(
+                    ErrorKind::Busy,
+                    format!("circuit `{}` job queue is full, retry later", entry.name),
+                ));
+            }
+            Err(PushError::Closed(_)) => {
+                return Err(WireError::new(
+                    ErrorKind::ShuttingDown,
+                    "server is draining".to_string(),
+                ));
+            }
+        }
+        match rx.recv_timeout(timeout) {
+            Ok(reply) => Ok(reply),
+            Err(_) => {
+                self.metrics.timeouts.fetch_add(1, Relaxed);
+                Err(WireError::new(
+                    ErrorKind::Timeout,
+                    format!("request exceeded the {:.1}s limit", timeout.as_secs_f64()),
+                ))
+            }
+        }
+    }
+
+    /// Refreshes the cross-circuit gauges (queue depth, session pool
+    /// counters) on the shared metrics hub.
+    pub fn refresh_gauges(&self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let entries = self.entries.lock().unwrap();
+        let mut depth = 0u64;
+        let mut agg = PoolStats::default();
+        for entry in entries.values() {
+            depth += entry.jobs.len() as u64;
+            let s = *entry.pool_stats.lock().unwrap();
+            agg.warm_hits += s.warm_hits;
+            agg.cold_clones += s.cold_clones;
+            agg.live += s.live;
+            agg.idle += s.idle;
+        }
+        self.metrics.queue_depth.store(depth, Relaxed);
+        self.metrics.sessions_live.store(agg.live, Relaxed);
+        self.metrics.sessions_idle.store(agg.idle, Relaxed);
+        self.metrics.session_warm_hits.store(agg.warm_hits, Relaxed);
+        self.metrics
+            .session_cold_clones
+            .store(agg.cold_clones, Relaxed);
+    }
+
+    /// Closes every job queue and joins every host thread. Queued jobs
+    /// drain first (close-then-drain queue semantics); nothing accepted
+    /// is dropped.
+    pub fn shutdown(&self) {
+        let handles: Vec<(Arc<Entry>, Option<JoinHandle<()>>)> = {
+            let entries = self.entries.lock().unwrap();
+            entries
+                .values()
+                .map(|e| {
+                    e.jobs.close();
+                    (Arc::clone(e), e.host.lock().unwrap().take())
+                })
+                .collect()
+        };
+        for (_, handle) in handles {
+            if let Some(h) = handle {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ProbSpec;
+
+    const TIMEOUT: Duration = Duration::from_secs(30);
+
+    fn analyze_op() -> CircuitOp {
+        CircuitOp::Analyze {
+            probs: ProbSpec::Constant(0.5),
+            testlens: vec![(1.0, 0.95)],
+            hardest: 0,
+            detect_probs: true,
+            signal_probs: false,
+        }
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_format_keyed() {
+        let a = content_hash("bench", "INPUT(a)");
+        assert_eq!(a, content_hash("bench", "INPUT(a)"));
+        assert_ne!(a, content_hash("pdl", "INPUT(a)"));
+        assert_ne!(a, content_hash("bench", "INPUT(b)"));
+        assert_eq!(a.len(), 32);
+    }
+
+    #[test]
+    fn submit_twice_hits_cache_and_shares_entry() {
+        let metrics = Arc::new(Metrics::default());
+        let reg = Registry::new(Arc::clone(&metrics), 2, 8);
+        let text = "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n";
+        let first = reg.submit_text("bench", Some("t"), text).unwrap();
+        assert!(!first.cached);
+        let second = reg.submit_text("bench", Some("t"), text).unwrap();
+        assert!(second.cached);
+        assert!(Arc::ptr_eq(&first.entry, &second.entry));
+        assert_eq!(
+            metrics
+                .cache_hits
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        reg.shutdown();
+    }
+
+    #[test]
+    fn dispatch_runs_ops_and_batches_share_a_session() {
+        let reg = Registry::new(Arc::new(Metrics::default()), 2, 8);
+        let out = reg.submit_builtin("c17").unwrap();
+        let reply = reg
+            .dispatch(&out.entry.hash, vec![analyze_op(), analyze_op()], TIMEOUT)
+            .unwrap();
+        assert_eq!(reply.len(), 2);
+        let a = reply[0].as_ref().unwrap().to_line();
+        let b = reply[1].as_ref().unwrap().to_line();
+        assert_eq!(a, b, "same op in one batch must give identical bits");
+        reg.shutdown();
+    }
+
+    #[test]
+    fn dispatch_unknown_hash_is_not_found() {
+        let reg = Registry::new(Arc::new(Metrics::default()), 1, 2);
+        let err = reg
+            .dispatch("nope", vec![analyze_op()], TIMEOUT)
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::NotFound);
+        reg.shutdown();
+    }
+
+    #[test]
+    fn bad_netlist_is_typed_error_and_not_cached() {
+        let metrics = Arc::new(Metrics::default());
+        let reg = Registry::new(Arc::clone(&metrics), 1, 2);
+        let err = reg
+            .submit_text("bench", None, "this is not a netlist")
+            .err()
+            .unwrap();
+        assert_eq!(err.kind, ErrorKind::Netlist);
+        // The failed submit must not leave a poisoned cache entry behind.
+        let err2 = reg
+            .submit_text("bench", None, "this is not a netlist")
+            .err()
+            .unwrap();
+        assert_eq!(err2.kind, ErrorKind::Netlist);
+        reg.shutdown();
+    }
+}

@@ -1,0 +1,506 @@
+//! The TCP front end: accept loop, handler threads, request routing,
+//! graceful drain.
+//!
+//! Thread model (all `std`, no async runtime):
+//!
+//! * **accept thread** — non-blocking accept loop polling the shutdown
+//!   flag; accepted connections go to a bounded queue (its `push_blocking`
+//!   is the accept-side backpressure: when every handler is busy, new
+//!   connections wait in the OS backlog).
+//! * **N handler threads** — pop connections, frame request lines (size
+//!   cap with discard-to-newline recovery), parse, route. A handler owns
+//!   its connection for the connection's lifetime; short read timeouts
+//!   let it notice shutdown between requests.
+//! * **per-circuit hosts** — see [`crate::registry`]; handlers talk to
+//!   them through bounded job queues with a per-request timeout.
+//! * **optional stats logger** — a periodic one-line metrics report.
+//!
+//! Malformed JSON, unknown ops, oversized lines, full queues and analysis
+//! failures all produce typed error *replies* — no input takes the daemon
+//! down, and the connection stays open (request framing resynchronizes at
+//! the next newline).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::metrics::{Endpoint, Metrics};
+use crate::protocol::{err_line, ok_line, parse_request, ErrorKind, Op, Request, WireError};
+use crate::queue::Bounded;
+use crate::registry::Registry;
+
+/// Tuning of [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Request handler threads.
+    pub handlers: usize,
+    /// Analysis worker threads per registered circuit.
+    pub workers_per_circuit: usize,
+    /// Job-queue capacity per circuit (beyond it requests get `busy`).
+    pub queue_capacity: usize,
+    /// Per-request wall-clock limit.
+    pub request_timeout: Duration,
+    /// Request line size cap in bytes (beyond it: `oversized` reply).
+    pub max_line_bytes: usize,
+    /// Emit a one-line stats report this often (`None` = never).
+    pub log_every: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            handlers: 4,
+            workers_per_circuit: 2,
+            queue_capacity: 64,
+            request_timeout: Duration::from_secs(120),
+            max_line_bytes: 4 << 20,
+            log_every: None,
+        }
+    }
+}
+
+/// State shared by every server thread.
+struct Shared {
+    metrics: Arc<Metrics>,
+    registry: Registry,
+    shutdown: AtomicBool,
+    request_timeout: Duration,
+    max_line_bytes: usize,
+}
+
+impl Shared {
+    /// Routes one parsed request, returning the reply line.
+    fn handle_request(&self, req: Request) -> (bool, String) {
+        let Request { id, op } = req;
+        match op {
+            Op::Submit {
+                format,
+                name,
+                text,
+                builtin,
+            } => {
+                let outcome = match (&text, &builtin) {
+                    (Some(text), None) => self.registry.submit_text(&format, name.as_deref(), text),
+                    (None, Some(builtin)) => self.registry.submit_builtin(builtin),
+                    // parse_request guarantees exactly one source.
+                    _ => unreachable!("submit with no source"),
+                };
+                match outcome {
+                    Ok(out) => {
+                        let e = &out.entry;
+                        (
+                            true,
+                            ok_line(
+                                &id,
+                                Json::obj(vec![
+                                    ("circuit", Json::str(&e.hash)),
+                                    ("name", Json::str(&e.name)),
+                                    ("inputs", Json::Num(e.inputs as f64)),
+                                    ("outputs", Json::Num(e.outputs as f64)),
+                                    ("gates", Json::Num(e.gates as f64)),
+                                    ("cached", Json::Bool(out.cached)),
+                                ]),
+                            ),
+                        )
+                    }
+                    Err(e) => (false, err_line(&id, &e)),
+                }
+            }
+            Op::Circuit { hash, op } => {
+                match self
+                    .registry
+                    .dispatch(&hash, vec![op], self.request_timeout)
+                {
+                    Ok(mut reply) => match reply.pop().expect("one result per op") {
+                        Ok(result) => (true, ok_line(&id, result)),
+                        Err(e) => (false, err_line(&id, &e)),
+                    },
+                    Err(e) => (false, err_line(&id, &e)),
+                }
+            }
+            Op::Batch { hash, ops } => {
+                match self.registry.dispatch(&hash, ops, self.request_timeout) {
+                    Ok(reply) => {
+                        let results = Json::Arr(
+                            reply
+                                .into_iter()
+                                .map(|r| match r {
+                                    Ok(result) => Json::obj(vec![
+                                        ("ok", Json::Bool(true)),
+                                        ("result", result),
+                                    ]),
+                                    Err(e) => {
+                                        let line = err_line(&Json::Null, &e);
+                                        let parsed =
+                                            Json::parse(&line).expect("err_line is valid JSON");
+                                        Json::obj(vec![
+                                            ("ok", Json::Bool(false)),
+                                            (
+                                                "error",
+                                                parsed.get("error").cloned().unwrap_or(Json::Null),
+                                            ),
+                                        ])
+                                    }
+                                })
+                                .collect(),
+                        );
+                        (true, ok_line(&id, Json::obj(vec![("results", results)])))
+                    }
+                    Err(e) => (false, err_line(&id, &e)),
+                }
+            }
+            Op::Stats => {
+                self.registry.refresh_gauges();
+                (true, ok_line(&id, self.metrics.snapshot()))
+            }
+            Op::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                (
+                    true,
+                    ok_line(&id, Json::obj(vec![("draining", Json::Bool(true))])),
+                )
+            }
+        }
+    }
+
+    /// Parses, routes and meters one request line.
+    fn handle_line(&self, line: &str) -> String {
+        let start = Instant::now();
+        match parse_request(line) {
+            Ok(req) => {
+                let endpoint = req.op.endpoint();
+                let (ok, reply) = self.handle_request(req);
+                self.metrics
+                    .record(endpoint, ok, start.elapsed().as_micros() as u64);
+                reply
+            }
+            Err((id, e)) => {
+                self.metrics.malformed.fetch_add(1, Ordering::Relaxed);
+                let endpoint = match e.kind {
+                    ErrorKind::Parse => Endpoint::Submit,
+                    _ => Endpoint::Submit,
+                };
+                // Malformed lines have no endpoint; meter them under
+                // submit's error column so they show up in totals.
+                self.metrics
+                    .record(endpoint, false, start.elapsed().as_micros() as u64);
+                err_line(&id, &e)
+            }
+        }
+    }
+}
+
+/// Serves one connection until the peer closes, an I/O error occurs, or
+/// the server drains.
+fn handle_conn(shared: &Shared, stream: TcpStream) {
+    shared.metrics.conns_opened.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut chunk = [0u8; 8192];
+    let mut line: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    'conn: loop {
+        match (&stream).read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                for &byte in &chunk[..n] {
+                    if discarding {
+                        if byte == b'\n' {
+                            discarding = false;
+                            shared.metrics.oversized.fetch_add(1, Ordering::Relaxed);
+                            let e = WireError::new(
+                                ErrorKind::Oversized,
+                                format!("request line exceeds {} bytes", shared.max_line_bytes),
+                            );
+                            if write_line(&stream, &err_line(&Json::Null, &e)).is_err() {
+                                break 'conn;
+                            }
+                        }
+                        continue;
+                    }
+                    if byte == b'\n' {
+                        let text = String::from_utf8_lossy(&line);
+                        let trimmed = text.trim();
+                        if !trimmed.is_empty() {
+                            let reply = shared.handle_line(trimmed);
+                            if write_line(&stream, &reply).is_err() {
+                                break 'conn;
+                            }
+                        }
+                        line.clear();
+                    } else {
+                        line.push(byte);
+                        if line.len() > shared.max_line_bytes {
+                            line.clear();
+                            line.shrink_to_fit();
+                            discarding = true;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle between requests: close once the server is draining.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    shared.metrics.conns_closed.fetch_add(1, Ordering::Relaxed);
+}
+
+fn write_line(mut stream: &TcpStream, reply: &str) -> std::io::Result<()> {
+    stream.write_all(reply.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+/// A running server: its bound address plus the handles to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (port is concrete even when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared metrics hub.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Whether a drain has been requested (via [`Self::shutdown`] or a
+    /// `shutdown` request over the wire).
+    pub fn draining(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful drain and waits for it to finish.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.wait();
+    }
+
+    /// Waits until the server has fully drained: accept loop stopped,
+    /// in-flight requests answered, circuit hosts joined. Returns
+    /// immediately on a second call.
+    pub fn wait(&self) {
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.threads.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+        self.shared.registry.shutdown();
+    }
+}
+
+/// Binds and starts the daemon. Returns once the listener is live; all
+/// serving happens on background threads until [`ServerHandle::shutdown`]
+/// (or a `shutdown` request followed by [`ServerHandle::wait`]).
+pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let metrics = Arc::new(Metrics::default());
+    let registry = Registry::new(
+        Arc::clone(&metrics),
+        config.workers_per_circuit,
+        config.queue_capacity,
+    );
+    let shared = Arc::new(Shared {
+        metrics,
+        registry,
+        shutdown: AtomicBool::new(false),
+        request_timeout: config.request_timeout,
+        max_line_bytes: config.max_line_bytes,
+    });
+
+    let handlers = config.handlers.max(1);
+    let conns: Arc<Bounded<TcpStream>> = Arc::new(Bounded::new(handlers * 2));
+    let mut threads = Vec::with_capacity(handlers + 2);
+
+    // Accept thread: poll accept + shutdown flag; close the connection
+    // queue on exit so handlers drain and stop.
+    {
+        let shared = Arc::clone(&shared);
+        let conns = Arc::clone(&conns);
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-accept".to_string())
+                .spawn(move || {
+                    loop {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                if conns.push_blocking(stream).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(20));
+                            }
+                            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                        }
+                    }
+                    conns.close();
+                })?,
+        );
+    }
+
+    // Handler threads.
+    for i in 0..handlers {
+        let shared = Arc::clone(&shared);
+        let conns = Arc::clone(&conns);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("serve-handler-{i}"))
+                .spawn(move || {
+                    while let Some(stream) = conns.pop() {
+                        handle_conn(&shared, stream);
+                    }
+                })?,
+        );
+    }
+
+    // Optional periodic stats logger.
+    if let Some(every) = config.log_every {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-stats".to_string())
+                .spawn(move || {
+                    let mut last = Instant::now();
+                    while !shared.shutdown.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(100));
+                        if last.elapsed() >= every {
+                            shared.registry.refresh_gauges();
+                            eprintln!("{}", shared.metrics.log_line());
+                            last = Instant::now();
+                        }
+                    }
+                })?,
+        );
+    }
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads: Mutex::new(threads),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &str) -> Json {
+        stream.write_all(req.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        Json::parse(&reply).unwrap()
+    }
+
+    fn connect(handle: &ServerHandle) -> (TcpStream, BufReader<TcpStream>) {
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        (stream, reader)
+    }
+
+    #[test]
+    fn submit_analyze_stats_shutdown() {
+        let handle = serve(ServeConfig::default()).unwrap();
+        let (mut stream, mut reader) = connect(&handle);
+
+        let r = roundtrip(
+            &mut stream,
+            &mut reader,
+            r#"{"id":1,"op":"submit","builtin":"c17"}"#,
+        );
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        let hash = r
+            .get("result")
+            .and_then(|v| v.get("circuit"))
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+
+        let r = roundtrip(
+            &mut stream,
+            &mut reader,
+            &format!(r#"{{"id":2,"op":"analyze","circuit":"{hash}","hardest":2}}"#),
+        );
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(r
+            .get("result")
+            .and_then(|v| v.get("detect_probs"))
+            .and_then(Json::as_arr)
+            .is_some());
+
+        let r = roundtrip(&mut stream, &mut reader, r#"{"id":3,"op":"stats"}"#);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+
+        let r = roundtrip(&mut stream, &mut reader, r#"{"id":4,"op":"shutdown"}"#);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        drop(stream);
+        handle.wait();
+    }
+
+    #[test]
+    fn malformed_lines_keep_the_connection_alive() {
+        let handle = serve(ServeConfig {
+            max_line_bytes: 1024,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let (mut stream, mut reader) = connect(&handle);
+
+        let r = roundtrip(&mut stream, &mut reader, "{this is not json");
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+        let kind = r
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        assert_eq!(kind, "parse");
+
+        // Oversized line: discarded, typed reply, connection still fine.
+        let big = format!("{{\"op\":\"submit\",\"text\":\"{}\"}}", "x".repeat(4096));
+        let r = roundtrip(&mut stream, &mut reader, &big);
+        assert_eq!(
+            r.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("oversized")
+        );
+
+        let r = roundtrip(
+            &mut stream,
+            &mut reader,
+            r#"{"id":9,"op":"submit","builtin":"c17"}"#,
+        );
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+
+        drop(stream);
+        handle.shutdown();
+    }
+}

@@ -9,6 +9,7 @@
 //! protest tpi      <circuit> --budget K       test-point insertion advisor
 //! protest patterns <circuit> [options]        emit a random pattern set
 //! protest simulate <circuit> --patterns FILE  fault-simulate a pattern set
+//! protest serve    [options]                  analysis-as-a-service daemon
 //! ```
 //!
 //! `check` runs the probability-free static analysis layer: structural
@@ -60,6 +61,24 @@
 //! --dry-run         tpi: rank candidates only, modify nothing
 //! --out FILE        tpi: write the modified netlist as .bench
 //! ```
+//!
+//! `serve` starts the long-running analysis daemon (newline-delimited
+//! JSON over TCP; the wire protocol is documented in the `protest-serve`
+//! crate). Its options:
+//!
+//! ```text
+//! --addr HOST:PORT  bind address (default 127.0.0.1:3585; port 0 = auto)
+//! --handlers N      request handler threads (default 4)
+//! --workers N       analysis workers per registered circuit (default 2)
+//! --queue N         per-circuit job queue capacity (default 64)
+//! --timeout-secs S  per-request wall-clock limit (default 120)
+//! --log-secs S      stats log-line interval, 0 = off (default 30)
+//! --self-test       bind an ephemeral port, run a client round-trip
+//!                   against every endpoint, drain, and exit
+//! ```
+//!
+//! Exit codes: 0 success, 1 runtime failure (bad circuit, analysis or
+//! serve error), 2 usage error (unknown flag/subcommand).
 
 #![forbid(unsafe_code)]
 
@@ -74,30 +93,77 @@ use protest_core::testlen::required_test_length_fraction;
 use protest_core::tpi::{self, TpiParams};
 use protest_core::{AnalyzerParams, InputProbs};
 use protest_netlist::{parse_bench, parse_pdl, to_bench, CircuitStats};
+use protest_serve::ServeConfig;
 use protest_sim::{coverage_run, PatternSet, ReplaySource};
 
+/// A typed CLI failure: what went wrong decides the exit code and
+/// whether the usage text is worth printing.
+#[derive(Debug)]
+enum CliError {
+    /// Bad flags, missing arguments, unknown subcommand (exit 2).
+    Usage(String),
+    /// The circuit could not be loaded or parsed (exit 1).
+    Circuit(String),
+    /// An analysis entry point failed (exit 1).
+    Analysis(String),
+    /// The serve daemon failed to start or self-test (exit 1).
+    Serve(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage: {m}"),
+            CliError::Circuit(m) => write!(f, "circuit: {m}"),
+            CliError::Analysis(m) => write!(f, "analysis: {m}"),
+            CliError::Serve(m) => write!(f, "serve: {m}"),
+        }
+    }
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    // Panics must never reach the user as a raw backtrace dump: a custom
+    // hook prints a one-line typed error, and `catch_unwind` turns the
+    // unwinding into a controlled nonzero exit.
+    std::panic::set_hook(Box::new(|info| {
+        eprintln!("error: internal: {info}");
+    }));
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(output) => {
+    match std::panic::catch_unwind(|| run(&args)) {
+        Ok(Ok(output)) => {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        Err(message) => {
-            eprintln!("error: {message}");
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+        Ok(Err(error)) => {
+            eprintln!("error: {error}");
+            if matches!(error, CliError::Usage(_)) {
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(error.exit_code())
         }
+        Err(_) => ExitCode::from(70),
     }
 }
 
 const USAGE: &str = "\
 usage: protest <stats|check|analyze|optimize|tpi|patterns|simulate> <circuit> [options]
+       protest serve [--addr HOST:PORT] [--self-test] [options]
 options: --prob P  --testlen D,E  --hardest K  --n-target N  --count N
          --optimized  --patterns FILE  --seed S  --threads N  --probe
          --json  --prove-redundant  --bdd-budget N
          --budget K  --target-d D  --target-e E  --ctrl-prob Q
-         --max-candidates M  --dry-run  --out FILE";
+         --max-candidates M  --dry-run  --out FILE
+serve:   --handlers N  --workers N  --queue N  --timeout-secs S
+         --log-secs S  --self-test";
 
 /// Parsed command-line options.
 struct Options {
@@ -150,10 +216,35 @@ impl Default for Options {
     }
 }
 
-fn run(args: &[String]) -> Result<String, String> {
+fn run(args: &[String]) -> Result<String, CliError> {
     let mut it = args.iter();
-    let command = it.next().ok_or("missing subcommand")?.as_str();
-    let path = it.next().ok_or("missing circuit file")?.clone();
+    let command = it
+        .next()
+        .ok_or_else(|| CliError::Usage("missing subcommand".to_string()))?
+        .as_str();
+    if command == "serve" {
+        return cmd_serve(&args[1..]);
+    }
+    let path = it
+        .next()
+        .ok_or_else(|| CliError::Usage("missing circuit file".to_string()))?
+        .clone();
+    let opts = parse_options(it).map_err(CliError::Usage)?;
+    let circuit = load_circuit(&path).map_err(CliError::Circuit)?;
+    match command {
+        "stats" => cmd_stats(&circuit, &opts),
+        "check" => cmd_check(&circuit, &opts),
+        "analyze" => cmd_analyze(&circuit, &opts),
+        "optimize" => cmd_optimize(&circuit, &opts),
+        "tpi" => cmd_tpi(&circuit, &opts),
+        "patterns" => cmd_patterns(&circuit, &opts),
+        "simulate" => cmd_simulate(&circuit, &opts),
+        other => return Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
+    }
+    .map_err(CliError::Analysis)
+}
+
+fn parse_options(mut it: std::slice::Iter<'_, String>) -> Result<Options, String> {
     let mut opts = Options::default();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -242,40 +333,17 @@ fn run(args: &[String]) -> Result<String, String> {
     if opts.testlens.is_empty() {
         opts.testlens = vec![(1.0, 0.95), (0.98, 0.98)];
     }
-    let circuit = load_circuit(&path)?;
-    match command {
-        "stats" => cmd_stats(&circuit, &opts),
-        "check" => cmd_check(&circuit, &opts),
-        "analyze" => cmd_analyze(&circuit, &opts),
-        "optimize" => cmd_optimize(&circuit, &opts),
-        "tpi" => cmd_tpi(&circuit, &opts),
-        "patterns" => cmd_patterns(&circuit, &opts),
-        "simulate" => cmd_simulate(&circuit, &opts),
-        other => Err(format!("unknown subcommand `{other}`")),
-    }
-}
-
-/// A built-in circuit by name, for file-free invocations (CI smoke runs,
-/// quick experiments).
-fn builtin_circuit(name: &str) -> Option<Circuit> {
-    use protest::circuits as c;
-    match name {
-        "c17" => Some(c::c17()),
-        "comp24" => Some(c::comp24()),
-        "alu" | "alu_74181" => Some(c::alu_74181()),
-        "mult" => Some(c::mult_abcd()),
-        "mult6" => Some(c::mult_array(6)),
-        "div8x8" => Some(c::div_nonrestoring(8, 8)),
-        "div16" => Some(c::div16()),
-        _ => None,
-    }
+    Ok(opts)
 }
 
 fn load_circuit(path: &str) -> Result<Circuit, String> {
     let text = match fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) => {
-            return builtin_circuit(path).ok_or(format!("{path}: {e}"));
+            // Built-in circuit names double as file-free arguments (CI
+            // smoke runs, quick experiments) — one shared resolver with
+            // the serve daemon's `builtin:` registry keys.
+            return protest::circuits::by_name(path).ok_or(format!("{path}: {e}"));
         }
     };
     let name = path
@@ -596,6 +664,111 @@ fn cmd_simulate(circuit: &Circuit, opts: &Options) -> Result<String, String> {
         set.len(),
         curve.total_faults,
         curve.final_percent()
+    ))
+}
+
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    use std::time::Duration;
+
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:3585".to_string(),
+        log_every: Some(Duration::from_secs(30)),
+        ..ServeConfig::default()
+    };
+    let mut self_test = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+        };
+        fn num<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, CliError>
+        where
+            T::Err: std::fmt::Display,
+        {
+            v.parse()
+                .map_err(|e| CliError::Usage(format!("{name}: {e}")))
+        }
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?.clone(),
+            "--handlers" => config.handlers = num("--handlers", value("--handlers")?)?,
+            "--workers" => {
+                config.workers_per_circuit = num("--workers", value("--workers")?)?;
+            }
+            "--queue" => config.queue_capacity = num("--queue", value("--queue")?)?,
+            "--timeout-secs" => {
+                let s: f64 = num("--timeout-secs", value("--timeout-secs")?)?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err(CliError::Usage("--timeout-secs must be positive".into()));
+                }
+                config.request_timeout = Duration::from_secs_f64(s);
+            }
+            "--log-secs" => {
+                let s: f64 = num("--log-secs", value("--log-secs")?)?;
+                config.log_every = (s > 0.0).then(|| Duration::from_secs_f64(s));
+            }
+            "--self-test" => self_test = true,
+            other => return Err(CliError::Usage(format!("unknown serve option `{other}`"))),
+        }
+    }
+    if self_test {
+        // The self-test never wants to collide with a real daemon.
+        config.addr = "127.0.0.1:0".to_string();
+    }
+    let handle = protest_serve::serve(config).map_err(|e| CliError::Serve(format!("bind: {e}")))?;
+    println!("protest serve: listening on {}", handle.addr());
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    if self_test {
+        let report = serve_self_test(handle.addr()).map_err(CliError::Serve)?;
+        handle.wait();
+        return Ok(report);
+    }
+    // Serve until a `shutdown` request arrives over the wire, then drain.
+    handle.wait();
+    Ok(format!(
+        "protest serve: drained after {} requests\n",
+        handle.metrics().requests_total()
+    ))
+}
+
+/// One client round-trip against every endpoint, asserting each reply's
+/// `ok` flag — the CI smoke path (`protest serve --self-test`).
+fn serve_self_test(addr: std::net::SocketAddr) -> Result<String, String> {
+    use std::io::{BufRead, BufReader, Write};
+
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut roundtrip = |request: &str, want_ok: bool| -> Result<String, String> {
+        writer
+            .write_all(format!("{request}\n").as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut reply = String::new();
+        reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("recv: {e}"))?;
+        let want = format!("\"ok\":{want_ok}");
+        if !reply.contains(&want) {
+            return Err(format!("self-test: `{request}` replied `{}`", reply.trim()));
+        }
+        Ok(reply)
+    };
+
+    roundtrip(r#"{"id":1,"op":"submit","builtin":"c17"}"#, true)?;
+    roundtrip(
+        r#"{"id":2,"op":"analyze","circuit":"builtin:c17","hardest":2}"#,
+        true,
+    )?;
+    roundtrip(
+        r#"{"id":3,"op":"batch","circuit":"builtin:c17","requests":[{"op":"analyze","prob":0.4},{"op":"check"},{"op":"simulate","patterns":256}]}"#,
+        true,
+    )?;
+    roundtrip("{not json", false)?;
+    roundtrip(r#"{"id":4,"op":"analyze","circuit":"no-such-hash"}"#, false)?;
+    let stats = roundtrip(r#"{"id":5,"op":"stats"}"#, true)?;
+    roundtrip(r#"{"id":6,"op":"shutdown"}"#, true)?;
+    Ok(format!(
+        "protest serve: self-test passed (submit, analyze, batch, error replies, stats, shutdown)\nstats: {stats}"
     ))
 }
 

@@ -1,0 +1,93 @@
+//! CLI error-hygiene contract, checked against the real binary: typed
+//! errors on stderr, meaningful exit codes, no panic output reaching the
+//! user.
+//!
+//! Exit codes: 0 success, 1 runtime failure (circuit/analysis/serve),
+//! 2 usage error.
+
+use std::process::{Command, Output};
+
+fn protest(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_protest"))
+        .args(args)
+        .env("PROTEST_THREADS", "1")
+        .output()
+        .expect("run protest binary")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).to_string()
+}
+
+#[test]
+fn success_is_exit_zero_with_clean_stderr() {
+    let out = protest(&["analyze", "c17", "--hardest", "2"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(!out.stdout.is_empty());
+    assert!(stderr(&out).is_empty(), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn usage_errors_exit_two_and_print_usage() {
+    for args in [
+        &[][..],
+        &["frobnicate", "c17"][..],
+        &["analyze"][..],
+        &["analyze", "c17", "--bogus"][..],
+        &["analyze", "c17", "--prob"][..],
+        &["analyze", "c17", "--prob", "not-a-number"][..],
+        &["serve", "--bogus"][..],
+        &["serve", "--timeout-secs", "-1"][..],
+    ] {
+        let out = protest(args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {args:?}: {}",
+            stderr(&out)
+        );
+        let err = stderr(&out);
+        assert!(err.starts_with("error: usage:"), "args {args:?}: {err}");
+        assert!(err.contains("usage: protest"), "args {args:?}: {err}");
+        assert!(!err.contains("panicked"), "args {args:?}: {err}");
+    }
+}
+
+#[test]
+fn runtime_errors_exit_one_with_typed_messages() {
+    let out = protest(&["analyze", "/nonexistent/path.bench"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.starts_with("error: circuit:"), "{err}");
+    // Usage text is noise for runtime failures.
+    assert!(!err.contains("usage: protest"), "{err}");
+
+    let out = protest(&["simulate", "c17"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stderr(&out).starts_with("error: analysis:"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn malformed_netlist_is_a_typed_circuit_error() {
+    let path = std::env::temp_dir().join(format!("protest_exitcode_{}.bench", std::process::id()));
+    std::fs::write(&path, "INPUT(a\nnot a netlist at all").unwrap();
+    let out = protest(&["analyze", path.to_str().unwrap()]);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.starts_with("error: circuit:"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn serve_self_test_exits_zero() {
+    let out = protest(&["serve", "--self-test", "--log-secs", "0"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("self-test passed"), "{stdout}");
+    assert!(stderr(&out).is_empty(), "stderr: {}", stderr(&out));
+}
