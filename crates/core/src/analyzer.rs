@@ -6,6 +6,7 @@ use protest_sim::{collapse_universe, dominance_collapse, Fault, FaultUniverse};
 use std::sync::{Arc, OnceLock};
 
 use crate::aig::Aig;
+use crate::cancel::CancelToken;
 use crate::error::CoreError;
 use crate::exec::Exec;
 use crate::observe::{Observability, ObservabilityEngine};
@@ -177,7 +178,25 @@ impl<'c> Analyzer<'c> {
     /// Returns [`CoreError::ProbsLength`] if `probs` does not match the
     /// circuit's input count.
     pub fn session(&self, probs: &InputProbs) -> Result<AnalysisSession<'_, 'c>, CoreError> {
-        AnalysisSession::new(self, probs)
+        AnalysisSession::new(self, probs, CancelToken::never())
+    }
+
+    /// Like [`session`](Self::session) but armed with a
+    /// [`CancelToken`]: the construction pass and every subsequent
+    /// mutation and `try_*` query poll the token and fail fast with
+    /// [`CoreError::Cancelled`] once it fires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ProbsLength`] on a mismatched input count and
+    /// [`CoreError::Cancelled`] when the token fires during the initial
+    /// full estimation pass.
+    pub fn session_with_cancel(
+        &self,
+        probs: &InputProbs,
+        cancel: CancelToken,
+    ) -> Result<AnalysisSession<'_, 'c>, CoreError> {
+        AnalysisSession::new(self, probs, cancel)
     }
 
     /// Runs the full analysis for one input probability vector.
@@ -193,6 +212,17 @@ impl<'c> Analyzer<'c> {
     /// circuit's input count.
     pub fn run(&self, probs: &InputProbs) -> Result<CircuitAnalysis, CoreError> {
         Ok(self.session(probs)?.into_analysis())
+    }
+
+    /// Cancellable form of [`run`](Self::run): the whole one-shot pass —
+    /// estimation, observability, fault estimates — polls `cancel` and
+    /// errors with [`CoreError::Cancelled`] once it fires.
+    pub fn run_with_cancel(
+        &self,
+        probs: &InputProbs,
+        cancel: CancelToken,
+    ) -> Result<CircuitAnalysis, CoreError> {
+        self.session_with_cancel(probs, cancel)?.try_into_analysis()
     }
 
     /// The shared signal-probability estimator (crate-internal: sessions

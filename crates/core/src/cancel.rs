@@ -1,0 +1,144 @@
+//! Cooperative cancellation for long-running analyses.
+//!
+//! A [`CancelToken`] is a cheaply cloneable handle carrying a shared
+//! cancel flag and an optional deadline. The analysis hot loops — the
+//! estimator's rank sweeps, the observability wavefronts, the per-fault
+//! detection loop, the hill climber's trial moves and the BDD prover's
+//! per-class budget loop — poll the token at rank/chunk boundaries and
+//! bail out with [`CoreError::Cancelled`] within one check interval of
+//! the token firing, instead of running a result to completion for
+//! nobody.
+//!
+//! The default token is *disarmed*: it holds no allocation and every
+//! poll is a single `Option` discriminant test, so analyses that never
+//! cancel pay nothing. Polls never change the math — a pass that runs
+//! to completion produces bit-identical results whether or not a token
+//! was armed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::CoreError;
+
+/// Shared state of an armed token.
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A shared cancellation handle (see the module docs).
+///
+/// Clones share one flag: cancelling any clone cancels them all. The
+/// [`Default`] token is disarmed and never fires.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A token that never fires (the default); polls are free.
+    pub fn never() -> Self {
+        CancelToken { inner: None }
+    }
+
+    /// An armed token with no deadline; fires only via
+    /// [`cancel`](Self::cancel).
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+            })),
+        }
+    }
+
+    /// An armed token that fires once `deadline` passes (or earlier via
+    /// [`cancel`](Self::cancel)).
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Some(deadline),
+            })),
+        }
+    }
+
+    /// An armed token firing `timeout` from now.
+    pub fn after(timeout: Duration) -> Self {
+        Self::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Whether this token can ever fire.
+    pub fn is_armed(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Requests cancellation; a no-op on a disarmed token.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the token has fired (flag set, or deadline passed).
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => {
+                inner.flag.load(Ordering::Relaxed)
+                    || inner.deadline.is_some_and(|d| Instant::now() >= d)
+            }
+        }
+    }
+
+    /// Errors with [`CoreError::Cancelled`] once the token has fired.
+    pub fn check(&self) -> Result<(), CoreError> {
+        if self.is_cancelled() {
+            Err(CoreError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_token_never_fires() {
+        let t = CancelToken::never();
+        assert!(!t.is_armed());
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!u.is_cancelled());
+        t.cancel();
+        assert!(u.is_cancelled());
+        assert!(matches!(u.check(), Err(CoreError::Cancelled)));
+    }
+
+    #[test]
+    fn deadline_fires_after_elapsing() {
+        let t = CancelToken::after(Duration::from_millis(10));
+        assert!(t.is_armed());
+        let start = Instant::now();
+        while !t.is_cancelled() {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "deadline never fired"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(t.check().is_err());
+    }
+}

@@ -16,8 +16,10 @@ use protest_netlist::{Circuit, CircuitBuilder, GateKind, Levels, NodeId};
 use protest_sim::{Fault, FaultSite, StuckAt};
 
 use crate::analyzer::{Analyzer, FaultEstimate};
+use crate::cancel::CancelToken;
 use crate::error::CoreError;
 use crate::exec::Exec;
+use crate::failpoints;
 use crate::observe::Observability;
 use crate::params::InputProbs;
 use crate::sigprob::exhaustive_signal_probs;
@@ -87,11 +89,21 @@ pub(crate) struct FaultScratch {
     updates: Vec<FaultEstimate>,
 }
 
+/// How often the serial fault loops poll their cancellation token (one
+/// poll per this many faults).
+pub(crate) const CANCEL_CHECK_FAULTS: usize = 1024;
+
 /// Evaluates every fault from scratch into `estimates`/`detections`
 /// (cleared first, capacity reused). The parallel path chunks the fault
 /// list over the executor's workers and writes each chunk's results in
 /// fault order, so the output is bit-identical to the serial loop.
-pub(crate) fn estimate_all_faults(
+///
+/// `cancel` is polled between fault blocks (see [`CANCEL_CHECK_FAULTS`]);
+/// in the parallel path each worker skips its remaining chunk once the
+/// token fires and the pass errors after the scope. A fired token leaves
+/// `estimates`/`detections` partially filled.
+#[allow(clippy::too_many_arguments)] // the session's split borrows: one slot per field
+pub(crate) fn estimate_all_faults_cancellable(
     circuit: &Circuit,
     faults: &[Fault],
     node_probs: &[f64],
@@ -99,7 +111,9 @@ pub(crate) fn estimate_all_faults(
     exec: &Exec,
     estimates: &mut Vec<FaultEstimate>,
     detections: &mut Vec<f64>,
-) {
+    cancel: &CancelToken,
+) -> Result<(), CoreError> {
+    failpoints::hit("core.detect.delay");
     estimates.clear();
     detections.clear();
     if exec.parallel() && faults.len() >= MIN_PAR_FAULTS {
@@ -117,29 +131,41 @@ pub(crate) fn estimate_all_faults(
             rayon::scope(|s| {
                 for (fs, out) in faults.chunks(chunk).zip(out_all.chunks_mut(chunk)) {
                     s.spawn(move |_| {
-                        for (slot, &fault) in out.iter_mut().zip(fs) {
+                        for (block, (slot, &fault)) in out.iter_mut().zip(fs).enumerate() {
+                            if block % CANCEL_CHECK_FAULTS == 0 && cancel.is_cancelled() {
+                                return;
+                            }
                             *slot = estimate_fault(circuit, fault, node_probs, obs);
                         }
                     });
                 }
             });
         });
+        cancel.check()?;
     } else {
-        estimates.extend(
-            faults
-                .iter()
-                .map(|&fault| estimate_fault(circuit, fault, node_probs, obs)),
-        );
+        for (block, &fault) in faults.iter().enumerate() {
+            if block % CANCEL_CHECK_FAULTS == 0 {
+                cancel.check()?;
+            }
+            estimates.push(estimate_fault(circuit, fault, node_probs, obs));
+        }
     }
     detections.extend(estimates.iter().map(|e| e.detection));
+    Ok(())
 }
 
 /// Recomputes only the faults listed in `scratch.todo`, patching
 /// `estimates`/`detections` in place. The parallel path stages results in
 /// `scratch.updates` (reused across calls) so a query allocates nothing
 /// after warm-up.
+///
+/// `cancel` is polled like
+/// [`estimate_all_faults_cancellable`]; a fired token errors *before* any
+/// in-place patching in the parallel path (the staging buffer absorbs the
+/// partial work) but may leave the serial path partially patched — the
+/// caller must poison its state on error.
 #[allow(clippy::too_many_arguments)] // the session's split borrows: one slot per field
-pub(crate) fn re_estimate_faults(
+pub(crate) fn re_estimate_faults_cancellable(
     circuit: &Circuit,
     faults: &[Fault],
     node_probs: &[f64],
@@ -148,11 +174,13 @@ pub(crate) fn re_estimate_faults(
     scratch: &mut FaultScratch,
     estimates: &mut [FaultEstimate],
     detections: &mut [f64],
-) {
+    cancel: &CancelToken,
+) -> Result<(), CoreError> {
     let FaultScratch { todo, updates } = scratch;
     if todo.is_empty() {
-        return;
+        return Ok(());
     }
+    failpoints::hit("core.detect.delay");
     if exec.parallel() && todo.len() >= MIN_PAR_FAULTS {
         // Stale entries as placeholders: every slot is overwritten by its
         // chunk before the writeback below reads it.
@@ -166,7 +194,10 @@ pub(crate) fn re_estimate_faults(
                 rayon::scope(|s| {
                     for (ids, out) in todo.chunks(chunk).zip(out_all.chunks_mut(chunk)) {
                         s.spawn(move |_| {
-                            for (slot, &fi) in out.iter_mut().zip(ids) {
+                            for (block, (slot, &fi)) in out.iter_mut().zip(ids).enumerate() {
+                                if block % CANCEL_CHECK_FAULTS == 0 && cancel.is_cancelled() {
+                                    return;
+                                }
                                 *slot =
                                     estimate_fault(circuit, faults[fi as usize], node_probs, obs);
                             }
@@ -175,17 +206,22 @@ pub(crate) fn re_estimate_faults(
                 });
             });
         }
+        cancel.check()?;
         for (&fi, &est) in todo.iter().zip(updates.iter()) {
             estimates[fi as usize] = est;
             detections[fi as usize] = est.detection;
         }
     } else {
-        for &fi in todo.iter() {
+        for (block, &fi) in todo.iter().enumerate() {
+            if block % CANCEL_CHECK_FAULTS == 0 {
+                cancel.check()?;
+            }
             let est = estimate_fault(circuit, faults[fi as usize], node_probs, obs);
             estimates[fi as usize] = est;
             detections[fi as usize] = est.detection;
         }
     }
+    Ok(())
 }
 
 /// For each fault, the circuit nodes its detection estimate *reads*: the

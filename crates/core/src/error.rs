@@ -28,6 +28,9 @@ pub enum CoreError {
         /// The budget that was exceeded.
         limit: usize,
     },
+    /// The analysis was cancelled through a
+    /// [`CancelToken`](crate::CancelToken) before completing.
+    Cancelled,
 }
 
 impl fmt::Display for CoreError {
@@ -47,6 +50,7 @@ impl fmt::Display for CoreError {
             CoreError::BddOverflow { limit } => {
                 write!(f, "BDD node budget of {limit} exceeded")
             }
+            CoreError::Cancelled => write!(f, "analysis cancelled"),
         }
     }
 }

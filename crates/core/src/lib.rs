@@ -45,6 +45,18 @@
 //! bit-identical at every thread count** (proven by the differential
 //! proptests in `tests/parallel_differential.rs`).
 //!
+//! # Cancellation
+//!
+//! Long-running analyses can be cancelled cooperatively: arm a session
+//! with a [`CancelToken`] ([`Analyzer::session_with_cancel`] or
+//! [`AnalysisSession::set_cancel`]) and every hot loop polls it at
+//! rank/wavefront/chunk boundaries, failing fast with
+//! [`CoreError::Cancelled`] from the `try_*` query variants. A session
+//! cancelled mid-refresh may be left with inconsistent caches — it is
+//! then *poisoned* ([`AnalysisSession::is_poisoned`]) and must be
+//! discarded, which [`SessionPool`] does automatically. Disarmed tokens
+//! (the default) cost one branch per check and never change results.
+//!
 //! ## Migration notes (0.2 → 0.3)
 //!
 //! * `SignalProbEstimator::estimate` (deprecated in 0.2) is removed: use
@@ -86,6 +98,7 @@
 
 mod aig;
 mod analyzer;
+mod cancel;
 mod dirty;
 mod error;
 mod exec;
@@ -93,6 +106,7 @@ mod params;
 mod session;
 
 pub mod detect;
+pub mod failpoints;
 pub mod observe;
 pub mod optimize;
 pub mod pool;
@@ -107,6 +121,7 @@ pub mod tpi;
 
 pub use aig::{Aig, AigLit, AigNodeId};
 pub use analyzer::{Analyzer, CircuitAnalysis, FaultEstimate};
+pub use cancel::CancelToken;
 pub use error::CoreError;
 pub use params::{
     AnalyzerParams, FaultCollapse, InputProbs, ObservabilityModel, PinSensitivityModel,

@@ -9,8 +9,11 @@
 use protest_netlist::analyze::Fanouts;
 use protest_netlist::{Circuit, Levels, NodeId};
 
+use crate::cancel::CancelToken;
+use crate::error::CoreError;
 use crate::exec::Exec;
 use crate::params::AnalyzerParams;
+use crate::sigprob::CANCEL_CHECK_NODES;
 
 use super::model::{pin_sensitivity, xor_combine, SensScratch};
 use super::Observability;
@@ -162,15 +165,45 @@ impl<'c> ObservabilityEngine<'c> {
     /// of a wavefront are independent; each chunk's results are written
     /// back in node order and every per-node computation is the exact
     /// serial sequence — results are bit-identical to the serial pass.
-    pub(crate) fn compute_into_exec(
+    ///
+    /// `cancel` is polled once per level wavefront (serial executors:
+    /// every [`CANCEL_CHECK_NODES`](crate::sigprob::CANCEL_CHECK_NODES)
+    /// nodes); a fired token abandons the sweep with
+    /// [`CoreError::Cancelled`], leaving `obs` partially written.
+    pub(crate) fn compute_into_exec_cancellable(
         &self,
         node_probs: &[f64],
         obs: &mut Observability,
         exec: &Exec,
-    ) {
+        cancel: &CancelToken,
+    ) -> Result<(), CoreError> {
         if !exec.parallel() {
-            self.compute_into(node_probs, obs);
-            return;
+            if !cancel.is_armed() {
+                self.compute_into(node_probs, obs);
+                return Ok(());
+            }
+            assert_eq!(
+                node_probs.len(),
+                self.circuit.num_nodes(),
+                "one probability per node"
+            );
+            assert_eq!(
+                obs.node_s.len(),
+                self.circuit.num_nodes(),
+                "mismatched shape"
+            );
+            let mut scratch = NodeEvalScratch::default();
+            let mut pins_tmp: Vec<f64> = Vec::new();
+            for (done, &id) in self.levels.order().iter().rev().enumerate() {
+                if done % CANCEL_CHECK_NODES == 0 {
+                    cancel.check()?;
+                }
+                pins_tmp.clear();
+                let s = self.eval_node(id, node_probs, &obs.pin_s, &mut scratch, &mut pins_tmp);
+                obs.node_s[id.index()] = s;
+                obs.pin_s[id.index()].copy_from_slice(&pins_tmp);
+            }
+            return Ok(());
         }
         assert_eq!(
             node_probs.len(),
@@ -186,8 +219,9 @@ impl<'c> ObservabilityEngine<'c> {
         let order = self.levels.order();
         let mut scratch = NodeEvalScratch::default();
         let mut pins_tmp: Vec<f64> = Vec::new();
-        exec.run(|| {
+        exec.run(|| -> Result<(), CoreError> {
             for &(start, end) in self.level_bounds.iter().rev() {
+                cancel.check()?;
                 let batch = &order[start as usize..end as usize];
                 if batch.len() < MIN_PAR_WAVEFRONT {
                     for &id in batch {
@@ -238,7 +272,8 @@ impl<'c> ObservabilityEngine<'c> {
                     }
                 }
             }
-        });
+            Ok(())
+        })
     }
 
     /// One node of the reverse pass: returns the stem observability and

@@ -21,6 +21,8 @@
 
 use protest_netlist::NodeId;
 
+use crate::cancel::CancelToken;
+use crate::error::CoreError;
 use crate::exec::Exec;
 
 use super::engine::{NodeEvalScratch, ObservabilityEngine, MIN_PAR_WAVEFRONT};
@@ -162,16 +164,26 @@ impl ObservabilityEngine<'_> {
     /// enough to beat queueing overhead fan out on the executor exactly
     /// like the full parallel sweep; narrow ones stay inline. Returns the
     /// work performed.
-    pub(crate) fn refresh_into_exec(
+    ///
+    /// `cancel` is polled once per wavefront; a fired token abandons the
+    /// sweep with [`CoreError::Cancelled`], leaving `obs` and the seeded
+    /// worklist partially consumed — the caller must treat the state as
+    /// poisoned.
+    pub(crate) fn refresh_into_exec_cancellable(
         &self,
         node_probs: &[f64],
         obs: &mut Observability,
         delta: &mut ObsDelta,
         exec: &Exec,
-    ) -> SweepWork {
+        cancel: &CancelToken,
+    ) -> Result<SweepWork, CoreError> {
         let mut work = SweepWork::default();
         let mut batch = std::mem::take(&mut delta.batch);
         while delta.front.pop_batch(&mut batch).is_some() {
+            if cancel.is_cancelled() {
+                delta.batch = batch;
+                return Err(CoreError::Cancelled);
+            }
             work.levels += 1;
             work.nodes += batch.len() as u64;
             let len = batch.len();
@@ -271,7 +283,7 @@ impl ObservabilityEngine<'_> {
             delta.out_pins = pins;
         }
         delta.batch = batch;
-        work
+        Ok(work)
     }
 
     /// Stores one recomputed node and spreads dirtiness backward — but

@@ -12,6 +12,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::analyzer::Analyzer;
+use crate::cancel::CancelToken;
 use crate::error::CoreError;
 use crate::params::InputProbs;
 use crate::session::{AnalysisSession, SessionStats};
@@ -113,6 +114,7 @@ impl MultiDistributionResult {
 pub struct HillClimber<'a, 'c> {
     analyzer: &'a Analyzer<'c>,
     params: OptimizeParams,
+    cancel: CancelToken,
 }
 
 impl<'a, 'c> HillClimber<'a, 'c> {
@@ -124,7 +126,21 @@ impl<'a, 'c> HillClimber<'a, 'c> {
     pub fn new(analyzer: &'a Analyzer<'c>, params: OptimizeParams) -> Self {
         assert!(params.grid >= 2, "grid must have at least two cells");
         assert!(params.n_target > 0, "objective needs N ≥ 1");
-        HillClimber { analyzer, params }
+        HillClimber {
+            analyzer,
+            params,
+            cancel: CancelToken::never(),
+        }
+    }
+
+    /// Arms the climber with a [`CancelToken`]: every trial move, accepted
+    /// move and objective evaluation (including the cloned trial-move
+    /// worker sessions of a parallel executor) polls the token, and a
+    /// fired token aborts the climb with [`CoreError::Cancelled`].
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// Optimizes starting from the uniform point (`k = grid/2`).
@@ -197,16 +213,17 @@ impl<'a, 'c> HillClimber<'a, 'c> {
         // changes) and leaves the session at the round's optimum, where the
         // detection probabilities are read back directly.
         let start = vec![self.params.grid / 2; inputs];
-        let mut session = self
-            .analyzer
-            .session(&InputProbs::from_grid(&start, self.params.grid)?)?;
+        let mut session = self.analyzer.session_with_cancel(
+            &InputProbs::from_grid(&start, self.params.grid)?,
+            self.cancel.clone(),
+        )?;
         for round in 0..max_distributions {
             if covered.iter().all(|&c| c) {
                 break;
             }
             let mask: Vec<bool> = covered.iter().map(|&c| !c).collect();
             let result = self.climb(&mut session, start.clone(), Some(&mask))?;
-            let ps = session.fault_detect_probs();
+            let ps = session.try_fault_detect_probs()?;
             let mut newly = 0usize;
             for (i, &p) in ps.iter().enumerate() {
                 if covered[i] || p <= 0.0 {
@@ -269,7 +286,9 @@ impl<'a, 'c> HillClimber<'a, 'c> {
             start.iter().all(|&k| k >= 1 && k < g),
             "grid numerators must be in 1..grid"
         );
-        let mut session = self.analyzer.session(&InputProbs::from_grid(&start, g)?)?;
+        let mut session = self
+            .analyzer
+            .session_with_cancel(&InputProbs::from_grid(&start, g)?, self.cancel.clone())?;
         self.climb(&mut session, start, mask)
     }
 
@@ -305,7 +324,7 @@ impl<'a, 'c> HillClimber<'a, 'c> {
         let mut evaluations = 0usize;
         let mut ps_buf: Vec<f64> = Vec::new();
         evaluations += 1;
-        let mut best = self.objective_value(session, mask, &mut ps_buf);
+        let mut best = self.objective_value(session, mask, &mut ps_buf)?;
         let initial = best;
         let exec = self.analyzer.exec();
         // Trial-move workers, cloned lazily on the first parallel trial.
@@ -317,6 +336,7 @@ impl<'a, 'c> HillClimber<'a, 'c> {
         let mut order: Vec<usize> = (0..inputs).collect();
         let mut rounds = 0usize;
         for _ in 0..self.params.max_rounds {
+            self.cancel.check()?;
             rounds += 1;
             order.shuffle(&mut rng);
             let mut improved = false;
@@ -349,7 +369,7 @@ impl<'a, 'c> HillClimber<'a, 'c> {
                         let mut target = base.clone();
                         target[i] = f64::from(cand) / f64::from(g);
                         worker_session.set_all(&target)?;
-                        let objective = self.objective_value(worker_session, mask, ps);
+                        let objective = self.objective_value(worker_session, mask, ps)?;
                         worker_session.revert();
                         Ok(objective)
                     };
@@ -364,7 +384,7 @@ impl<'a, 'c> HillClimber<'a, 'c> {
                         session.snapshot();
                         session.set_input_prob(i, f64::from(cand) / f64::from(g))?;
                         evaluations += 1;
-                        let j = self.objective_value(session, mask, &mut ps_buf);
+                        let j = self.objective_value(session, mask, &mut ps_buf)?;
                         session.revert();
                         trials.push((cand, j));
                     }
@@ -400,7 +420,7 @@ impl<'a, 'c> HillClimber<'a, 'c> {
                     session.snapshot();
                     session.set_all(InputProbs::from_grid(&cand, g)?.as_slice())?;
                     evaluations += 1;
-                    let j = self.objective_value(session, mask, &mut ps_buf);
+                    let j = self.objective_value(session, mask, &mut ps_buf)?;
                     if j > best + 1e-12 {
                         ks = cand;
                         best = j;
@@ -442,17 +462,17 @@ impl<'a, 'c> HillClimber<'a, 'c> {
         session: &mut AnalysisSession<'_, '_>,
         mask: Option<&[bool]>,
         ps_buf: &mut Vec<f64>,
-    ) -> f64 {
+    ) -> Result<f64, CoreError> {
         ps_buf.clear();
         ps_buf.extend(
             session
-                .fault_detect_probs()
+                .try_fault_detect_probs()?
                 .iter()
                 .enumerate()
                 .filter(|&(i, _)| mask.is_none_or(|m| m[i]))
                 .map(|(_, &p)| p.max(1e-12)),
         );
-        -ln_expected_undetected(ps_buf, self.params.n_target)
+        Ok(-ln_expected_undetected(ps_buf, self.params.n_target))
     }
 
     /// `ln J_N` at a grid point (the paper's reported objective; not used

@@ -31,6 +31,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::analyzer::Analyzer;
+use crate::cancel::CancelToken;
 use crate::error::CoreError;
 use crate::params::InputProbs;
 use crate::session::AnalysisSession;
@@ -46,6 +47,10 @@ pub struct PoolStats {
     pub live: u64,
     /// Sessions currently idle in the pool.
     pub idle: u64,
+    /// Sessions dropped instead of returned: poisoned by a mid-refresh
+    /// cancellation, explicitly [`discard`](PooledSession::discard)ed
+    /// after a panic, or failed to re-sync to base.
+    pub discarded: u64,
 }
 
 /// A pool of warm [`AnalysisSession`]s over one [`Analyzer`], all based at
@@ -62,6 +67,7 @@ pub struct SessionPool<'a, 'c> {
     warm_hits: AtomicU64,
     cold_clones: AtomicU64,
     live: AtomicU64,
+    discarded: AtomicU64,
 }
 
 impl<'a, 'c> SessionPool<'a, 'c> {
@@ -85,6 +91,7 @@ impl<'a, 'c> SessionPool<'a, 'c> {
             warm_hits: AtomicU64::new(0),
             cold_clones: AtomicU64::new(0),
             live: AtomicU64::new(0),
+            discarded: AtomicU64::new(0),
         })
     }
 
@@ -137,15 +144,35 @@ impl<'a, 'c> SessionPool<'a, 'c> {
             cold_clones: self.cold_clones.load(Ordering::Relaxed),
             live: self.live.load(Ordering::Relaxed),
             idle: self.idle.lock().unwrap().len() as u64,
+            discarded: self.discarded.load(Ordering::Relaxed),
         }
     }
 
     fn give_back(&self, mut session: AnalysisSession<'a, 'c>) {
-        // Re-sync to base cannot fail: the base vector was validated at
-        // construction and its entries are in range.
-        let _ = session.resync(&self.base);
         self.live.fetch_sub(1, Ordering::Relaxed);
+        // A session poisoned by a mid-refresh cancellation has lost dirty
+        // tracking — re-syncing it could return stale values to later
+        // checkouts. Drop it; the next cold checkout clones the template.
+        if session.is_poisoned() {
+            self.discarded.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Disarm any request-scoped token before re-syncing: a fired
+        // deadline must not sabotage the return-to-base sweep or leak
+        // into the next request that checks this session out.
+        session.set_cancel(CancelToken::never());
+        // Re-sync to base cannot otherwise fail: the base vector was
+        // validated at construction and its entries are in range.
+        if session.resync(&self.base).is_err() {
+            self.discarded.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         self.idle.lock().unwrap().push(session);
+    }
+
+    fn note_discarded(&self) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+        self.discarded.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -171,10 +198,27 @@ impl DerefMut for PooledSession<'_, '_, '_> {
     }
 }
 
+impl PooledSession<'_, '_, '_> {
+    /// Drops the session instead of returning it to the pool — for
+    /// callers that caught a panic or otherwise no longer trust the
+    /// session's state. Counted in [`PoolStats::discarded`].
+    pub fn discard(mut self) {
+        self.session.take();
+        self.pool.note_discarded();
+    }
+}
+
 impl Drop for PooledSession<'_, '_, '_> {
     fn drop(&mut self) {
         if let Some(session) = self.session.take() {
-            self.pool.give_back(session);
+            // Unwinding out of a request handler means the session was
+            // abandoned mid-mutation; its caches can be arbitrarily
+            // inconsistent, so never re-sync it back into circulation.
+            if std::thread::panicking() {
+                self.pool.note_discarded();
+            } else {
+                self.pool.give_back(session);
+            }
         }
     }
 }

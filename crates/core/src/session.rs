@@ -104,9 +104,11 @@ use std::sync::Arc;
 use protest_netlist::{Circuit, NodeId};
 
 use crate::analyzer::{Analyzer, CircuitAnalysis, FaultEstimate};
+use crate::cancel::CancelToken;
 use crate::detect::{self, FaultScratch};
 use crate::dirty::{Consumer, DirtyRegion, Wavefront};
 use crate::error::CoreError;
+use crate::failpoints;
 use crate::observe::{ObsDelta, Observability, ObservabilityEngine};
 use crate::params::InputProbs;
 use crate::sigprob::{lit_prob_of, EvalScratch, MIN_PAR_COND, MIN_PAR_WIDE};
@@ -253,13 +255,25 @@ pub struct AnalysisSession<'a, 'c> {
     fault_scratch: FaultScratch,
     have_estimates: bool,
     stats: SessionStats,
+    /// Cooperative cancellation token polled by every hot loop; the
+    /// default disarmed token never fires and costs one branch per poll.
+    cancel: CancelToken,
+    /// Set when a cancellation interrupted a refresh after dirty-region
+    /// info was already committed: the caches may silently disagree with
+    /// the inputs, so the session must be discarded, not reused.
+    poisoned: bool,
 }
 
 impl<'a, 'c> AnalysisSession<'a, 'c> {
-    pub(crate) fn new(analyzer: &'a Analyzer<'c>, probs: &InputProbs) -> Result<Self, CoreError> {
+    pub(crate) fn new(
+        analyzer: &'a Analyzer<'c>,
+        probs: &InputProbs,
+        cancel: CancelToken,
+    ) -> Result<Self, CoreError> {
         probs.check_len(analyzer.circuit().num_inputs())?;
         let est = analyzer.estimator();
-        let aig_probs = est.full_estimate_exec(probs.as_slice(), analyzer.exec());
+        let aig_probs =
+            est.full_estimate_exec_cancellable(probs.as_slice(), analyzer.exec(), &cancel)?;
         let obs_engine = Arc::clone(analyzer.obs_engine());
         let obs = obs_engine.empty();
         let obs_delta = ObsDelta::new(&obs_engine);
@@ -292,7 +306,31 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
                 circuit_nodes,
                 ..SessionStats::default()
             },
+            cancel,
+            poisoned: false,
         })
+    }
+
+    /// Arms (or disarms, with [`CancelToken::never`]) the cancellation
+    /// token every subsequent mutation and query polls. While an armed
+    /// token can fire, use the `try_*` query variants — the infallible
+    /// queries panic on cancellation.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
+    }
+
+    /// The session's current cancellation token.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Whether a cancellation fired after incremental bookkeeping was
+    /// already committed, leaving the query caches unreliable. A poisoned
+    /// session refuses further queries and must be dropped;
+    /// [`SessionPool`](crate::SessionPool) discards poisoned sessions
+    /// instead of re-syncing them.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// The analyzer this session evaluates.
@@ -330,7 +368,8 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
     /// # Errors
     ///
     /// Returns [`CoreError::ProbRange`] if `p` is not a finite number in
-    /// `[0, 1]`.
+    /// `[0, 1]`, and [`CoreError::Cancelled`] if an armed token fires
+    /// mid-propagation (the session is then poisoned).
     ///
     /// # Panics
     ///
@@ -354,8 +393,7 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
         let node = self.analyzer.estimator().aig().input_node(input);
         self.write_node(node.index(), p);
         self.stats.mutations += 1;
-        self.propagate();
-        Ok(())
+        self.propagate()
     }
 
     /// Replaces the whole input probability vector, re-propagating the
@@ -366,7 +404,8 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
     ///
     /// Returns [`CoreError::ProbsLength`] on a mismatched length and
     /// [`CoreError::ProbRange`] on an out-of-range entry (in which case the
-    /// session is left unchanged).
+    /// session is left unchanged); [`CoreError::Cancelled`] if an armed
+    /// token fires mid-propagation (the session is then poisoned).
     pub fn set_all(&mut self, probs: &[f64]) -> Result<(), CoreError> {
         if probs.len() != self.input_probs.len() {
             return Err(CoreError::ProbsLength {
@@ -395,7 +434,7 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
         }
         if changed {
             self.stats.mutations += 1;
-            self.propagate();
+            self.propagate()?;
         }
         Ok(())
     }
@@ -447,42 +486,129 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
         self.stats.reverts += 1;
     }
 
+    /// Message of the panic raised when an infallible query hits a fired
+    /// cancellation token.
+    const CANCELLED_QUERY: &'static str =
+        "analysis cancelled: use the try_* query variants when a CancelToken is armed";
+
+    /// Errors when a previous cancellation poisoned the session (its
+    /// caches may disagree with the inputs, so no further queries run).
+    fn check_usable(&self) -> Result<(), CoreError> {
+        if self.poisoned {
+            return Err(CoreError::Cancelled);
+        }
+        self.cancel.check()
+    }
+
     /// Estimated `P(node = 1)` for every circuit node, indexable by node
     /// index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an armed [`CancelToken`] fired; use
+    /// [`try_signal_probs`](Self::try_signal_probs) in that case.
     pub fn signal_probs(&mut self) -> &[f64] {
+        self.try_signal_probs().expect(Self::CANCELLED_QUERY)
+    }
+
+    /// Fallible form of [`signal_probs`](Self::signal_probs); errors with
+    /// [`CoreError::Cancelled`] when the session's token fired or the
+    /// session is poisoned.
+    pub fn try_signal_probs(&mut self) -> Result<&[f64], CoreError> {
+        self.check_usable()?;
         self.ensure_node_probs();
-        &self.node_probs
+        Ok(&self.node_probs)
     }
 
     /// Estimated `P(node = 1)` for one circuit node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an armed [`CancelToken`] fired; use
+    /// [`try_signal_prob`](Self::try_signal_prob) in that case.
     pub fn signal_prob(&mut self, id: NodeId) -> f64 {
+        self.try_signal_prob(id).expect(Self::CANCELLED_QUERY)
+    }
+
+    /// Fallible form of [`signal_prob`](Self::signal_prob).
+    pub fn try_signal_prob(&mut self, id: NodeId) -> Result<f64, CoreError> {
+        self.check_usable()?;
         self.ensure_node_probs();
-        self.node_probs[id.index()]
+        Ok(self.node_probs[id.index()])
     }
 
     /// Observabilities under the current input probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an armed [`CancelToken`] fired; use
+    /// [`try_observabilities`](Self::try_observabilities) in that case.
     pub fn observabilities(&mut self) -> &Observability {
-        self.ensure_obs();
-        &self.obs
+        self.try_observabilities().expect(Self::CANCELLED_QUERY)
+    }
+
+    /// Fallible form of [`observabilities`](Self::observabilities).
+    pub fn try_observabilities(&mut self) -> Result<&Observability, CoreError> {
+        self.check_usable()?;
+        self.ensure_obs()?;
+        Ok(&self.obs)
     }
 
     /// Detection probability estimates (`P_PROT`), aligned with
     /// [`Analyzer::faults`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an armed [`CancelToken`] fired; use
+    /// [`try_fault_detect_probs`](Self::try_fault_detect_probs) in that
+    /// case.
     pub fn fault_detect_probs(&mut self) -> &[f64] {
-        self.ensure_estimates();
-        &self.detections
+        self.try_fault_detect_probs().expect(Self::CANCELLED_QUERY)
+    }
+
+    /// Fallible form of [`fault_detect_probs`](Self::fault_detect_probs).
+    pub fn try_fault_detect_probs(&mut self) -> Result<&[f64], CoreError> {
+        self.check_usable()?;
+        self.ensure_estimates()?;
+        Ok(&self.detections)
     }
 
     /// Per-fault detection estimates, aligned with [`Analyzer::faults`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an armed [`CancelToken`] fired; use
+    /// [`try_fault_estimates`](Self::try_fault_estimates) in that case.
     pub fn fault_estimates(&mut self) -> &[FaultEstimate] {
-        self.ensure_estimates();
-        &self.estimates
+        self.try_fault_estimates().expect(Self::CANCELLED_QUERY)
+    }
+
+    /// Fallible form of [`fault_estimates`](Self::fault_estimates).
+    pub fn try_fault_estimates(&mut self) -> Result<&[FaultEstimate], CoreError> {
+        self.check_usable()?;
+        self.ensure_estimates()?;
+        Ok(&self.estimates)
     }
 
     /// Finishes the session into an owned [`CircuitAnalysis`] snapshot.
-    pub fn into_analysis(mut self) -> CircuitAnalysis {
-        self.ensure_estimates();
-        CircuitAnalysis::from_parts(self.node_probs, self.obs, self.estimates)
+    ///
+    /// # Panics
+    ///
+    /// Panics if an armed [`CancelToken`] fired; use
+    /// [`try_into_analysis`](Self::try_into_analysis) in that case.
+    pub fn into_analysis(self) -> CircuitAnalysis {
+        self.try_into_analysis().expect(Self::CANCELLED_QUERY)
+    }
+
+    /// Fallible form of [`into_analysis`](Self::into_analysis).
+    pub fn try_into_analysis(mut self) -> Result<CircuitAnalysis, CoreError> {
+        self.check_usable()?;
+        self.ensure_estimates()?;
+        Ok(CircuitAnalysis::from_parts(
+            self.node_probs,
+            self.obs,
+            self.estimates,
+        ))
     }
 
     /// Records an AIG node as changed in the shared dirty region.
@@ -537,12 +663,22 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
     /// order; narrow ranks (and serial executors) take the inline path.
     /// Either way every node sees the same settled lower ranks as the
     /// serial schedule, so the propagated values are bit-identical.
-    fn propagate(&mut self) {
+    ///
+    /// The cancellation token is polled once per rank; a fired token
+    /// abandons the drain mid-worklist (the popped rank is lost), so the
+    /// session is poisoned and [`CoreError::Cancelled`] returned.
+    fn propagate(&mut self) -> Result<(), CoreError> {
         let analyzer = self.analyzer;
         let est = analyzer.estimator();
         let exec = analyzer.exec();
         let mut batch = std::mem::take(&mut self.batch_ids);
         while self.front.pop_batch(&mut batch).is_some() {
+            failpoints::hit("core.propagate.delay");
+            if self.cancel.is_cancelled() {
+                self.poisoned = true;
+                self.batch_ids = batch;
+                return Err(CoreError::Cancelled);
+            }
             let len = batch.len();
             // Fan out only when the rank carries enough conditioned
             // (µs-scale) kernels — or is very wide — mirroring the full
@@ -603,6 +739,7 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
             self.batch_vals = vals;
         }
         self.batch_ids = batch;
+        Ok(())
     }
 
     /// Refreshes the circuit-level probability map. Cold (first call, or
@@ -643,24 +780,30 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
     /// back to the full sweep instead — seeding plus worklist bookkeeping
     /// over a near-total region costs more than the sweep it saves, and
     /// the full pass is the incremental path's reference anyway.
-    fn ensure_obs(&mut self) {
+    ///
+    /// A cancellation during the *full* sweep is clean (nothing was
+    /// committed; a retry recomputes from scratch); one during the
+    /// *incremental* refresh fires after the dirty window was already
+    /// consumed, so it poisons the session.
+    fn ensure_obs(&mut self) -> Result<(), CoreError> {
         self.ensure_node_probs();
         if self.have_obs && self.dirty.is_clean(Consumer::Observability) {
-            return;
+            return Ok(());
         }
         let dense = self.dirty.pending(Consumer::Observability).len()
             >= self.aig_probs.len() / DENSE_OBS_WINDOW_DIVISOR;
         if !self.have_obs || dense || self.dirty.overflowed(Consumer::Observability) {
-            self.obs_engine.compute_into_exec(
+            self.obs_engine.compute_into_exec_cancellable(
                 &self.node_probs,
                 &mut self.obs,
                 self.analyzer.exec(),
-            );
+                &self.cancel,
+            )?;
             self.stats.obs_level_evals += self.obs_engine.num_levels() as u64;
             self.stats.obs_node_evals += self.stats.circuit_nodes as u64;
             self.dirty.commit(Consumer::Observability);
             self.have_obs = true;
-            return;
+            return Ok(());
         }
         let circ_of_aig = self.analyzer.circ_of_aig();
         for &a in self.dirty.pending(Consumer::Observability) {
@@ -670,15 +813,25 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
             }
         }
         self.dirty.commit(Consumer::Observability);
-        let work = self.obs_engine.refresh_into_exec(
+        let work = match self.obs_engine.refresh_into_exec_cancellable(
             &self.node_probs,
             &mut self.obs,
             &mut self.obs_delta,
             self.analyzer.exec(),
-        );
+            &self.cancel,
+        ) {
+            Ok(work) => work,
+            Err(e) => {
+                // The dirty window is consumed but the sweep is partial:
+                // the cache silently disagrees with the inputs.
+                self.poisoned = true;
+                return Err(e);
+            }
+        };
         self.stats.obs_level_evals += work.levels;
         self.stats.obs_node_evals += work.nodes;
         self.stats.obs_node_reuses += self.stats.circuit_nodes as u64 - work.nodes;
+        Ok(())
     }
 
     /// Refreshes the per-fault estimates. The first call computes every
@@ -687,17 +840,17 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
     /// [`crate::detect::FaultDeps`]) misses the dirty nodes, and recompute
     /// the rest — in parallel chunks when the executor and the batch
     /// warrant it.
-    fn ensure_estimates(&mut self) {
+    fn ensure_estimates(&mut self) -> Result<(), CoreError> {
         if self.have_estimates && self.dirty.is_clean(Consumer::Faults) {
-            return;
+            return Ok(());
         }
-        self.ensure_obs();
+        self.ensure_obs()?;
         let analyzer = self.analyzer;
         let circuit = analyzer.circuit();
         let faults = analyzer.faults();
         let exec = analyzer.exec();
         if !self.have_estimates || self.dirty.overflowed(Consumer::Faults) {
-            detect::estimate_all_faults(
+            detect::estimate_all_faults_cancellable(
                 circuit,
                 faults,
                 &self.node_probs,
@@ -705,11 +858,12 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
                 exec,
                 &mut self.estimates,
                 &mut self.detections,
-            );
+                &self.cancel,
+            )?;
             self.stats.fault_evals += faults.len() as u64;
             self.dirty.commit(Consumer::Faults);
             self.have_estimates = true;
-            return;
+            return Ok(());
         }
         let deps = analyzer.fault_deps();
         let words = deps.words;
@@ -735,7 +889,7 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
         }
         self.stats.fault_reuses += (faults.len() - self.fault_scratch.todo.len()) as u64;
         self.stats.fault_evals += self.fault_scratch.todo.len() as u64;
-        detect::re_estimate_faults(
+        if let Err(e) = detect::re_estimate_faults_cancellable(
             circuit,
             faults,
             &self.node_probs,
@@ -744,7 +898,14 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
             &mut self.fault_scratch,
             &mut self.estimates,
             &mut self.detections,
-        );
+            &self.cancel,
+        ) {
+            // The dirty window is consumed but only part of the touched
+            // faults were re-estimated: discard the session.
+            self.poisoned = true;
+            return Err(e);
+        }
+        Ok(())
     }
 }
 
@@ -773,6 +934,8 @@ impl Clone for AnalysisSession<'_, '_> {
             fault_scratch: self.fault_scratch.clone(),
             have_estimates: self.have_estimates,
             stats: self.stats,
+            cancel: self.cancel.clone(),
+            poisoned: self.poisoned,
         }
     }
 }

@@ -22,8 +22,15 @@
 use std::sync::OnceLock;
 
 use crate::aig::{Aig, AigLit, AigNodeId};
+use crate::cancel::CancelToken;
+use crate::error::CoreError;
 use crate::exec::Exec;
 use crate::params::AnalyzerParams;
+
+/// How often the serial full pass polls its cancellation token: one poll
+/// per this many AIG nodes keeps the overhead unmeasurable while still
+/// bounding the response latency to a fraction of a pass.
+pub(crate) const CANCEL_CHECK_NODES: usize = 4096;
 
 /// Per-AND structural cache: joining points and the bounded cone used for
 /// conditional re-propagation. Probability-independent, so the optimizer can
@@ -266,9 +273,42 @@ impl SignalProbEstimator {
     /// prefix and the results are written back in node-index order. Each
     /// per-node value is produced by the same kernel reading the same
     /// settled values as the serial pass, so the output is bit-identical.
-    pub(crate) fn full_estimate_exec(&self, input_probs: &[f64], exec: &Exec) -> Vec<f64> {
+    ///
+    /// `cancel` is polled once per rank (serial executors: every
+    /// [`CANCEL_CHECK_NODES`] nodes); a fired token abandons the pass with
+    /// [`CoreError::Cancelled`]. Polls never change the computed values.
+    pub(crate) fn full_estimate_exec_cancellable(
+        &self,
+        input_probs: &[f64],
+        exec: &Exec,
+        cancel: &CancelToken,
+    ) -> Result<Vec<f64>, CoreError> {
         if !exec.parallel() {
-            return self.full_estimate(input_probs);
+            if !cancel.is_armed() {
+                return Ok(self.full_estimate(input_probs));
+            }
+            assert_eq!(
+                input_probs.len(),
+                self.aig.num_inputs(),
+                "one probability per primary input"
+            );
+            cancel.check()?;
+            let n = self.aig.len();
+            let mut probs = vec![0.0f64; n];
+            probs[0] = 1.0;
+            let mut scratch = self.new_scratch();
+            for k in 1..n {
+                if k % CANCEL_CHECK_NODES == 0 {
+                    cancel.check()?;
+                }
+                let id = AigNodeId::from_index(k);
+                if let Some(pos) = self.aig.input_position(id) {
+                    probs[k] = input_probs[pos];
+                    continue;
+                }
+                probs[k] = self.and_node_value(&probs, id, &mut scratch);
+            }
+            return Ok(probs);
         }
         assert_eq!(
             input_probs.len(),
@@ -285,11 +325,12 @@ impl SignalProbEstimator {
         let threads = exec.threads();
         let mut scratches: Vec<Scratch2> = (0..threads).map(|_| self.new_scratch()).collect();
         let mut vals: Vec<f64> = Vec::new();
-        exec.run(|| {
+        exec.run(|| -> Result<(), CoreError> {
             for (ri, rank) in ranks.by_rank.iter().enumerate() {
                 if rank.is_empty() {
                     continue;
                 }
+                cancel.check()?;
                 if ranks.cond_per_rank[ri] < MIN_PAR_COND && rank.len() < MIN_PAR_WIDE {
                     for &k in rank {
                         let id = AigNodeId::from_index(k as usize);
@@ -319,8 +360,9 @@ impl SignalProbEstimator {
                     probs[k as usize] = v;
                 }
             }
-        });
-        probs
+            Ok(())
+        })?;
+        Ok(probs)
     }
 
     /// The fanin-depth [`Ranks`] of the AIG, built on first use.

@@ -21,7 +21,7 @@ pub use bounds_impl::{signal_prob_bounds, ProbBounds};
 pub(crate) use estimate::lit_prob as lit_prob_of;
 pub(crate) use estimate::Scratch2 as EvalScratch;
 pub use estimate::SignalProbEstimator;
-pub(crate) use estimate::{MIN_PAR_COND, MIN_PAR_WIDE};
+pub(crate) use estimate::{CANCEL_CHECK_NODES, MIN_PAR_COND, MIN_PAR_WIDE};
 pub use exact::{bdd_signal_probs, exhaustive_signal_probs, EXHAUSTIVE_INPUT_LIMIT};
 pub use monte_carlo::monte_carlo_signal_probs;
 

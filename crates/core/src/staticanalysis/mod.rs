@@ -262,6 +262,22 @@ impl fmt::Display for StaticReport {
 
 /// Runs the full static analysis pipeline (see the module docs).
 pub fn check(circuit: &Circuit, params: &CheckParams) -> StaticReport {
+    check_cancellable(circuit, params, &crate::cancel::CancelToken::never())
+        .expect("a disarmed token never cancels")
+}
+
+/// Cancellable form of [`check`]: polls `cancel` between pipeline passes
+/// and inside the redundancy prover's per-class/per-miter loops.
+///
+/// # Errors
+///
+/// Returns [`CoreError`](crate::CoreError)`::Cancelled` when the token
+/// fires; no partial report is produced.
+pub fn check_cancellable(
+    circuit: &Circuit,
+    params: &CheckParams,
+    cancel: &crate::cancel::CancelToken,
+) -> Result<StaticReport, crate::CoreError> {
     let fanouts = Fanouts::new(circuit);
     let (mut findings, _lattice) = lint::lint(circuit, &fanouts);
     let doms = Dominators::new(circuit, &fanouts);
@@ -270,18 +286,21 @@ pub fn check(circuit: &Circuit, params: &CheckParams) -> StaticReport {
         .filter(|&(id, node)| !matches!(node.kind(), GateKind::Const(_)) && doms.idom(id).is_some())
         .count();
 
+    cancel.check()?;
     let universe = FaultUniverse::all(circuit);
     let equiv = collapse_universe(circuit, &universe);
 
     let (prover, pruned) = if params.prove_redundant {
+        cancel.check()?;
         let probs = vec![0.5; circuit.num_inputs()];
-        let (verdicts, stats) = redundancy::prove_classes(
+        let (verdicts, stats) = redundancy::prove_classes_cancellable(
             circuit,
             &equiv,
             &probs,
             params.node_budget,
             params.num_threads,
-        );
+            cancel,
+        )?;
         let keep: Vec<bool> = verdicts.iter().map(|v| !v.is_redundant()).collect();
         let redundant_faults: usize = equiv
             .classes()
@@ -327,8 +346,9 @@ pub fn check(circuit: &Circuit, params: &CheckParams) -> StaticReport {
         (None, equiv.clone())
     };
 
+    cancel.check()?;
     let dominance = dominance_collapse(circuit, &pruned);
-    StaticReport {
+    Ok(StaticReport {
         circuit_name: circuit.name().to_string(),
         findings,
         universe_faults: universe.len(),
@@ -337,7 +357,7 @@ pub fn check(circuit: &Circuit, params: &CheckParams) -> StaticReport {
         dominance_classes: dominance.len(),
         dominated_stems,
         prover,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -36,7 +36,9 @@ use protest_netlist::analyze::{Dominators, Fanouts};
 use protest_netlist::{Circuit, Levels, NodeId};
 use protest_sim::{CollapsedUniverse, Fault, FaultSite};
 
+use crate::cancel::CancelToken;
 use crate::detect::build_miter;
+use crate::error::CoreError;
 use crate::exec::Exec;
 
 use super::lint::{const_lattice, edge_is_cut, observable_set};
@@ -135,6 +137,37 @@ pub fn prove_classes(
     budget: usize,
     num_threads: usize,
 ) -> (Vec<Verdict>, ProverStats) {
+    prove_classes_cancellable(
+        circuit,
+        equiv,
+        probs,
+        budget,
+        num_threads,
+        &CancelToken::never(),
+    )
+    .expect("a disarmed token never cancels")
+}
+
+/// Cancellable form of [`prove_classes`]: the static tiers poll `cancel`
+/// per class and the BDD tier per miter, so a fired token abandons the
+/// proof run between (never inside) individual BDD builds.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Cancelled`] when the token fires; no partial
+/// verdicts are returned.
+///
+/// # Panics
+///
+/// Panics if `probs` does not match the circuit's input count.
+pub fn prove_classes_cancellable(
+    circuit: &Circuit,
+    equiv: &CollapsedUniverse,
+    probs: &[f64],
+    budget: usize,
+    num_threads: usize,
+    cancel: &CancelToken,
+) -> Result<(Vec<Verdict>, ProverStats), CoreError> {
     assert_eq!(
         probs.len(),
         circuit.num_inputs(),
@@ -180,6 +213,7 @@ pub fn prove_classes(
             if verdicts[ci].is_some() {
                 continue;
             }
+            cancel.check()?;
             if class
                 .iter()
                 .any(|&f| statically_unobservable(circuit, &fanouts, &levels, &lattice, f))
@@ -210,6 +244,11 @@ pub fn prove_classes(
                 for (ids, out) in todo.chunks(chunk).zip(out_all.chunks_mut(chunk)) {
                     s.spawn(move |_| {
                         for (slot, &ci) in out.iter_mut().zip(ids) {
+                            // A fired token abandons the chunk; the partial
+                            // verdicts are discarded by the check below.
+                            if cancel.is_cancelled() {
+                                return;
+                            }
                             let rep = equiv.representatives()[ci as usize];
                             *slot = prove_by_bdd(circuit, rep, probs, budget);
                         }
@@ -217,8 +256,10 @@ pub fn prove_classes(
                 }
             });
         });
+        cancel.check()?;
     } else {
         for (slot, &ci) in proved.iter_mut().zip(&todo) {
+            cancel.check()?;
             let rep = equiv.representatives()[ci as usize];
             *slot = prove_by_bdd(circuit, rep, probs, budget);
         }
@@ -248,7 +289,7 @@ pub fn prove_classes(
             Verdict::Unproven => stats.unproven += 1,
         }
     }
-    (final_verdicts, stats)
+    Ok((final_verdicts, stats))
 }
 
 /// Tier-2 check for one fault: is every propagation path blocked by a

@@ -6,6 +6,7 @@ use std::collections::HashSet;
 use protest_netlist::{insert_test_point, Circuit, NodeId, TestPointSpec};
 
 use crate::analyzer::Analyzer;
+use crate::cancel::CancelToken;
 use crate::error::CoreError;
 use crate::params::{AnalyzerParams, InputProbs};
 use crate::testlen::{required_test_length_fraction, TestLength};
@@ -115,12 +116,13 @@ fn analyzed_length(
     circuit: &Circuit,
     weights: &[f64],
     params: &TpiParams,
+    cancel: &CancelToken,
 ) -> Result<Option<TestLength>, CoreError> {
     let analyzer = Analyzer::with_params(circuit, params.analyzer);
     let probs = InputProbs::from_slice(weights)?;
-    let mut session = analyzer.session(&probs)?;
+    let mut session = analyzer.session_with_cancel(&probs, cancel.clone())?;
     let mut detectable = Vec::new();
-    detectable_into(session.fault_detect_probs(), &mut detectable);
+    detectable_into(session.try_fault_detect_probs()?, &mut detectable);
     Ok(required_test_length_fraction(
         &detectable,
         params.frac_d,
@@ -134,17 +136,18 @@ fn rank_on(
     weights: &[f64],
     exclude: &HashSet<NodeId>,
     params: &TpiParams,
+    cancel: &CancelToken,
 ) -> Result<(BaseState, Vec<Scored>), CoreError> {
     let analyzer = Analyzer::with_params(circuit, params.analyzer);
     let probs = InputProbs::from_slice(weights)?;
-    let mut session = analyzer.session(&probs)?;
-    let detections = session.fault_detect_probs().to_vec();
+    let mut session = analyzer.session_with_cancel(&probs, cancel.clone())?;
+    let detections = session.try_fault_detect_probs()?.to_vec();
     let mut detectable = Vec::new();
     detectable_into(&detections, &mut detectable);
     let length = required_test_length_fraction(&detectable, params.frac_d, params.conf_e);
     let base = BaseState {
-        node_probs: session.signal_probs().to_vec(),
-        obs: session.observabilities().clone(),
+        node_probs: session.try_signal_probs()?.to_vec(),
+        obs: session.try_observabilities()?.clone(),
         faults: analyzer.faults().to_vec(),
         detections,
         length,
@@ -179,19 +182,23 @@ fn rank_on(
                     s.spawn(move |_| {
                         let mut scratch = ScoreScratch::new(base_ref);
                         for (slot, &spec) in out.iter_mut().zip(cands) {
+                            // Partial rows are discarded by the check below.
+                            if cancel.is_cancelled() {
+                                return;
+                            }
                             *slot = score_candidate(circuit, engine, base_ref, spec, &mut scratch);
                         }
                     });
                 }
             });
         });
+        cancel.check()?;
     } else {
         let mut scratch = ScoreScratch::new(&base);
-        scored.extend(
-            specs
-                .iter()
-                .map(|&spec| score_candidate(circuit, engine, &base, spec, &mut scratch)),
-        );
+        for &spec in &specs {
+            cancel.check()?;
+            scored.push(score_candidate(circuit, engine, &base, spec, &mut scratch));
+        }
     }
     scored.sort_by(|a, b| {
         let pa = a.predicted.map_or(u64::MAX, |t| t.patterns);
@@ -215,9 +222,23 @@ pub fn rank(
     circuit: &Circuit,
     params: &TpiParams,
 ) -> Result<(Option<TestLength>, Vec<CandidateReport>), CoreError> {
+    rank_with_cancel(circuit, params, &CancelToken::never())
+}
+
+/// Cancellable form of [`rank`]: the base analysis and every candidate
+/// scoring sweep poll `cancel`.
+///
+/// # Errors
+///
+/// As [`rank`], plus [`CoreError::Cancelled`] when the token fires.
+pub fn rank_with_cancel(
+    circuit: &Circuit,
+    params: &TpiParams,
+    cancel: &CancelToken,
+) -> Result<(Option<TestLength>, Vec<CandidateReport>), CoreError> {
     check_params(circuit, params)?;
     let weights = base_weights(circuit, params)?;
-    let (base, scored) = rank_on(circuit, &weights, &HashSet::new(), params)?;
+    let (base, scored) = rank_on(circuit, &weights, &HashSet::new(), params, cancel)?;
     let reports = scored
         .into_iter()
         .map(|s| CandidateReport {
@@ -256,6 +277,23 @@ fn base_weights(circuit: &Circuit, params: &TpiParams) -> Result<Vec<f64>, CoreE
 /// Returns [`CoreError::ProbRange`] / [`CoreError::ProbsLength`] for
 /// invalid `base_probs` or `control_prob`.
 pub fn advise(circuit: &Circuit, params: &TpiParams) -> Result<TpiResult, CoreError> {
+    advise_with_cancel(circuit, params, &CancelToken::never())
+}
+
+/// Cancellable form of [`advise`]: every analysis session the loop opens
+/// (ranking rounds and ground-truth verification runs) is armed with
+/// `cancel`, and the commit loop polls it between rounds and candidate
+/// trials.
+///
+/// # Errors
+///
+/// As [`advise`], plus [`CoreError::Cancelled`] when the token fires; no
+/// partial trajectory is returned.
+pub fn advise_with_cancel(
+    circuit: &Circuit,
+    params: &TpiParams,
+    cancel: &CancelToken,
+) -> Result<TpiResult, CoreError> {
     check_params(circuit, params)?;
     let mut current = circuit.clone();
     let mut weights = base_weights(circuit, params)?;
@@ -266,12 +304,13 @@ pub fn advise(circuit: &Circuit, params: &TpiParams) -> Result<TpiResult, CoreEr
     // reports the base length.
     let mut base_patterns = None;
     if params.budget == 0 {
-        base_patterns = analyzed_length(&current, &weights, params)?.map(|t| t.patterns);
+        base_patterns = analyzed_length(&current, &weights, params, cancel)?.map(|t| t.patterns);
     }
     let mut steps = Vec::new();
     let mut stopped_early = false;
     for round in 0..params.budget {
-        let (base, ranked) = rank_on(&current, &weights, &exclude, params)?;
+        cancel.check()?;
+        let (base, ranked) = rank_on(&current, &weights, &exclude, params, cancel)?;
         // Bit-identical to the previous round's verification analysis —
         // same session-driven pass on the same circuit and weights.
         let last = base.length.map(|t| t.patterns);
@@ -281,6 +320,7 @@ pub fn advise(circuit: &Circuit, params: &TpiParams) -> Result<TpiResult, CoreEr
         let mut committed = false;
         let mut rejected = 0usize;
         for cand in ranked.iter().take(params.max_tries_per_step) {
+            cancel.check()?;
             let label = current.node_label(cand.spec.node);
             let (modified, point) = insert_test_point(&current, cand.spec)
                 .expect("candidates target existing non-constant nodes");
@@ -288,7 +328,8 @@ pub fn advise(circuit: &Circuit, params: &TpiParams) -> Result<TpiResult, CoreEr
             if point.control_input.is_some() {
                 new_weights.push(params.control_prob);
             }
-            let realized = analyzed_length(&modified, &new_weights, params)?.map(|t| t.patterns);
+            let realized =
+                analyzed_length(&modified, &new_weights, params, cancel)?.map(|t| t.patterns);
             let improves = match (realized, last) {
                 (Some(r), Some(l)) => r < l,
                 (Some(_), None) => true,

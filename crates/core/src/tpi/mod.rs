@@ -115,7 +115,10 @@ mod advisor;
 mod candidates;
 mod score;
 
-pub use advisor::{advise, rank, CandidateReport, TpiParams, TpiResult, TpiStep};
+pub use advisor::{
+    advise, advise_with_cancel, rank, rank_with_cancel, CandidateReport, TpiParams, TpiResult,
+    TpiStep,
+};
 pub use candidates::enumerate_candidates;
 pub use protest_netlist::{TestPointKind, TestPointSpec};
 pub use score::TPI_PREDICTION_TOLERANCE;

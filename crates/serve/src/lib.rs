@@ -20,7 +20,11 @@
 //!   typed `busy` replies instead of queueing unboundedly ([`server`]);
 //! * **observability** — per-endpoint p50/p99 latency, cache hit rates,
 //!   pool and queue gauges via the `stats` endpoint and an optional
-//!   periodic log line ([`metrics`]).
+//!   periodic log line ([`metrics`]);
+//! * **robustness** — request deadlines cooperatively cancel in-flight
+//!   analysis, worker panics become typed `internal` replies with the
+//!   session discarded, a supervisor respawns crashed circuit hosts, and
+//!   an optional capacity cap evicts idle hosts LRU-first ([`registry`]).
 //!
 //! # Wire protocol
 //!
@@ -33,9 +37,27 @@
 //! Every reply is `{"id":…,"ok":true,"result":{…}}` or
 //! `{"id":…,"ok":false,"error":{"kind":…,"message":…}}`, where `kind` is
 //! one of `parse`, `protocol`, `netlist`, `not_found`, `busy`, `timeout`,
-//! `oversized`, `analysis`, `shutting_down`. Malformed or oversized input
-//! never kills the connection (framing resynchronizes at the next
-//! newline) and never takes the daemon down.
+//! `oversized`, `analysis`, `shutting_down`, `cancelled`, `internal`.
+//! Malformed or oversized input never kills the connection (framing
+//! resynchronizes at the next newline) and never takes the daemon down.
+//!
+//! The two robustness kinds deserve a word:
+//!
+//! * **`cancelled`** — the request's deadline elapsed and its in-flight
+//!   analysis was *cooperatively stopped* at the engine's next poll point
+//!   (`cancelled_work` in `stats`). The plain `timeout` kind still
+//!   appears on the outer request when the client-side wait gives up;
+//!   `cancelled` is what an individual op inside a batch reports once the
+//!   cancellation reached the math.
+//! * **`internal`** — the daemon failed, not the request. Either a worker
+//!   panicked while executing the request (the panic is caught, the
+//!   worker's warm session is discarded instead of returned to the pool —
+//!   `sessions_discarded` — and the daemon keeps serving), or the
+//!   circuit's host thread died outright and dropped the request
+//!   unanswered. A dead host is respawned by a supervisor within ~100 ms
+//!   (`host_restarts`); jobs still queued at crash time survive the
+//!   restart, and a retry of the dropped request succeeds once the fresh
+//!   host is up.
 //!
 //! ## Endpoints
 //!

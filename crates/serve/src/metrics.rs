@@ -180,6 +180,19 @@ pub struct Metrics {
     pub session_cold_clones: AtomicU64,
     /// Registered circuits.
     pub circuits: AtomicU64,
+    /// Requests whose in-flight computation was cooperatively stopped
+    /// after the deadline fired (the work actually ceased, not just the
+    /// client-side wait).
+    pub cancelled_work: AtomicU64,
+    /// Worker panics caught and converted into `internal` error replies.
+    pub worker_panics: AtomicU64,
+    /// Dead circuit-host threads restarted by the supervisor.
+    pub host_restarts: AtomicU64,
+    /// Idle circuit hosts evicted to respect the registry capacity cap.
+    pub evictions: AtomicU64,
+    /// Sessions discarded instead of returned to a pool (poisoned by a
+    /// mid-update cancel, or abandoned during a panic unwind).
+    pub sessions_discarded: AtomicU64,
     started: Instant,
 }
 
@@ -201,6 +214,11 @@ impl Default for Metrics {
             session_warm_hits: AtomicU64::new(0),
             session_cold_clones: AtomicU64::new(0),
             circuits: AtomicU64::new(0),
+            cancelled_work: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            host_restarts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            sessions_discarded: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -328,6 +346,31 @@ impl Metrics {
                     (
                         "closed",
                         Json::Num(self.conns_closed.load(Ordering::Relaxed) as f64),
+                    ),
+                ]),
+            ),
+            (
+                "robustness",
+                Json::obj(vec![
+                    (
+                        "cancelled_work",
+                        Json::Num(self.cancelled_work.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "worker_panics",
+                        Json::Num(self.worker_panics.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "host_restarts",
+                        Json::Num(self.host_restarts.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "evictions",
+                        Json::Num(self.evictions.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "sessions_discarded",
+                        Json::Num(self.sessions_discarded.load(Ordering::Relaxed) as f64),
                     ),
                 ]),
             ),

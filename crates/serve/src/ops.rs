@@ -8,10 +8,11 @@
 //! analyses of nearby probability vectors pay only the dirty-cone cost.
 
 use protest_core::optimize::{HillClimber, OptimizeParams};
+use protest_core::staticanalysis;
 use protest_core::testlen::required_test_length_fraction;
 use protest_core::tpi::{self, TpiParams};
 use protest_core::{
-    check, AnalysisSession, Analyzer, AnalyzerParams, CheckParams, CoreError, FaultEstimate,
+    AnalysisSession, Analyzer, AnalyzerParams, CancelToken, CheckParams, CoreError, FaultEstimate,
     InputProbs,
 };
 use protest_netlist::Circuit;
@@ -20,8 +21,17 @@ use protest_sim::weighted_coverage;
 use crate::json::Json;
 use crate::protocol::{CircuitOp, ErrorKind, ProbSpec, WireError};
 
+/// Maps a core failure onto the wire: a cooperative cancellation becomes
+/// the typed `cancelled` kind so clients can distinguish "your deadline
+/// stopped the math" from "your parameters were bad".
 fn analysis_err(e: CoreError) -> WireError {
-    WireError::new(ErrorKind::Analysis, e.to_string())
+    match e {
+        CoreError::Cancelled => WireError::new(
+            ErrorKind::Cancelled,
+            "analysis cancelled: request deadline exceeded",
+        ),
+        other => WireError::new(ErrorKind::Analysis, other.to_string()),
+    }
 }
 
 /// Materializes a [`ProbSpec`] for a circuit with `inputs` primary inputs.
@@ -102,26 +112,35 @@ fn run_analyze(
 ) -> Result<Json, WireError> {
     let probs = resolve_probs(probs, circuit.num_inputs())?;
     session.set_all(probs.as_slice()).map_err(analysis_err)?;
+    // The session may carry an armed deadline token, so every query goes
+    // through the fallible `try_*` forms.
+    let detect = session
+        .try_fault_detect_probs()
+        .map_err(analysis_err)?
+        .to_vec();
     let mut fields: Vec<(&str, Json)> = vec![
         ("circuit", Json::str(circuit.name())),
         ("inputs", Json::Num(circuit.num_inputs() as f64)),
-        (
-            "faults",
-            Json::Num(session.fault_detect_probs().len() as f64),
-        ),
+        ("faults", Json::Num(detect.len() as f64)),
     ];
     if want_signal {
-        fields.push(("signal_probs", f64_arr(session.signal_probs())));
+        fields.push((
+            "signal_probs",
+            f64_arr(session.try_signal_probs().map_err(analysis_err)?),
+        ));
     }
     if want_detect {
-        fields.push(("detect_probs", f64_arr(session.fault_detect_probs())));
+        fields.push(("detect_probs", f64_arr(&detect)));
     }
-    let detect = session.fault_detect_probs().to_vec();
     fields.push(("testlen", testlen_rows(&detect, testlens)));
     if hardest > 0 {
         fields.push((
             "hardest",
-            hardest_rows(circuit, session.fault_estimates(), hardest),
+            hardest_rows(
+                circuit,
+                session.try_fault_estimates().map_err(analysis_err)?,
+                hardest,
+            ),
         ));
     }
     Ok(Json::obj(fields))
@@ -131,6 +150,7 @@ fn run_optimize(
     circuit: &Circuit,
     analyzer: &Analyzer<'_>,
     session: &mut AnalysisSession<'_, '_>,
+    cancel: &CancelToken,
     n_target: u64,
     seed: u64,
     testlens: &[(f64, f64)],
@@ -141,6 +161,7 @@ fn run_optimize(
         ..OptimizeParams::default()
     };
     let result = HillClimber::new(analyzer, params)
+        .with_cancel(cancel.clone())
         .optimize()
         .map_err(analysis_err)?;
     // Evaluate the requested test-length targets at the optimum, re-using
@@ -148,7 +169,10 @@ fn run_optimize(
     session
         .set_all(result.probs.as_slice())
         .map_err(analysis_err)?;
-    let detect = session.fault_detect_probs().to_vec();
+    let detect = session
+        .try_fault_detect_probs()
+        .map_err(analysis_err)?
+        .to_vec();
     Ok(Json::obj(vec![
         ("circuit", Json::str(circuit.name())),
         ("probs", f64_arr(result.probs.as_slice())),
@@ -165,6 +189,7 @@ fn run_optimize(
 
 fn run_tpi(
     circuit: &Circuit,
+    cancel: &CancelToken,
     budget: usize,
     max_candidates: usize,
     target_d: f64,
@@ -180,7 +205,8 @@ fn run_tpi(
         ..TpiParams::default()
     };
     if dry_run {
-        let (base, ranked) = tpi::rank(circuit, &params).map_err(analysis_err)?;
+        let (base, ranked) =
+            tpi::rank_with_cancel(circuit, &params, cancel).map_err(analysis_err)?;
         return Ok(Json::obj(vec![
             ("circuit", Json::str(circuit.name())),
             (
@@ -208,7 +234,7 @@ fn run_tpi(
             ),
         ]));
     }
-    let result = tpi::advise(circuit, &params).map_err(analysis_err)?;
+    let result = tpi::advise_with_cancel(circuit, &params, cancel).map_err(analysis_err)?;
     let final_patterns = result
         .steps
         .last()
@@ -265,6 +291,7 @@ fn run_tpi(
 
 fn run_check(
     circuit: &Circuit,
+    cancel: &CancelToken,
     prove_redundant: bool,
     bdd_budget: usize,
 ) -> Result<Json, WireError> {
@@ -273,7 +300,8 @@ fn run_check(
         node_budget: bdd_budget,
         num_threads: 0,
     };
-    let report = check(circuit, &params);
+    let report =
+        staticanalysis::check_cancellable(circuit, &params, cancel).map_err(analysis_err)?;
     // StaticReport::to_json is pretty-printed (multi-line); re-parse it
     // through our own reader so the reply stays a single line. The values
     // pass through bit-exactly (shortest-roundtrip float formatting).
@@ -289,10 +317,14 @@ fn run_check(
 fn run_simulate(
     circuit: &Circuit,
     analyzer: &Analyzer<'_>,
+    cancel: &CancelToken,
     probs: &ProbSpec,
     patterns: u64,
     seed: u64,
 ) -> Result<Json, WireError> {
+    // The simulator has no internal poll points; refuse up front so an
+    // already-expired deadline never starts a pattern sweep.
+    cancel.check().map_err(analysis_err)?;
     let weights = resolve_probs(probs, circuit.num_inputs())?;
     let curve = weighted_coverage(
         circuit,
@@ -312,11 +344,15 @@ fn run_simulate(
 }
 
 /// Runs one op. `session` is the request's (or batch's) single warm
-/// checkout; ops that work on the bare circuit ignore it.
+/// checkout; ops that work on the bare circuit ignore it. `cancel` is
+/// the request's deadline token — the session is expected to already be
+/// armed with it (see the worker loop in [`crate::registry`]), and ops
+/// that build their own analysis state thread it down explicitly.
 pub fn run_op(
     circuit: &Circuit,
     analyzer: &Analyzer<'_>,
     session: &mut AnalysisSession<'_, '_>,
+    cancel: &CancelToken,
     op: &CircuitOp,
 ) -> Result<Json, WireError> {
     match op {
@@ -339,7 +375,9 @@ pub fn run_op(
             n_target,
             seed,
             testlens,
-        } => run_optimize(circuit, analyzer, session, *n_target, *seed, testlens),
+        } => run_optimize(
+            circuit, analyzer, session, cancel, *n_target, *seed, testlens,
+        ),
         CircuitOp::Tpi {
             budget,
             max_candidates,
@@ -348,6 +386,7 @@ pub fn run_op(
             dry_run,
         } => run_tpi(
             circuit,
+            cancel,
             *budget,
             *max_candidates,
             *target_d,
@@ -357,12 +396,12 @@ pub fn run_op(
         CircuitOp::Check {
             prove_redundant,
             bdd_budget,
-        } => run_check(circuit, *prove_redundant, *bdd_budget),
+        } => run_check(circuit, cancel, *prove_redundant, *bdd_budget),
         CircuitOp::Simulate {
             probs,
             patterns,
             seed,
-        } => run_simulate(circuit, analyzer, probs, *patterns, *seed),
+        } => run_simulate(circuit, analyzer, cancel, probs, *patterns, *seed),
     }
 }
 
@@ -388,7 +427,7 @@ mod tests {
             detect_probs: true,
             signal_probs: true,
         };
-        let out = run_op(&ckt, &analyzer, &mut session, &op).unwrap();
+        let out = run_op(&ckt, &analyzer, &mut session, &CancelToken::never(), &op).unwrap();
 
         let mut direct = analyzer.session(&probs).unwrap();
         let want = direct.fault_detect_probs().to_vec();
@@ -416,7 +455,7 @@ mod tests {
             prove_redundant: false,
             bdd_budget: 10_000,
         };
-        let out = run_op(&ckt, &analyzer, &mut session, &op).unwrap();
+        let out = run_op(&ckt, &analyzer, &mut session, &CancelToken::never(), &op).unwrap();
         assert_eq!(out.get("circuit").and_then(Json::as_str), Some("c17"));
         assert!(!out.to_line().contains('\n'));
     }
@@ -434,7 +473,7 @@ mod tests {
             detect_probs: false,
             signal_probs: false,
         };
-        let err = run_op(&ckt, &analyzer, &mut session, &op).unwrap_err();
+        let err = run_op(&ckt, &analyzer, &mut session, &CancelToken::never(), &op).unwrap_err();
         assert_eq!(err.kind, ErrorKind::Analysis);
     }
 }

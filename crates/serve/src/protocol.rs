@@ -30,6 +30,18 @@ pub enum ErrorKind {
     Analysis,
     /// The server is draining and no longer accepts work.
     ShuttingDown,
+    /// The request's deadline elapsed and its in-flight computation was
+    /// cooperatively stopped (the cancellation actually reached the
+    /// analysis loops — contrast with [`Timeout`](ErrorKind::Timeout),
+    /// which only means the *client-side wait* gave up).
+    Cancelled,
+    /// The daemon failed, not the request: a worker panicked mid-job
+    /// (the panicking worker's session is discarded, never returned to
+    /// the pool, and the daemon keeps serving) or the circuit's host
+    /// thread crashed and dropped the request unanswered (the
+    /// supervisor respawns it). Either way the request is answered with
+    /// this kind rather than left hanging, and a retry is safe.
+    Internal,
 }
 
 impl ErrorKind {
@@ -45,6 +57,8 @@ impl ErrorKind {
             ErrorKind::Oversized => "oversized",
             ErrorKind::Analysis => "analysis",
             ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Cancelled => "cancelled",
+            ErrorKind::Internal => "internal",
         }
     }
 }

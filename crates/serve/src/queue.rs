@@ -159,6 +159,12 @@ impl<T> Bounded<T> {
         self.len() == 0
     }
 
+    /// Whether [`close`](Self::close) has been called. Items may still be
+    /// draining; this only reports that no new pushes are accepted.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+
     /// Closes the queue: pushes start failing, pops drain the remainder
     /// and then return `None`. All waiters wake.
     pub fn close(&self) {

@@ -15,28 +15,63 @@
 //! parses, never builds, and shares the one warm `Analyzer` with every
 //! other client — the cache-hit fast path the whole daemon is built
 //! around. Built-ins are keyed `builtin:<name>`.
+//!
+//! # Robustness
+//!
+//! Three failure paths are handled explicitly so no request ever goes
+//! unanswered:
+//!
+//! * **Deadlines stop work.** Every dispatched job carries a
+//!   [`CancelToken`] armed with the request deadline; when the client-side
+//!   wait gives up, the token is cancelled and the in-flight analysis
+//!   aborts cooperatively at its next poll point (`cancelled_work`
+//!   metric). Disabling [`cancel_on_timeout`](Registry::new) reverts to
+//!   the old fire-and-forget timeout for A/B measurement.
+//! * **Worker panics are contained.** Each job runs under
+//!   [`catch_unwind`]; a panic yields a typed `internal` error reply, the
+//!   panicking worker's session is discarded instead of returned to the
+//!   pool, and the worker keeps serving (`worker_panics` metric).
+//! * **Dead hosts are restarted.** A supervisor pass
+//!   ([`Registry::supervise`]) respawns the host thread of any circuit
+//!   whose thread exited while its queue is still open; queued jobs
+//!   survive the restart (`host_restarts` metric).
+//!
+//! A capacity cap (`max_circuits`) bounds resident warm state: inserting
+//! past the cap evicts the least-recently-used *idle* host (empty queue,
+//! no op in flight) after a graceful drain; later lookups of the evicted
+//! hash get a typed `not_found` (`evictions` metric).
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use protest_core::{Analyzer, InputProbs, PoolStats, SessionPool};
+use protest_core::{failpoints, Analyzer, CancelToken, InputProbs, PoolStats, SessionPool};
 use protest_netlist::{parse_bench, parse_pdl, Circuit};
 
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::ops::run_op;
 use crate::protocol::{CircuitOp, ErrorKind, WireError};
-use crate::queue::{Bounded, PushError};
+use crate::queue::{Bounded, Popped, PushError};
 
 /// Per-op results of one job, in request order.
 type JobReply = Vec<Result<Json, WireError>>;
 
+/// How long an idle worker waits on the queue before re-checking the
+/// host-wide dead flag. Bounds both crash detection and eviction-join
+/// latency.
+const WORKER_TICK: Duration = Duration::from_millis(50);
+
 struct Job {
     ops: Vec<CircuitOp>,
     reply: SyncSender<JobReply>,
+    /// The request's deadline token; armed by `dispatch`, honored by
+    /// every poll point the ops reach.
+    cancel: CancelToken,
 }
 
 /// One registered circuit: identity + the channel to its host thread.
@@ -54,6 +89,17 @@ pub struct Entry {
     jobs: Arc<Bounded<Job>>,
     pool_stats: Arc<Mutex<PoolStats>>,
     host: Mutex<Option<JoinHandle<()>>>,
+    /// A pristine copy of the circuit, kept so the supervisor can respawn
+    /// the host after a crash (the running host owns its own copy).
+    circuit: Circuit,
+    /// Jobs currently being executed by this host's workers.
+    active: Arc<AtomicU64>,
+    /// Cooperative kill switch shared by the host's workers; also set by
+    /// the `serve.host.exit` failpoint to simulate a host crash.
+    dead: Arc<AtomicBool>,
+    /// Milliseconds since the registry epoch at the last dispatch —
+    /// the LRU clock for capacity eviction.
+    last_used: AtomicU64,
 }
 
 /// What `submit` learned: the entry plus whether it was already cached.
@@ -91,11 +137,16 @@ fn content_hash(format: &str, text: &str) -> String {
 }
 
 /// The circuit host loop: owns the circuit, shares analyzer + pool across
-/// `workers` scoped threads, drains the job queue until it is closed.
+/// `workers` scoped threads, drains the job queue until it is closed (or
+/// the `dead` flag is raised — the simulated-crash path the supervisor
+/// recovers from).
 fn host_loop(
     circuit: Circuit,
     jobs: Arc<Bounded<Job>>,
     pool_stats: Arc<Mutex<PoolStats>>,
+    dead: Arc<AtomicBool>,
+    active: Arc<AtomicU64>,
+    metrics: Arc<Metrics>,
     workers: usize,
 ) {
     let analyzer = Analyzer::new(&circuit);
@@ -117,21 +168,78 @@ fn host_loop(
     *pool_stats.lock().unwrap() = pool.stats();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| {
-                // `pop` drains remaining jobs after close, then ends the
-                // worker — the graceful-shutdown contract.
-                while let Some(job) = jobs.pop() {
-                    let mut session = pool.checkout();
-                    let results: JobReply = job
-                        .ops
-                        .iter()
-                        .map(|op| run_op(&circuit, &analyzer, &mut session, op))
-                        .collect();
-                    drop(session);
-                    *pool_stats.lock().unwrap() = pool.stats();
-                    // A dropped receiver (request timed out) is fine.
-                    let _ = job.reply.send(results);
+            scope.spawn(|| loop {
+                // Short timed pops instead of a blocking `pop`, so every
+                // worker notices the dead flag promptly. After `close`,
+                // remaining jobs still drain before `Closed` is returned
+                // — the graceful-shutdown contract.
+                if dead.load(Ordering::Relaxed) {
+                    return;
                 }
+                let job = match jobs.pop_timeout(WORKER_TICK) {
+                    Popped::Item(job) => job,
+                    Popped::Empty => continue,
+                    Popped::Closed => return,
+                };
+                // Re-check after the pop: a sibling worker may have
+                // crashed while this one was blocked. A crashed host
+                // must go down whole — answering a job popped *after*
+                // the crash would make the failure half-visible. The
+                // dropped job surfaces as a typed `internal` reply, and
+                // the job re-queued by its client drains on the
+                // supervisor's respawned host.
+                if dead.load(Ordering::Relaxed) {
+                    return;
+                }
+                active.fetch_add(1, Ordering::Relaxed);
+                if failpoints::hit("serve.host.exit") {
+                    // Simulated host crash: every worker of this host
+                    // stops, the popped job goes unanswered (the client
+                    // gets a typed `internal` reply via the dropped
+                    // channel), and the supervisor respawns the host.
+                    active.fetch_sub(1, Ordering::Relaxed);
+                    dead.store(true, Ordering::Relaxed);
+                    return;
+                }
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let mut session = pool.checkout();
+                    session.set_cancel(job.cancel.clone());
+                    failpoints::hit("serve.worker.delay");
+                    if failpoints::hit("serve.worker.panic") {
+                        // Deliberately after the checkout: the unwind must
+                        // exercise the pool's discard-on-panic path.
+                        panic!("injected worker panic (failpoint serve.worker.panic)");
+                    }
+                    job.ops
+                        .iter()
+                        .map(|op| run_op(&circuit, &analyzer, &mut session, &job.cancel, op))
+                        .collect::<JobReply>()
+                    // The checkout drops here: a clean return disarms and
+                    // re-syncs it into the pool; a poisoned session (or a
+                    // drop during a panic unwind) is discarded instead.
+                }));
+                let results = match outcome {
+                    Ok(results) => results,
+                    Err(_) => {
+                        metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                        let err = WireError::new(
+                            ErrorKind::Internal,
+                            "worker panicked while executing the request; \
+                             its session was discarded",
+                        );
+                        vec![Err(err); job.ops.len()]
+                    }
+                };
+                if results
+                    .iter()
+                    .any(|r| matches!(r, Err(e) if e.kind == ErrorKind::Cancelled))
+                {
+                    metrics.cancelled_work.fetch_add(1, Ordering::Relaxed);
+                }
+                *pool_stats.lock().unwrap() = pool.stats();
+                // A dropped receiver (request timed out) is fine.
+                let _ = job.reply.send(results);
+                active.fetch_sub(1, Ordering::Relaxed);
             });
         }
     });
@@ -145,22 +253,62 @@ pub struct Registry {
     workers_per_circuit: usize,
     /// Job-queue capacity per circuit (backpressure bound).
     queue_capacity: usize,
+    /// Resident-circuit cap (`0` = unlimited); inserting past it evicts
+    /// the least-recently-used idle host.
+    max_circuits: usize,
+    /// When `true` (the default), a request that exceeds its deadline
+    /// cancels its in-flight computation instead of letting it run on.
+    cancel_on_timeout: bool,
+    /// The LRU clock origin for `Entry::last_used`.
+    epoch: Instant,
 }
 
 impl Registry {
-    /// Creates an empty registry.
-    pub fn new(metrics: Arc<Metrics>, workers_per_circuit: usize, queue_capacity: usize) -> Self {
+    /// Creates an empty registry. `max_circuits == 0` means unlimited;
+    /// `cancel_on_timeout` controls whether a request timeout also stops
+    /// the in-flight computation.
+    pub fn new(
+        metrics: Arc<Metrics>,
+        workers_per_circuit: usize,
+        queue_capacity: usize,
+        max_circuits: usize,
+        cancel_on_timeout: bool,
+    ) -> Self {
         Registry {
             entries: Mutex::new(HashMap::new()),
             metrics,
             workers_per_circuit: workers_per_circuit.max(1),
             queue_capacity: queue_capacity.max(1),
+            max_circuits,
+            cancel_on_timeout,
+            epoch: Instant::now(),
         }
+    }
+
+    /// Spawns the host thread for an entry's circuit. Shared by initial
+    /// registration and supervisor respawn.
+    fn spawn_host(
+        &self,
+        name: &str,
+        circuit: Circuit,
+        jobs: Arc<Bounded<Job>>,
+        pool_stats: Arc<Mutex<PoolStats>>,
+        dead: Arc<AtomicBool>,
+        active: Arc<AtomicU64>,
+    ) -> JoinHandle<()> {
+        let workers = self.workers_per_circuit;
+        let metrics = Arc::clone(&self.metrics);
+        std::thread::Builder::new()
+            .name(format!("host-{name}"))
+            .spawn(move || host_loop(circuit, jobs, pool_stats, dead, active, metrics, workers))
+            .expect("spawn circuit host thread")
     }
 
     fn spawn_entry(&self, hash: String, circuit: Circuit) -> Arc<Entry> {
         let jobs = Arc::new(Bounded::new(self.queue_capacity));
         let pool_stats = Arc::new(Mutex::new(PoolStats::default()));
+        let dead = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicU64::new(0));
         let entry = Arc::new(Entry {
             hash,
             name: circuit.name().to_string(),
@@ -170,14 +318,49 @@ impl Registry {
             jobs: Arc::clone(&jobs),
             pool_stats: Arc::clone(&pool_stats),
             host: Mutex::new(None),
+            circuit: circuit.clone(),
+            active: Arc::clone(&active),
+            dead: Arc::clone(&dead),
+            last_used: AtomicU64::new(self.epoch.elapsed().as_millis() as u64),
         });
-        let workers = self.workers_per_circuit;
-        let handle = std::thread::Builder::new()
-            .name(format!("host-{}", entry.name))
-            .spawn(move || host_loop(circuit, jobs, pool_stats, workers))
-            .expect("spawn circuit host thread");
+        let handle = self.spawn_host(&entry.name, circuit, jobs, pool_stats, dead, active);
         *entry.host.lock().unwrap() = Some(handle);
         entry
+    }
+
+    /// Makes room for one more entry when `max_circuits` is reached:
+    /// gracefully shuts down the least-recently-used *idle* host (empty
+    /// queue, nothing in flight). With every resident circuit busy there
+    /// is nothing safe to evict — the submit is shed with `busy`.
+    fn evict_for_capacity(
+        &self,
+        entries: &mut HashMap<String, Arc<Entry>>,
+    ) -> Result<(), WireError> {
+        if self.max_circuits == 0 || entries.len() < self.max_circuits {
+            return Ok(());
+        }
+        let victim = entries
+            .values()
+            .filter(|e| e.jobs.is_empty() && e.active.load(Ordering::Relaxed) == 0)
+            .min_by_key(|e| e.last_used.load(Ordering::Relaxed))
+            .map(|e| e.hash.clone());
+        let Some(hash) = victim else {
+            return Err(WireError::new(
+                ErrorKind::Busy,
+                format!(
+                    "registry is at capacity ({}) and every circuit is busy, retry later",
+                    self.max_circuits
+                ),
+            ));
+        };
+        let entry = entries.remove(&hash).expect("victim key was just observed");
+        entry.jobs.close();
+        let handle = entry.host.lock().unwrap().take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+        self.metrics.evictions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Registers (or re-finds) a netlist given by text. The hash is
@@ -209,6 +392,7 @@ impl Registry {
             _ => parse_bench(name, text),
         }
         .map_err(|e| WireError::new(ErrorKind::Netlist, e.to_string()))?;
+        self.evict_for_capacity(&mut entries)?;
         let entry = self.spawn_entry(hash.clone(), circuit);
         entries.insert(hash, Arc::clone(&entry));
         self.metrics
@@ -245,6 +429,7 @@ impl Registry {
                 ),
             )
         })?;
+        self.evict_for_capacity(&mut entries)?;
         let entry = self.spawn_entry(hash.clone(), circuit);
         entries.insert(hash, Arc::clone(&entry));
         self.metrics
@@ -262,7 +447,9 @@ impl Registry {
     }
 
     /// Runs `ops` on the circuit `hash` over one session checkout,
-    /// waiting at most `timeout` for the reply.
+    /// waiting at most `timeout` for the reply. The job carries a
+    /// [`CancelToken`] armed with the deadline, so giving up on the wait
+    /// also stops the computation (unless `cancel_on_timeout` is off).
     pub fn dispatch(
         &self,
         hash: &str,
@@ -276,8 +463,20 @@ impl Registry {
                 format!("no circuit with hash `{hash}` — submit it first"),
             )
         })?;
+        entry
+            .last_used
+            .store(self.epoch.elapsed().as_millis() as u64, Relaxed);
+        let cancel = if self.cancel_on_timeout {
+            CancelToken::after(timeout)
+        } else {
+            CancelToken::never()
+        };
         let (tx, rx) = mpsc::sync_channel(1);
-        let job = Job { ops, reply: tx };
+        let job = Job {
+            ops,
+            reply: tx,
+            cancel: cancel.clone(),
+        };
         match entry.jobs.try_push(job) {
             Ok(()) => {}
             Err(PushError::Full(_)) => {
@@ -296,14 +495,61 @@ impl Registry {
         }
         match rx.recv_timeout(timeout) {
             Ok(reply) => Ok(reply),
-            Err(_) => {
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Flip the flag explicitly too: the deadline has passed
+                // on the token's own clock, but this also covers a job
+                // still sitting in the queue.
+                cancel.cancel();
                 self.metrics.timeouts.fetch_add(1, Relaxed);
                 Err(WireError::new(
                     ErrorKind::Timeout,
                     format!("request exceeded the {:.1}s limit", timeout.as_secs_f64()),
                 ))
             }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // The reply sender was dropped without an answer: the
+                // host crashed mid-job (thread death, not a contained
+                // panic). Say so instead of blaming the clock.
+                Err(WireError::new(
+                    ErrorKind::Internal,
+                    "circuit host crashed while executing the request; \
+                     the supervisor will restart it"
+                        .to_string(),
+                ))
+            }
         }
+    }
+
+    /// One supervisor pass: respawns the host thread of every circuit
+    /// whose thread has exited while its job queue is still open (a
+    /// crash — a panic that escaped a worker scope, or the
+    /// `serve.host.exit` failpoint). Queued jobs survive and drain on
+    /// the fresh host. Returns the number of hosts restarted.
+    pub fn supervise(&self) -> usize {
+        let entries = self.entries.lock().unwrap();
+        let mut restarted = 0;
+        for entry in entries.values() {
+            let mut host = entry.host.lock().unwrap();
+            let finished = host.as_ref().is_some_and(JoinHandle::is_finished);
+            if !finished || entry.jobs.is_closed() {
+                continue;
+            }
+            if let Some(h) = host.take() {
+                let _ = h.join();
+            }
+            entry.dead.store(false, Ordering::Relaxed);
+            *host = Some(self.spawn_host(
+                &entry.name,
+                entry.circuit.clone(),
+                Arc::clone(&entry.jobs),
+                Arc::clone(&entry.pool_stats),
+                Arc::clone(&entry.dead),
+                Arc::clone(&entry.active),
+            ));
+            self.metrics.host_restarts.fetch_add(1, Ordering::Relaxed);
+            restarted += 1;
+        }
+        restarted
     }
 
     /// Refreshes the cross-circuit gauges (queue depth, session pool
@@ -320,6 +566,7 @@ impl Registry {
             agg.cold_clones += s.cold_clones;
             agg.live += s.live;
             agg.idle += s.idle;
+            agg.discarded += s.discarded;
         }
         self.metrics.queue_depth.store(depth, Relaxed);
         self.metrics.sessions_live.store(agg.live, Relaxed);
@@ -328,6 +575,9 @@ impl Registry {
         self.metrics
             .session_cold_clones
             .store(agg.cold_clones, Relaxed);
+        self.metrics
+            .sessions_discarded
+            .store(agg.discarded, Relaxed);
     }
 
     /// Closes every job queue and joins every host thread. Queued jobs
@@ -381,7 +631,7 @@ mod tests {
     #[test]
     fn submit_twice_hits_cache_and_shares_entry() {
         let metrics = Arc::new(Metrics::default());
-        let reg = Registry::new(Arc::clone(&metrics), 2, 8);
+        let reg = Registry::new(Arc::clone(&metrics), 2, 8, 0, true);
         let text = "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n";
         let first = reg.submit_text("bench", Some("t"), text).unwrap();
         assert!(!first.cached);
@@ -399,7 +649,7 @@ mod tests {
 
     #[test]
     fn dispatch_runs_ops_and_batches_share_a_session() {
-        let reg = Registry::new(Arc::new(Metrics::default()), 2, 8);
+        let reg = Registry::new(Arc::new(Metrics::default()), 2, 8, 0, true);
         let out = reg.submit_builtin("c17").unwrap();
         let reply = reg
             .dispatch(&out.entry.hash, vec![analyze_op(), analyze_op()], TIMEOUT)
@@ -413,7 +663,7 @@ mod tests {
 
     #[test]
     fn dispatch_unknown_hash_is_not_found() {
-        let reg = Registry::new(Arc::new(Metrics::default()), 1, 2);
+        let reg = Registry::new(Arc::new(Metrics::default()), 1, 2, 0, true);
         let err = reg
             .dispatch("nope", vec![analyze_op()], TIMEOUT)
             .unwrap_err();
@@ -424,7 +674,7 @@ mod tests {
     #[test]
     fn bad_netlist_is_typed_error_and_not_cached() {
         let metrics = Arc::new(Metrics::default());
-        let reg = Registry::new(Arc::clone(&metrics), 1, 2);
+        let reg = Registry::new(Arc::clone(&metrics), 1, 2, 0, true);
         let err = reg
             .submit_text("bench", None, "this is not a netlist")
             .err()

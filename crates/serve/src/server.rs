@@ -13,6 +13,9 @@
 //!   let it notice shutdown between requests.
 //! * **per-circuit hosts** — see [`crate::registry`]; handlers talk to
 //!   them through bounded job queues with a per-request timeout.
+//! * **supervisor thread** — periodically respawns any circuit host
+//!   whose thread died with its queue still open, so one crashed host
+//!   never takes the daemon's warm state down with it.
 //! * **optional stats logger** — a periodic one-line metrics report.
 //!
 //! Malformed JSON, unknown ops, oversized lines, full queues and analysis
@@ -50,6 +53,15 @@ pub struct ServeConfig {
     pub max_line_bytes: usize,
     /// Emit a one-line stats report this often (`None` = never).
     pub log_every: Option<Duration>,
+    /// Resident-circuit cap (`0` = unlimited). Submitting past it evicts
+    /// the least-recently-used idle circuit host; with every host busy
+    /// the submit is shed with a typed `busy` reply.
+    pub max_circuits: usize,
+    /// When `true` (the default), a request that exceeds
+    /// [`request_timeout`](Self::request_timeout) also cancels its
+    /// in-flight computation (typed `cancelled` op error, `cancelled_work`
+    /// metric) instead of letting it run to completion unobserved.
+    pub cancel_on_timeout: bool,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +74,8 @@ impl Default for ServeConfig {
             request_timeout: Duration::from_secs(120),
             max_line_bytes: 4 << 20,
             log_every: None,
+            max_circuits: 0,
+            cancel_on_timeout: true,
         }
     }
 }
@@ -321,6 +335,8 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         Arc::clone(&metrics),
         config.workers_per_circuit,
         config.queue_capacity,
+        config.max_circuits,
+        config.cancel_on_timeout,
     );
     let shared = Arc::new(Shared {
         metrics,
@@ -374,6 +390,21 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
                 .spawn(move || {
                     while let Some(stream) = conns.pop() {
                         handle_conn(&shared, stream);
+                    }
+                })?,
+        );
+    }
+
+    // Supervisor: restart crashed circuit hosts until the drain begins.
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-supervisor".to_string())
+                .spawn(move || {
+                    while !shared.shutdown.load(Ordering::SeqCst) {
+                        shared.registry.supervise();
+                        std::thread::sleep(Duration::from_millis(50));
                     }
                 })?,
         );

@@ -1,0 +1,116 @@
+//! Protocol fuzzer: random byte-level mutations of valid request lines
+//! are thrown at the JSON reader over a real TCP connection. The daemon
+//! must never panic, must answer every non-empty line with valid JSON,
+//! and must resynchronize on the next newline — a well-formed request
+//! sent right after the garbage always succeeds.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use protest_serve::{serve, Json, ServeConfig, ServerHandle};
+
+/// One shared daemon for every fuzz case; never shut down (process exit
+/// reaps it). A tight `max_circuits` doubles as eviction dogfood when a
+/// mutation happens to form a valid submit.
+fn server() -> &'static ServerHandle {
+    static SERVER: OnceLock<ServerHandle> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        let handle = serve(ServeConfig {
+            max_circuits: 8,
+            max_line_bytes: 64 << 10,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let (mut w, mut r) = connect(&handle);
+        let reply = roundtrip(&mut w, &mut r, b"{\"op\":\"submit\",\"builtin\":\"c17\"}");
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        handle
+    })
+}
+
+fn connect(handle: &ServerHandle) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+fn roundtrip(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &[u8]) -> Json {
+    writer.write_all(line).unwrap();
+    writer.write_all(b"\n").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(!reply.is_empty(), "daemon stopped answering");
+    Json::parse(&reply).unwrap_or_else(|e| panic!("reply is not valid JSON ({e}): {reply:?}"))
+}
+
+const BASES: [&[u8]; 4] = [
+    br#"{"id":1,"op":"analyze","circuit":"builtin:c17","prob":0.5,"testlen":[[1.0,0.95]]}"#,
+    br#"{"id":2,"op":"submit","format":"bench","text":"INPUT(a)\nOUTPUT(z)\nz = BUF(a)\n"}"#,
+    br#"{"id":3,"op":"batch","circuit":"builtin:c17","requests":[{"op":"analyze"},{"op":"check"}]}"#,
+    br#"{"id":4,"op":"stats"}"#,
+];
+
+/// xorshift64* — deterministic per-case mutation stream.
+fn next(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// See the module docs: never a panic, never an unanswered line,
+    /// always resynchronized by the next newline.
+    #[test]
+    fn mutated_lines_never_kill_the_reader(seed in 1u64..1_000_000, base in 0usize..4) {
+        let mut rng = seed;
+        let mut line = BASES[base].to_vec();
+        let edits = 1 + (next(&mut rng) % 8) as usize;
+        for _ in 0..edits {
+            let pos = (next(&mut rng) as usize) % line.len().max(1);
+            match next(&mut rng) % 3 {
+                0 => {
+                    // Replace with an arbitrary non-newline byte.
+                    let b = (next(&mut rng) % 256) as u8;
+                    line[pos] = if b == b'\n' { b'\r' } else { b };
+                }
+                1 => {
+                    let b = (next(&mut rng) % 256) as u8;
+                    line.insert(pos, if b == b'\n' { b'{' } else { b });
+                }
+                _ => {
+                    if line.len() > 1 {
+                        line.remove(pos);
+                    }
+                }
+            }
+        }
+
+        let handle = server();
+        let (mut w, mut r) = connect(handle);
+        // Empty (after trim) lines are skipped by the framer — no reply
+        // to wait for; anything else must be answered with valid JSON.
+        let text = String::from_utf8_lossy(&line);
+        if !text.trim().is_empty() {
+            let reply = roundtrip(&mut w, &mut r, &line);
+            prop_assert!(reply.get("ok").is_some(), "reply lacks ok: {reply:?}");
+        } else {
+            w.write_all(&line).unwrap();
+            w.write_all(b"\n").unwrap();
+        }
+        // Resynchronization: a well-formed request right behind the
+        // garbage gets a well-formed success.
+        let reply = roundtrip(
+            &mut w,
+            &mut r,
+            br#"{"id":9,"op":"analyze","circuit":"builtin:c17","detect_probs":false}"#,
+        );
+        prop_assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        prop_assert_eq!(reply.get("id").and_then(Json::as_u64), Some(9));
+    }
+}

@@ -72,6 +72,7 @@
 //! --workers N       analysis workers per registered circuit (default 2)
 //! --queue N         per-circuit job queue capacity (default 64)
 //! --timeout-secs S  per-request wall-clock limit (default 120)
+//! --max-circuits N  resident-circuit cap, LRU-evict idle hosts (0 = off)
 //! --log-secs S      stats log-line interval, 0 = off (default 30)
 //! --self-test       bind an ephemeral port, run a client round-trip
 //!                   against every endpoint, drain, and exit
@@ -163,7 +164,7 @@ options: --prob P  --testlen D,E  --hardest K  --n-target N  --count N
          --budget K  --target-d D  --target-e E  --ctrl-prob Q
          --max-candidates M  --dry-run  --out FILE
 serve:   --handlers N  --workers N  --queue N  --timeout-secs S
-         --log-secs S  --self-test";
+         --max-circuits N  --log-secs S  --self-test";
 
 /// Parsed command-line options.
 struct Options {
@@ -696,6 +697,9 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
                 config.workers_per_circuit = num("--workers", value("--workers")?)?;
             }
             "--queue" => config.queue_capacity = num("--queue", value("--queue")?)?,
+            "--max-circuits" => {
+                config.max_circuits = num("--max-circuits", value("--max-circuits")?)?;
+            }
             "--timeout-secs" => {
                 let s: f64 = num("--timeout-secs", value("--timeout-secs")?)?;
                 if !s.is_finite() || s <= 0.0 {
