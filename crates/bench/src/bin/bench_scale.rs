@@ -1,0 +1,207 @@
+//! Machine-readable scaling benchmark: single-core wall-clock and memory
+//! footprint of one full probabilistic analysis ([`protest_core::Analyzer::run`]
+//! — signal probabilities, observabilities, and every collapsed fault's
+//! detection estimate) across the synthetic mesh family from ~1k to ~100k+
+//! gates ([`protest_circuits::mesh_by_spec`]).
+//!
+//! This is the perf-trajectory record for the industrial-scale work: the
+//! flat struct-of-arrays netlist storage, the CSR construction passes, the
+//! partitioned one-shot path (uncoupled meshes decompose into one
+//! component per lane) and the interval-compressed fault dependency sets.
+//! Per circuit the JSON records
+//!
+//! * `analyze_ms` / `nodes_per_sec` — one `Analyzer::run` at
+//!   `num_threads = 1` (the tentpole target: a ≥100k-gate circuit in
+//!   < 10 s on one core),
+//! * logical byte counters — `flat_storage_bytes` (netlist SoA),
+//!   `fault_dep_bytes` (interval sets, sub-quadratic by construction),
+//!   `partition_storage_bytes` (extracted sub-circuits),
+//! * `vm_hwm_mb` — the process peak RSS (`VmHWM` from
+//!   `/proc/self/status`) sampled after the run. The high-water mark is
+//!   process-wide and monotone across rows, so read it as "peak so far",
+//!   not a per-circuit delta; rows run smallest to largest so the last
+//!   row is the honest peak.
+//!
+//! Writes `BENCH_scale.json` (path overridable as the first CLI argument).
+//!
+//! ```sh
+//! cargo run --release -p protest-bench --bin bench_scale
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use protest_bench::banner;
+use protest_circuits::mesh_by_spec;
+use protest_core::{Analyzer, AnalyzerParams, InputProbs};
+
+/// One circuit scale point.
+struct Row {
+    spec: &'static str,
+    nodes: usize,
+    gates: usize,
+    inputs: usize,
+    faults: usize,
+    partitions: usize,
+    classes: usize,
+    build_ms: f64,
+    analyze_ms: f64,
+    nodes_per_sec: f64,
+    flat_bytes: usize,
+    fault_dep_bytes: usize,
+    partition_bytes: usize,
+    vm_hwm_mb: f64,
+}
+
+/// Process peak resident set (`VmHWM`) in MiB, from `/proc/self/status`.
+/// Returns 0.0 on platforms without procfs.
+fn vm_hwm_mb() -> f64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| {
+            rest.trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<f64>()
+                .ok()
+        })
+        .map_or(0.0, |kb| kb / 1024.0)
+}
+
+fn measure(spec: &'static str) -> Row {
+    let t = Instant::now();
+    let circuit = mesh_by_spec(spec).expect("spec resolves");
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    let analyzer = Analyzer::with_params(
+        &circuit,
+        AnalyzerParams {
+            num_threads: 1,
+            ..AnalyzerParams::default()
+        },
+    );
+    let probs = InputProbs::uniform(circuit.num_inputs());
+    // Small circuits are averaged over a few repetitions; at 50k+ gates a
+    // single run is already seconds and repetition noise is negligible.
+    let reps: u32 = if circuit.num_nodes() < 20_000 { 3 } else { 1 };
+    let t = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(analyzer.run(&probs).expect("analysis succeeds"));
+    }
+    let analyze_ms = t.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+    Row {
+        spec,
+        nodes: circuit.num_nodes(),
+        gates: circuit.num_gates(),
+        inputs: circuit.num_inputs(),
+        faults: analyzer.faults().len(),
+        partitions: analyzer.partition_count(),
+        classes: analyzer.partition_class_count(),
+        build_ms,
+        analyze_ms,
+        nodes_per_sec: circuit.num_nodes() as f64 / (analyze_ms / 1e3),
+        flat_bytes: circuit.flat_storage_bytes(),
+        fault_dep_bytes: analyzer.fault_deps_bytes(),
+        partition_bytes: analyzer.partition_storage_bytes(),
+        vm_hwm_mb: vm_hwm_mb(),
+    }
+}
+
+fn json(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"scale_single_core\",\n");
+    out.push_str("  \"threads\": 1,\n");
+    out.push_str(
+        "  \"description\": \"One full analysis (Analyzer::run: signal probs + \
+         observability + all collapsed faults) per mesh circuit at num_threads=1; \
+         nodes_per_sec is circuit nodes over analyze wall-clock; byte counters are \
+         logical footprints (netlist SoA, fault dependency interval sets, extracted \
+         partition sub-circuits); vm_hwm_mb is the process-wide peak RSS after the \
+         row (monotone across rows)\",\n",
+    );
+    out.push_str("  \"command\": \"cargo run --release -p protest-bench --bin bench_scale\",\n");
+    out.push_str("  \"circuits\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"spec\": \"{}\", \"nodes\": {}, \"gates\": {}, \"inputs\": {}, \
+             \"faults\": {}, \"partitions\": {}, \"partition_classes\": {}, \
+             \"build_ms\": {:.1}, \"analyze_ms\": {:.1}, \
+             \"nodes_per_sec\": {:.0}, \"flat_storage_bytes\": {}, \"fault_dep_bytes\": {}, \
+             \"partition_storage_bytes\": {}, \"vm_hwm_mb\": {:.1}}}{}",
+            r.spec,
+            r.nodes,
+            r.gates,
+            r.inputs,
+            r.faults,
+            r.partitions,
+            r.classes,
+            r.build_ms,
+            r.analyze_ms,
+            r.nodes_per_sec,
+            r.flat_bytes,
+            r.fault_dep_bytes,
+            r.partition_bytes,
+            r.vm_hwm_mb,
+            if i + 1 == rows.len() { "" } else { "," },
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    banner(
+        "single-core scaling of the full analysis pass",
+        "industrial-scale tentpole: >=100k gates in <10s on one core",
+    );
+    // Smallest to largest so the monotone VmHWM stays interpretable.
+    let specs: [&'static str; 6] = [
+        "multmesh:4x4x4",
+        "multmesh:4x8x10",
+        "multmesh:4x12x16",
+        "multmesh:4x12x64",
+        "multmesh:4x16x96",
+        "multmesh:4x16x112:uncoupled",
+    ];
+    let mut rows = Vec::new();
+    for spec in specs {
+        let row = measure(spec);
+        println!(
+            "{:30} {:7} nodes {:7} faults {:3} parts {:2} cls | build {:8.1} ms | \
+             analyze {:9.1} ms ({:9.0} nodes/s) | deps {:9} B | peak {:7.1} MiB",
+            row.spec,
+            row.nodes,
+            row.faults,
+            row.partitions,
+            row.classes,
+            row.build_ms,
+            row.analyze_ms,
+            row.nodes_per_sec,
+            row.fault_dep_bytes,
+            row.vm_hwm_mb,
+        );
+        rows.push(row);
+    }
+    let best = rows
+        .iter()
+        .filter(|r| r.gates >= 100_000)
+        .map(|r| r.analyze_ms)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best.is_finite(),
+        "scale ladder must include a >=100k-gate circuit"
+    );
+    assert!(
+        best < 10_000.0,
+        "tentpole: a >=100k-gate circuit must analyze in <10s on one core (got {best:.1} ms)"
+    );
+    println!("fastest >=100k-gate analysis: {best:.1} ms (target < 10000 ms)");
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
+    std::fs::write(&path, json(&rows)).expect("write benchmark JSON");
+    println!("wrote {path}");
+}

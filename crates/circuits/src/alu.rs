@@ -10,19 +10,38 @@
 //! active-low for active-high data (as on the real part): the effective
 //! arithmetic carry-in is `¬cn`.
 
-use protest_netlist::{Circuit, CircuitBuilder};
+use protest_netlist::{Circuit, CircuitBuilder, NodeId};
 
-/// Builds the SN74181 gate-level circuit.
+/// Node-level output bundle of one embedded 74181 slice (see [`alu_slice`]).
+pub(crate) struct AluSliceNodes {
+    /// 4-bit function output.
+    pub(crate) f: [NodeId; 4],
+    /// `A = B` comparator output.
+    pub(crate) aeb: NodeId,
+    /// Active-low ripple carry out (feed to the next slice's `cn`).
+    pub(crate) cn4: NodeId,
+    /// Group propagate (active low).
+    pub(crate) pbar: NodeId,
+    /// Group generate (active low).
+    pub(crate) gbar: NodeId,
+}
+
+/// Adds one SN74181 slice to `b` (datasheet logic diagram, gate by gate).
 ///
-/// Outputs (8): `f0..f3, aeb, cn4, pbar, gbar`.
-pub fn alu_74181() -> Circuit {
-    let mut b = CircuitBuilder::new("alu74181");
-    let a = b.input_bus("a", 4);
-    let bb = b.input_bus("b", 4);
-    let s = b.input_bus("s", 4);
-    let m = b.input("m");
-    let cn = b.input("cn");
-
+/// `a`/`bb`/`s` are 4-bit buses; `m` is the mode pin and `cn` the
+/// active-low carry-in. The same network [`alu_74181`] wraps as a
+/// standalone circuit, reusable as the tile of the scalable ALU meshes.
+pub(crate) fn alu_slice(
+    b: &mut CircuitBuilder,
+    a: &[NodeId],
+    bb: &[NodeId],
+    s: &[NodeId],
+    m: NodeId,
+    cn: NodeId,
+) -> AluSliceNodes {
+    assert_eq!(a.len(), 4, "74181 slices are 4 bits wide");
+    assert_eq!(bb.len(), 4, "74181 slices are 4 bits wide");
+    assert_eq!(s.len(), 4, "74181 slices take 4 select lines");
     // First level, per bit: E_i = NOR(a, b·s0, ¬b·s1),
     //                       D_i = NOR(a·¬b·s2, a·b·s3).
     let mut e = Vec::with_capacity(4);
@@ -69,14 +88,33 @@ pub fn alu_74181() -> Circuit {
     let y2 = b.and(&[p[3], p[2], g[1]]);
     let y3 = b.and(&[p[3], p[2], p[1], g[0]]);
     let gbar = b.nor(&[g[3], y1, y2, y3]);
+    AluSliceNodes {
+        f: [f[0], f[1], f[2], f[3]],
+        aeb,
+        cn4,
+        pbar,
+        gbar,
+    }
+}
 
-    for (i, fi) in f.iter().enumerate() {
+/// Builds the SN74181 gate-level circuit.
+///
+/// Outputs (8): `f0..f3, aeb, cn4, pbar, gbar`.
+pub fn alu_74181() -> Circuit {
+    let mut b = CircuitBuilder::new("alu74181");
+    let a = b.input_bus("a", 4);
+    let bb = b.input_bus("b", 4);
+    let s = b.input_bus("s", 4);
+    let m = b.input("m");
+    let cn = b.input("cn");
+    let slice = alu_slice(&mut b, &a, &bb, &s, m, cn);
+    for (i, fi) in slice.f.iter().enumerate() {
         b.output(*fi, format!("f{i}"));
     }
-    b.output(aeb, "aeb");
-    b.output(cn4, "cn4");
-    b.output(pbar, "pbar");
-    b.output(gbar, "gbar");
+    b.output(slice.aeb, "aeb");
+    b.output(slice.cn4, "cn4");
+    b.output(slice.pbar, "pbar");
+    b.output(slice.gbar, "gbar");
     b.finish().expect("74181 construction is valid")
 }
 

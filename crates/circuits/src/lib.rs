@@ -21,6 +21,9 @@
 //!   cross-validation.
 //! * [`size_ladder`] — a family of growing multiplier circuits standing in
 //!   for the unnamed circuit ladder of the paper's Tables 7/8.
+//! * [`mult_mesh`] / [`alu_mesh`] — scalable synthetic meshes (10⁴–10⁶
+//!   gates) for industrial-size analysis runs, resolvable from spec strings
+//!   via [`mesh_by_spec`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +35,7 @@ mod divider;
 mod misc;
 mod multiplier;
 mod random;
+mod scale;
 
 pub use adders::{carry_lookahead_adder, ripple_adder};
 pub use alu::{alu_74181, alu_behavior, AluOutputs};
@@ -40,6 +44,7 @@ pub use divider::{div16, div_array, div_behavior, div_nonrestoring, div_nonresto
 pub use misc::{c17, decoder, mux_tree, parity_tree};
 pub use multiplier::{mult_abcd, mult_abcd_behavior, mult_array};
 pub use random::{random_circuit, RandomCircuitParams};
+pub use scale::{alu_mesh, mesh_by_spec, mult_mesh, MAX_MESH_TILES};
 
 /// The built-in circuit names [`by_name`] resolves, in presentation order.
 ///
@@ -50,8 +55,9 @@ pub use random::{random_circuit, RandomCircuitParams};
 pub const BUILTIN_NAMES: [&str; 7] = ["c17", "comp24", "alu", "mult", "mult6", "div8x8", "div16"];
 
 /// Resolves a built-in circuit by name (see [`BUILTIN_NAMES`]; `alu`
-/// accepts the long form `alu_74181` too). Returns `None` for unknown
-/// names.
+/// accepts the long form `alu_74181` too), or a scalable-mesh spec string
+/// like `multmesh:4x8x64` / `alumesh:16x48:uncoupled` (see
+/// [`mesh_by_spec`]). Returns `None` for unknown names.
 pub fn by_name(name: &str) -> Option<protest_netlist::Circuit> {
     match name {
         "c17" => Some(c17()),
@@ -61,7 +67,7 @@ pub fn by_name(name: &str) -> Option<protest_netlist::Circuit> {
         "mult6" => Some(mult_array(6)),
         "div8x8" => Some(div_nonrestoring(8, 8)),
         "div16" => Some(div16()),
-        _ => None,
+        spec => mesh_by_spec(spec),
     }
 }
 

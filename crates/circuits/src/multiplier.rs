@@ -15,8 +15,9 @@ use protest_netlist::{Circuit, CircuitBuilder, NodeId};
 use crate::adders::{full_adder, half_adder, ripple_add};
 
 /// Builds the partial-product array network for `c × d` inside `b`,
-/// little-endian; returns the `2n`-bit product.
-fn array_multiply(b: &mut CircuitBuilder, c: &[NodeId], d: &[NodeId]) -> Vec<NodeId> {
+/// little-endian; returns the `2n`-bit product. Shared with the scalable
+/// mesh generators in [`crate::scale`].
+pub(crate) fn array_multiply(b: &mut CircuitBuilder, c: &[NodeId], d: &[NodeId]) -> Vec<NodeId> {
     let n = c.len();
     assert_eq!(n, d.len(), "operand widths must match");
     // Partial products pp[i][j] = c_j · d_i contribute to bit i+j.

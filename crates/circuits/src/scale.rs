@@ -1,0 +1,344 @@
+//! Scalable synthetic circuits for industrial-size analysis runs.
+//!
+//! Two generator families tile the paper's own building blocks into meshes
+//! of 10⁴–10⁶ gates with realistic structure (deep carry chains,
+//! reconvergent adder arrays, ripple cascades):
+//!
+//! * [`mult_mesh`] — *pipelined multiplier arrays*: each lane is a chain of
+//!   `stages` array multipliers where a stage multiplies the low half of
+//!   the previous product by a fresh operand; the high half is tapped as a
+//!   primary output, so every gate stays observable.
+//! * [`alu_mesh`] — *interconnected ALU meshes*: each lane cascades SN74181
+//!   slices ([`crate::alu_74181`]'s tile), the function output feeding the
+//!   next stage's `A` operand and the ripple carry feeding its `cn`.
+//!
+//! Both come in a **coupled** form (lanes cross-linked into one connected
+//! component — the realistic shape) and an **uncoupled** form (each lane an
+//! independent component — exactly what the partitioned analysis path
+//! decomposes, so the differential tests can compare partitioned against
+//! monolithic results on them).
+//!
+//! [`mesh_by_spec`] resolves compact spec strings (`multmesh:4x12x64`,
+//! `alumesh:16x48:uncoupled`) so the CLI, the serve daemon and CI smoke
+//! runs can name these circuits without files.
+
+use protest_netlist::{Circuit, CircuitBuilder, NodeId};
+
+use crate::alu::alu_slice;
+use crate::multiplier::array_multiply;
+
+/// A pipelined multiplier-array mesh.
+///
+/// `lanes` parallel pipelines, each `stages` deep, built from `width`-bit
+/// array multipliers (~`6·width²` gates per tile). Lane `c` starts from
+/// input bus `a{c}_*`; stage `r` multiplies the running low half by input
+/// bus `m{c}_{r}_*`, taps the high half as outputs `h{c}_{r}_*`, and the
+/// final stage emits the full product `p{c}_*`.
+///
+/// When `coupled`, the top product bit of lane `c-1`'s stage `r` is XORed
+/// into lane `c`'s stage-`r` operand, welding all lanes into one connected
+/// component; when uncoupled the mesh has exactly `lanes` components.
+///
+/// # Panics
+///
+/// Panics if `width < 2` or `stages`/`lanes` is zero.
+pub fn mult_mesh(width: usize, stages: usize, lanes: usize, coupled: bool) -> Circuit {
+    assert!(width >= 2, "multiplier width must be at least 2");
+    assert!(
+        stages >= 1 && lanes >= 1,
+        "mesh dimensions must be positive"
+    );
+    let suffix = if coupled { "" } else { "u" };
+    let mut b = CircuitBuilder::new(format!("multmesh{width}x{stages}x{lanes}{suffix}"));
+    let mut prev_links: Vec<NodeId> = Vec::new();
+    for c in 0..lanes {
+        let mut acc = b.input_bus(&format!("a{c}_"), width);
+        let mut links = Vec::with_capacity(stages);
+        for r in 0..stages {
+            let mut m = b.input_bus(&format!("m{c}_{r}_"), width);
+            // `prev_links` is empty on lane 0, full from lane 1 on.
+            if coupled {
+                if let Some(&link) = prev_links.get(r) {
+                    m[0] = b.xor2(m[0], link);
+                }
+            }
+            let p = array_multiply(&mut b, &acc, &m);
+            links.push(p[2 * width - 1]);
+            if r + 1 == stages {
+                for (i, &bit) in p.iter().enumerate() {
+                    b.output(bit, format!("p{c}_{i}"));
+                }
+            } else {
+                for (i, &bit) in p[width..].iter().enumerate() {
+                    b.output(bit, format!("h{c}_{r}_{i}"));
+                }
+            }
+            acc = p[..width].to_vec();
+        }
+        prev_links = links;
+    }
+    b.finish().expect("multiplier mesh construction is valid")
+}
+
+/// An interconnected mesh of SN74181 ALU slices.
+///
+/// `lanes` cascades, each `stages` deep. Lane `c` has its own select bus
+/// `s{c}_*`, mode `m{c}`, seed operand `a{c}_*` and carry-in `cn{c}`;
+/// stage `r` combines the running accumulator with input bus `b{c}_{r}_*`,
+/// its `F` output becoming the next stage's `A` and its `cn4` the next
+/// carry-in (the standard 74181 ripple cascade). Every stage taps
+/// `aeb`/`P̄`/`Ḡ` as outputs; the final stage emits `f{c}_*` and
+/// `cout{c}`.
+///
+/// When `coupled`, lane `c-1`'s stage-`r` carry-out is XORed into lane
+/// `c`'s stage-`r` `B` operand (one connected component); otherwise the
+/// mesh has exactly `lanes` components.
+///
+/// # Panics
+///
+/// Panics if `stages` or `lanes` is zero.
+pub fn alu_mesh(stages: usize, lanes: usize, coupled: bool) -> Circuit {
+    assert!(
+        stages >= 1 && lanes >= 1,
+        "mesh dimensions must be positive"
+    );
+    let suffix = if coupled { "" } else { "u" };
+    let mut b = CircuitBuilder::new(format!("alumesh{stages}x{lanes}{suffix}"));
+    let mut prev_carries: Vec<NodeId> = Vec::new();
+    for c in 0..lanes {
+        let s = b.input_bus(&format!("s{c}_"), 4);
+        let m = b.input(format!("m{c}"));
+        let mut acc: Vec<NodeId> = b.input_bus(&format!("a{c}_"), 4);
+        let mut cn = b.input(format!("cn{c}"));
+        let mut carries = Vec::with_capacity(stages);
+        for r in 0..stages {
+            let mut bb = b.input_bus(&format!("b{c}_{r}_"), 4);
+            // `prev_carries` is empty on lane 0, full from lane 1 on.
+            if coupled {
+                if let Some(&carry) = prev_carries.get(r) {
+                    bb[0] = b.xor2(bb[0], carry);
+                }
+            }
+            let slice = alu_slice(&mut b, &acc, &bb, &s, m, cn);
+            carries.push(slice.cn4);
+            b.output(slice.aeb, format!("aeb{c}_{r}"));
+            b.output(slice.pbar, format!("pb{c}_{r}"));
+            b.output(slice.gbar, format!("gb{c}_{r}"));
+            if r + 1 == stages {
+                for (i, &fi) in slice.f.iter().enumerate() {
+                    b.output(fi, format!("f{c}_{i}"));
+                }
+                b.output(slice.cn4, format!("cout{c}"));
+            }
+            acc = slice.f.to_vec();
+            cn = slice.cn4;
+        }
+        prev_carries = carries;
+    }
+    b.finish().expect("ALU mesh construction is valid")
+}
+
+/// Upper bound on `stages × lanes` accepted by [`mesh_by_spec`] — keeps a
+/// mistyped spec from trying to allocate a billion-gate netlist.
+pub const MAX_MESH_TILES: usize = 1 << 16;
+
+/// Resolves a mesh spec string to a circuit.
+///
+/// Grammar (all numbers decimal):
+///
+/// ```text
+/// multmesh:<width>x<stages>x<lanes>[:uncoupled]
+/// alumesh:<stages>x<lanes>[:uncoupled]
+/// ```
+///
+/// `multmesh:4x12x64` is ≈ 50 k gates; `alumesh:16x48` ≈ 50 k as well.
+/// Returns `None` for anything that does not parse, `width` outside
+/// `2..=16`, or more than [`MAX_MESH_TILES`] tiles.
+pub fn mesh_by_spec(spec: &str) -> Option<Circuit> {
+    let mut parts = spec.split(':');
+    let family = parts.next()?;
+    let dims = parts.next()?;
+    let coupled = match parts.next() {
+        None => true,
+        Some("uncoupled") => false,
+        Some(_) => return None,
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    let nums: Option<Vec<usize>> = dims.split('x').map(|t| t.parse().ok()).collect();
+    match (family, nums?.as_slice()) {
+        ("multmesh", &[w, s, l])
+            if (2..=16).contains(&w) && s >= 1 && l >= 1 && s.checked_mul(l)? <= MAX_MESH_TILES =>
+        {
+            Some(mult_mesh(w, s, l, coupled))
+        }
+        ("alumesh", &[s, l]) if s >= 1 && l >= 1 && s.checked_mul(l)? <= MAX_MESH_TILES => {
+            Some(alu_mesh(s, l, coupled))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use protest_sim::LogicSim;
+
+    use super::*;
+    use crate::alu_behavior;
+
+    fn drive(bits: &mut Vec<u64>, value: u64, width: usize) {
+        for i in 0..width {
+            bits.push(((value >> i) & 1) * !0u64);
+        }
+    }
+
+    /// Counts connected components of the circuit's fanin graph.
+    fn component_count(ckt: &Circuit) -> usize {
+        let n = ckt.num_nodes();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (id, node) in ckt.iter() {
+            for &f in node.fanins() {
+                let (a, b) = (find(&mut parent, id.index()), find(&mut parent, f.index()));
+                parent[a] = b;
+            }
+        }
+        let mut roots: Vec<usize> = (0..n).map(|i| find(&mut parent, i)).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        roots.len()
+    }
+
+    #[test]
+    fn mult_mesh_computes_pipelined_products() {
+        let (w, stages, lanes) = (3usize, 2usize, 2usize);
+        let ckt = mult_mesh(w, stages, lanes, false);
+        let mut sim = LogicSim::new(&ckt);
+        let cases = [(3u64, 5u64, 7u64, 2u64, 6u64, 1u64), (7, 7, 7, 1, 4, 6)];
+        for (a0, m00, m01, a1, m10, m11) in cases {
+            let mut inputs = Vec::new();
+            for (a, m0, m1) in [(a0, m00, m01), (a1, m10, m11)] {
+                drive(&mut inputs, a, w);
+                drive(&mut inputs, m0, w);
+                drive(&mut inputs, m1, w);
+            }
+            let out = sim.run_block(&inputs);
+            let mut bits = out.iter().map(|&x| x & 1);
+            for (a, m0, m1) in [(a0, m00, m01), (a1, m10, m11)] {
+                let p0 = a * m0;
+                let p1 = (p0 % (1 << w)) * m1;
+                // Stage-0 high tap, then the final full product.
+                for i in 0..w {
+                    assert_eq!(bits.next().unwrap(), (p0 >> (w + i)) & 1, "h tap bit {i}");
+                }
+                for i in 0..2 * w {
+                    assert_eq!(bits.next().unwrap(), (p1 >> i) & 1, "product bit {i}");
+                }
+            }
+            assert!(bits.next().is_none());
+        }
+    }
+
+    #[test]
+    fn alu_mesh_matches_cascaded_behavior() {
+        let (stages, lanes) = (3usize, 2usize);
+        let ckt = alu_mesh(stages, lanes, false);
+        let mut sim = LogicSim::new(&ckt);
+        // Lane params: (s, m, a, cn, [b per stage]).
+        let lanes_in = [
+            (
+                0b1001u64,
+                0u64,
+                0b0101u64,
+                1u64,
+                [0b0011u64, 0b1110, 0b0110],
+            ),
+            (0b0110, 1, 0b1111, 0, [0b1010, 0b0001, 0b1100]),
+        ];
+        let mut inputs = Vec::new();
+        for (s, m, a, cn, bs) in lanes_in {
+            drive(&mut inputs, s, 4);
+            drive(&mut inputs, m, 1);
+            drive(&mut inputs, a, 4);
+            drive(&mut inputs, cn, 1);
+            for bv in bs {
+                drive(&mut inputs, bv, 4);
+            }
+        }
+        let out = sim.run_block(&inputs);
+        let mut bits = out.iter().map(|&x| x & 1 == 1);
+        for (s, m, a, cn, bs) in lanes_in {
+            let mut acc = a as u8;
+            let mut carry = cn == 1;
+            for (r, bv) in bs.iter().enumerate() {
+                let res = alu_behavior(acc, *bv as u8, s as u8, m == 1, carry);
+                assert_eq!(bits.next().unwrap(), res.aeb, "aeb stage {r}");
+                assert_eq!(bits.next().unwrap(), res.pbar, "pbar stage {r}");
+                assert_eq!(bits.next().unwrap(), res.gbar, "gbar stage {r}");
+                if r + 1 == bs.len() {
+                    for i in 0..4 {
+                        assert_eq!(bits.next().unwrap(), (res.f >> i) & 1 == 1, "f bit {i}");
+                    }
+                    assert_eq!(bits.next().unwrap(), res.cn4, "cout");
+                }
+                acc = res.f;
+                carry = res.cn4;
+            }
+        }
+        assert!(bits.next().is_none());
+    }
+
+    #[test]
+    fn coupling_controls_component_count() {
+        let un = mult_mesh(2, 2, 5, false);
+        assert_eq!(component_count(&un), 5);
+        let co = mult_mesh(2, 2, 5, true);
+        assert_eq!(component_count(&co), 1);
+        let un = alu_mesh(2, 4, false);
+        assert_eq!(component_count(&un), 4);
+        let co = alu_mesh(2, 4, true);
+        assert_eq!(component_count(&co), 1);
+    }
+
+    #[test]
+    fn meshes_reach_industrial_sizes() {
+        // ~10⁴ gates in well under a second; the 10⁵–10⁶ configurations
+        // are the same code with bigger dimensions (exercised by the
+        // scaling bench, not the unit suite).
+        let ckt = mult_mesh(4, 6, 30, true);
+        assert!(ckt.num_gates() >= 10_000, "got {} gates", ckt.num_gates());
+        let alu = alu_mesh(8, 20, true);
+        assert!(alu.num_gates() >= 10_000, "got {} gates", alu.num_gates());
+    }
+
+    #[test]
+    fn spec_strings_resolve() {
+        let ckt = mesh_by_spec("multmesh:2x2x3").unwrap();
+        assert_eq!(ckt.name(), "multmesh2x2x3");
+        let ckt = mesh_by_spec("multmesh:2x2x3:uncoupled").unwrap();
+        assert_eq!(ckt.name(), "multmesh2x2x3u");
+        assert_eq!(component_count(&ckt), 3);
+        let ckt = mesh_by_spec("alumesh:2x2").unwrap();
+        assert_eq!(ckt.name(), "alumesh2x2");
+        for bad in [
+            "multmesh:2x2",       // missing dimension
+            "alumesh:2x2x2",      // extra dimension
+            "multmesh:1x2x2",     // width too small
+            "multmesh:17x2x2",    // width too large
+            "multmesh:4x0x2",     // zero dimension
+            "multmesh:4x2x2:xyz", // bad suffix
+            "alumesh:9999x9999",  // over the tile cap
+            "frobmesh:2x2",       // unknown family
+            "multmesh:2x2x2:uncoupled:extra",
+        ] {
+            assert!(mesh_by_spec(bad).is_none(), "spec `{bad}` must not parse");
+        }
+    }
+}

@@ -304,17 +304,56 @@ impl Aig {
     }
 
     /// Fanout lists over AIG nodes: for each node, the AND nodes reading it.
-    pub(crate) fn fanout_map(&self) -> Vec<Vec<AigNodeId>> {
-        let mut map = vec![Vec::new(); self.nodes.len()];
-        for (i, node) in self.nodes.iter().enumerate() {
+    ///
+    /// Stored as one contiguous CSR array (two allocations total) rather
+    /// than a `Vec` per node — on a 100k-gate circuit the per-node-vector
+    /// form costs hundreds of thousands of small allocations and scattered
+    /// reads.
+    pub(crate) fn fanout_map(&self) -> AigFanouts {
+        let n = self.nodes.len();
+        let mut off = vec![0u32; n + 1];
+        for node in &self.nodes {
             if let AigNode::And(a, b) = *node {
-                map[a.node().index()].push(AigNodeId(i as u32));
+                off[a.node().index() + 1] += 1;
                 if b.node() != a.node() {
-                    map[b.node().index()].push(AigNodeId(i as u32));
+                    off[b.node().index() + 1] += 1;
                 }
             }
         }
-        map
+        for i in 0..n {
+            off[i + 1] += off[i];
+        }
+        let mut dat = vec![AigNodeId(0); off[n] as usize];
+        let mut cursor = off.clone();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let AigNode::And(a, b) = *node {
+                dat[cursor[a.node().index()] as usize] = AigNodeId(i as u32);
+                cursor[a.node().index()] += 1;
+                if b.node() != a.node() {
+                    dat[cursor[b.node().index()] as usize] = AigNodeId(i as u32);
+                    cursor[b.node().index()] += 1;
+                }
+            }
+        }
+        AigFanouts { off, dat }
+    }
+}
+
+/// CSR fanout adjacency over AIG nodes (see [`Aig::fanout_map`]). Each
+/// node's list is ascending in reader index, matching the order the old
+/// per-node vectors were filled in.
+#[derive(Debug, Clone)]
+pub(crate) struct AigFanouts {
+    /// `n + 1` offsets into `dat`.
+    off: Vec<u32>,
+    /// Concatenated reader lists.
+    dat: Vec<AigNodeId>,
+}
+
+impl AigFanouts {
+    /// The AND nodes reading node `i`.
+    pub(crate) fn of(&self, i: usize) -> &[AigNodeId] {
+        &self.dat[self.off[i] as usize..self.off[i + 1] as usize]
     }
 }
 

@@ -35,7 +35,9 @@ pub struct FaultEstimate {
 pub struct Analyzer<'c> {
     circuit: &'c Circuit,
     params: AnalyzerParams,
-    estimator: SignalProbEstimator,
+    /// Monolithic-AIG estimator, built on first use (sessions force it;
+    /// partitioned one-shot runs never do).
+    estimator: OnceLock<SignalProbEstimator>,
     faults: Vec<Fault>,
     /// Expanded member count per analyzed class, aligned with `faults`.
     class_sizes: Vec<u32>,
@@ -49,13 +51,17 @@ pub struct Analyzer<'c> {
     /// The reverse-sweep structure (levelization, fanouts, wavefront
     /// bounds), built on the first session and shared by all of them.
     obs_engine: OnceLock<Arc<ObservabilityEngine<'c>>>,
-    /// Fault→dependent-nodes bitsets for the sessions' incremental fault
-    /// query cache, built on first use and shared by every session.
+    /// Fault→dependent-nodes interval sets for the sessions' incremental
+    /// fault query cache, built on first use and shared by every session.
     fault_deps: OnceLock<Arc<crate::detect::FaultDeps>>,
     /// For each AIG node, the circuit nodes carrying its probability
     /// (inverse of `Aig::lit_of`, constants excluded) — translates the
     /// sessions' AIG-level dirty regions into circuit-level node sets.
-    circ_of_aig: OnceLock<Vec<Vec<u32>>>,
+    circ_of_aig: OnceLock<CircOfAig>,
+    /// The connected-component decomposition one-shot runs use (`None`
+    /// when the circuit is monolithic or partitioning is off), built on
+    /// first use. See [`crate::partition`].
+    partitioning: OnceLock<Option<crate::partition::Partitioning>>,
 }
 
 impl<'c> Analyzer<'c> {
@@ -106,12 +112,11 @@ impl<'c> Analyzer<'c> {
             collapsed = dominance_collapse(circuit, &collapsed);
         }
         let class_sizes = collapsed.classes().iter().map(|c| c.len() as u32).collect();
-        let estimator = SignalProbEstimator::new(Aig::from_circuit(circuit), &params);
         let exec = Exec::new(params.num_threads);
         Analyzer {
             circuit,
             params,
-            estimator,
+            estimator: OnceLock::new(),
             faults: collapsed.representatives().to_vec(),
             class_sizes,
             uncollapsed,
@@ -121,6 +126,7 @@ impl<'c> Analyzer<'c> {
             obs_engine: OnceLock::new(),
             fault_deps: OnceLock::new(),
             circ_of_aig: OnceLock::new(),
+            partitioning: OnceLock::new(),
         }
     }
 
@@ -211,7 +217,7 @@ impl<'c> Analyzer<'c> {
     /// Returns [`CoreError::ProbsLength`] if `probs` does not match the
     /// circuit's input count.
     pub fn run(&self, probs: &InputProbs) -> Result<CircuitAnalysis, CoreError> {
-        Ok(self.session(probs)?.into_analysis())
+        self.run_with_cancel(probs, CancelToken::never())
     }
 
     /// Cancellable form of [`run`](Self::run): the whole one-shot pass —
@@ -222,13 +228,46 @@ impl<'c> Analyzer<'c> {
         probs: &InputProbs,
         cancel: CancelToken,
     ) -> Result<CircuitAnalysis, CoreError> {
+        if let Some(plan) = self.partitioning() {
+            return crate::partition::run_partitioned(self, plan, probs, &cancel);
+        }
         self.session_with_cancel(probs, cancel)?.try_into_analysis()
     }
 
+    /// Number of independent partitions one-shot runs decompose the
+    /// circuit into (1 = the monolithic path; see [`crate::partition`]).
+    pub fn partition_count(&self) -> usize {
+        self.partitioning().map_or(1, |p| p.len())
+    }
+
+    /// Flat-storage bytes held by the partition sub-circuits (0 on the
+    /// monolithic path) — a memory-footprint counter for `stats` reports.
+    pub fn partition_storage_bytes(&self) -> usize {
+        self.partitioning().map_or(0, |p| p.storage_bytes())
+    }
+
+    /// Number of distinct sub-circuit structures among the partitions
+    /// (1 on the monolithic path). Replicated-lane netlists collapse to a
+    /// few classes; the partitioned pass builds its probability-independent
+    /// machinery once per class.
+    pub fn partition_class_count(&self) -> usize {
+        self.partitioning().map_or(1, |p| p.num_classes())
+    }
+
+    /// The cached partitioning, built on first use (crate-internal).
+    pub(crate) fn partitioning(&self) -> Option<&crate::partition::Partitioning> {
+        self.partitioning
+            .get_or_init(|| crate::partition::plan(self.circuit, &self.params))
+            .as_ref()
+    }
+
     /// The shared signal-probability estimator (crate-internal: sessions
-    /// drive its per-node kernel directly).
+    /// drive its per-node kernel directly). Built lazily on first use: the
+    /// partitioned one-shot path analyzes per-component estimators instead
+    /// and never pays for the monolithic one.
     pub(crate) fn estimator(&self) -> &SignalProbEstimator {
-        &self.estimator
+        self.estimator
+            .get_or_init(|| SignalProbEstimator::new(Aig::from_circuit(self.circuit), &self.params))
     }
 
     /// The execution context parallel passes run on (crate-internal).
@@ -252,20 +291,58 @@ impl<'c> Analyzer<'c> {
             .clone()
     }
 
+    /// Heap bytes of the fault→dependency interval store (forces its
+    /// construction) — a memory-footprint counter for `stats` reports. The
+    /// interval encoding keeps this O(Σ per-fault interval counts) instead
+    /// of the `faults × nodes / 8` a dense bitset matrix would cost.
+    pub fn fault_deps_bytes(&self) -> usize {
+        self.fault_deps().bytes()
+    }
+
     /// The AIG→circuit probability-carrier map (crate-internal), shared by
     /// every incremental query consumer.
-    pub(crate) fn circ_of_aig(&self) -> &[Vec<u32>] {
+    pub(crate) fn circ_of_aig(&self) -> &CircOfAig {
         self.circ_of_aig.get_or_init(|| {
-            let aig = self.estimator.aig();
-            let mut map: Vec<Vec<u32>> = vec![Vec::new(); aig.len()];
+            let aig = self.estimator().aig();
+            let n = aig.len();
+            let mut off = vec![0u32; n + 1];
             for c in 0..self.circuit.num_nodes() {
                 let lit = aig.lit_of(NodeId::from_index(c));
                 if !lit.is_const() {
-                    map[lit.node().index()].push(c as u32);
+                    off[lit.node().index() + 1] += 1;
                 }
             }
-            map
+            for i in 0..n {
+                off[i + 1] += off[i];
+            }
+            let mut dat = vec![0u32; off[n] as usize];
+            let mut cursor = off.clone();
+            for c in 0..self.circuit.num_nodes() {
+                let lit = aig.lit_of(NodeId::from_index(c));
+                if !lit.is_const() {
+                    let a = lit.node().index();
+                    dat[cursor[a] as usize] = c as u32;
+                    cursor[a] += 1;
+                }
+            }
+            CircOfAig { off, dat }
         })
+    }
+}
+
+/// Inverse of `Aig::lit_of` in CSR form: for each AIG node, the circuit
+/// nodes whose probability it carries (constants excluded). Flat storage —
+/// two contiguous arrays instead of one allocation per AIG node.
+#[derive(Debug)]
+pub(crate) struct CircOfAig {
+    off: Vec<u32>,
+    dat: Vec<u32>,
+}
+
+impl CircOfAig {
+    /// Circuit nodes carried by AIG node `i`, in ascending order.
+    pub(crate) fn of(&self, i: usize) -> &[u32] {
+        &self.dat[self.off[i] as usize..self.off[i + 1] as usize]
     }
 }
 

@@ -109,6 +109,7 @@ pub mod detect;
 pub mod failpoints;
 pub mod observe;
 pub mod optimize;
+pub mod partition;
 pub mod pool;
 pub mod report;
 pub mod scoap;

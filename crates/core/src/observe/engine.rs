@@ -116,7 +116,6 @@ impl<'c> ObservabilityEngine<'c> {
             pin_s: self
                 .circuit
                 .nodes()
-                .iter()
                 .map(|n| vec![0.0; n.fanins().len()])
                 .collect(),
         }

@@ -87,6 +87,26 @@ impl Observability {
         self.node_s[id.index()] = s;
         self.pin_s[id.index()].copy_from_slice(pins);
     }
+
+    /// An all-zero observability sized for `circuit` (crate-internal: the
+    /// scatter target of the partitioned one-shot pass).
+    pub(crate) fn zeroed(circuit: &Circuit) -> Observability {
+        Observability {
+            node_s: vec![0.0; circuit.num_nodes()],
+            pin_s: (0..circuit.num_nodes())
+                .map(|i| vec![0.0; circuit.node(NodeId::from_index(i)).fanins().len()])
+                .collect(),
+        }
+    }
+
+    /// Copies a sub-circuit's values into this full-circuit observability;
+    /// `node_map[i]` is the global node index of sub node `i`.
+    pub(crate) fn scatter_from(&mut self, sub: &Observability, node_map: &[u32]) {
+        for (si, &gi) in node_map.iter().enumerate() {
+            self.node_s[gi as usize] = sub.node_s[si];
+            self.pin_s[gi as usize].copy_from_slice(&sub.pin_s[si]);
+        }
+    }
 }
 
 /// Computes observabilities in one reverse-topological pass.

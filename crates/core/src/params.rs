@@ -77,6 +77,13 @@ pub struct AnalyzerParams {
     /// Fault-collapsing mode (default: equivalence only, today's
     /// behavior).
     pub collapse: FaultCollapse,
+    /// Decompose the circuit into connected components and analyze them
+    /// independently in one-shot [`Analyzer::run`](crate::Analyzer::run)
+    /// passes (default: on). Results are bit-identical to the monolithic
+    /// pass — see [`partition`](crate::partition) for the decomposition
+    /// conditions; circuits that don't meet them silently use the
+    /// monolithic path, so the knob only matters for A/B comparisons.
+    pub partition: bool,
     /// Run the redundancy prover at construction and drop
     /// proven-undetectable fault classes from the analyzed list. Sound:
     /// pruned classes have detection probability exactly 0, so removing
@@ -98,6 +105,7 @@ impl Default for AnalyzerParams {
             pin_sensitivity: PinSensitivityModel::default(),
             num_threads: 0,
             collapse: FaultCollapse::default(),
+            partition: true,
             prune_redundant: false,
             redundancy_budget: 200_000,
         }

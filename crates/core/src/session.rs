@@ -32,7 +32,7 @@
 //! |---|---|---|
 //! | [`signal_probs`](AnalysisSession::signal_probs) | full AIG→circuit map | remaps only circuit nodes carried by dirty AIG nodes |
 //! | [`observabilities`](AnalysisSession::observabilities) | full parallel reverse sweep | incremental reverse sweep of the dirty region |
-//! | [`fault_detect_probs`](AnalysisSession::fault_detect_probs) / [`fault_estimates`](AnalysisSession::fault_estimates) | every fault | only faults whose dependency bitset hits the dirty nodes |
+//! | [`fault_detect_probs`](AnalysisSession::fault_detect_probs) / [`fault_estimates`](AnalysisSession::fault_estimates) | every fault | only faults whose dependency intervals hit the dirty nodes |
 //!
 //! What invalidates what: [`set_input_prob`](AnalysisSession::set_input_prob)
 //! and [`set_all`](AnalysisSession::set_all) mark exactly the AIG nodes
@@ -241,8 +241,14 @@ pub struct AnalysisSession<'a, 'c> {
     undo: Vec<UndoEntry>,
     /// The shared dirty-region tracker every query cache consumes.
     dirty: DirtyRegion,
-    /// Circuit-level dirty bitset (scratch for the fault refresh).
-    dirty_words: Vec<u64>,
+    /// Sorted circuit-level dirty node indices (scratch for the fault
+    /// refresh's interval-intersection tests).
+    dirty_nodes: Vec<u32>,
+    /// Circuit-level dirty bitset (one bit per circuit node, scratch for
+    /// the observability refresh): the AIG dirty window is translated into
+    /// this set first so the reverse sweep is seeded once per circuit node
+    /// in ascending index order, regardless of the window's AIG order.
+    obs_seed_words: Vec<u64>,
     // Lazy query caches (see the module docs' lifecycle table).
     node_probs: Vec<f64>,
     have_node_probs: bool,
@@ -291,7 +297,8 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
             batch_vals: Vec::new(),
             undo: Vec::new(),
             dirty: DirtyRegion::new(n),
-            dirty_words: Vec::new(),
+            dirty_nodes: Vec::new(),
+            obs_seed_words: vec![0; circuit_nodes.div_ceil(64)],
             node_probs: vec![0.0; circuit_nodes],
             have_node_probs: false,
             obs,
@@ -638,7 +645,7 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
         let est = self.analyzer.estimator();
         let rank_of = &est.ranks().of;
         let readers = est.readers();
-        for &r in &readers[index] {
+        for &r in readers.of(index) {
             self.front.push(rank_of[r as usize], r);
         }
     }
@@ -763,7 +770,7 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
         let aig = self.analyzer.estimator().aig();
         let circ_of_aig = self.analyzer.circ_of_aig();
         for &a in self.dirty.pending(Consumer::NodeProbs) {
-            for &c in &circ_of_aig[a as usize] {
+            for &c in circ_of_aig.of(a as usize) {
                 self.node_probs[c as usize] =
                     lit_prob_of(&self.aig_probs, aig.lit_of(NodeId::from_index(c as usize)));
             }
@@ -805,14 +812,29 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
             self.have_obs = true;
             return Ok(());
         }
+        // Translate the AIG dirty window into a circuit-level bitset
+        // first, then seed from the bitset in ascending node order: the
+        // worklist values are seed-order independent (each node is pushed
+        // at its circuit level and evaluated against settled inputs), but
+        // the deterministic order keeps the seeding pass cache-friendly
+        // and visits each dirty circuit node exactly once.
         let circ_of_aig = self.analyzer.circ_of_aig();
+        self.obs_seed_words.fill(0);
         for &a in self.dirty.pending(Consumer::Observability) {
-            for &c in &circ_of_aig[a as usize] {
-                self.obs_delta
-                    .seed_readers(&self.obs_engine, NodeId::from_index(c as usize));
+            for &c in circ_of_aig.of(a as usize) {
+                self.obs_seed_words[c as usize / 64] |= 1u64 << (c % 64);
             }
         }
         self.dirty.commit(Consumer::Observability);
+        for wi in 0..self.obs_seed_words.len() {
+            let mut bits = self.obs_seed_words[wi];
+            while bits != 0 {
+                let c = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.obs_delta
+                    .seed_readers(&self.obs_engine, NodeId::from_index(c));
+            }
+        }
         let work = match self.obs_engine.refresh_into_exec_cancellable(
             &self.node_probs,
             &mut self.obs,
@@ -866,24 +888,19 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
             return Ok(());
         }
         let deps = analyzer.fault_deps();
-        let words = deps.words;
-        self.dirty_words.clear();
-        self.dirty_words.resize(words, 0);
+        self.dirty_nodes.clear();
         let circ_of_aig = analyzer.circ_of_aig();
         for &a in self.dirty.pending(Consumer::Faults) {
-            for &c in &circ_of_aig[a as usize] {
-                self.dirty_words[(c >> 6) as usize] |= 1 << (c & 63);
-            }
+            self.dirty_nodes
+                .extend_from_slice(circ_of_aig.of(a as usize));
         }
         self.dirty.commit(Consumer::Faults);
-        let dirty_words = &self.dirty_words;
+        self.dirty_nodes.sort_unstable();
+        self.dirty_nodes.dedup();
+        let dirty_nodes = &self.dirty_nodes;
         self.fault_scratch.todo.clear();
         for fi in 0..faults.len() {
-            if deps.bits[fi * words..(fi + 1) * words]
-                .iter()
-                .zip(dirty_words)
-                .any(|(&row, &dirty)| row & dirty != 0)
-            {
+            if deps.hits(fi, dirty_nodes) {
                 self.fault_scratch.todo.push(fi as u32);
             }
         }
@@ -923,7 +940,8 @@ impl Clone for AnalysisSession<'_, '_> {
             batch_vals: self.batch_vals.clone(),
             undo: self.undo.clone(),
             dirty: self.dirty.clone(),
-            dirty_words: self.dirty_words.clone(),
+            dirty_nodes: self.dirty_nodes.clone(),
+            obs_seed_words: self.obs_seed_words.clone(),
             node_probs: self.node_probs.clone(),
             have_node_probs: self.have_node_probs,
             obs: self.obs.clone(),

@@ -72,7 +72,25 @@ pub struct SignalProbEstimator {
     ranks: OnceLock<Ranks>,
     /// Read-dependency fanout map, built on first use (only incremental
     /// sessions need it; one-shot passes never pay).
-    readers: OnceLock<Vec<Vec<u32>>>,
+    readers: OnceLock<ReaderMap>,
+}
+
+/// CSR form of the read-dependency fan-out map (see
+/// [`SignalProbEstimator::readers`]): one contiguous edge array instead of
+/// a `Vec` per node.
+#[derive(Debug)]
+pub(crate) struct ReaderMap {
+    /// `n + 1` offsets into `dat`.
+    off: Vec<u32>,
+    /// Concatenated reader lists, ascending within each node.
+    dat: Vec<u32>,
+}
+
+impl ReaderMap {
+    /// The AND nodes whose evaluation reads node `i`.
+    pub(crate) fn of(&self, i: usize) -> &[u32] {
+        &self.dat[self.off[i] as usize..self.off[i + 1] as usize]
+    }
 }
 
 /// Fanin-depth ranks over the AIG. Every value an AND node *reads* (its
@@ -121,7 +139,7 @@ impl SignalProbEstimator {
                 if in_b[x.index()] != epoch {
                     continue;
                 }
-                let succs = &fanouts[x.index()];
+                let succs = fanouts.of(x.index());
                 if succs.len() < 2 && !(!succs.is_empty() && (x == a || x == b)) {
                     // A fanout of 1 can still join if x *is* a or b itself
                     // (x feeds the other side through its single successor
@@ -445,13 +463,16 @@ impl SignalProbEstimator {
     /// popped in ascending order visits nodes in dependency order. Built
     /// on first use and cached: every session over this estimator shares
     /// one map.
-    pub(crate) fn readers(&self) -> &[Vec<u32>] {
+    pub(crate) fn readers(&self) -> &ReaderMap {
         self.readers.get_or_init(|| self.build_reader_map())
     }
 
-    fn build_reader_map(&self) -> Vec<Vec<u32>> {
+    fn build_reader_map(&self) -> ReaderMap {
         let n = self.aig.len();
-        let mut readers: Vec<Vec<u32>> = vec![Vec::new(); n];
+        // Collect (read node, reader) edges once, then counting-sort them
+        // into a CSR array — the read-set computation (nested cones) is too
+        // expensive to run twice, and per-node vectors cost n allocations.
+        let mut edges: Vec<(u32, u32)> = Vec::new();
         let mut readset: Vec<u32> = Vec::new();
         for k in 0..n {
             let id = AigNodeId::from_index(k);
@@ -485,11 +506,26 @@ impl SignalProbEstimator {
             for &r in &readset {
                 // Node 0 is the constant; its value never changes.
                 if r != 0 {
-                    readers[r as usize].push(k as u32);
+                    edges.push((r, k as u32));
                 }
             }
         }
-        readers
+        let mut off = vec![0u32; n + 1];
+        for &(r, _) in &edges {
+            off[r as usize + 1] += 1;
+        }
+        for i in 0..n {
+            off[i + 1] += off[i];
+        }
+        let mut dat = vec![0u32; edges.len()];
+        let mut cursor = off.clone();
+        // Edges were pushed in ascending reader order, so each node's list
+        // stays ascending — the worklist invariant the session relies on.
+        for &(r, k) in &edges {
+            dat[cursor[r as usize] as usize] = k;
+            cursor[r as usize] += 1;
+        }
+        ReaderMap { off, dat }
     }
 
     /// Case-4 computation: select `W`, enumerate its assignments.

@@ -57,7 +57,6 @@ impl StafanStats {
         let mut one_count = vec![0u64; circuit.num_nodes()];
         let mut sens_count: Vec<Vec<u64>> = circuit
             .nodes()
-            .iter()
             .map(|n| vec![0u64; n.fanins().len()])
             .collect();
         let mut words = vec![0u64; circuit.num_inputs()];
@@ -128,7 +127,6 @@ pub fn stafan_estimates(
     let mut node_obs = vec![0.0f64; circuit.num_nodes()];
     let mut pin_obs: Vec<Vec<f64>> = circuit
         .nodes()
-        .iter()
         .map(|n| vec![0.0; n.fanins().len()])
         .collect();
     for &id in levels.order().iter().rev() {

@@ -1,6 +1,6 @@
 use crate::error::NetlistError;
 use crate::gate::{GateKind, LutId, TruthTable};
-use crate::netlist::{Circuit, Node, NodeId};
+use crate::netlist::{Circuit, CircuitParts, NodeId};
 
 /// Incremental, validated construction of a [`Circuit`].
 ///
@@ -30,37 +30,25 @@ use crate::netlist::{Circuit, Node, NodeId};
 /// ```
 #[derive(Debug)]
 pub struct CircuitBuilder {
-    name: String,
-    nodes: Vec<Node>,
-    inputs: Vec<NodeId>,
-    outputs: Vec<NodeId>,
-    output_names: Vec<Option<String>>,
-    luts: Vec<TruthTable>,
+    parts: CircuitParts,
 }
 
 impl CircuitBuilder {
     /// Starts a new empty circuit with the given name.
     pub fn new(name: impl Into<String>) -> Self {
         CircuitBuilder {
-            name: name.into(),
-            nodes: Vec::new(),
-            inputs: Vec::new(),
-            outputs: Vec::new(),
-            output_names: Vec::new(),
-            luts: Vec::new(),
+            parts: CircuitParts::new(name),
         }
     }
 
-    fn push(&mut self, kind: GateKind, fanins: Vec<NodeId>, name: Option<String>) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { kind, fanins, name });
-        id
+    fn push(&mut self, kind: GateKind, fanins: &[NodeId], name: Option<String>) -> NodeId {
+        self.parts.push_node(kind, fanins, name)
     }
 
     /// Adds a named primary input.
     pub fn input(&mut self, name: impl Into<String>) -> NodeId {
-        let id = self.push(GateKind::Input, Vec::new(), Some(name.into()));
-        self.inputs.push(id);
+        let id = self.push(GateKind::Input, &[], Some(name.into()));
+        self.parts.inputs.push(id);
         id
     }
 
@@ -71,12 +59,12 @@ impl CircuitBuilder {
 
     /// Adds a constant node.
     pub fn constant(&mut self, value: bool) -> NodeId {
-        self.push(GateKind::Const(value), Vec::new(), None)
+        self.push(GateKind::Const(value), &[], None)
     }
 
     /// Adds an arbitrary gate. Prefer the typed helpers where possible.
     pub fn gate(&mut self, kind: GateKind, fanins: &[NodeId]) -> NodeId {
-        self.push(kind, fanins.to_vec(), None)
+        self.push(kind, fanins, None)
     }
 
     /// Adds a gate and names its output signal.
@@ -86,68 +74,68 @@ impl CircuitBuilder {
         fanins: &[NodeId],
         name: impl Into<String>,
     ) -> NodeId {
-        self.push(kind, fanins.to_vec(), Some(name.into()))
+        self.push(kind, fanins, Some(name.into()))
     }
 
     /// Interns a truth table, returning its id for use with [`Self::lut`].
     pub fn add_table(&mut self, table: TruthTable) -> LutId {
         // Reuse identical tables.
-        if let Some(i) = self.luts.iter().position(|t| *t == table) {
+        if let Some(i) = self.parts.luts.iter().position(|t| *t == table) {
             return LutId(i as u32);
         }
-        let id = LutId(self.luts.len() as u32);
-        self.luts.push(table);
+        let id = LutId(self.parts.luts.len() as u32);
+        self.parts.luts.push(table);
         id
     }
 
     /// Adds an arbitrary-function component from an interned truth table.
     pub fn lut(&mut self, table: LutId, fanins: &[NodeId]) -> NodeId {
-        self.push(GateKind::Lut(table), fanins.to_vec(), None)
+        self.push(GateKind::Lut(table), fanins, None)
     }
 
     /// Adds a NOT gate.
     pub fn not(&mut self, a: NodeId) -> NodeId {
-        self.push(GateKind::Not, vec![a], None)
+        self.push(GateKind::Not, &[a], None)
     }
 
     /// Adds a BUF gate.
     pub fn buf(&mut self, a: NodeId) -> NodeId {
-        self.push(GateKind::Buf, vec![a], None)
+        self.push(GateKind::Buf, &[a], None)
     }
 
     /// Adds a 2-input AND.
     pub fn and2(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        self.push(GateKind::And, vec![a, b], None)
+        self.push(GateKind::And, &[a, b], None)
     }
 
     /// Adds a 2-input OR.
     pub fn or2(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        self.push(GateKind::Or, vec![a, b], None)
+        self.push(GateKind::Or, &[a, b], None)
     }
 
     /// Adds a 2-input XOR.
     pub fn xor2(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        self.push(GateKind::Xor, vec![a, b], None)
+        self.push(GateKind::Xor, &[a, b], None)
     }
 
     /// Adds a 2-input NAND.
     pub fn nand2(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        self.push(GateKind::Nand, vec![a, b], None)
+        self.push(GateKind::Nand, &[a, b], None)
     }
 
     /// Adds a 2-input NOR.
     pub fn nor2(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        self.push(GateKind::Nor, vec![a, b], None)
+        self.push(GateKind::Nor, &[a, b], None)
     }
 
     /// Adds a 2-input XNOR.
     pub fn xnor2(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        self.push(GateKind::Xnor, vec![a, b], None)
+        self.push(GateKind::Xnor, &[a, b], None)
     }
 
     /// The constant driven by `node`, if it is a constant node.
     pub fn constant_value(&self, node: NodeId) -> Option<bool> {
-        match self.nodes[node.index()].kind {
+        match self.parts.kinds[node.index()] {
             GateKind::Const(v) => Some(v),
             _ => None,
         }
@@ -205,7 +193,7 @@ impl CircuitBuilder {
     /// Panics if `fanins` is empty.
     pub fn and(&mut self, fanins: &[NodeId]) -> NodeId {
         assert!(!fanins.is_empty(), "and() requires at least one fanin");
-        self.push(GateKind::And, fanins.to_vec(), None)
+        self.push(GateKind::And, fanins, None)
     }
 
     /// Adds an n-ary OR gate (single gate, not a tree).
@@ -215,7 +203,7 @@ impl CircuitBuilder {
     /// Panics if `fanins` is empty.
     pub fn or(&mut self, fanins: &[NodeId]) -> NodeId {
         assert!(!fanins.is_empty(), "or() requires at least one fanin");
-        self.push(GateKind::Or, fanins.to_vec(), None)
+        self.push(GateKind::Or, fanins, None)
     }
 
     /// Adds an n-ary NAND gate.
@@ -225,7 +213,7 @@ impl CircuitBuilder {
     /// Panics if `fanins` is empty.
     pub fn nand(&mut self, fanins: &[NodeId]) -> NodeId {
         assert!(!fanins.is_empty(), "nand() requires at least one fanin");
-        self.push(GateKind::Nand, fanins.to_vec(), None)
+        self.push(GateKind::Nand, fanins, None)
     }
 
     /// Adds an n-ary NOR gate.
@@ -235,7 +223,7 @@ impl CircuitBuilder {
     /// Panics if `fanins` is empty.
     pub fn nor(&mut self, fanins: &[NodeId]) -> NodeId {
         assert!(!fanins.is_empty(), "nor() requires at least one fanin");
-        self.push(GateKind::Nor, fanins.to_vec(), None)
+        self.push(GateKind::Nor, fanins, None)
     }
 
     /// Builds a balanced tree of 2-input ANDs.
@@ -272,7 +260,7 @@ impl CircuitBuilder {
             let mut next = Vec::with_capacity(layer.len().div_ceil(2));
             for pair in layer.chunks(2) {
                 if pair.len() == 2 {
-                    next.push(self.push(kind, vec![pair[0], pair[1]], None));
+                    next.push(self.push(kind, &[pair[0], pair[1]], None));
                 } else {
                     next.push(pair[0]);
                 }
@@ -284,29 +272,29 @@ impl CircuitBuilder {
 
     /// Names an existing node's signal (overwrites any previous name).
     pub fn name(&mut self, node: NodeId, name: impl Into<String>) {
-        self.nodes[node.index()].name = Some(name.into());
+        self.parts.names[node.index()] = Some(name.into());
     }
 
     /// Renames the circuit under construction.
     pub fn set_name(&mut self, name: impl Into<String>) {
-        self.name = name.into();
+        self.parts.name = name.into();
     }
 
     /// Marks a node as a primary output, with an output name.
     pub fn output(&mut self, node: NodeId, name: impl Into<String>) {
-        self.outputs.push(node);
-        self.output_names.push(Some(name.into()));
+        self.parts.outputs.push(node);
+        self.parts.output_names.push(Some(name.into()));
     }
 
     /// Marks a node as a primary output without a dedicated output name.
     pub fn output_unnamed(&mut self, node: NodeId) {
-        self.outputs.push(node);
-        self.output_names.push(None);
+        self.parts.outputs.push(node);
+        self.parts.output_names.push(None);
     }
 
     /// Number of nodes added so far.
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.parts.len()
     }
 
     /// Finishes the circuit, validating all structural invariants.
@@ -316,14 +304,7 @@ impl CircuitBuilder {
     /// Any error from [`Circuit::validate`]: bad arity, dangling references,
     /// cycles, duplicate names, or an empty input/output interface.
     pub fn finish(self) -> Result<Circuit, NetlistError> {
-        let circuit = Circuit {
-            name: self.name,
-            nodes: self.nodes,
-            inputs: self.inputs,
-            outputs: self.outputs,
-            output_names: self.output_names,
-            luts: self.luts,
-        };
+        let circuit = self.parts.assemble();
         circuit.validate()?;
         Ok(circuit)
     }

@@ -248,6 +248,53 @@ impl TruthTable {
         out
     }
 
+    /// Recognizes the standard gate this table computes, if any.
+    ///
+    /// Used by the BLIF reader/writer to normalize covers: a table that is
+    /// exactly an `AND`/`NAND`/`OR`/`NOR`/`XOR`/`XNOR` over its inputs (or
+    /// `BUF`/`NOT` for one input) is represented as that [`GateKind`]
+    /// instead of a LUT, so downstream analysis sees ordinary gates and
+    /// serialization is canonical. Tables that fix the output regardless
+    /// of the input (constants *with* fanins) return `None` — collapsing
+    /// them to [`GateKind::Const`] would drop the fanin edges.
+    pub fn as_standard_gate(&self) -> Option<GateKind> {
+        let n = self.inputs as usize;
+        let minterms = 1usize << n;
+        if n == 1 {
+            return match (self.bit(0), self.bit(1)) {
+                (false, true) => Some(GateKind::Buf),
+                (true, false) => Some(GateKind::Not),
+                _ => None,
+            };
+        }
+        let ones = self.ones() as usize;
+        if ones == 1 {
+            if self.bit(minterms - 1) {
+                return Some(GateKind::And);
+            }
+            if self.bit(0) {
+                return Some(GateKind::Nor);
+            }
+        }
+        if ones == minterms - 1 {
+            if !self.bit(minterms - 1) {
+                return Some(GateKind::Nand);
+            }
+            if !self.bit(0) {
+                return Some(GateKind::Or);
+            }
+        }
+        if ones == minterms / 2 {
+            if (0..minterms).all(|m| self.bit(m) == (m.count_ones() & 1 == 1)) {
+                return Some(GateKind::Xor);
+            }
+            if (0..minterms).all(|m| self.bit(m) == (m.count_ones() & 1 == 0)) {
+                return Some(GateKind::Xnor);
+            }
+        }
+        None
+    }
+
     /// Number of minterms on which the function is 1.
     pub fn ones(&self) -> u64 {
         self.words.iter().map(|w| w.count_ones() as u64).sum()
@@ -334,6 +381,39 @@ mod tests {
         let t = TruthTable::from_words(2, vec![!0u64]).unwrap();
         assert_eq!(t.words()[0], 0xF);
         assert_eq!(t.ones(), 4);
+    }
+
+    #[test]
+    fn standard_gate_recognition() {
+        let tt = |n: usize, k: GateKind| {
+            TruthTable::from_fn(n, |m| {
+                let ws: Vec<u64> = (0..n).map(|i| ((m >> i) & 1) as u64 * !0).collect();
+                k.eval_words(&ws) & 1 == 1
+            })
+            .unwrap()
+        };
+        for n in [2usize, 3, 5] {
+            for k in [
+                GateKind::And,
+                GateKind::Nand,
+                GateKind::Or,
+                GateKind::Nor,
+                GateKind::Xor,
+                GateKind::Xnor,
+            ] {
+                assert_eq!(tt(n, k).as_standard_gate(), Some(k), "{k} over {n}");
+            }
+        }
+        assert_eq!(tt(1, GateKind::Buf).as_standard_gate(), Some(GateKind::Buf));
+        assert_eq!(tt(1, GateKind::Not).as_standard_gate(), Some(GateKind::Not));
+        // Majority-of-3 is none of the standard gates.
+        let maj = TruthTable::from_fn(3, |m| m.count_ones() >= 2).unwrap();
+        assert_eq!(maj.as_standard_gate(), None);
+        // Constants with fanins stay unrecognized (would drop edges).
+        let k0 = TruthTable::from_fn(2, |_| false).unwrap();
+        let k1 = TruthTable::from_fn(1, |_| true).unwrap();
+        assert_eq!(k0.as_standard_gate(), None);
+        assert_eq!(k1.as_standard_gate(), None);
     }
 
     #[test]

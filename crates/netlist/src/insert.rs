@@ -36,7 +36,7 @@ use std::fmt;
 
 use crate::error::NetlistError;
 use crate::gate::GateKind;
-use crate::netlist::{Circuit, Node, NodeId};
+use crate::netlist::{Circuit, CircuitParts, NodeId};
 
 /// The kind of test point to insert (see the module docs above).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -126,29 +126,17 @@ pub fn insert_test_point(
             message: format!("target node {} is a constant net", spec.node),
         });
     }
-    let mut names: HashSet<String> = circuit
-        .nodes
-        .iter()
-        .filter_map(|n| n.name.clone())
-        .collect();
-    let mut nodes = circuit.nodes.clone();
-    let mut inputs = circuit.inputs.clone();
-    let mut outputs = circuit.outputs.clone();
-    let mut output_names = circuit.output_names.clone();
+    let mut names: HashSet<String> = circuit.names.iter().flatten().cloned().collect();
+    let mut parts = CircuitParts::from_circuit(circuit);
     let target = spec.node;
 
     let point = match spec.kind {
         TestPointKind::Observe => {
             let name = fresh_name(&mut names, "tpo");
-            let gate = NodeId(nodes.len() as u32);
-            nodes.push(Node {
-                kind: GateKind::Buf,
-                fanins: vec![target],
-                name: Some(name.clone()),
-            });
-            let position = outputs.len();
-            outputs.push(gate);
-            output_names.push(Some(name.clone()));
+            let gate = parts.push_node(GateKind::Buf, &[target], Some(name.clone()));
+            let position = parts.outputs.len();
+            parts.outputs.push(gate);
+            parts.output_names.push(Some(name.clone()));
             InsertedPoint {
                 spec,
                 gate,
@@ -162,45 +150,35 @@ pub fn insert_test_point(
             // The gate inherits the net's name; the original driver gets a
             // `_td<k>` suffix so downstream references keep resolving to
             // the post-insertion net.
-            let gate_name = match nodes[target.index()].name.take() {
+            let gate_name = match parts.names[target.index()].take() {
                 Some(old) => {
                     let renamed = fresh_name(&mut names, &format!("{old}_td"));
-                    nodes[target.index()].name = Some(renamed);
+                    parts.names[target.index()] = Some(renamed);
                     old
                 }
                 None => fresh_name(&mut names, "tpg"),
             };
             let input_name = fresh_name(&mut names, "tpc");
-            let ctrl = NodeId(nodes.len() as u32);
-            nodes.push(Node {
-                kind: GateKind::Input,
-                fanins: Vec::new(),
-                name: Some(input_name.clone()),
-            });
-            inputs.push(ctrl);
-            let gate = NodeId(nodes.len() as u32);
+            let ctrl = parts.push_node(GateKind::Input, &[], Some(input_name.clone()));
+            parts.inputs.push(ctrl);
             let kind = match spec.kind {
                 TestPointKind::ControlZero => GateKind::And,
                 _ => GateKind::Or,
             };
-            nodes.push(Node {
-                kind,
-                fanins: vec![target, ctrl],
-                name: Some(gate_name.clone()),
-            });
             // Redirect every consumer of the target net — gate pins and
-            // primary-output declarations — to the inserted gate.
-            for (i, node) in nodes.iter_mut().enumerate() {
-                if i == gate.index() {
-                    continue;
-                }
-                for f in node.fanins.iter_mut() {
-                    if *f == target {
-                        *f = gate;
-                    }
+            // primary-output declarations — to the inserted gate. The
+            // pre-existing fanin CSR prefix covers exactly the consumers
+            // that must move; the inserted gate's own pins (appended next)
+            // keep reading the original driver.
+            let gate_id = NodeId(parts.len() as u32);
+            for f in parts.fanin_dat.iter_mut() {
+                if *f == target {
+                    *f = gate_id;
                 }
             }
-            for o in outputs.iter_mut() {
+            let gate = parts.push_node(kind, &[target, ctrl], Some(gate_name.clone()));
+            debug_assert_eq!(gate, gate_id);
+            for o in parts.outputs.iter_mut() {
                 if *o == target {
                     *o = gate;
                 }
@@ -216,14 +194,7 @@ pub fn insert_test_point(
         }
     };
 
-    let modified = Circuit {
-        name: circuit.name.clone(),
-        nodes,
-        inputs,
-        outputs,
-        output_names,
-        luts: circuit.luts.clone(),
-    };
+    let modified = parts.assemble();
     modified.validate()?;
     Ok((modified, point))
 }

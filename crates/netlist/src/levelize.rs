@@ -26,13 +26,28 @@ impl Levels {
         let n = circuit.num_nodes();
         let mut level = vec![0u32; n];
         let mut indeg = vec![0u32; n];
-        let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); n];
+        // Fanout adjacency as a CSR array via counting sort — one shared
+        // allocation instead of n per-node vectors, so levelizing a
+        // 100k-gate circuit costs O(n + edges) without allocator churn.
+        let mut fanout_off = vec![0u32; n + 1];
         for (id, node) in circuit.iter() {
             indeg[id.index()] = node.fanins().len() as u32;
             for &f in node.fanins() {
-                fanout[f.index()].push(id.0);
+                fanout_off[f.index() + 1] += 1;
             }
         }
+        for i in 0..n {
+            fanout_off[i + 1] += fanout_off[i];
+        }
+        let mut fanout_dat = vec![0u32; fanout_off[n] as usize];
+        let mut cursor = fanout_off.clone();
+        for (id, node) in circuit.iter() {
+            for &f in node.fanins() {
+                fanout_dat[cursor[f.index()] as usize] = id.0;
+                cursor[f.index()] += 1;
+            }
+        }
+        let fanout = |v: usize| &fanout_dat[fanout_off[v] as usize..fanout_off[v + 1] as usize];
         // Process level by level to get a deterministic order sorted by
         // (level, id).
         let mut current: Vec<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
@@ -45,7 +60,7 @@ impl Levels {
                 order.push(NodeId(v));
                 depth = depth.max(level[v as usize]);
                 let lv = level[v as usize];
-                for &u in &fanout[v as usize] {
+                for &u in fanout(v as usize) {
                     level[u as usize] = level[u as usize].max(lv + 1);
                     indeg[u as usize] -= 1;
                     if indeg[u as usize] == 0 {

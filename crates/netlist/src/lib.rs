@@ -11,9 +11,11 @@
 //! * [`analyze`] — fanout maps, cone extraction and the *joining point* search
 //!   `V(a,b)` from Wunderlich's DAC'85 paper (the set of fanout stems with one
 //!   branch on a path to `a` and another on a path to `b`).
-//! * Parsers/writers for the ISCAS-85 `.bench` format ([`parse_bench`]) and a
-//!   small structural description language, PDL ([`parse_pdl`]), standing in
-//!   for the structure-description language the original PASCAL tool compiled.
+//! * Parsers/writers for the ISCAS-85 `.bench` format ([`parse_bench`]),
+//!   combinational BLIF ([`parse_blif`], the lossless path for truth-table
+//!   components), and a small structural description language, PDL
+//!   ([`parse_pdl`]), standing in for the structure-description language the
+//!   original PASCAL tool compiled.
 //! * Test-point insertion ([`insert_test_point`]) — DFT netlist editing
 //!   (pseudo-inputs/outputs, control/observe gates) that preserves existing
 //!   node ids and names.
@@ -53,6 +55,7 @@ mod levelize;
 mod netlist;
 mod nodeset;
 mod parse_bench;
+mod parse_blif;
 mod parse_pdl;
 mod stats;
 mod transistor;
@@ -68,10 +71,11 @@ pub use levelize::Levels;
 pub use netlist::{Circuit, Node, NodeId};
 pub use nodeset::NodeSet;
 pub use parse_bench::parse_bench;
+pub use parse_blif::parse_blif;
 pub use parse_pdl::parse_pdl;
 pub use stats::{CircuitStats, GateCounts};
 pub use transistor::{gate_equivalents, transistor_count, transistors_for_gate};
-pub use write::{to_bench, to_pdl};
+pub use write::{to_bench, to_blif, to_pdl};
 
 /// Analysis passes over a [`Circuit`]: fanout maps, cones, joining points,
 /// dominators.

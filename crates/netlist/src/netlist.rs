@@ -28,28 +28,49 @@ impl fmt::Display for NodeId {
     }
 }
 
-/// A single gate (or input/constant) in a circuit.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Node {
-    pub(crate) kind: GateKind,
-    pub(crate) fanins: Vec<NodeId>,
-    pub(crate) name: Option<String>,
+/// A view of a single gate (or input/constant) in a circuit.
+///
+/// Circuits store their nodes in flat struct-of-arrays form (one kinds
+/// array, one contiguous fanin CSR array, one names array); a `Node` is a
+/// cheap `Copy` handle into that storage, not an owned record. Its
+/// accessors borrow from the circuit, so a slice obtained through
+/// [`Node::fanins`] stays valid after the handle itself goes out of scope.
+#[derive(Clone, Copy)]
+pub struct Node<'a> {
+    circuit: &'a Circuit,
+    idx: u32,
 }
 
-impl Node {
+impl<'a> Node<'a> {
     /// The logic function of the node.
     pub fn kind(&self) -> GateKind {
-        self.kind
+        self.circuit.kinds[self.idx as usize]
     }
 
     /// The fanin nodes, in pin order.
-    pub fn fanins(&self) -> &[NodeId] {
-        &self.fanins
+    pub fn fanins(&self) -> &'a [NodeId] {
+        self.circuit.fanins_of(self.idx as usize)
     }
 
     /// The declared signal name, if any.
-    pub fn name(&self) -> Option<&str> {
-        self.name.as_deref()
+    pub fn name(&self) -> Option<&'a str> {
+        self.circuit.names[self.idx as usize].as_deref()
+    }
+
+    /// This node's id in the circuit.
+    pub fn id(&self) -> NodeId {
+        NodeId(self.idx)
+    }
+}
+
+impl fmt::Debug for Node<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &NodeId(self.idx))
+            .field("kind", &self.kind())
+            .field("fanins", &self.fanins())
+            .field("name", &self.name())
+            .finish()
     }
 }
 
@@ -60,14 +81,135 @@ impl Node {
 /// the parsers, both of which validate arity, acyclicity and name uniqueness.
 /// Any node may be marked as a primary output; output order is the
 /// declaration order.
+///
+/// # Storage
+///
+/// Nodes are held in struct-of-arrays form: a flat kinds array, a flat
+/// optional-name array and one contiguous fanin array indexed through CSR
+/// offsets — no per-node heap allocations. Construction additionally
+/// derives an input-position table and a primary-output bitset, so
+/// [`input_position`](Circuit::input_position) and
+/// [`is_output`](Circuit::is_output) are O(1) (both sit on per-node hot
+/// paths of the analysis passes).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Circuit {
     pub(crate) name: String,
-    pub(crate) nodes: Vec<Node>,
+    pub(crate) kinds: Vec<GateKind>,
+    pub(crate) names: Vec<Option<String>>,
+    /// CSR offsets into `fanin_dat`; length `num_nodes() + 1`.
+    pub(crate) fanin_off: Vec<u32>,
+    /// Concatenated fanin lists of all nodes, in pin order.
+    pub(crate) fanin_dat: Vec<NodeId>,
     pub(crate) inputs: Vec<NodeId>,
     pub(crate) outputs: Vec<NodeId>,
     pub(crate) output_names: Vec<Option<String>>,
     pub(crate) luts: Vec<TruthTable>,
+    /// Derived: position in `inputs` per node (`u32::MAX` = not an input).
+    input_pos: Vec<u32>,
+    /// Derived: bitset over node indices of the primary outputs.
+    output_words: Vec<u64>,
+}
+
+/// The unassembled storage of a circuit under construction: the flat
+/// struct-of-arrays fields of [`Circuit`] without the derived lookup
+/// structures. The builder, the parsers and the test-point editor all
+/// accumulate into one of these and call [`CircuitParts::assemble`], which
+/// computes the derived fields in one O(n) pass.
+#[derive(Debug, Clone)]
+pub(crate) struct CircuitParts {
+    pub(crate) name: String,
+    pub(crate) kinds: Vec<GateKind>,
+    pub(crate) names: Vec<Option<String>>,
+    pub(crate) fanin_off: Vec<u32>,
+    pub(crate) fanin_dat: Vec<NodeId>,
+    pub(crate) inputs: Vec<NodeId>,
+    pub(crate) outputs: Vec<NodeId>,
+    pub(crate) output_names: Vec<Option<String>>,
+    pub(crate) luts: Vec<TruthTable>,
+}
+
+impl CircuitParts {
+    /// Empty storage for a named circuit.
+    pub(crate) fn new(name: impl Into<String>) -> Self {
+        CircuitParts {
+            name: name.into(),
+            kinds: Vec::new(),
+            names: Vec::new(),
+            fanin_off: vec![0],
+            fanin_dat: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            output_names: Vec::new(),
+            luts: Vec::new(),
+        }
+    }
+
+    /// Reopens an assembled circuit for structural editing (the test-point
+    /// inserter appends nodes and redirects fanins in place).
+    pub(crate) fn from_circuit(circuit: &Circuit) -> Self {
+        CircuitParts {
+            name: circuit.name.clone(),
+            kinds: circuit.kinds.clone(),
+            names: circuit.names.clone(),
+            fanin_off: circuit.fanin_off.clone(),
+            fanin_dat: circuit.fanin_dat.clone(),
+            inputs: circuit.inputs.clone(),
+            outputs: circuit.outputs.clone(),
+            output_names: circuit.output_names.clone(),
+            luts: circuit.luts.clone(),
+        }
+    }
+
+    /// Number of nodes pushed so far.
+    pub(crate) fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Appends one node, extending the fanin CSR.
+    pub(crate) fn push_node(
+        &mut self,
+        kind: GateKind,
+        fanins: &[NodeId],
+        name: Option<String>,
+    ) -> NodeId {
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(kind);
+        self.names.push(name);
+        self.fanin_dat.extend_from_slice(fanins);
+        self.fanin_off.push(self.fanin_dat.len() as u32);
+        id
+    }
+
+    /// Builds the [`Circuit`], deriving the O(1) lookup structures. Does
+    /// **not** validate — callers run [`Circuit::validate`] afterwards.
+    pub(crate) fn assemble(self) -> Circuit {
+        let n = self.kinds.len();
+        let mut input_pos = vec![u32::MAX; n];
+        for (p, &id) in self.inputs.iter().enumerate() {
+            if id.index() < n && input_pos[id.index()] == u32::MAX {
+                input_pos[id.index()] = p as u32;
+            }
+        }
+        let mut output_words = vec![0u64; n.div_ceil(64)];
+        for &o in &self.outputs {
+            if o.index() < n {
+                output_words[o.index() >> 6] |= 1 << (o.index() & 63);
+            }
+        }
+        Circuit {
+            name: self.name,
+            kinds: self.kinds,
+            names: self.names,
+            fanin_off: self.fanin_off,
+            fanin_dat: self.fanin_dat,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            output_names: self.output_names,
+            luts: self.luts,
+            input_pos,
+            output_words,
+        }
+    }
 }
 
 impl Circuit {
@@ -78,7 +220,7 @@ impl Circuit {
 
     /// Total number of nodes (inputs + gates + constants).
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.kinds.len()
     }
 
     /// Number of primary inputs.
@@ -93,10 +235,15 @@ impl Circuit {
 
     /// Number of logic gates (nodes that are neither inputs nor constants).
     pub fn num_gates(&self) -> usize {
-        self.nodes
+        self.kinds
             .iter()
-            .filter(|n| !matches!(n.kind, GateKind::Input | GateKind::Const(_)))
+            .filter(|k| !matches!(k, GateKind::Input | GateKind::Const(_)))
             .count()
+    }
+
+    /// The fanin slice of the node at `index` (CSR lookup).
+    pub(crate) fn fanins_of(&self, index: usize) -> &[NodeId] {
+        &self.fanin_dat[self.fanin_off[index] as usize..self.fanin_off[index + 1] as usize]
     }
 
     /// The node with the given id.
@@ -104,21 +251,22 @@ impl Circuit {
     /// # Panics
     ///
     /// Panics if `id` is out of range.
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+    pub fn node(&self, id: NodeId) -> Node<'_> {
+        assert!(id.index() < self.kinds.len(), "node id out of range");
+        Node {
+            circuit: self,
+            idx: id.0,
+        }
     }
 
-    /// All nodes, indexable by [`NodeId::index`].
-    pub fn nodes(&self) -> &[Node] {
-        &self.nodes
+    /// Iterates over all nodes in storage order ([`NodeId::index`] order).
+    pub fn nodes(&self) -> impl Iterator<Item = Node<'_>> {
+        (0..self.kinds.len() as u32).map(|idx| Node { circuit: self, idx })
     }
 
     /// Iterates over `(id, node)` pairs in storage order.
-    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (NodeId(i as u32), n))
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Node<'_>)> {
+        (0..self.kinds.len() as u32).map(|idx| (NodeId(idx), Node { circuit: self, idx }))
     }
 
     /// Primary inputs in declaration order.
@@ -132,13 +280,20 @@ impl Circuit {
     }
 
     /// The position of `id` in the primary input list, if it is an input.
+    /// O(1) via the derived position table.
     pub fn input_position(&self, id: NodeId) -> Option<usize> {
-        self.inputs.iter().position(|&i| i == id)
+        match self.input_pos.get(id.index()) {
+            Some(&p) if p != u32::MAX => Some(p as usize),
+            _ => None,
+        }
     }
 
-    /// Whether `id` is marked as a primary output.
+    /// Whether `id` is marked as a primary output. O(1) via the derived
+    /// output bitset.
     pub fn is_output(&self, id: NodeId) -> bool {
-        self.outputs.contains(&id)
+        self.output_words
+            .get(id.index() >> 6)
+            .is_some_and(|w| (w >> (id.index() & 63)) & 1 == 1)
     }
 
     /// The name of the `i`-th primary output (explicit output name, falling
@@ -146,7 +301,7 @@ impl Circuit {
     pub fn output_name(&self, i: usize) -> Option<&str> {
         self.output_names[i]
             .as_deref()
-            .or_else(|| self.nodes[self.outputs[i].index()].name.as_deref())
+            .or_else(|| self.names[self.outputs[i].index()].as_deref())
     }
 
     /// The interned truth table behind a [`GateKind::Lut`] node.
@@ -165,18 +320,32 @@ impl Circuit {
 
     /// Finds a node by name (inputs, gates and named outputs).
     pub fn find(&self, name: &str) -> Option<NodeId> {
-        self.nodes
+        self.names
             .iter()
-            .position(|n| n.name.as_deref() == Some(name))
+            .position(|n| n.as_deref() == Some(name))
             .map(|i| NodeId(i as u32))
     }
 
     /// A display name for the node: its declared name or `n<i>`.
     pub fn node_label(&self, id: NodeId) -> String {
-        match &self.nodes[id.index()].name {
+        match &self.names[id.index()] {
             Some(n) => n.clone(),
             None => format!("{id}"),
         }
+    }
+
+    /// Bytes of heap memory held by the flat structural arrays (kinds,
+    /// fanin CSR, interface lists and the derived lookup tables). Signal
+    /// names are excluded — they are presentation data, not hot-path
+    /// structure. Exposed so the CLI's `stats` counters can report the
+    /// struct-of-arrays footprint.
+    pub fn flat_storage_bytes(&self) -> usize {
+        self.kinds.len() * std::mem::size_of::<GateKind>()
+            + self.fanin_off.len() * std::mem::size_of::<u32>()
+            + self.fanin_dat.len() * std::mem::size_of::<NodeId>()
+            + (self.inputs.len() + self.outputs.len()) * std::mem::size_of::<NodeId>()
+            + self.input_pos.len() * std::mem::size_of::<u32>()
+            + self.output_words.len() * std::mem::size_of::<u64>()
     }
 
     /// Validates structural invariants. Called by the builder and parsers;
@@ -194,58 +363,65 @@ impl Circuit {
         if self.outputs.is_empty() {
             return Err(NetlistError::EmptyInterface { what: "outputs" });
         }
-        let n = self.nodes.len();
-        for (i, node) in self.nodes.iter().enumerate() {
+        let n = self.kinds.len();
+        for i in 0..n {
             let id = NodeId(i as u32);
-            if !node.kind.arity_ok(node.fanins.len()) {
+            let kind = self.kinds[i];
+            let fanins = self.fanins_of(i);
+            if !kind.arity_ok(fanins.len()) {
                 return Err(NetlistError::Arity {
-                    kind: node.kind.mnemonic(),
-                    got: node.fanins.len(),
-                    expected: node.kind.arity_expected(),
+                    kind: kind.mnemonic(),
+                    got: fanins.len(),
+                    expected: kind.arity_expected(),
                 });
             }
-            if let GateKind::Lut(lid) = node.kind {
+            if let GateKind::Lut(lid) = kind {
                 let table = self
                     .luts
                     .get(lid.index())
                     .ok_or(NetlistError::UnknownLut { id: lid.index() })?;
-                if table.num_inputs() != node.fanins.len() {
+                if table.num_inputs() != fanins.len() {
                     return Err(NetlistError::Arity {
                         kind: "lut",
-                        got: node.fanins.len(),
+                        got: fanins.len(),
                         expected: "the table's declared width",
                     });
                 }
             }
-            for &f in &node.fanins {
+            for &f in fanins {
                 if f.index() >= n {
                     return Err(NetlistError::DanglingFanin { node: id, fanin: f });
                 }
             }
         }
-        // Cycle check via Kahn's algorithm.
-        let mut indeg: Vec<u32> = vec![0; n];
-        for node in &self.nodes {
-            for &f in &node.fanins {
-                // indegree counts uses; we topo-sort on "fanins before node".
-                let _ = f;
-            }
+        // Cycle check via Kahn's algorithm. The fanout adjacency is built
+        // as a CSR array by counting sort — no per-node allocations, so
+        // validation stays O(n + edges) at any circuit size.
+        let mut indeg: Vec<u32> = (0..n)
+            .map(|i| self.fanin_off[i + 1] - self.fanin_off[i])
+            .collect();
+        let mut fanout_off = vec![0u32; n + 1];
+        for &f in &self.fanin_dat {
+            fanout_off[f.index() + 1] += 1;
         }
-        // indeg[i] = number of fanins of node i not yet emitted.
-        for (i, node) in self.nodes.iter().enumerate() {
-            indeg[i] = node.fanins.len() as u32;
+        for i in 0..n {
+            fanout_off[i + 1] += fanout_off[i];
         }
-        let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for (i, node) in self.nodes.iter().enumerate() {
-            for &f in &node.fanins {
-                fanout[f.index()].push(i as u32);
+        let mut fanout_dat = vec![0u32; self.fanin_dat.len()];
+        let mut cursor = fanout_off.clone();
+        for i in 0..n {
+            for &f in self.fanins_of(i) {
+                fanout_dat[cursor[f.index()] as usize] = i as u32;
+                cursor[f.index()] += 1;
             }
         }
         let mut queue: Vec<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
         let mut emitted = 0usize;
         while let Some(v) = queue.pop() {
             emitted += 1;
-            for &u in &fanout[v as usize] {
+            let lo = fanout_off[v as usize] as usize;
+            let hi = fanout_off[v as usize + 1] as usize;
+            for &u in &fanout_dat[lo..hi] {
                 indeg[u as usize] -= 1;
                 if indeg[u as usize] == 0 {
                     queue.push(u);
@@ -261,8 +437,8 @@ impl Circuit {
         }
         // Duplicate names.
         let mut seen: HashMap<&str, NodeId> = HashMap::new();
-        for (i, node) in self.nodes.iter().enumerate() {
-            if let Some(name) = node.name.as_deref() {
+        for (i, name) in self.names.iter().enumerate() {
+            if let Some(name) = name.as_deref() {
                 if seen.insert(name, NodeId(i as u32)).is_some() {
                     return Err(NetlistError::DuplicateName {
                         name: name.to_string(),
@@ -294,7 +470,26 @@ mod tests {
         assert_eq!(ckt.find("a"), Some(a));
         assert_eq!(ckt.input_position(c), Some(1));
         assert!(ckt.is_output(g));
+        assert!(!ckt.is_output(a));
         assert_eq!(ckt.output_name(0), Some("z"));
         assert_eq!(ckt.node_label(a), "a");
+    }
+
+    #[test]
+    fn flat_storage_is_contiguous() {
+        let mut b = CircuitBuilder::new("t");
+        let xs = b.input_bus("x", 3);
+        let g1 = b.and2(xs[0], xs[1]);
+        let g2 = b.or2(g1, xs[2]);
+        b.output(g2, "z");
+        let ckt = b.finish().unwrap();
+        // Every node's fanins come from one shared array; positions are O(1).
+        assert_eq!(ckt.node(g1).fanins(), &[xs[0], xs[1]]);
+        assert_eq!(ckt.node(g2).fanins(), &[g1, xs[2]]);
+        for (p, &i) in ckt.inputs().iter().enumerate() {
+            assert_eq!(ckt.input_position(i), Some(p));
+        }
+        assert_eq!(ckt.input_position(g1), None);
+        assert!(ckt.flat_storage_bytes() > 0);
     }
 }

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 
 use crate::error::NetlistError;
 use crate::gate::GateKind;
-use crate::netlist::{Circuit, Node, NodeId};
+use crate::netlist::{Circuit, CircuitParts, NodeId};
 
 /// Parses ISCAS-85 `.bench` text into a [`Circuit`].
 ///
@@ -96,53 +96,36 @@ pub fn parse_bench(name: &str, text: &str) -> Result<Circuit, NetlistError> {
             return Err(NetlistError::DuplicateName { name: name.clone() });
         }
     }
-    let mut nodes: Vec<Node> = Vec::with_capacity(defs.len());
-    let mut inputs = Vec::new();
+    let mut parts = CircuitParts::new(name);
+    let mut fanins: Vec<NodeId> = Vec::new();
     for (i, (sig, def)) in defs.iter().enumerate() {
         match def {
             Def::Input => {
-                inputs.push(NodeId(i as u32));
-                nodes.push(Node {
-                    kind: GateKind::Input,
-                    fanins: Vec::new(),
-                    name: Some(sig.clone()),
-                });
+                parts.inputs.push(NodeId(i as u32));
+                parts.push_node(GateKind::Input, &[], Some(sig.clone()));
             }
             Def::Gate(kind, args) => {
-                let fanins = args
-                    .iter()
-                    .map(|a| {
+                fanins.clear();
+                for a in args {
+                    fanins.push(
                         ids.get(a.as_str())
                             .copied()
-                            .ok_or_else(|| NetlistError::Undefined { name: a.clone() })
-                    })
-                    .collect::<Result<Vec<_>, _>>()?;
-                nodes.push(Node {
-                    kind: *kind,
-                    fanins,
-                    name: Some(sig.clone()),
-                });
+                            .ok_or_else(|| NetlistError::Undefined { name: a.clone() })?,
+                    );
+                }
+                parts.push_node(*kind, &fanins, Some(sig.clone()));
             }
         }
     }
-    let mut outputs = Vec::new();
-    let mut out_names = Vec::new();
     for out in &output_names {
         let id = ids
             .get(out.as_str())
             .copied()
             .ok_or_else(|| NetlistError::Undefined { name: out.clone() })?;
-        outputs.push(id);
-        out_names.push(None); // the node itself carries the name
+        parts.outputs.push(id);
+        parts.output_names.push(None); // the node itself carries the name
     }
-    let circuit = Circuit {
-        name: name.to_string(),
-        nodes,
-        inputs,
-        outputs,
-        output_names: out_names,
-        luts: Vec::new(),
-    };
+    let circuit = parts.assemble();
     circuit.validate()?;
     Ok(circuit)
 }

@@ -1,0 +1,514 @@
+//! Berkeley Logic Interchange Format (BLIF) parser.
+//!
+//! The combinational BLIF subset accepted here:
+//!
+//! ```text
+//! .model c17
+//! .inputs a b c
+//! .outputs z
+//! .names a b t    # single-output cover: last signal is the target
+//! 11 1
+//! .names t c z
+//! 0- 1
+//! -0 1
+//! .end
+//! ```
+//!
+//! Cover rows use the usual `0`/`1`/`-` input plane and a `0`/`1` output
+//! column; all rows of one cover must share the same output polarity
+//! (ON-set or OFF-set form). A `.names` with a single signal defines a
+//! constant. Long statements may be continued with a trailing `\`.
+//!
+//! Covers that spell a standard gate (single all-`1` or all-`0` cube,
+//! parity, single-literal forms) are recognized *structurally* and become
+//! the matching [`GateKind`] so downstream analysis sees ordinary gates;
+//! anything else is interned as a truth-table component
+//! ([`GateKind::Lut`]), which limits general covers to
+//! [`TruthTable::MAX_INPUTS`] inputs. Wide AND/NAND/OR/NOR covers are
+//! recognized before table expansion and have no width limit.
+//!
+//! Sequential elements (`.latch`, `.mlatch`) and hierarchy (`.subckt`,
+//! `.gate`) are rejected — PROTEST analyzes flat combinational circuits.
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+use crate::gate::{GateKind, LutId, TruthTable};
+use crate::netlist::{Circuit, CircuitParts, NodeId};
+
+/// Parses combinational BLIF text into a [`Circuit`].
+///
+/// `name` is used when the text has no `.model` line; otherwise the model
+/// name wins.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed statements, sequential or
+/// hierarchical constructs, [`NetlistError::Undefined`] for signals read
+/// but never defined, [`NetlistError::DuplicateName`] for double
+/// definitions, [`NetlistError::LutWidth`] for general covers wider than
+/// [`TruthTable::MAX_INPUTS`], and any [`Circuit::validate`] error.
+pub fn parse_blif(name: &str, text: &str) -> Result<Circuit, NetlistError> {
+    struct Cover {
+        fanin_names: Vec<String>,
+        cubes: Vec<String>,
+        /// Output polarity of the rows seen so far (`None` until the first).
+        on_set: Option<bool>,
+    }
+    enum Def {
+        Input,
+        Cover(Cover),
+    }
+
+    let mut model: Option<String> = None;
+    let mut defs: Vec<(String, Def)> = Vec::new();
+    let mut output_names: Vec<String> = Vec::new();
+    let mut current: Option<usize> = None;
+
+    for (lineno, line) in logical_lines(text) {
+        let perr = |message: String| NetlistError::Parse {
+            line: lineno,
+            message,
+        };
+        let mut tokens = line.split_whitespace();
+        let head = tokens.next().expect("logical lines are nonempty");
+        if let Some(directive) = head.strip_prefix('.') {
+            match directive {
+                "model" => {
+                    if model.is_some() {
+                        return Err(perr("multiple .model statements".into()));
+                    }
+                    model = Some(tokens.next().unwrap_or(name).to_string());
+                }
+                "inputs" => {
+                    for t in tokens {
+                        defs.push((t.to_string(), Def::Input));
+                    }
+                    current = None;
+                }
+                "outputs" => {
+                    output_names.extend(tokens.map(str::to_string));
+                    current = None;
+                }
+                "names" => {
+                    let mut sigs: Vec<String> = tokens.map(str::to_string).collect();
+                    let target = sigs
+                        .pop()
+                        .ok_or_else(|| perr(".names needs at least one signal".into()))?;
+                    current = Some(defs.len());
+                    defs.push((
+                        target,
+                        Def::Cover(Cover {
+                            fanin_names: sigs,
+                            cubes: Vec::new(),
+                            on_set: None,
+                        }),
+                    ));
+                }
+                "end" => break,
+                "latch" | "mlatch" => {
+                    return Err(perr(format!(
+                        "sequential element `.{directive}` not supported (combinational circuits only)"
+                    )));
+                }
+                "subckt" | "gate" => {
+                    return Err(perr(format!(
+                        "hierarchical construct `.{directive}` not supported (flatten first)"
+                    )));
+                }
+                // Don't choke on harmless metadata some writers emit.
+                "default_input_arrival"
+                | "default_output_required"
+                | "area"
+                | "delay"
+                | "wire_load_slope"
+                | "wire"
+                | "input_arrival"
+                | "output_required" => {
+                    current = None;
+                }
+                other => {
+                    return Err(perr(format!("unsupported directive `.{other}`")));
+                }
+            }
+        } else {
+            // A cover row for the open `.names`.
+            let Some(idx) = current else {
+                return Err(perr(format!("cover row `{line}` outside .names")));
+            };
+            let Def::Cover(cover) = &mut defs[idx].1 else {
+                unreachable!("current always indexes a cover def");
+            };
+            let n = cover.fanin_names.len();
+            let (cube, out) = if n == 0 {
+                if tokens.next().is_some() || head.len() != 1 {
+                    return Err(perr(format!(
+                        "constant cover row must be `0` or `1`: `{line}`"
+                    )));
+                }
+                (String::new(), head)
+            } else {
+                let out = tokens
+                    .next()
+                    .ok_or_else(|| perr(format!("cover row missing output column: `{line}`")))?;
+                if tokens.next().is_some() {
+                    return Err(perr(format!("too many columns in cover row `{line}`")));
+                }
+                if head.len() != n || !head.bytes().all(|c| matches!(c, b'0' | b'1' | b'-')) {
+                    return Err(perr(format!(
+                        "input plane `{head}` must be {n} characters of 0/1/-"
+                    )));
+                }
+                (head.to_string(), out)
+            };
+            let on = match out {
+                "1" => true,
+                "0" => false,
+                other => return Err(perr(format!("output column must be 0 or 1, got `{other}`"))),
+            };
+            match cover.on_set {
+                None => cover.on_set = Some(on),
+                Some(prev) if prev != on => {
+                    return Err(perr("mixed output polarity in one cover".into()));
+                }
+                Some(_) => {}
+            }
+            cover.cubes.push(cube);
+        }
+    }
+
+    // Pass 2: allocate ids in definition order, then resolve references.
+    let mut ids: HashMap<&str, NodeId> = HashMap::new();
+    for (i, (sig, _)) in defs.iter().enumerate() {
+        if ids.insert(sig.as_str(), NodeId(i as u32)).is_some() {
+            return Err(NetlistError::DuplicateName { name: sig.clone() });
+        }
+    }
+    let mut parts = CircuitParts::new(model.unwrap_or_else(|| name.to_string()));
+    let mut fanins: Vec<NodeId> = Vec::new();
+    for (i, (sig, def)) in defs.iter().enumerate() {
+        match def {
+            Def::Input => {
+                parts.inputs.push(NodeId(i as u32));
+                parts.push_node(GateKind::Input, &[], Some(sig.clone()));
+            }
+            Def::Cover(cover) => {
+                fanins.clear();
+                for a in &cover.fanin_names {
+                    fanins.push(
+                        ids.get(a.as_str())
+                            .copied()
+                            .ok_or_else(|| NetlistError::Undefined { name: a.clone() })?,
+                    );
+                }
+                let n = cover.fanin_names.len();
+                let on = cover.on_set.unwrap_or(true);
+                let kind = if n == 0 {
+                    GateKind::Const(on && !cover.cubes.is_empty())
+                } else if let Some(kind) = classify_cover(n, &cover.cubes, on) {
+                    kind
+                } else {
+                    let table = cover_to_table(n, &cover.cubes, on)?;
+                    match table.as_standard_gate() {
+                        Some(kind) => kind,
+                        None => GateKind::Lut(intern_table(&mut parts.luts, table)),
+                    }
+                };
+                parts.push_node(kind, &fanins, Some(sig.clone()));
+            }
+        }
+    }
+    for out in &output_names {
+        let id = ids
+            .get(out.as_str())
+            .copied()
+            .ok_or_else(|| NetlistError::Undefined { name: out.clone() })?;
+        parts.outputs.push(id);
+        parts.output_names.push(None); // the node itself carries the name
+    }
+    let circuit = parts.assemble();
+    circuit.validate()?;
+    Ok(circuit)
+}
+
+/// Joins `\`-continued lines, strips comments, and drops blanks. Returns
+/// `(1-based first line number, logical line)` pairs.
+fn logical_lines(text: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let mut continued = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim_end();
+        let (body, continues) = match line.strip_suffix('\\') {
+            Some(b) => (b, true),
+            None => (line, false),
+        };
+        if continued {
+            let last = out.last_mut().expect("continuation follows a line");
+            last.1.push(' ');
+            last.1.push_str(body);
+        } else {
+            out.push((i + 1, body.to_string()));
+        }
+        continued = continues;
+    }
+    out.retain(|(_, l)| !l.trim().is_empty());
+    out
+}
+
+/// Structural recognition of single-cube covers — works at any width, so
+/// a 64-input AND never hits the truth-table expansion path.
+fn classify_cover(n: usize, cubes: &[String], on: bool) -> Option<GateKind> {
+    if cubes.len() != 1 {
+        return None;
+    }
+    let cube = cubes[0].as_bytes();
+    let all1 = cube.iter().all(|&c| c == b'1');
+    let all0 = cube.iter().all(|&c| c == b'0');
+    if n == 1 {
+        return match (all1, all0, on) {
+            (true, _, true) | (_, true, false) => Some(GateKind::Buf),
+            (_, true, true) | (true, _, false) => Some(GateKind::Not),
+            _ => None, // `-` plane: a constant with a fanin; keep as table
+        };
+    }
+    match (all1, all0, on) {
+        (true, _, true) => Some(GateKind::And),
+        (true, _, false) => Some(GateKind::Nand),
+        (_, true, false) => Some(GateKind::Or),
+        (_, true, true) => Some(GateKind::Nor),
+        _ => None,
+    }
+}
+
+/// Expands a cover into a truth table (`on == false` means the rows list
+/// the OFF-set).
+fn cover_to_table(n: usize, cubes: &[String], on: bool) -> Result<TruthTable, NetlistError> {
+    TruthTable::from_fn(n, |m| {
+        let hit = cubes.iter().any(|cube| {
+            cube.bytes()
+                .enumerate()
+                .all(|(i, c)| c == b'-' || (c == b'1') == ((m >> i) & 1 == 1))
+        });
+        hit == on
+    })
+}
+
+/// Interns `table` in the circuit's store, reusing an existing id for an
+/// identical table (mirrors `CircuitBuilder::add_table`).
+fn intern_table(luts: &mut Vec<TruthTable>, table: TruthTable) -> LutId {
+    if let Some(i) = luts.iter().position(|t| *t == table) {
+        return LutId(i as u32);
+    }
+    let id = LutId(luts.len() as u32);
+    luts.push(table);
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17_BLIF: &str = "\
+.model c17
+.inputs 1 2 3 6 7
+.outputs 22 23
+.names 1 3 10
+11 0
+.names 3 6 11
+11 0
+.names 2 11 16
+11 0
+.names 11 7 19
+11 0
+.names 10 16 22
+11 0
+.names 16 19 23
+11 0
+.end
+";
+
+    #[test]
+    fn parses_c17() {
+        let ckt = parse_blif("c17", C17_BLIF).unwrap();
+        assert_eq!(ckt.name(), "c17");
+        assert_eq!(ckt.num_inputs(), 5);
+        assert_eq!(ckt.num_outputs(), 2);
+        assert_eq!(ckt.num_gates(), 6);
+        // `11 0` single-cube OFF-set covers classify as NAND.
+        let out = ckt.outputs()[0];
+        assert_eq!(ckt.node(out).kind(), GateKind::Nand);
+    }
+
+    #[test]
+    fn classifies_standard_gates() {
+        let text = "\
+.model gates
+.inputs a b
+.outputs z
+.names a b and2
+11 1
+.names a b or2
+1- 1
+-1 1
+.names a b nor2
+00 1
+.names a b xor2
+01 1
+10 1
+.names a inv
+0 1
+.names and2 or2 nor2 xor2 inv z
+11111 1
+.end
+";
+        let ckt = parse_blif("gates", text).unwrap();
+        let kind = |n: &str| ckt.node(ckt.find(n).unwrap()).kind();
+        assert_eq!(kind("and2"), GateKind::And);
+        assert_eq!(kind("or2"), GateKind::Or);
+        assert_eq!(kind("nor2"), GateKind::Nor);
+        assert_eq!(kind("xor2"), GateKind::Xor);
+        assert_eq!(kind("inv"), GateKind::Not);
+        assert_eq!(kind("z"), GateKind::And);
+    }
+
+    #[test]
+    fn wide_and_skips_table_expansion() {
+        // 20 inputs > TruthTable::MAX_INPUTS — must classify structurally.
+        let n = 20;
+        let sigs: Vec<String> = (0..n).map(|i| format!("x{i}")).collect();
+        let text = format!(
+            ".model wide\n.inputs {}\n.outputs z\n.names {} z\n{} 1\n.end\n",
+            sigs.join(" "),
+            sigs.join(" "),
+            "1".repeat(n)
+        );
+        let ckt = parse_blif("wide", &text).unwrap();
+        let z = ckt.find("z").unwrap();
+        assert_eq!(ckt.node(z).kind(), GateKind::And);
+        assert_eq!(ckt.node(z).fanins().len(), n);
+    }
+
+    #[test]
+    fn general_cover_becomes_truth_table() {
+        let text = "\
+.model lut
+.inputs a b c
+.outputs z
+.names a b c z
+11- 1
+001 1
+.end
+";
+        let ckt = parse_blif("lut", text).unwrap();
+        let z = ckt.find("z").unwrap();
+        let GateKind::Lut(id) = ckt.node(z).kind() else {
+            panic!("expected a truth-table component");
+        };
+        let tt = ckt.lut(id);
+        assert!(tt.bit(0b011)); // a=1,b=1,c=0
+        assert!(tt.bit(0b111)); // a=1,b=1,c=1
+        assert!(tt.bit(0b100)); // a=0,b=0,c=1
+        assert_eq!(tt.ones(), 3);
+    }
+
+    #[test]
+    fn constants_and_continuations() {
+        let text = "\
+.model k
+.inputs a \\
+        b
+.outputs z one
+.names one
+1
+.names zero
+.names a b zero z
+110 1
+.end
+";
+        let ckt = parse_blif("k", text).unwrap();
+        assert_eq!(ckt.num_inputs(), 2);
+        let one = ckt.find("one").unwrap();
+        let zero = ckt.find("zero").unwrap();
+        assert_eq!(ckt.node(one).kind(), GateKind::Const(true));
+        assert_eq!(ckt.node(zero).kind(), GateKind::Const(false));
+    }
+
+    #[test]
+    fn rejects_latch() {
+        let text = ".model s\n.inputs a\n.outputs q\n.latch a q re clk 0\n.end\n";
+        assert!(matches!(
+            parse_blif("s", text),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_subckt() {
+        let text = ".model h\n.inputs a\n.outputs z\n.subckt sub x=a y=z\n.end\n";
+        assert!(matches!(
+            parse_blif("h", text),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_undefined_signal() {
+        let text = ".model u\n.inputs a\n.outputs z\n.names a missing z\n11 1\n.end\n";
+        assert!(matches!(
+            parse_blif("u", text),
+            Err(NetlistError::Undefined { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_definition() {
+        let text = ".model d\n.inputs a\n.outputs z\n.names a z\n1 1\n.names a z\n0 1\n.end\n";
+        assert!(matches!(
+            parse_blif("d", text),
+            Err(NetlistError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_mixed_polarity() {
+        let text = ".model m\n.inputs a b\n.outputs z\n.names a b z\n11 1\n00 0\n.end\n";
+        assert!(matches!(
+            parse_blif("m", text),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_plane_width() {
+        let text = ".model w\n.inputs a b\n.outputs z\n.names a b z\n1 1\n.end\n";
+        assert!(matches!(
+            parse_blif("w", text),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let text = "\
+.model c
+.inputs a
+.outputs x
+.names a y x
+11 1
+.names x y
+1 1
+.end
+";
+        assert!(matches!(
+            parse_blif("c", text),
+            Err(NetlistError::Cycle { .. })
+        ));
+    }
+
+    #[test]
+    fn model_name_falls_back_to_argument() {
+        let text = ".inputs a\n.outputs z\n.names a z\n1 1\n";
+        let ckt = parse_blif("fallback", text).unwrap();
+        assert_eq!(ckt.name(), "fallback");
+    }
+}

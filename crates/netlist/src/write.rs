@@ -118,6 +118,141 @@ pub fn to_pdl(circuit: &Circuit) -> String {
     out
 }
 
+/// Serializes a circuit in combinational BLIF syntax (see
+/// [`crate::parse_blif`]).
+///
+/// Unlike [`to_bench`], truth-table components export losslessly as
+/// single-output covers, so this is the format of choice for circuits with
+/// LUT nodes. Standard gates emit canonical covers (single all-`1`/all-`0`
+/// cube for AND/NAND/OR/NOR, minterm rows for parity) and LUT tables that
+/// happen to equal a standard gate are normalized to that gate's cover, so
+/// `write → parse → write` is a text fixpoint.
+///
+/// # Panics
+///
+/// Panics on parity gates or truth-table components wider than
+/// [`crate::TruthTable::MAX_INPUTS`] — their covers need minterm
+/// enumeration, which is infeasible at that width.
+pub fn to_blif(circuit: &Circuit) -> String {
+    let names = signal_names(circuit, is_clean_bench);
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", blif_model_name(circuit.name()));
+    let inputs: Vec<&str> = circuit
+        .inputs()
+        .iter()
+        .map(|&i| names[i.index()].as_str())
+        .collect();
+    let _ = writeln!(out, ".inputs {}", inputs.join(" "));
+    let outputs: Vec<&str> = circuit
+        .outputs()
+        .iter()
+        .map(|&o| names[o.index()].as_str())
+        .collect();
+    let _ = writeln!(out, ".outputs {}", outputs.join(" "));
+    for (id, node) in circuit.iter() {
+        match node.kind() {
+            GateKind::Input => continue,
+            GateKind::Const(v) => {
+                let _ = writeln!(out, ".names {}", names[id.index()]);
+                if v {
+                    out.push_str("1\n");
+                }
+            }
+            kind => {
+                let args: Vec<&str> = node
+                    .fanins()
+                    .iter()
+                    .map(|&f| names[f.index()].as_str())
+                    .collect();
+                let _ = writeln!(out, ".names {} {}", args.join(" "), names[id.index()]);
+                write_blif_cover(&mut out, circuit, kind, node.fanins().len());
+            }
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+/// Emits the canonical cover rows for one gate.
+///
+/// The encodings mirror what [`crate::parse_blif`] classifies back to the
+/// same [`GateKind`], keeping serialization a fixpoint. LUTs equal to a
+/// standard gate reuse that gate's cover; general LUTs list their ON-set
+/// minterms.
+fn write_blif_cover(out: &mut String, circuit: &Circuit, kind: GateKind, n: usize) {
+    let minterm_rows = |out: &mut String, pred: &dyn Fn(usize) -> bool| {
+        assert!(
+            n <= crate::gate::TruthTable::MAX_INPUTS,
+            "cannot enumerate a {n}-input cover (max {})",
+            crate::gate::TruthTable::MAX_INPUTS
+        );
+        for m in 0..1usize << n {
+            if pred(m) {
+                for i in 0..n {
+                    out.push(if (m >> i) & 1 == 1 { '1' } else { '0' });
+                }
+                out.push_str(" 1\n");
+            }
+        }
+    };
+    match kind {
+        GateKind::Buf => out.push_str("1 1\n"),
+        GateKind::Not => out.push_str("0 1\n"),
+        GateKind::And => {
+            for _ in 0..n {
+                out.push('1');
+            }
+            out.push_str(" 1\n");
+        }
+        GateKind::Nand => {
+            for _ in 0..n {
+                out.push('1');
+            }
+            out.push_str(" 0\n");
+        }
+        GateKind::Or => {
+            for _ in 0..n {
+                out.push('0');
+            }
+            out.push_str(" 0\n");
+        }
+        GateKind::Nor => {
+            for _ in 0..n {
+                out.push('0');
+            }
+            out.push_str(" 1\n");
+        }
+        GateKind::Xor => minterm_rows(out, &|m| m.count_ones() & 1 == 1),
+        GateKind::Xnor => minterm_rows(out, &|m| m.count_ones() & 1 == 0),
+        GateKind::Lut(lid) => {
+            let table = circuit.lut(lid);
+            match table.as_standard_gate() {
+                Some(k) => write_blif_cover(out, circuit, k, n),
+                None => minterm_rows(out, &|m| table.bit(m)),
+            }
+        }
+        GateKind::Input | GateKind::Const(_) => unreachable!("handled by caller"),
+    }
+}
+
+/// BLIF model names are whitespace-delimited tokens; replace anything else
+/// so `.model` round-trips (idempotent: a sanitized name sanitizes to
+/// itself).
+fn blif_model_name(name: &str) -> String {
+    if name.is_empty() {
+        return "circuit".to_string();
+    }
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
 /// Writer-safe signal names for every node: the declared name when the
 /// target syntax can represent it, otherwise a synthetic `n<i>` label
 /// suffixed with `_` until it collides with no declared (or earlier
@@ -125,7 +260,6 @@ pub fn to_pdl(circuit: &Circuit) -> String {
 fn signal_names(circuit: &Circuit, clean: fn(&str) -> bool) -> Vec<String> {
     let mut taken: HashSet<String> = circuit
         .nodes()
-        .iter()
         .filter_map(|n| n.name().filter(|s| clean(s)).map(str::to_string))
         .collect();
     (0..circuit.num_nodes())
@@ -165,6 +299,7 @@ fn is_clean_pdl(name: &str) -> bool {
 mod tests {
     use crate::builder::CircuitBuilder;
     use crate::parse_bench::parse_bench;
+    use crate::parse_blif::parse_blif;
     use crate::parse_pdl::parse_pdl;
 
     use super::*;
@@ -280,6 +415,96 @@ y = BUF(a)
         let back = parse_pdl("fwd", &pdl).unwrap();
         assert_eq!(back.num_gates(), ckt.num_gates());
         assert_eq!(to_pdl(&back), pdl);
+    }
+
+    #[test]
+    fn blif_roundtrip() {
+        let ckt = sample();
+        let text = to_blif(&ckt);
+        let back = parse_blif("samp", &text).unwrap();
+        assert_eq!(back.name(), "samp");
+        assert_eq!(back.num_inputs(), ckt.num_inputs());
+        assert_eq!(back.num_gates(), ckt.num_gates());
+        assert_eq!(back.num_outputs(), 1);
+        assert_eq!(to_blif(&back), text);
+    }
+
+    #[test]
+    fn blif_luts_roundtrip_losslessly() {
+        // `.bench` panics on LUTs; BLIF is the lossless path.
+        let mut b = CircuitBuilder::new("lutty");
+        let a = b.input("a");
+        let c = b.input("b");
+        let d = b.input("c");
+        let maj =
+            b.add_table(crate::gate::TruthTable::from_fn(3, |m| m.count_ones() >= 2).unwrap());
+        let g = b.lut(maj, &[a, c, d]);
+        b.name(g, "maj");
+        b.output(g, "maj");
+        let ckt = b.finish().unwrap();
+        let text = to_blif(&ckt);
+        let back = parse_blif("lutty", &text).unwrap();
+        assert_eq!(back.num_gates(), 1);
+        let g = back.find("maj").unwrap();
+        let GateKind::Lut(lid) = back.node(g).kind() else {
+            panic!("majority must survive as a truth table");
+        };
+        assert_eq!(back.lut(lid), ckt.lut(maj));
+        assert_eq!(to_blif(&back), text);
+    }
+
+    #[test]
+    fn blif_normalizes_gate_shaped_luts() {
+        // A LUT that happens to compute AND2 serializes as the canonical
+        // AND cover and re-parses as a plain gate — text stays a fixpoint.
+        let mut b = CircuitBuilder::new("norm");
+        let a = b.input("a");
+        let c = b.input("b");
+        let t = b.add_table(crate::gate::TruthTable::from_fn(2, |m| m == 3).unwrap());
+        let g = b.lut(t, &[a, c]);
+        b.output(g, "z");
+        let ckt = b.finish().unwrap();
+        let text = to_blif(&ckt);
+        let back = parse_blif("norm", &text).unwrap();
+        let z = back.outputs()[0];
+        assert_eq!(back.node(z).kind(), GateKind::And);
+        assert_eq!(to_blif(&back), text);
+    }
+
+    #[test]
+    fn blif_synthetic_names_dodge_declared_collisions() {
+        // Mirror of `synthetic_names_dodge_declared_collisions` for BLIF:
+        // a declared `n1` next to an unnamed node 1 must not produce two
+        // `.names … n1` definitions.
+        let mut b = CircuitBuilder::new("clash");
+        let a = b.input("a");
+        let x = b.not(a); // index 1, unnamed → synthetic n1
+        let y = b.buf(x);
+        b.name(y, "n1"); // declared name colliding with the synthetic
+        b.output(y, "z");
+        let ckt = b.finish().unwrap();
+        let text = to_blif(&ckt);
+        assert!(text.contains(".names a n1_\n0 1"), "got:\n{text}");
+        assert!(text.contains(".names n1_ n1\n1 1"), "got:\n{text}");
+        let back = parse_blif("clash", &text).unwrap();
+        assert_eq!(to_blif(&back), text);
+    }
+
+    #[test]
+    fn blif_constants_and_model_sanitization() {
+        let mut b = CircuitBuilder::new("with space");
+        let a = b.input("a");
+        let one = b.constant(true);
+        let zero = b.constant(false);
+        let g = b.xor2(a, one);
+        let h = b.or2(g, zero);
+        b.output(h, "z");
+        let ckt = b.finish().unwrap();
+        let text = to_blif(&ckt);
+        assert!(text.starts_with(".model with_space\n"), "got:\n{text}");
+        let back = parse_blif("x", &text).unwrap();
+        assert_eq!(back.num_nodes(), ckt.num_nodes());
+        assert_eq!(to_blif(&back), text);
     }
 
     #[test]

@@ -4,8 +4,9 @@
 use proptest::prelude::*;
 use protest_netlist::analyze::{Fanouts, JoiningPoints};
 use protest_netlist::{
-    insert_test_point, parse_bench, parse_pdl, to_bench, to_pdl, Circuit, CircuitBuilder, GateKind,
-    InsertedPoint, Levels, NodeId, TestPointKind, TestPointSpec,
+    insert_test_point, parse_bench, parse_blif, parse_pdl, to_bench, to_blif, to_pdl, Circuit,
+    CircuitBuilder, GateKind, InsertedPoint, Levels, NodeId, TestPointKind, TestPointSpec,
+    TruthTable,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -84,6 +85,38 @@ fn random_named_circuit(seed: u64, inputs: usize, gates: usize) -> Circuit {
     ckt
 }
 
+/// Rebuilds `ckt` with a couple of 3-input truth-table components bolted
+/// on (one fed to a new output) — exercising the BLIF writer's lossless
+/// LUT path and its gate-shaped-table normalization.
+fn sprinkle_luts(ckt: &Circuit, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1a7);
+    let mut b = CircuitBuilder::new(ckt.name().to_string());
+    let mut map = Vec::with_capacity(ckt.num_nodes());
+    for (_, node) in ckt.iter() {
+        let new_id = match node.kind() {
+            GateKind::Input => b.input(node.name().unwrap().to_string()),
+            kind => {
+                let fanins: Vec<NodeId> = node.fanins().iter().map(|&f| map[f.index()]).collect();
+                let g = b.gate(kind, &fanins);
+                if let Some(n) = node.name() {
+                    b.name(g, n.to_string());
+                }
+                g
+            }
+        };
+        map.push(new_id);
+    }
+    for &o in ckt.outputs() {
+        b.output_unnamed(map[o.index()]);
+    }
+    let mask = rng.gen_range(0..256u64);
+    let table = b.add_table(TruthTable::from_fn(3, |m| (mask >> m) & 1 == 1).unwrap());
+    let picks: Vec<NodeId> = (0..3).map(|_| map[rng.gen_range(0..map.len())]).collect();
+    let lut = b.lut(table, &picks);
+    b.output_unnamed(lut);
+    b.finish().expect("sprinkled circuit stays valid")
+}
+
 /// Applies 1–4 random test points (all kinds) to a circuit.
 fn insert_random_points(ckt: &Circuit, seed: u64) -> (Circuit, Vec<InsertedPoint>) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -134,6 +167,38 @@ proptest! {
         let back = parse_pdl(ckt.name(), &text).unwrap();
         prop_assert_eq!(back.num_inputs(), ckt.num_inputs());
         prop_assert_eq!(back.num_gates(), ckt.num_gates());
+    }
+
+    #[test]
+    fn blif_roundtrip_is_a_text_fixpoint(seed in 0u64..10_000) {
+        // Adversarially named circuits (synthetic-label collisions, numeric
+        // names, constants) — the same shapes the `.bench`/PDL writer-bug
+        // tests cover — plus the odd truth-table component, which only
+        // BLIF can serialize.
+        let base = random_named_circuit(seed, 5, 25);
+        let ckt = if seed % 3 == 0 { sprinkle_luts(&base, seed) } else { base };
+        let text = to_blif(&ckt);
+        let back = parse_blif(ckt.name(), &text).unwrap();
+        prop_assert_eq!(back.num_inputs(), ckt.num_inputs());
+        prop_assert_eq!(back.num_outputs(), ckt.num_outputs());
+        prop_assert_eq!(back.num_nodes(), ckt.num_nodes());
+        // parse → write fixpoint, bit-identical.
+        prop_assert_eq!(to_blif(&back), text);
+        // And stable under one more round for good measure.
+        let back2 = parse_blif(ckt.name(), &to_blif(&back)).unwrap();
+        prop_assert_eq!(to_blif(&back2), text);
+    }
+
+    #[test]
+    fn tpi_modified_circuits_roundtrip_blif_bit_identically(seed in 0u64..5_000) {
+        let ckt = random_named_circuit(seed, 5, 25);
+        let (modified, _) = insert_random_points(&ckt, seed ^ 0xb11f);
+        let text = to_blif(&modified);
+        let back = parse_blif(modified.name(), &text).unwrap();
+        prop_assert_eq!(back.num_inputs(), modified.num_inputs());
+        prop_assert_eq!(back.num_outputs(), modified.num_outputs());
+        prop_assert_eq!(back.num_nodes(), modified.num_nodes());
+        prop_assert_eq!(to_blif(&back), text);
     }
 
     #[test]

@@ -34,7 +34,8 @@
 //! anything; `--out FILE` writes the modified `.bench` netlist.
 //!
 //! `<circuit>` is an ISCAS-85 `.bench` file, a PDL file when it ends in
-//! `.pdl`, or one of the built-in circuit names `c17`, `comp24`, `alu`,
+//! `.pdl`, a combinational BLIF file when it ends in `.blif`, or one of
+//! the built-in circuit names `c17`, `comp24`, `alu`,
 //! `mult`, `mult6`, `div8x8`, `div16`. Common options:
 //!
 //! ```text
@@ -93,7 +94,7 @@ use protest_core::report::TestabilityReport;
 use protest_core::testlen::required_test_length_fraction;
 use protest_core::tpi::{self, TpiParams};
 use protest_core::{AnalyzerParams, InputProbs};
-use protest_netlist::{parse_bench, parse_pdl, to_bench, CircuitStats};
+use protest_netlist::{parse_bench, parse_blif, parse_pdl, to_bench, CircuitStats};
 use protest_serve::ServeConfig;
 use protest_sim::{coverage_run, PatternSet, ReplaySource};
 
@@ -352,9 +353,12 @@ fn load_circuit(path: &str) -> Result<Circuit, String> {
         .next()
         .unwrap_or(path)
         .trim_end_matches(".bench")
-        .trim_end_matches(".pdl");
+        .trim_end_matches(".pdl")
+        .trim_end_matches(".blif");
     if path.ends_with(".pdl") {
         parse_pdl(name, &text).map_err(|e| format!("{path}: {e}"))
+    } else if path.ends_with(".blif") {
+        parse_blif(name, &text).map_err(|e| format!("{path}: {e}"))
     } else {
         parse_bench(name, &text).map_err(|e| format!("{path}: {e}"))
     }
@@ -362,11 +366,30 @@ fn load_circuit(path: &str) -> Result<Circuit, String> {
 
 fn cmd_stats(circuit: &Circuit, opts: &Options) -> Result<String, String> {
     let mut out = format!("{}\n", CircuitStats::of(circuit));
+    let analyzer = analyzer_for(circuit, opts);
+    let _ = writeln!(out, "memory footprint:");
+    let _ = writeln!(
+        out,
+        "  netlist storage:    {} B (flat struct-of-arrays)",
+        circuit.flat_storage_bytes()
+    );
+    let _ = writeln!(
+        out,
+        "  fault dependencies: {} B ({} collapsed faults, interval sets)",
+        analyzer.fault_deps_bytes(),
+        analyzer.faults().len()
+    );
+    let _ = writeln!(
+        out,
+        "  partitions:         {} component(s), {} structure class(es), {} B",
+        analyzer.partition_count(),
+        analyzer.partition_class_count(),
+        analyzer.partition_storage_bytes()
+    );
     if opts.probe {
         if circuit.num_inputs() == 0 {
             return Err("--probe needs at least one primary input".to_string());
         }
-        let analyzer = analyzer_for(circuit, opts);
         let probs = InputProbs::uniform(circuit.num_inputs());
         let mut session = analyzer.session(&probs).map_err(|e| e.to_string())?;
         session.fault_detect_probs();

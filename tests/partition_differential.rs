@@ -1,0 +1,136 @@
+//! Differential tests for the partitioned one-shot analysis: on circuits
+//! that decompose into connected components, `Analyzer::run` with
+//! partitioning on must produce **bit-identical** (`f64::to_bits`) signal
+//! probabilities, observabilities and fault detection estimates to the
+//! monolithic pass — at one thread and at four. Partitioning only
+//! reschedules independent per-component computations; it never changes a
+//! floating-point operation sequence.
+
+use protest::prelude::*;
+use protest_circuits::{alu_74181, alu_mesh, comp24, mult_mesh};
+use protest_core::{AnalyzerParams, InputProbs};
+
+fn params(threads: usize, partition: bool) -> AnalyzerParams {
+    AnalyzerParams {
+        num_threads: threads,
+        partition,
+        ..AnalyzerParams::default()
+    }
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}[{i}]: monolithic {x} vs partitioned {y}"
+        );
+    }
+}
+
+fn skewed_probs(inputs: usize) -> InputProbs {
+    let probs: Vec<f64> = (0..inputs).map(|i| ((i % 15) + 1) as f64 / 16.0).collect();
+    InputProbs::from_slice(&probs).unwrap()
+}
+
+/// Runs the monolithic and the partitioned analyzer on `circuit` at
+/// `threads` threads and asserts every public result is bitwise equal.
+fn assert_partitioned_matches_monolithic(name: &str, circuit: &Circuit, threads: usize) {
+    let mono = Analyzer::with_params(circuit, params(threads, false));
+    let part = Analyzer::with_params(circuit, params(threads, true));
+    assert_eq!(
+        mono.partition_count(),
+        1,
+        "{name}: knob off must stay monolithic"
+    );
+    let probs = skewed_probs(circuit.num_inputs());
+    let a = mono.run(&probs).unwrap();
+    let b = part.run(&probs).unwrap();
+    assert_bits_eq(
+        a.signal_probabilities(),
+        b.signal_probabilities(),
+        &format!("{name}@{threads}t: signal probs"),
+    );
+    for i in 0..circuit.num_nodes() {
+        let id = NodeId::from_index(i);
+        assert_eq!(
+            a.node_observability(id).to_bits(),
+            b.node_observability(id).to_bits(),
+            "{name}@{threads}t: observability of node {i}"
+        );
+    }
+    assert_bits_eq(
+        &a.detection_probabilities(),
+        &b.detection_probabilities(),
+        &format!("{name}@{threads}t: detection probs"),
+    );
+}
+
+#[test]
+fn uncoupled_meshes_partition_and_match_monolithic_bit_for_bit() {
+    let circuits = [
+        ("multmesh:3x2x3:uncoupled", mult_mesh(3, 2, 3, false), 3),
+        ("alumesh:2x4:uncoupled", alu_mesh(2, 4, false), 4),
+    ];
+    for (name, circuit, lanes) in &circuits {
+        let part = Analyzer::with_params(circuit, params(1, true));
+        assert_eq!(
+            part.partition_count(),
+            *lanes,
+            "{name}: one partition per lane"
+        );
+        assert!(
+            part.partition_storage_bytes() > 0,
+            "{name}: storage counter"
+        );
+        for threads in [1, 4] {
+            assert_partitioned_matches_monolithic(name, circuit, threads);
+        }
+    }
+}
+
+#[test]
+fn paper_circuits_are_unchanged_by_the_partition_knob() {
+    // The paper circuits are single connected components: the partitioned
+    // analyzer must fall back to the monolithic path and (trivially)
+    // produce the same bits.
+    let circuits = [("alu_74181", alu_74181()), ("comp24", comp24())];
+    for (name, circuit) in &circuits {
+        let part = Analyzer::with_params(circuit, params(1, true));
+        assert_eq!(part.partition_count(), 1, "{name}: one component");
+        for threads in [1, 4] {
+            assert_partitioned_matches_monolithic(name, circuit, threads);
+        }
+    }
+}
+
+#[test]
+fn partitioned_run_matches_an_incremental_session_reaching_the_same_probs() {
+    // Cross-path check: a monolithic session mutated to a probability
+    // vector must agree bit-for-bit with a partitioned one-shot run at
+    // that vector (the session path is the incremental reference).
+    let circuit = mult_mesh(3, 2, 2, false);
+    let part = Analyzer::with_params(&circuit, params(1, true));
+    assert_eq!(part.partition_count(), 2);
+    let mono = Analyzer::with_params(&circuit, params(1, false));
+    let probs = skewed_probs(circuit.num_inputs());
+    let mut session = mono
+        .session(&InputProbs::uniform(circuit.num_inputs()))
+        .unwrap();
+    for (i, &p) in probs.as_slice().iter().enumerate() {
+        session.set_input_prob(i, p).unwrap();
+    }
+    let b = part.run(&probs).unwrap();
+    assert_bits_eq(
+        session.signal_probs(),
+        b.signal_probabilities(),
+        "session vs partitioned: signal probs",
+    );
+    let pa = session.fault_detect_probs().to_vec();
+    assert_bits_eq(
+        &pa,
+        &b.detection_probabilities(),
+        "session vs partitioned: detection probs",
+    );
+}
