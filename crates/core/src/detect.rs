@@ -113,6 +113,7 @@ pub(crate) fn estimate_all_faults_cancellable(
     detections: &mut Vec<f64>,
     cancel: &CancelToken,
 ) -> Result<(), CoreError> {
+    let _t = protest_telemetry::span(protest_telemetry::Site::FaultEstimate);
     failpoints::hit("core.detect.delay");
     estimates.clear();
     detections.clear();
@@ -180,6 +181,7 @@ pub(crate) fn re_estimate_faults_cancellable(
     if todo.is_empty() {
         return Ok(());
     }
+    let _t = protest_telemetry::span(protest_telemetry::Site::FaultReestimate);
     failpoints::hit("core.detect.delay");
     if exec.parallel() && todo.len() >= MIN_PAR_FAULTS {
         // Stale entries as placeholders: every slot is overwritten by its

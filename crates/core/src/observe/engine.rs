@@ -123,6 +123,7 @@ impl<'c> ObservabilityEngine<'c> {
 
     /// One reverse-topological pass, allocating the result.
     pub fn compute(&self, node_probs: &[f64]) -> Observability {
+        let _t = protest_telemetry::span(protest_telemetry::Site::ObsFull);
         let mut obs = self.empty();
         self.compute_into(node_probs, &mut obs);
         obs
@@ -176,6 +177,7 @@ impl<'c> ObservabilityEngine<'c> {
         exec: &Exec,
         cancel: &CancelToken,
     ) -> Result<(), CoreError> {
+        let _t = protest_telemetry::span(protest_telemetry::Site::ObsFull);
         if !exec.parallel() {
             if !cancel.is_armed() {
                 self.compute_into(node_probs, obs);

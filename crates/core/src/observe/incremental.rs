@@ -177,6 +177,7 @@ impl ObservabilityEngine<'_> {
         exec: &Exec,
         cancel: &CancelToken,
     ) -> Result<SweepWork, CoreError> {
+        let _t = protest_telemetry::span(protest_telemetry::Site::ObsRefresh);
         let mut work = SweepWork::default();
         let mut batch = std::mem::take(&mut delta.batch);
         while delta.front.pop_batch(&mut batch).is_some() {

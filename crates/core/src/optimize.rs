@@ -315,6 +315,7 @@ impl<'a, 'c> HillClimber<'a, 'c> {
         start: Vec<u32>,
         mask: Option<&[bool]>,
     ) -> Result<OptimizationResult, CoreError> {
+        let _t = protest_telemetry::span(protest_telemetry::Site::OptimizeClimb);
         let inputs = self.analyzer.circuit().num_inputs();
         assert_eq!(start.len(), inputs, "one grid cell per input");
         let g = self.params.grid;

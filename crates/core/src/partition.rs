@@ -184,6 +184,7 @@ pub(crate) fn plan(circuit: &Circuit, params: &AnalyzerParams) -> Option<Partiti
     if !params.partition {
         return None;
     }
+    let _t = protest_telemetry::span(protest_telemetry::Site::PartitionExtract);
     let n = circuit.num_nodes();
     if n == 0 {
         return None;
@@ -357,6 +358,7 @@ pub(crate) fn run_partitioned(
         }
     }
     cancel.check()?;
+    let scatter_span = protest_telemetry::span(protest_telemetry::Site::PartitionScatter);
     let mut node_probs = vec![0.0f64; circuit.num_nodes()];
     let mut obs = Observability::zeroed(circuit);
     for (part, result) in plan.parts.iter().zip(results) {
@@ -366,6 +368,7 @@ pub(crate) fn run_partitioned(
         }
         obs.scatter_from(&sub_obs, &part.nodes);
     }
+    drop(scatter_span);
     let faults = analyzer.faults();
     let mut estimates = Vec::with_capacity(faults.len());
     let mut detections = Vec::new();
@@ -392,6 +395,7 @@ fn analyze_part(
     global_probs: &[f64],
     cancel: &CancelToken,
 ) -> Result<(Vec<f64>, Observability), CoreError> {
+    let _t = protest_telemetry::span(protest_telemetry::Site::PartitionAnalyze);
     let sub_probs: Vec<f64> = part
         .inputs
         .iter()

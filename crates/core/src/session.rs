@@ -276,6 +276,7 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
         probs: &InputProbs,
         cancel: CancelToken,
     ) -> Result<Self, CoreError> {
+        let _t = protest_telemetry::span(protest_telemetry::Site::SessionBuild);
         probs.check_len(analyzer.circuit().num_inputs())?;
         let est = analyzer.estimator();
         let aig_probs =
@@ -675,6 +676,7 @@ impl<'a, 'c> AnalysisSession<'a, 'c> {
     /// abandons the drain mid-worklist (the popped rank is lost), so the
     /// session is poisoned and [`CoreError::Cancelled`] returned.
     fn propagate(&mut self) -> Result<(), CoreError> {
+        let _t = protest_telemetry::span(protest_telemetry::Site::Propagate);
         let analyzer = self.analyzer;
         let est = analyzer.estimator();
         let exec = analyzer.exec();

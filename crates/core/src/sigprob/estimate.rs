@@ -301,6 +301,7 @@ impl SignalProbEstimator {
         exec: &Exec,
         cancel: &CancelToken,
     ) -> Result<Vec<f64>, CoreError> {
+        let _t = protest_telemetry::span(protest_telemetry::Site::EstimatorSweep);
         if !exec.parallel() {
             if !cancel.is_armed() {
                 return Ok(self.full_estimate(input_probs));

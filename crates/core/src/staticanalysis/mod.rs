@@ -279,16 +279,22 @@ pub fn check_cancellable(
     cancel: &crate::cancel::CancelToken,
 ) -> Result<StaticReport, crate::CoreError> {
     let fanouts = Fanouts::new(circuit);
+    let lint_span = protest_telemetry::span(protest_telemetry::Site::CheckLint);
     let (mut findings, _lattice) = lint::lint(circuit, &fanouts);
+    drop(lint_span);
+    let dom_span = protest_telemetry::span(protest_telemetry::Site::CheckDominators);
     let doms = Dominators::new(circuit, &fanouts);
     let dominated_stems = circuit
         .iter()
         .filter(|&(id, node)| !matches!(node.kind(), GateKind::Const(_)) && doms.idom(id).is_some())
         .count();
+    drop(dom_span);
 
     cancel.check()?;
+    let collapse_span = protest_telemetry::span(protest_telemetry::Site::CheckCollapse);
     let universe = FaultUniverse::all(circuit);
     let equiv = collapse_universe(circuit, &universe);
+    drop(collapse_span);
 
     let (prover, pruned) = if params.prove_redundant {
         cancel.check()?;

@@ -193,6 +193,7 @@ pub fn prove_classes_cancellable(
 
     // Tier 1: constant activation. Any member's site being tied to its
     // stuck value settles the whole class (equal test sets).
+    let const_span = protest_telemetry::span(protest_telemetry::Site::RedundancyConst);
     if has_consts {
         for (ci, class) in equiv.classes().iter().enumerate() {
             let tied = class
@@ -204,10 +205,12 @@ pub fn prove_classes_cancellable(
             }
         }
     }
+    drop(const_span);
 
     // Tier 2: static unobservability. Without constant nets there are no
     // cut edges, and structurally dead faults are already excluded from
     // the universe, so the tier can only fire when tier 1 could.
+    let unobs_span = protest_telemetry::span(protest_telemetry::Site::RedundancyUnobs);
     if has_consts {
         for (ci, class) in equiv.classes().iter().enumerate() {
             if verdicts[ci].is_some() {
@@ -224,13 +227,18 @@ pub fn prove_classes_cancellable(
         }
     }
 
+    drop(unobs_span);
+
     // Tier 3 before the BDD tier: anything dominated by an
     // already-redundant gate needs no miter at all.
+    let widen_span = protest_telemetry::span(protest_telemetry::Site::RedundancyWiden);
     stats.by_dominator += widen_by_dominators(circuit, equiv, &doms, &class_of, &mut verdicts);
+    drop(widen_span);
 
     // Tier 4: exact miter BDDs for whatever is left, fanned out over the
     // worker pool. Chunks write disjoint slices in class order, so the
     // result is deterministic at every thread count.
+    let bdd_span = protest_telemetry::span(protest_telemetry::Site::RedundancyBdd);
     let todo: Vec<u32> = (0..equiv.len() as u32)
         .filter(|&ci| verdicts[ci as usize].is_none())
         .collect();
@@ -273,10 +281,13 @@ pub fn prove_classes_cancellable(
         }
         verdicts[ci as usize] = Some(v);
     }
+    drop(bdd_span);
 
     // Tier 3 again: BDD-proven-redundant gates may dominate classes the
     // budget left unproven.
+    let rewiden_span = protest_telemetry::span(protest_telemetry::Site::RedundancyWiden);
     stats.by_dominator += widen_by_dominators(circuit, equiv, &doms, &class_of, &mut verdicts);
+    drop(rewiden_span);
 
     let final_verdicts: Vec<Verdict> = verdicts
         .into_iter()

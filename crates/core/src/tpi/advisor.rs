@@ -138,6 +138,7 @@ fn rank_on(
     params: &TpiParams,
     cancel: &CancelToken,
 ) -> Result<(BaseState, Vec<Scored>), CoreError> {
+    let _t = protest_telemetry::span(protest_telemetry::Site::TpiScore);
     let analyzer = Analyzer::with_params(circuit, params.analyzer);
     let probs = InputProbs::from_slice(weights)?;
     let mut session = analyzer.session_with_cancel(&probs, cancel.clone())?;
@@ -317,6 +318,7 @@ pub fn advise_with_cancel(
         if round == 0 {
             base_patterns = last;
         }
+        let _commit_span = protest_telemetry::span(protest_telemetry::Site::TpiCommit);
         let mut committed = false;
         let mut rejected = 0usize;
         for cand in ranked.iter().take(params.max_tries_per_step) {

@@ -18,9 +18,12 @@
 //! * a **bounded worker model** — accept thread, N request handlers,
 //!   per-circuit worker threads behind bounded queues; overload sheds
 //!   typed `busy` replies instead of queueing unboundedly ([`server`]);
-//! * **observability** — per-endpoint p50/p99 latency, cache hit rates,
-//!   pool and queue gauges via the `stats` endpoint and an optional
-//!   periodic log line ([`metrics`]);
+//! * **observability** — per-endpoint p50/p99 latency with a queue-wait
+//!   vs compute phase split, cache hit rates, pool and queue gauges via
+//!   the `stats` endpoint and an optional periodic log line ([`metrics`]);
+//!   plus span-level tracing of the full request lifecycle through the
+//!   shared `protest_telemetry` crate (read → queue-wait → session
+//!   checkout → compute → serialize), off by default and free when off;
 //! * **robustness** — request deadlines cooperatively cancel in-flight
 //!   analysis, worker panics become typed `internal` replies with the
 //!   session discarded, a supervisor respawns crashed circuit hosts, and
@@ -102,6 +105,24 @@
 //! ← {"id":6,"ok":true,"result":{"results":[{"ok":true,"result":{…}},{"ok":true,"result":{…}}]}}
 //! ```
 //!
+//! ## The `timing` flag
+//!
+//! Any circuit op (or `batch`) may set `"timing": true` to get the
+//! daemon-side phase split of its own request echoed in the success
+//! reply as a sibling `timing` object — microseconds spent waiting in
+//! the circuit's job queue, checking a session out of the pool, and
+//! actually computing:
+//!
+//! ```text
+//! → {"id":9,"op":"analyze","circuit":"builtin:comp24","timing":true}
+//! ← {"id":9,"ok":true,"result":{…},"timing":{"queue_wait_us":41,"checkout_us":3,"compute_us":5120}}
+//! ```
+//!
+//! The flag is ignored on `submit`, `stats` and `shutdown` (they never
+//! reach a circuit host, so there are no phases to report) and on error
+//! replies. Omitting it leaves the reply byte-for-byte what it always
+//! was, so existing clients are unaffected.
+//!
 //! **`stats`** returns the metrics snapshot; **`shutdown`** starts a
 //! graceful drain (in-flight and queued requests still complete):
 //!
@@ -151,5 +172,5 @@ pub mod server;
 pub use json::Json;
 pub use metrics::{Endpoint, Metrics};
 pub use protocol::{ErrorKind, Request, WireError};
-pub use registry::Registry;
+pub use registry::{JobOutcome, JobTiming, Registry};
 pub use server::{serve, ServeConfig, ServerHandle};

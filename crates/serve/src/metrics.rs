@@ -2,14 +2,18 @@
 //! histograms (p50/p99), cache and session gauges, queue depth.
 //!
 //! Everything is lock-free atomics so the hot path records a latency in a
-//! few nanoseconds. Latencies go into log₂-bucketed histograms (bucket
-//! `i` covers `[2^i, 2^(i+1))` microseconds); quantiles interpolate
-//! linearly inside the winning bucket, which is plenty for p50/p99 on a
-//! load test. The same snapshot feeds the `stats` endpoint and the
-//! periodic log line.
+//! few nanoseconds. Latencies go into the shared log₂-bucketed
+//! [`Histogram`] from `protest_telemetry` (bucket `i` covers
+//! `[2^i, 2^(i+1))` microseconds); quantiles interpolate linearly inside
+//! the winning bucket, which is plenty for p50/p99 on a load test. Each
+//! endpoint tracks the end-to-end latency plus a queue-wait vs compute
+//! phase split fed from [`crate::registry::JobTiming`]. The same snapshot
+//! feeds the `stats` endpoint and the periodic log line.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+pub use protest_telemetry::Histogram;
 
 use crate::json::Json;
 
@@ -70,73 +74,6 @@ impl Endpoint {
     }
 }
 
-const BUCKETS: usize = 40;
-
-/// A log₂ latency histogram over microseconds.
-#[derive(Debug)]
-pub struct Histogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_us: AtomicU64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_us: AtomicU64::new(0),
-        }
-    }
-}
-
-impl Histogram {
-    /// Records one latency in microseconds.
-    pub fn record_us(&self, us: u64) {
-        let bucket = (63 - u64::leading_zeros(us.max(1)) as usize).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-    }
-
-    /// Samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Approximate quantile (`q` in `[0, 1]`) in microseconds: linear
-    /// interpolation inside the winning log₂ bucket. 0 when empty.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((total as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            let here = bucket.load(Ordering::Relaxed);
-            if seen + here >= target {
-                let lo = 1u64 << i;
-                let hi = 1u64 << (i + 1);
-                let into = (target - seen) as f64 / here.max(1) as f64;
-                return lo + ((hi - lo) as f64 * into) as u64;
-            }
-            seen += here;
-        }
-        1 << BUCKETS
-    }
-
-    /// Mean latency in microseconds (0 when empty).
-    pub fn mean_us(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            0.0
-        } else {
-            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
-        }
-    }
-}
-
 /// Per-endpoint counters.
 #[derive(Debug, Default)]
 pub struct EndpointMetrics {
@@ -146,6 +83,11 @@ pub struct EndpointMetrics {
     pub errors: AtomicU64,
     /// End-to-end handler latency (parse → reply written).
     pub latency: Histogram,
+    /// Job queue-wait phase (enqueue → worker pop); only requests that
+    /// reached a circuit host record here.
+    pub queue_wait: Histogram,
+    /// Job compute phase (ops executing against a checked-out session).
+    pub compute: Histogram,
 }
 
 /// The server-wide metrics hub, shared by every thread.
@@ -241,6 +183,14 @@ impl Metrics {
         m.latency.record_us(us);
     }
 
+    /// Records the phase split of a dispatched job: where its wall-clock
+    /// went between sitting in the circuit's queue and actually computing.
+    pub fn record_phases(&self, e: Endpoint, queue_wait_us: u64, compute_us: u64) {
+        let m = self.endpoint(e);
+        m.queue_wait.record_us(queue_wait_us);
+        m.compute.record_us(compute_us);
+    }
+
     /// Total requests answered (ok + error), every endpoint.
     pub fn requests_total(&self) -> u64 {
         self.endpoints
@@ -259,16 +209,34 @@ impl Metrics {
             if ok + errors == 0 {
                 continue;
             }
-            per_endpoint.push((
-                e.name().to_string(),
-                Json::obj(vec![
-                    ("ok", Json::Num(ok as f64)),
-                    ("errors", Json::Num(errors as f64)),
-                    ("p50_us", Json::Num(m.latency.quantile_us(0.50) as f64)),
-                    ("p99_us", Json::Num(m.latency.quantile_us(0.99) as f64)),
-                    ("mean_us", Json::Num(m.latency.mean_us())),
-                ]),
-            ));
+            let mut fields = vec![
+                ("ok", Json::Num(ok as f64)),
+                ("errors", Json::Num(errors as f64)),
+                ("p50_us", Json::Num(m.latency.quantile_us(0.50) as f64)),
+                ("p99_us", Json::Num(m.latency.quantile_us(0.99) as f64)),
+                ("mean_us", Json::Num(m.latency.mean_us())),
+            ];
+            // Phase split, present only once a job has actually reached a
+            // circuit host for this endpoint.
+            if m.queue_wait.count() > 0 {
+                fields.push((
+                    "queue_wait_p50_us",
+                    Json::Num(m.queue_wait.quantile_us(0.50) as f64),
+                ));
+                fields.push((
+                    "queue_wait_p99_us",
+                    Json::Num(m.queue_wait.quantile_us(0.99) as f64),
+                ));
+                fields.push((
+                    "compute_p50_us",
+                    Json::Num(m.compute.quantile_us(0.50) as f64),
+                ));
+                fields.push((
+                    "compute_p99_us",
+                    Json::Num(m.compute.quantile_us(0.99) as f64),
+                ));
+            }
+            per_endpoint.push((e.name().to_string(), Json::obj(fields)));
         }
         let hits = self.cache_hits.load(Ordering::Relaxed);
         let misses = self.cache_misses.load(Ordering::Relaxed);
@@ -383,7 +351,8 @@ impl Metrics {
         let misses = self.cache_misses.load(Ordering::Relaxed);
         let analyze = self.endpoint(Endpoint::Analyze);
         format!(
-            "serve: {} reqs ({} conns, q={}) cache {}/{} hit sessions {} live/{} idle analyze p50 {}us p99 {}us",
+            "serve: {} reqs ({} conns, q={}) cache {}/{} hit sessions {} live/{} idle \
+             analyze p50 {}us p99 {}us (qwait p50 {}us p99 {}us / compute p50 {}us p99 {}us)",
             self.requests_total(),
             self.conns_opened.load(Ordering::Relaxed),
             self.queue_depth.load(Ordering::Relaxed),
@@ -393,6 +362,10 @@ impl Metrics {
             self.sessions_idle.load(Ordering::Relaxed),
             analyze.latency.quantile_us(0.50),
             analyze.latency.quantile_us(0.99),
+            analyze.queue_wait.quantile_us(0.50),
+            analyze.queue_wait.quantile_us(0.99),
+            analyze.compute.quantile_us(0.50),
+            analyze.compute.quantile_us(0.99),
         )
     }
 }
@@ -429,5 +402,25 @@ mod tests {
         assert_eq!(cache.get("hit_rate").unwrap().as_f64(), Some(0.9));
         assert_eq!(snap.get("requests_total").unwrap().as_u64(), Some(2));
         assert!(!m.log_line().is_empty());
+    }
+
+    #[test]
+    fn phase_split_appears_once_jobs_have_run() {
+        let m = Metrics::default();
+        m.record(Endpoint::Analyze, true, 500);
+        let snap = m.snapshot();
+        let analyze = snap.get("endpoints").unwrap().get("analyze").unwrap();
+        assert!(
+            analyze.get("queue_wait_p50_us").is_none(),
+            "no phase fields before any job reached a host"
+        );
+        m.record_phases(Endpoint::Analyze, 40, 400);
+        let snap = m.snapshot();
+        let analyze = snap.get("endpoints").unwrap().get("analyze").unwrap();
+        assert!(analyze.get("queue_wait_p50_us").unwrap().as_u64().is_some());
+        assert!(analyze.get("queue_wait_p99_us").unwrap().as_u64().is_some());
+        assert!(analyze.get("compute_p50_us").unwrap().as_u64().is_some());
+        assert!(analyze.get("compute_p99_us").unwrap().as_u64().is_some());
+        assert!(m.log_line().contains("qwait"));
     }
 }

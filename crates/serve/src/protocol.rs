@@ -228,6 +228,14 @@ pub struct Request {
     pub id: Json,
     /// The operation.
     pub op: Op,
+    /// The opt-in `"timing": true` request flag: when set on a circuit
+    /// op (or `batch`), the success reply carries a sibling `timing`
+    /// object — `{"queue_wait_us":…,"checkout_us":…,"compute_us":…}` —
+    /// reporting how long the request waited in the job queue, how long
+    /// the session checkout took, and how long the computation ran.
+    /// Ignored on `submit`/`stats`/`shutdown` (nothing is queued) and on
+    /// error replies.
+    pub timing: bool,
 }
 
 fn bad(message: impl Into<String>) -> WireError {
@@ -435,11 +443,13 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, WireError)> {
             op: circuit_op(&root).map_err(&fail)?,
         },
     };
-    Ok(Request { id, op })
+    let timing = bool_field(&root, "timing", false).map_err(&fail)?;
+    Ok(Request { id, op, timing })
 }
 
 /// Serializes a success reply line (no trailing newline).
 pub fn ok_line(id: &Json, result: Json) -> String {
+    let _t = protest_telemetry::span(protest_telemetry::Site::ServeSerialize);
     Json::obj(vec![
         ("id", id.clone()),
         ("ok", Json::Bool(true)),
@@ -448,8 +458,22 @@ pub fn ok_line(id: &Json, result: Json) -> String {
     .to_line()
 }
 
+/// Serializes a success reply line carrying the opt-in `timing` object
+/// (see [`Request::timing`]).
+pub fn ok_line_timed(id: &Json, result: Json, timing: Json) -> String {
+    let _t = protest_telemetry::span(protest_telemetry::Site::ServeSerialize);
+    Json::obj(vec![
+        ("id", id.clone()),
+        ("ok", Json::Bool(true)),
+        ("result", result),
+        ("timing", timing),
+    ])
+    .to_line()
+}
+
 /// Serializes an error reply line (no trailing newline).
 pub fn err_line(id: &Json, error: &WireError) -> String {
+    let _t = protest_telemetry::span(protest_telemetry::Site::ServeSerialize);
     Json::obj(vec![
         ("id", id.clone()),
         ("ok", Json::Bool(false)),

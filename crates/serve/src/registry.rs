@@ -61,6 +61,40 @@ use crate::queue::{Bounded, Popped, PushError};
 /// Per-op results of one job, in request order.
 type JobReply = Vec<Result<Json, WireError>>;
 
+/// Phase timing of one executed job, in microseconds: how long it sat
+/// in the circuit's queue, how long the session checkout took, and how
+/// long the ops ran. Fed into the per-endpoint phase histograms and —
+/// when the request set the `timing` flag — echoed in the reply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobTiming {
+    /// Enqueue → worker pop.
+    pub queue_wait_us: u64,
+    /// Session-pool checkout (warm hit or cold clone).
+    pub checkout_us: u64,
+    /// Executing the job's ops against the session.
+    pub compute_us: u64,
+}
+
+impl JobTiming {
+    /// The wire form of the opt-in reply `timing` object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("queue_wait_us", Json::Num(self.queue_wait_us as f64)),
+            ("checkout_us", Json::Num(self.checkout_us as f64)),
+            ("compute_us", Json::Num(self.compute_us as f64)),
+        ])
+    }
+}
+
+/// What one dispatched job produced: per-op results plus phase timing.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Per-op results, in request order.
+    pub results: JobReply,
+    /// Where the job's wall-clock went.
+    pub timing: JobTiming,
+}
+
 /// How long an idle worker waits on the queue before re-checking the
 /// host-wide dead flag. Bounds both crash detection and eviction-join
 /// latency.
@@ -68,10 +102,12 @@ const WORKER_TICK: Duration = Duration::from_millis(50);
 
 struct Job {
     ops: Vec<CircuitOp>,
-    reply: SyncSender<JobReply>,
+    reply: SyncSender<JobOutcome>,
     /// The request's deadline token; armed by `dispatch`, honored by
     /// every poll point the ops reach.
     cancel: CancelToken,
+    /// Telemetry clock at enqueue — the queue-wait phase starts here.
+    enqueued_ns: u64,
 }
 
 /// One registered circuit: identity + the channel to its host thread.
@@ -159,7 +195,10 @@ fn host_loop(
             let err = WireError::new(ErrorKind::Analysis, e.to_string());
             while let Some(job) = jobs.pop() {
                 let n = job.ops.len();
-                let _ = job.reply.send(vec![Err(err.clone()); n]);
+                let _ = job.reply.send(JobOutcome {
+                    results: vec![Err(err.clone()); n],
+                    timing: JobTiming::default(),
+                });
             }
             return;
         }
@@ -201,25 +240,52 @@ fn host_loop(
                     dead.store(true, Ordering::Relaxed);
                     return;
                 }
+                // The queue-wait phase ends at this pop; stamp it for the
+                // reply timing and (when tracing is armed) the trace.
+                let queue_wait_us =
+                    protest_telemetry::now_ns().saturating_sub(job.enqueued_ns) / 1_000;
+                protest_telemetry::record_span(
+                    protest_telemetry::Site::ServeQueueWait,
+                    job.enqueued_ns,
+                );
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let checkout_span =
+                        protest_telemetry::span(protest_telemetry::Site::ServeCheckout);
+                    let checkout_start = Instant::now();
                     let mut session = pool.checkout();
                     session.set_cancel(job.cancel.clone());
+                    let checkout_us = checkout_start.elapsed().as_micros() as u64;
+                    drop(checkout_span);
                     failpoints::hit("serve.worker.delay");
                     if failpoints::hit("serve.worker.panic") {
                         // Deliberately after the checkout: the unwind must
                         // exercise the pool's discard-on-panic path.
                         panic!("injected worker panic (failpoint serve.worker.panic)");
                     }
-                    job.ops
+                    let compute_span =
+                        protest_telemetry::span(protest_telemetry::Site::ServeCompute);
+                    let compute_start = Instant::now();
+                    let results = job
+                        .ops
                         .iter()
                         .map(|op| run_op(&circuit, &analyzer, &mut session, &job.cancel, op))
-                        .collect::<JobReply>()
+                        .collect::<JobReply>();
+                    let compute_us = compute_start.elapsed().as_micros() as u64;
+                    drop(compute_span);
+                    (results, checkout_us, compute_us)
                     // The checkout drops here: a clean return disarms and
                     // re-syncs it into the pool; a poisoned session (or a
                     // drop during a panic unwind) is discarded instead.
                 }));
-                let results = match outcome {
-                    Ok(results) => results,
+                let (results, timing) = match outcome {
+                    Ok((results, checkout_us, compute_us)) => (
+                        results,
+                        JobTiming {
+                            queue_wait_us,
+                            checkout_us,
+                            compute_us,
+                        },
+                    ),
                     Err(_) => {
                         metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
                         let err = WireError::new(
@@ -227,7 +293,13 @@ fn host_loop(
                             "worker panicked while executing the request; \
                              its session was discarded",
                         );
-                        vec![Err(err); job.ops.len()]
+                        (
+                            vec![Err(err); job.ops.len()],
+                            JobTiming {
+                                queue_wait_us,
+                                ..JobTiming::default()
+                            },
+                        )
                     }
                 };
                 if results
@@ -238,7 +310,7 @@ fn host_loop(
                 }
                 *pool_stats.lock().unwrap() = pool.stats();
                 // A dropped receiver (request timed out) is fine.
-                let _ = job.reply.send(results);
+                let _ = job.reply.send(JobOutcome { results, timing });
                 active.fetch_sub(1, Ordering::Relaxed);
             });
         }
@@ -455,7 +527,7 @@ impl Registry {
         hash: &str,
         ops: Vec<CircuitOp>,
         timeout: Duration,
-    ) -> Result<JobReply, WireError> {
+    ) -> Result<JobOutcome, WireError> {
         use std::sync::atomic::Ordering::Relaxed;
         let entry = self.get(hash).ok_or_else(|| {
             WireError::new(
@@ -476,6 +548,7 @@ impl Registry {
             ops,
             reply: tx,
             cancel: cancel.clone(),
+            enqueued_ns: protest_telemetry::now_ns(),
         };
         match entry.jobs.try_push(job) {
             Ok(()) => {}
@@ -651,12 +724,12 @@ mod tests {
     fn dispatch_runs_ops_and_batches_share_a_session() {
         let reg = Registry::new(Arc::new(Metrics::default()), 2, 8, 0, true);
         let out = reg.submit_builtin("c17").unwrap();
-        let reply = reg
+        let outcome = reg
             .dispatch(&out.entry.hash, vec![analyze_op(), analyze_op()], TIMEOUT)
             .unwrap();
-        assert_eq!(reply.len(), 2);
-        let a = reply[0].as_ref().unwrap().to_line();
-        let b = reply[1].as_ref().unwrap().to_line();
+        assert_eq!(outcome.results.len(), 2);
+        let a = outcome.results[0].as_ref().unwrap().to_line();
+        let b = outcome.results[1].as_ref().unwrap().to_line();
         assert_eq!(a, b, "same op in one batch must give identical bits");
         reg.shutdown();
     }

@@ -32,7 +32,9 @@ use std::time::{Duration, Instant};
 
 use crate::json::Json;
 use crate::metrics::{Endpoint, Metrics};
-use crate::protocol::{err_line, ok_line, parse_request, ErrorKind, Op, Request, WireError};
+use crate::protocol::{
+    err_line, ok_line, ok_line_timed, parse_request, ErrorKind, Op, Request, WireError,
+};
 use crate::queue::Bounded;
 use crate::registry::Registry;
 
@@ -92,7 +94,8 @@ struct Shared {
 impl Shared {
     /// Routes one parsed request, returning the reply line.
     fn handle_request(&self, req: Request) -> (bool, String) {
-        let Request { id, op } = req;
+        let Request { id, op, timing } = req;
+        let endpoint = op.endpoint();
         match op {
             Op::Submit {
                 format,
@@ -132,18 +135,34 @@ impl Shared {
                     .registry
                     .dispatch(&hash, vec![op], self.request_timeout)
                 {
-                    Ok(mut reply) => match reply.pop().expect("one result per op") {
-                        Ok(result) => (true, ok_line(&id, result)),
-                        Err(e) => (false, err_line(&id, &e)),
-                    },
+                    Ok(mut outcome) => {
+                        self.metrics.record_phases(
+                            endpoint,
+                            outcome.timing.queue_wait_us,
+                            outcome.timing.compute_us,
+                        );
+                        match outcome.results.pop().expect("one result per op") {
+                            Ok(result) if timing => {
+                                (true, ok_line_timed(&id, result, outcome.timing.to_json()))
+                            }
+                            Ok(result) => (true, ok_line(&id, result)),
+                            Err(e) => (false, err_line(&id, &e)),
+                        }
+                    }
                     Err(e) => (false, err_line(&id, &e)),
                 }
             }
             Op::Batch { hash, ops } => {
                 match self.registry.dispatch(&hash, ops, self.request_timeout) {
-                    Ok(reply) => {
+                    Ok(outcome) => {
+                        self.metrics.record_phases(
+                            endpoint,
+                            outcome.timing.queue_wait_us,
+                            outcome.timing.compute_us,
+                        );
                         let results = Json::Arr(
-                            reply
+                            outcome
+                                .results
                                 .into_iter()
                                 .map(|r| match r {
                                     Ok(result) => Json::obj(vec![
@@ -165,7 +184,12 @@ impl Shared {
                                 })
                                 .collect(),
                         );
-                        (true, ok_line(&id, Json::obj(vec![("results", results)])))
+                        let body = Json::obj(vec![("results", results)]);
+                        if timing {
+                            (true, ok_line_timed(&id, body, outcome.timing.to_json()))
+                        } else {
+                            (true, ok_line(&id, body))
+                        }
                     }
                     Err(e) => (false, err_line(&id, &e)),
                 }
@@ -187,7 +211,11 @@ impl Shared {
     /// Parses, routes and meters one request line.
     fn handle_line(&self, line: &str) -> String {
         let start = Instant::now();
-        match parse_request(line) {
+        let parsed = {
+            let _t = protest_telemetry::span(protest_telemetry::Site::ServeRead);
+            parse_request(line)
+        };
+        match parsed {
             Ok(req) => {
                 let endpoint = req.op.endpoint();
                 let (ok, reply) = self.handle_request(req);
@@ -486,8 +514,30 @@ mod tests {
             .and_then(Json::as_arr)
             .is_some());
 
+        // Opt-in timing flag: the reply gains a sibling phase breakdown.
+        let r = roundtrip(
+            &mut stream,
+            &mut reader,
+            &format!(r#"{{"id":21,"op":"analyze","circuit":"{hash}","timing":true}}"#),
+        );
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        let t = r.get("timing").expect("timing object on timed reply");
+        assert!(t.get("queue_wait_us").unwrap().as_u64().is_some());
+        assert!(t.get("checkout_us").unwrap().as_u64().is_some());
+        assert!(t.get("compute_us").unwrap().as_u64().is_some());
+
         let r = roundtrip(&mut stream, &mut reader, r#"{"id":3,"op":"stats"}"#);
         assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        let analyze = r
+            .get("result")
+            .and_then(|v| v.get("endpoints"))
+            .and_then(|v| v.get("analyze"))
+            .expect("analyze endpoint in stats");
+        assert!(
+            analyze.get("queue_wait_p50_us").is_some(),
+            "stats must report the queue-wait vs compute phase split"
+        );
+        assert!(analyze.get("compute_p99_us").is_some());
 
         let r = roundtrip(&mut stream, &mut reader, r#"{"id":4,"op":"shutdown"}"#);
         assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));

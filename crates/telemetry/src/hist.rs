@@ -1,0 +1,112 @@
+//! The log₂-bucketed latency histogram shared by the serve daemon's
+//! per-endpoint metrics and the phase timers (moved here from
+//! `protest-serve` so both sides use one tested implementation).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 40;
+
+/// A log₂ latency histogram over microseconds.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` microseconds; quantiles
+/// interpolate linearly inside the winning bucket, which is plenty for
+/// p50/p99 on a load test. All operations are lock-free atomics so the
+/// hot path records a latency in a few nanoseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one latency in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let bucket = (63 - u64::leading_zeros(us.max(1)) as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) in microseconds: linear
+    /// interpolation inside the winning log₂ bucket. 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let here = bucket.load(Ordering::Relaxed);
+            if seen + here >= target {
+                let lo = 1u64 << i;
+                let hi = 1u64 << (i + 1);
+                let into = (target - seen) as f64 / here.max(1) as f64;
+                return lo + ((hi - lo) as f64 * into) as u64;
+            }
+            seen += here;
+        }
+        1 << BUCKETS
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bracket_samples() {
+        let h = Histogram::default();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 10_000] {
+            h.record_us(us);
+        }
+        let p50 = h.quantile_us(0.5);
+        assert!((8..=128).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!((8192..=16384).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.count(), 10);
+        assert!((h.mean_us() - 1045.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_us(0.99), 0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn zero_latency_lands_in_the_first_bucket() {
+        let h = Histogram::default();
+        h.record_us(0);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile_us(0.5) <= 2);
+    }
+}

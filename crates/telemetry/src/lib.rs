@@ -1,0 +1,76 @@
+//! Self-profiling for the PROTEST stack: tracing spans, phase timers and
+//! latency histograms, with **zero cost when disarmed**.
+//!
+//! A validation tool must be inspectable itself. This crate is the
+//! measurement substrate shared by the analysis engine, the CLI and the
+//! serving daemon: every hot phase (estimator sweeps, worklist
+//! propagation, observability refresh, the per-fault loop, partitioned
+//! runs, TPI rounds, static-analysis tiers, the serve request lifecycle)
+//! is bracketed by a [`span`] at a statically-registered [`Site`].
+//!
+//! # The disarmed contract
+//!
+//! Tracing is off by default. A disarmed [`span`] call costs exactly
+//! **one relaxed atomic load** and allocates nothing — the same
+//! discipline as `protest_core`'s failpoints and `CancelToken`. Because
+//! instrumentation never touches the numeric state, armed runs are
+//! `f64::to_bits`-identical to disarmed runs at every thread count
+//! (differential-tested like cancellation).
+//!
+//! Arming is process-global: [`arm`] starts recording, [`take`] drains
+//! everything recorded so far into a [`Trace`], [`disarm`] stops
+//! recording. Spans nest per thread (each thread keeps its own span
+//! stack), so traces from the parallel executor show per-worker
+//! timelines.
+//!
+//! # Export backends
+//!
+//! * [`Trace::to_chrome_json`] — Chrome Trace Event Format JSON
+//!   (`catapult`/Perfetto loadable), balanced `"B"`/`"E"` event pairs
+//!   per thread plus thread-name metadata. This backs `--trace out.json`
+//!   on the CLI.
+//! * [`Trace::phase_tree`] — an aggregated wall-clock tree per phase
+//!   (counts and total time, nested by call structure), printed by
+//!   `protest stats` and the `--probe` report.
+//! * [`Histogram`] — the log₂-bucketed latency histogram the daemon's
+//!   per-endpoint p50/p99 metrics are built on (previously private to
+//!   `protest-serve`, now shared with the phase timers).
+//!
+//! # Not the paper's "observability"
+//!
+//! PROTEST's core computes signal *observability* — the probability that
+//! a node's value propagates to a primary output (Wunderlich, DAC 1985).
+//! This crate is observability in the operational sense: timers and
+//! traces about the tool's own execution. The two never mix; telemetry
+//! reads the engine's clock, never its math.
+//!
+//! # Example
+//!
+//! ```
+//! use protest_telemetry as telemetry;
+//! use telemetry::Site;
+//!
+//! telemetry::arm();
+//! {
+//!     let _outer = telemetry::span(Site::OptimizeClimb);
+//!     let _inner = telemetry::span(Site::EstimatorSweep);
+//! }
+//! let trace = telemetry::take();
+//! telemetry::disarm();
+//! assert_eq!(trace.spans.len(), 2);
+//! let json = trace.to_chrome_json();
+//! assert!(json.contains("\"ph\":\"B\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod site;
+mod span;
+mod trace;
+
+pub use hist::Histogram;
+pub use site::Site;
+pub use span::{arm, armed, disarm, now_ns, record_span, site_totals, span, take, Span};
+pub use trace::{PhaseNode, SpanRecord, Trace};

@@ -1,0 +1,343 @@
+//! Arming, per-thread span stacks and the global span collector.
+//!
+//! The fast path is the whole point of this module: a disarmed
+//! [`span`] call is one relaxed atomic load, a branch and the return of
+//! an empty guard — nothing else runs, nothing allocates, no lock is
+//! taken. All bookkeeping (thread registration, buffer pushes, per-site
+//! aggregation) happens only while armed, and even then locks are
+//! per-thread and uncontended.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::site::Site;
+use crate::trace::{SpanRecord, Trace};
+
+/// The process-wide gate. Relaxed loads are sufficient: arming happens
+/// before the traced workload starts (a happens-before edge via thread
+/// spawn / the caller's own synchronization), and a stale read merely
+/// records or skips one span near the toggle.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Spans a single thread may buffer between [`take`] calls; beyond this
+/// the thread drops further spans (counted in [`Trace::dropped`]) so an
+/// armed long-running process cannot grow without bound.
+const MAX_SPANS_PER_THREAD: usize = 1 << 20;
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// One registered thread's shared buffer: the thread pushes, [`take`]
+/// drains. The mutex is only ever contended during a drain.
+struct Sink {
+    tid: u32,
+    name: String,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Sink>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Sink>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Per-site aggregate accumulated at span close while armed:
+/// `[0]` = completed span count, `[1]` = total nanoseconds.
+struct SiteAgg {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+fn aggregates() -> &'static [SiteAgg; Site::ALL.len()] {
+    static AGG: OnceLock<[SiteAgg; Site::ALL.len()]> = OnceLock::new();
+    AGG.get_or_init(|| {
+        std::array::from_fn(|_| SiteAgg {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+        })
+    })
+}
+
+struct Local {
+    sink: Arc<Sink>,
+    depth: u32,
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Local>> = const { RefCell::new(None) };
+}
+
+fn with_local<R>(f: impl FnOnce(&mut Local) -> R) -> R {
+    LOCAL.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let local = slot.get_or_insert_with(|| {
+            let sink = Arc::new(Sink {
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                name: std::thread::current()
+                    .name()
+                    .unwrap_or("worker")
+                    .to_string(),
+                spans: Mutex::new(Vec::new()),
+            });
+            registry()
+                .lock()
+                .expect("registry poisoned")
+                .push(sink.clone());
+            Local { sink, depth: 0 }
+        });
+        f(local)
+    })
+}
+
+/// Nanoseconds since the process-wide telemetry epoch (first use).
+/// Monotonic; shared by every thread so per-thread timelines align.
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Whether tracing is armed. One relaxed atomic load.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Starts recording spans process-wide.
+pub fn arm() {
+    // Pin the epoch before any span can read it, so timestamps in the
+    // trace are relative to (at latest) the arming point.
+    let _ = now_ns();
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Stops recording. Already-buffered spans stay available to [`take`].
+pub fn disarm() {
+    ARMED.store(false, Ordering::SeqCst);
+}
+
+/// An RAII span guard: created by [`span`], records the enclosed
+/// wall-clock interval on drop. Empty (and free) when disarmed.
+///
+/// Not `Send`: a span must close on the thread that opened it, which is
+/// what keeps every per-thread stack properly nested.
+#[must_use = "a span measures the region until the guard drops"]
+pub struct Span {
+    open: Option<OpenSpan>,
+    _not_send: PhantomData<*const ()>,
+}
+
+struct OpenSpan {
+    site: Site,
+    start_ns: u64,
+    depth: u32,
+}
+
+/// Opens a span at `site`. Disarmed cost: one relaxed atomic load.
+#[inline]
+pub fn span(site: Site) -> Span {
+    if !ARMED.load(Ordering::Relaxed) {
+        return Span {
+            open: None,
+            _not_send: PhantomData,
+        };
+    }
+    span_slow(site)
+}
+
+#[cold]
+fn span_slow(site: Site) -> Span {
+    let depth = with_local(|l| {
+        let d = l.depth;
+        l.depth += 1;
+        d
+    });
+    Span {
+        open: Some(OpenSpan {
+            site,
+            start_ns: now_ns(),
+            depth,
+        }),
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(open) = self.open.take() {
+            let end_ns = now_ns();
+            with_local(|l| {
+                l.depth = l.depth.saturating_sub(1);
+                push_record(
+                    l,
+                    SpanRecord {
+                        site: open.site,
+                        tid: l.sink.tid,
+                        depth: open.depth,
+                        start_ns: open.start_ns,
+                        end_ns,
+                    },
+                );
+            });
+        }
+    }
+}
+
+/// Records an already-measured interval (e.g. a queue wait whose start
+/// was stamped on another thread) as a span on the *current* thread at
+/// its current stack depth. No-op when disarmed.
+#[inline]
+pub fn record_span(site: Site, start_ns: u64) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    let end_ns = now_ns();
+    with_local(|l| {
+        let depth = l.depth;
+        push_record(
+            l,
+            SpanRecord {
+                site,
+                tid: l.sink.tid,
+                depth,
+                start_ns: start_ns.min(end_ns),
+                end_ns,
+            },
+        );
+    });
+}
+
+fn push_record(l: &mut Local, rec: SpanRecord) {
+    let agg = &aggregates()[rec.site.index()];
+    agg.count.fetch_add(1, Ordering::Relaxed);
+    agg.total_ns
+        .fetch_add(rec.end_ns - rec.start_ns, Ordering::Relaxed);
+    let mut spans = l.sink.spans.lock().expect("span sink poisoned");
+    if spans.len() >= MAX_SPANS_PER_THREAD {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    } else {
+        spans.push(rec);
+    }
+}
+
+/// Drains every thread's buffered spans into a [`Trace`]. Does not
+/// disarm; spans still open at the drain simply land in a later drain.
+pub fn take() -> Trace {
+    let mut spans = Vec::new();
+    let mut threads = Vec::new();
+    for sink in registry().lock().expect("registry poisoned").iter() {
+        let mut buf = sink.spans.lock().expect("span sink poisoned");
+        if !buf.is_empty() {
+            threads.push((sink.tid, sink.name.clone()));
+        }
+        spans.append(&mut buf);
+    }
+    Trace {
+        spans,
+        threads,
+        dropped: DROPPED.swap(0, Ordering::Relaxed),
+    }
+}
+
+/// Per-site aggregated timers/counters accumulated while armed:
+/// `(site, completed spans, total nanoseconds)`, in [`Site::ALL`] order.
+/// Unlike [`take`], reading does not reset anything.
+pub fn site_totals() -> Vec<(Site, u64, u64)> {
+    let agg = aggregates();
+    Site::ALL
+        .iter()
+        .map(|&s| {
+            let a = &agg[s.index()];
+            (
+                s,
+                a.count.load(Ordering::Relaxed),
+                a.total_ns.load(Ordering::Relaxed),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Arming is process-global, so tests that toggle it share one lock
+    // to avoid cross-test interference inside this crate.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disarmed_spans_record_nothing() {
+        let _g = serial();
+        disarm();
+        let before = take().spans.len();
+        {
+            let _s = span(Site::Propagate);
+        }
+        record_span(Site::ServeQueueWait, now_ns());
+        assert_eq!(take().spans.len(), 0, "before drain had {before}");
+    }
+
+    #[test]
+    fn armed_spans_nest_and_drain() {
+        let _g = serial();
+        disarm();
+        let _ = take();
+        arm();
+        {
+            let _outer = span(Site::OptimizeClimb);
+            {
+                let _inner = span(Site::EstimatorSweep);
+            }
+            {
+                let _inner = span(Site::ObsFull);
+            }
+        }
+        disarm();
+        let trace = take();
+        let mine: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.site,
+                    Site::OptimizeClimb | Site::EstimatorSweep | Site::ObsFull
+                )
+            })
+            .collect();
+        assert_eq!(mine.len(), 3);
+        let outer = mine.iter().find(|s| s.site == Site::OptimizeClimb).unwrap();
+        for inner in mine.iter().filter(|s| s.site != Site::OptimizeClimb) {
+            assert_eq!(inner.depth, outer.depth + 1);
+            assert!(inner.start_ns >= outer.start_ns);
+            assert!(inner.end_ns <= outer.end_ns);
+        }
+    }
+
+    #[test]
+    fn totals_accumulate_per_site() {
+        let _g = serial();
+        disarm();
+        let _ = take();
+        let before = site_totals()
+            .iter()
+            .find(|(s, _, _)| *s == Site::TpiScore)
+            .map(|&(_, c, _)| c)
+            .unwrap();
+        arm();
+        {
+            let _s = span(Site::TpiScore);
+        }
+        disarm();
+        let _ = take();
+        let after = site_totals()
+            .iter()
+            .find(|(s, _, _)| *s == Site::TpiScore)
+            .map(|&(_, c, _)| c)
+            .unwrap();
+        assert_eq!(after, before + 1);
+    }
+}

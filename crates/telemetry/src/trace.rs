@@ -1,0 +1,322 @@
+//! Drained traces and the two export backends: Chrome Trace Event JSON
+//! and the aggregated phase-breakdown tree.
+
+use crate::site::Site;
+
+/// One completed span, as drained by [`take`](crate::take).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Where the span was opened.
+    pub site: Site,
+    /// Telemetry thread id (small sequential integer, stable per thread).
+    pub tid: u32,
+    /// Nesting depth on its thread when opened (0 = root).
+    pub depth: u32,
+    /// Start, nanoseconds since the telemetry epoch.
+    pub start_ns: u64,
+    /// End, nanoseconds since the telemetry epoch.
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    /// The span's duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// Everything one [`take`](crate::take) drained: completed spans from
+/// every thread, the threads they came from, and how many spans were
+/// dropped by the per-thread buffer cap.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Completed spans, in per-thread push order (not globally sorted).
+    pub spans: Vec<SpanRecord>,
+    /// `(tid, thread name)` for every thread that contributed spans.
+    pub threads: Vec<(u32, String)>,
+    /// Spans discarded because a thread's buffer hit its cap.
+    pub dropped: u64,
+}
+
+/// One node of the aggregated phase tree: a span site in a particular
+/// call position, merged across threads and invocations.
+#[derive(Debug, Clone)]
+pub struct PhaseNode {
+    /// The site.
+    pub site: Site,
+    /// Completed spans merged into this node.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across those spans.
+    pub total_ns: u64,
+    /// Child phases, in order of first appearance.
+    pub children: Vec<PhaseNode>,
+}
+
+impl PhaseNode {
+    fn new(site: Site) -> Self {
+        PhaseNode {
+            site,
+            count: 0,
+            total_ns: 0,
+            children: Vec::new(),
+        }
+    }
+
+    fn child(&mut self, site: Site) -> &mut PhaseNode {
+        if let Some(i) = self.children.iter().position(|c| c.site == site) {
+            return &mut self.children[i];
+        }
+        self.children.push(PhaseNode::new(site));
+        self.children.last_mut().expect("just pushed")
+    }
+}
+
+/// Sorts a thread's spans into pre-order: outer spans before the spans
+/// they enclose, siblings by start time.
+fn preorder(spans: &mut [SpanRecord]) {
+    spans.sort_by(|a, b| {
+        a.start_ns
+            .cmp(&b.start_ns)
+            .then(b.end_ns.cmp(&a.end_ns))
+            .then(a.depth.cmp(&b.depth))
+    });
+}
+
+impl Trace {
+    /// Spans grouped per thread, each group in pre-order.
+    fn per_thread(&self) -> Vec<(u32, Vec<SpanRecord>)> {
+        let mut tids: Vec<u32> = self.spans.iter().map(|s| s.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        tids.into_iter()
+            .map(|tid| {
+                let mut group: Vec<SpanRecord> = self
+                    .spans
+                    .iter()
+                    .filter(|s| s.tid == tid)
+                    .copied()
+                    .collect();
+                preorder(&mut group);
+                (tid, group)
+            })
+            .collect()
+    }
+
+    /// Serializes the trace in Chrome Trace Event Format (JSON), loadable
+    /// in Perfetto / `chrome://tracing`.
+    ///
+    /// Every span becomes one `"ph":"B"` / `"ph":"E"` pair on its thread,
+    /// properly nested and balanced; threads also get a `thread_name`
+    /// metadata event. Timestamps are microseconds since the telemetry
+    /// epoch, with sub-microsecond fractions preserved.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.spans.len() * 128);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        let mut push = |out: &mut String, event: String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&event);
+        };
+        for (tid, name) in &self.threads {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    escape(name)
+                ),
+            );
+        }
+        for (tid, group) in self.per_thread() {
+            // Replay the thread's span forest: emit E for every span that
+            // ended before the next one starts, so B/E pairs nest exactly
+            // as the spans did.
+            let mut stack: Vec<SpanRecord> = Vec::new();
+            for span in group {
+                while let Some(top) = stack.last() {
+                    if top.end_ns <= span.start_ns {
+                        push(&mut out, end_event(tid, top));
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                push(&mut out, begin_event(tid, &span));
+                stack.push(span);
+            }
+            while let Some(top) = stack.pop() {
+                push(&mut out, end_event(tid, &top));
+            }
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// Builds the aggregated phase tree: spans merged by call path
+    /// (site nested under the site that enclosed it), across all
+    /// threads. Returns the forest of root phases in order of first
+    /// appearance.
+    pub fn phase_roots(&self) -> Vec<PhaseNode> {
+        let mut roots = PhaseNode::new(Site::SessionBuild); // site unused at root
+        for (_tid, group) in self.per_thread() {
+            let mut path: Vec<SpanRecord> = Vec::new();
+            for span in group {
+                while let Some(top) = path.last() {
+                    if top.end_ns <= span.start_ns {
+                        path.pop();
+                    } else {
+                        break;
+                    }
+                }
+                let node = path
+                    .iter()
+                    .fold(&mut roots, |n, anc| n.child(anc.site))
+                    .child(span.site);
+                node.count += 1;
+                node.total_ns += span.duration_ns();
+                path.push(span);
+            }
+        }
+        roots.children
+    }
+
+    /// Renders the aggregated phase-breakdown report: one line per
+    /// phase, nested by call structure, with span counts and total
+    /// wall-clock time. Empty string when the trace has no spans.
+    pub fn phase_tree(&self) -> String {
+        let roots = self.phase_roots();
+        if roots.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("# phase breakdown (wall-clock, all threads)\n");
+        for root in &roots {
+            render(&mut out, root, 0);
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "#   ({} spans dropped by the per-thread buffer cap)\n",
+                self.dropped
+            ));
+        }
+        out
+    }
+}
+
+fn render(out: &mut String, node: &PhaseNode, indent: usize) {
+    let label = format!("{:indent$}{}", "", node.site.name(), indent = indent * 2);
+    out.push_str(&format!(
+        "#   {label:<34} {:>8}x {:>12.3} ms\n",
+        node.count,
+        node.total_ns as f64 / 1e6
+    ));
+    for child in &node.children {
+        render(out, child, indent + 1);
+    }
+}
+
+/// Microseconds with the nanosecond remainder as a fraction — Chrome's
+/// `ts` unit — rendered without going through floats.
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn begin_event(tid: u32, s: &SpanRecord) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"protest\",\"ph\":\"B\",\"pid\":1,\"tid\":{tid},\"ts\":{}}}",
+        s.site.name(),
+        ts_us(s.start_ns)
+    )
+}
+
+fn end_event(tid: u32, s: &SpanRecord) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"protest\",\"ph\":\"E\",\"pid\":1,\"tid\":{tid},\"ts\":{}}}",
+        s.site.name(),
+        ts_us(s.end_ns)
+    )
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(site: Site, tid: u32, depth: u32, start: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            site,
+            tid,
+            depth,
+            start_ns: start,
+            end_ns: end,
+        }
+    }
+
+    fn sample() -> Trace {
+        Trace {
+            spans: vec![
+                rec(Site::EstimatorSweep, 1, 1, 1_000, 5_000),
+                rec(Site::ObsFull, 1, 1, 5_000, 8_000),
+                rec(Site::SessionBuild, 1, 0, 500, 9_000),
+                rec(Site::PartitionAnalyze, 2, 0, 2_000, 6_000),
+            ],
+            threads: vec![(1, "main".into()), (2, "worker".into())],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn chrome_json_is_balanced_and_nested() {
+        let json = sample().to_chrome_json();
+        let begins = json.matches("\"ph\":\"B\"").count();
+        let ends = json.matches("\"ph\":\"E\"").count();
+        assert_eq!(begins, 4);
+        assert_eq!(ends, 4);
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 2);
+        // The session.build B must precede the estimator.sweep B, and
+        // the estimator.sweep E must precede the session.build E.
+        let b_build = json.find("\"name\":\"session.build\",\"cat\":\"protest\",\"ph\":\"B\"");
+        let b_est = json.find("\"name\":\"estimator.sweep\",\"cat\":\"protest\",\"ph\":\"B\"");
+        assert!(b_build.unwrap() < b_est.unwrap());
+    }
+
+    #[test]
+    fn phase_tree_nests_by_enclosure() {
+        let trace = sample();
+        let roots = trace.phase_roots();
+        let build = roots
+            .iter()
+            .find(|n| n.site == Site::SessionBuild)
+            .expect("session.build is a root");
+        assert_eq!(build.count, 1);
+        assert_eq!(build.children.len(), 2);
+        assert!(build
+            .children
+            .iter()
+            .any(|c| c.site == Site::EstimatorSweep));
+        // The worker-thread span is its own root.
+        assert!(roots.iter().any(|n| n.site == Site::PartitionAnalyze));
+        let rendered = trace.phase_tree();
+        assert!(rendered.contains("session.build"));
+        assert!(rendered.contains("  estimator.sweep"));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        assert_eq!(Trace::default().phase_tree(), "");
+        let json = Trace::default().to_chrome_json();
+        assert_eq!(json, "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+    }
+}

@@ -24,7 +24,17 @@
 //! `stats --probe` additionally opens an incremental analysis session,
 //! nudges one input probability and reports how much of the forward,
 //! reverse-observability and per-fault work the session reused — the
-//! work counters behind the optimizer's incremental hot loop.
+//! work counters behind the optimizer's incremental hot loop — followed
+//! by the telemetry phase tree: a wall-clock breakdown of where the
+//! probe's time went (session build, estimator sweeps, observability
+//! refresh, fault re-estimation), aggregated across threads.
+//!
+//! `--trace FILE` (on any analysis subcommand) arms the zero-overhead
+//! tracing layer in `protest-telemetry` for the duration of the run and
+//! writes the collected spans as Chrome Trace Event Format JSON — load
+//! it in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing` to
+//! see per-thread nested spans of every analysis phase. Tracing never
+//! changes results: armed runs are bit-identical to disarmed runs.
 //!
 //! `tpi` closes the analyze → modify → re-analyze loop: it scores
 //! control/observation test-point candidates analytically, greedily
@@ -50,7 +60,10 @@
 //!                   the machine's available parallelism; results are
 //!                   bit-identical at every thread count)
 //! --probe           with `stats`: report incremental-session reuse
-//!                   counters after a one-input mutation
+//!                   counters after a one-input mutation, plus the
+//!                   telemetry phase tree of the probe itself
+//! --trace FILE      write a Chrome Trace Event JSON of the run's
+//!                   analysis phases (open in Perfetto)
 //! --json            check: emit the report as JSON
 //! --prove-redundant check: run the BDD-backed redundancy prover
 //! --bdd-budget N    check: BDD node budget per proof (default 200000)
@@ -161,7 +174,7 @@ usage: protest <stats|check|analyze|optimize|tpi|patterns|simulate> <circuit> [o
        protest serve [--addr HOST:PORT] [--self-test] [options]
 options: --prob P  --testlen D,E  --hardest K  --n-target N  --count N
          --optimized  --patterns FILE  --seed S  --threads N  --probe
-         --json  --prove-redundant  --bdd-budget N
+         --trace FILE  --json  --prove-redundant  --bdd-budget N
          --budget K  --target-d D  --target-e E  --ctrl-prob Q
          --max-candidates M  --dry-run  --out FILE
 serve:   --handlers N  --workers N  --queue N  --timeout-secs S
@@ -179,6 +192,7 @@ struct Options {
     seed: u64,
     threads: usize,
     probe: bool,
+    trace: Option<String>,
     budget: usize,
     target_d: f64,
     target_e: f64,
@@ -204,6 +218,7 @@ impl Default for Options {
             seed: 1,
             threads: 0,
             probe: false,
+            trace: None,
             budget: 3,
             target_d: 1.0,
             target_e: 0.98,
@@ -233,7 +248,15 @@ fn run(args: &[String]) -> Result<String, CliError> {
         .clone();
     let opts = parse_options(it).map_err(CliError::Usage)?;
     let circuit = load_circuit(&path).map_err(CliError::Circuit)?;
-    match command {
+    // Telemetry arms only on request: `--trace FILE` records a Chrome
+    // trace of the run; `stats --probe` appends the phase tree. With
+    // neither, every span site stays a single relaxed atomic load.
+    let want_tree = command == "stats" && opts.probe;
+    let armed = opts.trace.is_some() || want_tree;
+    if armed {
+        protest_telemetry::arm();
+    }
+    let mut result = match command {
         "stats" => cmd_stats(&circuit, &opts),
         "check" => cmd_check(&circuit, &opts),
         "analyze" => cmd_analyze(&circuit, &opts),
@@ -243,7 +266,27 @@ fn run(args: &[String]) -> Result<String, CliError> {
         "simulate" => cmd_simulate(&circuit, &opts),
         other => return Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     }
-    .map_err(CliError::Analysis)
+    .map_err(CliError::Analysis);
+    if armed {
+        protest_telemetry::disarm();
+        let trace = protest_telemetry::take();
+        if let Ok(out) = result.as_mut() {
+            if want_tree {
+                out.push_str(&trace.phase_tree());
+            }
+            if let Some(file) = &opts.trace {
+                fs::write(file, trace.to_chrome_json())
+                    .map_err(|e| CliError::Analysis(format!("{file}: {e}")))?;
+                let _ = writeln!(
+                    out,
+                    "# wrote Chrome trace ({} spans, {} threads) to {file}",
+                    trace.spans.len(),
+                    trace.threads.len()
+                );
+            }
+        }
+    }
+    result
 }
 
 fn parse_options(mut it: std::slice::Iter<'_, String>) -> Result<Options, String> {
@@ -295,6 +338,7 @@ fn parse_options(mut it: std::slice::Iter<'_, String>) -> Result<Options, String
                     .map_err(|e| format!("--threads: {e}"))?;
             }
             "--probe" => opts.probe = true,
+            "--trace" => opts.trace = Some(value("--trace")?.clone()),
             "--budget" => {
                 opts.budget = value("--budget")?
                     .parse()
@@ -834,6 +878,11 @@ mod tests {
         v.iter().map(|s| s.to_string()).collect()
     }
 
+    /// Tests that arm/drain the global telemetry registry must not
+    /// interleave, or one could drain the spans another is about to
+    /// assert on.
+    static TELEMETRY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn stats_and_analyze() {
         let f = write_c17();
@@ -895,15 +944,52 @@ mod tests {
 
     #[test]
     fn stats_probe_reports_incremental_reuse() {
+        let _serial = TELEMETRY_LOCK.lock().unwrap();
         let f = write_c17();
         let p = f.0.to_str().unwrap();
         let out = run(&args(&["stats", p, "--probe"])).unwrap();
         assert!(out.contains("incremental probe"), "{out}");
         assert!(out.contains("observability:"), "{out}");
         assert!(out.contains("reused"), "{out}");
+        assert!(out.contains("# phase breakdown"), "{out}");
+        assert!(out.contains("session.build"), "{out}");
         // Without the flag the probe stays off.
         let plain = run(&args(&["stats", p])).unwrap();
         assert!(!plain.contains("incremental probe"), "{plain}");
+        assert!(!plain.contains("# phase breakdown"), "{plain}");
+    }
+
+    #[test]
+    fn trace_flag_writes_a_chrome_trace() {
+        let _serial = TELEMETRY_LOCK.lock().unwrap();
+        let f = write_c17();
+        let p = f.0.to_str().unwrap();
+        let trace_path =
+            std::env::temp_dir().join(format!("protest_cli_trace_{}.json", std::process::id()));
+        let out = run(&args(&[
+            "analyze",
+            p,
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--threads",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("# wrote Chrome trace"), "{out}");
+        let text = fs::read_to_string(&trace_path).unwrap();
+        let guard = tempfile::TempGuard(trace_path);
+        assert!(text.starts_with("{\"traceEvents\":["), "{text}");
+        assert!(text.contains("estimator.sweep"), "{text}");
+        assert!(text.contains("faults.estimate"), "{text}");
+        drop(guard);
+        // Untraced runs print identical reports (modulo the trace note).
+        let untraced = run(&args(&["analyze", p, "--threads", "1"])).unwrap();
+        let traced_body: String = out
+            .lines()
+            .filter(|l| !l.starts_with("# wrote Chrome trace"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(untraced, traced_body, "tracing must not perturb results");
     }
 
     #[test]
